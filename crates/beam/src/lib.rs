@@ -1,0 +1,461 @@
+//! Monte-Carlo neutron-beam experiment engine.
+//!
+//! Replaces the ChipIR/LANSCE campaigns of Section III-C: the device under
+//! test is the architectural simulator, and every hardware resource
+//! carries a **ground-truth cross-section** ([`CrossSections`]) that only
+//! this crate knows — the prediction pipeline never reads it, so the
+//! beam-vs-simulation comparison (Figure 6) stays a blind test.
+//!
+//! Physics model:
+//!
+//! * strikes arrive as a Poisson process at an accelerated flux over each
+//!   run's modeled wall time; the flux is chosen so that multi-strike runs
+//!   are negligible, mirroring the paper's "<1 error per 1,000 executions"
+//!   discipline;
+//! * a strike on a functional-unit pipe corrupts the in-flight
+//!   instruction's destination (strike opportunity scales with the unit's
+//!   *dynamic work*, `sigma_u x lane-cycles`, which is what makes FIT
+//!   independent of serial execution time but linear in parallelism —
+//!   Section III-C's observation);
+//! * a strike on an SRAM bit (register file, shared memory) or DRAM bit
+//!   flips it; SECDED ECC corrects/detects per word when enabled;
+//! * a strike on a **hidden resource** — warp scheduler, fetch/decode,
+//!   memory controller, host interface — mostly hangs or crashes the
+//!   device. Architecture-level injectors cannot reach these, which is
+//!   the paper's explanation for the orders-of-magnitude DUE gap.
+//!
+//! Runs without a strike are not executed: the simulator is
+//! deterministic, so they are bit-identical to the golden run and counted
+//! directly (a pure optimization; the fluence accounting still includes
+//! them).
+
+mod xsec;
+
+pub use xsec::CrossSections;
+
+use gpu_arch::{DeviceModel, FunctionalUnit};
+use gpu_sim::{
+    BitFlip, DueKind, ExecStatus, Executed, FaultPlan, RunOptions, SiteClass, Target,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use stats::{FitRate, Fluence, Outcome, OutcomeCounts};
+
+/// Beam-campaign parameters.
+#[derive(Clone, Debug)]
+pub struct BeamConfig {
+    /// Accelerated flux, n/(cm^2 s). ChipIR delivers ~3.5e6. Set to `0.0`
+    /// to auto-tune the flux per target so the expected strikes per run
+    /// land at [`BeamConfig::TARGET_LAMBDA`] — the simulated equivalent of
+    /// the paper's "<1 error per 1,000 executions" discipline (FIT rates
+    /// are flux-independent; only the statistics change).
+    pub flux: f64,
+    /// Number of (accounted) runs; only runs that receive a strike are
+    /// actually executed.
+    pub runs: u32,
+    /// SECDED ECC state for the exposed device.
+    pub ecc: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BeamConfig {
+    /// Expected strikes per run under auto-tuned flux.
+    pub const TARGET_LAMBDA: f64 = 0.25;
+
+    /// Auto-flux campaign.
+    pub fn auto(runs: u32, ecc: bool, seed: u64) -> Self {
+        BeamConfig { flux: 0.0, runs, ecc, seed }
+    }
+}
+
+impl Default for BeamConfig {
+    fn default() -> Self {
+        BeamConfig { flux: 0.0, runs: 20_000, ecc: true, seed: 0xBEA4 }
+    }
+}
+
+/// Result of one beam campaign: SDC and DUE FIT rates with Poisson CIs.
+#[derive(Clone, Debug)]
+pub struct BeamResult {
+    /// Target name.
+    pub target: String,
+    /// Outcome tallies over all accounted runs.
+    pub counts: OutcomeCounts,
+    /// Received fluence (n/cm^2) over the whole campaign.
+    pub fluence: Fluence,
+    /// Silent-data-corruption FIT rate.
+    pub sdc_fit: FitRate,
+    /// Detected-unrecoverable-error FIT rate.
+    pub due_fit: FitRate,
+    /// How many runs were actually executed (received >= 1 strike).
+    pub struck_runs: u32,
+}
+
+/// One strikeable resource with its per-run strike rate and plan factory.
+enum StrikeKind {
+    Unit(FunctionalUnit),
+    Ldst,
+    RegisterFile,
+    SharedMem,
+    GlobalMem,
+    Hidden,
+}
+
+struct StrikeChannel {
+    kind: StrikeKind,
+    /// Expected strikes on this resource per run at flux 1 n/(cm^2 s).
+    rate_per_flux: f64,
+}
+
+/// Build the strike channels for a target on a device.
+fn channels(
+    device: &DeviceModel,
+    xsec: &CrossSections,
+    target_kernel: &gpu_arch::Kernel,
+    launch: &gpu_arch::LaunchConfig,
+    golden: &Executed,
+) -> Vec<StrikeChannel> {
+    let mut out = Vec::new();
+    let seconds = golden.timing.seconds;
+    let clock = device.clock_hz;
+
+    // Functional units: strike opportunity = sigma_u x busy lane-cycles.
+    // counts are thread-instructions = lane-cycles for scalar pipes; an
+    // MMA occupies a tensor core for ~4 cycles.
+    for i in 0..FunctionalUnit::COUNT {
+        let unit = FunctionalUnit::from_index(i);
+        let count = golden.counts.per_unit[i] as f64;
+        if count == 0.0 {
+            continue;
+        }
+        let sigma = xsec.unit[i];
+        if sigma == 0.0 {
+            continue;
+        }
+        let lane_cycles = if matches!(unit, FunctionalUnit::Hmma | FunctionalUnit::Fmma) {
+            count * 4.0
+        } else {
+            count
+        };
+        let rate = sigma * lane_cycles / clock;
+        if unit == FunctionalUnit::Ldst {
+            out.push(StrikeChannel { kind: StrikeKind::Ldst, rate_per_flux: rate });
+        } else if unit != FunctionalUnit::Other {
+            out.push(StrikeChannel { kind: StrikeKind::Unit(unit), rate_per_flux: rate });
+        } else {
+            // "Other" work (control, conversions) runs on shared pipes;
+            // its data-path strikes are folded into the hidden channel
+            // below at a reduced weight via xsec.unit[Other].
+            out.push(StrikeChannel { kind: StrikeKind::Hidden, rate_per_flux: rate });
+        }
+    }
+
+    // Register file: resident register bits x exposure time.
+    let resident_threads = golden.timing.resident_warps * 32.0 * device.sms as f64;
+    let rf_bits = target_kernel.regs_per_thread.max(16) as f64 * 32.0 * resident_threads;
+    out.push(StrikeChannel {
+        kind: StrikeKind::RegisterFile,
+        rate_per_flux: xsec.sram_bit * rf_bits * seconds,
+    });
+
+    // Shared memory: resident blocks x allocation.
+    if target_kernel.shared_bytes > 0 {
+        let blocks_resident = (resident_threads / launch.block.count().max(1) as f64).max(1.0);
+        let sh_bits = target_kernel.shared_bytes as f64 * 8.0 * blocks_resident;
+        out.push(StrikeChannel {
+            kind: StrikeKind::SharedMem,
+            rate_per_flux: xsec.sram_bit * sh_bits * seconds,
+        });
+    }
+
+    // Global memory (DRAM + L2, folded): whole allocation exposed.
+    let g_bits = golden.memory.len() as f64 * 8.0;
+    out.push(StrikeChannel {
+        kind: StrikeKind::GlobalMem,
+        rate_per_flux: xsec.dram_bit * g_bits * seconds,
+    });
+
+    // Hidden resources: scheduler/fetch/host interface scale with SM count
+    // and exposure time; the memory-system logic (controller, queues)
+    // scales with memory traffic.
+    let hidden = xsec.hidden_sm * device.sms as f64 + xsec.hidden_device;
+    out.push(StrikeChannel { kind: StrikeKind::Hidden, rate_per_flux: hidden * seconds });
+    let mem_traffic = golden.counts.sites.mem_ops as f64;
+    out.push(StrikeChannel {
+        kind: StrikeKind::Hidden,
+        rate_per_flux: xsec.hidden_mem_op * mem_traffic / clock,
+    });
+
+    out
+}
+
+/// Translate a strike on a channel into a fault plan (or a direct outcome
+/// for hidden-resource strikes).
+enum StrikeEffect {
+    Plan(FaultPlan),
+    Direct(Outcome),
+}
+
+fn sample_effect<R: Rng>(
+    rng: &mut R,
+    channel: &StrikeChannel,
+    xsec: &CrossSections,
+    golden: &Executed,
+    target_kernel: &gpu_arch::Kernel,
+    memory_len: u32,
+) -> StrikeEffect {
+    let total_dyn = golden.counts.total.max(1);
+    match channel.kind {
+        StrikeKind::Unit(unit) => {
+            let pop = golden.counts.per_unit[unit.index()].max(1);
+            let bits = match unit {
+                FunctionalUnit::Hadd | FunctionalUnit::Hmul | FunctionalUnit::Hfma
+                | FunctionalUnit::Hmma => 16,
+                FunctionalUnit::Dadd | FunctionalUnit::Dmul | FunctionalUnit::Dfma => 64,
+                _ => 32,
+            };
+            StrikeEffect::Plan(FaultPlan::InstructionOutput {
+                nth: rng.gen_range(0..pop),
+                site: SiteClass::Unit(unit),
+                flip: BitFlip::single(rng.gen_range(0..bits)),
+            })
+        }
+        StrikeKind::Ldst => {
+            // The critical operand of the LD/ST path is the address
+            // (Section V-B); the rest of the strikes corrupt load data.
+            // Device addresses are 64-bit: a strike in the high word is
+            // always an invalid access (immediate DUE), which is what
+            // drives the LDST micro-benchmark's ~7x DUE/SDC ratio.
+            if rng.gen_bool(xsec.ldst_address_fraction) {
+                let bit = rng.gen_range(0..64);
+                if bit >= 32 {
+                    return StrikeEffect::Direct(Outcome::Due);
+                }
+                let pop = golden.counts.sites.mem_ops.max(1);
+                StrikeEffect::Plan(FaultPlan::MemAddress {
+                    nth: rng.gen_range(0..pop),
+                    flip: BitFlip::single(bit),
+                })
+            } else {
+                let pop = golden.counts.sites.loads.max(1);
+                StrikeEffect::Plan(FaultPlan::InstructionOutput {
+                    nth: rng.gen_range(0..pop),
+                    site: SiteClass::Load,
+                    flip: BitFlip::single(rng.gen_range(0..32)),
+                })
+            }
+        }
+        StrikeKind::RegisterFile => {
+            let mbu = rng.gen_bool(xsec.mbu_probability);
+            let bit = rng.gen_range(0..32);
+            let flip =
+                if mbu { BitFlip::double(bit, (bit + 1) % 32) } else { BitFlip::single(bit) };
+            StrikeEffect::Plan(FaultPlan::RegisterBit {
+                block: u32::MAX, // whichever block is resident at that instant
+                thread: u32::MAX,
+                reg: rng.gen_range(0..target_kernel.regs_per_thread.max(1)) as u8,
+                flip,
+                at: rng.gen_range(0..total_dyn),
+            })
+        }
+        StrikeKind::SharedMem => StrikeEffect::Plan(FaultPlan::SharedMemBit {
+            block: u32::MAX,
+            byte: rng.gen_range(0..target_kernel.shared_bytes.max(1)),
+            bit: rng.gen_range(0..32),
+            at: rng.gen_range(0..total_dyn),
+            mbu: rng.gen_bool(xsec.mbu_probability),
+        }),
+        StrikeKind::GlobalMem => StrikeEffect::Plan(FaultPlan::GlobalMemBit {
+            byte: rng.gen_range(0..memory_len.max(1)),
+            bit: rng.gen_range(0..32),
+            at: rng.gen_range(0..total_dyn),
+            mbu: rng.gen_bool(xsec.mbu_probability),
+        }),
+        StrikeKind::Hidden => {
+            let roll: f64 = rng.gen();
+            if roll < xsec.hidden_due_fraction {
+                StrikeEffect::Direct(Outcome::Due)
+            } else if roll < xsec.hidden_due_fraction + xsec.hidden_sdc_fraction {
+                StrikeEffect::Direct(Outcome::Sdc)
+            } else {
+                StrikeEffect::Direct(Outcome::Masked)
+            }
+        }
+    }
+}
+
+/// Expose a target to the beam and measure its SDC and DUE FIT rates.
+pub fn expose<T: Target + Sync + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    config: &BeamConfig,
+) -> BeamResult {
+    expose_with(target, device, &CrossSections::ground_truth(device), config)
+}
+
+/// [`expose`] against explicit cross-sections (ablation studies: MBU-rate
+/// sweeps, hypothetical process nodes...).
+pub fn expose_with<T: Target + Sync + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    xsec: &CrossSections,
+    config: &BeamConfig,
+) -> BeamResult {
+    let opts = RunOptions { ecc: config.ecc, ..RunOptions::default() };
+    let golden = target.execute(device, &opts);
+    assert!(
+        golden.status.completed(),
+        "golden run of {} failed under beam setup: {:?}",
+        target.name(),
+        golden.status
+    );
+    let watchdog = golden.counts.total * 4 + 100_000;
+
+    let chans = channels(device, xsec, target.kernel(), target.launch(), &golden);
+    let lambda_per_flux: f64 = chans.iter().map(|c| c.rate_per_flux).sum();
+    let flux = if config.flux > 0.0 {
+        config.flux
+    } else {
+        BeamConfig::TARGET_LAMBDA / lambda_per_flux.max(f64::MIN_POSITIVE)
+    };
+    let lambda = lambda_per_flux * flux;
+    let p_strike = 1.0 - (-lambda).exp();
+
+    // Sample every run's strike (deterministic, sequential RNG), then
+    // fan the actual executions out over the Rayon pool.
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed ^ hash_name(target.name()));
+    let mut counts = OutcomeCounts::new();
+    let mut struck_runs = 0u32;
+    let memory_len = golden.memory.len();
+    let mut plans = Vec::new();
+
+    for _ in 0..config.runs {
+        if !rng.gen_bool(p_strike.clamp(0.0, 1.0)) {
+            counts.record(Outcome::Masked);
+            continue;
+        }
+        struck_runs += 1;
+        // Pick the struck channel proportionally to its rate.
+        let mut pick = rng.gen_range(0.0..lambda_per_flux);
+        let mut chosen = chans.last().expect("channels never empty");
+        for c in &chans {
+            if pick < c.rate_per_flux {
+                chosen = c;
+                break;
+            }
+            pick -= c.rate_per_flux;
+        }
+        match sample_effect(&mut rng, chosen, xsec, &golden, target.kernel(), memory_len) {
+            StrikeEffect::Direct(outcome) => counts.record(outcome),
+            StrikeEffect::Plan(plan) => plans.push(plan),
+        }
+    }
+
+    {
+        use rayon::prelude::*;
+        let executed: OutcomeCounts = plans
+            .par_iter()
+            .map(|&plan| {
+                let run_opts =
+                    RunOptions { ecc: config.ecc, fault: plan, watchdog_limit: watchdog, ..RunOptions::default() };
+                let faulty = target.execute(device, &run_opts);
+                match faulty.status {
+                    ExecStatus::Due(_) => Outcome::Due,
+                    ExecStatus::Completed => {
+                        if target.output_matches(&golden, &faulty) {
+                            Outcome::Masked
+                        } else {
+                            Outcome::Sdc
+                        }
+                    }
+                }
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
+        counts += executed;
+    }
+
+    let fluence = Fluence::from_flux(flux, golden.timing.seconds * config.runs as f64);
+    BeamResult {
+        target: target.name().to_string(),
+        sdc_fit: FitRate::from_beam(counts.sdc, fluence),
+        due_fit: FitRate::from_beam(counts.due, fluence),
+        counts,
+        fluence,
+        struck_runs,
+    }
+}
+
+/// A hidden-resource-only exposure, used by ablation studies: returns the
+/// DUE FIT a device accumulates from resources no injector can reach.
+pub fn hidden_due_fit(device: &DeviceModel, seconds: f64, runs: u32, flux: f64) -> FitRate {
+    let xsec = CrossSections::ground_truth(device);
+    let rate = (xsec.hidden_sm * device.sms as f64 + xsec.hidden_device) * seconds * flux;
+    let expected_dues = rate * runs as f64 * xsec.hidden_due_fraction;
+    let fluence = Fluence::from_flux(flux, seconds * runs as f64);
+    FitRate::from_beam(expected_dues.round() as u64, fluence)
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+/// Convenience: classify a DUE kind as originating from hidden resources.
+pub fn is_hidden_due(kind: DueKind) -> bool {
+    matches!(kind, DueKind::HiddenResource)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_arch::{CodeGen, Precision};
+    use workloads::{build, Benchmark, Scale};
+
+    fn quick(runs: u32, ecc: bool) -> BeamConfig {
+        BeamConfig { flux: 3.5e6, runs, ecc, seed: 7 }
+    }
+
+    #[test]
+    fn beam_campaign_is_reproducible_and_counts_all_runs() {
+        let device = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let a = expose(&w, &device, &quick(500, true));
+        let b = expose(&w, &device, &quick(500, true));
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.counts.total(), 500);
+        assert!(a.struck_runs > 0, "flux too low for the test");
+        assert!(a.struck_runs < 500, "flux too high: every run struck");
+    }
+
+    #[test]
+    fn ecc_off_raises_sdc_fit() {
+        let device = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let on = expose(&w, &device, &quick(1500, true));
+        let off = expose(&w, &device, &quick(1500, false));
+        assert!(
+            off.sdc_fit.fit > on.sdc_fit.fit,
+            "ECC off {} !> on {}",
+            off.sdc_fit.fit,
+            on.sdc_fit.fit
+        );
+    }
+
+    #[test]
+    fn fluence_scales_with_runs() {
+        let device = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let a = expose(&w, &device, &quick(200, true));
+        let b = expose(&w, &device, &quick(400, true));
+        assert!((b.fluence.0 / a.fluence.0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hidden_channel_produces_dues() {
+        let device = DeviceModel::v100_sim();
+        let fit = hidden_due_fit(&device, 1e-3, 10_000, 3.5e6);
+        assert!(fit.fit > 0.0);
+    }
+}

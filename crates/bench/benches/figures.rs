@@ -1,0 +1,135 @@
+//! Criterion benchmarks wrapping each table/figure regeneration at
+//! micro campaign sizes — one bench target per experiment, as the
+//! per-experiment index in DESIGN.md requires. (The `repro` binary runs
+//! the full-size versions; these measure the harness cost itself.)
+
+use beam::BeamConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_arch::{Architecture, CodeGen, DeviceModel, Precision};
+use injector::{measure_avf, CampaignConfig, Injector};
+use prediction::{characterize_units, memory_footprint, predict, CharacterizeConfig, PredictOptions};
+use profiler::profile;
+use workloads::{build, Benchmark, Scale};
+
+fn table1_profiles(c: &mut Criterion) {
+    let device = DeviceModel::k40c_sim();
+    let w = build(Benchmark::Gemm, Precision::Single, CodeGen::Cuda10, Scale::Small);
+    c.bench_function("table1_profile_one_code", |b| b.iter(|| profile(&w, &device)));
+}
+
+fn fig1_mix(c: &mut Criterion) {
+    let device = DeviceModel::k40c_sim();
+    let w = build(Benchmark::Lava, Precision::Single, CodeGen::Cuda7, Scale::Small);
+    c.bench_function("fig1_mix_one_code", |b| {
+        b.iter(|| {
+            let p = profile(&w, &device);
+            p.mix_fractions
+        })
+    });
+}
+
+fn fig3_microbench(c: &mut Criterion) {
+    let device = DeviceModel::k40c_sim();
+    let mb = microbench::arith(gpu_arch::FunctionalUnit::Fadd);
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("beam_one_microbench_500_runs", |b| {
+        b.iter(|| beam::expose(&mb, &device, &BeamConfig::auto(500, true, 1)))
+    });
+    group.finish();
+}
+
+fn fig4_avf(c: &mut Criterion) {
+    let device = DeviceModel::k40c_sim();
+    let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("avf_campaign_100_injections", |b| {
+        b.iter(|| {
+            measure_avf(
+                Injector::Sassifi,
+                &w,
+                &device,
+                &CampaignConfig { injections: 100, seed: 1 },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn fig5_beam(c: &mut Criterion) {
+    let device = DeviceModel::k40c_sim();
+    let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("beam_campaign_500_runs", |b| {
+        b.iter(|| beam::expose(&w, &device, &BeamConfig::auto(500, false, 1)))
+    });
+    group.finish();
+}
+
+fn fig6_prediction(c: &mut Criterion) {
+    // The prediction step itself (unit characterization amortized out).
+    let device = DeviceModel::k40c_sim();
+    let units = characterize_units(
+        &device,
+        &microbench::suite(Architecture::Kepler),
+        &CharacterizeConfig { beam_runs: 300, injections: 40, seed: 1 },
+    );
+    let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+    let prof = profile(&w, &device);
+    let avf = measure_avf(
+        Injector::NvBitFi,
+        &w,
+        &device,
+        &CampaignConfig { injections: 60, seed: 1 },
+    )
+    .unwrap();
+    let feet = memory_footprint(&w, &device, &prof);
+    c.bench_function("fig6_predict_one_code", |b| {
+        b.iter(|| predict(&prof, &avf, &units, &feet, &PredictOptions::default()))
+    });
+}
+
+fn ablate_phi(c: &mut Criterion) {
+    // The phi ablation: predictions with and without Equation 4's factor
+    // (accuracy consequences are reported by `repro ablate`; this measures
+    // that toggling phi is free).
+    let device = DeviceModel::k40c_sim();
+    let units = characterize_units(
+        &device,
+        &microbench::suite(Architecture::Kepler),
+        &CharacterizeConfig { beam_runs: 300, injections: 40, seed: 2 },
+    );
+    let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+    let prof = profile(&w, &device);
+    let avf = measure_avf(
+        Injector::NvBitFi,
+        &w,
+        &device,
+        &CampaignConfig { injections: 60, seed: 2 },
+    )
+    .unwrap();
+    let feet = memory_footprint(&w, &device, &prof);
+    c.bench_function("ablate_phi_toggle", |b| {
+        b.iter(|| {
+            let a = predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: true });
+            let b2 =
+                predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: false });
+            (a.sdc_fit, b2.sdc_fit)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    table1_profiles,
+    fig1_mix,
+    fig3_microbench,
+    fig4_avf,
+    fig5_beam,
+    fig6_prediction,
+    ablate_phi
+);
+criterion_main!(benches);

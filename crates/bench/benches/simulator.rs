@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the simulation substrate itself: golden-run
+//! throughput for representative kernels and the cost of one
+//! injection/beam run. These are the unit costs every figure campaign
+//! pays thousands of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_arch::{CodeGen, DeviceModel, FunctionalUnit, Precision};
+use gpu_sim::{BitFlip, FaultPlan, RunOptions, SiteClass, Target};
+use workloads::{build, Benchmark, Scale};
+
+fn golden_runs(c: &mut Criterion) {
+    let kepler = DeviceModel::k40c_sim();
+    let volta = DeviceModel::v100_sim();
+    let mut group = c.benchmark_group("golden");
+    group.sample_size(20);
+
+    let cases = [
+        ("mxm_f32", build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small)),
+        ("hotspot_f32", build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10, Scale::Small)),
+        ("mergesort", build(Benchmark::Mergesort, Precision::Int32, CodeGen::Cuda10, Scale::Small)),
+        ("yolov2_f32", build(Benchmark::Yolov2, Precision::Single, CodeGen::Cuda10, Scale::Small)),
+    ];
+    for (name, w) in &cases {
+        group.bench_function(*name, |b| b.iter(|| w.execute_golden(&kepler)));
+    }
+    let mma = build(Benchmark::GemmMma, Precision::Half, CodeGen::Cuda10, Scale::Small);
+    group.bench_function("gemm_mma_h16", |b| b.iter(|| mma.execute_golden(&volta)));
+    group.finish();
+}
+
+fn fault_runs(c: &mut Criterion) {
+    let device = DeviceModel::k40c_sim();
+    let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small);
+    let golden = w.execute_golden(&device);
+    let watchdog = golden.counts.total * 4;
+
+    let mut group = c.benchmark_group("fault_run");
+    group.sample_size(20);
+    group.bench_function("instruction_output", |b| {
+        b.iter(|| {
+            let opts = RunOptions {
+                ecc: false,
+                fault: FaultPlan::InstructionOutput {
+                    nth: 5000,
+                    site: SiteClass::Unit(FunctionalUnit::Ffma),
+                    flip: BitFlip::single(12),
+                },
+                watchdog_limit: watchdog,
+                ..RunOptions::default()
+            };
+            w.execute(&device, &opts)
+        })
+    });
+    group.bench_function("register_bit", |b| {
+        b.iter(|| {
+            let opts = RunOptions {
+                ecc: false,
+                fault: FaultPlan::RegisterBit {
+                    block: 0,
+                    thread: 7,
+                    reg: 16,
+                    flip: BitFlip::single(3),
+                    at: 10_000,
+                },
+                watchdog_limit: watchdog,
+                ..RunOptions::default()
+            };
+            w.execute(&device, &opts)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, golden_runs, fault_runs);
+criterion_main!(benches);

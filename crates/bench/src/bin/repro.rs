@@ -1,0 +1,76 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro table1   Table I   (shared / registers / IPC / occupancy)
+//! repro fig1     Figure 1  (instruction mix per code)
+//! repro fig3     Figure 3  (micro-benchmark FIT rates)
+//! repro fig4     Figure 4  (AVF per code, SASSIFI vs NVBitFI)
+//! repro fig5     Figure 5  (beam FIT per code, ECC off/on)
+//! repro fig6     Figure 6  (fault simulation vs beam ratio)
+//! repro due      Section VII-B (DUE underestimation factors)
+//! repro ablate   phi / injector-capability / MBU ablations
+//! repro codegen  CUDA7-vs-CUDA10 AVF study (same injector)
+//! repro breakdown  per-instruction-class AVF decomposition
+//! repro convergence  AVF CI width vs campaign size
+//! repro all      everything above, in order
+//! ```
+//!
+//! Campaign sizes honor `REPRO_PROFILE=quick|full` (default `quick`).
+
+use bench::{
+    avf_breakdown, codegen_comparison, convergence, due_analysis, fig1, fig3, fig4, fig5, fig6, render, table1,
+    HarnessConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("help");
+    let cfg = HarnessConfig::from_env();
+
+    match what {
+        "table1" => print!("{}", render::table1(&table1(&cfg))),
+        "fig1" => print!("{}", render::fig1(&fig1(&cfg))),
+        "fig3" => print!("{}", render::fig3(&fig3(&cfg))),
+        "fig4" => print!("{}", render::fig4(&fig4(&cfg))),
+        "fig5" => print!("{}", render::fig5(&fig5(&cfg))),
+        "fig6" => {
+            let set = fig6(&cfg);
+            print!("{}", render::fig6(&set));
+            println!();
+            print!("{}", render::due(&due_analysis(&set)));
+        }
+        "ablate" => print!("{}", bench::ablations::render(&cfg)),
+        "codegen" => print!("{}", render::codegen(&codegen_comparison(&cfg))),
+        "breakdown" => print!("{}", render::breakdown(&avf_breakdown(&cfg))),
+        "convergence" => {
+            print!("{}", render::convergence(&convergence(&cfg, workloads::Benchmark::Hotspot)))
+        }
+        "due" => {
+            let set = fig6(&cfg);
+            print!("{}", render::due(&due_analysis(&set)));
+        }
+        "all" => {
+            print!("{}", render::table1(&table1(&cfg)));
+            println!();
+            print!("{}", render::fig1(&fig1(&cfg)));
+            println!();
+            print!("{}", render::fig3(&fig3(&cfg)));
+            println!();
+            print!("{}", render::fig4(&fig4(&cfg)));
+            println!();
+            print!("{}", render::fig5(&fig5(&cfg)));
+            println!();
+            let set = fig6(&cfg);
+            print!("{}", render::fig6(&set));
+            println!();
+            print!("{}", render::due(&due_analysis(&set)));
+        }
+        _ => {
+            eprintln!(
+                "usage: repro <table1|fig1|fig3|fig4|fig5|fig6|due|ablate|codegen|convergence|breakdown|all>\n\
+                 env:   REPRO_PROFILE=quick|full (default quick)"
+            );
+            std::process::exit(2);
+        }
+    }
+}

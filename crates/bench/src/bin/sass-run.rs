@@ -1,0 +1,124 @@
+//! `sass-run` — assemble and execute a SASS-like kernel from a text file
+//! on a simulated device.
+//!
+//! ```text
+//! sass-run <file.sass> [--device kepler|volta] [--grid N] [--block N]
+//!          [--mem BYTES] [--param WORD]... [--dump OFFSET LEN] [--trace N]
+//! ```
+//!
+//! The kernel text uses the `gpu_arch::asm` syntax (see that module's
+//! docs). Parameters become the constant bank read by `LDP`; `--dump`
+//! hex-dumps a region of global memory after the run.
+
+use gpu_arch::{asm, DeviceModel, LaunchConfig};
+use gpu_sim::{run, ExecStatus, GlobalMemory, RunOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: sass-run <file.sass> [--device kepler|volta] [--grid N] [--block N] [--mem BYTES] [--param WORD]... [--dump OFF LEN]");
+        std::process::exit(2);
+    }
+    let path = &args[0];
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let kernel = match asm::assemble(&source) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("assembly error in {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut device = DeviceModel::v100_sim();
+    let mut grid = 1u32;
+    let mut block = 32u32;
+    let mut mem_bytes = 4096u32;
+    let mut params = Vec::new();
+    let mut dump: Option<(u32, u32)> = None;
+    let mut trace = 0usize;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--device" => {
+                i += 1;
+                device = match args.get(i).map(String::as_str) {
+                    Some("kepler") => DeviceModel::k40c_sim(),
+                    Some("volta") | None => DeviceModel::v100_sim(),
+                    Some(other) => {
+                        eprintln!("unknown device `{other}`");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--grid" => {
+                i += 1;
+                grid = args[i].parse().expect("bad --grid");
+            }
+            "--block" => {
+                i += 1;
+                block = args[i].parse().expect("bad --block");
+            }
+            "--mem" => {
+                i += 1;
+                mem_bytes = args[i].parse().expect("bad --mem");
+            }
+            "--param" => {
+                i += 1;
+                params.push(parse_word(&args[i]));
+            }
+            "--trace" => {
+                i += 1;
+                trace = args[i].parse().expect("bad --trace");
+            }
+            "--dump" => {
+                let off = parse_word(&args[i + 1]);
+                let len = parse_word(&args[i + 2]);
+                i += 2;
+                dump = Some((off, len));
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!("kernel `{}`: {} instructions, {} regs/thread, {} B shared", kernel.name, kernel.len(), kernel.regs_per_thread, kernel.shared_bytes);
+    let launch = LaunchConfig::new(grid, block, params);
+    let opts = RunOptions { trace_limit: trace, ..RunOptions::default() };
+    let out = run(&device, &kernel, &launch, GlobalMemory::new(mem_bytes), &opts);
+    for line in &out.trace {
+        println!("{line}");
+    }
+    match out.status {
+        ExecStatus::Completed => println!("completed: {} dynamic instructions, {:.0} modeled cycles, IPC {:.2}", out.counts.total, out.timing.cycles, out.timing.ipc),
+        ExecStatus::Due(kind) => println!("DUE: {kind}"),
+    }
+    if let Some((off, len)) = dump {
+        println!("memory[{off:#x}..{:#x}]:", off + len);
+        let raw = out.memory.raw();
+        for row in (off..off + len).step_by(16) {
+            print!("  {row:08x}:");
+            for b in row..(row + 16).min(off + len) {
+                print!(" {:02x}", raw[b as usize]);
+            }
+            println!();
+        }
+    }
+}
+
+fn parse_word(s: &str) -> u32 {
+    if let Some(h) = s.strip_prefix("0x") {
+        u32::from_str_radix(h, 16).expect("bad hex word")
+    } else {
+        s.parse().expect("bad word")
+    }
+}

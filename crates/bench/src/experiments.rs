@@ -1,0 +1,779 @@
+//! One function per table/figure of the paper.
+//!
+//! Every function returns plain data; [`crate::render`] turns it into the
+//! textual tables the `repro` binary prints. The per-experiment index in
+//! DESIGN.md maps each function to its paper counterpart.
+
+use beam::{expose, BeamConfig, BeamResult};
+use gpu_arch::{Architecture, CodeGen, DeviceModel, MixCategory, Precision};
+use injector::{measure_avf, AvfResult, CampaignConfig, Injector};
+use prediction::{
+    characterize_units, compare, memory_footprint, predict, CharacterizeConfig, ComparisonRow,
+    PredictOptions, UnitFits,
+};
+use profiler::profile;
+use workloads::{build, kepler_suite, volta_suite, Benchmark, Scale, Workload};
+
+/// Campaign sizing for the harness.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Workload scale for injection/beam campaigns.
+    pub scale: Scale,
+    /// Workload scale for the profiling experiments (Table I, Figure 1).
+    pub profile_scale: Scale,
+    /// Injections per workload AVF campaign.
+    pub injections: u32,
+    /// Beam runs per workload campaign.
+    pub beam_runs: u32,
+    /// Beam runs per micro-benchmark (Figure 3).
+    pub bench_beam_runs: u32,
+    /// Injections per micro-benchmark (FIT de-masking AVF).
+    pub bench_injections: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl HarnessConfig {
+    /// Laptop-scale settings: every figure regenerates in minutes.
+    pub fn quick() -> Self {
+        HarnessConfig {
+            scale: Scale::Small,
+            profile_scale: Scale::Profile,
+            injections: 400,
+            beam_runs: 4000,
+            bench_beam_runs: 3000,
+            bench_injections: 200,
+            seed: 2021,
+        }
+    }
+
+    /// Larger campaigns approaching the paper's statistics (>=4,000
+    /// injections per code).
+    pub fn full() -> Self {
+        HarnessConfig {
+            injections: 4000,
+            beam_runs: 40_000,
+            bench_beam_runs: 20_000,
+            bench_injections: 1000,
+            ..HarnessConfig::quick()
+        }
+    }
+
+    /// Reads `REPRO_PROFILE` (`quick` default, `full`) from the
+    /// environment.
+    pub fn from_env() -> Self {
+        match std::env::var("REPRO_PROFILE").as_deref() {
+            Ok("full") => HarnessConfig::full(),
+            _ => HarnessConfig::quick(),
+        }
+    }
+}
+
+/// The campaign devices: a 1-SM Kepler and a 1-SM Volta (see DESIGN.md on
+/// SM-count scaling).
+pub fn devices() -> (DeviceModel, DeviceModel) {
+    (DeviceModel::k40c_sim(), DeviceModel::v100_sim())
+}
+
+// ------------------------------------------------------------- Table I --
+
+/// One Table I row.
+#[derive(Clone, Debug)]
+pub struct ProfileRow {
+    /// "Kepler" or "Volta".
+    pub device: &'static str,
+    /// Workload name.
+    pub name: String,
+    /// Bytes of shared memory per block.
+    pub shared: u32,
+    /// Registers per thread.
+    pub regs: u16,
+    /// Executed IPC.
+    pub ipc: f64,
+    /// Achieved occupancy.
+    pub occupancy: f64,
+}
+
+/// Regenerate Table I: per-code shared memory, registers, IPC, occupancy.
+pub fn table1(cfg: &HarnessConfig) -> Vec<ProfileRow> {
+    let (kepler, volta) = devices();
+    let mut rows = Vec::new();
+    for w in kepler_suite(CodeGen::Cuda7, cfg.profile_scale) {
+        let p = profile(&w, &kepler);
+        rows.push(ProfileRow {
+            device: "Kepler",
+            name: w.name.clone(),
+            shared: p.shared_bytes,
+            regs: p.regs_per_thread,
+            ipc: p.ipc,
+            occupancy: p.occupancy,
+        });
+    }
+    for w in volta_suite(cfg.profile_scale) {
+        let p = profile(&w, &volta);
+        rows.push(ProfileRow {
+            device: "Volta",
+            name: w.name.clone(),
+            shared: p.shared_bytes,
+            regs: p.regs_per_thread,
+            ipc: p.ipc,
+            occupancy: p.occupancy,
+        });
+    }
+    rows
+}
+
+// ------------------------------------------------------------ Figure 1 --
+
+/// One Figure 1 bar: the instruction mix of a code.
+#[derive(Clone, Debug)]
+pub struct MixRow {
+    /// "Kepler" or "Volta".
+    pub device: &'static str,
+    /// Workload name.
+    pub name: String,
+    /// Fractions in [`MixCategory::ALL`] order.
+    pub fractions: [f64; MixCategory::COUNT],
+}
+
+/// Regenerate Figure 1: instruction-type percentages per code.
+pub fn fig1(cfg: &HarnessConfig) -> Vec<MixRow> {
+    let (kepler, volta) = devices();
+    let mut rows = Vec::new();
+    for w in kepler_suite(CodeGen::Cuda7, cfg.profile_scale) {
+        let p = profile(&w, &kepler);
+        rows.push(MixRow { device: "Kepler", name: w.name.clone(), fractions: p.mix_fractions });
+    }
+    for w in volta_suite(cfg.profile_scale) {
+        let p = profile(&w, &volta);
+        rows.push(MixRow { device: "Volta", name: w.name.clone(), fractions: p.mix_fractions });
+    }
+    rows
+}
+
+// ------------------------------------------------------------ Figure 3 --
+
+/// One Figure 3 bar pair: a micro-benchmark's SDC and DUE FIT.
+#[derive(Clone, Debug)]
+pub struct Fig3Row {
+    /// "Kepler" or "Volta".
+    pub device: &'static str,
+    /// Micro-benchmark name ("FADD", "HMMA", "RF/MB", ...).
+    pub name: String,
+    /// Raw SDC FIT (arbitrary units).
+    pub sdc_fit: f64,
+    /// Raw DUE FIT.
+    pub due_fit: f64,
+    /// SDC normalized to the device's reference DUE (FADD on Kepler, HFMA
+    /// on Volta), as in the figure.
+    pub sdc_norm: f64,
+    /// Normalized DUE.
+    pub due_norm: f64,
+}
+
+fn fig3_device(
+    device: &DeviceModel,
+    label: &'static str,
+    arch: Architecture,
+    cfg: &HarnessConfig,
+) -> Vec<Fig3Row> {
+    let benches = microbench::suite(arch);
+    let mut raws: Vec<(String, BeamResult, Option<f64>)> = Vec::new();
+    for mb in &benches {
+        let is_rf = mb.name == "RF";
+        let beam_cfg = BeamConfig::auto(cfg.bench_beam_runs, !is_rf, cfg.seed);
+        let res = expose(mb, device, &beam_cfg);
+        let per_mb = if is_rf {
+            // Report the register file per megabyte, as the figure does.
+            use gpu_sim::Target;
+            let golden = mb.execute_golden(device);
+            let resident_threads =
+                golden.timing.resident_warps * 32.0 * device.sms as f64;
+            let bits = mb.kernel.regs_per_thread.max(16) as f64 * 32.0 * resident_threads;
+            Some(8_388_608.0 / bits) // bits per megabyte / exposed bits
+        } else {
+            None
+        };
+        raws.push((mb.name.clone(), res, per_mb));
+    }
+    // Normalization reference: FADD DUE on Kepler, HFMA DUE on Volta.
+    let reference_name = match arch {
+        Architecture::Kepler => "FADD",
+        Architecture::Volta => "HFMA",
+    };
+    let reference = raws
+        .iter()
+        .find(|(n, _, _)| n == reference_name)
+        .map(|(_, r, _)| r.due_fit.fit)
+        .filter(|&v| v > 0.0)
+        .unwrap_or(1.0);
+    raws.into_iter()
+        .map(|(name, r, per_mb)| {
+            let scale = per_mb.unwrap_or(1.0);
+            let display = if name == "RF" { "RF/MB".to_string() } else { name };
+            Fig3Row {
+                device: label,
+                name: display,
+                sdc_fit: r.sdc_fit.fit * scale,
+                due_fit: r.due_fit.fit * scale,
+                sdc_norm: r.sdc_fit.fit * scale / reference,
+                due_norm: r.due_fit.fit * scale / reference,
+            }
+        })
+        .collect()
+}
+
+/// Regenerate Figure 3: micro-benchmark FIT rates, both devices.
+pub fn fig3(cfg: &HarnessConfig) -> Vec<Fig3Row> {
+    let (kepler, volta) = devices();
+    let mut rows = fig3_device(&kepler, "Kepler", Architecture::Kepler, cfg);
+    rows.extend(fig3_device(&volta, "Volta", Architecture::Volta, cfg));
+    rows
+}
+
+// ------------------------------------------------------------ Figure 4 --
+
+/// One Figure 4 stacked bar: a code's AVF under one injector.
+#[derive(Clone, Debug)]
+pub struct AvfRow {
+    /// "Kepler" or "Volta".
+    pub device: &'static str,
+    /// Workload name.
+    pub name: String,
+    /// "SASSIFI" or "NVBitFI".
+    pub injector: Injector,
+    /// SDC AVF.
+    pub sdc: f64,
+    /// DUE AVF.
+    pub due: f64,
+    /// Masked fraction.
+    pub masked: f64,
+}
+
+impl AvfRow {
+    fn from(device: &'static str, r: &AvfResult) -> AvfRow {
+        AvfRow {
+            device,
+            name: r.target.clone(),
+            injector: r.injector,
+            sdc: r.sdc_avf(),
+            due: r.due_avf(),
+            masked: r.masked,
+        }
+    }
+}
+
+/// The Volta Figure 4 set: F and D variants of the mixed-precision codes.
+fn volta_fig4_set(scale: Scale) -> Vec<Workload> {
+    use Benchmark::*;
+    use Precision::*;
+    [
+        (Hotspot, Single),
+        (Hotspot, Double),
+        (Lava, Single),
+        (Lava, Double),
+        (Mxm, Single),
+        (Mxm, Double),
+        (Gemm, Single),
+        (Gemm, Double),
+        (Yolov2, Single),
+        (Yolov3, Single),
+    ]
+    .into_iter()
+    .map(|(b, p)| build(b, p, CodeGen::Cuda10, scale))
+    .collect()
+}
+
+/// Regenerate Figure 4: per-code AVF. On Kepler both injectors run (each
+/// on the codegen it supports); on Volta only NVBitFI. SASSIFI rows are
+/// absent for proprietary-library codes, as on real hardware.
+pub fn fig4(cfg: &HarnessConfig) -> Vec<AvfRow> {
+    let (kepler, volta) = devices();
+    let mut rows = Vec::new();
+    let campaign = CampaignConfig { injections: cfg.injections, seed: cfg.seed };
+
+    for w in kepler_suite(CodeGen::Cuda7, cfg.scale) {
+        if let Ok(r) = measure_avf(Injector::Sassifi, &w, &kepler, &campaign) {
+            rows.push(AvfRow::from("Kepler", &r));
+        }
+    }
+    for w in kepler_suite(CodeGen::Cuda10, cfg.scale) {
+        let r = measure_avf(Injector::NvBitFi, &w, &kepler, &campaign)
+            .expect("NVBitFI supports Kepler");
+        rows.push(AvfRow::from("Kepler", &r));
+    }
+    for w in volta_fig4_set(cfg.scale) {
+        let r = measure_avf(Injector::NvBitFi, &w, &volta, &campaign)
+            .expect("NVBitFI supports Volta");
+        rows.push(AvfRow::from("Volta", &r));
+    }
+    rows
+}
+
+// ------------------------------------------------------------ Figure 5 --
+
+/// One Figure 5 bar pair: a code's beam SDC/DUE FIT under one ECC state.
+#[derive(Clone, Debug)]
+pub struct BeamRow {
+    /// "Kepler" or "Volta".
+    pub device: &'static str,
+    /// Workload name.
+    pub name: String,
+    /// ECC enabled?
+    pub ecc: bool,
+    /// Raw FITs.
+    pub sdc_fit: f64,
+    /// Raw DUE FIT.
+    pub due_fit: f64,
+    /// Observed error counts backing the estimate.
+    pub sdc_errors: u64,
+    /// DUE count.
+    pub due_errors: u64,
+}
+
+/// The Kepler ECC-OFF beam set of Figure 5.
+fn kepler_ecc_off_set(scale: Scale) -> Vec<Workload> {
+    use Benchmark::*;
+    [Hotspot, Lava, Mxm, Nw, Mergesort, Quicksort, Gemm, Yolov2, Yolov3]
+        .into_iter()
+        .map(|b| {
+            let p = if b.is_integer() { Precision::Int32 } else { Precision::Single };
+            build(b, p, CodeGen::Cuda10, scale)
+        })
+        .collect()
+}
+
+/// The Volta beam sets of Figure 5: (ECC OFF, ECC ON).
+fn volta_fig5_sets(scale: Scale) -> (Vec<Workload>, Vec<Workload>) {
+    use Benchmark::*;
+    use Precision::*;
+    let off = [
+        (Hotspot, Half),
+        (Hotspot, Single),
+        (Hotspot, Double),
+        (Lava, Half),
+        (Lava, Single),
+        (Lava, Double),
+        (Mxm, Half),
+        (Mxm, Single),
+        (Mxm, Double),
+        (Gemm, Half),
+        (Gemm, Single),
+        (Gemm, Double),
+    ]
+    .into_iter()
+    .map(|(b, p)| build(b, p, CodeGen::Cuda10, scale))
+    .collect();
+    let on = [
+        (GemmMma, Half),
+        (GemmMma, Single),
+        (Yolov3, Half),
+        (Yolov3, Single),
+    ]
+    .into_iter()
+    .map(|(b, p)| build(b, p, CodeGen::Cuda10, scale))
+    .collect();
+    (off, on)
+}
+
+fn beam_row(device: &'static str, w: &Workload, dm: &DeviceModel, ecc: bool, cfg: &HarnessConfig) -> BeamRow {
+    let res = expose(w, dm, &BeamConfig::auto(cfg.beam_runs, ecc, cfg.seed));
+    BeamRow {
+        device,
+        name: w.name.clone(),
+        ecc,
+        sdc_fit: res.sdc_fit.fit,
+        due_fit: res.due_fit.fit,
+        sdc_errors: res.counts.sdc,
+        due_errors: res.counts.due,
+    }
+}
+
+/// Regenerate Figure 5: workload beam FIT rates, ECC off and on.
+pub fn fig5(cfg: &HarnessConfig) -> Vec<BeamRow> {
+    let (kepler, volta) = devices();
+    let mut rows = Vec::new();
+    for w in kepler_ecc_off_set(cfg.scale) {
+        rows.push(beam_row("Kepler", &w, &kepler, false, cfg));
+    }
+    for w in kepler_suite(CodeGen::Cuda10, cfg.scale) {
+        rows.push(beam_row("Kepler", &w, &kepler, true, cfg));
+    }
+    let (off, on) = volta_fig5_sets(cfg.scale);
+    for w in off {
+        rows.push(beam_row("Volta", &w, &volta, false, cfg));
+    }
+    for w in on {
+        rows.push(beam_row("Volta", &w, &volta, true, cfg));
+    }
+    rows
+}
+
+// ------------------------------------------------------------ Figure 6 --
+
+/// One Figure 6 point plus its DUE-channel companion.
+#[derive(Clone, Debug)]
+pub struct Fig6Row {
+    /// "Kepler" or "Volta".
+    pub device: &'static str,
+    /// Workload name.
+    pub name: String,
+    /// ECC state of the comparison.
+    pub ecc: bool,
+    /// AVF source series ("SASSIFI", "NVBitFI").
+    pub injector: Injector,
+    /// The comparison itself.
+    pub row: ComparisonRow,
+}
+
+/// All Figure 6 data plus the unit characterization it used.
+#[derive(Clone, Debug)]
+pub struct ComparisonSet {
+    /// Individual code comparisons.
+    pub rows: Vec<Fig6Row>,
+    /// Kepler unit FITs (measured).
+    pub kepler_units: UnitFits,
+    /// Volta unit FITs (measured).
+    pub volta_units: UnitFits,
+}
+
+impl ComparisonSet {
+    /// Geometric-mean |ratio| for a (device, ecc, injector) series.
+    pub fn average_magnitude(&self, device: &str, ecc: bool, injector: Injector) -> f64 {
+        let mags: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.device == device && r.ecc == ecc && r.injector == injector)
+            .map(|r| r.row.sdc_ratio.abs())
+            .filter(|m| m.is_finite())
+            .collect();
+        stats::geometric_mean(&mags)
+    }
+
+    /// Fraction of predictions within `factor`x of the measurement.
+    pub fn within_factor(&self, factor: f64) -> f64 {
+        let all: Vec<&Fig6Row> =
+            self.rows.iter().filter(|r| r.row.sdc_ratio.is_finite()).collect();
+        if all.is_empty() {
+            return f64::NAN;
+        }
+        let close = all.iter().filter(|r| r.row.sdc_ratio.abs() <= factor).count();
+        close as f64 / all.len() as f64
+    }
+
+    /// Average DUE underestimation factor for a (device, ecc) group.
+    pub fn due_factor(&self, device: &str, ecc: bool) -> f64 {
+        let f: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.device == device && r.ecc == ecc)
+            .map(|r| r.row.due_underestimation)
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .collect();
+        stats::geometric_mean(&f)
+    }
+}
+
+/// AVF lookup strategy mirroring Section VII: SASSIFI on the CUDA 7 build;
+/// NVBitFI on the CUDA 10 build; proprietary codes on Kepler borrow the
+/// Volta NVBitFI AVF; half-precision codes borrow their single-precision
+/// sibling's AVF (NVBitFI cannot inject into half instructions).
+struct AvfBank {
+    kepler_sassifi: Vec<AvfResult>,
+    kepler_nvbitfi: Vec<AvfResult>,
+    volta_nvbitfi: Vec<AvfResult>,
+}
+
+impl AvfBank {
+    fn find<'a>(pool: &'a [AvfResult], name: &str) -> Option<&'a AvfResult> {
+        pool.iter().find(|r| r.target == name)
+    }
+
+    /// The AVF used for predicting `name` on Kepler with `injector`.
+    fn kepler(&self, name: &str, injector: Injector) -> Option<&AvfResult> {
+        let pool = match injector {
+            Injector::Sassifi => &self.kepler_sassifi,
+            Injector::NvBitFi => &self.kepler_nvbitfi,
+        };
+        Self::find(pool, name)
+            // Proprietary-library codes: borrow the Volta NVBitFI AVF
+            // (Section III-D's substitution).
+            .or_else(|| Self::find(&self.volta_nvbitfi, name))
+    }
+
+    /// The AVF used for predicting `name` on Volta.
+    fn volta(&self, w: &Workload) -> Option<&AvfResult> {
+        if w.precision == Precision::Half {
+            // NVBitFI cannot inject into half-precision instructions; the
+            // paper substitutes the float variant's AVF.
+            let sibling = w.benchmark.display_name(Precision::Single);
+            return Self::find(&self.volta_nvbitfi, &sibling)
+                .or_else(|| Self::find(&self.volta_nvbitfi, &w.name));
+        }
+        Self::find(&self.volta_nvbitfi, &w.name)
+    }
+}
+
+/// Regenerate Figure 6 (and the Section VII-B DUE analysis): beam-measured
+/// vs predicted SDC FIT for every code, ECC off and on, both devices.
+pub fn fig6(cfg: &HarnessConfig) -> ComparisonSet {
+    let (kepler, volta) = devices();
+    let campaign = CampaignConfig { injections: cfg.injections, seed: cfg.seed };
+    let char_cfg = CharacterizeConfig {
+        beam_runs: cfg.bench_beam_runs,
+        injections: cfg.bench_injections,
+        seed: cfg.seed,
+    };
+
+    // 1. Characterize the functional units on both devices (Figure 3 data
+    //    in usable form).
+    let kepler_units =
+        characterize_units(&kepler, &microbench::suite(Architecture::Kepler), &char_cfg);
+    let volta_units =
+        characterize_units(&volta, &microbench::suite(Architecture::Volta), &char_cfg);
+
+    // 2. AVF banks.
+    let mut bank = AvfBank {
+        kepler_sassifi: Vec::new(),
+        kepler_nvbitfi: Vec::new(),
+        volta_nvbitfi: Vec::new(),
+    };
+    for w in kepler_suite(CodeGen::Cuda7, cfg.scale) {
+        if let Ok(r) = measure_avf(Injector::Sassifi, &w, &kepler, &campaign) {
+            bank.kepler_sassifi.push(r);
+        }
+    }
+    for w in kepler_suite(CodeGen::Cuda10, cfg.scale) {
+        if let Ok(r) = measure_avf(Injector::NvBitFi, &w, &kepler, &campaign) {
+            bank.kepler_nvbitfi.push(r);
+        }
+    }
+    // Volta AVFs: every (benchmark, precision) the Volta comparisons need,
+    // plus single-precision variants of the Kepler proprietary codes.
+    let mut volta_avf_targets = volta_suite(cfg.scale);
+    volta_avf_targets.push(build(Benchmark::Yolov2, Precision::Single, CodeGen::Cuda10, cfg.scale));
+    for w in &volta_avf_targets {
+        if w.precision == Precision::Half {
+            continue; // predictions use the float sibling
+        }
+        if let Ok(r) = measure_avf(Injector::NvBitFi, w, &volta, &campaign) {
+            bank.volta_nvbitfi.push(r);
+        }
+    }
+
+    // 3. Per-code comparisons.
+    let mut rows = Vec::new();
+
+    // Kepler, both ECC states. The beam runs the CUDA 10 build.
+    let kepler_sets: [(bool, Vec<Workload>); 2] = [
+        (false, kepler_ecc_off_set(cfg.scale)),
+        (true, kepler_suite(CodeGen::Cuda10, cfg.scale)),
+    ];
+    for (ecc, set) in kepler_sets {
+        for w in &set {
+            let prof = profile(w, &kepler);
+            let feet = memory_footprint(w, &kepler, &prof);
+            let measured = expose(w, &kepler, &BeamConfig::auto(cfg.beam_runs, ecc, cfg.seed));
+            for injector in [Injector::Sassifi, Injector::NvBitFi] {
+                let Some(avf) = bank.kepler(&w.name, injector) else { continue };
+                let pred = predict(
+                    &prof,
+                    avf,
+                    &kepler_units,
+                    &feet,
+                    &PredictOptions { ecc, use_phi: true },
+                );
+                rows.push(Fig6Row {
+                    device: "Kepler",
+                    name: w.name.clone(),
+                    ecc,
+                    injector,
+                    row: compare(&w.name, &measured, &pred),
+                });
+            }
+        }
+    }
+
+    // Volta.
+    let (off, on) = volta_fig5_sets(cfg.scale);
+    for (ecc, set) in [(false, off), (true, on)] {
+        for w in &set {
+            let prof = profile(w, &volta);
+            let feet = memory_footprint(w, &volta, &prof);
+            let measured = expose(w, &volta, &BeamConfig::auto(cfg.beam_runs, ecc, cfg.seed));
+            let Some(avf) = bank.volta(w) else { continue };
+            let pred =
+                predict(&prof, avf, &volta_units, &feet, &PredictOptions { ecc, use_phi: true });
+            rows.push(Fig6Row {
+                device: "Volta",
+                name: w.name.clone(),
+                ecc,
+                injector: Injector::NvBitFi,
+                row: compare(&w.name, &measured, &pred),
+            });
+        }
+    }
+
+    ComparisonSet { rows, kepler_units, volta_units }
+}
+
+// ------------------------------------------------- Section VII-B (DUE) --
+
+/// Aggregated DUE underestimation factors per (device, ECC) group.
+#[derive(Clone, Debug)]
+pub struct DueSummary {
+    /// Group label, e.g. "Kepler ECC OFF".
+    pub group: String,
+    /// Geometric-mean measured/predicted DUE factor.
+    pub factor: f64,
+}
+
+/// The Section VII-B analysis: how badly fault simulation underestimates
+/// DUE rates.
+pub fn due_analysis(set: &ComparisonSet) -> Vec<DueSummary> {
+    let mut out = Vec::new();
+    for (device, ecc) in [("Kepler", false), ("Kepler", true), ("Volta", false), ("Volta", true)] {
+        let factor = set.due_factor(device, ecc);
+        out.push(DueSummary {
+            group: format!("{device} ECC {}", if ecc { "ON" } else { "OFF" }),
+            factor,
+        });
+    }
+    out
+}
+
+// ------------------------------------------- compiler-generation study --
+
+/// One row of the codegen comparison: the same source, two back ends,
+/// one injector.
+#[derive(Clone, Debug)]
+pub struct CodegenRow {
+    /// Workload name (CUDA 10 naming).
+    pub name: String,
+    /// SDC AVF of the CUDA 7-era binary.
+    pub avf_cuda7: f64,
+    /// SDC AVF of the CUDA 10-era binary.
+    pub avf_cuda10: f64,
+    /// Dynamic instructions of each binary (the optimizer's footprint).
+    pub dyn_cuda7: u64,
+    /// CUDA 10 dynamic count.
+    pub dyn_cuda10: u64,
+}
+
+/// Isolate the compiler-generation effect the paper identifies as the
+/// main driver of the SASSIFI/NVBitFI AVF gap (Section VI): measure the
+/// same codes with the *same* injector (NVBitFI) on both codegen levels.
+/// Optimized code executes fewer, more "useful" instructions, raising
+/// the probability that a corrupted value reaches the output.
+pub fn codegen_comparison(cfg: &HarnessConfig) -> Vec<CodegenRow> {
+    let (kepler, _) = devices();
+    let campaign = CampaignConfig { injections: cfg.injections, seed: cfg.seed };
+    let mut rows = Vec::new();
+    for bench in [
+        Benchmark::Mxm,
+        Benchmark::Hotspot,
+        Benchmark::Lava,
+        Benchmark::Gaussian,
+        Benchmark::Lud,
+        Benchmark::Nw,
+        Benchmark::Ccl,
+        Benchmark::Mergesort,
+    ] {
+        let precision = if bench.is_integer() { Precision::Int32 } else { Precision::Single };
+        let w7 = build(bench, precision, CodeGen::Cuda7, cfg.scale);
+        let w10 = build(bench, precision, CodeGen::Cuda10, cfg.scale);
+        let a7 = measure_avf(Injector::NvBitFi, &w7, &kepler, &campaign).unwrap();
+        let a10 = measure_avf(Injector::NvBitFi, &w10, &kepler, &campaign).unwrap();
+        use gpu_sim::Target;
+        let g7 = w7.execute_golden(&kepler);
+        let g10 = w10.execute_golden(&kepler);
+        rows.push(CodegenRow {
+            name: w10.name.clone(),
+            avf_cuda7: a7.sdc_avf(),
+            avf_cuda10: a10.sdc_avf(),
+            dyn_cuda7: g7.counts.total,
+            dyn_cuda10: g10.counts.total,
+        });
+    }
+    rows
+}
+
+// ----------------------------------------------- campaign convergence --
+
+/// One point of the convergence study.
+#[derive(Clone, Debug)]
+pub struct ConvergenceRow {
+    /// Injection count.
+    pub injections: u32,
+    /// SDC AVF point estimate.
+    pub sdc_avf: f64,
+    /// Wilson 95% CI width (`hi - lo`).
+    pub ci_width: f64,
+}
+
+/// How the AVF estimate converges with campaign size — the paper sizes
+/// campaigns so that "95% confidence intervals [are] lower than 5%"
+/// (Section III-D).
+pub fn convergence(cfg: &HarnessConfig, benchmark: Benchmark) -> Vec<ConvergenceRow> {
+    let (kepler, _) = devices();
+    let precision = if benchmark.is_integer() { Precision::Int32 } else { Precision::Single };
+    let w = build(benchmark, precision, CodeGen::Cuda10, cfg.scale);
+    let mut rows = Vec::new();
+    for n in [100u32, 250, 500, 1000, 2000, 4000] {
+        let campaign = CampaignConfig { injections: n, seed: cfg.seed };
+        let r = measure_avf(Injector::NvBitFi, &w, &kepler, &campaign).unwrap();
+        rows.push(ConvergenceRow {
+            injections: n,
+            sdc_avf: r.sdc_avf(),
+            ci_width: r.sdc.2 - r.sdc.1,
+        });
+    }
+    rows
+}
+
+// ------------------------------------------------- per-class AVF table --
+
+/// Per-site-class AVF rows for a few representative codes — the
+/// decomposition the paper's conclusion asks for ("identify which
+/// instruction or resource, once corrupted, is more likely to affect the
+/// GPU computation").
+#[derive(Clone, Debug)]
+pub struct BreakdownRow {
+    /// Workload name.
+    pub name: String,
+    /// Class label ("FP", "INT", "LD", "HALF").
+    pub class: &'static str,
+    /// SDC AVF for injections restricted to that class.
+    pub sdc: f64,
+    /// DUE AVF.
+    pub due: f64,
+}
+
+/// Measure per-class AVFs for a representative code set.
+pub fn avf_breakdown(cfg: &HarnessConfig) -> Vec<BreakdownRow> {
+    use gpu_sim::SiteClass;
+    let (kepler, _) = devices();
+    let campaign = CampaignConfig { injections: cfg.injections, seed: cfg.seed };
+    let label = |c: SiteClass| match c {
+        SiteClass::FloatArith => "FP",
+        SiteClass::HalfArith => "HALF",
+        SiteClass::IntArith => "INT",
+        SiteClass::Load => "LD",
+        _ => "?",
+    };
+    let mut rows = Vec::new();
+    for bench in [Benchmark::Mxm, Benchmark::Hotspot, Benchmark::Nw, Benchmark::Mergesort] {
+        let precision = if bench.is_integer() { Precision::Int32 } else { Precision::Single };
+        let w = build(bench, precision, CodeGen::Cuda10, cfg.scale);
+        let b = injector::measure_avf_breakdown(&w, &kepler, &campaign);
+        for (class, r) in &b.per_class {
+            rows.push(BreakdownRow {
+                name: w.name.clone(),
+                class: label(*class),
+                sdc: r.sdc_avf(),
+                due: r.due_avf(),
+            });
+        }
+    }
+    rows
+}

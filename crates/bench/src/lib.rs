@@ -1,0 +1,15 @@
+//! Experiment harness: one function per table/figure of the paper.
+//!
+//! The `repro` binary dispatches to these; Criterion benches wrap the
+//! hot paths. Campaign sizes default to laptop-scale "quick" settings and
+//! can be scaled with [`HarnessConfig`].
+
+pub mod ablations;
+pub mod experiments;
+pub mod render;
+
+pub use experiments::{
+    avf_breakdown, codegen_comparison, convergence, due_analysis, fig1, fig3, fig4, fig5, fig6, table1,
+    AvfRow, BeamRow, BreakdownRow, CodegenRow, ComparisonSet, ConvergenceRow, Fig3Row, HarnessConfig,
+    MixRow, ProfileRow,
+};

@@ -1,0 +1,120 @@
+//! Smoke tests for the experiment harness: every table/figure function
+//! runs end to end at micro campaign sizes and produces well-formed data
+//! and renderable text.
+
+use bench::{
+    codegen_comparison, convergence, due_analysis, fig1, fig3, fig4, fig5, fig6, table1,
+    HarnessConfig,
+};
+use workloads::{Benchmark, Scale};
+
+fn micro() -> HarnessConfig {
+    HarnessConfig {
+        scale: Scale::Tiny,
+        profile_scale: Scale::Tiny,
+        injections: 40,
+        beam_runs: 300,
+        bench_beam_runs: 250,
+        bench_injections: 25,
+        seed: 1234,
+    }
+}
+
+#[test]
+fn table1_covers_both_devices() {
+    let rows = table1(&micro());
+    assert!(rows.iter().any(|r| r.device == "Kepler"));
+    assert!(rows.iter().any(|r| r.device == "Volta"));
+    assert_eq!(rows.iter().filter(|r| r.device == "Kepler").count(), 13);
+    assert_eq!(rows.iter().filter(|r| r.device == "Volta").count(), 16);
+    for r in &rows {
+        assert!(r.ipc >= 0.0 && r.occupancy >= 0.0 && r.occupancy <= 1.0, "{r:?}");
+    }
+    let text = bench::render::table1(&rows);
+    assert!(text.contains("FGEMM"));
+}
+
+#[test]
+fn fig1_fractions_sum_to_one() {
+    let rows = fig1(&micro());
+    for r in &rows {
+        let s: f64 = r.fractions.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "{}: {s}", r.name);
+    }
+}
+
+#[test]
+fn fig3_has_reference_normalization() {
+    let rows = fig3(&micro());
+    // The normalization reference (FADD DUE on Kepler) must be 1.0.
+    let fadd = rows.iter().find(|r| r.device == "Kepler" && r.name == "FADD").unwrap();
+    assert!((fadd.due_norm - 1.0).abs() < 1e-9);
+    // RF appears per megabyte.
+    assert!(rows.iter().any(|r| r.name == "RF/MB"));
+    // Volta carries the tensor benches.
+    assert!(rows.iter().any(|r| r.device == "Volta" && r.name == "HMMA"));
+}
+
+#[test]
+fn fig4_respects_injector_capabilities() {
+    let rows = fig4(&micro());
+    // No SASSIFI rows for proprietary codes.
+    assert!(!rows
+        .iter()
+        .any(|r| r.injector == injector::Injector::Sassifi && r.name.contains("GEMM")));
+    assert!(!rows
+        .iter()
+        .any(|r| r.injector == injector::Injector::Sassifi && r.name.contains("YOLO")));
+    // No SASSIFI rows on Volta at all.
+    assert!(!rows
+        .iter()
+        .any(|r| r.device == "Volta" && r.injector == injector::Injector::Sassifi));
+    for r in &rows {
+        let s = r.sdc + r.due + r.masked;
+        assert!((s - 1.0).abs() < 1e-9, "{}: {s}", r.name);
+    }
+}
+
+#[test]
+fn fig5_rows_follow_the_paper_layout() {
+    let rows = fig5(&micro());
+    // Kepler: 9 ECC-off rows + 13 ECC-on rows; Volta: 12 off + 4 on.
+    assert_eq!(rows.iter().filter(|r| r.device == "Kepler" && !r.ecc).count(), 9);
+    assert_eq!(rows.iter().filter(|r| r.device == "Kepler" && r.ecc).count(), 13);
+    assert_eq!(rows.iter().filter(|r| r.device == "Volta" && !r.ecc).count(), 12);
+    assert_eq!(rows.iter().filter(|r| r.device == "Volta" && r.ecc).count(), 4);
+}
+
+#[test]
+fn fig6_and_due_analysis_are_complete() {
+    let set = fig6(&micro());
+    assert!(set.rows.len() > 40, "only {} comparisons", set.rows.len());
+    // Every Kepler non-proprietary code appears with both AVF sources.
+    let sassifi_rows =
+        set.rows.iter().filter(|r| r.injector == injector::Injector::Sassifi).count();
+    assert!(sassifi_rows > 10);
+    let due = due_analysis(&set);
+    assert_eq!(due.len(), 4);
+    let text = bench::render::fig6(&set);
+    assert!(text.contains("geometric mean") || text.contains("Averages"));
+}
+
+#[test]
+fn codegen_study_produces_ratios() {
+    let rows = codegen_comparison(&micro());
+    assert_eq!(rows.len(), 8);
+    for r in &rows {
+        assert!(r.avf_cuda7 >= 0.0 && r.avf_cuda10 >= 0.0);
+        assert!(r.dyn_cuda7 >= r.dyn_cuda10, "{}: optimizer grew the code", r.name);
+    }
+}
+
+#[test]
+fn convergence_ci_shrinks() {
+    let rows = convergence(&micro(), Benchmark::Hotspot);
+    assert_eq!(rows.len(), 6);
+    assert!(
+        rows.last().unwrap().ci_width < rows.first().unwrap().ci_width,
+        "CI did not shrink: {rows:?}"
+    );
+}

@@ -1,0 +1,300 @@
+//! Device models: Kepler (Tesla K40c) and Volta (Tesla V100 / Titan V).
+
+use crate::op::FunctionalUnit;
+use crate::WARP_SIZE;
+
+/// GPU architecture generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Kepler (GK110b, 28 nm planar CMOS). Integer work shares the FP32
+    /// pipes; no FP16 arithmetic; no tensor cores.
+    Kepler,
+    /// Volta (GV100, 16 nm FinFET). Dedicated INT32 cores, FP16 at 2x FP32
+    /// rate, 8 tensor cores per SM.
+    Volta,
+}
+
+/// ECC configuration for the on-chip memories (register file, shared
+/// memory, caches, DRAM). SECDED: single-bit corrected, double-bit
+/// detected (raising a DUE interrupt).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EccMode {
+    /// SECDED protection on.
+    Enabled,
+    /// Memories unprotected.
+    Disabled,
+}
+
+/// The CUDA toolchain generation a workload was "compiled" with.
+///
+/// SASSIFI instruments CUDA 7 binaries, NVBitFI CUDA 10.1+ binaries
+/// (Section VI); the different back-end optimizers generate different SASS
+/// for the same source, which the paper identifies as the main driver of
+/// the ~18% average AVF difference between the two injectors. Our workload
+/// generators consult this to pick codegen variants (unrolling,
+/// dead-code elimination, loop-invariant code motion).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CodeGen {
+    /// CUDA 7-era back end: less unrolling, more redundant moves, no
+    /// aggressive loop-invariant code motion.
+    Cuda7,
+    /// CUDA 10.1-era back end: aggressive unrolling and dead-code
+    /// elimination; fewer, more "useful" instructions (higher AVF).
+    Cuda10,
+}
+
+/// A GPU device configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceModel {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Architecture generation.
+    pub arch: Architecture,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Warp schedulers per SM; each can issue up to
+    /// [`DeviceModel::issue_per_scheduler`] instructions per cycle.
+    pub schedulers_per_sm: u32,
+    /// Instructions each scheduler may issue per cycle.
+    pub issue_per_scheduler: u32,
+    /// FP32 lanes per SM.
+    pub fp32_lanes: u32,
+    /// FP64 lanes per SM.
+    pub fp64_lanes: u32,
+    /// Dedicated INT32 lanes per SM (0 on Kepler: INT shares FP32 pipes).
+    pub int32_lanes: u32,
+    /// FP16 lanes per SM (0 on Kepler).
+    pub fp16_lanes: u32,
+    /// Tensor cores per SM.
+    pub tensor_cores: u32,
+    /// Load/store units per SM.
+    pub ldst_units: u32,
+    /// Register file bytes per SM (32-bit registers x 4 bytes).
+    pub rf_bytes_per_sm: u32,
+    /// Shared memory bytes per SM.
+    pub shared_bytes_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Core clock in Hz (used to convert cycles to seconds for fluence
+    /// accounting).
+    pub clock_hz: f64,
+    /// Relative per-bit SRAM neutron sensitivity of this process node
+    /// (Kepler's 28 nm planar is about an order of magnitude more
+    /// sensitive than Volta's 16 nm FinFET; Section V-B, [29]).
+    pub sram_bit_sensitivity: f64,
+    /// Whether ECC can be toggled by the user.
+    pub ecc_capable: bool,
+}
+
+impl DeviceModel {
+    /// The Tesla K40c used in the paper: 15 SMs x 192 CUDA cores = 2 880.
+    pub fn k40c() -> DeviceModel {
+        DeviceModel {
+            name: "Tesla K40c",
+            arch: Architecture::Kepler,
+            sms: 15,
+            schedulers_per_sm: 4,
+            issue_per_scheduler: 2,
+            fp32_lanes: 192,
+            fp64_lanes: 64,
+            int32_lanes: 0, // INT executes on the FP32 pipes
+            fp16_lanes: 0,
+            tensor_cores: 0,
+            ldst_units: 32,
+            rf_bytes_per_sm: 256 * 1024,
+            shared_bytes_per_sm: 48 * 1024,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            clock_hz: 745e6,
+            sram_bit_sensitivity: 10.0,
+            ecc_capable: true,
+        }
+    }
+
+    /// The Tesla V100 used in the paper: 80 SMs, 64 FP32 + 64 INT32 +
+    /// 32 FP64 cores and 8 tensor cores each.
+    pub fn v100() -> DeviceModel {
+        DeviceModel {
+            name: "Tesla V100",
+            arch: Architecture::Volta,
+            sms: 80,
+            schedulers_per_sm: 4,
+            issue_per_scheduler: 1,
+            fp32_lanes: 64,
+            fp64_lanes: 32,
+            int32_lanes: 64,
+            fp16_lanes: 128, // FP16 runs at 2x the FP32 rate
+            tensor_cores: 8,
+            ldst_units: 32,
+            rf_bytes_per_sm: 256 * 1024,
+            shared_bytes_per_sm: 96 * 1024,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            clock_hz: 1380e6,
+            sram_bit_sensitivity: 1.0,
+            ecc_capable: true,
+        }
+    }
+
+    /// The Titan V (also Volta, GV100 with 80 SMs and no ECC on DRAM;
+    /// on-chip behaviour matches the V100 for our purposes).
+    pub fn titan_v() -> DeviceModel {
+        DeviceModel { name: "Titan V", ecc_capable: false, ..DeviceModel::v100() }
+    }
+
+    /// Single-SM Kepler used for simulation campaigns: identical per-SM
+    /// microarchitecture to the K40c, scaled to one SM so that laptop-
+    /// scale problem sizes still reach realistic occupancies. FIT rates
+    /// scale linearly with SM count, and every figure is reported in
+    /// arbitrary units, so the scaling cancels (see DESIGN.md).
+    pub fn k40c_sim() -> DeviceModel {
+        DeviceModel { name: "Tesla K40c (1-SM sim)", sms: 1, ..DeviceModel::k40c() }
+    }
+
+    /// Single-SM Volta campaign device (see [`DeviceModel::k40c_sim`]).
+    pub fn v100_sim() -> DeviceModel {
+        DeviceModel { name: "Tesla V100 (1-SM sim)", sms: 1, ..DeviceModel::v100() }
+    }
+
+    /// Execution lanes per SM available to a functional-unit kind.
+    ///
+    /// On Kepler, integer instructions execute on the FP32 pipes ("the
+    /// integer operations are executed in the same hardware as the FP32
+    /// operations", Section V-B); FP16 and tensor ops are unsupported
+    /// (0 lanes).
+    pub fn lanes_for(&self, unit: FunctionalUnit) -> u32 {
+        use FunctionalUnit::*;
+        match unit {
+            Fadd | Fmul | Ffma => self.fp32_lanes,
+            Dadd | Dmul | Dfma => self.fp64_lanes,
+            Hadd | Hmul | Hfma => self.fp16_lanes,
+            Iadd | Imul | Imad => {
+                if self.int32_lanes > 0 {
+                    self.int32_lanes
+                } else {
+                    self.fp32_lanes
+                }
+            }
+            Hmma | Fmma => self.tensor_cores * WARP_SIZE, // warp-wide op
+            Ldst => self.ldst_units,
+            Other => self.fp32_lanes, // control/convert share main pipes
+        }
+    }
+
+    /// True when this device can execute the unit at all.
+    pub fn supports(&self, unit: FunctionalUnit) -> bool {
+        self.lanes_for(unit) > 0
+    }
+
+    /// 32-bit registers per SM.
+    pub fn regs_per_sm(&self) -> u32 {
+        self.rf_bytes_per_sm / 4
+    }
+
+    /// How many blocks of the given footprint can be resident on one SM,
+    /// limited by registers, shared memory, and thread slots.
+    pub fn resident_blocks_per_sm(
+        &self,
+        regs_per_thread: u16,
+        shared_per_block: u32,
+        threads_per_block: u32,
+    ) -> u32 {
+        if threads_per_block == 0 {
+            return 0;
+        }
+        let regs = regs_per_thread.max(16) as u32; // HW allocates >= 16
+        let blocks_by_regs = self.regs_per_sm() / (regs * threads_per_block).max(1);
+        let blocks_by_shared = if shared_per_block == 0 {
+            u32::MAX
+        } else {
+            self.shared_bytes_per_sm / shared_per_block
+        };
+        let blocks_by_threads = self.max_threads_per_sm / threads_per_block;
+        blocks_by_regs.min(blocks_by_shared).min(blocks_by_threads)
+    }
+
+    /// Theoretical occupancy (resident warps / max warps) for a kernel
+    /// footprint: limited by registers, shared memory, and thread slots.
+    ///
+    /// This is the *static* occupancy bound; the simulator reports
+    /// *achieved* occupancy, which is additionally bounded by the grid
+    /// having enough blocks to fill all SMs.
+    pub fn occupancy_bound(&self, regs_per_thread: u16, shared_per_block: u32, threads_per_block: u32) -> f64 {
+        let blocks = self.resident_blocks_per_sm(regs_per_thread, shared_per_block, threads_per_block);
+        let warps = (blocks * threads_per_block).div_ceil(WARP_SIZE).min(self.max_warps_per_sm);
+        warps as f64 / self.max_warps_per_sm as f64
+    }
+
+    /// Total CUDA-core count (FP32 lanes x SMs); 2 880 for the K40c.
+    pub fn cuda_cores(&self) -> u32 {
+        self.fp32_lanes * self.sms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40c_matches_paper_specs() {
+        let d = DeviceModel::k40c();
+        assert_eq!(d.cuda_cores(), 2880);
+        assert_eq!(d.sms, 15);
+        assert!(d.ecc_capable);
+        // INT shares FP32 pipes on Kepler.
+        assert_eq!(d.lanes_for(FunctionalUnit::Iadd), d.fp32_lanes);
+        assert!(!d.supports(FunctionalUnit::Hmma));
+        assert!(!d.supports(FunctionalUnit::Hadd));
+    }
+
+    #[test]
+    fn v100_matches_paper_specs() {
+        let d = DeviceModel::v100();
+        assert_eq!(d.sms, 80);
+        assert_eq!(d.fp32_lanes, 64);
+        assert_eq!(d.int32_lanes, 64);
+        assert_eq!(d.fp64_lanes, 32);
+        assert_eq!(d.tensor_cores, 8);
+        // Dedicated INT32 cores on Volta.
+        assert_eq!(d.lanes_for(FunctionalUnit::Imul), 64);
+        assert!(d.supports(FunctionalUnit::Hmma));
+    }
+
+    #[test]
+    fn titan_v_has_no_ecc_toggle() {
+        assert!(!DeviceModel::titan_v().ecc_capable);
+        assert_eq!(DeviceModel::titan_v().arch, Architecture::Volta);
+    }
+
+    #[test]
+    fn kepler_is_more_sensitive_per_bit() {
+        assert!(DeviceModel::k40c().sram_bit_sensitivity > 5.0 * DeviceModel::v100().sram_bit_sensitivity);
+    }
+
+    #[test]
+    fn occupancy_bound_by_registers() {
+        let d = DeviceModel::v100();
+        // 255 regs/thread, 256 threads/block: 65536/(255*256) = 1 block,
+        // 8 warps resident out of 64.
+        let occ = d.occupancy_bound(255, 0, 256);
+        assert!((occ - 8.0 / 64.0).abs() < 1e-9, "occ={occ}");
+        // Tiny kernels reach full occupancy.
+        let occ = d.occupancy_bound(16, 0, 256);
+        assert!((occ - 1.0).abs() < 1e-9, "occ={occ}");
+    }
+
+    #[test]
+    fn occupancy_bound_by_shared_memory() {
+        let d = DeviceModel::v100();
+        // 48 KB/block on a 96 KB SM: 2 blocks of 128 threads = 8 warps.
+        let occ = d.occupancy_bound(16, 48 * 1024, 128);
+        assert!((occ - 8.0 / 64.0).abs() < 1e-9, "occ={occ}");
+    }
+
+    #[test]
+    fn occupancy_zero_threads() {
+        assert_eq!(DeviceModel::v100().occupancy_bound(16, 0, 0), 0.0);
+    }
+}

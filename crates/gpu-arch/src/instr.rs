@@ -1,0 +1,228 @@
+//! Instruction encoding.
+
+use crate::op::Op;
+use crate::operand::{Operand, Pred, Reg};
+use std::fmt;
+
+/// A SASS-style predication guard: `@P0` executes when `P0` is true,
+/// `@!P0` when false.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// The guarding predicate register.
+    pub pred: Pred,
+    /// If true, the guard passes when the predicate is *false* (`@!P`).
+    pub negated: bool,
+}
+
+impl Guard {
+    /// `@P` guard.
+    pub fn when(pred: Pred) -> Guard {
+        Guard { pred, negated: false }
+    }
+
+    /// `@!P` guard.
+    pub fn unless(pred: Pred) -> Guard {
+        Guard { pred, negated: true }
+    }
+
+    /// Evaluate against a predicate value.
+    #[inline]
+    pub fn passes(self, value: bool) -> bool {
+        value != self.negated
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "@!{}", self.pred)
+        } else {
+            write!(f, "@{}", self.pred)
+        }
+    }
+}
+
+/// One decoded instruction.
+///
+/// * `dst` is the destination GPR (`RZ` when unused or write-discarded).
+/// * `pdst` is the destination predicate for `SETP` ops.
+/// * `srcs` holds up to three source operands; memory ops use
+///   `srcs[0]` = base register, `srcs[1]` = immediate byte offset and (for
+///   stores) `srcs[2]` = the value register. MMA ops use the three slots as
+///   the A, B, C fragment base registers.
+/// * `psrc` is the predicate source for `SEL`.
+/// * `target` is the branch destination (an instruction index within the
+///   kernel), resolved by [`crate::KernelBuilder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// Opcode.
+    pub op: Op,
+    /// Destination register.
+    pub dst: Reg,
+    /// Destination predicate (SETP family).
+    pub pdst: Option<Pred>,
+    /// Source operands.
+    pub srcs: [Operand; 3],
+    /// Predicate source with negation flag (SEL).
+    pub psrc: Option<(Pred, bool)>,
+    /// Branch target instruction index (BRA).
+    pub target: Option<u32>,
+    /// Execution guard (`@P` / `@!P`), or `None` for unconditional.
+    pub guard: Option<Guard>,
+}
+
+impl Instr {
+    /// A new unguarded instruction with no operands; builders fill in the
+    /// rest.
+    pub fn new(op: Op) -> Instr {
+        Instr {
+            op,
+            dst: Reg::RZ,
+            pdst: None,
+            srcs: [Operand::None; 3],
+            psrc: None,
+            target: None,
+            guard: None,
+        }
+    }
+
+    /// Registers read by this instruction, including high words of 64-bit
+    /// pairs. MMA fragment reads are expanded by the simulator, not here.
+    pub fn src_regs(&self) -> Vec<Reg> {
+        let mut regs = Vec::with_capacity(6);
+        let pairwise = matches!(
+            self.op,
+            Op::Dadd | Op::Dmul | Op::Dfma | Op::Dsetp(_) | Op::D2f | Op::Drcp | Op::Dsqrt
+        );
+        for s in self.srcs {
+            if let Operand::Reg(r) = s {
+                if r.is_rz() {
+                    continue;
+                }
+                regs.push(r);
+                if pairwise {
+                    regs.push(r.pair_hi());
+                }
+            }
+        }
+        // A 64-bit store also reads the high word of the value operand.
+        if matches!(self.op, Op::Stg(crate::op::MemWidth::W64) | Op::Sts(crate::op::MemWidth::W64))
+        {
+            if let Operand::Reg(r) = self.srcs[2] {
+                if !r.is_rz() {
+                    regs.push(r.pair_hi());
+                }
+            }
+        }
+        regs
+    }
+
+    /// Registers written by this instruction.
+    pub fn dst_regs(&self) -> Vec<Reg> {
+        if self.op.has_no_dst() || self.dst.is_rz() {
+            return Vec::new();
+        }
+        if self.op.writes_pair() {
+            vec![self.dst, self.dst.pair_hi()]
+        } else {
+            vec![self.dst]
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = self.guard {
+            write!(f, "{g} ")?;
+        }
+        write!(f, "{}", self.op.mnemonic())?;
+        let mut wrote_operand = false;
+        if let Some(p) = self.pdst {
+            write!(f, " {p}")?;
+            wrote_operand = true;
+        } else if !self.op.has_no_dst() {
+            write!(f, " {}", self.dst)?;
+            wrote_operand = true;
+        }
+        for s in self.srcs {
+            if s.is_some() {
+                if wrote_operand {
+                    write!(f, ", {s}")?;
+                } else {
+                    write!(f, " {s}")?;
+                    wrote_operand = true;
+                }
+            }
+        }
+        if let Some((p, neg)) = self.psrc {
+            write!(f, ", {}{}", if neg { "!" } else { "" }, p)?;
+        }
+        if let Some(t) = self.target {
+            if wrote_operand {
+                write!(f, ", ->{t}")?;
+            } else {
+                write!(f, " ->{t}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{CmpOp, MemWidth};
+
+    #[test]
+    fn guard_evaluation() {
+        assert!(Guard::when(Pred(0)).passes(true));
+        assert!(!Guard::when(Pred(0)).passes(false));
+        assert!(Guard::unless(Pred(0)).passes(false));
+        assert!(!Guard::unless(Pred(0)).passes(true));
+    }
+
+    #[test]
+    fn src_regs_expand_fp64_pairs() {
+        let mut i = Instr::new(Op::Dadd);
+        i.dst = Reg(0);
+        i.srcs = [Operand::Reg(Reg(2)), Operand::Reg(Reg(4)), Operand::None];
+        assert_eq!(i.src_regs(), vec![Reg(2), Reg(3), Reg(4), Reg(5)]);
+        assert_eq!(i.dst_regs(), vec![Reg(0), Reg(1)]);
+    }
+
+    #[test]
+    fn store64_reads_value_pair() {
+        let mut i = Instr::new(Op::Stg(MemWidth::W64));
+        i.srcs = [Operand::Reg(Reg(0)), Operand::Imm(0), Operand::Reg(Reg(6))];
+        let regs = i.src_regs();
+        assert!(regs.contains(&Reg(6)));
+        assert!(regs.contains(&Reg(7)));
+    }
+
+    #[test]
+    fn rz_is_never_listed() {
+        let mut i = Instr::new(Op::Iadd);
+        i.dst = Reg::RZ;
+        i.srcs = [Operand::Reg(Reg::RZ), Operand::Imm(1), Operand::None];
+        assert!(i.src_regs().is_empty());
+        assert!(i.dst_regs().is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut i = Instr::new(Op::Ffma);
+        i.dst = Reg(3);
+        i.srcs = [Operand::Reg(Reg(1)), Operand::Reg(Reg(2)), Operand::Reg(Reg(3))];
+        assert_eq!(i.to_string(), "FFMA R3, R1, R2, R3");
+
+        let mut b = Instr::new(Op::Bra);
+        b.target = Some(7);
+        b.guard = Some(Guard::unless(Pred(1)));
+        assert_eq!(b.to_string(), "@!P1 BRA ->7");
+
+        let mut s = Instr::new(Op::Isetp(CmpOp::Lt));
+        s.pdst = Some(Pred(0));
+        s.srcs = [Operand::Reg(Reg(0)), Operand::Imm(16), Operand::None];
+        assert_eq!(s.to_string(), "ISETP.LT P0, R0, 0x10");
+    }
+}

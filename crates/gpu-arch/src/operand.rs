@@ -1,0 +1,182 @@
+//! Registers, predicates, and instruction operands.
+
+use std::fmt;
+
+/// A general-purpose 32-bit register index. `R255` is the architectural
+/// zero register `RZ`: it reads as zero and discards writes, exactly like
+/// SASS.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The zero register.
+    pub const RZ: Reg = Reg(255);
+
+    /// True if this is the zero register.
+    #[inline]
+    pub fn is_rz(self) -> bool {
+        self.0 == 255
+    }
+
+    /// The register holding the high word when this register anchors an
+    /// aligned 64-bit pair.
+    #[inline]
+    pub fn pair_hi(self) -> Reg {
+        Reg(self.0 + 1)
+    }
+
+    /// True if this register may anchor a 64-bit pair (even index, with the
+    /// odd partner still a real register).
+    #[inline]
+    pub fn is_pair_aligned(self) -> bool {
+        self.0 % 2 == 0 && self.0 < 254
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_rz() {
+            write!(f, "RZ")
+        } else {
+            write!(f, "R{}", self.0)
+        }
+    }
+}
+
+/// A predicate register index. `P7` is the always-true predicate `PT`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pred(pub u8);
+
+impl Pred {
+    /// The always-true predicate.
+    pub const PT: Pred = Pred(7);
+
+    /// True if this is the constant-true predicate.
+    #[inline]
+    pub fn is_pt(self) -> bool {
+        self.0 == 7
+    }
+}
+
+impl fmt::Debug for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pt() {
+            write!(f, "PT")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+/// A source operand: a register, a 32-bit immediate bit pattern, or absent.
+///
+/// Floating-point immediates are stored as their bit patterns (`f32::to_bits`);
+/// 64-bit constants are materialized with two `MOV`s, as real codegen does.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general-purpose register.
+    Reg(Reg),
+    /// A 32-bit immediate (bit pattern for FP).
+    Imm(u32),
+    /// No operand in this slot.
+    None,
+}
+
+impl Operand {
+    /// Immediate from a float value.
+    pub fn imm_f32(v: f32) -> Operand {
+        Operand::Imm(v.to_bits())
+    }
+
+    /// Immediate from a signed integer value.
+    pub fn imm_i32(v: i32) -> Operand {
+        Operand::Imm(v as u32)
+    }
+
+    /// The register, if this operand is one.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True if the operand slot is used.
+    pub fn is_some(self) -> bool {
+        !matches!(self, Operand::None)
+    }
+}
+
+impl fmt::Debug for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "0x{v:x}"),
+            Operand::None => write!(f, "_"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rz_identity() {
+        assert!(Reg::RZ.is_rz());
+        assert!(!Reg(0).is_rz());
+        assert_eq!(Reg::RZ.to_string(), "RZ");
+        assert_eq!(Reg(12).to_string(), "R12");
+    }
+
+    #[test]
+    fn pair_alignment() {
+        assert!(Reg(0).is_pair_aligned());
+        assert!(!Reg(1).is_pair_aligned());
+        assert!(Reg(252).is_pair_aligned());
+        assert!(!Reg(254).is_pair_aligned()); // partner would be RZ
+        assert_eq!(Reg(4).pair_hi(), Reg(5));
+    }
+
+    #[test]
+    fn pt_identity() {
+        assert!(Pred::PT.is_pt());
+        assert!(!Pred(0).is_pt());
+        assert_eq!(Pred::PT.to_string(), "PT");
+        assert_eq!(Pred(3).to_string(), "P3");
+    }
+
+    #[test]
+    fn operand_constructors() {
+        assert_eq!(Operand::imm_f32(1.0), Operand::Imm(0x3f80_0000));
+        assert_eq!(Operand::imm_i32(-1), Operand::Imm(0xffff_ffff));
+        assert_eq!(Operand::from(Reg(3)).reg(), Some(Reg(3)));
+        assert_eq!(Operand::Imm(0).reg(), None);
+        assert!(!Operand::None.is_some());
+        assert!(Operand::Imm(7).is_some());
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests: assembler/disassembler round trips over randomly
+//! generated kernels, and structural invariants of the builder.
+
+use gpu_arch::{asm, CmpOp, KernelBuilder, MemWidth, Operand, Pred, Reg, ShflMode, SpecialReg};
+use proptest::prelude::*;
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..120).prop_map(Reg)
+}
+
+fn even_reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..60).prop_map(|i| Reg(i * 2))
+}
+
+fn operand_strategy() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg_strategy().prop_map(Operand::Reg),
+        any::<u32>().prop_map(Operand::Imm),
+    ]
+}
+
+fn even_operand_strategy() -> impl Strategy<Value = Operand> {
+    even_reg_strategy().prop_map(Operand::Reg)
+}
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+/// One random (valid) instruction appended through the builder API.
+#[derive(Clone, Debug)]
+enum Gen {
+    Fadd(Reg, Operand, Operand),
+    Ffma(Reg, Operand, Operand, Operand),
+    Dadd(Reg, Operand, Operand),
+    Hmul(Reg, Operand, Operand),
+    Iadd(Reg, Operand, Operand),
+    Isetp(Pred, CmpOp, Operand, Operand),
+    Sel(Reg, Operand, Operand, Pred, bool),
+    Mov(Reg, Operand),
+    S2r(Reg, SpecialReg),
+    Ldg(MemWidth, Reg, Reg, u32),
+    Stg(MemWidth, Reg, u32, Reg),
+    Shl(Reg, Operand, Operand),
+    Shfl(ShflMode, Reg, Reg, Operand),
+    AtomG(Reg, Reg, u32, Reg),
+    Nop,
+}
+
+fn instr_strategy() -> impl Strategy<Value = Gen> {
+    prop_oneof![
+        (reg_strategy(), operand_strategy(), operand_strategy())
+            .prop_map(|(d, a, b)| Gen::Fadd(d, a, b)),
+        (reg_strategy(), operand_strategy(), operand_strategy(), operand_strategy())
+            .prop_map(|(d, a, b, c)| Gen::Ffma(d, a, b, c)),
+        (even_reg_strategy(), even_operand_strategy(), even_operand_strategy())
+            .prop_map(|(d, a, b)| Gen::Dadd(d, a, b)),
+        (reg_strategy(), operand_strategy(), operand_strategy())
+            .prop_map(|(d, a, b)| Gen::Hmul(d, a, b)),
+        (reg_strategy(), operand_strategy(), operand_strategy())
+            .prop_map(|(d, a, b)| Gen::Iadd(d, a, b)),
+        ((0u8..7).prop_map(Pred), cmp_strategy(), operand_strategy(), operand_strategy())
+            .prop_map(|(p, c, a, b)| Gen::Isetp(p, c, a, b)),
+        (reg_strategy(), operand_strategy(), operand_strategy(), (0u8..7).prop_map(Pred), any::<bool>())
+            .prop_map(|(d, a, b, p, n)| Gen::Sel(d, a, b, p, n)),
+        (reg_strategy(), operand_strategy()).prop_map(|(d, a)| Gen::Mov(d, a)),
+        (reg_strategy(), prop_oneof![
+            Just(SpecialReg::TidX), Just(SpecialReg::CtaidX), Just(SpecialReg::LaneId)
+        ]).prop_map(|(d, s)| Gen::S2r(d, s)),
+        (prop_oneof![Just(MemWidth::W16), Just(MemWidth::W32), Just(MemWidth::W64)],
+            even_reg_strategy(), reg_strategy(), 0u32..4096)
+            .prop_map(|(w, d, b, o)| Gen::Ldg(w, d, b, o)),
+        (prop_oneof![Just(MemWidth::W16), Just(MemWidth::W32), Just(MemWidth::W64)],
+            reg_strategy(), 0u32..4096, even_reg_strategy())
+            .prop_map(|(w, b, o, v)| Gen::Stg(w, b, o, v)),
+        (reg_strategy(), operand_strategy(), operand_strategy())
+            .prop_map(|(d, a, b)| Gen::Shl(d, a, b)),
+        (prop_oneof![
+            Just(ShflMode::Idx), Just(ShflMode::Up), Just(ShflMode::Down), Just(ShflMode::Bfly)
+        ], reg_strategy(), reg_strategy(), operand_strategy())
+            .prop_map(|(m, d, s, l)| Gen::Shfl(m, d, s, l)),
+        (reg_strategy(), reg_strategy(), 0u32..4096, reg_strategy())
+            .prop_map(|(d, b, o, v)| Gen::AtomG(d, b, o, v)),
+        Just(Gen::Nop),
+    ]
+}
+
+fn apply(b: &mut KernelBuilder, g: &Gen) {
+    match g.clone() {
+        Gen::Fadd(d, a, x) => {
+            b.fadd(d, a, x);
+        }
+        Gen::Ffma(d, a, x, y) => {
+            b.ffma(d, a, x, y);
+        }
+        Gen::Dadd(d, a, x) => {
+            b.dadd(d, a, x);
+        }
+        Gen::Hmul(d, a, x) => {
+            b.hmul(d, a, x);
+        }
+        Gen::Iadd(d, a, x) => {
+            b.iadd(d, a, x);
+        }
+        Gen::Isetp(p, c, a, x) => {
+            b.isetp(p, c, a, x);
+        }
+        Gen::Sel(d, a, x, p, n) => {
+            b.sel(d, a, x, p, n);
+        }
+        Gen::Mov(d, a) => {
+            b.mov(d, a);
+        }
+        Gen::S2r(d, s) => {
+            b.s2r(d, s);
+        }
+        Gen::Ldg(w, d, base, off) => {
+            b.ldg(w, d, base, off);
+        }
+        Gen::Stg(w, base, off, v) => {
+            b.stg(w, base, off, v);
+        }
+        Gen::Shl(d, a, x) => {
+            b.shl(d, a, x);
+        }
+        Gen::Shfl(m, d, src, l) => {
+            b.shfl(m, d, src, l);
+        }
+        Gen::AtomG(d, base, off, v) => {
+            b.atomg_add(d, base, off, v);
+        }
+        Gen::Nop => {
+            b.nop();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any builder-generated kernel disassembles to text that re-assembles
+    /// into an identical instruction stream.
+    #[test]
+    fn disassembly_roundtrips(instrs in prop::collection::vec(instr_strategy(), 1..40)) {
+        let mut b = KernelBuilder::new("prop");
+        for g in &instrs {
+            apply(&mut b, g);
+        }
+        b.exit();
+        let k1 = b.build().unwrap();
+        let text = k1.disassemble();
+        let k2 = asm::assemble(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(&k1.instrs, &k2.instrs);
+        prop_assert_eq!(k1.regs_per_thread, k2.regs_per_thread);
+        prop_assert_eq!(k1.shared_bytes, k2.shared_bytes);
+    }
+
+    /// Validation accepts everything the builder produces.
+    #[test]
+    fn builder_output_always_validates(instrs in prop::collection::vec(instr_strategy(), 0..30)) {
+        let mut b = KernelBuilder::new("prop");
+        for g in &instrs {
+            apply(&mut b, g);
+        }
+        b.exit();
+        let k = b.build().unwrap();
+        prop_assert!(k.validate().is_ok());
+        // regs_per_thread covers every referenced register.
+        for ins in &k.instrs {
+            for r in ins.src_regs().into_iter().chain(ins.dst_regs()) {
+                prop_assert!((r.0 as u16) < k.regs_per_thread);
+            }
+        }
+    }
+
+    /// The kernel length equals the emitted instruction count plus EXIT.
+    #[test]
+    fn length_bookkeeping(instrs in prop::collection::vec(instr_strategy(), 0..50)) {
+        let mut b = KernelBuilder::new("prop");
+        for g in &instrs {
+            apply(&mut b, g);
+        }
+        b.exit();
+        let k = b.build().unwrap();
+        prop_assert_eq!(k.len(), instrs.len() + 1);
+    }
+}

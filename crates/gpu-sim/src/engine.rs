@@ -1,0 +1,1027 @@
+//! The execution engine: a deterministic functional SIMT interpreter with
+//! fault hooks.
+//!
+//! Blocks execute sequentially (the paper's workloads have no inter-block
+//! synchronization); threads within a block execute in a fixed round-robin
+//! order, one instruction per turn, warp by warp. This makes the global
+//! dynamic-instruction counter — the coordinate system every [`FaultPlan`]
+//! uses — fully deterministic.
+
+use crate::fault::{BitFlip, DueKind, FaultPlan};
+use crate::memory::{GlobalMemory, SharedMemory};
+use crate::timing::{self, TimingReport};
+use gpu_arch::{
+    CmpOp, DeviceModel, FunctionalUnit, Instr, Kernel, LaunchConfig, MemWidth, MixCategory, Op,
+    Operand, Reg, SpecialReg, WARP_SIZE,
+};
+use softfloat::F16;
+
+/// Options controlling a single execution.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// SECDED ECC on the memories and register file.
+    pub ecc: bool,
+    /// The (single) fault to exercise.
+    pub fault: FaultPlan,
+    /// Abort as a [`DueKind::Watchdog`] DUE once this many dynamic
+    /// instructions have executed. Injectors derive this from the golden
+    /// run; `u64::MAX` disables the watchdog.
+    pub watchdog_limit: u64,
+    /// Record the first N executed instructions (disassembly with block/
+    /// thread coordinates) into [`Executed::trace`]. Zero disables
+    /// tracing; campaigns leave it off.
+    pub trace_limit: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            ecc: true,
+            fault: FaultPlan::None,
+            watchdog_limit: u64::MAX,
+            trace_limit: 0,
+        }
+    }
+}
+
+/// How the run terminated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecStatus {
+    /// All threads exited normally.
+    Completed,
+    /// The device raised a detected unrecoverable error.
+    Due(DueKind),
+}
+
+impl ExecStatus {
+    /// True when the run completed without a detected error.
+    pub fn completed(self) -> bool {
+        matches!(self, ExecStatus::Completed)
+    }
+}
+
+/// Dynamic instruction counts collected during execution.
+#[derive(Clone, Debug, Default)]
+pub struct Counts {
+    /// Total dynamic instructions (thread-instructions; warp-wide MMA
+    /// counts once per warp).
+    pub total: u64,
+    /// Per functional-unit kind (dense-indexed by
+    /// [`FunctionalUnit::index`]).
+    pub per_unit: [u64; FunctionalUnit::COUNT],
+    /// Per Figure-1 mix category.
+    pub per_mix: [u64; MixCategory::COUNT],
+    /// Serial latency sum per warp (global warp index), in cycles.
+    pub warp_latency: Vec<u64>,
+    /// Dynamic instructions per warp.
+    pub warp_instrs: Vec<u64>,
+    /// Populations of the injectable site classes (instructions that
+    /// executed with their guard passing), used by injectors to sample
+    /// `nth` uniformly.
+    pub sites: SiteCounts,
+}
+
+/// Counts of dynamic instructions per injectable site class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SiteCounts {
+    /// Instructions that wrote a general-purpose register.
+    pub gpr_writers: u64,
+    /// GPR writers excluding binary16 arithmetic (NVBitFI's view).
+    pub gpr_writers_no_half: u64,
+    /// Load instructions (global + shared).
+    pub loads: u64,
+    /// All memory instructions (loads + stores), the `MemAddress` space.
+    pub mem_ops: u64,
+    /// Predicate-writing instructions (`SETP` family).
+    pub setp: u64,
+}
+
+impl Counts {
+    /// Dynamic count for one unit kind.
+    pub fn unit(&self, u: FunctionalUnit) -> u64 {
+        self.per_unit[u.index()]
+    }
+
+    /// Dynamic count for one mix category.
+    pub fn mix(&self, m: MixCategory) -> u64 {
+        self.per_mix[m.index()]
+    }
+
+    /// Fraction of dynamic instructions in each mix category (Figure 1
+    /// bars). `NaN`s when nothing executed.
+    pub fn mix_fractions(&self) -> [f64; MixCategory::COUNT] {
+        let mut out = [f64::NAN; MixCategory::COUNT];
+        if self.total > 0 {
+            for (i, c) in self.per_mix.iter().enumerate() {
+                out[i] = *c as f64 / self.total as f64;
+            }
+        }
+        out
+    }
+}
+
+/// The result of one execution.
+#[derive(Clone, Debug)]
+pub struct Executed {
+    /// Termination status.
+    pub status: ExecStatus,
+    /// Final global memory (the workload's outputs live here).
+    pub memory: GlobalMemory,
+    /// Dynamic instruction statistics.
+    pub counts: Counts,
+    /// Analytic timing (cycles, IPC, achieved occupancy, wall time).
+    pub timing: TimingReport,
+    /// Whether the fault plan's trigger point was actually reached.
+    pub fault_triggered: bool,
+    /// Execution trace (first `trace_limit` instructions), empty unless
+    /// requested.
+    pub trace: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Running,
+    AtBarrier,
+    Exited,
+}
+
+struct Thread {
+    regs: Box<[u32; 256]>,
+    preds: u8,
+    pc: u32,
+    state: TState,
+    tid_x: u32,
+    tid_y: u32,
+}
+
+impl Thread {
+    fn reg(&self, r: Reg) -> u32 {
+        if r.is_rz() {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    fn reg64(&self, r: Reg) -> u64 {
+        if r.is_rz() {
+            0
+        } else {
+            (self.regs[r.0 as usize] as u64)
+                | ((self.regs[r.0 as usize + 1] as u64) << 32)
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u32) {
+        if !r.is_rz() {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    fn set_reg64(&mut self, r: Reg, v: u64) {
+        if !r.is_rz() {
+            self.regs[r.0 as usize] = v as u32;
+            self.regs[r.0 as usize + 1] = (v >> 32) as u32;
+        }
+    }
+
+    fn pred(&self, p: gpu_arch::Pred) -> bool {
+        if p.is_pt() {
+            true
+        } else {
+            self.preds & (1 << p.0) != 0
+        }
+    }
+
+    fn set_pred(&mut self, p: gpu_arch::Pred, v: bool) {
+        if !p.is_pt() {
+            if v {
+                self.preds |= 1 << p.0;
+            } else {
+                self.preds &= !(1 << p.0);
+            }
+        }
+    }
+}
+
+struct Ctx<'a> {
+    kernel: &'a Kernel,
+    launch: &'a LaunchConfig,
+    opts: &'a RunOptions,
+    global: GlobalMemory,
+    counts: Counts,
+    dyn_count: u64,
+    site_matches: u64,
+    mem_ops: u64,
+    setp_ops: u64,
+    fault_triggered: bool,
+    current_block: u32,
+    trace: Vec<String>,
+}
+
+/// Execute `kernel` on `device` with the given launch, memory image and
+/// options.
+///
+/// # Panics
+/// Panics if the launch has zero threads or the kernel fails validation
+/// (callers construct kernels through the validating builder).
+pub fn run(
+    device: &DeviceModel,
+    kernel: &Kernel,
+    launch: &LaunchConfig,
+    memory: GlobalMemory,
+    opts: &RunOptions,
+) -> Executed {
+    assert!(launch.total_threads() > 0, "empty launch");
+    kernel.validate().expect("invalid kernel");
+
+    let warps_per_block = launch.warps_per_block() as usize;
+    let total_warps = warps_per_block * launch.grid.count() as usize;
+    let mut ctx = Ctx {
+        kernel,
+        launch,
+        opts,
+        global: memory,
+        counts: Counts {
+            warp_latency: vec![0; total_warps],
+            warp_instrs: vec![0; total_warps],
+            ..Counts::default()
+        },
+        dyn_count: 0,
+        site_matches: 0,
+        mem_ops: 0,
+        setp_ops: 0,
+        fault_triggered: false,
+        current_block: 0,
+        trace: Vec::new(),
+    };
+
+    let mut status = ExecStatus::Completed;
+    'blocks: for by in 0..launch.grid.y {
+        for bx in 0..launch.grid.x {
+            let block_linear = by * launch.grid.x + bx;
+            ctx.current_block = block_linear;
+            match run_block(&mut ctx, bx, by, block_linear) {
+                Ok(()) => {}
+                Err(due) => {
+                    status = ExecStatus::Due(due);
+                    break 'blocks;
+                }
+            }
+        }
+    }
+
+    // End-of-kernel ECC sweep over memory that was struck but never read.
+    if status == ExecStatus::Completed && ctx.global.scrub(opts.ecc) {
+        status = ExecStatus::Due(DueKind::EccDoubleBit);
+    }
+
+    let timing = timing::analyze(device, kernel, launch, &ctx.counts);
+    Executed {
+        status,
+        memory: ctx.global,
+        counts: ctx.counts,
+        timing,
+        fault_triggered: ctx.fault_triggered,
+        trace: ctx.trace,
+    }
+}
+
+fn run_block(ctx: &mut Ctx<'_>, bx: u32, by: u32, block_linear: u32) -> Result<(), DueKind> {
+    let block = ctx.launch.block;
+    let nthreads = block.count() as usize;
+    let mut shared = SharedMemory::new(ctx.kernel.shared_bytes);
+    let mut threads: Vec<Thread> = (0..nthreads)
+        .map(|t| Thread {
+            regs: Box::new([0; 256]),
+            preds: 0,
+            pc: 0,
+            state: TState::Running,
+            tid_x: t as u32 % block.x,
+            tid_y: t as u32 / block.x,
+        })
+        .collect();
+
+    let nwarps = nthreads.div_ceil(WARP_SIZE as usize);
+
+    loop {
+        let mut progress = false;
+        let mut all_done = true;
+
+        for w in 0..nwarps {
+            let lo = w * WARP_SIZE as usize;
+            let hi = (lo + WARP_SIZE as usize).min(nthreads);
+            let mut lane = lo;
+            while lane < hi {
+                if threads[lane].state != TState::Running {
+                    lane += 1;
+                    continue;
+                }
+                all_done = false;
+                let pc = threads[lane].pc;
+                if pc as usize >= ctx.kernel.instrs.len() {
+                    return Err(DueKind::IllegalPc);
+                }
+                let ins = ctx.kernel.instrs[pc as usize];
+
+                if ins.op.is_warp_sync() {
+                    // Warp-synchronous: every non-exited lane must sit at
+                    // this pc. Stall this lane until they do.
+                    let mut aligned = true;
+                    for l in lo..hi {
+                        match threads[l].state {
+                            TState::Running => {
+                                if threads[l].pc != pc {
+                                    aligned = false;
+                                }
+                            }
+                            TState::AtBarrier => aligned = false,
+                            TState::Exited => return Err(DueKind::BarrierDeadlock),
+                        }
+                    }
+                    if !aligned {
+                        lane += 1;
+                        continue; // other lanes will catch up
+                    }
+                    if ins.op.is_mma() {
+                        exec_mma(ctx, &mut threads, lo, hi, &ins)?;
+                    } else {
+                        exec_shfl(ctx, &mut threads, lo, hi, &ins)?;
+                    }
+                    for t in threads[lo..hi].iter_mut() {
+                        t.pc = pc + 1;
+                    }
+                    progress = true;
+                    // The whole warp advanced; move to the next warp.
+                    break;
+                }
+
+                step(ctx, &mut threads, lane, bx, by, block_linear, w as u32, &mut shared)?;
+                progress = true;
+                lane += 1;
+            }
+        }
+
+        if all_done {
+            return Ok(());
+        }
+
+        // Barrier release: every live thread waiting.
+        let live_waiting = threads
+            .iter()
+            .filter(|t| t.state != TState::Exited)
+            .all(|t| t.state == TState::AtBarrier);
+        if live_waiting {
+            for t in threads.iter_mut() {
+                if t.state == TState::AtBarrier {
+                    t.state = TState::Running;
+                }
+            }
+            progress = true;
+        }
+
+        if !progress {
+            return Err(DueKind::BarrierDeadlock);
+        }
+
+    }
+}
+
+/// Account one executed instruction and return the global dynamic index it
+/// received.
+fn account(ctx: &mut Ctx<'_>, op: Op, global_warp: usize) -> Result<u64, DueKind> {
+    let idx = ctx.dyn_count;
+    ctx.dyn_count += 1;
+    ctx.counts.total += 1;
+    ctx.counts.per_unit[op.functional_unit().index()] += 1;
+    ctx.counts.per_mix[op.mix_category().index()] += 1;
+    if let Some(slot) = ctx.counts.warp_latency.get_mut(global_warp) {
+        // The slot accumulates *lane*-granularity latency; the timing
+        // model divides by the warp width to recover the warp's serial
+        // chain. Warp-wide MMA therefore scales by the full warp.
+        *slot += op.latency() as u64 * if op.is_mma() { WARP_SIZE as u64 } else { 1 };
+    }
+    if let Some(slot) = ctx.counts.warp_instrs.get_mut(global_warp) {
+        *slot += 1;
+    }
+    if ctx.dyn_count > ctx.opts.watchdog_limit {
+        return Err(DueKind::Watchdog);
+    }
+    Ok(idx)
+}
+
+/// Apply time-triggered fault plans (register-file / memory bit strikes,
+/// PC corruption) that fire at global instant `at`.
+#[allow(clippy::too_many_arguments)]
+fn apply_timed_faults(
+    ctx: &mut Ctx<'_>,
+    threads: &mut [Thread],
+    lane: usize,
+    block_linear: u32,
+    shared: &mut SharedMemory,
+    executed_idx: u64,
+) -> Result<(), DueKind> {
+    match ctx.opts.fault {
+        FaultPlan::RegisterBit { block, thread, reg, flip, at } if at == executed_idx => {
+            ctx.fault_triggered = true;
+            let tgt_block = if block == u32::MAX { block_linear } else { block };
+            if tgt_block != block_linear {
+                return Ok(()); // target block not resident: masked
+            }
+            let t = if thread == u32::MAX {
+                (at % threads.len() as u64) as usize
+            } else {
+                thread as usize
+            };
+            if let Some(th) = threads.get_mut(t) {
+                if th.state != TState::Exited {
+                    if ctx.opts.ecc {
+                        // SECDED on the register file: single-bit flips are
+                        // corrected; a double-bit flip raises a DUE.
+                        if flip.bits() >= 2 {
+                            return Err(DueKind::EccDoubleBit);
+                        }
+                    } else {
+                        let r = (reg as usize).min(254) % ctx.kernel.regs_per_thread.max(1) as usize;
+                        th.regs[r] ^= flip.mask as u32;
+                    }
+                }
+            }
+        }
+        FaultPlan::GlobalMemBit { byte, bit, at, mbu } if at == executed_idx => {
+            ctx.fault_triggered = true;
+            ctx.global.strike_bit(byte, bit);
+            if mbu {
+                ctx.global.strike_bit(byte, (bit + 1) % 32);
+            }
+        }
+        FaultPlan::SharedMemBit { block, byte, bit, at, mbu } if at == executed_idx => {
+            ctx.fault_triggered = true;
+            let tgt_block = if block == u32::MAX { block_linear } else { block };
+            if tgt_block == block_linear {
+                shared.strike_bit(byte, bit);
+                if mbu {
+                    shared.strike_bit(byte, (bit + 1) % 32);
+                }
+            }
+        }
+        FaultPlan::Pc { at, flip } if at == executed_idx => {
+            ctx.fault_triggered = true;
+            let th = &mut threads[lane];
+            th.pc ^= flip.mask as u32;
+            // Validity is checked at the next fetch.
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// What an output-level fault does to the produced value.
+#[derive(Clone, Copy)]
+enum OutputCorruption {
+    Flip(BitFlip),
+    Set(u64),
+}
+
+impl OutputCorruption {
+    fn apply32(self, v: u32) -> u32 {
+        match self {
+            OutputCorruption::Flip(f) => v ^ f.mask as u32,
+            OutputCorruption::Set(x) => x as u32,
+        }
+    }
+
+    fn apply64(self, v: u64) -> u64 {
+        match self {
+            OutputCorruption::Flip(f) => v ^ f.mask,
+            OutputCorruption::Set(x) => x,
+        }
+    }
+}
+
+/// Should an `InstructionOutput`/`InstructionOutputSet` fault fire for
+/// this instruction? Returns the corruption if so.
+fn output_fault(ctx: &mut Ctx<'_>, op: Op) -> Option<OutputCorruption> {
+    let (nth, site, corruption) = match ctx.opts.fault {
+        FaultPlan::InstructionOutput { nth, site, flip } => {
+            (nth, site, OutputCorruption::Flip(flip))
+        }
+        FaultPlan::InstructionOutputSet { nth, site, value } => {
+            (nth, site, OutputCorruption::Set(value))
+        }
+        _ => return None,
+    };
+    if site.matches(op) {
+        let my = ctx.site_matches;
+        ctx.site_matches += 1;
+        if my == nth {
+            ctx.fault_triggered = true;
+            return Some(corruption);
+        }
+    }
+    None
+}
+
+/// Should a `MemAddress` fault fire for this memory op?
+fn addr_fault(ctx: &mut Ctx<'_>) -> Option<BitFlip> {
+    if let FaultPlan::MemAddress { nth, flip } = ctx.opts.fault {
+        let my = ctx.mem_ops;
+        ctx.mem_ops += 1;
+        if my == nth {
+            ctx.fault_triggered = true;
+            return Some(flip);
+        }
+    }
+    None
+}
+
+/// Should a `PredicateOutput` fault fire for this SETP?
+fn pred_fault(ctx: &mut Ctx<'_>) -> bool {
+    if let FaultPlan::PredicateOutput { nth } = ctx.opts.fault {
+        let my = ctx.setp_ops;
+        ctx.setp_ops += 1;
+        if my == nth {
+            ctx.fault_triggered = true;
+            return true;
+        }
+    }
+    false
+}
+
+fn f16_of(bits: u32) -> F16 {
+    F16::from_bits(bits as u16)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step(
+    ctx: &mut Ctx<'_>,
+    threads: &mut [Thread],
+    lane: usize,
+    bx: u32,
+    by: u32,
+    block_linear: u32,
+    warp_in_block: u32,
+    shared: &mut SharedMemory,
+) -> Result<(), DueKind> {
+    let pc = threads[lane].pc;
+    let ins: Instr = ctx.kernel.instrs[pc as usize];
+    let global_warp =
+        block_linear as usize * ctx.launch.warps_per_block() as usize + warp_in_block as usize;
+
+    let executed_idx = account(ctx, ins.op, global_warp)?;
+    if ctx.trace.len() < ctx.opts.trace_limit {
+        ctx.trace.push(format!(
+            "[{executed_idx:>6}] b{block_linear} t{lane:<3} /*{pc:04}*/ {ins}"
+        ));
+    }
+
+    // Guard check: a predicated-off instruction issues (and is counted)
+    // but has no architectural effect.
+    let guard_passes = match ins.guard {
+        Some(g) => g.passes(threads[lane].pred(g.pred)),
+        None => true,
+    };
+    if !guard_passes {
+        threads[lane].pc = pc + 1;
+        return apply_timed_faults(ctx, threads, lane, block_linear, shared, executed_idx);
+    }
+
+    // Site-class population bookkeeping (matches the injectors' sampling
+    // spaces; only guard-passing instructions are injectable).
+    {
+        let op = ins.op;
+        let writes_gpr = !op.has_no_dst() && !op.writes_pred();
+        if writes_gpr {
+            ctx.counts.sites.gpr_writers += 1;
+            if !matches!(op, Op::Hadd | Op::Hmul | Op::Hfma | Op::Hmma) {
+                ctx.counts.sites.gpr_writers_no_half += 1;
+            }
+        }
+        if matches!(op, Op::Ldg(_) | Op::Lds(_)) {
+            ctx.counts.sites.loads += 1;
+        }
+        if matches!(
+            op,
+            Op::Ldg(_) | Op::Lds(_) | Op::Stg(_) | Op::Sts(_) | Op::AtomGAdd | Op::AtomSAdd
+        ) {
+            ctx.counts.sites.mem_ops += 1;
+        }
+        if op.writes_pred() {
+            ctx.counts.sites.setp += 1;
+        }
+    }
+
+    let src = |threads: &[Thread], o: Operand| -> u32 {
+        match o {
+            Operand::Reg(r) => threads[lane].reg(r),
+            Operand::Imm(v) => v,
+            Operand::None => 0,
+        }
+    };
+    let src64 = |threads: &[Thread], o: Operand| -> u64 {
+        match o {
+            Operand::Reg(r) => threads[lane].reg64(r),
+            Operand::Imm(v) => v as u64,
+            Operand::None => 0,
+        }
+    };
+    let sf = |threads: &[Thread], o: Operand| f32::from_bits(src(threads, o));
+    let sd = |threads: &[Thread], o: Operand| f64::from_bits(src64(threads, o));
+    let sh = |threads: &[Thread], o: Operand| f16_of(src(threads, o));
+    let si = |threads: &[Thread], o: Operand| src(threads, o) as i32;
+
+    let [a, b, c] = ins.srcs;
+    let mut next_pc = pc + 1;
+
+    enum Write {
+        None,
+        W32(u32),
+        W64(u64),
+        Pred(bool),
+    }
+
+    let write = match ins.op {
+        Op::Fadd => Write::W32((sf(threads, a) + sf(threads, b)).to_bits()),
+        Op::Fmul => Write::W32((sf(threads, a) * sf(threads, b)).to_bits()),
+        Op::Ffma => Write::W32(sf(threads, a).mul_add(sf(threads, b), sf(threads, c)).to_bits()),
+        Op::Fmin => Write::W32(sf(threads, a).min(sf(threads, b)).to_bits()),
+        Op::Fmax => Write::W32(sf(threads, a).max(sf(threads, b)).to_bits()),
+        Op::Fsetp(cmp) => {
+            let (x, y) = (sf(threads, a), sf(threads, b));
+            let v = match x.partial_cmp(&y) {
+                Some(ord) => cmp.eval_ord(ord),
+                None => cmp == CmpOp::Ne, // unordered
+            };
+            Write::Pred(v)
+        }
+        Op::F2i => Write::W32(sf(threads, a) as i32 as u32),
+        Op::I2f => Write::W32((si(threads, a) as f32).to_bits()),
+        Op::F2d => Write::W64((sf(threads, a) as f64).to_bits()),
+        Op::D2f => Write::W32((sd(threads, a) as f32).to_bits()),
+        Op::F2h => Write::W32(F16::from_f32(sf(threads, a)).to_bits() as u32),
+        Op::Frcp => Write::W32((1.0 / sf(threads, a)).to_bits()),
+        Op::Fsqrt => Write::W32(sf(threads, a).sqrt().to_bits()),
+        Op::Drcp => Write::W64((1.0 / sd(threads, a)).to_bits()),
+        Op::Dsqrt => Write::W64(sd(threads, a).sqrt().to_bits()),
+        Op::H2f => Write::W32(sh(threads, a).to_f32().to_bits()),
+        Op::Dadd => Write::W64((sd(threads, a) + sd(threads, b)).to_bits()),
+        Op::Dmul => Write::W64((sd(threads, a) * sd(threads, b)).to_bits()),
+        Op::Dfma => Write::W64(sd(threads, a).mul_add(sd(threads, b), sd(threads, c)).to_bits()),
+        Op::Dsetp(cmp) => {
+            let (x, y) = (sd(threads, a), sd(threads, b));
+            let v = match x.partial_cmp(&y) {
+                Some(ord) => cmp.eval_ord(ord),
+                None => cmp == CmpOp::Ne,
+            };
+            Write::Pred(v)
+        }
+        Op::Hadd => Write::W32(sh(threads, a).add(sh(threads, b)).to_bits() as u32),
+        Op::Hmul => Write::W32(sh(threads, a).mul(sh(threads, b)).to_bits() as u32),
+        Op::Hfma => Write::W32(sh(threads, a).fma(sh(threads, b), sh(threads, c)).to_bits() as u32),
+        Op::Hsetp(cmp) => {
+            let v = match sh(threads, a).partial_cmp(sh(threads, b)) {
+                Some(ord) => cmp.eval_ord(ord),
+                None => cmp == CmpOp::Ne,
+            };
+            Write::Pred(v)
+        }
+        Op::Iadd => Write::W32(si(threads, a).wrapping_add(si(threads, b)) as u32),
+        Op::Imul => Write::W32(si(threads, a).wrapping_mul(si(threads, b)) as u32),
+        Op::Imad => Write::W32(
+            si(threads, a).wrapping_mul(si(threads, b)).wrapping_add(si(threads, c)) as u32,
+        ),
+        Op::Isetp(cmp) => Write::Pred(cmp.eval_ord(si(threads, a).cmp(&si(threads, b)))),
+        Op::Imin => Write::W32(si(threads, a).min(si(threads, b)) as u32),
+        Op::Imax => Write::W32(si(threads, a).max(si(threads, b)) as u32),
+        Op::Shl => Write::W32(src(threads, a) << (src(threads, b) & 31)),
+        Op::Shr => Write::W32(src(threads, a) >> (src(threads, b) & 31)),
+        Op::Asr => Write::W32((si(threads, a) >> (src(threads, b) & 31)) as u32),
+        Op::And => Write::W32(src(threads, a) & src(threads, b)),
+        Op::Or => Write::W32(src(threads, a) | src(threads, b)),
+        Op::Xor => Write::W32(src(threads, a) ^ src(threads, b)),
+        Op::Not => Write::W32(!src(threads, a)),
+        Op::Mov => Write::W32(src(threads, a)),
+        Op::Sel => {
+            let (p, neg) = ins.psrc.expect("validated SEL has psrc");
+            let cond = threads[lane].pred(p) != neg;
+            Write::W32(if cond { src(threads, a) } else { src(threads, b) })
+        }
+        Op::S2r(sr) => {
+            let th = &threads[lane];
+            let v = match sr {
+                SpecialReg::TidX => th.tid_x,
+                SpecialReg::TidY => th.tid_y,
+                SpecialReg::CtaidX => bx,
+                SpecialReg::CtaidY => by,
+                SpecialReg::NtidX => ctx.launch.block.x,
+                SpecialReg::NtidY => ctx.launch.block.y,
+                SpecialReg::NctaidX => ctx.launch.grid.x,
+                SpecialReg::NctaidY => ctx.launch.grid.y,
+                SpecialReg::LaneId => (lane as u32) % WARP_SIZE,
+                SpecialReg::WarpId => warp_in_block,
+            };
+            Write::W32(v)
+        }
+        Op::Ldp => {
+            let idx = src(threads, a) as usize;
+            Write::W32(ctx.launch.params.get(idx).copied().unwrap_or(0))
+        }
+        Op::Ldg(w) | Op::Lds(w) => {
+            let mut addr = src(threads, a).wrapping_add(src(threads, b));
+            if let Some(flip) = addr_fault(ctx) {
+                addr ^= flip.mask as u32;
+            }
+            let bytes = w.bytes();
+            if addr % bytes != 0 {
+                return Err(if matches!(ins.op, Op::Ldg(_)) {
+                    DueKind::MemoryViolation
+                } else {
+                    DueKind::SharedViolation
+                });
+            }
+            let res = if matches!(ins.op, Op::Ldg(_)) {
+                ctx.global.device_read(addr, bytes, ctx.opts.ecc).map_err(|_| DueKind::MemoryViolation)
+            } else {
+                shared.device_read(addr, bytes, ctx.opts.ecc).map_err(|_| DueKind::SharedViolation)
+            };
+            let (value, ecc_due) = res?;
+            if ecc_due {
+                return Err(DueKind::EccDoubleBit);
+            }
+            match w {
+                MemWidth::W64 => Write::W64(value),
+                _ => Write::W32(value as u32),
+            }
+        }
+        Op::Stg(w) | Op::Sts(w) => {
+            let mut addr = src(threads, a).wrapping_add(src(threads, b));
+            if let Some(flip) = addr_fault(ctx) {
+                addr ^= flip.mask as u32;
+            }
+            let bytes = w.bytes();
+            if addr % bytes != 0 {
+                return Err(if matches!(ins.op, Op::Stg(_)) {
+                    DueKind::MemoryViolation
+                } else {
+                    DueKind::SharedViolation
+                });
+            }
+            let value = match (w, c) {
+                (MemWidth::W64, o) => src64(threads, o),
+                (MemWidth::W16, o) => (src(threads, o) & 0xFFFF) as u64,
+                (_, o) => src(threads, o) as u64,
+            };
+            let res = if matches!(ins.op, Op::Stg(_)) {
+                ctx.global.device_write(addr, bytes, value).map_err(|_| DueKind::MemoryViolation)
+            } else {
+                shared.device_write(addr, bytes, value).map_err(|_| DueKind::SharedViolation)
+            };
+            res?;
+            Write::None
+        }
+        Op::AtomGAdd | Op::AtomSAdd => {
+            let mut addr = src(threads, a).wrapping_add(src(threads, b));
+            if let Some(flip) = addr_fault(ctx) {
+                addr ^= flip.mask as u32;
+            }
+            if addr % 4 != 0 {
+                return Err(if ins.op == Op::AtomGAdd {
+                    DueKind::MemoryViolation
+                } else {
+                    DueKind::SharedViolation
+                });
+            }
+            let val = src(threads, c);
+            let res = if ins.op == Op::AtomGAdd {
+                ctx.global.device_read(addr, 4, ctx.opts.ecc).map_err(|_| DueKind::MemoryViolation)
+            } else {
+                shared.device_read(addr, 4, ctx.opts.ecc).map_err(|_| DueKind::SharedViolation)
+            };
+            let (old, ecc_due) = res?;
+            if ecc_due {
+                return Err(DueKind::EccDoubleBit);
+            }
+            let new = (old as u32).wrapping_add(val) as u64;
+            let wres = if ins.op == Op::AtomGAdd {
+                ctx.global.device_write(addr, 4, new).map_err(|_| DueKind::MemoryViolation)
+            } else {
+                shared.device_write(addr, 4, new).map_err(|_| DueKind::SharedViolation)
+            };
+            wres?;
+            Write::W32(old as u32)
+        }
+        Op::Shfl(_) => unreachable!("SHFL handled at warp level"),
+        Op::Hmma | Op::Fmma => unreachable!("MMA handled at warp level"),
+        Op::Bra => {
+            next_pc = ins.target.expect("validated branch");
+            Write::None
+        }
+        Op::Bar => {
+            threads[lane].state = TState::AtBarrier;
+            Write::None
+        }
+        Op::Exit => {
+            threads[lane].state = TState::Exited;
+            Write::None
+        }
+        Op::Nop => Write::None,
+    };
+
+    // Output-value fault injection, then write-back.
+    match write {
+        Write::None => {}
+        Write::W32(mut v) => {
+            if let Some(c) = output_fault(ctx, ins.op) {
+                v = c.apply32(v);
+            }
+            threads[lane].set_reg(ins.dst, v);
+        }
+        Write::W64(mut v) => {
+            if let Some(c) = output_fault(ctx, ins.op) {
+                v = c.apply64(v);
+            }
+            threads[lane].set_reg64(ins.dst, v);
+        }
+        Write::Pred(mut v) => {
+            if pred_fault(ctx) {
+                v = !v;
+            }
+            threads[lane].set_pred(ins.pdst.expect("validated SETP"), v);
+        }
+    }
+
+    threads[lane].pc = next_pc;
+    apply_timed_faults(ctx, threads, lane, block_linear, shared, executed_idx)
+}
+
+/// Execute a warp-synchronous 16x16x16 MMA.
+///
+/// Fragment layout: lane `l` holds elements `l*8 .. l*8+8` of each
+/// row-major 16x16 matrix. A and B elements are binary16, packed two per
+/// register starting at the named base register. The C/D fragment is
+/// binary16-packed for `HMMA` and one binary32 per register for `FMMA`.
+/// Products accumulate in binary32 and round once at the end (HMMA).
+fn exec_mma(
+    ctx: &mut Ctx<'_>,
+    threads: &mut [Thread],
+    lo: usize,
+    hi: usize,
+    ins: &Instr,
+) -> Result<(), DueKind> {
+    assert_eq!(hi - lo, WARP_SIZE as usize, "MMA requires a full warp");
+    let a_base = ins.srcs[0].reg().expect("MMA A fragment").0 as usize;
+    let b_base = ins.srcs[1].reg().expect("MMA B fragment").0 as usize;
+    let c_base = ins.srcs[2].reg().expect("MMA C fragment").0 as usize;
+    let is_hmma = ins.op == Op::Hmma;
+
+    // One warp instruction: account it once, on the owning warp's slot.
+    let warp_in_block = lo / WARP_SIZE as usize;
+    let global_warp =
+        ctx.current_block as usize * ctx.launch.warps_per_block() as usize + warp_in_block;
+    let executed_idx = account(ctx, ins.op, global_warp)?;
+    if ctx.trace.len() < ctx.opts.trace_limit {
+        ctx.trace.push(format!("[{executed_idx:>6}] warp{global_warp:<3} {ins}"));
+    }
+    ctx.counts.sites.gpr_writers += 1; // the D-fragment write
+
+    let mut a_m = [[0f32; 16]; 16];
+    let mut b_m = [[0f32; 16]; 16];
+    let mut c_m = [[0f32; 16]; 16];
+    for l in 0..32 {
+        let th = &threads[lo + l];
+        for j in 0..8 {
+            let idx = l * 8 + j;
+            let (row, col) = (idx / 16, idx % 16);
+            let a_bits = th.regs[a_base + j / 2];
+            let a_half = if j % 2 == 0 { a_bits & 0xFFFF } else { a_bits >> 16 };
+            a_m[row][col] = F16::from_bits(a_half as u16).to_f32();
+            let b_bits = th.regs[b_base + j / 2];
+            let b_half = if j % 2 == 0 { b_bits & 0xFFFF } else { b_bits >> 16 };
+            b_m[row][col] = F16::from_bits(b_half as u16).to_f32();
+            c_m[row][col] = if is_hmma {
+                let c_bits = th.regs[c_base + j / 2];
+                let c_half = if j % 2 == 0 { c_bits & 0xFFFF } else { c_bits >> 16 };
+                F16::from_bits(c_half as u16).to_f32()
+            } else {
+                f32::from_bits(th.regs[c_base + j])
+            };
+        }
+    }
+
+    let mut d = [[0f32; 16]; 16];
+    for r in 0..16 {
+        for cc in 0..16 {
+            let mut acc = c_m[r][cc];
+            for k in 0..16 {
+                acc += a_m[r][k] * b_m[k][cc];
+            }
+            d[r][cc] = acc;
+        }
+    }
+
+    // Output fault: corrupt one D element, selected by the plan's nth.
+    if let Some(c) = output_fault(ctx, ins.op) {
+        let nth = match ctx.opts.fault {
+            FaultPlan::InstructionOutput { nth, .. }
+            | FaultPlan::InstructionOutputSet { nth, .. } => nth,
+            _ => 0,
+        };
+        let idx = (nth % 256) as usize;
+        let (r, cc) = (idx / 16, idx % 16);
+        if is_hmma {
+            let bits = c.apply32(F16::from_f32(d[r][cc]).to_bits() as u32) as u16;
+            d[r][cc] = F16::from_bits(bits).to_f32();
+        } else {
+            d[r][cc] = f32::from_bits(c.apply32(d[r][cc].to_bits()));
+        }
+    }
+
+    for l in 0..32 {
+        let th = &mut threads[lo + l];
+        for j in 0..8 {
+            let idx = l * 8 + j;
+            let (row, col) = (idx / 16, idx % 16);
+            if is_hmma {
+                let half = F16::from_f32(d[row][col]).to_bits() as u32;
+                let reg = c_base + j / 2;
+                if j % 2 == 0 {
+                    th.regs[reg] = (th.regs[reg] & 0xFFFF_0000) | half;
+                } else {
+                    th.regs[reg] = (th.regs[reg] & 0x0000_FFFF) | (half << 16);
+                }
+            } else {
+                th.regs[c_base + j] = d[row][col].to_bits();
+            }
+        }
+    }
+
+    // Timed faults (RF/memory strikes) landing exactly on an MMA instant
+    // are not applied mid-MMA; the next scalar instruction applies them.
+    let _ = executed_idx;
+    Ok(())
+}
+
+/// Execute a warp-synchronous shuffle: every lane reads `srcs[0]` from
+/// the lane selected by the mode and `srcs[1]`, simultaneously.
+fn exec_shfl(
+    ctx: &mut Ctx<'_>,
+    threads: &mut [Thread],
+    lo: usize,
+    hi: usize,
+    ins: &Instr,
+) -> Result<(), DueKind> {
+    let Op::Shfl(mode) = ins.op else { unreachable!("exec_shfl on non-SHFL") };
+    let warp_in_block = lo / WARP_SIZE as usize;
+    let global_warp =
+        ctx.current_block as usize * ctx.launch.warps_per_block() as usize + warp_in_block;
+    let _idx = account(ctx, ins.op, global_warp)?;
+    if ctx.trace.len() < ctx.opts.trace_limit {
+        ctx.trace.push(format!("[{_idx:>6}] warp{global_warp:<3} {ins}"));
+    }
+    ctx.counts.sites.gpr_writers += 1;
+
+    let width = hi - lo;
+    // Gather every lane's source value and selector first (simultaneous
+    // exchange semantics).
+    let mut values = Vec::with_capacity(width);
+    let mut sels = Vec::with_capacity(width);
+    for l in 0..width {
+        let th = &threads[lo + l];
+        let v = match ins.srcs[0] {
+            Operand::Reg(r) => th.reg(r),
+            Operand::Imm(i) => i,
+            Operand::None => 0,
+        };
+        let sel = match ins.srcs[1] {
+            Operand::Reg(r) => th.reg(r),
+            Operand::Imm(i) => i,
+            Operand::None => 0,
+        };
+        values.push(v);
+        sels.push(sel);
+    }
+    let mut results = Vec::with_capacity(width);
+    for (l, &sel) in sels.iter().enumerate() {
+        let src_lane = match mode {
+            gpu_arch::ShflMode::Idx => (sel as usize) % width.max(1),
+            gpu_arch::ShflMode::Up => l.saturating_sub(sel as usize),
+            gpu_arch::ShflMode::Down => (l + sel as usize).min(width - 1),
+            gpu_arch::ShflMode::Bfly => (l ^ (sel as usize)) % width.max(1),
+        };
+        results.push(values[src_lane]);
+    }
+    // One output fault can land on one lane's result.
+    if let Some(c) = output_fault(ctx, ins.op) {
+        let nth = match ctx.opts.fault {
+            FaultPlan::InstructionOutput { nth, .. }
+            | FaultPlan::InstructionOutputSet { nth, .. } => nth,
+            _ => 0,
+        };
+        let lane = (nth as usize) % width.max(1);
+        results[lane] = c.apply32(results[lane]);
+    }
+    for (l, v) in results.into_iter().enumerate() {
+        threads[lo + l].set_reg(ins.dst, v);
+    }
+    Ok(())
+}

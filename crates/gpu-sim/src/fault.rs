@@ -1,0 +1,310 @@
+//! Fault descriptors: what a single transient fault corrupts, and the DUE
+//! taxonomy the simulator reports.
+//!
+//! A [`FaultPlan`] describes exactly one fault (the paper's single-strike
+//! assumption, Section IV-A). The injectors and the beam engine construct
+//! plans; the execution engine triggers them at the right dynamic instant.
+
+use gpu_arch::{FunctionalUnit, MemWidth, Op};
+use std::fmt;
+
+/// An XOR corruption mask applied to a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitFlip {
+    /// XOR mask (up to 64 bits for register pairs; low 32 used otherwise).
+    pub mask: u64,
+}
+
+impl BitFlip {
+    /// Flip a single bit.
+    pub fn single(bit: u32) -> BitFlip {
+        BitFlip { mask: 1u64 << (bit & 63) }
+    }
+
+    /// Flip two (distinct) bits — a Multiple Bit Upset in one word.
+    pub fn double(bit_a: u32, bit_b: u32) -> BitFlip {
+        BitFlip { mask: (1u64 << (bit_a & 63)) | (1u64 << (bit_b & 63)) }
+    }
+
+    /// Number of bits this flip corrupts.
+    pub fn bits(self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+/// Which dynamic instructions an instruction-level injection may target.
+///
+/// These mirror the injectors' documented instruction groups: SASSIFI's
+/// FP/INT/LD output groups and store-address group, NVBitFI's
+/// "instructions that write general-purpose registers" (which excludes
+/// half-precision ops — the limitation behind HHotspot's 27x
+/// overestimation in Section VII-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteClass {
+    /// Any instruction writing a general-purpose register.
+    GprWriter,
+    /// Any instruction writing a GPR except binary16 arithmetic (NVBitFI).
+    GprWriterNoHalf,
+    /// Single-precision and double-precision FP arithmetic outputs.
+    FloatArith,
+    /// Binary16 arithmetic outputs.
+    HalfArith,
+    /// Integer arithmetic outputs.
+    IntArith,
+    /// Load outputs (global and shared).
+    Load,
+    /// A specific functional unit (micro-benchmark AVF measurements).
+    Unit(FunctionalUnit),
+}
+
+impl SiteClass {
+    /// Does `op` belong to this injection site class?
+    pub fn matches(self, op: Op) -> bool {
+        let writes_gpr = !op.has_no_dst() && !op.writes_pred();
+        match self {
+            SiteClass::GprWriter => writes_gpr,
+            SiteClass::GprWriterNoHalf => {
+                writes_gpr && !matches!(op, Op::Hadd | Op::Hmul | Op::Hfma | Op::Hmma)
+            }
+            SiteClass::FloatArith => matches!(
+                op,
+                Op::Fadd | Op::Fmul | Op::Ffma | Op::Fmin | Op::Fmax | Op::Dadd | Op::Dmul | Op::Dfma
+            ),
+            SiteClass::HalfArith => matches!(op, Op::Hadd | Op::Hmul | Op::Hfma),
+            SiteClass::IntArith => matches!(
+                op,
+                Op::Iadd
+                    | Op::Imul
+                    | Op::Imad
+                    | Op::Imin
+                    | Op::Imax
+                    | Op::Shl
+                    | Op::Shr
+                    | Op::Asr
+                    | Op::And
+                    | Op::Or
+                    | Op::Xor
+                    | Op::Not
+            ),
+            SiteClass::Load => matches!(op, Op::Ldg(_) | Op::Lds(_)),
+            SiteClass::Unit(u) => op.functional_unit() == u && writes_gpr,
+        }
+    }
+
+    /// Widest destination this class can corrupt (for bit-position
+    /// sampling): 64 for classes containing pair-writing ops.
+    pub fn dst_bits(self, op: Op) -> u32 {
+        if op.writes_pair() {
+            64
+        } else if matches!(
+            op,
+            Op::Hadd | Op::Hmul | Op::Hfma | Op::F2h | Op::Ldg(MemWidth::W16) | Op::Lds(MemWidth::W16)
+        ) {
+            16
+        } else {
+            32
+        }
+    }
+}
+
+/// A single transient fault to exercise during one run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FaultPlan {
+    /// Fault-free (golden) run.
+    #[default]
+    None,
+    /// Corrupt the destination value of the `nth` dynamic instruction
+    /// matching `site` (0-based among matches), applying `flip` before
+    /// write-back. For MMA ops, the flip lands on result element
+    /// `nth % 256` of the warp's D fragment.
+    InstructionOutput {
+        /// 0-based index among matching dynamic instructions.
+        nth: u64,
+        /// Site filter.
+        site: SiteClass,
+        /// Corruption mask.
+        flip: BitFlip,
+    },
+    /// Replace the destination value of the `nth` matching dynamic
+    /// instruction outright (SASSIFI's "zero value" / "random value"
+    /// injection modes).
+    InstructionOutputSet {
+        /// 0-based index among matching dynamic instructions.
+        nth: u64,
+        /// Site filter.
+        site: SiteClass,
+        /// The replacement value (low bits used for narrow destinations).
+        value: u64,
+    },
+    /// Corrupt the effective address of the `nth` dynamic memory
+    /// instruction (load or store, global or shared) — SASSIFI's address
+    /// injection; the dominant DUE mechanism of the LDST micro-benchmark.
+    MemAddress {
+        /// 0-based index among dynamic memory ops.
+        nth: u64,
+        /// Corruption mask applied to the byte address.
+        flip: BitFlip,
+    },
+    /// Invert the predicate produced by the `nth` dynamic `SETP`.
+    PredicateOutput {
+        /// 0-based index among dynamic SETP instructions.
+        nth: u64,
+    },
+    /// Corrupt the program counter of the thread executing the dynamic
+    /// instruction numbered `at` (global counter), after it executes.
+    Pc {
+        /// Global dynamic-instruction instant.
+        at: u64,
+        /// Mask applied to the PC.
+        flip: BitFlip,
+    },
+    /// Flip a register-file bit of a specific resident thread when the
+    /// global dynamic-instruction counter reaches `at`. With ECC enabled
+    /// the flip is corrected (single) or detected (double).
+    RegisterBit {
+        /// Linear block index.
+        block: u32,
+        /// Linear thread index within the block.
+        thread: u32,
+        /// Register index.
+        reg: u8,
+        /// Corruption mask (32-bit register).
+        flip: BitFlip,
+        /// Global dynamic-instruction instant.
+        at: u64,
+    },
+    /// Flip a bit in global memory at instant `at`.
+    GlobalMemBit {
+        /// Byte address.
+        byte: u32,
+        /// Bit within the containing 32-bit word.
+        bit: u32,
+        /// Global dynamic-instruction instant.
+        at: u64,
+        /// Strike a second bit in the same word (MBU).
+        mbu: bool,
+    },
+    /// Flip a bit in a block's shared memory at instant `at`.
+    SharedMemBit {
+        /// Linear block index.
+        block: u32,
+        /// Byte address within the block's shared segment.
+        byte: u32,
+        /// Bit within the containing word.
+        bit: u32,
+        /// Global dynamic-instruction instant.
+        at: u64,
+        /// Strike a second bit in the same word (MBU).
+        mbu: bool,
+    },
+}
+
+impl FaultPlan {
+    /// True for the golden (fault-free) plan.
+    pub fn is_none(&self) -> bool {
+        matches!(self, FaultPlan::None)
+    }
+}
+
+/// Why a run terminated as a Detected Unrecoverable Error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DueKind {
+    /// Out-of-bounds global memory access (CUDA "illegal memory access").
+    MemoryViolation,
+    /// Out-of-bounds shared memory access.
+    SharedViolation,
+    /// PC left the kernel's code (illegal instruction fetch).
+    IllegalPc,
+    /// Watchdog expired: the run executed far more instructions than the
+    /// golden run (hang / runaway loop).
+    Watchdog,
+    /// Threads deadlocked at a barrier (divergent `__syncthreads`).
+    BarrierDeadlock,
+    /// ECC double-bit detection interrupt.
+    EccDoubleBit,
+    /// A strike in a hidden resource (scheduler, fetch, memory controller,
+    /// host interface) stuck the device. Only the beam engine produces
+    /// this kind — architecture-level injectors cannot reach those
+    /// resources, which is the paper's explanation for the orders-of-
+    /// magnitude DUE underestimation (Section VII-B).
+    HiddenResource,
+}
+
+impl fmt::Display for DueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DueKind::MemoryViolation => "illegal global memory access",
+            DueKind::SharedViolation => "illegal shared memory access",
+            DueKind::IllegalPc => "illegal instruction fetch",
+            DueKind::Watchdog => "watchdog timeout (hang)",
+            DueKind::BarrierDeadlock => "barrier deadlock",
+            DueKind::EccDoubleBit => "ECC double-bit detection",
+            DueKind::HiddenResource => "hidden-resource device error",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_arch::CmpOp;
+
+    #[test]
+    fn bitflip_masks() {
+        assert_eq!(BitFlip::single(0).mask, 1);
+        assert_eq!(BitFlip::single(31).mask, 1 << 31);
+        assert_eq!(BitFlip::double(0, 4).mask, 0b10001);
+        assert_eq!(BitFlip::single(3).bits(), 1);
+        assert_eq!(BitFlip::double(1, 2).bits(), 2);
+    }
+
+    #[test]
+    fn gpr_writer_excludes_stores_and_setp() {
+        assert!(SiteClass::GprWriter.matches(Op::Fadd));
+        assert!(SiteClass::GprWriter.matches(Op::Ldg(MemWidth::W32)));
+        assert!(!SiteClass::GprWriter.matches(Op::Stg(MemWidth::W32)));
+        assert!(!SiteClass::GprWriter.matches(Op::Isetp(CmpOp::Lt)));
+        assert!(!SiteClass::GprWriter.matches(Op::Bra));
+    }
+
+    #[test]
+    fn nvbitfi_class_excludes_half() {
+        assert!(SiteClass::GprWriterNoHalf.matches(Op::Fadd));
+        assert!(!SiteClass::GprWriterNoHalf.matches(Op::Hfma));
+        assert!(!SiteClass::GprWriterNoHalf.matches(Op::Hmma));
+        assert!(SiteClass::GprWriterNoHalf.matches(Op::Dfma));
+    }
+
+    #[test]
+    fn group_classes() {
+        assert!(SiteClass::FloatArith.matches(Op::Dfma));
+        assert!(!SiteClass::FloatArith.matches(Op::Hadd));
+        assert!(SiteClass::HalfArith.matches(Op::Hmul));
+        assert!(SiteClass::IntArith.matches(Op::Shl));
+        assert!(!SiteClass::IntArith.matches(Op::Fadd));
+        assert!(SiteClass::Load.matches(Op::Lds(MemWidth::W64)));
+        assert!(!SiteClass::Load.matches(Op::Sts(MemWidth::W32)));
+    }
+
+    #[test]
+    fn unit_class_requires_gpr_write() {
+        assert!(SiteClass::Unit(FunctionalUnit::Ffma).matches(Op::Ffma));
+        assert!(!SiteClass::Unit(FunctionalUnit::Ldst).matches(Op::Stg(MemWidth::W32)));
+        assert!(SiteClass::Unit(FunctionalUnit::Ldst).matches(Op::Ldg(MemWidth::W32)));
+    }
+
+    #[test]
+    fn dst_bits_by_width() {
+        assert_eq!(SiteClass::GprWriter.dst_bits(Op::Dfma), 64);
+        assert_eq!(SiteClass::GprWriter.dst_bits(Op::Hadd), 16);
+        assert_eq!(SiteClass::GprWriter.dst_bits(Op::Fadd), 32);
+        assert_eq!(SiteClass::GprWriter.dst_bits(Op::Ldg(MemWidth::W16)), 16);
+    }
+
+    #[test]
+    fn default_plan_is_none() {
+        assert!(FaultPlan::default().is_none());
+        assert!(!FaultPlan::PredicateOutput { nth: 0 }.is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the execution engine and the ECC memory
+//! model.
+
+use gpu_arch::{CmpOp, DeviceModel, KernelBuilder, LaunchConfig, MemWidth, Operand, Pred, Reg, SpecialReg};
+use gpu_sim::{run, run_golden, BitFlip, ExecStatus, FaultPlan, GlobalMemory, RunOptions};
+use proptest::prelude::*;
+
+fn r(i: u8) -> Reg {
+    Reg(i)
+}
+
+/// A little arithmetic kernel: out[i] = (a*x[i] + b) * x[i] + i.
+fn poly_kernel() -> gpu_arch::Kernel {
+    let mut b = KernelBuilder::new("poly");
+    b.s2r(r(0), SpecialReg::TidX);
+    b.ldp(r(1), 0); // x base
+    b.ldp(r(2), 1); // out base
+    b.shl(r(3), r(0).into(), Operand::Imm(2));
+    b.iadd(r(1), r(1).into(), r(3).into());
+    b.ldg(MemWidth::W32, r(4), r(1), 0);
+    b.ldp(r(5), 2); // a
+    b.ldp(r(6), 3); // b
+    b.ffma(r(7), r(5).into(), r(4).into(), r(6).into());
+    b.i2f(r(8), r(0).into());
+    b.ffma(r(7), r(7).into(), r(4).into(), r(8).into());
+    b.iadd(r(2), r(2).into(), r(3).into());
+    b.stg(MemWidth::W32, r(2), 0, r(7));
+    b.exit();
+    b.build().unwrap()
+}
+
+fn poly_setup(xs: &[f32], a: f32, bb: f32) -> (gpu_arch::Kernel, LaunchConfig, GlobalMemory) {
+    let n = xs.len() as u32;
+    let mut mem = GlobalMemory::new(8 * n);
+    for (i, &x) in xs.iter().enumerate() {
+        mem.write_f32_host(4 * i as u32, x);
+    }
+    let launch = LaunchConfig::new(1, n, vec![0, 4 * n, a.to_bits(), bb.to_bits()]);
+    (poly_kernel(), launch, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine computes the polynomial bit-exactly for arbitrary inputs.
+    #[test]
+    fn poly_matches_host(
+        xs in prop::collection::vec(-100f32..100.0, 1..64),
+        a in -10f32..10.0,
+        bb in -10f32..10.0,
+    ) {
+        let device = DeviceModel::v100_sim();
+        let (k, l, m) = poly_setup(&xs, a, bb);
+        let out = run_golden(&device, &k, &l, m);
+        prop_assert_eq!(out.status, ExecStatus::Completed);
+        for (i, &x) in xs.iter().enumerate() {
+            let expect = a.mul_add(x, bb).mul_add(x, i as f32);
+            let got = out.memory.read_f32_host(4 * xs.len() as u32 + 4 * i as u32);
+            prop_assert_eq!(got.to_bits(), expect.to_bits());
+        }
+    }
+
+    /// Executions are deterministic for arbitrary fault plans: same plan,
+    /// same result, including counts.
+    #[test]
+    fn faulted_runs_deterministic(
+        nth in 0u64..500,
+        bit in 0u32..32,
+        xs in prop::collection::vec(-10f32..10.0, 4..32),
+    ) {
+        let device = DeviceModel::k40c_sim();
+        let (k, l, m) = poly_setup(&xs, 1.5, -0.25);
+        let opts = RunOptions {
+            ecc: false,
+            fault: FaultPlan::InstructionOutput {
+                nth,
+                site: gpu_sim::SiteClass::GprWriter,
+                flip: BitFlip::single(bit),
+            },
+            watchdog_limit: 1_000_000,
+            ..RunOptions::default()
+        };
+        let a = run(&device, &k, &l, m.clone(), &opts);
+        let b = run(&device, &k, &l, m, &opts);
+        prop_assert_eq!(a.status, b.status);
+        prop_assert_eq!(a.counts.total, b.counts.total);
+        prop_assert_eq!(a.memory.raw(), b.memory.raw());
+        prop_assert_eq!(a.fault_triggered, b.fault_triggered);
+    }
+
+    /// ECC invariant: any single-bit memory strike is fully corrected —
+    /// the run completes with output identical to golden.
+    #[test]
+    fn ecc_corrects_any_single_bit_strike(
+        byte in 0u32..256,
+        bit in 0u32..32,
+        at in 0u64..400,
+        xs in prop::collection::vec(-10f32..10.0, 8..32),
+    ) {
+        let device = DeviceModel::v100_sim();
+        let (k, l, m) = poly_setup(&xs, 2.0, 1.0);
+        prop_assume!(byte < m.len());
+        let golden = run_golden(&device, &k, &l, m.clone());
+        let opts = RunOptions {
+            ecc: true,
+            fault: FaultPlan::GlobalMemBit { byte, bit, at, mbu: false },
+            watchdog_limit: 1_000_000,
+            ..RunOptions::default()
+        };
+        let out = run(&device, &k, &l, m, &opts);
+        prop_assert_eq!(out.status, ExecStatus::Completed);
+        prop_assert_eq!(out.memory.raw(), golden.memory.raw());
+    }
+
+    /// Without ECC, a memory strike either lands in the output comparison
+    /// window or is masked — but never crashes this in-bounds kernel.
+    #[test]
+    fn memory_strike_never_crashes_inbounds_kernel(
+        byte in 0u32..256,
+        bit in 0u32..32,
+        at in 0u64..400,
+    ) {
+        let device = DeviceModel::v100_sim();
+        let xs: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let (k, l, m) = poly_setup(&xs, 1.0, 0.0);
+        prop_assume!(byte < m.len());
+        let opts = RunOptions {
+            ecc: false,
+            fault: FaultPlan::GlobalMemBit { byte, bit, at, mbu: false },
+            watchdog_limit: 1_000_000,
+            ..RunOptions::default()
+        };
+        let out = run(&device, &k, &l, m, &opts);
+        prop_assert_eq!(out.status, ExecStatus::Completed);
+    }
+
+    /// A guarded loop kernel terminates for any trip count, and its
+    /// dynamic instruction count grows monotonically with the bound.
+    #[test]
+    fn loop_counts_monotone(n1 in 1u32..60, n2 in 1u32..60) {
+        fn loop_kernel(n: u32) -> gpu_arch::Kernel {
+            let mut b = KernelBuilder::new("loop");
+            b.mov(r(0), Operand::Imm(0));
+            b.label("top");
+            b.iadd(r(0), r(0).into(), Operand::Imm(1));
+            b.isetp(Pred(0), CmpOp::Lt, r(0).into(), Operand::Imm(n));
+            b.if_p(Pred(0)).bra("top");
+            b.exit();
+            b.build().unwrap()
+        }
+        let device = DeviceModel::k40c_sim();
+        let launch = LaunchConfig::new(1, 1, vec![]);
+        let a = run_golden(&device, &loop_kernel(n1), &launch, GlobalMemory::new(4));
+        let b = run_golden(&device, &loop_kernel(n2), &launch, GlobalMemory::new(4));
+        prop_assert_eq!(a.status, ExecStatus::Completed);
+        if n1 < n2 {
+            prop_assert!(a.counts.total < b.counts.total);
+        }
+    }
+}

@@ -1,0 +1,639 @@
+//! Architecture-level fault injection: models of **SASSIFI** and
+//! **NVBitFI** (Section III-D).
+//!
+//! Both frameworks instrument SASS and corrupt *architecturally visible*
+//! state — instruction outputs, predicate registers, general-purpose
+//! registers, addresses. Neither can reach schedulers, fetch logic, or
+//! memory controllers, which is precisely why the paper finds DUE rates
+//! underestimated by orders of magnitude.
+//!
+//! The models reproduce the documented capability differences:
+//!
+//! * **SASSIFI** targets Kepler/Maxwell, supports injections into the
+//!   outputs of FP/INT/load instruction groups, predicate registers,
+//!   general-purpose registers, and store addresses — but cannot
+//!   instrument pre-compiled proprietary-library kernels (cuBLAS GEMM,
+//!   cuDNN-backed YOLO) at all.
+//! * **NVBitFI** targets Kepler through Turing and *can* instrument
+//!   proprietary libraries, but only injects into instructions that write
+//!   general-purpose registers and — as of the paper's submission —
+//!   **not into half-precision instructions**, the limitation behind the
+//!   HHotspot 27x overestimation (Section VII-A).
+//!
+//! An injection campaign draws `n` single-bit faults uniformly over the
+//! target's dynamic injectable-site population, runs each to completion,
+//! and classifies the outcome as SDC / DUE / Masked, yielding the AVF
+//! with a Wilson 95% CI.
+
+use gpu_arch::{Architecture, DeviceModel, FunctionalUnit};
+use gpu_sim::{BitFlip, ExecStatus, Executed, FaultPlan, RunOptions, SiteClass, Target};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use stats::{binomial_ci95, Outcome, OutcomeCounts};
+use std::fmt;
+
+/// The two fault-injection frameworks compared by the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Injector {
+    /// SASSIFI (ISPASS'17): CUDA 7-era, Kepler/Maxwell.
+    Sassifi,
+    /// NVBitFI (DSN'20): CUDA 10-era, Kepler..Turing.
+    NvBitFi,
+}
+
+impl fmt::Display for Injector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Injector::Sassifi => write!(f, "SASSIFI"),
+            Injector::NvBitFi => write!(f, "NVBitFI"),
+        }
+    }
+}
+
+/// Why an injector refuses a target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Unsupported {
+    /// The architecture is outside the injector's support matrix.
+    Architecture(Architecture),
+    /// SASSIFI cannot instrument proprietary-library kernels.
+    ProprietaryKernel,
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unsupported::Architecture(a) => write!(f, "architecture {a:?} not supported"),
+            Unsupported::ProprietaryKernel => {
+                write!(f, "cannot instrument proprietary-library kernels")
+            }
+        }
+    }
+}
+
+impl Injector {
+    /// Can this injector instrument `target` on `device`?
+    pub fn supports<T: Target + ?Sized>(
+        self,
+        target: &T,
+        device: &DeviceModel,
+    ) -> Result<(), Unsupported> {
+        match self {
+            Injector::Sassifi => {
+                if device.arch != Architecture::Kepler {
+                    return Err(Unsupported::Architecture(device.arch));
+                }
+                if target.proprietary() {
+                    return Err(Unsupported::ProprietaryKernel);
+                }
+                Ok(())
+            }
+            Injector::NvBitFi => Ok(()),
+        }
+    }
+}
+
+/// An injection mode: which fault model one run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Flip one bit of the output value of an instruction in a site class.
+    Output(SiteClass),
+    /// Replace the output with a random value (SASSIFI's RV model).
+    OutputRandom(SiteClass),
+    /// Replace the output with zero (SASSIFI's ZV model).
+    OutputZero(SiteClass),
+    /// Invert a predicate produced by a `SETP`.
+    Predicate,
+    /// Flip a bit of a live general-purpose register (SASSIFI's GPR/RF
+    /// mode).
+    Register,
+    /// Corrupt a memory instruction's effective address (SASSIFI's
+    /// store-address group, extended to loads as in its LD group).
+    Address,
+}
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Number of injection runs.
+    pub injections: u32,
+    /// RNG seed (campaigns are fully reproducible).
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        // The paper uses >= 4,000 per code for NVBitFI; the default here
+        // is sized for a laptop-scale simulator while keeping the Wilson
+        // 95% CI under ~3%.
+        CampaignConfig { injections: 1000, seed: 0x5EED }
+    }
+}
+
+/// The result of an AVF campaign (one bar of Figure 4).
+#[derive(Clone, Debug)]
+pub struct AvfResult {
+    /// Target name.
+    pub target: String,
+    /// Which injector ran.
+    pub injector: Injector,
+    /// Outcome tallies.
+    pub counts: OutcomeCounts,
+    /// SDC AVF with 95% CI.
+    pub sdc: (f64, f64, f64),
+    /// DUE AVF with 95% CI.
+    pub due: (f64, f64, f64),
+    /// Masked fraction.
+    pub masked: f64,
+}
+
+impl AvfResult {
+    fn from_counts(target: String, injector: Injector, counts: OutcomeCounts) -> Self {
+        let total = counts.total();
+        let (slo, shi) = binomial_ci95(counts.sdc, total);
+        let (dlo, dhi) = binomial_ci95(counts.due, total);
+        AvfResult {
+            target,
+            injector,
+            counts,
+            sdc: (counts.sdc_fraction(), slo, shi),
+            due: (counts.due_fraction(), dlo, dhi),
+            masked: counts.masked_fraction(),
+        }
+    }
+
+    /// SDC AVF point estimate.
+    pub fn sdc_avf(&self) -> f64 {
+        self.sdc.0
+    }
+
+    /// SDC AVF with a resolution floor of half an event: a campaign that
+    /// observed zero SDCs can only bound the AVF, not prove it zero
+    /// (relevant for the CNNs, whose classification tolerance masks
+    /// almost everything).
+    pub fn sdc_avf_floored(&self) -> f64 {
+        self.sdc_avf().max(0.5 / self.counts.total().max(1) as f64)
+    }
+
+    /// DUE AVF with the same resolution floor.
+    pub fn due_avf_floored(&self) -> f64 {
+        self.due_avf().max(0.5 / self.counts.total().max(1) as f64)
+    }
+
+    /// DUE AVF point estimate.
+    pub fn due_avf(&self) -> f64 {
+        self.due.0
+    }
+}
+
+/// The modes an injector cycles through, given the target's dynamic site
+/// populations (modes with an empty population are dropped).
+fn available_modes(injector: Injector, sites: &gpu_sim::SiteCounts, unit_counts: &[u64; FunctionalUnit::COUNT]) -> Vec<Mode> {
+    let unit = |u: FunctionalUnit| unit_counts[u.index()];
+    match injector {
+        Injector::Sassifi => {
+            // One mode per instruction group ("1,000 for each instruction
+            // kind"), plus predicate, GPR and address modes.
+            let mut modes = Vec::new();
+            let float: u64 = [FunctionalUnit::Fadd, FunctionalUnit::Fmul, FunctionalUnit::Ffma]
+                .iter()
+                .map(|&u| unit(u))
+                .sum();
+            let double: u64 = [FunctionalUnit::Dadd, FunctionalUnit::Dmul, FunctionalUnit::Dfma]
+                .iter()
+                .map(|&u| unit(u))
+                .sum();
+            let int: u64 = [FunctionalUnit::Iadd, FunctionalUnit::Imul, FunctionalUnit::Imad]
+                .iter()
+                .map(|&u| unit(u))
+                .sum();
+            if float + double > 0 {
+                modes.push(Mode::Output(SiteClass::FloatArith));
+                modes.push(Mode::OutputRandom(SiteClass::FloatArith));
+                modes.push(Mode::OutputZero(SiteClass::FloatArith));
+            }
+            if int > 0 {
+                modes.push(Mode::Output(SiteClass::IntArith));
+                modes.push(Mode::OutputRandom(SiteClass::IntArith));
+            }
+            if sites.loads > 0 {
+                modes.push(Mode::Output(SiteClass::Load));
+            }
+            if sites.setp > 0 {
+                modes.push(Mode::Predicate);
+            }
+            modes.push(Mode::Register);
+            if sites.mem_ops > 0 {
+                modes.push(Mode::Address);
+            }
+            modes
+        }
+        Injector::NvBitFi => {
+            // Injections into instructions that write GPRs — excluding
+            // half-precision ops (documented limitation).
+            if sites.gpr_writers_no_half > 0 {
+                vec![Mode::Output(SiteClass::GprWriterNoHalf)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// Population size of a site class (for uniform `nth` sampling).
+fn class_population(
+    class: SiteClass,
+    sites: &gpu_sim::SiteCounts,
+    unit_counts: &[u64; FunctionalUnit::COUNT],
+) -> u64 {
+    use FunctionalUnit::*;
+    let unit = |u: FunctionalUnit| unit_counts[u.index()];
+    match class {
+        SiteClass::GprWriter => sites.gpr_writers,
+        SiteClass::GprWriterNoHalf => sites.gpr_writers_no_half,
+        SiteClass::FloatArith => {
+            [Fadd, Fmul, Ffma, Dadd, Dmul, Dfma].iter().map(|&u| unit(u)).sum()
+        }
+        SiteClass::HalfArith => [Hadd, Hmul, Hfma].iter().map(|&u| unit(u)).sum(),
+        SiteClass::IntArith => [Iadd, Imul, Imad].iter().map(|&u| unit(u)).sum(),
+        SiteClass::Load => sites.loads,
+        SiteClass::Unit(u) => unit(u),
+    }
+}
+
+/// Bit-width hint for sampling a flip position in a class.
+fn class_bits(class: SiteClass) -> u32 {
+    match class {
+        SiteClass::HalfArith => 16,
+        SiteClass::Unit(u) => match u {
+            FunctionalUnit::Hadd | FunctionalUnit::Hmul | FunctionalUnit::Hfma
+            | FunctionalUnit::Hmma => 16,
+            FunctionalUnit::Dadd | FunctionalUnit::Dmul | FunctionalUnit::Dfma => 64,
+            _ => 32,
+        },
+        // NVBitFI and SASSIFI flip bits of 32-bit architectural registers;
+        // 64-bit values occupy two registers and each injection touches
+        // one of them — the low word here (documented simplification).
+        _ => 32,
+    }
+}
+
+/// Draw one fault plan for `mode`.
+fn sample_plan<R: Rng>(
+    rng: &mut R,
+    mode: Mode,
+    golden: &Executed,
+    target_launch: &gpu_arch::LaunchConfig,
+    regs_per_thread: u16,
+) -> Option<FaultPlan> {
+    let sites = &golden.counts.sites;
+    match mode {
+        Mode::Output(class) => {
+            let pop = class_population(class, sites, &golden.counts.per_unit);
+            if pop == 0 {
+                return None;
+            }
+            let nth = rng.gen_range(0..pop);
+            let bit = rng.gen_range(0..class_bits(class));
+            Some(FaultPlan::InstructionOutput { nth, site: class, flip: BitFlip::single(bit) })
+        }
+        Mode::OutputRandom(class) => {
+            let pop = class_population(class, sites, &golden.counts.per_unit);
+            if pop == 0 {
+                return None;
+            }
+            Some(FaultPlan::InstructionOutputSet {
+                nth: rng.gen_range(0..pop),
+                site: class,
+                value: rng.gen::<u64>(),
+            })
+        }
+        Mode::OutputZero(class) => {
+            let pop = class_population(class, sites, &golden.counts.per_unit);
+            if pop == 0 {
+                return None;
+            }
+            Some(FaultPlan::InstructionOutputSet {
+                nth: rng.gen_range(0..pop),
+                site: class,
+                value: 0,
+            })
+        }
+        Mode::Predicate => {
+            if sites.setp == 0 {
+                return None;
+            }
+            Some(FaultPlan::PredicateOutput { nth: rng.gen_range(0..sites.setp) })
+        }
+        Mode::Register => {
+            let at = rng.gen_range(0..golden.counts.total.max(1));
+            let block = rng.gen_range(0..target_launch.grid.count());
+            let thread = rng.gen_range(0..target_launch.block.count());
+            let reg = rng.gen_range(0..regs_per_thread.max(1)) as u8;
+            Some(FaultPlan::RegisterBit {
+                block,
+                thread,
+                reg,
+                flip: BitFlip::single(rng.gen_range(0..32)),
+                at,
+            })
+        }
+        Mode::Address => {
+            if sites.mem_ops == 0 {
+                return None;
+            }
+            Some(FaultPlan::MemAddress {
+                nth: rng.gen_range(0..sites.mem_ops),
+                flip: BitFlip::single(rng.gen_range(0..32)),
+            })
+        }
+    }
+}
+
+/// Classify one faulty run against the golden run.
+pub fn classify<T: Target + ?Sized>(target: &T, golden: &Executed, faulty: &Executed) -> Outcome {
+    match faulty.status {
+        ExecStatus::Due(_) => Outcome::Due,
+        ExecStatus::Completed => {
+            if target.output_matches(golden, faulty) {
+                Outcome::Masked
+            } else {
+                Outcome::Sdc
+            }
+        }
+    }
+}
+
+/// Run a full AVF campaign of `config.injections` single-bit faults.
+///
+/// Injection runs execute with ECC disabled in the simulator: an
+/// instrumentation-based injector writes state architecturally, so ECC
+/// never sees a raw bit error (unlike particle strikes).
+///
+/// # Errors
+/// Returns [`Unsupported`] if the injector cannot instrument the target.
+pub fn measure_avf<T: Target + Sync + ?Sized>(
+    injector: Injector,
+    target: &T,
+    device: &DeviceModel,
+    config: &CampaignConfig,
+) -> Result<AvfResult, Unsupported> {
+    injector.supports(target, device)?;
+
+    let golden_opts = RunOptions { ecc: false, ..RunOptions::default() };
+    let golden = target.execute(device, &golden_opts);
+    assert!(
+        golden.status.completed(),
+        "golden run of {} failed: {:?}",
+        target.name(),
+        golden.status
+    );
+    let watchdog = golden.counts.total * 4 + 100_000;
+    let modes = available_modes(injector, &golden.counts.sites, &golden.counts.per_unit);
+    assert!(!modes.is_empty(), "no injectable sites in {}", target.name());
+
+    // Plans are drawn sequentially (deterministic), executions fan out
+    // over the Rayon pool (each run is independent).
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed ^ hash_name(target.name()));
+    let mut plans = Vec::with_capacity(config.injections as usize);
+    let mut presampled_masked = 0u64;
+    for i in 0..config.injections {
+        // SASSIFI splits the budget evenly across instruction kinds
+        // ("1,000 for each instruction kind"); cycling achieves the same.
+        let mode = modes[(i as usize) % modes.len()];
+        match sample_plan(&mut rng, mode, &golden, target.launch(), target.kernel().regs_per_thread)
+        {
+            Some(plan) => plans.push(plan),
+            None => presampled_masked += 1,
+        }
+    }
+    let mut counts = run_plans(target, device, &golden, &plans, watchdog);
+    counts.masked += presampled_masked;
+    Ok(AvfResult::from_counts(target.name().to_string(), injector, counts))
+}
+
+/// Measure the masking AVF of a micro-benchmark for the Figure 3 / FIT
+/// correction of Section V-A: injections restricted to the unit the
+/// micro-benchmark exercises.
+pub fn measure_unit_avf<T: Target + Sync + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    unit: FunctionalUnit,
+    config: &CampaignConfig,
+) -> AvfResult {
+    measure_class_avf(target, device, SiteClass::Unit(unit), config)
+}
+
+/// Measure an AVF with injections drawn from an arbitrary site class.
+/// Used for capability ablations (e.g. "what if NVBitFI could inject into
+/// half-precision instructions?" — Section VII-A's HHotspot discussion).
+pub fn measure_class_avf<T: Target + Sync + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    class: SiteClass,
+    config: &CampaignConfig,
+) -> AvfResult {
+    let golden_opts = RunOptions { ecc: false, ..RunOptions::default() };
+    let golden = target.execute(device, &golden_opts);
+    assert!(golden.status.completed());
+    let watchdog = golden.counts.total * 4 + 100_000;
+    let pop = class_population(class, &golden.counts.sites, &golden.counts.per_unit);
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed ^ hash_name(target.name()));
+    let mut plans = Vec::with_capacity(config.injections as usize);
+    let mut presampled_masked = 0u64;
+    for _ in 0..config.injections {
+        if pop == 0 {
+            presampled_masked += 1;
+            continue;
+        }
+        plans.push(FaultPlan::InstructionOutput {
+            nth: rng.gen_range(0..pop),
+            site: class,
+            flip: BitFlip::single(rng.gen_range(0..class_bits(class))),
+        });
+    }
+    let mut counts = run_plans(target, device, &golden, &plans, watchdog);
+    counts.masked += presampled_masked;
+    AvfResult::from_counts(target.name().to_string(), Injector::NvBitFi, counts)
+}
+
+/// Execute a batch of fault plans (in parallel when the target is Sync)
+/// and tally the outcomes.
+fn run_plans<T: Target + Sync + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    golden: &Executed,
+    plans: &[FaultPlan],
+    watchdog: u64,
+) -> OutcomeCounts {
+    use rayon::prelude::*;
+    plans
+        .par_iter()
+        .map(|&plan| {
+            let opts = RunOptions { ecc: false, fault: plan, watchdog_limit: watchdog, ..RunOptions::default() };
+            let faulty = target.execute(device, &opts);
+            classify(target, golden, &faulty)
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect()
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_arch::{CodeGen, Precision};
+    use workloads::{build, Benchmark, Scale};
+
+    fn cfg(n: u32) -> CampaignConfig {
+        CampaignConfig { injections: n, seed: 42 }
+    }
+
+    #[test]
+    fn sassifi_rejects_volta_and_proprietary() {
+        let volta = DeviceModel::v100_sim();
+        let kepler = DeviceModel::k40c_sim();
+        let mxm = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let gemm = build(Benchmark::Gemm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        assert_eq!(
+            Injector::Sassifi.supports(&mxm, &volta),
+            Err(Unsupported::Architecture(Architecture::Volta))
+        );
+        assert_eq!(Injector::Sassifi.supports(&mxm, &kepler), Ok(()));
+        assert_eq!(
+            Injector::Sassifi.supports(&gemm, &kepler),
+            Err(Unsupported::ProprietaryKernel)
+        );
+        assert_eq!(Injector::NvBitFi.supports(&gemm, &volta), Ok(()));
+        assert_eq!(Injector::NvBitFi.supports(&gemm, &kepler), Ok(()));
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let kepler = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let a = measure_avf(Injector::Sassifi, &w, &kepler, &cfg(60)).unwrap();
+        let b = measure_avf(Injector::Sassifi, &w, &kepler, &cfg(60)).unwrap();
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn avf_fractions_sum_to_one() {
+        let kepler = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let r = measure_avf(Injector::NvBitFi, &w, &kepler, &cfg(80)).unwrap();
+        assert_eq!(r.counts.total(), 80);
+        let sum = r.sdc_avf() + r.due_avf() + r.masked;
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mxm_campaign_produces_all_outcome_kinds() {
+        let kepler = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let r = measure_avf(Injector::Sassifi, &w, &kepler, &cfg(240)).unwrap();
+        assert!(r.counts.sdc > 0, "no SDCs: {:?}", r.counts);
+        assert!(r.counts.due > 0, "no DUEs: {:?}", r.counts);
+        assert!(r.counts.masked > 0, "nothing masked: {:?}", r.counts);
+    }
+
+    #[test]
+    fn unit_avf_of_integer_chain_is_high() {
+        // Section V-A: micro-benchmark AVF is >= 70%, 100% for integer
+        // versions (modulo the end-of-chain check masking).
+        let kepler = DeviceModel::k40c_sim();
+        let mb = microbench::arith(FunctionalUnit::Iadd);
+        let r = measure_unit_avf(&mb, &kepler, FunctionalUnit::Iadd, &cfg(100));
+        assert!(r.sdc_avf() > 0.9, "IADD AVF {}", r.sdc_avf());
+    }
+
+    #[test]
+    fn nvbitfi_never_injects_into_half_ops() {
+        // On a half-precision workload NVBitFI still runs, but its site
+        // population excludes the H* arithmetic.
+        let volta = DeviceModel::v100_sim();
+        let w = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
+        let g = w.golden(&volta);
+        assert!(g.counts.sites.gpr_writers > g.counts.sites.gpr_writers_no_half);
+        let r = measure_avf(Injector::NvBitFi, &w, &volta, &cfg(50)).unwrap();
+        assert_eq!(r.counts.total(), 50);
+    }
+}
+
+/// AVF broken down by injection-site class: which *kind* of instruction,
+/// once corrupted, drives the code's failure rate. The paper's conclusion
+/// ("this data can be used to tune future fault simulation frameworks")
+/// calls for exactly this decomposition.
+#[derive(Clone, Debug)]
+pub struct AvfBreakdown {
+    /// Target name.
+    pub target: String,
+    /// Per-class results (classes with zero population are omitted).
+    pub per_class: Vec<(SiteClass, AvfResult)>,
+}
+
+/// Measure the SDC/DUE AVF separately per site class.
+pub fn measure_avf_breakdown<T: Target + Sync + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    config: &CampaignConfig,
+) -> AvfBreakdown {
+    let golden_opts = RunOptions { ecc: false, ..RunOptions::default() };
+    let golden = target.execute(device, &golden_opts);
+    assert!(golden.status.completed());
+    let classes = [
+        SiteClass::FloatArith,
+        SiteClass::HalfArith,
+        SiteClass::IntArith,
+        SiteClass::Load,
+    ];
+    let mut per_class = Vec::new();
+    for class in classes {
+        let pop = class_population(class, &golden.counts.sites, &golden.counts.per_unit);
+        if pop == 0 {
+            continue;
+        }
+        let r = measure_class_avf(target, device, class, config);
+        per_class.push((class, r));
+    }
+    AvfBreakdown { target: target.name().to_string(), per_class }
+}
+
+#[cfg(test)]
+mod breakdown_tests {
+    use super::*;
+    use gpu_arch::{CodeGen, Precision};
+    use workloads::{build, Benchmark, Scale};
+
+    #[test]
+    fn breakdown_covers_the_code_mix() {
+        let device = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+        let b = measure_avf_breakdown(&w, &device, &CampaignConfig { injections: 60, seed: 4 });
+        let classes: Vec<SiteClass> = b.per_class.iter().map(|(c, _)| *c).collect();
+        assert!(classes.contains(&SiteClass::FloatArith));
+        assert!(classes.contains(&SiteClass::IntArith));
+        assert!(classes.contains(&SiteClass::Load));
+        assert!(!classes.contains(&SiteClass::HalfArith)); // FP32 code
+        for (_, r) in &b.per_class {
+            assert_eq!(r.counts.total(), 60);
+        }
+    }
+
+    #[test]
+    fn float_faults_hit_harder_than_loop_overhead_in_mxm() {
+        // Corrupting the FMA stream of a matrix multiply should produce at
+        // least as many SDCs as corrupting the (partially dead) integer
+        // address arithmetic.
+        let device = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+        let b = measure_avf_breakdown(&w, &device, &CampaignConfig { injections: 150, seed: 4 });
+        let get = |c: SiteClass| {
+            b.per_class.iter().find(|(cc, _)| *cc == c).map(|(_, r)| r.sdc_avf()).unwrap()
+        };
+        assert!(get(SiteClass::FloatArith) > 0.5, "float AVF {}", get(SiteClass::FloatArith));
+    }
+}

@@ -1,0 +1,378 @@
+//! FIT-rate prediction from fault simulation + profiling (Section IV),
+//! and the beam-vs-prediction comparison of Section VII / Figure 6.
+//!
+//! The model is Equations 1-4 of the paper:
+//!
+//! ```text
+//! +FIT = sum_i P(E_INST_i)  +  sum_m P(E_MEM_m)                    (1)
+//! P(E_INST_i) = f(INST_i) * AVF_INST_i * FIT_INST_i * phi          (2,4)
+//! P(E_MEM_m)  = f(MEM_m)  * AVF_MEM_m  * FIT_MEM_m                 (3)
+//! phi         = AchievedOccupancy * IPC                            (4)
+//! ```
+//!
+//! * `f(INST_i)` — fraction of the code's dynamic instructions on unit
+//!   `i` (profiling, Figure 1);
+//! * `AVF` — the code's injector-measured AVF (Figure 4), the probability
+//!   that a corrupted value propagates to the output;
+//! * `FIT_INST_i` — the unit's micro-benchmark beam FIT (Figure 3),
+//!   de-masked by the micro-benchmark's own injection AVF (the Section
+//!   V-A correction: the end-of-chain output check hides a fraction of
+//!   the errors the unit actually produced);
+//! * `f(MEM_m)` — bits of memory level `m` instantiated for the
+//!   computation; with ECC enabled `AVF_MEM ~ 0` and the memory sum
+//!   drops (Section IV-A).
+//!
+//! Everything this crate consumes is *measured* (beam micro-benchmarks,
+//! injection campaigns, profiles); the ground-truth cross-sections stay
+//! hidden inside the beam crate, so Figure 6 is a genuine blind
+//! comparison.
+
+use beam::{expose, BeamConfig, BeamResult};
+use gpu_arch::{DeviceModel, FunctionalUnit, WARP_SIZE};
+use gpu_sim::Target;
+use injector::{measure_unit_avf, AvfResult, CampaignConfig};
+use microbench::MicroBench;
+use profiler::KernelProfile;
+use stats::signed_ratio;
+
+/// Per-unit FIT rates measured on the micro-benchmarks (the usable form
+/// of Figure 3), plus the register-file per-bit rates.
+#[derive(Clone, Debug, Default)]
+pub struct UnitFits {
+    /// SDC FIT per unit kind, de-masked by the micro-benchmark AVF.
+    pub sdc: [f64; FunctionalUnit::COUNT],
+    /// DUE FIT per unit kind.
+    pub due: [f64; FunctionalUnit::COUNT],
+    /// Register-file (and, by the paper's "representative for other
+    /// on-chip structures" assumption, all memory) SDC FIT per bit, from
+    /// the RF micro-benchmark with ECC off.
+    pub rf_sdc_per_bit: f64,
+    /// Register-file DUE FIT per bit.
+    pub rf_due_per_bit: f64,
+    /// Lane-cycles of work each arithmetic micro-benchmark performed per
+    /// run, used to normalize a bench FIT into a per-work rate.
+    pub bench_work: [f64; FunctionalUnit::COUNT],
+}
+
+impl UnitFits {
+    /// SDC FIT of unit `u` per unit of dynamic work (lane-cycle): the
+    /// quantity Equation 2 scales by `f(INST_i)` x total work.
+    pub fn sdc_per_work(&self, u: FunctionalUnit) -> f64 {
+        let w = self.bench_work[u.index()];
+        if w > 0.0 {
+            self.sdc[u.index()] / w
+        } else {
+            0.0
+        }
+    }
+
+    /// DUE FIT of unit `u` per unit of dynamic work.
+    pub fn due_per_work(&self, u: FunctionalUnit) -> f64 {
+        let w = self.bench_work[u.index()];
+        if w > 0.0 {
+            self.due[u.index()] / w
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Configuration for the micro-benchmark characterization pass.
+#[derive(Clone, Debug)]
+pub struct CharacterizeConfig {
+    /// Beam runs per micro-benchmark.
+    pub beam_runs: u32,
+    /// Injections per micro-benchmark for the de-masking AVF.
+    pub injections: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CharacterizeConfig {
+    fn default() -> Self {
+        CharacterizeConfig { beam_runs: 4000, injections: 300, seed: 0xF17 }
+    }
+}
+
+/// Beam-measure every micro-benchmark and build the [`UnitFits`] table.
+///
+/// Arithmetic/MMA/LDST benches run with ECC on (their state is registers);
+/// the RF bench runs with ECC off, as in the paper (Figure 3 caption).
+pub fn characterize_units(
+    device: &DeviceModel,
+    benches: &[MicroBench],
+    config: &CharacterizeConfig,
+) -> UnitFits {
+    let mut fits = UnitFits::default();
+    for mb in benches {
+        let is_rf = mb.name == "RF";
+        let beam_cfg = BeamConfig::auto(config.beam_runs, !is_rf, config.seed);
+        let result = expose(mb, device, &beam_cfg);
+        if is_rf {
+            // Normalize to a per-bit rate over the bits the bench exposes.
+            let golden = mb.execute_golden(device);
+            let resident_threads =
+                golden.timing.resident_warps * WARP_SIZE as f64 * device.sms as f64;
+            let bits = mb.kernel.regs_per_thread.max(16) as f64 * 32.0 * resident_threads;
+            fits.rf_sdc_per_bit = result.sdc_fit.fit / bits;
+            fits.rf_due_per_bit = result.due_fit.fit / bits;
+            continue;
+        }
+        // De-mask by the bench's own unit AVF (Section V-A): the bench
+        // only observes errors that survive to the end of the chain.
+        let avf_cfg = CampaignConfig { injections: config.injections, seed: config.seed };
+        let avf = measure_unit_avf(mb, device, mb.unit, &avf_cfg);
+        let sdc_avf = avf.sdc_avf().max(0.05); // floor against tiny campaigns
+        let golden = mb.execute_golden(device);
+        let count = golden.counts.unit(mb.unit) as f64;
+        let work = if matches!(mb.unit, FunctionalUnit::Hmma | FunctionalUnit::Fmma) {
+            count * 4.0
+        } else {
+            count
+        };
+        let i = mb.unit.index();
+        fits.sdc[i] = result.sdc_fit.fit / sdc_avf;
+        fits.due[i] = result.due_fit.fit;
+        fits.bench_work[i] = work;
+    }
+    fits
+}
+
+/// A FIT prediction for one workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prediction {
+    /// Predicted SDC FIT.
+    pub sdc_fit: f64,
+    /// Predicted DUE FIT.
+    pub due_fit: f64,
+    /// The phi factor used (occupancy x IPC).
+    pub phi: f64,
+    /// The memory contribution included in `sdc_fit` (zero with ECC on).
+    pub memory_sdc: f64,
+}
+
+/// Options for the prediction model (the ablations of DESIGN.md).
+#[derive(Clone, Copy, Debug)]
+pub struct PredictOptions {
+    /// ECC state of the device being predicted (ECC on zeroes the memory
+    /// term, Section IV-A).
+    pub ecc: bool,
+    /// Apply the phi = occupancy x IPC factor of Equation 4. Disabling it
+    /// is the paper's implicit baseline ("GPU occupancy alone is not
+    /// sufficient...").
+    pub use_phi: bool,
+}
+
+impl Default for PredictOptions {
+    fn default() -> Self {
+        PredictOptions { ecc: true, use_phi: true }
+    }
+}
+
+/// Predict a workload's FIT rates (Equations 1-4).
+///
+/// * `profile` — the workload's kernel profile (instruction counts, phi);
+/// * `avf` — the workload's injector-measured AVF (Figure 4);
+/// * `fits` — the micro-benchmark unit characterization (Figure 3);
+/// * `memory_bits` — bits instantiated per memory level, from
+///   [`memory_footprint`].
+pub fn predict(
+    profile: &KernelProfile,
+    avf: &AvfResult,
+    fits: &UnitFits,
+    memory_bits: &MemoryFootprint,
+    opts: &PredictOptions,
+) -> Prediction {
+    let phi = if opts.use_phi { profile.phi } else { 1.0 };
+
+    let mut sdc = 0.0;
+    let mut due = 0.0;
+    for i in 0..FunctionalUnit::COUNT {
+        let unit = FunctionalUnit::from_index(i);
+        if unit == FunctionalUnit::Other {
+            continue; // not characterized; the paper's acknowledged gap
+        }
+        let count = profile.unit_counts[i] as f64;
+        if count == 0.0 {
+            continue;
+        }
+        let work = if matches!(unit, FunctionalUnit::Hmma | FunctionalUnit::Fmma) {
+            count * 4.0
+        } else {
+            count
+        };
+        sdc += work * fits.sdc_per_work(unit) * avf.sdc_avf_floored();
+        due += work * fits.due_per_work(unit) * avf.due_avf_floored();
+    }
+    sdc *= phi;
+    due *= phi;
+
+    // Memory term (Equation 3): only when ECC is off; the RF bench's
+    // per-bit rate stands in for every memory level.
+    let mut memory_sdc = 0.0;
+    if !opts.ecc {
+        let bits = memory_bits.total();
+        memory_sdc = bits * fits.rf_sdc_per_bit * avf.sdc_avf();
+        sdc += memory_sdc;
+        due += bits * fits.rf_due_per_bit * avf.due_avf().max(0.01);
+    }
+
+    Prediction { sdc_fit: sdc, due_fit: due, phi: profile.phi, memory_sdc }
+}
+
+/// Bits of each memory level a workload instantiates (`f(MEM_m)` of
+/// Equation 3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryFootprint {
+    /// Register-file bits (registers/thread x resident threads x 32).
+    pub rf_bits: f64,
+    /// Shared-memory bits (allocation x resident blocks).
+    pub shared_bits: f64,
+    /// Global-memory bits (whole allocation).
+    pub global_bits: f64,
+}
+
+impl MemoryFootprint {
+    /// Total instantiated bits.
+    pub fn total(&self) -> f64 {
+        self.rf_bits + self.shared_bits + self.global_bits
+    }
+}
+
+/// Compute a workload's memory footprint from its profile and geometry.
+pub fn memory_footprint<T: Target + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    profile: &KernelProfile,
+) -> MemoryFootprint {
+    let resident_warps = profile.occupancy * device.max_warps_per_sm as f64;
+    let resident_threads = resident_warps * WARP_SIZE as f64 * device.sms as f64;
+    let rf_bits = target.kernel().regs_per_thread.max(16) as f64 * 32.0 * resident_threads;
+    let block_threads = target.launch().block.count().max(1) as f64;
+    let resident_blocks = (resident_threads / block_threads).max(1.0);
+    let shared_bits = target.kernel().shared_bytes as f64 * 8.0 * resident_blocks;
+    let global_bits = target.fresh_memory().len() as f64 * 8.0;
+    MemoryFootprint { rf_bits, shared_bits, global_bits }
+}
+
+/// One row of the Figure 6 comparison.
+#[derive(Clone, Debug)]
+pub struct ComparisonRow {
+    /// Workload name.
+    pub name: String,
+    /// Beam-measured SDC FIT.
+    pub measured_sdc: f64,
+    /// Predicted SDC FIT.
+    pub predicted_sdc: f64,
+    /// Signed ratio (positive: beam higher; negative: prediction higher).
+    pub sdc_ratio: f64,
+    /// Beam-measured DUE FIT.
+    pub measured_due: f64,
+    /// Predicted DUE FIT.
+    pub predicted_due: f64,
+    /// Measured-over-predicted DUE factor (the Section VII-B
+    /// underestimation).
+    pub due_underestimation: f64,
+}
+
+/// Compare a beam measurement against a prediction.
+pub fn compare(name: impl Into<String>, measured: &BeamResult, predicted: &Prediction) -> ComparisonRow {
+    ComparisonRow {
+        name: name.into(),
+        measured_sdc: measured.sdc_fit.fit,
+        predicted_sdc: predicted.sdc_fit,
+        sdc_ratio: signed_ratio(measured.sdc_fit.fit, predicted.sdc_fit),
+        measured_due: measured.due_fit.fit,
+        predicted_due: predicted.due_fit,
+        due_underestimation: if predicted.due_fit > 0.0 {
+            measured.due_fit.fit / predicted.due_fit
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_arch::{Architecture, CodeGen, Precision};
+    use injector::Injector;
+    use workloads::{build, Benchmark, Scale};
+
+    fn quick_cfg() -> CharacterizeConfig {
+        CharacterizeConfig { beam_runs: 600, injections: 60, seed: 3 }
+    }
+
+    #[test]
+    fn characterization_fills_measured_units() {
+        let device = DeviceModel::k40c_sim();
+        let benches = microbench::suite(Architecture::Kepler);
+        let fits = characterize_units(&device, &benches, &quick_cfg());
+        // Float and integer pipes must have rates; integer above float
+        // (the ground truth says 4x, but we only assert direction here —
+        // the figure harness checks magnitudes with bigger campaigns).
+        assert!(fits.sdc[FunctionalUnit::Ffma.index()] > 0.0);
+        assert!(fits.sdc[FunctionalUnit::Iadd.index()] > 0.0);
+        assert!(fits.rf_sdc_per_bit > 0.0);
+        assert!(fits.bench_work[FunctionalUnit::Fadd.index()] > 0.0);
+    }
+
+    #[test]
+    fn prediction_pipeline_end_to_end() {
+        let device = DeviceModel::k40c_sim();
+        let benches = microbench::suite(Architecture::Kepler);
+        let fits = characterize_units(&device, &benches, &quick_cfg());
+
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let profile = profiler::profile(&w, &device);
+        let avf = injector::measure_avf(
+            Injector::Sassifi,
+            &w,
+            &device,
+            &CampaignConfig { injections: 120, seed: 1 },
+        )
+        .unwrap();
+        let feet = memory_footprint(&w, &device, &profile);
+
+        let ecc_on = predict(&profile, &avf, &fits, &feet, &PredictOptions::default());
+        assert!(ecc_on.sdc_fit > 0.0);
+        assert_eq!(ecc_on.memory_sdc, 0.0);
+
+        let ecc_off =
+            predict(&profile, &avf, &fits, &feet, &PredictOptions { ecc: false, use_phi: true });
+        assert!(ecc_off.sdc_fit > ecc_on.sdc_fit, "memory term must add");
+        assert!(ecc_off.memory_sdc > 0.0);
+
+        // phi ablation changes the prediction.
+        let no_phi =
+            predict(&profile, &avf, &fits, &feet, &PredictOptions { ecc: true, use_phi: false });
+        assert_ne!(no_phi.sdc_fit, ecc_on.sdc_fit);
+
+        // Compare against a (small) beam measurement; the ratio must be
+        // finite and the DUE side underestimated.
+        let beam_res = expose(&w, &device, &BeamConfig::auto(1500, true, 5));
+        let row = compare(&w.name, &beam_res, &ecc_on);
+        assert!(row.sdc_ratio.is_finite(), "sdc ratio NaN: {row:?}");
+        assert!(
+            row.due_underestimation > 1.0,
+            "DUEs should be underestimated, got {}",
+            row.due_underestimation
+        );
+    }
+
+    #[test]
+    fn memory_footprint_scales_with_registers() {
+        let device = DeviceModel::v100_sim();
+        let fat = build(Benchmark::Lava, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+        let thin = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+        let pf = profiler::profile(&fat, &device);
+        let pt = profiler::profile(&thin, &device);
+        let ff = memory_footprint(&fat, &device, &pf);
+        let ft = memory_footprint(&thin, &device, &pt);
+        // Lava reserves 255 regs/thread; per resident thread its RF
+        // footprint is ~9x MxM's (29 regs).
+        let per_thread_fat = ff.rf_bits / pf.occupancy.max(1e-9);
+        let per_thread_thin = ft.rf_bits / pt.occupancy.max(1e-9);
+        assert!(per_thread_fat > 4.0 * per_thread_thin);
+    }
+}

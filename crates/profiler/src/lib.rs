@@ -1,0 +1,191 @@
+//! Kernel profiler: the NVPROF / Nsight-Compute analogue.
+//!
+//! Produces the metrics the paper's methodology consumes:
+//!
+//! * **Table I** per code: static shared memory, registers per thread,
+//!   executed IPC, achieved occupancy;
+//! * **Figure 1** per code: the dynamic instruction mix split into
+//!   FMA / MUL / ADD / INT / MMA / LDST / OTHERS;
+//! * the φ factor of Equation 4 (`achieved occupancy x IPC`) that folds
+//!   GPU parallelism management into the FIT prediction;
+//! * per-functional-unit dynamic instruction fractions `f(INST_i)` of
+//!   Equation 2, and per-unit *utilization* (busy fraction of the unit's
+//!   lanes), which the beam engine uses to decide how often a strike on a
+//!   unit hits in-flight work.
+
+use gpu_arch::{DeviceModel, FunctionalUnit, MixCategory, WARP_SIZE};
+use gpu_sim::{Executed, Target};
+
+/// Profile of one kernel execution (one Table I row + one Figure 1 bar).
+#[derive(Clone, Debug)]
+pub struct KernelProfile {
+    /// Workload name (paper style).
+    pub name: String,
+    /// Static shared memory per block, bytes (Table I "SHARED").
+    pub shared_bytes: u32,
+    /// Registers per thread (Table I "RF").
+    pub regs_per_thread: u16,
+    /// Executed warp instructions per cycle per SM (Table I "IPC").
+    pub ipc: f64,
+    /// Achieved occupancy in `[0, 1]` (Table I "Occupancy").
+    pub occupancy: f64,
+    /// Equation 4's φ = occupancy x IPC.
+    pub phi: f64,
+    /// Total dynamic (thread) instructions.
+    pub total_instructions: u64,
+    /// Dynamic instruction count per functional unit.
+    pub unit_counts: [u64; FunctionalUnit::COUNT],
+    /// Figure 1 fractions per mix category.
+    pub mix_fractions: [f64; MixCategory::COUNT],
+    /// Modeled kernel wall time in seconds (drives beam fluence).
+    pub seconds: f64,
+    /// Modeled cycles.
+    pub cycles: f64,
+}
+
+impl KernelProfile {
+    /// Extract a profile from a finished execution.
+    pub fn from_execution(name: impl Into<String>, target_kernel: &gpu_arch::Kernel, out: &Executed) -> Self {
+        KernelProfile {
+            name: name.into(),
+            shared_bytes: target_kernel.shared_bytes,
+            regs_per_thread: target_kernel.regs_per_thread,
+            ipc: out.timing.ipc,
+            occupancy: out.timing.achieved_occupancy,
+            phi: out.timing.achieved_occupancy * out.timing.ipc,
+            total_instructions: out.counts.total,
+            unit_counts: out.counts.per_unit,
+            mix_fractions: out.counts.mix_fractions(),
+            seconds: out.timing.seconds,
+            cycles: out.timing.cycles,
+        }
+    }
+
+    /// Fraction of dynamic instructions executed on `unit` —
+    /// `f(INST_i)` in Equation 2.
+    pub fn unit_fraction(&self, unit: FunctionalUnit) -> f64 {
+        if self.total_instructions == 0 {
+            return 0.0;
+        }
+        self.unit_counts[unit.index()] as f64 / self.total_instructions as f64
+    }
+
+    /// Dynamic count for one unit.
+    pub fn unit_count(&self, unit: FunctionalUnit) -> u64 {
+        self.unit_counts[unit.index()]
+    }
+
+    /// Busy fraction of `unit`'s lanes over the kernel's runtime on
+    /// `device`: warp-issues to the unit, times the cycles each issue
+    /// occupies the unit, over total lane-cycles available.
+    ///
+    /// The beam engine multiplies each unit's cross-section by this
+    /// utilization: a strike on an idle pipe is harmless.
+    pub fn unit_utilization(&self, device: &DeviceModel, unit: FunctionalUnit) -> f64 {
+        let lanes = device.lanes_for(unit);
+        if lanes == 0 || self.cycles <= 0.0 {
+            return 0.0;
+        }
+        let count = self.unit_counts[unit.index()] as f64;
+        // Thread-instructions already measure lane-cycles of work for
+        // scalar units; MMA counts are per warp and occupy the tensor
+        // cores for ~4 cycles.
+        let lane_cycles = if matches!(unit, FunctionalUnit::Hmma | FunctionalUnit::Fmma) {
+            count * 4.0 * WARP_SIZE as f64
+        } else {
+            count
+        };
+        (lane_cycles / (self.cycles * (lanes * device.sms) as f64)).clamp(0.0, 1.0)
+    }
+
+    /// Figure 1 fraction for one category.
+    pub fn mix(&self, cat: MixCategory) -> f64 {
+        self.mix_fractions[cat.index()]
+    }
+}
+
+/// Run the target fault-free on `device` and profile it.
+///
+/// # Panics
+/// Panics if the golden run does not complete — a workload that DUEs
+/// fault-free is a bug.
+pub fn profile<T: Target + ?Sized>(target: &T, device: &DeviceModel) -> KernelProfile {
+    let out = target.execute_golden(device);
+    assert!(
+        out.status.completed(),
+        "golden run of {} failed: {:?}",
+        target.name(),
+        out.status
+    );
+    KernelProfile::from_execution(target.name(), target.kernel(), &out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_arch::{CodeGen, Precision};
+    use workloads::{build, Benchmark, Scale};
+
+    #[test]
+    fn mxm_profile_is_fma_dominated() {
+        let device = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small);
+        let p = profile(&w, &device);
+        assert!(p.mix(MixCategory::Fma) > 0.1, "fma={}", p.mix(MixCategory::Fma));
+        assert!(p.mix(MixCategory::Ldst) > 0.1);
+        assert!(p.unit_fraction(FunctionalUnit::Ffma) > 0.1);
+        assert!((p.phi - p.ipc * p.occupancy).abs() < 1e-12);
+        let s: f64 = p.mix_fractions.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "mix sums to {s}");
+    }
+
+    #[test]
+    fn integer_codes_have_int_heavy_mix() {
+        let device = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mergesort, Precision::Int32, CodeGen::Cuda10, Scale::Tiny);
+        let p = profile(&w, &device);
+        assert!(p.mix(MixCategory::Int) > 0.3, "int={}", p.mix(MixCategory::Int));
+        assert_eq!(p.mix(MixCategory::Fma), 0.0);
+        assert_eq!(p.mix(MixCategory::Mma), 0.0);
+    }
+
+    #[test]
+    fn gemm_mma_profile_contains_mma() {
+        let device = DeviceModel::v100_sim();
+        let w = build(Benchmark::GemmMma, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
+        let p = profile(&w, &device);
+        assert!(p.unit_count(FunctionalUnit::Hmma) > 0);
+        assert!(p.mix(MixCategory::Mma) > 0.0);
+    }
+
+    #[test]
+    fn gemm_has_lower_occupancy_than_mxm() {
+        // The register-fat library kernel cannot keep as many warps
+        // resident (Table I: GEMM occupancy 0.13-0.25 vs MxM 1.0).
+        let device = DeviceModel::v100_sim();
+        let gemm = build(Benchmark::Gemm, Precision::Single, CodeGen::Cuda10, Scale::Profile);
+        let mxm = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Profile);
+        let pg = profile(&gemm, &device);
+        let pm = profile(&mxm, &device);
+        assert!(
+            pg.occupancy < pm.occupancy,
+            "gemm {} !< mxm {}",
+            pg.occupancy,
+            pm.occupancy
+        );
+    }
+
+    #[test]
+    fn unit_utilization_bounded_and_positive() {
+        let device = DeviceModel::v100_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small);
+        let p = profile(&w, &device);
+        let u = p.unit_utilization(&device, FunctionalUnit::Ffma);
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        // A unit the kernel never touches is idle.
+        assert_eq!(p.unit_utilization(&device, FunctionalUnit::Dfma), 0.0);
+        // Unsupported units report zero rather than NaN.
+        let kepler = DeviceModel::k40c_sim();
+        assert_eq!(p.unit_utilization(&kepler, FunctionalUnit::Hmma), 0.0);
+    }
+}

@@ -1,0 +1,438 @@
+//! IEEE 754 binary16 implemented on a `u16` bit pattern.
+//!
+//! Layout: 1 sign bit | 5 exponent bits (bias 15) | 10 mantissa bits.
+//! Conversions implement round-to-nearest-even; arithmetic promotes to `f64`
+//! (exact for binary16 add/mul/fma) and rounds once on the way back, which
+//! is bit-identical to a correctly rounded binary16 unit.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An IEEE 754 binary16 value stored as its raw bit pattern.
+///
+/// Arithmetic is exposed as named methods (`add`, `mul`, `fma`, ...)
+/// rather than operator overloads on purpose: at a fault-injection site
+/// you want the rounding semantics spelled out, not hidden behind `+`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F16(u16);
+
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7C00;
+const MAN_MASK: u16 = 0x03FF;
+const EXP_BIAS: i32 = 15;
+
+#[allow(clippy::should_implement_trait)] // named methods keep rounding explicit
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// Negative zero.
+    pub const NEG_ZERO: F16 = F16(0x8000);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value (2^-24).
+    pub const MIN_SUBNORMAL: F16 = F16(0x0001);
+    /// Machine epsilon (2^-10).
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Construct from the raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert an `f32` to binary16 with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN. Preserve a NaN payload bit so NaNs stay NaNs.
+            return if man == 0 {
+                F16(sign | EXP_MASK)
+            } else {
+                F16(sign | EXP_MASK | 0x0200 | ((man >> 13) as u16 & MAN_MASK))
+            };
+        }
+
+        // Unbiased exponent in f32 terms.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflows binary16 range: round to infinity.
+            return F16(sign | EXP_MASK);
+        }
+        if unbiased >= -14 {
+            // Normal range. 13 mantissa bits are dropped.
+            let half_exp = ((unbiased + EXP_BIAS) as u16) << 10;
+            let half_man = (man >> 13) as u16;
+            let rest = man & 0x1FFF;
+            let mut out = sign | half_exp | half_man;
+            // Round to nearest, ties to even.
+            if rest > 0x1000 || (rest == 0x1000 && (half_man & 1) == 1) {
+                out = out.wrapping_add(1); // may carry into the exponent: correct
+            }
+            return F16(out);
+        }
+        if unbiased >= -25 {
+            // Subnormal result. Add the implicit leading one and shift.
+            let man = man | 0x0080_0000;
+            let shift = (-14 - unbiased) as u32 + 13;
+            let half_man = (man >> shift) as u16;
+            let rest_mask = (1u32 << shift) - 1;
+            let rest = man & rest_mask;
+            let halfway = 1u32 << (shift - 1);
+            let mut out = sign | half_man;
+            if rest > halfway || (rest == halfway && (half_man & 1) == 1) {
+                out = out.wrapping_add(1);
+            }
+            return F16(out);
+        }
+        // Underflows to zero.
+        F16(sign)
+    }
+
+    /// Convert an `f64` to binary16 (via a correctly-rounded double rounding
+    /// guard: f64 -> f32 is exact-enough only when the f32 is not a
+    /// round-to-even boundary; to stay correctly rounded we convert through
+    /// the same algorithm operating on f64 bits).
+    pub fn from_f64(value: f64) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 48) & 0x8000) as u16;
+        let exp = ((bits >> 52) & 0x7FF) as i32;
+        let man = bits & 0x000F_FFFF_FFFF_FFFF;
+
+        if exp == 0x7FF {
+            return if man == 0 {
+                F16(sign | EXP_MASK)
+            } else {
+                F16(sign | EXP_MASK | 0x0200 | ((man >> 42) as u16 & MAN_MASK))
+            };
+        }
+
+        let unbiased = exp - 1023;
+        if unbiased > 15 {
+            return F16(sign | EXP_MASK);
+        }
+        if unbiased >= -14 {
+            let half_exp = ((unbiased + EXP_BIAS) as u16) << 10;
+            let half_man = (man >> 42) as u16;
+            let rest = man & 0x3FF_FFFF_FFFF;
+            let halfway = 0x200_0000_0000u64;
+            let mut out = sign | half_exp | half_man;
+            if rest > halfway || (rest == halfway && (half_man & 1) == 1) {
+                out = out.wrapping_add(1);
+            }
+            return F16(out);
+        }
+        if unbiased >= -25 {
+            let man = man | 0x0010_0000_0000_0000;
+            let shift = (-14 - unbiased) as u32 + 42;
+            let half_man = (man >> shift) as u16;
+            let rest_mask = (1u64 << shift) - 1;
+            let rest = man & rest_mask;
+            let halfway = 1u64 << (shift - 1);
+            let mut out = sign | half_man;
+            if rest > halfway || (rest == halfway && (half_man & 1) == 1) {
+                out = out.wrapping_add(1);
+            }
+            return F16(out);
+        }
+        F16(sign)
+    }
+
+    /// Widen to `f32` (exact: every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & SIGN_MASK) as u32) << 16;
+        let exp = ((self.0 & EXP_MASK) >> 10) as u32;
+        let man = (self.0 & MAN_MASK) as u32;
+
+        if exp == 0x1F {
+            // Inf / NaN
+            let f32_man = man << 13;
+            return f32::from_bits(sign | 0x7F80_0000 | f32_man);
+        }
+        if exp == 0 {
+            if man == 0 {
+                return f32::from_bits(sign); // signed zero
+            }
+            // Subnormal: value = man * 2^-24. Normalize around the leading
+            // bit at position p, giving 1.fraction * 2^(p-24).
+            let p = 31 - man.leading_zeros(); // 0..=9
+            let exp = 127 - 24 + p;
+            let man23 = (man << (23 - p)) & 0x007F_FFFF;
+            return f32::from_bits(sign | (exp << 23) | man23);
+        }
+        let f32_exp = exp + 127 - EXP_BIAS as u32;
+        f32::from_bits(sign | (f32_exp << 23) | (man << 13))
+    }
+
+    /// Widen to `f64` (exact).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// True if the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True if the value is +/- infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) == 0
+    }
+
+    /// True if the value is finite (neither NaN nor infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// True if the value is subnormal.
+    #[inline]
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True if the value is +0 or -0.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        (self.0 & !SIGN_MASK) == 0
+    }
+
+    /// Sign bit set (note: true for -0 and negative NaNs).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & SIGN_MASK) != 0
+    }
+
+    /// Correctly rounded addition.
+    #[inline]
+    pub fn add(self, rhs: F16) -> F16 {
+        F16::from_f64(self.to_f64() + rhs.to_f64())
+    }
+
+    /// Correctly rounded subtraction.
+    #[inline]
+    pub fn sub(self, rhs: F16) -> F16 {
+        F16::from_f64(self.to_f64() - rhs.to_f64())
+    }
+
+    /// Correctly rounded multiplication.
+    #[inline]
+    pub fn mul(self, rhs: F16) -> F16 {
+        F16::from_f64(self.to_f64() * rhs.to_f64())
+    }
+
+    /// Division (round-to-nearest via an f64 intermediate; the double
+    /// rounding is harmless because an f64 quotient of binary16 inputs has
+    /// more than twice the precision of binary16 plus a guard).
+    #[inline]
+    pub fn div(self, rhs: F16) -> F16 {
+        F16::from_f64(self.to_f64() / rhs.to_f64())
+    }
+
+    /// Fused multiply-add: `self * a + b` with a single final rounding, as
+    /// performed by HFMA hardware. The f64 product and sum of binary16
+    /// operands are exact, so one rounding at the end is correct.
+    #[inline]
+    pub fn fma(self, a: F16, b: F16) -> F16 {
+        F16::from_f64(self.to_f64() * a.to_f64() + b.to_f64())
+    }
+
+    /// Negation (flips the sign bit, like hardware).
+    #[inline]
+    pub fn neg(self) -> F16 {
+        F16(self.0 ^ SIGN_MASK)
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> F16 {
+        F16(self.0 & !SIGN_MASK)
+    }
+
+    /// IEEE total-order-ish comparison matching `f32` partial order.
+    pub fn partial_cmp(self, rhs: F16) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&rhs.to_f32())
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({} / 0x{:04x})", self.to_f32(), self.0)
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> Self {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> Self {
+        v.to_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_roundtrip() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+        assert_eq!(F16::MIN_SUBNORMAL.to_f32(), 2.0f32.powi(-24));
+        assert_eq!(F16::EPSILON.to_f32(), 2.0f32.powi(-10));
+        assert!(F16::NAN.is_nan());
+        assert!(F16::INFINITY.is_infinite());
+        assert!(F16::NEG_INFINITY.is_infinite());
+        assert!(F16::NEG_INFINITY.is_sign_negative());
+    }
+
+    #[test]
+    fn f32_roundtrip_exact_for_all_half_values() {
+        // Every one of the 65536 bit patterns must survive f16 -> f32 -> f16.
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            let back = F16::from_f32(h.to_f32());
+            if h.is_nan() {
+                assert!(back.is_nan(), "NaN lost at bits {bits:#06x}");
+            } else {
+                assert_eq!(back.to_bits(), bits, "roundtrip failed at {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_ties_to_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10; RNE keeps 1.0.
+        let v = 1.0f32 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(v).to_bits(), F16::ONE.to_bits());
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; RNE picks even (1+2^-9).
+        let v = 1.0f32 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(v).to_bits(), 0x3C02);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(F16::from_f32(1e6).is_infinite());
+        assert!(F16::from_f32(-1e6).is_infinite());
+        assert!(F16::from_f32(-1e6).is_sign_negative());
+        // 65504 is the max; 65520 rounds to infinity (halfway, ties away in
+        // magnitude beyond max exponent).
+        assert!(F16::from_f32(65520.0).is_infinite());
+        assert_eq!(F16::from_f32(65503.0).to_bits(), F16::MAX.to_bits());
+    }
+
+    #[test]
+    fn underflow_to_zero_and_subnormals() {
+        assert!(F16::from_f32(1e-10).is_zero());
+        let sub = F16::from_f32(2.0f32.powi(-24));
+        assert!(sub.is_subnormal());
+        assert_eq!(sub.to_bits(), 1);
+        // Halfway between 0 and the smallest subnormal rounds to even (0).
+        assert!(F16::from_f32(2.0f32.powi(-25)).is_zero());
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let two = F16::from_f32(2.0);
+        let three = F16::from_f32(3.0);
+        assert_eq!(two.add(three).to_f32(), 5.0);
+        assert_eq!(three.sub(two).to_f32(), 1.0);
+        assert_eq!(two.mul(three).to_f32(), 6.0);
+        assert_eq!(three.div(two).to_f32(), 1.5);
+        assert_eq!(two.fma(three, F16::ONE).to_f32(), 7.0);
+        assert_eq!(two.neg().to_f32(), -2.0);
+        assert_eq!(two.neg().abs().to_f32(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic_saturates_to_inf() {
+        let big = F16::MAX;
+        assert!(big.add(big).is_infinite());
+        assert!(big.mul(big).is_infinite());
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::NAN.add(F16::ONE).is_nan());
+        assert!(F16::NAN.mul(F16::ONE).is_nan());
+        assert!(F16::INFINITY.sub(F16::INFINITY).is_nan());
+        assert!(F16::ZERO.mul(F16::INFINITY).is_nan());
+    }
+
+    #[test]
+    fn from_f64_matches_from_f32_on_representables() {
+        for bits in (0..=u16::MAX).step_by(7) {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let via64 = F16::from_f64(h.to_f64());
+            assert_eq!(via64.to_bits(), bits, "f64 path diverged at {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn from_f64_avoids_double_rounding() {
+        // Pick a value where f64 -> f32 -> f16 would double-round:
+        // x = 1 + 2^-11 + 2^-40 is just above the f16 tie; correct answer is
+        // 1 + 2^-10, while rounding through f32 could also give that -- use
+        // the dedicated f64 path and check against exact reasoning.
+        let x = 1.0f64 + 2.0f64.powi(-11) + 2.0f64.powi(-40);
+        assert_eq!(F16::from_f64(x).to_bits(), 0x3C01);
+    }
+
+    #[test]
+    fn fma_single_rounding() {
+        // a*b+c where the product needs >10 bits: (1+2^-10)^2 = 1+2^-9+2^-20.
+        // FMA rounds once: result is 1+2^-9 (the 2^-20 tail is below the tie).
+        let a = F16::from_bits(0x3C01); // 1+2^-10
+        let r = a.fma(a, F16::ZERO);
+        assert_eq!(r.to_bits(), 0x3C02); // 1+2^-9
+    }
+
+    #[test]
+    fn comparison_matches_f32() {
+        let vals = [-2.0f32, -0.5, 0.0, 0.5, 1.0, 100.0];
+        for &a in &vals {
+            for &b in &vals {
+                let ha = F16::from_f32(a);
+                let hb = F16::from_f32(b);
+                assert_eq!(ha.partial_cmp(hb), a.partial_cmp(&b));
+            }
+        }
+        assert_eq!(F16::NAN.partial_cmp(F16::ONE), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Software implementation of IEEE 754 binary16 ("half precision") plus
+//! bit-level utilities shared by the simulator.
+//!
+//! The paper evaluates half-precision functional units (HADD/HMUL/HFMA and
+//! the HMMA tensor-core path) on Volta. Rust has no native `f16`, and this
+//! reproduction deliberately implements its own binary16 so that bit-flips
+//! injected into FP16 register values propagate with bit-exact IEEE
+//! semantics (rounding, subnormals, infinities, NaN) rather than through an
+//! opaque external crate.
+//!
+//! Arithmetic follows the same model as NVIDIA's FP16 pipes: operands are
+//! promoted, the operation is performed in higher precision, and the result
+//! is rounded back to binary16 with round-to-nearest-even. For `add`, `mul`
+//! and `fma` a single rounding from an exact (f64) intermediate matches a
+//! correctly-rounded binary16 unit.
+
+mod f16;
+
+pub use f16::F16;
+
+/// Flip bit `bit` (0 = LSB) of a 32-bit word.
+#[inline]
+pub fn flip_bit_u32(word: u32, bit: u32) -> u32 {
+    word ^ (1u32 << (bit & 31))
+}
+
+/// Flip bit `bit` (0 = LSB) of a 64-bit word.
+#[inline]
+pub fn flip_bit_u64(word: u64, bit: u32) -> u64 {
+    word ^ (1u64 << (bit & 63))
+}
+
+/// Flip bit `bit` of an `f32` value through its bit representation.
+#[inline]
+pub fn flip_bit_f32(value: f32, bit: u32) -> f32 {
+    f32::from_bits(flip_bit_u32(value.to_bits(), bit))
+}
+
+/// Flip bit `bit` of an `f64` value through its bit representation.
+#[inline]
+pub fn flip_bit_f64(value: f64, bit: u32) -> f64 {
+    f64::from_bits(flip_bit_u64(value.to_bits(), bit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_u32_roundtrips() {
+        for bit in 0..32 {
+            let v = 0xDEAD_BEEFu32;
+            assert_eq!(flip_bit_u32(flip_bit_u32(v, bit), bit), v);
+            assert_ne!(flip_bit_u32(v, bit), v);
+        }
+    }
+
+    #[test]
+    fn flip_u64_roundtrips() {
+        for bit in 0..64 {
+            let v = 0x0123_4567_89AB_CDEFu64;
+            assert_eq!(flip_bit_u64(flip_bit_u64(v, bit), bit), v);
+            assert_ne!(flip_bit_u64(v, bit), v);
+        }
+    }
+
+    #[test]
+    fn flip_f32_changes_bits_not_identity() {
+        let x = 1.5f32;
+        let y = flip_bit_f32(x, 22); // flip a mantissa bit
+        assert_ne!(x.to_bits(), y.to_bits());
+        assert_eq!(flip_bit_f32(y, 22).to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn flip_f64_sign_bit() {
+        let x = 2.0f64;
+        assert_eq!(flip_bit_f64(x, 63), -2.0f64);
+    }
+
+    #[test]
+    fn flip_bit_index_wraps() {
+        // Out-of-range bit indices wrap instead of panicking: fault models
+        // sometimes draw a bit index wider than the operand.
+        assert_eq!(flip_bit_u32(1, 32), 0);
+        assert_eq!(flip_bit_u64(1, 64), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the binary16 implementation.
+
+use proptest::prelude::*;
+use softfloat::F16;
+
+proptest! {
+    /// Every non-NaN bit pattern survives f16 -> f32 -> f16 exactly.
+    #[test]
+    fn roundtrip_through_f32(bits in any::<u16>()) {
+        let h = F16::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits);
+    }
+
+    /// Conversion from f32 is monotone: a <= b implies f16(a) <= f16(b).
+    #[test]
+    fn conversion_is_monotone(a in -1e5f32..1e5, b in -1e5f32..1e5) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (hl, hh) = (F16::from_f32(lo), F16::from_f32(hi));
+        prop_assert!(hl.partial_cmp(hh) != Some(std::cmp::Ordering::Greater),
+            "f16({lo}) > f16({hi})");
+    }
+
+    /// Addition commutes.
+    #[test]
+    fn addition_commutes(a in -1e4f32..1e4, b in -1e4f32..1e4) {
+        let (x, y) = (F16::from_f32(a), F16::from_f32(b));
+        prop_assert_eq!(x.add(y).to_bits(), y.add(x).to_bits());
+    }
+
+    /// Multiplication commutes.
+    #[test]
+    fn multiplication_commutes(a in -200f32..200.0, b in -200f32..200.0) {
+        let (x, y) = (F16::from_f32(a), F16::from_f32(b));
+        prop_assert_eq!(x.mul(y).to_bits(), y.mul(x).to_bits());
+    }
+
+    /// x * 1 == x and x + 0 == x for finite x (modulo -0 normalization).
+    #[test]
+    fn identities(bits in any::<u16>()) {
+        let x = F16::from_bits(bits);
+        prop_assume!(x.is_finite());
+        prop_assert_eq!(x.mul(F16::ONE).to_f32(), x.to_f32());
+        let sum = x.add(F16::ZERO).to_f32();
+        prop_assert_eq!(sum, x.to_f32());
+    }
+
+    /// fma(a, b, 0) == mul(a, b): with a zero addend the single rounding
+    /// coincides with the product rounding.
+    #[test]
+    fn fma_with_zero_is_mul(a in -200f32..200.0, b in -200f32..200.0) {
+        let (x, y) = (F16::from_f32(a), F16::from_f32(b));
+        let fma = x.fma(y, F16::ZERO);
+        let mul = x.mul(y);
+        prop_assert_eq!(fma.to_f32().to_bits(), mul.to_f32().to_bits());
+    }
+
+    /// Negation is involutive and flips the sign of finite values.
+    #[test]
+    fn negation_involutive(bits in any::<u16>()) {
+        let x = F16::from_bits(bits);
+        prop_assert_eq!(x.neg().neg().to_bits(), bits);
+    }
+
+    /// f16 ordering agrees with f64 ordering of the widened values.
+    #[test]
+    fn ordering_matches_f64(a in any::<u16>(), b in any::<u16>()) {
+        let (x, y) = (F16::from_bits(a), F16::from_bits(b));
+        let wide = x.to_f64().partial_cmp(&y.to_f64());
+        prop_assert_eq!(x.partial_cmp(y), wide);
+    }
+
+    /// Widening then narrowing from f64 is exact for every f16 value.
+    #[test]
+    fn f64_roundtrip(bits in any::<u16>()) {
+        let h = F16::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        prop_assert_eq!(F16::from_f64(h.to_f64()).to_bits(), bits);
+    }
+
+    /// The result of from_f32 is always within half a ULP: quantizing
+    /// twice is idempotent.
+    #[test]
+    fn quantization_idempotent(v in -7e4f32..7e4) {
+        let once = F16::from_f32(v);
+        let twice = F16::from_f32(once.to_f32());
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+}

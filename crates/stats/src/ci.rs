@@ -1,0 +1,182 @@
+//! Confidence intervals: Poisson (for beam error counts) and binomial
+//! (for injection-campaign AVF estimates).
+
+/// 95% confidence interval for the mean of a Poisson distribution given an
+/// observed count, using the exact chi-square relationship
+/// `lo = qchisq(0.025, 2k)/2`, `hi = qchisq(0.975, 2k+2)/2`.
+///
+/// The chi-square quantile is evaluated through the Wilson–Hilferty
+/// approximation, which is accurate to well under 1% for the count ranges a
+/// beam campaign produces (k >= 1); for k = 0 the exact lower bound 0 and
+/// upper bound `-ln(0.025) = 3.689` are returned.
+pub fn poisson_ci95(count: u64) -> (f64, f64) {
+    if count == 0 {
+        return (0.0, -(0.025f64.ln()));
+    }
+    let k = count as f64;
+    (chi2_quantile(0.025, 2.0 * k) / 2.0, chi2_quantile(0.975, 2.0 * k + 2.0) / 2.0)
+}
+
+/// Wilson–Hilferty approximation to the chi-square quantile with `df`
+/// degrees of freedom at probability `p`.
+fn chi2_quantile(p: f64, df: f64) -> f64 {
+    let z = normal_quantile(p);
+    let a = 2.0 / (9.0 * df);
+    df * (1.0 - a + z * a.sqrt()).powi(3)
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation, max
+/// relative error ~1.15e-9 over (0,1)).
+fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must lie in (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Wilson score 95% interval for a binomial proportion with `successes`
+/// out of `trials`. Robust near 0 and 1, unlike the Wald interval.
+pub fn wilson_ci(successes: u64, trials: u64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = 1.959963984540054; // Phi^-1(0.975)
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// 95% CI for a binomial proportion; alias with the paper's vocabulary
+/// ("95% confidence intervals lower than 5%" means `hi - lo < 0.05`).
+pub fn binomial_ci95(successes: u64, trials: u64) -> (f64, f64) {
+    wilson_ci(successes, trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_symmetry_and_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+        for &p in &[0.001, 0.01, 0.1, 0.3, 0.7, 0.9, 0.99, 0.999] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must lie in (0,1)")]
+    fn normal_quantile_rejects_zero() {
+        normal_quantile(0.0);
+    }
+
+    #[test]
+    fn poisson_ci_zero_count() {
+        let (lo, hi) = poisson_ci95(0);
+        assert_eq!(lo, 0.0);
+        assert!((hi - 3.6888794541139363).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_ci_brackets_count() {
+        for &k in &[1u64, 5, 10, 100, 1000] {
+            let (lo, hi) = poisson_ci95(k);
+            assert!(lo < k as f64, "lo {lo} !< {k}");
+            assert!(hi > k as f64, "hi {hi} !> {k}");
+        }
+    }
+
+    #[test]
+    fn poisson_ci_known_values() {
+        // Exact values: k=10 -> (4.795, 18.39); Wilson-Hilferty is ~1% close.
+        let (lo, hi) = poisson_ci95(10);
+        assert!((lo - 4.795).abs() < 0.1, "lo={lo}");
+        assert!((hi - 18.39).abs() < 0.25, "hi={hi}");
+    }
+
+    #[test]
+    fn poisson_ci_narrows_relatively() {
+        let (lo_s, hi_s) = poisson_ci95(10);
+        let (lo_l, hi_l) = poisson_ci95(1000);
+        let rel_s = (hi_s - lo_s) / 10.0;
+        let rel_l = (hi_l - lo_l) / 1000.0;
+        assert!(rel_l < rel_s / 5.0);
+    }
+
+    #[test]
+    fn wilson_ci_basics() {
+        let (lo, hi) = wilson_ci(50, 100);
+        assert!(lo > 0.39 && lo < 0.5);
+        assert!(hi < 0.61 && hi > 0.5);
+        // Extremes stay inside [0,1].
+        let (lo, hi) = wilson_ci(0, 100);
+        assert!(lo.abs() < 1e-15);
+        assert!(hi > 0.0 && hi < 0.05);
+        let (lo, hi) = wilson_ci(100, 100);
+        assert!(lo > 0.95 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn wilson_ci_empty_trials() {
+        assert_eq!(wilson_ci(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn paper_campaign_size_gives_tight_ci() {
+        // Section III-D: >= 4000 injections per code keep the 95% CI width
+        // below 5% for any proportion.
+        for &s in &[0u64, 400, 2000, 3000, 4000] {
+            let (lo, hi) = binomial_ci95(s, 4000);
+            assert!(hi - lo < 0.05, "width {} at s={s}", hi - lo);
+        }
+    }
+}

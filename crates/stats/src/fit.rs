@@ -1,0 +1,163 @@
+//! FIT-rate and fluence accounting (Section III-C of the paper).
+//!
+//! A beam experiment measures a device's error rate as
+//! `cross-section sigma = errors / fluence` (cm^2), then scales by the
+//! natural terrestrial flux (13 n/(cm^2 h), JEDEC JESD89A) to obtain the
+//! Failure-In-Time rate: `FIT = sigma * flux * 1e9` (errors per 10^9 device
+//! hours).
+
+use crate::ci::poisson_ci95;
+
+/// JEDEC JESD89A reference flux of high-energy atmospheric neutrons at sea
+/// level, New York City: 13 neutrons/(cm^2 * h).
+pub const JEDEC_FLUX_PER_CM2_H: f64 = 13.0;
+
+/// Accumulated particle fluence (neutrons/cm^2) over an exposure.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Fluence(pub f64);
+
+impl Fluence {
+    /// Fluence from a constant flux (n/(cm^2 s)) over `seconds`.
+    pub fn from_flux(flux_per_cm2_s: f64, seconds: f64) -> Self {
+        Fluence(flux_per_cm2_s * seconds)
+    }
+
+    /// Add two exposures.
+    pub fn accumulate(&mut self, other: Fluence) {
+        self.0 += other.0;
+    }
+}
+
+/// A FIT rate with its 95% Poisson confidence interval, derived from an
+/// observed error count under a known fluence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FitRate {
+    /// Point estimate in FIT (errors per 1e9 hours of natural exposure).
+    pub fit: f64,
+    /// Lower 95% bound.
+    pub lo95: f64,
+    /// Upper 95% bound.
+    pub hi95: f64,
+    /// Raw error count the estimate is based on.
+    pub errors: u64,
+    /// Fluence (n/cm^2) the errors were observed under.
+    pub fluence: f64,
+}
+
+impl FitRate {
+    /// Derive a FIT rate from accelerated-beam observations.
+    ///
+    /// `errors` output corruptions were counted while the device received
+    /// `fluence` n/cm^2. The cross-section `errors/fluence` is scaled to the
+    /// terrestrial flux and to 1e9 hours.
+    ///
+    /// # Panics
+    /// Panics if `fluence` is not strictly positive — an experiment with no
+    /// exposure cannot yield a rate.
+    pub fn from_beam(errors: u64, fluence: Fluence) -> Self {
+        assert!(fluence.0 > 0.0, "fluence must be positive");
+        let scale = JEDEC_FLUX_PER_CM2_H * 1e9 / fluence.0;
+        let (lo, hi) = poisson_ci95(errors);
+        FitRate {
+            fit: errors as f64 * scale,
+            lo95: lo * scale,
+            hi95: hi * scale,
+            errors,
+            fluence: fluence.0,
+        }
+    }
+
+    /// A FIT rate known analytically (no counting statistics), e.g. a model
+    /// prediction. The CI collapses onto the point estimate.
+    pub fn exact(fit: f64) -> Self {
+        FitRate { fit, lo95: fit, hi95: fit, errors: 0, fluence: 0.0 }
+    }
+
+    /// The equivalent device cross-section in cm^2 (errors / fluence).
+    /// `NaN` for analytic rates that never saw beam.
+    pub fn cross_section(&self) -> f64 {
+        if self.fluence > 0.0 {
+            self.errors as f64 / self.fluence
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// This rate normalized to a reference rate (the paper's "arbitrary
+    /// units": every chart normalizes to the device's lowest measured DUE).
+    pub fn normalized_to(&self, reference: &FitRate) -> f64 {
+        self.fit / reference.fit
+    }
+}
+
+/// Scale accelerated-beam time to equivalent natural exposure, in hours.
+///
+/// The paper: "the 1,224 accelerated beam hours account for more than 13
+/// million years" — acceleration factor = beam flux / natural flux.
+pub fn natural_equivalent_hours(beam_hours: f64, beam_flux_per_cm2_s: f64) -> f64 {
+    let beam_flux_per_h = beam_flux_per_cm2_s * 3600.0;
+    beam_hours * beam_flux_per_h / JEDEC_FLUX_PER_CM2_H
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_from_beam_scales_linearly_in_errors() {
+        let f = Fluence::from_flux(3.5e6, 3600.0);
+        let a = FitRate::from_beam(10, f);
+        let b = FitRate::from_beam(20, f);
+        assert!((b.fit / a.fit - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_inverse_in_fluence() {
+        let a = FitRate::from_beam(10, Fluence(1e10));
+        let b = FitRate::from_beam(10, Fluence(2e10));
+        assert!((a.fit / b.fit - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_brackets_point() {
+        let r = FitRate::from_beam(25, Fluence(1e10));
+        assert!(r.lo95 < r.fit && r.fit < r.hi95);
+    }
+
+    #[test]
+    #[should_panic(expected = "fluence must be positive")]
+    fn zero_fluence_panics() {
+        FitRate::from_beam(1, Fluence(0.0));
+    }
+
+    #[test]
+    fn cross_section_definition() {
+        let r = FitRate::from_beam(100, Fluence(1e12));
+        assert!((r.cross_section() - 1e-10).abs() < 1e-24);
+        assert!(FitRate::exact(5.0).cross_section().is_nan());
+    }
+
+    #[test]
+    fn normalization() {
+        let reference = FitRate::exact(2.0);
+        let r = FitRate::exact(10.0);
+        assert_eq!(r.normalized_to(&reference), 5.0);
+    }
+
+    #[test]
+    fn paper_scale_13_million_years() {
+        // 1224 beam hours at ChipIR flux ~3.5e6 n/(cm^2 s) should exceed
+        // 13 million years of natural exposure (paper, Section III-C).
+        let hours = natural_equivalent_hours(1224.0, 3.5e6);
+        let years = hours / (24.0 * 365.0);
+        assert!(years > 13.0e6, "only {years} years");
+        assert!(years < 200.0e6, "implausibly high: {years}");
+    }
+
+    #[test]
+    fn fluence_accumulates() {
+        let mut f = Fluence::from_flux(1e6, 10.0);
+        f.accumulate(Fluence::from_flux(1e6, 5.0));
+        assert!((f.0 - 1.5e7).abs() < 1.0);
+    }
+}

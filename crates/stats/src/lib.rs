@@ -1,0 +1,109 @@
+//! Statistics shared by the beam, injection, and prediction crates.
+//!
+//! The paper reports:
+//! * FIT rates with 95% confidence intervals under a Poisson model
+//!   (Section VI, "Values are reported with 95% confidence intervals
+//!   considering a Poisson distribution");
+//! * AVF estimates with binomial confidence intervals ("ensuring 95%
+//!   confidence intervals to be lower than 5%", Section III-D);
+//! * Figure 6's signed ratio convention: the measured/predicted ratio when
+//!   measurement exceeds prediction, and minus the inverse otherwise.
+//!
+//! This crate implements those estimators plus the outcome bookkeeping
+//! (SDC / DUE / Masked counters) used throughout.
+
+mod ci;
+mod fit;
+mod outcome;
+
+pub use ci::{binomial_ci95, poisson_ci95, wilson_ci};
+pub use fit::{natural_equivalent_hours, FitRate, Fluence, JEDEC_FLUX_PER_CM2_H};
+pub use outcome::{Outcome, OutcomeCounts};
+
+/// The signed fault-simulation-vs-beam ratio used on the y axis of Fig. 6.
+///
+/// Returns `measured / predicted` when the beam measurement exceeds the
+/// prediction, and `-(predicted / measured)` otherwise, matching the paper:
+/// "If the measured FIT rate is lower than the predicted value, we plot the
+/// negative of the inverse."
+///
+/// Both inputs must be positive and finite; degenerate inputs yield `NaN`
+/// so callers can surface missing data rather than a fake agreement.
+pub fn signed_ratio(measured: f64, predicted: f64) -> f64 {
+    if !(measured > 0.0) || !(predicted > 0.0) || !measured.is_finite() || !predicted.is_finite() {
+        return f64::NAN;
+    }
+    if measured >= predicted {
+        measured / predicted
+    } else {
+        -(predicted / measured)
+    }
+}
+
+/// Magnitude of a signed Fig.-6 ratio: how many "times off" the prediction
+/// is, regardless of direction. A perfect prediction has magnitude 1.
+pub fn ratio_magnitude(signed: f64) -> f64 {
+    signed.abs()
+}
+
+/// Geometric mean of strictly positive values; `NaN` when empty or any
+/// value is non-positive. Used to average multiplicative prediction errors.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| !(v > 0.0)) {
+        return f64::NAN;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; `NaN` when empty.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_ratio_measured_above() {
+        assert!((signed_ratio(12.0, 1.0) - 12.0).abs() < 1e-12);
+        assert!((signed_ratio(2.0, 2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_ratio_predicted_above() {
+        assert!((signed_ratio(1.0, 7.0) + 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_ratio_degenerate_is_nan() {
+        assert!(signed_ratio(0.0, 1.0).is_nan());
+        assert!(signed_ratio(1.0, 0.0).is_nan());
+        assert!(signed_ratio(-1.0, 1.0).is_nan());
+        assert!(signed_ratio(f64::INFINITY, 1.0).is_nan());
+    }
+
+    #[test]
+    fn ratio_magnitude_symmetric() {
+        assert_eq!(ratio_magnitude(signed_ratio(5.0, 1.0)), 5.0);
+        assert_eq!(ratio_magnitude(signed_ratio(1.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[8.0]) - 8.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_nan());
+        assert!(geometric_mean(&[1.0, 0.0]).is_nan());
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!(mean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,162 @@
+//! Run-outcome classification and counting.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The three outcome classes used throughout the paper (Section II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Silent Data Corruption: the program completed but produced an
+    /// undetected wrong output.
+    Sdc,
+    /// Detected Unrecoverable Error: a crash, hang, device exception, or an
+    /// ECC double-bit detection interrupt.
+    Due,
+    /// The fault had no effect on the program output.
+    Masked,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Sdc => write!(f, "SDC"),
+            Outcome::Due => write!(f, "DUE"),
+            Outcome::Masked => write!(f, "Masked"),
+        }
+    }
+}
+
+/// Tallies of run outcomes for a campaign (beam or injection).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Number of silent data corruptions observed.
+    pub sdc: u64,
+    /// Number of detected unrecoverable errors observed.
+    pub due: u64,
+    /// Number of runs where the fault was masked (or no fault occurred).
+    pub masked: u64,
+}
+
+impl OutcomeCounts {
+    /// An empty tally.
+    pub const fn new() -> Self {
+        OutcomeCounts { sdc: 0, due: 0, masked: 0 }
+    }
+
+    /// Record a single outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Due => self.due += 1,
+            Outcome::Masked => self.masked += 1,
+        }
+    }
+
+    /// Total number of recorded runs.
+    pub fn total(&self) -> u64 {
+        self.sdc + self.due + self.masked
+    }
+
+    /// Fraction of runs that were SDCs (the SDC AVF when each run carries
+    /// exactly one injected fault). `NaN` for an empty tally.
+    pub fn sdc_fraction(&self) -> f64 {
+        self.fraction(self.sdc)
+    }
+
+    /// Fraction of runs that were DUEs.
+    pub fn due_fraction(&self) -> f64 {
+        self.fraction(self.due)
+    }
+
+    /// Fraction of runs where the fault was masked.
+    pub fn masked_fraction(&self) -> f64 {
+        self.fraction(self.masked)
+    }
+
+    fn fraction(&self, n: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            f64::NAN
+        } else {
+            n as f64 / total as f64
+        }
+    }
+}
+
+impl Add for OutcomeCounts {
+    type Output = OutcomeCounts;
+    fn add(self, rhs: OutcomeCounts) -> OutcomeCounts {
+        OutcomeCounts {
+            sdc: self.sdc + rhs.sdc,
+            due: self.due + rhs.due,
+            masked: self.masked + rhs.masked,
+        }
+    }
+}
+
+impl AddAssign for OutcomeCounts {
+    fn add_assign(&mut self, rhs: OutcomeCounts) {
+        *self = *self + rhs;
+    }
+}
+
+impl FromIterator<Outcome> for OutcomeCounts {
+    fn from_iter<I: IntoIterator<Item = Outcome>>(iter: I) -> Self {
+        let mut counts = OutcomeCounts::new();
+        for o in iter {
+            counts.record(o);
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_fractions() {
+        let mut c = OutcomeCounts::new();
+        c.record(Outcome::Sdc);
+        c.record(Outcome::Due);
+        c.record(Outcome::Masked);
+        c.record(Outcome::Masked);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.sdc_fraction(), 0.25);
+        assert_eq!(c.due_fraction(), 0.25);
+        assert_eq!(c.masked_fraction(), 0.5);
+    }
+
+    #[test]
+    fn empty_fractions_are_nan() {
+        let c = OutcomeCounts::new();
+        assert!(c.sdc_fraction().is_nan());
+        assert!(c.due_fraction().is_nan());
+        assert!(c.masked_fraction().is_nan());
+    }
+
+    #[test]
+    fn add_combines_fields() {
+        let a = OutcomeCounts { sdc: 1, due: 2, masked: 3 };
+        let b = OutcomeCounts { sdc: 10, due: 20, masked: 30 };
+        let c = a + b;
+        assert_eq!(c, OutcomeCounts { sdc: 11, due: 22, masked: 33 });
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let c: OutcomeCounts =
+            [Outcome::Sdc, Outcome::Sdc, Outcome::Due].into_iter().collect();
+        assert_eq!(c, OutcomeCounts { sdc: 2, due: 1, masked: 0 });
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Outcome::Sdc.to_string(), "SDC");
+        assert_eq!(Outcome::Due.to_string(), "DUE");
+        assert_eq!(Outcome::Masked.to_string(), "Masked");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the statistical estimators.
+
+use proptest::prelude::*;
+use stats::{
+    binomial_ci95, geometric_mean, poisson_ci95, signed_ratio, FitRate, Fluence, Outcome,
+    OutcomeCounts,
+};
+
+proptest! {
+    /// The Poisson CI always brackets the observed count and is ordered.
+    #[test]
+    fn poisson_ci_brackets(count in 0u64..100_000) {
+        let (lo, hi) = poisson_ci95(count);
+        prop_assert!(lo >= 0.0);
+        prop_assert!(lo <= count as f64 + 1e-9);
+        prop_assert!(hi >= count as f64);
+        prop_assert!(lo < hi);
+    }
+
+    /// The Poisson CI is monotone in the count.
+    #[test]
+    fn poisson_ci_monotone(count in 1u64..50_000) {
+        let (lo_a, hi_a) = poisson_ci95(count);
+        let (lo_b, hi_b) = poisson_ci95(count + 1);
+        prop_assert!(lo_b >= lo_a);
+        prop_assert!(hi_b >= hi_a);
+    }
+
+    /// The Wilson interval stays inside [0,1], brackets p-hat, and is
+    /// ordered.
+    #[test]
+    fn wilson_sane(successes in 0u64..10_000, extra in 0u64..10_000) {
+        let trials = successes + extra;
+        prop_assume!(trials > 0);
+        let (lo, hi) = binomial_ci95(successes, trials);
+        let p = successes as f64 / trials as f64;
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&lo));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&hi));
+        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+    }
+
+    /// signed_ratio is antisymmetric under swapping measured/predicted:
+    /// swapping flips the sign (magnitude preserved).
+    #[test]
+    fn signed_ratio_antisymmetric(a in 1e-6f64..1e6, b in 1e-6f64..1e6) {
+        prop_assume!((a - b).abs() > 1e-9);
+        let fwd = signed_ratio(a, b);
+        let rev = signed_ratio(b, a);
+        prop_assert!((fwd.abs() - rev.abs()).abs() < 1e-6 * fwd.abs().max(1.0));
+        prop_assert!(fwd.signum() == -rev.signum());
+    }
+
+    /// |signed_ratio| >= 1 always (a prediction cannot be "better than
+    /// exact").
+    #[test]
+    fn signed_ratio_magnitude_at_least_one(a in 1e-6f64..1e6, b in 1e-6f64..1e6) {
+        let r = signed_ratio(a, b);
+        prop_assert!(r.abs() >= 1.0 - 1e-12);
+    }
+
+    /// FIT scales linearly with the error count and inversely with the
+    /// fluence.
+    #[test]
+    fn fit_scaling(errors in 1u64..10_000, fluence in 1e6f64..1e14) {
+        let base = FitRate::from_beam(errors, Fluence(fluence));
+        let double_err = FitRate::from_beam(errors * 2, Fluence(fluence));
+        let double_flu = FitRate::from_beam(errors, Fluence(fluence * 2.0));
+        prop_assert!((double_err.fit / base.fit - 2.0).abs() < 1e-9);
+        prop_assert!((base.fit / double_flu.fit - 2.0).abs() < 1e-9);
+        prop_assert!(base.lo95 <= base.fit && base.fit <= base.hi95);
+    }
+
+    /// Outcome counting is order-independent and totals correctly.
+    #[test]
+    fn outcome_counts_total(seq in prop::collection::vec(0u8..3, 0..200)) {
+        let outcomes: Vec<Outcome> = seq
+            .iter()
+            .map(|&i| match i {
+                0 => Outcome::Sdc,
+                1 => Outcome::Due,
+                _ => Outcome::Masked,
+            })
+            .collect();
+        let fwd: OutcomeCounts = outcomes.iter().copied().collect();
+        let rev: OutcomeCounts = outcomes.iter().rev().copied().collect();
+        prop_assert_eq!(fwd, rev);
+        prop_assert_eq!(fwd.total() as usize, outcomes.len());
+        if !outcomes.is_empty() {
+            let sum = fwd.sdc_fraction() + fwd.due_fraction() + fwd.masked_fraction();
+            prop_assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// The geometric mean of positive values sits between min and max.
+    #[test]
+    fn geometric_mean_between_extremes(values in prop::collection::vec(1e-6f64..1e6, 1..50)) {
+        let g = geometric_mean(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= min * (1.0 - 1e-9));
+        prop_assert!(g <= max * (1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,321 @@
+//! YOLO-like convolutional networks.
+//!
+//! Scaled-down stand-ins for Darknet's YOLOv2/YOLOv3: a stack of 3x3
+//! same-padding convolutions with leaky-ReLU activations over a small
+//! input image, followed by global average pooling into per-class scores.
+//! The "v3" variant is deeper and wider — the paper's point is that v3's
+//! higher accuracy makes it *less* fault-tolerant (a larger fraction of
+//! output perturbations flips the classification), while v2 masks more.
+//!
+//! Convolution is emitted as dense FMA inner loops — the same mix as the
+//! conv-as-GEMM lowering cuDNN/cuBLAS perform (">75% of YOLO operations
+//! are matrix-multiplication-like", Section VI). The kernels are marked
+//! `proprietary`, matching the paper's inability to instrument
+//! library-backed YOLO with SASSIFI on Kepler.
+//!
+//! SDC detection uses [`CompareSpec::Classification`]: only faults that
+//! change the argmax class count as errors.
+
+use crate::prec::{host, PrecEmit};
+use crate::{write_elem, Benchmark, CompareSpec, Scale, Workload};
+use gpu_arch::{CmpOp, CodeGen, Dim, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg, SpecialReg};
+use gpu_sim::GlobalMemory;
+
+fn r(i: u8) -> Reg {
+    Reg(i)
+}
+fn imm(v: u32) -> Operand {
+    Operand::Imm(v)
+}
+
+/// Image side (the feature maps stay this size through the network).
+pub const IMG: u32 = 8;
+/// Classes scored by the head.
+pub const CLASSES: u32 = 8;
+/// Leaky-ReLU negative slope (0.125: exactly representable in binary16).
+pub const LEAK: f64 = 0.125;
+
+/// Images processed per launch (one block each) — batching keeps the
+/// paper-like occupancy for the CNN codes.
+fn batch(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 1,
+        Scale::Small => 2,
+        Scale::Profile => 16,
+    }
+}
+
+/// Network shape per YOLO version.
+pub fn layer_channels(version: u32, scale: Scale) -> Vec<u32> {
+    let width = match scale {
+        Scale::Tiny => 2,
+        _ => 4,
+    };
+    match version {
+        2 => vec![1, width, width],
+        _ => vec![1, width, width, width, width, width],
+    }
+}
+
+/// Deterministic conv weight for (layer, out channel, in channel, ky, kx),
+/// small and binary16-exact.
+pub fn weight(layer: u32, co: u32, ci: u32, ky: u32, kx: u32) -> f64 {
+    let h = layer
+        .wrapping_mul(31)
+        .wrapping_add(co.wrapping_mul(17))
+        .wrapping_add(ci.wrapping_mul(13))
+        .wrapping_add(ky.wrapping_mul(5))
+        .wrapping_add(kx.wrapping_mul(3));
+    ((h % 15) as f64 - 7.0) / 16.0
+}
+
+/// Input image pixel.
+pub fn input_pixel(y: u32, x: u32) -> f64 {
+    (((y.wrapping_mul(7).wrapping_add(x.wrapping_mul(3))) % 16) as f64) / 16.0
+}
+
+/// Class-head weight for (class, channel).
+pub fn head_weight(class: u32, ch: u32) -> f64 {
+    (((class.wrapping_mul(11).wrapping_add(ch.wrapping_mul(7)).wrapping_add(1)) % 13) as f64 - 6.0)
+        / 8.0
+}
+
+/// Host reference: returns the class scores, computed with the kernel's
+/// exact operation order and precision.
+pub fn reference(version: u32, prec: Precision, scale: Scale) -> Vec<f64> {
+    let q = |v: f64| host::quantize(prec, v);
+    let chans = layer_channels(version, scale);
+    let hw = (IMG * IMG) as usize;
+    // act[ch][pixel]
+    let mut act: Vec<Vec<f64>> =
+        vec![(0..hw).map(|p| q(input_pixel(p as u32 / IMG, p as u32 % IMG))).collect()];
+    let leak = q(LEAK);
+    for l in 1..chans.len() {
+        let (cin, cout) = (chans[l - 1], chans[l]);
+        let mut next = vec![vec![0.0; hw]; cout as usize];
+        for co in 0..cout {
+            for y in 0..IMG {
+                for x in 0..IMG {
+                    let mut acc = 0.0;
+                    for ci in 0..cin {
+                        for ky in 0..3u32 {
+                            for kx in 0..3u32 {
+                                // Clamped (replicate) padding.
+                                let sy = (y as i64 + ky as i64 - 1).clamp(0, IMG as i64 - 1) as u32;
+                                let sx = (x as i64 + kx as i64 - 1).clamp(0, IMG as i64 - 1) as u32;
+                                let w = q(weight(l as u32, co, ci, ky, kx));
+                                let v = act[ci as usize][(sy * IMG + sx) as usize];
+                                acc = host::fma(prec, w, v, acc);
+                            }
+                        }
+                    }
+                    // leaky ReLU: max(acc, leak*acc)
+                    let scaled = host::mul(prec, leak, acc);
+                    let a = if acc >= scaled || acc.is_nan() { acc } else { scaled };
+                    next[co as usize][(y * IMG + x) as usize] = q(a);
+                }
+            }
+        }
+        act = next;
+    }
+    // Head: score[c] = sum over channels of head_weight * mean(activation).
+    let last = chans[chans.len() - 1];
+    let inv_hw = q(1.0 / hw as f64);
+    let mut scores = vec![0.0; CLASSES as usize];
+    for class in 0..CLASSES {
+        let mut s = 0.0;
+        for ch in 0..last {
+            let mut sum = 0.0;
+            for p in 0..hw {
+                sum = host::add(prec, sum, act[ch as usize][p]);
+            }
+            let mean = host::mul(prec, sum, inv_hw);
+            s = host::fma(prec, q(head_weight(class, ch)), mean, s);
+        }
+        scores[class as usize] = q(s);
+    }
+    scores
+}
+
+/// Build a YOLO-like workload (`version` 2 or 3).
+pub fn yolo(version: u32, prec: Precision, scale: Scale) -> Workload {
+    let chans = layer_channels(version, scale);
+    let max_ch = *chans.iter().max().unwrap();
+    let e = PrecEmit::new(prec);
+    let elem = prec.size_bytes();
+    let hw = IMG * IMG;
+    let bench = if version == 2 { Benchmark::Yolov2 } else { Benchmark::Yolov3 };
+    let name = bench.display_name(prec);
+    let mut b = KernelBuilder::new(name.clone());
+    b.proprietary();
+    b.shared((version * 4096).max(8192)); // modeled library workspace
+
+    // Memory layout: per-image activation buffers (max_ch * hw each,
+    // batched), shared weights (per layer, cout*cin*9), head weights
+    // (CLASSES*max_ch), per-image scores.
+    let instances = batch(scale);
+    let buf_stride = max_ch * hw * elem;
+    let buf_a = 0u32;
+    let buf_b = buf_a + buf_stride * instances;
+    let mut w_bases = Vec::new();
+    let mut cursor = buf_b + buf_stride * instances;
+    for l in 1..chans.len() {
+        w_bases.push(cursor);
+        cursor += chans[l] * chans[l - 1] * 9 * elem;
+    }
+    let head_base = cursor;
+    cursor += CLASSES * max_ch * elem;
+    let score_base = cursor;
+    cursor += CLASSES * elem * instances;
+
+    // One block of IMG x IMG threads per image; thread = one pixel.
+    b.s2r(r(0), SpecialReg::TidX); // x
+    b.s2r(r(1), SpecialReg::TidY); // y
+    b.s2r(r(45), SpecialReg::CtaidX); // image index
+    b.imad(r(4), r(1).into(), imm(IMG), r(0).into()); // pixel index
+    b.ldp(r(10), 0); // buf_a
+    b.ldp(r(11), 1); // buf_b
+    b.imad(r(10), r(45).into(), imm(buf_stride), r(10).into());
+    b.imad(r(11), r(45).into(), imm(buf_stride), r(11).into());
+
+    // Clamped neighbor pixel indices for the 3x3 window, hoisted: regs
+    // 50..59 hold the 9 byte offsets (pixel*elem) of the window.
+    for ky in 0..3u32 {
+        for kx in 0..3u32 {
+            b.iadd(r(6), r(1).into(), Operand::imm_i32(ky as i32 - 1));
+            b.imax(r(6), r(6).into(), imm(0));
+            b.imin(r(6), r(6).into(), imm(IMG - 1));
+            b.iadd(r(7), r(0).into(), Operand::imm_i32(kx as i32 - 1));
+            b.imax(r(7), r(7).into(), imm(0));
+            b.imin(r(7), r(7).into(), imm(IMG - 1));
+            b.imad(r(6), r(6).into(), imm(IMG), r(7).into());
+            b.shl(r(50 + (ky * 3 + kx) as u8), r(6).into(), imm(e.shift()));
+        }
+    }
+
+    e.mov_const(&mut b, r(40), LEAK);
+
+    // Conv layers: layer l reads from src buffer, writes dst; ping-pong.
+    for l in 1..chans.len() {
+        let (cin, cout) = (chans[l - 1], chans[l]);
+        let (src, dst) = if l % 2 == 1 { (r(10), r(11)) } else { (r(11), r(10)) };
+        let w_base = w_bases[l - 1];
+        for co in 0..cout {
+            e.mov_const(&mut b, r(16), 0.0); // acc
+            for ci in 0..cin {
+                for k in 0..9u32 {
+                    // activation at window offset k of channel ci
+                    b.imul(r(8), Operand::Imm(ci), imm(hw * elem));
+                    b.iadd(r(8), r(8).into(), r(50 + k as u8).into());
+                    b.iadd(r(8), r(8).into(), src.into());
+                    e.load_g(&mut b, r(20), r(8), 0);
+                    // weight (uniform across threads)
+                    let w_off = w_base + ((co * cin + ci) * 9 + k) * elem;
+                    b.mov(r(9), imm(w_off));
+                    e.load_g(&mut b, r(24), r(9), 0);
+                    e.fma(&mut b, r(16), r(24).into(), r(20).into(), r(16).into());
+                }
+            }
+            // leaky ReLU: out = max(acc, leak*acc) via compare + select.
+            e.mul(&mut b, r(28), r(40).into(), r(16).into());
+            e.setp(&mut b, Pred(0), CmpOp::Ge, r(16).into(), r(28).into());
+            b.sel(r(30), r(16).into(), r(28).into(), Pred(0), false);
+            if prec == Precision::Double {
+                b.sel(r(31), r(17).into(), r(29).into(), Pred(0), false);
+            }
+            // store to dst[co*hw + pixel]
+            b.imul(r(8), Operand::Imm(co), imm(hw * elem));
+            b.shl(r(9), r(4).into(), imm(e.shift()));
+            b.iadd(r(8), r(8).into(), r(9).into());
+            b.iadd(r(8), r(8).into(), dst.into());
+            e.store_g(&mut b, r(8), 0, r(30));
+        }
+        b.bar();
+    }
+
+    // Head: thread 0 computes the class scores (global average pool +
+    // linear head). Other threads exit through the barrier-free tail.
+    let last_buf = if (chans.len() - 1) % 2 == 1 { r(11) } else { r(10) };
+    let last_ch = chans[chans.len() - 1];
+    b.isetp(Pred(1), CmpOp::Ne, r(4).into(), imm(0));
+    b.if_p(Pred(1)).bra("done");
+    b.ldp(r(12), 2); // head_base
+    b.ldp(r(13), 3); // score_base
+    b.imad(r(13), r(45).into(), imm(CLASSES * elem), r(13).into());
+    e.mov_const(&mut b, r(42), 1.0 / (hw as f64));
+    for class in 0..CLASSES {
+        e.mov_const(&mut b, r(16), 0.0); // score acc
+        for ch in 0..last_ch {
+            e.mov_const(&mut b, r(18), 0.0); // channel sum
+            b.mov(r(5), imm(0)); // pixel loop
+            let lbl = format!("pool_{class}_{ch}");
+            b.label(lbl.clone());
+            b.imul(r(8), Operand::Imm(ch), imm(hw * elem));
+            b.shl(r(9), r(5).into(), imm(e.shift()));
+            b.iadd(r(8), r(8).into(), r(9).into());
+            b.iadd(r(8), r(8).into(), last_buf.into());
+            e.load_g(&mut b, r(20), r(8), 0);
+            e.add(&mut b, r(18), r(18).into(), r(20).into());
+            b.iadd(r(5), r(5).into(), imm(1));
+            b.isetp(Pred(2), CmpOp::Lt, r(5).into(), imm(hw));
+            b.if_p(Pred(2)).bra(lbl);
+            // mean = sum * (1/hw); score += head_w * mean
+            e.mul(&mut b, r(18), r(18).into(), r(42).into());
+            let hw_off = head_base + (class * max_ch + ch) * elem;
+            b.mov(r(9), imm(hw_off));
+            e.load_g(&mut b, r(24), r(9), 0);
+            e.fma(&mut b, r(16), r(24).into(), r(18).into(), r(16).into());
+        }
+        e.store_g(&mut b, r(13), class * elem, r(16));
+    }
+    b.label("done");
+    b.exit();
+
+    let kernel = b.build().expect("yolo kernel");
+    let mut mem = GlobalMemory::new(cursor);
+    for inst in 0..instances {
+        for y in 0..IMG {
+            for x in 0..IMG {
+                write_elem(
+                    &mut mem,
+                    prec,
+                    buf_a + inst * buf_stride + (y * IMG + x) * elem,
+                    input_pixel(y, x),
+                );
+            }
+        }
+    }
+    for (li, l) in (1..chans.len()).enumerate() {
+        let (cin, cout) = (chans[l - 1], chans[l]);
+        for co in 0..cout {
+            for ci in 0..cin {
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        let off = w_bases[li] + ((co * cin + ci) * 9 + ky * 3 + kx) * elem;
+                        write_elem(&mut mem, prec, off, weight(l as u32, co, ci, ky, kx));
+                    }
+                }
+            }
+        }
+    }
+    for class in 0..CLASSES {
+        for ch in 0..max_ch {
+            write_elem(&mut mem, prec, head_base + (class * max_ch + ch) * elem, head_weight(class, ch));
+        }
+    }
+    let launch = LaunchConfig::new_2d(
+        Dim::d2(instances, 1),
+        Dim::d2(IMG, IMG),
+        vec![buf_a, buf_b, head_base, score_base],
+    );
+    Workload {
+        name,
+        benchmark: bench,
+        precision: prec,
+        codegen: CodeGen::Cuda10,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::Classification { offset: score_base, count: CLASSES, precision: prec },
+    }
+}

@@ -1,0 +1,491 @@
+//! Integer codes: Needleman-Wunsch (wavefront DP), breadth-first search,
+//! and connected-component labeling.
+//!
+//! These are the paper's "not optimized well for GPUs" codes: low IPC,
+//! poor access patterns, heavy control flow (Section VII-A explains their
+//! prediction error by exactly these properties).
+
+use crate::{Benchmark, CompareSpec, Scale, Workload};
+use gpu_arch::{CmpOp, CodeGen, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred, Reg, SpecialReg};
+use gpu_sim::GlobalMemory;
+
+fn r(i: u8) -> Reg {
+    Reg(i)
+}
+fn imm(v: u32) -> Operand {
+    Operand::Imm(v)
+}
+fn imi(v: i32) -> Operand {
+    Operand::imm_i32(v)
+}
+
+// ---------------------------------------------------------------- NW ----
+
+/// Match reward and gap penalty of the NW scoring scheme.
+pub const NW_MATCH: i32 = 3;
+/// Mismatch penalty.
+pub const NW_MISMATCH: i32 = -1;
+/// Gap penalty.
+pub const NW_GAP: i32 = 2;
+
+fn nw_len(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 16,
+        Scale::Small => 32,
+        Scale::Profile => 64,
+    }
+}
+
+/// Sequence element (values 0..4, like nucleotide codes).
+pub fn nw_seq(which: u32, i: u32) -> i32 {
+    ((i.wrapping_mul(7).wrapping_add(which.wrapping_mul(5)).wrapping_add(3)) % 4) as i32
+}
+
+/// Host reference DP table ((m+1) x (m+1) scores).
+pub fn nw_reference(m: u32) -> Vec<i32> {
+    let w = m + 1;
+    let mut dp = vec![0i32; (w * w) as usize];
+    for i in 0..=m {
+        dp[(i * w) as usize] = -(NW_GAP * i as i32);
+        dp[i as usize] = -(NW_GAP * i as i32);
+    }
+    for i in 1..=m {
+        for j in 1..=m {
+            let sim = if nw_seq(0, i - 1) == nw_seq(1, j - 1) { NW_MATCH } else { NW_MISMATCH };
+            let diag = dp[((i - 1) * w + j - 1) as usize] + sim;
+            let up = dp[((i - 1) * w + j) as usize] - NW_GAP;
+            let left = dp[(i * w + j - 1) as usize] - NW_GAP;
+            dp[(i * w + j) as usize] = diag.max(up).max(left);
+        }
+    }
+    dp
+}
+
+/// Needleman-Wunsch: one block of `m` threads sweeps the DP matrix by
+/// anti-diagonals with a barrier per wave. Sequences are staged in shared
+/// memory (Table I's NW shared footprint).
+pub fn nw(codegen: CodeGen, scale: Scale) -> Workload {
+    let m = nw_len(scale);
+    let w = m + 1;
+    let name = Benchmark::Nw.display_name(Precision::Int32);
+    let mut b = KernelBuilder::new(name.clone());
+    // shared: seq0 at 0, seq1 at 4*m
+    b.shared(8 * m);
+
+    // params: [seq0_base, seq1_base, dp_base]
+    b.s2r(r(0), SpecialReg::TidX); // thread t owns DP row t+1
+    b.ldp(r(10), 0);
+    b.ldp(r(11), 1);
+    b.ldp(r(12), 2);
+
+    // Stage both sequences (thread t copies element t).
+    b.shl(r(3), r(0).into(), imm(2));
+    b.iadd(r(4), r(3).into(), r(10).into());
+    b.ldg(MemWidth::W32, r(5), r(4), 0);
+    b.sts(MemWidth::W32, r(3), 0, r(5));
+    b.iadd(r(4), r(3).into(), r(11).into());
+    b.ldg(MemWidth::W32, r(5), r(4), 0);
+    b.sts(MemWidth::W32, r(3), 4 * m, r(5));
+
+    // Initialize DP borders: thread t writes dp[0][t+1] and dp[t+1][0];
+    // thread 0 additionally writes dp[0][0] (done by every thread's
+    // identical formula for index 0 is avoided by using t+1).
+    b.iadd(r(6), r(0).into(), imm(1)); // t+1
+    b.imul(r(7), r(6).into(), imi(-(NW_GAP)));
+    // dp[0][t+1]
+    b.shl(r(8), r(6).into(), imm(2));
+    b.iadd(r(8), r(8).into(), r(12).into());
+    b.stg(MemWidth::W32, r(8), 0, r(7));
+    // dp[t+1][0]
+    b.imul(r(8), r(6).into(), imm(w));
+    b.shl(r(8), r(8).into(), imm(2));
+    b.iadd(r(8), r(8).into(), r(12).into());
+    b.stg(MemWidth::W32, r(8), 0, r(7));
+    // dp[0][0] = 0 (every thread stores the same zero: idempotent)
+    b.mov(r(7), imm(0));
+    b.stg(MemWidth::W32, r(12), 0, r(7));
+    b.bar();
+
+    // Wave sweep: wave d = 0 .. 2m-2; thread t computes cell
+    // (i, j) = (t+1, d - t + 1) when 0 <= d - t < m.
+    b.mov(r(2), imm(0)); // d
+    b.label("wave");
+    b.iadd(r(9), r(2).into(), imm(0));
+    // j0 = d - t ; valid iff 0 <= j0 < m
+    b.imul(r(13), r(0).into(), imi(-1));
+    b.iadd(r(9), r(9).into(), r(13).into()); // d - t
+    b.isetp(Pred(0), CmpOp::Ge, r(9).into(), imm(0));
+    b.isetp(Pred(1), CmpOp::Lt, r(9).into(), imm(m));
+    // Inactive threads branch straight to the barrier.
+    b.if_not_p(Pred(0)).bra("wavebar");
+    b.if_not_p(Pred(1)).bra("wavebar");
+    // i = t+1 (r6), j = d - t + 1
+    b.iadd(r(9), r(9).into(), imm(1)); // j
+    // sim = seq0[i-1] == seq1[j-1] ? MATCH : MISMATCH (from shared)
+    b.shl(r(13), r(0).into(), imm(2)); // (i-1) = t
+    b.lds(MemWidth::W32, r(14), r(13), 0);
+    b.iadd(r(13), r(9).into(), imi(-1));
+    b.shl(r(13), r(13).into(), imm(2));
+    b.lds(MemWidth::W32, r(15), r(13), 4 * m);
+    b.isetp(Pred(2), CmpOp::Eq, r(14).into(), r(15).into());
+    b.mov(r(16), imi(NW_MISMATCH));
+    b.sel(r(16), imi(NW_MATCH), r(16).into(), Pred(2), false);
+    // diag/up/left loads
+    b.iadd(r(13), r(6).into(), imi(-1)); // i-1
+    b.imad(r(14), r(13).into(), imm(w), r(9).into()); // (i-1)*w + j
+    b.shl(r(15), r(14).into(), imm(2));
+    b.iadd(r(15), r(15).into(), r(12).into());
+    b.ldg(MemWidth::W32, r(17), r(15), 0); // up
+    // diag = (i-1)*w + j - 1
+    b.iadd(r(14), r(14).into(), imi(-1));
+    b.shl(r(15), r(14).into(), imm(2));
+    b.iadd(r(15), r(15).into(), r(12).into());
+    b.ldg(MemWidth::W32, r(18), r(15), 0); // diag
+    // left = i*w + j - 1
+    b.imad(r(14), r(6).into(), imm(w), r(9).into());
+    b.iadd(r(14), r(14).into(), imi(-1));
+    b.shl(r(15), r(14).into(), imm(2));
+    b.iadd(r(15), r(15).into(), r(12).into());
+    b.ldg(MemWidth::W32, r(19), r(15), 0); // left
+    // score = max(diag+sim, up-GAP, left-GAP)
+    b.iadd(r(18), r(18).into(), r(16).into());
+    b.iadd(r(17), r(17).into(), imi(-(NW_GAP)));
+    b.iadd(r(19), r(19).into(), imi(-(NW_GAP)));
+    b.imax(r(18), r(18).into(), r(17).into());
+    b.imax(r(18), r(18).into(), r(19).into());
+    if codegen == CodeGen::Cuda7 {
+        b.mov(r(20), r(18).into());
+    }
+    // store dp[i][j]
+    b.imad(r(14), r(6).into(), imm(w), r(9).into());
+    b.shl(r(15), r(14).into(), imm(2));
+    b.iadd(r(15), r(15).into(), r(12).into());
+    b.stg(MemWidth::W32, r(15), 0, r(18));
+    b.label("wavebar");
+    b.bar();
+    b.iadd(r(2), r(2).into(), imm(1));
+    b.isetp(Pred(3), CmpOp::Lt, r(2).into(), imm(2 * m - 1));
+    b.if_p(Pred(3)).bra("wave");
+    b.exit();
+
+    let kernel = b.build().expect("nw kernel");
+    let seq0_base = 0u32;
+    let seq1_base = 4 * m;
+    let dp_base = 8 * m;
+    let mut mem = GlobalMemory::new(8 * m + 4 * w * w);
+    for i in 0..m {
+        mem.write_u32_host(seq0_base + 4 * i, nw_seq(0, i) as u32);
+        mem.write_u32_host(seq1_base + 4 * i, nw_seq(1, i) as u32);
+    }
+    let launch = LaunchConfig::new(1, m, vec![seq0_base, seq1_base, dp_base]);
+    Workload {
+        name,
+        benchmark: Benchmark::Nw,
+        precision: Precision::Int32,
+        codegen,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::ExactRegion { offset: dp_base, len: 4 * w * w },
+    }
+}
+
+// --------------------------------------------------------------- BFS ----
+
+fn bfs_nodes(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 32,
+        Scale::Small => 64,
+        Scale::Profile => 128,
+    }
+}
+
+/// Independent problem instances per launch (one block each).
+fn batch(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 1,
+        Scale::Small => 2,
+        Scale::Profile => 16,
+    }
+}
+
+/// Deterministic sparse digraph: each node has 3 out-edges.
+pub fn bfs_edges(n: u32, v: u32) -> [u32; 3] {
+    [
+        (v + 1) % n,
+        (v.wrapping_mul(3).wrapping_add(1)) % n,
+        (v.wrapping_mul(7).wrapping_add(5)) % n,
+    ]
+}
+
+/// Host reference BFS levels from node 0 (`i32::MAX` = unreachable).
+pub fn bfs_reference(n: u32, max_levels: u32) -> Vec<i32> {
+    let mut level = vec![i32::MAX; n as usize];
+    level[0] = 0;
+    for cur in 0..max_levels as i32 {
+        for v in 0..n {
+            if level[v as usize] == cur {
+                for nb in bfs_edges(n, v) {
+                    if level[nb as usize] == i32::MAX {
+                        level[nb as usize] = cur + 1;
+                    }
+                }
+            }
+        }
+    }
+    level
+}
+
+/// Level-synchronous BFS: one thread per node, barrier per level, fixed
+/// level count (covers the graph diameter). No shared memory (Table I:
+/// BFS 0 B).
+pub fn bfs(codegen: CodeGen, scale: Scale) -> Workload {
+    let n = bfs_nodes(scale);
+    let max_levels = 8u32;
+    let name = Benchmark::Bfs.display_name(Precision::Int32);
+    let mut b = KernelBuilder::new(name.clone());
+
+    // params: [edges_base, level_base]; edges laid out v*3..v*3+3. Block
+    // bx searches its own graph instance.
+    b.s2r(r(0), SpecialReg::TidX);
+    b.s2r(r(1), SpecialReg::CtaidX);
+    b.ldp(r(10), 0);
+    b.ldp(r(11), 1);
+    b.imad(r(10), r(1).into(), imm(4 * 3 * n), r(10).into());
+    b.imad(r(11), r(1).into(), imm(4 * n), r(11).into());
+    // own level address
+    b.shl(r(3), r(0).into(), imm(2));
+    b.iadd(r(3), r(3).into(), r(11).into());
+
+    b.mov(r(2), imm(0)); // current level
+    b.label("levelloop");
+    b.ldg(MemWidth::W32, r(4), r(3), 0); // my level
+    b.isetp(Pred(0), CmpOp::Ne, r(4).into(), r(2).into());
+    b.if_p(Pred(0)).bra("levelbar");
+    // Expand my 3 neighbors.
+    for k in 0..3u32 {
+        b.imad(r(5), r(0).into(), imm(3), imm(k));
+        b.shl(r(5), r(5).into(), imm(2));
+        b.iadd(r(5), r(5).into(), r(10).into());
+        b.ldg(MemWidth::W32, r(6), r(5), 0); // neighbor id
+        b.shl(r(7), r(6).into(), imm(2));
+        b.iadd(r(7), r(7).into(), r(11).into());
+        b.ldg(MemWidth::W32, r(8), r(7), 0); // neighbor level
+        // if unreachable, set to cur+1
+        b.isetp(Pred(1), CmpOp::Eq, r(8).into(), imi(i32::MAX));
+        b.iadd(r(9), r(2).into(), imm(1));
+        b.sel(r(9), r(9).into(), r(8).into(), Pred(1), false);
+        if codegen == CodeGen::Cuda7 {
+            b.mov(r(13), r(9).into());
+        }
+        b.stg(MemWidth::W32, r(7), 0, r(9));
+    }
+    b.label("levelbar");
+    b.bar();
+    b.iadd(r(2), r(2).into(), imm(1));
+    b.isetp(Pred(2), CmpOp::Lt, r(2).into(), imm(max_levels));
+    b.if_p(Pred(2)).bra("levelloop");
+    b.exit();
+
+    let kernel = b.build().expect("bfs kernel");
+    let instances = batch(scale);
+    let edges_base = 0u32;
+    let level_base = 4 * 3 * n * instances;
+    let mut mem = GlobalMemory::new((4 * 3 * n + 4 * n) * instances);
+    for inst in 0..instances {
+        for v in 0..n {
+            for (k, nb) in bfs_edges(n, v).into_iter().enumerate() {
+                mem.write_u32_host(edges_base + 4 * (inst * 3 * n + v * 3 + k as u32), nb);
+            }
+            mem.write_u32_host(
+                level_base + 4 * (inst * n + v),
+                if v == 0 { 0 } else { i32::MAX as u32 },
+            );
+        }
+    }
+    let launch = LaunchConfig::new(instances, n, vec![edges_base, level_base]);
+    Workload {
+        name,
+        benchmark: Benchmark::Bfs,
+        precision: Precision::Int32,
+        codegen,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::ExactRegion { offset: level_base, len: 4 * n * instances },
+    }
+}
+
+// --------------------------------------------------------------- CCL ----
+
+fn ccl_dim(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 8,
+        Scale::Small => 16,
+        Scale::Profile => 32,
+    }
+}
+
+/// Binary image: a deterministic blob pattern.
+pub fn ccl_pixel(i: u32, j: u32) -> u32 {
+    u32::from((i.wrapping_mul(5).wrapping_add(j.wrapping_mul(3))) % 7 < 4)
+}
+
+/// Host reference label propagation (same fixed iteration count as the
+/// kernel).
+pub fn ccl_reference(n: u32, iters: u32) -> Vec<i32> {
+    let px: Vec<u32> = (0..n * n).map(|idx| ccl_pixel(idx / n, idx % n)).collect();
+    let mut label: Vec<i32> =
+        (0..n * n).map(|idx| if px[idx as usize] == 1 { idx as i32 } else { -1 }).collect();
+    for _ in 0..iters {
+        let snap = label.clone();
+        for i in 0..n {
+            for j in 0..n {
+                let idx = (i * n + j) as usize;
+                if px[idx] == 0 {
+                    continue;
+                }
+                let mut best = snap[idx];
+                // Clamped 4-neighborhood, foreground only.
+                let (im1, ip1) = (i.saturating_sub(1), (i + 1).min(n - 1));
+                let (jm1, jp1) = (j.saturating_sub(1), (j + 1).min(n - 1));
+                for (ni, nj) in [(im1, j), (ip1, j), (i, jm1), (i, jp1)] {
+                    let nidx = (ni * n + nj) as usize;
+                    if px[nidx] == 1 && snap[nidx] < best {
+                        best = snap[nidx];
+                    }
+                }
+                label[idx] = best;
+            }
+        }
+    }
+    label
+}
+
+/// Iterations of label propagation the kernel performs.
+pub const CCL_ITERS: u32 = 8;
+
+/// Connected-component labeling by iterative min-propagation: one thread
+/// per pixel, snapshot semantics via double-buffering in global memory.
+pub fn ccl(codegen: CodeGen, scale: Scale) -> Workload {
+    let n = ccl_dim(scale);
+    let name = Benchmark::Ccl.display_name(Precision::Int32);
+    let mut b = KernelBuilder::new(name.clone());
+    // A tiny shared scratch (Table I: CCL uses 123 B) for the block's
+    // "changed" flag; modeled but benign.
+    b.shared(128);
+
+    // params: [px_base, a_base, b_base]; labels ping-pong a -> b -> a...
+    // Block bx labels its own image instance.
+    b.s2r(r(0), SpecialReg::TidX);
+    b.s2r(r(1), SpecialReg::TidY);
+    b.s2r(r(2), SpecialReg::CtaidX);
+    b.ldp(r(10), 0);
+    b.ldp(r(11), 1);
+    b.ldp(r(12), 2);
+    b.imad(r(10), r(2).into(), imm(4 * n * n), r(10).into());
+    b.imad(r(11), r(2).into(), imm(4 * n * n), r(11).into());
+    b.imad(r(12), r(2).into(), imm(4 * n * n), r(12).into());
+    // own linear index and byte offset
+    b.imad(r(4), r(1).into(), imm(n), r(0).into());
+    b.shl(r(5), r(4).into(), imm(2));
+
+    // my pixel
+    b.iadd(r(6), r(5).into(), r(10).into());
+    b.ldg(MemWidth::W32, r(14), r(6), 0);
+
+    // Clamped neighbor linear offsets (constant across iterations).
+    // north (max(i-1,0))*n + j
+    b.iadd(r(7), r(1).into(), imi(-1));
+    b.imax(r(7), r(7).into(), imm(0));
+    b.imad(r(7), r(7).into(), imm(n), r(0).into());
+    b.shl(r(20), r(7).into(), imm(2));
+    // south
+    b.iadd(r(7), r(1).into(), imm(1));
+    b.imin(r(7), r(7).into(), imm(n - 1));
+    b.imad(r(7), r(7).into(), imm(n), r(0).into());
+    b.shl(r(21), r(7).into(), imm(2));
+    // west
+    b.iadd(r(7), r(0).into(), imi(-1));
+    b.imax(r(7), r(7).into(), imm(0));
+    b.imad(r(7), r(1).into(), imm(n), r(7).into());
+    b.shl(r(22), r(7).into(), imm(2));
+    // east
+    b.iadd(r(7), r(0).into(), imm(1));
+    b.imin(r(7), r(7).into(), imm(n - 1));
+    b.imad(r(7), r(1).into(), imm(n), r(7).into());
+    b.shl(r(23), r(7).into(), imm(2));
+
+    b.mov(r(2), imm(0)); // iteration
+    b.label("iterloop");
+    // Read from src (even iter: a, odd: b): select base by parity.
+    b.and(r(8), r(2).into(), imm(1));
+    b.isetp(Pred(0), CmpOp::Eq, r(8).into(), imm(0));
+    b.sel(r(16), r(11).into(), r(12).into(), Pred(0), false); // src
+    b.sel(r(17), r(12).into(), r(11).into(), Pred(0), false); // dst
+
+    // best = my label
+    b.iadd(r(6), r(5).into(), r(16).into());
+    b.ldg(MemWidth::W32, r(18), r(6), 0);
+    // For each neighbor: load pixel + label; min if foreground.
+    for nb in 0..4u8 {
+        let off = r(20 + nb);
+        b.iadd(r(6), off.into(), r(10).into());
+        b.ldg(MemWidth::W32, r(26), r(6), 0); // neighbor pixel
+        b.iadd(r(6), off.into(), r(16).into());
+        b.ldg(MemWidth::W32, r(27), r(6), 0); // neighbor label
+        b.isetp(Pred(1), CmpOp::Eq, r(26).into(), imm(1));
+        b.imin(r(28), r(27).into(), r(18).into());
+        b.sel(r(18), r(28).into(), r(18).into(), Pred(1), false);
+    }
+    // Background pixels keep -1.
+    b.isetp(Pred(2), CmpOp::Eq, r(14).into(), imm(1));
+    b.sel(r(18), r(18).into(), imi(-1), Pred(2), false);
+    if codegen == CodeGen::Cuda7 {
+        b.mov(r(29), r(18).into());
+    }
+    b.bar();
+    b.iadd(r(6), r(5).into(), r(17).into());
+    b.stg(MemWidth::W32, r(6), 0, r(18));
+    b.bar();
+    b.iadd(r(2), r(2).into(), imm(1));
+    b.isetp(Pred(3), CmpOp::Lt, r(2).into(), imm(CCL_ITERS));
+    b.if_p(Pred(3)).bra("iterloop");
+    b.exit();
+
+    let kernel = b.build().expect("ccl kernel");
+    let instances = batch(scale);
+    let px_base = 0u32;
+    let a_base = 4 * n * n * instances;
+    let b_base = 8 * n * n * instances;
+    let mut mem = GlobalMemory::new(12 * n * n * instances);
+    for inst in 0..instances {
+        for i in 0..n {
+            for j in 0..n {
+                let idx = i * n + j;
+                let px = ccl_pixel(i, j);
+                mem.write_u32_host(px_base + 4 * (inst * n * n + idx), px);
+                let init = if px == 1 { idx as i32 } else { -1 };
+                mem.write_u32_host(a_base + 4 * (inst * n * n + idx), init as u32);
+            }
+        }
+    }
+    // CCL_ITERS is even, so the final labels land back in buffer a... the
+    // ping-pong writes a->b on even iterations, so after 8 iterations the
+    // last write targeted a (iteration 7 is odd: src b, dst a).
+    let launch = LaunchConfig::new_2d(
+        gpu_arch::Dim::d2(instances, 1),
+        gpu_arch::Dim::d2(n, n),
+        vec![px_base, a_base, b_base],
+    );
+    Workload {
+        name,
+        benchmark: Benchmark::Ccl,
+        precision: Precision::Int32,
+        codegen,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::ExactRegion { offset: a_base, len: 4 * n * n * instances },
+    }
+}

@@ -1,0 +1,209 @@
+//! LavaMD-style particle interactions.
+//!
+//! Particles live in boxes; each block owns one box, stages the home box's
+//! particles in shared memory, and every thread accumulates the
+//! interaction of its particle with all particles of the home box and the
+//! two neighbor boxes (a 1-D neighborhood — the cut-down equivalent of
+//! LavaMD's 3-D 27-box neighborhood). The force law
+//! `f += q_j / (r^2 + eps)` exercises the FMA/MUL/ADD pipes plus the SFU
+//! reciprocal, like the exp-based original.
+
+use crate::prec::{host, PrecEmit};
+use crate::{write_elem, Benchmark, CompareSpec, Scale, Workload};
+use gpu_arch::{CmpOp, CodeGen, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg, SpecialReg};
+use gpu_sim::GlobalMemory;
+
+/// Particles per box (one block per box, one thread per particle).
+pub const BOX_SIZE: u32 = 32;
+
+/// Softening constant in the force law.
+pub const EPS: f64 = 0.5;
+
+fn r(i: u8) -> Reg {
+    Reg(i)
+}
+fn imm(v: u32) -> Operand {
+    Operand::Imm(v)
+}
+
+fn num_boxes(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 2,
+        Scale::Small => 8,
+        Scale::Profile => 64,
+    }
+}
+
+/// Position/charge of particle `p` in box `bx`: (x, y, q).
+pub fn init_particle(bx: u32, p: u32) -> (f64, f64, f64) {
+    let g = bx * BOX_SIZE + p;
+    let x = ((g.wrapping_mul(7)) % 17) as f64 / 8.0;
+    let y = ((g.wrapping_mul(11).wrapping_add(3)) % 19) as f64 / 8.0;
+    let q = (((g.wrapping_mul(5)) % 9) as f64 - 4.0) / 4.0;
+    (x, y, q)
+}
+
+/// Host reference, bit-exact with the kernel's operation order.
+pub fn reference(prec: Precision, boxes: u32) -> Vec<f64> {
+    let q = |v: f64| host::quantize(prec, v);
+    let n = boxes * BOX_SIZE;
+    let xs: Vec<f64> = (0..n).map(|g| q(init_particle(g / BOX_SIZE, g % BOX_SIZE).0)).collect();
+    let ys: Vec<f64> = (0..n).map(|g| q(init_particle(g / BOX_SIZE, g % BOX_SIZE).1)).collect();
+    let qs: Vec<f64> = (0..n).map(|g| q(init_particle(g / BOX_SIZE, g % BOX_SIZE).2)).collect();
+    let eps = q(EPS);
+    let mut out = vec![0.0; n as usize];
+    for bx in 0..boxes {
+        for p in 0..BOX_SIZE {
+            let i = (bx * BOX_SIZE + p) as usize;
+            let mut f = 0.0;
+            for nb in 0..3u32 {
+                // Neighbor boxes: self, left, right (wrapping).
+                let nb_box = match nb {
+                    0 => bx,
+                    1 => (bx + boxes - 1) % boxes,
+                    _ => (bx + 1) % boxes,
+                };
+                for j in 0..BOX_SIZE {
+                    let jj = (nb_box * BOX_SIZE + j) as usize;
+                    let dx = host::fma(prec, xs[jj], -1.0, xs[i]);
+                    let dy = host::fma(prec, ys[jj], -1.0, ys[i]);
+                    let mut r2 = host::fma(prec, dx, dx, eps);
+                    r2 = host::fma(prec, dy, dy, r2);
+                    // Reciprocal through the precision's SFU path: half and
+                    // single both divide in binary32, then narrow.
+                    let inv = match prec {
+                        Precision::Half | Precision::Single => {
+                            host::quantize(prec, (1.0f32 / (r2 as f32)) as f64)
+                        }
+                        _ => 1.0 / r2,
+                    };
+                    f = host::fma(prec, qs[jj], inv, f);
+                }
+            }
+            out[i] = q(f);
+        }
+    }
+    out
+}
+
+/// Build the Lava workload.
+pub fn lava(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+    let boxes = num_boxes(scale);
+    let n = boxes * BOX_SIZE;
+    let e = PrecEmit::new(prec);
+    let elem = prec.size_bytes();
+    let name = Benchmark::Lava.display_name(prec);
+    let mut b = KernelBuilder::new(name.clone());
+
+    let x_base = 0u32;
+    let y_base = n * elem;
+    let q_base = 2 * n * elem;
+    let f_base = 3 * n * elem;
+
+    // Shared staging for one neighbor box: x, y, q arrays.
+    let shared_stride = BOX_SIZE * elem;
+    b.shared(3 * shared_stride);
+    // Library-style register padding: the Volta-era build is register-fat
+    // (Table I lists 254-255 registers for Lava on Volta).
+    b.reserve_regs(match codegen {
+        CodeGen::Cuda7 => 48,
+        CodeGen::Cuda10 => 255,
+    });
+
+    b.s2r(r(0), SpecialReg::TidX); // particle index p
+    b.s2r(r(2), SpecialReg::CtaidX); // home box
+    b.ldp(r(10), 0); // x_base
+    b.ldp(r(11), 1); // y_base
+    b.ldp(r(12), 2); // q_base
+    b.ldp(r(13), 3); // f_base
+
+    // Own particle: global index g = bx*BOX + p.
+    b.imad(r(4), r(2).into(), imm(BOX_SIZE), r(0).into());
+    b.shl(r(5), r(4).into(), imm(e.shift()));
+    b.iadd(r(6), r(5).into(), r(10).into());
+    e.load_g(&mut b, r(16), r(6), 0); // xi
+    b.iadd(r(6), r(5).into(), r(11).into());
+    e.load_g(&mut b, r(18), r(6), 0); // yi
+    e.mov_const(&mut b, r(20), 0.0); // force accumulator
+    e.mov_const(&mut b, r(22), EPS);
+    e.mov_const(&mut b, r(24), -1.0);
+
+    b.mov(r(7), imm(0)); // neighbor counter 0..3
+    b.label("boxloop");
+    // nb_box = (bx + boxes + delta) % boxes with delta in {0, -1, +1}
+    // encoded arithmetically: delta = (nb==1) ? -1 : (nb==2 ? 1 : 0).
+    b.isetp(Pred(0), CmpOp::Eq, r(7).into(), imm(1));
+    b.mov(r(8), imm(0));
+    b.sel(r(8), Operand::imm_i32(-1), r(8).into(), Pred(0), false);
+    b.isetp(Pred(0), CmpOp::Eq, r(7).into(), imm(2));
+    b.sel(r(8), Operand::imm_i32(1), r(8).into(), Pred(0), false);
+    b.iadd(r(8), r(8).into(), r(2).into());
+    b.iadd(r(8), r(8).into(), imm(boxes));
+    // modulo boxes (power of two): AND with boxes-1
+    b.and(r(8), r(8).into(), imm(boxes - 1));
+
+    // Stage the neighbor box into shared: thread p loads particle p.
+    b.imad(r(9), r(8).into(), imm(BOX_SIZE), r(0).into());
+    b.shl(r(9), r(9).into(), imm(e.shift()));
+    b.shl(r(3), r(0).into(), imm(e.shift())); // shared slot
+    b.iadd(r(6), r(9).into(), r(10).into());
+    e.load_g(&mut b, r(26), r(6), 0);
+    e.store_s(&mut b, r(3), 0, r(26));
+    b.iadd(r(6), r(9).into(), r(11).into());
+    e.load_g(&mut b, r(26), r(6), 0);
+    e.store_s(&mut b, r(3), shared_stride, r(26));
+    b.iadd(r(6), r(9).into(), r(12).into());
+    e.load_g(&mut b, r(26), r(6), 0);
+    e.store_s(&mut b, r(3), 2 * shared_stride, r(26));
+    b.bar();
+
+    // Interact with every particle in the staged box.
+    b.mov(r(9), imm(0)); // j
+    b.label("jloop");
+    b.shl(r(6), r(9).into(), imm(e.shift()));
+    e.load_s(&mut b, r(26), r(6), 0); // xj
+    e.load_s(&mut b, r(28), r(6), shared_stride); // yj
+    e.load_s(&mut b, r(30), r(6), 2 * shared_stride); // qj
+    // dx = xi - xj ; dy = yi - yj (via FMA with -1)
+    e.fma(&mut b, r(32), r(26).into(), r(24).into(), r(16).into());
+    e.fma(&mut b, r(34), r(28).into(), r(24).into(), r(18).into());
+    // r2 = dx*dx + eps ; r2 = dy*dy + r2
+    e.fma(&mut b, r(36), r(32).into(), r(32).into(), r(22).into());
+    e.fma(&mut b, r(36), r(34).into(), r(34).into(), r(36).into());
+    // inv = 1/r2 ; f += qj * inv
+    e.rcp(&mut b, r(38), r(36).into(), r(48));
+    e.fma(&mut b, r(20), r(30).into(), r(38).into(), r(20).into());
+    b.iadd(r(9), r(9).into(), imm(1));
+    b.isetp(Pred(1), CmpOp::Lt, r(9).into(), imm(BOX_SIZE));
+    b.if_p(Pred(1)).bra("jloop");
+
+    b.bar(); // box processed; shared can be reused
+    b.iadd(r(7), r(7).into(), imm(1));
+    b.isetp(Pred(1), CmpOp::Lt, r(7).into(), imm(3));
+    b.if_p(Pred(1)).bra("boxloop");
+
+    // Store the accumulated force.
+    b.iadd(r(6), r(5).into(), r(13).into());
+    e.store_g(&mut b, r(6), 0, r(20));
+    b.exit();
+
+    let kernel = b.build().expect("lava kernel");
+    let mut mem = GlobalMemory::new(4 * n * elem);
+    for g in 0..n {
+        let (x, y, q) = init_particle(g / BOX_SIZE, g % BOX_SIZE);
+        write_elem(&mut mem, prec, x_base + g * elem, x);
+        write_elem(&mut mem, prec, y_base + g * elem, y);
+        write_elem(&mut mem, prec, q_base + g * elem, q);
+    }
+    let launch = LaunchConfig::new(boxes, BOX_SIZE, vec![x_base, y_base, q_base, f_base]);
+    Workload {
+        name,
+        benchmark: Benchmark::Lava,
+        precision: prec,
+        codegen,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::ExactRegion { offset: f_base, len: n * elem },
+    }
+}

@@ -1,0 +1,279 @@
+//! Dense linear algebra: Gaussian elimination and LU decomposition.
+//!
+//! Both run as a single block of `n x n` threads over an in-place matrix
+//! in global memory, with a barrier per pivot step (the single-kernel
+//! equivalent of Rodinia's per-pivot kernel launches). Inactive threads
+//! keep their cell unchanged through a select, so control flow stays
+//! uniform across the block (barrier-safe).
+
+use crate::prec::{host, PrecEmit};
+use crate::{write_elem, Benchmark, CompareSpec, Scale, Workload};
+use gpu_arch::{CmpOp, CodeGen, Dim, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg, SpecialReg};
+use gpu_sim::GlobalMemory;
+
+fn r(i: u8) -> Reg {
+    Reg(i)
+}
+fn imm(v: u32) -> Operand {
+    Operand::Imm(v)
+}
+
+fn mat_size(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 8,
+        Scale::Small => 16,
+        Scale::Profile => 32,
+    }
+}
+
+/// Diagonally dominant input matrix so elimination never divides by a
+/// small pivot.
+pub fn init_matrix(_n: u32, i: u32, j: u32) -> f64 {
+    if i == j {
+        4.0 + (i % 4) as f64 * 0.5
+    } else {
+        (((i.wrapping_mul(7).wrapping_add(j.wrapping_mul(13))) % 9) as f64 - 4.0) / 8.0
+    }
+}
+
+fn rcp_host(prec: Precision, v: f64) -> f64 {
+    match prec {
+        Precision::Half | Precision::Single => host::quantize(prec, (1.0f32 / (v as f32)) as f64),
+        _ => 1.0 / v,
+    }
+}
+
+/// Host reference for Gaussian forward elimination, bit-exact with the
+/// kernel.
+pub fn gaussian_reference(prec: Precision, n: u32) -> Vec<f64> {
+    let q = |v: f64| host::quantize(prec, v);
+    let mut m: Vec<f64> = (0..n * n).map(|idx| q(init_matrix(n, idx / n, idx % n))).collect();
+    for k in 0..n - 1 {
+        let next = m.clone();
+        let pivot_inv = rcp_host(prec, next[(k * n + k) as usize]);
+        for i in 0..n {
+            for j in 0..n {
+                if i > k && j >= k {
+                    let ratio = host::mul(prec, next[(i * n + k) as usize], pivot_inv);
+                    let nratio = host::mul(prec, ratio, -1.0);
+                    m[(i * n + j) as usize] =
+                        host::fma(prec, nratio, next[(k * n + j) as usize], next[(i * n + j) as usize]);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Host reference for the LU decomposition kernel.
+pub fn lud_reference(prec: Precision, n: u32) -> Vec<f64> {
+    let q = |v: f64| host::quantize(prec, v);
+    let mut m: Vec<f64> = (0..n * n).map(|idx| q(init_matrix(n, idx / n, idx % n))).collect();
+    for k in 0..n - 1 {
+        let pivot_inv = rcp_host(prec, m[(k * n + k) as usize]);
+        for i in k + 1..n {
+            m[(i * n + k) as usize] = host::mul(prec, m[(i * n + k) as usize], pivot_inv);
+        }
+        let snap = m.clone();
+        for i in k + 1..n {
+            for j in k + 1..n {
+                let nl = host::mul(prec, snap[(i * n + k) as usize], -1.0);
+                m[(i * n + j) as usize] =
+                    host::fma(prec, nl, snap[(k * n + j) as usize], snap[(i * n + j) as usize]);
+            }
+        }
+    }
+    m
+}
+
+/// Shared prologue: thread coordinates and matrix base.
+fn prologue(b: &mut KernelBuilder, e: &PrecEmit, n: u32) {
+    b.s2r(r(0), SpecialReg::TidX); // j (column)
+    b.s2r(r(1), SpecialReg::TidY); // i (row)
+    b.ldp(r(10), 0); // matrix base
+    // own element byte offset
+    b.imad(r(4), r(1).into(), imm(n), r(0).into());
+    b.shl(r(4), r(4).into(), imm(e.shift()));
+    b.iadd(r(4), r(4).into(), r(10).into());
+}
+
+/// Build the Gaussian elimination workload (no shared memory, matching
+/// Table I's 0 B).
+pub fn gaussian(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+    let n = mat_size(scale);
+    let e = PrecEmit::new(prec);
+    let elem = prec.size_bytes();
+    let name = Benchmark::Gaussian.display_name(prec);
+    let mut b = KernelBuilder::new(name.clone());
+
+    prologue(&mut b, &e, n);
+    e.mov_const(&mut b, r(40), -1.0);
+    b.mov(r(2), imm(0)); // k
+
+    b.label("kloop");
+    // pivot address (k*n + k), row-k element (k*n + j), column-k element
+    // (i*n + k).
+    b.imad(r(5), r(2).into(), imm(n), r(2).into());
+    b.shl(r(5), r(5).into(), imm(e.shift()));
+    b.iadd(r(5), r(5).into(), r(10).into());
+    e.load_g(&mut b, r(16), r(5), 0); // pivot
+    b.imad(r(5), r(2).into(), imm(n), r(0).into());
+    b.shl(r(5), r(5).into(), imm(e.shift()));
+    b.iadd(r(5), r(5).into(), r(10).into());
+    e.load_g(&mut b, r(18), r(5), 0); // m[k][j]
+    b.imad(r(5), r(1).into(), imm(n), r(2).into());
+    b.shl(r(5), r(5).into(), imm(e.shift()));
+    b.iadd(r(5), r(5).into(), r(10).into());
+    e.load_g(&mut b, r(20), r(5), 0); // m[i][k]
+    e.load_g(&mut b, r(22), r(4), 0); // m[i][j]
+
+    // ratio = m[i][k] / pivot ; new = m[i][j] - ratio * m[k][j]
+    e.rcp(&mut b, r(24), r(16).into(), r(48));
+    e.mul(&mut b, r(26), r(20).into(), r(24).into());
+    e.mul(&mut b, r(26), r(26).into(), r(40).into()); // -ratio
+    e.fma(&mut b, r(28), r(26).into(), r(18).into(), r(22).into());
+    if codegen == CodeGen::Cuda7 {
+        // The older back end keeps a redundant copy of the update that
+        // CUDA 10's dead-code elimination removes.
+        b.mov(r(44), r(28).into());
+    }
+
+    // active = (i > k) && (j >= k): select new value only when both hold.
+    b.isetp(Pred(0), CmpOp::Gt, r(1).into(), r(2).into());
+    b.isetp(Pred(1), CmpOp::Ge, r(0).into(), r(2).into());
+    b.sel(r(30), r(28).into(), r(22).into(), Pred(0), false);
+    if prec == Precision::Double {
+        b.sel(r(31), r(29).into(), r(23).into(), Pred(0), false);
+    }
+    b.sel(r(32), r(30).into(), r(22).into(), Pred(1), false);
+    if prec == Precision::Double {
+        b.sel(r(33), r(31).into(), r(23).into(), Pred(1), false);
+    }
+    b.bar(); // all reads complete before any write
+    e.store_g(&mut b, r(4), 0, r(32));
+    b.bar();
+
+    b.iadd(r(2), r(2).into(), imm(1));
+    b.isetp(Pred(2), CmpOp::Lt, r(2).into(), imm(n - 1));
+    b.if_p(Pred(2)).bra("kloop");
+    b.exit();
+
+    let kernel = b.build().expect("gaussian kernel");
+    let mut mem = GlobalMemory::new(n * n * elem);
+    for i in 0..n {
+        for j in 0..n {
+            write_elem(&mut mem, prec, (i * n + j) * elem, init_matrix(n, i, j));
+        }
+    }
+    let launch = LaunchConfig::new_2d(Dim::d2(1, 1), Dim::d2(n, n), vec![0]);
+    Workload {
+        name,
+        benchmark: Benchmark::Gaussian,
+        precision: prec,
+        codegen,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::ExactRegion { offset: 0, len: n * n * elem },
+    }
+}
+
+/// Build the LU decomposition workload (stages the pivot row in shared
+/// memory, giving LUD its Table-I shared footprint).
+pub fn lud(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+    let n = mat_size(scale);
+    let e = PrecEmit::new(prec);
+    let elem = prec.size_bytes();
+    let name = Benchmark::Lud.display_name(prec);
+    let mut b = KernelBuilder::new(name.clone());
+    b.shared(n * elem);
+
+    prologue(&mut b, &e, n);
+    e.mov_const(&mut b, r(40), -1.0);
+    b.mov(r(2), imm(0)); // k
+
+    b.label("kloop");
+    // Step 1: scale column k below the pivot: m[i][k] *= 1/pivot.
+    b.imad(r(5), r(2).into(), imm(n), r(2).into());
+    b.shl(r(5), r(5).into(), imm(e.shift()));
+    b.iadd(r(5), r(5).into(), r(10).into());
+    e.load_g(&mut b, r(16), r(5), 0); // pivot
+    b.imad(r(5), r(1).into(), imm(n), r(2).into());
+    b.shl(r(5), r(5).into(), imm(e.shift()));
+    b.iadd(r(5), r(5).into(), r(10).into());
+    e.load_g(&mut b, r(20), r(5), 0); // m[i][k]
+    e.rcp(&mut b, r(24), r(16).into(), r(48));
+    e.mul(&mut b, r(26), r(20).into(), r(24).into());
+    // Every thread of row i stores the same value to m[i][k] (scaled when
+    // i > k), so the redundant stores are idempotent.
+    b.isetp(Pred(1), CmpOp::Gt, r(1).into(), r(2).into());
+    b.sel(r(30), r(26).into(), r(20).into(), Pred(1), false);
+    if prec == Precision::Double {
+        b.sel(r(31), r(27).into(), r(21).into(), Pred(1), false);
+    }
+    b.bar();
+    e.store_g(&mut b, r(5), 0, r(30));
+    b.bar();
+
+    // Stage pivot row into shared: row-k threads copy m[k][j] -> sh[j].
+    b.imad(r(6), r(2).into(), imm(n), r(0).into());
+    b.shl(r(6), r(6).into(), imm(e.shift()));
+    b.iadd(r(6), r(6).into(), r(10).into());
+    e.load_g(&mut b, r(18), r(6), 0); // m[k][j] (all threads read it)
+    b.shl(r(7), r(0).into(), imm(e.shift()));
+    b.isetp(Pred(2), CmpOp::Eq, r(1).into(), imm(0));
+    // Uniform store: every row writes the same value; row 0's write is
+    // modeled as the canonical one (shared stores are idempotent here).
+    e.store_s(&mut b, r(7), 0, r(18));
+    b.bar();
+
+    // Step 2: trailing update m[i][j] -= L[i][k] * U[k][j].
+    b.imad(r(5), r(1).into(), imm(n), r(2).into());
+    b.shl(r(5), r(5).into(), imm(e.shift()));
+    b.iadd(r(5), r(5).into(), r(10).into());
+    e.load_g(&mut b, r(20), r(5), 0); // updated m[i][k]
+    e.load_s(&mut b, r(18), r(7), 0); // staged m[k][j]
+    e.load_g(&mut b, r(22), r(4), 0); // m[i][j]
+    e.mul(&mut b, r(26), r(20).into(), r(40).into()); // -L
+    e.fma(&mut b, r(28), r(26).into(), r(18).into(), r(22).into());
+    if codegen == CodeGen::Cuda7 {
+        b.mov(r(44), r(28).into());
+    }
+    b.isetp(Pred(0), CmpOp::Gt, r(1).into(), r(2).into());
+    b.isetp(Pred(1), CmpOp::Gt, r(0).into(), r(2).into());
+    b.sel(r(30), r(28).into(), r(22).into(), Pred(0), false);
+    if prec == Precision::Double {
+        b.sel(r(31), r(29).into(), r(23).into(), Pred(0), false);
+    }
+    b.sel(r(32), r(30).into(), r(22).into(), Pred(1), false);
+    if prec == Precision::Double {
+        b.sel(r(33), r(31).into(), r(23).into(), Pred(1), false);
+    }
+    b.bar();
+    e.store_g(&mut b, r(4), 0, r(32));
+    b.bar();
+
+    b.iadd(r(2), r(2).into(), imm(1));
+    b.isetp(Pred(2), CmpOp::Lt, r(2).into(), imm(n - 1));
+    b.if_p(Pred(2)).bra("kloop");
+    b.exit();
+
+    let kernel = b.build().expect("lud kernel");
+    let mut mem = GlobalMemory::new(n * n * elem);
+    for i in 0..n {
+        for j in 0..n {
+            write_elem(&mut mem, prec, (i * n + j) * elem, init_matrix(n, i, j));
+        }
+    }
+    let launch = LaunchConfig::new_2d(Dim::d2(1, 1), Dim::d2(n, n), vec![0]);
+    Workload {
+        name,
+        benchmark: Benchmark::Lud,
+        precision: prec,
+        codegen,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::ExactRegion { offset: 0, len: n * n * elem },
+    }
+}

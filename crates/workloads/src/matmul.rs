@@ -1,0 +1,404 @@
+//! Matrix multiplication: naive MxM, tiled GEMM (library stand-in), and
+//! the tensor-core GEMM-MMA path.
+//!
+//! Memory layout for all three: `A` at 0, `B` at `n*n*elem`, `C` at
+//! `2*n*n*elem`, all row-major `n x n`. Launch parameters:
+//! `params = [a_base, b_base, c_base]`; `n` is baked into the code as an
+//! immediate (as real library kernels are tuned per input size).
+
+use crate::prec::PrecEmit;
+use crate::{write_elem, Benchmark, CompareSpec, Scale, Workload};
+use gpu_arch::{
+    CmpOp, CodeGen, Dim, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred, Reg,
+    SpecialReg,
+};
+use gpu_sim::GlobalMemory;
+
+fn r(i: u8) -> Reg {
+    Reg(i)
+}
+fn imm(v: u32) -> Operand {
+    Operand::Imm(v)
+}
+
+/// Deterministic small-magnitude input value for element `(i, j)` of
+/// matrix `which` (0 = A, 1 = B). Kept in [-1.5, 1.5] so products cannot
+/// overflow even in binary16 across the supported sizes.
+pub fn input_value(which: u32, i: u32, j: u32) -> f64 {
+    let h = (i.wrapping_mul(7).wrapping_add(j.wrapping_mul(3)).wrapping_add(which * 11)) % 13;
+    (h as f64 - 6.0) / 4.0
+}
+
+/// Integer-friendly input (small ints) for the INT variant of MxM used by
+/// micro-tests.
+pub fn input_value_int(which: u32, i: u32, j: u32) -> f64 {
+    ((i.wrapping_mul(5).wrapping_add(j).wrapping_add(which * 3)) % 7) as f64 - 3.0
+}
+
+fn mat_size(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 16,
+        Scale::Small => 32,
+        Scale::Profile => 64,
+    }
+}
+
+fn fill_inputs(prec: Precision, n: u32, int_inputs: bool) -> (GlobalMemory, u32, u32, u32) {
+    let elem = prec.size_bytes();
+    let a_base = 0u32;
+    let b_base = n * n * elem;
+    let c_base = 2 * n * n * elem;
+    let mut mem = GlobalMemory::new(3 * n * n * elem);
+    for i in 0..n {
+        for j in 0..n {
+            let (va, vb) = if int_inputs {
+                (input_value_int(0, i, j), input_value_int(1, i, j))
+            } else {
+                (input_value(0, i, j), input_value(1, i, j))
+            };
+            write_elem(&mut mem, prec, a_base + (i * n + j) * elem, va);
+            write_elem(&mut mem, prec, b_base + (i * n + j) * elem, vb);
+        }
+    }
+    (mem, a_base, b_base, c_base)
+}
+
+/// Emit one `acc += A[row][k] * B[k][col]` body. `k` lives in r6; callers
+/// advance it.
+fn mxm_body(b: &mut KernelBuilder, e: &PrecEmit, n: u32) {
+    // a_off = (row*n + k) << shift ; row in r5, a_base in r10
+    b.imad(r(8), r(5).into(), imm(n), r(6).into());
+    b.shl(r(8), r(8).into(), imm(e.shift()));
+    b.iadd(r(8), r(8).into(), r(10).into());
+    e.load_g(b, r(20), r(8), 0);
+    // b_off = (k*n + col) << shift ; col in r7, b_base in r11
+    b.imad(r(9), r(6).into(), imm(n), r(7).into());
+    b.shl(r(9), r(9).into(), imm(e.shift()));
+    b.iadd(r(9), r(9).into(), r(11).into());
+    e.load_g(b, r(24), r(9), 0);
+    e.fma(b, r(16), r(20).into(), r(24).into(), r(16).into());
+}
+
+/// Naive matrix multiplication: one thread per output element, 8x8 blocks.
+pub fn mxm(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+    let n = mat_size(scale);
+    let e = PrecEmit::new(prec);
+    let name = Benchmark::Mxm.display_name(prec);
+    let mut b = KernelBuilder::new(name.clone());
+
+    b.s2r(r(0), SpecialReg::TidX);
+    b.s2r(r(1), SpecialReg::TidY);
+    b.s2r(r(2), SpecialReg::CtaidX);
+    b.s2r(r(3), SpecialReg::CtaidY);
+    b.imad(r(7), r(2).into(), imm(8), r(0).into()); // col
+    b.imad(r(5), r(3).into(), imm(8), r(1).into()); // row
+    b.ldp(r(10), 0); // a_base
+    b.ldp(r(11), 1); // b_base
+    b.ldp(r(12), 2); // c_base
+    e.mov_const(&mut b, r(16), 0.0); // acc
+    b.mov(r(6), imm(0)); // k
+
+    match codegen {
+        CodeGen::Cuda10 => {
+            // Strength-reduced strided pointers + 4x unroll, the modern
+            // back end's shape: two loads and one FMA per element with
+            // simple pointer bumps.
+            b.imul(r(8), r(5).into(), imm(n));
+            b.shl(r(8), r(8).into(), imm(e.shift()));
+            b.iadd(r(8), r(8).into(), r(10).into()); // a_ptr = A + row*n
+            b.shl(r(9), r(7).into(), imm(e.shift()));
+            b.iadd(r(9), r(9).into(), r(11).into()); // b_ptr = B + col
+            let a_step = e.size();
+            let b_step = n * e.size();
+            b.label("kloop");
+            for _ in 0..4 {
+                e.load_g(&mut b, r(20), r(8), 0);
+                e.load_g(&mut b, r(24), r(9), 0);
+                e.fma(&mut b, r(16), r(20).into(), r(24).into(), r(16).into());
+                b.iadd(r(8), r(8).into(), imm(a_step));
+                b.iadd(r(9), r(9).into(), imm(b_step));
+                b.iadd(r(6), r(6).into(), imm(4 / 4));
+            }
+            b.isetp(Pred(0), CmpOp::Lt, r(6).into(), imm(n));
+            b.if_p(Pred(0)).bra("kloop");
+        }
+        CodeGen::Cuda7 => {
+            // No unrolling, full address recomputation each iteration, and
+            // a redundant accumulator copy (dead unless a fault hits it).
+            b.label("kloop");
+            mxm_body(&mut b, &e, n);
+            b.mov(r(28), r(16).into());
+            b.iadd(r(6), r(6).into(), imm(1));
+            b.isetp(Pred(0), CmpOp::Lt, r(6).into(), imm(n));
+            b.if_p(Pred(0)).bra("kloop");
+        }
+    }
+
+    // c_off = (row*n + col) << shift
+    b.imad(r(8), r(5).into(), imm(n), r(7).into());
+    b.shl(r(8), r(8).into(), imm(e.shift()));
+    b.iadd(r(8), r(8).into(), r(12).into());
+    e.store_g(&mut b, r(8), 0, r(16));
+    b.exit();
+
+    let kernel = b.build().expect("mxm kernel");
+    let (mem, a_base, b_base, c_base) = fill_inputs(prec, n, false);
+    let launch = LaunchConfig::new_2d(
+        Dim::d2(n / 8, n / 8),
+        Dim::d2(8, 8),
+        vec![a_base, b_base, c_base],
+    );
+    Workload {
+        name,
+        benchmark: Benchmark::Mxm,
+        precision: prec,
+        codegen,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::ExactRegion { offset: c_base, len: n * n * prec.size_bytes() },
+    }
+}
+
+/// Tiled, shared-memory GEMM: the cuBLAS stand-in. Marked `proprietary`
+/// (SASSIFI cannot instrument it on Kepler) and register-fat (library
+/// kernels trade occupancy for registers; Table I shows 127-248 registers
+/// and large shared allocations).
+pub fn gemm(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+    let n = mat_size(scale);
+    // Library kernels are tuned per precision: double uses a smaller tile.
+    let t: u32 = if prec == Precision::Double { 4 } else { 8 };
+    let e = PrecEmit::new(prec);
+    let elem = prec.size_bytes();
+    let name = Benchmark::Gemm.display_name(prec);
+    let mut b = KernelBuilder::new(name.clone());
+
+    // Shared: As tile at 0, Bs tile at t*t*elem; plus a modeled library
+    // workspace that pads the allocation the way cuBLAS kernels do.
+    let tile_bytes = t * t * elem;
+    let workspace = 4096u32;
+    b.shared(2 * tile_bytes + workspace);
+    b.reserve_regs(match (codegen, prec) {
+        (CodeGen::Cuda7, _) => 248,
+        (_, Precision::Half) => 127,
+        (_, Precision::Single) => 134,
+        (_, Precision::Double) => 234,
+        (_, Precision::Int32) => 128,
+    });
+    b.proprietary();
+
+    b.s2r(r(0), SpecialReg::TidX); // tx
+    b.s2r(r(1), SpecialReg::TidY); // ty
+    b.s2r(r(2), SpecialReg::CtaidX);
+    b.s2r(r(3), SpecialReg::CtaidY);
+    b.imad(r(7), r(2).into(), imm(t), r(0).into()); // col
+    b.imad(r(5), r(3).into(), imm(t), r(1).into()); // row
+    b.ldp(r(10), 0);
+    b.ldp(r(11), 1);
+    b.ldp(r(12), 2);
+    e.mov_const(&mut b, r(16), 0.0); // acc
+    b.mov(r(6), imm(0)); // tile index m
+
+    b.label("mloop");
+    // Load A[row][m*t + tx] into As[ty][tx].
+    b.imul(r(8), r(6).into(), imm(t));
+    b.iadd(r(8), r(8).into(), r(0).into()); // m*t + tx
+    b.imad(r(9), r(5).into(), imm(n), r(8).into());
+    b.shl(r(9), r(9).into(), imm(e.shift()));
+    b.iadd(r(9), r(9).into(), r(10).into());
+    e.load_g(&mut b, r(20), r(9), 0);
+    b.imad(r(9), r(1).into(), imm(t), r(0).into()); // ty*t + tx
+    b.shl(r(9), r(9).into(), imm(e.shift()));
+    e.store_s(&mut b, r(9), 0, r(20));
+    // Load B[m*t + ty][col] into Bs[ty][tx].
+    b.imul(r(8), r(6).into(), imm(t));
+    b.iadd(r(8), r(8).into(), r(1).into()); // m*t + ty
+    b.imad(r(8), r(8).into(), imm(n), r(7).into());
+    b.shl(r(8), r(8).into(), imm(e.shift()));
+    b.iadd(r(8), r(8).into(), r(11).into());
+    e.load_g(&mut b, r(20), r(8), 0);
+    b.imad(r(9), r(1).into(), imm(t), r(0).into());
+    b.shl(r(9), r(9).into(), imm(e.shift()));
+    e.store_s(&mut b, r(9), tile_bytes, r(20));
+    b.bar();
+
+    // Inner product over the tile (always unrolled: library code).
+    for k in 0..t {
+        // As[ty][k]
+        b.imad(r(9), r(1).into(), imm(t), imm(k));
+        b.shl(r(9), r(9).into(), imm(e.shift()));
+        e.load_s(&mut b, r(20), r(9), 0);
+        // Bs[k][tx]
+        b.imad(r(9), Operand::Imm(k), imm(t), r(0).into());
+        b.shl(r(9), r(9).into(), imm(e.shift()));
+        e.load_s(&mut b, r(24), r(9), tile_bytes);
+        e.fma(&mut b, r(16), r(20).into(), r(24).into(), r(16).into());
+    }
+    b.bar();
+    b.iadd(r(6), r(6).into(), imm(1));
+    b.isetp(Pred(0), CmpOp::Lt, r(6).into(), imm(n / t));
+    b.if_p(Pred(0)).bra("mloop");
+
+    b.imad(r(8), r(5).into(), imm(n), r(7).into());
+    b.shl(r(8), r(8).into(), imm(e.shift()));
+    b.iadd(r(8), r(8).into(), r(12).into());
+    e.store_g(&mut b, r(8), 0, r(16));
+    b.exit();
+
+    let kernel = b.build().expect("gemm kernel");
+    let (mem, a_base, b_base, c_base) = fill_inputs(prec, n, false);
+    let launch = LaunchConfig::new_2d(
+        Dim::d2(n / t, n / t),
+        Dim::d2(t, t),
+        vec![a_base, b_base, c_base],
+    );
+    Workload {
+        name,
+        benchmark: Benchmark::Gemm,
+        precision: prec,
+        codegen,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::ExactRegion { offset: c_base, len: n * n * prec.size_bytes() },
+    }
+}
+
+/// Tensor-core GEMM: one warp per 16x16 output tile, looping MMA over the
+/// K dimension. `Half` accumulates in binary16 (HMMA); `Single` casts
+/// binary32 inputs to binary16 and accumulates in binary32 (FMMA), like
+/// the paper's FGEMM-MMA.
+pub fn gemm_mma(prec: Precision, scale: Scale) -> Workload {
+    assert!(
+        matches!(prec, Precision::Half | Precision::Single),
+        "GEMM-MMA supports half and single precision"
+    );
+    let n = mat_size(scale).max(16);
+    let e = PrecEmit::new(prec);
+    let elem = prec.size_bytes();
+    let name = Benchmark::GemmMma.display_name(prec);
+    let is_half = prec == Precision::Half;
+    let mut b = KernelBuilder::new(name.clone());
+    b.proprietary();
+    b.reserve_regs(64);
+
+    // One warp per block; grid is (n/16) x (n/16) tiles.
+    b.s2r(r(0), SpecialReg::LaneId);
+    b.s2r(r(2), SpecialReg::CtaidX); // tile col
+    b.s2r(r(3), SpecialReg::CtaidY); // tile row
+    b.ldp(r(50), 0); // a_base
+    b.ldp(r(51), 1); // b_base
+    b.ldp(r(52), 2); // c_base
+
+    // Zero the accumulator fragment: HMMA uses 4 packed-f16 registers
+    // (18..22), FMMA uses 8 f32 registers (18..26).
+    if is_half {
+        for j in 0..4u8 {
+            b.mov(r(18 + j), imm(0));
+        }
+    } else {
+        for j in 0..8u8 {
+            b.mov(r(18 + j), Operand::imm_f32(0.0));
+        }
+    }
+
+    b.mov(r(4), imm(0)); // kb: fragment index along K
+
+    b.label("kloop");
+    // Load this lane's 8 elements of the A fragment (rows tile_row*16..+16,
+    // cols kb*16..+16) into packed regs 10..14, and B fragment (rows
+    // kb*16..+16, cols tile_col*16..+16) into 14..18.
+    for j in 0..8u32 {
+        // idx = lane*8 + j ; local row/col of the fragment element
+        b.imad(r(5), r(0).into(), imm(8), imm(j));
+        b.shr(r(6), r(5).into(), imm(4)); // lr = idx / 16
+        b.and(r(7), r(5).into(), imm(15)); // lc = idx % 16
+        // A element address: ((tile_row*16 + lr) * n + kb*16 + lc) * elem
+        b.imad(r(8), r(3).into(), imm(16), r(6).into());
+        b.imad(r(8), r(8).into(), imm(n), r(7).into());
+        b.imad(r(8), r(4).into(), imm(16), r(8).into());
+        b.shl(r(8), r(8).into(), imm(e.shift()));
+        b.iadd(r(8), r(8).into(), r(50).into());
+        if is_half {
+            b.ldg(MemWidth::W16, r(9), r(8), 0);
+        } else {
+            b.ldg(MemWidth::W32, r(9), r(8), 0);
+            b.f2h(r(9), r(9).into()); // cast f32 -> f16 (the FMMA path)
+        }
+        let a_reg = 10 + (j / 2) as u8;
+        if j % 2 == 0 {
+            b.mov(r(a_reg), r(9).into());
+        } else {
+            b.shl(r(9), r(9).into(), imm(16));
+            b.or(r(a_reg), r(a_reg).into(), r(9).into());
+        }
+        // B element address: ((kb*16 + lr) * n + tile_col*16 + lc) * elem
+        b.imad(r(8), r(4).into(), imm(16), r(6).into());
+        b.imad(r(8), r(8).into(), imm(n), r(7).into());
+        b.imad(r(8), r(2).into(), imm(16), r(8).into());
+        b.shl(r(8), r(8).into(), imm(e.shift()));
+        b.iadd(r(8), r(8).into(), r(51).into());
+        if is_half {
+            b.ldg(MemWidth::W16, r(9), r(8), 0);
+        } else {
+            b.ldg(MemWidth::W32, r(9), r(8), 0);
+            b.f2h(r(9), r(9).into());
+        }
+        let b_reg = 14 + (j / 2) as u8;
+        if j % 2 == 0 {
+            b.mov(r(b_reg), r(9).into());
+        } else {
+            b.shl(r(9), r(9).into(), imm(16));
+            b.or(r(b_reg), r(b_reg).into(), r(9).into());
+        }
+    }
+    if is_half {
+        b.hmma(r(10), r(14), r(18));
+    } else {
+        b.fmma(r(10), r(14), r(18));
+    }
+    b.iadd(r(4), r(4).into(), imm(1));
+    b.isetp(Pred(0), CmpOp::Lt, r(4).into(), imm(n / 16));
+    b.if_p(Pred(0)).bra("kloop");
+
+    // Scatter the D fragment to C.
+    for j in 0..8u32 {
+        b.imad(r(5), r(0).into(), imm(8), imm(j));
+        b.shr(r(6), r(5).into(), imm(4));
+        b.and(r(7), r(5).into(), imm(15));
+        // C element address: ((tile_row*16 + lr) * n + tile_col*16 + lc)
+        b.imad(r(8), r(3).into(), imm(16), r(6).into());
+        b.imad(r(8), r(8).into(), imm(n), r(7).into());
+        b.imad(r(8), r(2).into(), imm(16), r(8).into());
+        b.shl(r(8), r(8).into(), imm(e.shift()));
+        b.iadd(r(8), r(8).into(), r(52).into());
+        if is_half {
+            let c_reg = 18 + (j / 2) as u8;
+            if j % 2 == 0 {
+                b.and(r(9), r(c_reg).into(), imm(0xFFFF));
+            } else {
+                b.shr(r(9), r(c_reg).into(), imm(16));
+            }
+            b.stg(MemWidth::W16, r(8), 0, r(9));
+        } else {
+            b.stg(MemWidth::W32, r(8), 0, r(18 + j as u8));
+        }
+    }
+    b.exit();
+
+    let kernel = b.build().expect("gemm-mma kernel");
+    let (mem, a_base, b_base, c_base) = fill_inputs(prec, n, false);
+    let launch = LaunchConfig::new_2d(Dim::d2(n / 16, n / 16), Dim::d2(32, 1), vec![
+        a_base, b_base, c_base,
+    ]);
+    Workload {
+        name,
+        benchmark: Benchmark::GemmMma,
+        precision: prec,
+        codegen: CodeGen::Cuda10,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::ExactRegion { offset: c_base, len: n * n * elem },
+    }
+}

@@ -1,0 +1,250 @@
+//! Precision-generic instruction emission.
+//!
+//! The paper runs the same source code at different precisions (D/F/H
+//! prefixes); the kernels here are likewise written once and emitted per
+//! precision. Conventions:
+//!
+//! * binary64 values occupy aligned even/odd register pairs — kernels
+//!   using [`PrecEmit`] must hand it **even** data registers;
+//! * binary16 values live in the low 16 bits of a register and occupy two
+//!   bytes per element in memory;
+//! * for [`Precision::Int32`], `fma`/`add`/`mul` lower to IMAD/IADD/IMUL,
+//!   so integer codes share the same generators.
+
+use gpu_arch::{CmpOp, KernelBuilder, MemWidth, Operand, Precision, Pred, Reg};
+use softfloat::F16;
+
+/// Emits precision-appropriate arithmetic and memory instructions.
+#[derive(Clone, Copy, Debug)]
+pub struct PrecEmit {
+    /// The target precision.
+    pub prec: Precision,
+}
+
+impl PrecEmit {
+    /// New emitter for a precision.
+    pub fn new(prec: Precision) -> Self {
+        PrecEmit { prec }
+    }
+
+    /// log2(element size in bytes): 1 for half, 2 for int/single, 3 for
+    /// double. Used to turn element indices into byte offsets with SHL.
+    pub fn shift(&self) -> u32 {
+        match self.prec {
+            Precision::Half => 1,
+            Precision::Int32 | Precision::Single => 2,
+            Precision::Double => 3,
+        }
+    }
+
+    /// Memory access width for one element.
+    pub fn width(&self) -> MemWidth {
+        self.prec.mem_width()
+    }
+
+    /// Element size in bytes.
+    pub fn size(&self) -> u32 {
+        self.prec.size_bytes()
+    }
+
+    /// `dst = x * y + z`.
+    pub fn fma(&self, b: &mut KernelBuilder, dst: Reg, x: Operand, y: Operand, z: Operand) {
+        match self.prec {
+            Precision::Int32 => b.imad(dst, x, y, z),
+            Precision::Half => b.hfma(dst, x, y, z),
+            Precision::Single => b.ffma(dst, x, y, z),
+            Precision::Double => b.dfma(dst, x, y, z),
+        };
+    }
+
+    /// `dst = x + y`.
+    pub fn add(&self, b: &mut KernelBuilder, dst: Reg, x: Operand, y: Operand) {
+        match self.prec {
+            Precision::Int32 => b.iadd(dst, x, y),
+            Precision::Half => b.hadd(dst, x, y),
+            Precision::Single => b.fadd(dst, x, y),
+            Precision::Double => b.dadd(dst, x, y),
+        };
+    }
+
+    /// `dst = x * y`.
+    pub fn mul(&self, b: &mut KernelBuilder, dst: Reg, x: Operand, y: Operand) {
+        match self.prec {
+            Precision::Int32 => b.imul(dst, x, y),
+            Precision::Half => b.hmul(dst, x, y),
+            Precision::Single => b.fmul(dst, x, y),
+            Precision::Double => b.dmul(dst, x, y),
+        };
+    }
+
+    /// `p = x <cmp> y`.
+    pub fn setp(&self, b: &mut KernelBuilder, p: Pred, cmp: CmpOp, x: Operand, y: Operand) {
+        match self.prec {
+            Precision::Int32 => b.isetp(p, cmp, x, y),
+            Precision::Half => b.hsetp(p, cmp, x, y),
+            Precision::Single => b.fsetp(p, cmp, x, y),
+            Precision::Double => b.dsetp(p, cmp, x, y),
+        };
+    }
+
+    /// Global load of one element: `dst = [base + offset_bytes]`.
+    pub fn load_g(&self, b: &mut KernelBuilder, dst: Reg, base: Reg, offset_bytes: u32) {
+        b.ldg(self.width(), dst, base, offset_bytes);
+    }
+
+    /// Global store of one element.
+    pub fn store_g(&self, b: &mut KernelBuilder, base: Reg, offset_bytes: u32, val: Reg) {
+        b.stg(self.width(), base, offset_bytes, val);
+    }
+
+    /// Shared load of one element.
+    pub fn load_s(&self, b: &mut KernelBuilder, dst: Reg, base: Reg, offset_bytes: u32) {
+        b.lds(self.width(), dst, base, offset_bytes);
+    }
+
+    /// Shared store of one element.
+    pub fn store_s(&self, b: &mut KernelBuilder, base: Reg, offset_bytes: u32, val: Reg) {
+        b.sts(self.width(), base, offset_bytes, val);
+    }
+
+    /// Materialize the numeric constant `v` into `dst` (a register pair
+    /// for double precision).
+    pub fn mov_const(&self, b: &mut KernelBuilder, dst: Reg, v: f64) {
+        match self.prec {
+            Precision::Int32 => {
+                b.mov(dst, Operand::Imm(v as i32 as u32));
+            }
+            Precision::Half => {
+                b.mov(dst, Operand::Imm(F16::from_f64(v).to_bits() as u32));
+            }
+            Precision::Single => {
+                b.mov(dst, Operand::Imm((v as f32).to_bits()));
+            }
+            Precision::Double => {
+                let bits = v.to_bits();
+                b.mov(dst, Operand::Imm(bits as u32));
+                b.mov(dst.pair_hi(), Operand::Imm((bits >> 32) as u32));
+            }
+        }
+    }
+
+    /// `dst = 1 / x` (floating precisions only).
+    pub fn rcp(&self, b: &mut KernelBuilder, dst: Reg, x: Operand, scratch: Reg) {
+        match self.prec {
+            Precision::Int32 => panic!("no integer reciprocal"),
+            Precision::Half => {
+                // Half reciprocal goes through the FP32 SFU, as on real
+                // hardware (h2f -> MUFU.RCP -> f2h).
+                b.h2f(scratch, x);
+                b.frcp(scratch, scratch.into());
+                b.f2h(dst, scratch.into());
+            }
+            Precision::Single => {
+                b.frcp(dst, x);
+            }
+            Precision::Double => {
+                b.drcp(dst, x);
+            }
+        }
+    }
+
+    /// `dst = sqrt(x)` (floating precisions only).
+    pub fn sqrt(&self, b: &mut KernelBuilder, dst: Reg, x: Operand, scratch: Reg) {
+        match self.prec {
+            Precision::Int32 => panic!("no integer sqrt"),
+            Precision::Half => {
+                b.h2f(scratch, x);
+                b.fsqrt(scratch, scratch.into());
+                b.f2h(dst, scratch.into());
+            }
+            Precision::Single => {
+                b.fsqrt(dst, x);
+            }
+            Precision::Double => {
+                b.dsqrt(dst, x);
+            }
+        }
+    }
+}
+
+/// Host-side reference arithmetic with bit-exact simulator semantics, for
+/// computing expected outputs in tests and for the CNN reference model.
+pub mod host {
+    use gpu_arch::Precision;
+    use softfloat::F16;
+
+    /// `x*y + z` exactly as the corresponding kernel op computes it.
+    pub fn fma(prec: Precision, x: f64, y: f64, z: f64) -> f64 {
+        match prec {
+            Precision::Int32 => {
+                ((x as i32).wrapping_mul(y as i32).wrapping_add(z as i32)) as f64
+            }
+            Precision::Half => F16::from_f64(x)
+                .fma(F16::from_f64(y), F16::from_f64(z))
+                .to_f64(),
+            Precision::Single => ((x as f32).mul_add(y as f32, z as f32)) as f64,
+            Precision::Double => x.mul_add(y, z),
+        }
+    }
+
+    /// `x + y` with kernel semantics.
+    pub fn add(prec: Precision, x: f64, y: f64) -> f64 {
+        match prec {
+            Precision::Int32 => ((x as i32).wrapping_add(y as i32)) as f64,
+            Precision::Half => F16::from_f64(x).add(F16::from_f64(y)).to_f64(),
+            Precision::Single => ((x as f32) + (y as f32)) as f64,
+            Precision::Double => x + y,
+        }
+    }
+
+    /// `x * y` with kernel semantics.
+    pub fn mul(prec: Precision, x: f64, y: f64) -> f64 {
+        match prec {
+            Precision::Int32 => ((x as i32).wrapping_mul(y as i32)) as f64,
+            Precision::Half => F16::from_f64(x).mul(F16::from_f64(y)).to_f64(),
+            Precision::Single => ((x as f32) * (y as f32)) as f64,
+            Precision::Double => x * y,
+        }
+    }
+
+    /// Round a host value to the storage precision (what a store-then-load
+    /// through memory produces).
+    pub fn quantize(prec: Precision, v: f64) -> f64 {
+        match prec {
+            Precision::Int32 => v as i32 as f64,
+            Precision::Half => F16::from_f64(v).to_f64(),
+            Precision::Single => v as f32 as f64,
+            Precision::Double => v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifts_match_sizes() {
+        for p in [Precision::Int32, Precision::Half, Precision::Single, Precision::Double] {
+            let e = PrecEmit::new(p);
+            assert_eq!(1u32 << e.shift(), e.size());
+        }
+    }
+
+    #[test]
+    fn host_fma_matches_precisions() {
+        assert_eq!(host::fma(Precision::Int32, 3.0, 4.0, 5.0), 17.0);
+        assert_eq!(host::fma(Precision::Single, 1.5, 2.0, 0.5), 3.5);
+        assert_eq!(host::fma(Precision::Double, 1.5, 2.0, 0.5), 3.5);
+        // Half rounds: 1000*1000 overflows to inf in f16.
+        assert!(host::fma(Precision::Half, 1000.0, 1000.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        for p in [Precision::Int32, Precision::Half, Precision::Single, Precision::Double] {
+            let q = host::quantize(p, 0.3);
+            assert_eq!(host::quantize(p, q), q, "{p:?}");
+        }
+    }
+}

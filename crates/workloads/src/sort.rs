@@ -1,0 +1,320 @@
+//! Integer sorting: bottom-up mergesort and per-thread quicksort.
+//!
+//! Both are branch-heavy integer codes with data-dependent control flow —
+//! the profile the paper's sorts exhibit (high occupancy, modest IPC,
+//! small AVF).
+
+use crate::{Benchmark, CompareSpec, Scale, Workload};
+use gpu_arch::{CmpOp, CodeGen, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred, Reg, SpecialReg};
+use gpu_sim::GlobalMemory;
+
+fn r(i: u8) -> Reg {
+    Reg(i)
+}
+fn imm(v: u32) -> Operand {
+    Operand::Imm(v)
+}
+fn imi(v: i32) -> Operand {
+    Operand::imm_i32(v)
+}
+
+/// Deterministic pseudo-random input array.
+pub fn sort_input(n: u32) -> Vec<i32> {
+    (0..n).map(|i| ((i.wrapping_mul(2654435761)) % 1000) as i32 - 500).collect()
+}
+
+/// Independent sort instances per launch (one block each). Batching gives
+/// the sorts their paper-like occupancy ("processes different parts of the
+/// input simultaneously").
+fn batch(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 1,
+        Scale::Small => 2,
+        Scale::Profile => 16,
+    }
+}
+
+// --------------------------------------------------------- mergesort ----
+
+fn merge_n(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 64,
+        Scale::Small => 256,
+        Scale::Profile => 1024,
+    }
+}
+
+/// Bottom-up mergesort: `log2(n)` phases; in phase `p` (width `w = 2^p`),
+/// thread `t` merges runs `[t*2w, t*2w+w)` and `[t*2w+w, t*2w+2w)` from
+/// the source buffer into the destination buffer; buffers ping-pong.
+/// Every thread reaches every barrier (inactive threads skip only the
+/// merge body).
+pub fn mergesort(codegen: CodeGen, scale: Scale) -> Workload {
+    let n = merge_n(scale);
+    let phases = n.trailing_zeros(); // n is a power of two
+    let threads = n / 2;
+    let name = Benchmark::Mergesort.display_name(Precision::Int32);
+    let mut b = KernelBuilder::new(name.clone());
+    b.shared(2560); // staging scratch, Table-I-sized; not functionally used
+
+    // params: [a_base, b_base]; block bx sorts its own n-element array at
+    // offset bx * 4n in both buffers.
+    b.s2r(r(0), SpecialReg::TidX);
+    b.s2r(r(1), SpecialReg::CtaidX);
+    b.ldp(r(10), 0);
+    b.ldp(r(11), 1);
+    b.imad(r(10), r(1).into(), imm(4 * n), r(10).into());
+    b.imad(r(11), r(1).into(), imm(4 * n), r(11).into());
+
+    b.mov(r(2), imm(0)); // phase
+    b.mov(r(3), imm(1)); // width = 1 << phase
+
+    b.label("phase");
+    // src/dst by parity of phase
+    b.and(r(4), r(2).into(), imm(1));
+    b.isetp(Pred(0), CmpOp::Eq, r(4).into(), imm(0));
+    b.sel(r(16), r(10).into(), r(11).into(), Pred(0), false); // src
+    b.sel(r(17), r(11).into(), r(10).into(), Pred(0), false); // dst
+
+    // my run start = t * 2 * width; active iff start < n
+    b.shl(r(5), r(3).into(), imm(1)); // 2w
+    b.imul(r(6), r(0).into(), r(5).into()); // start
+    b.isetp(Pred(1), CmpOp::Ge, r(6).into(), imm(n));
+    b.if_p(Pred(1)).bra("phasebar");
+
+    // i = 0 (left consumed), j = 0 (right consumed), k = 0 (written)
+    b.mov(r(7), imm(0));
+    b.mov(r(8), imm(0));
+    b.mov(r(9), imm(0));
+    b.label("mergeloop");
+    // done when k == 2w
+    b.isetp(Pred(2), CmpOp::Ge, r(9).into(), r(5).into());
+    b.if_p(Pred(2)).bra("mergedone");
+    // left exhausted? take right. right exhausted? take left. else compare.
+    b.isetp(Pred(3), CmpOp::Ge, r(7).into(), r(3).into()); // i >= w
+    b.isetp(Pred(4), CmpOp::Ge, r(8).into(), r(3).into()); // j >= w
+    // load left value (clamped index so the load is always in bounds)
+    b.iadd(r(12), r(6).into(), r(7).into());
+    b.imin(r(12), r(12).into(), imm(n - 1));
+    b.shl(r(12), r(12).into(), imm(2));
+    b.iadd(r(12), r(12).into(), r(16).into());
+    b.ldg(MemWidth::W32, r(13), r(12), 0);
+    // load right value
+    b.iadd(r(12), r(6).into(), r(3).into());
+    b.iadd(r(12), r(12).into(), r(8).into());
+    b.imin(r(12), r(12).into(), imm(n - 1));
+    b.shl(r(12), r(12).into(), imm(2));
+    b.iadd(r(12), r(12).into(), r(16).into());
+    b.ldg(MemWidth::W32, r(14), r(12), 0);
+    // take_left = (!left_done) && (right_done || left <= right)
+    b.isetp(Pred(5), CmpOp::Le, r(13).into(), r(14).into());
+    // p5 = p5 || p4  (right done forces left) via select chain on an int
+    b.mov(r(15), imm(0));
+    b.sel(r(15), imm(1), r(15).into(), Pred(5), false);
+    b.sel(r(15), imm(1), r(15).into(), Pred(4), false);
+    b.sel(r(15), imm(0), r(15).into(), Pred(3), false); // left done: never
+    b.isetp(Pred(5), CmpOp::Eq, r(15).into(), imm(1));
+    // value = take_left ? left : right; advance the chosen pointer
+    b.sel(r(18), r(13).into(), r(14).into(), Pred(5), false);
+    b.iadd(r(12), r(7).into(), imm(1));
+    b.sel(r(7), r(12).into(), r(7).into(), Pred(5), false);
+    b.iadd(r(12), r(8).into(), imm(1));
+    b.sel(r(8), r(8).into(), r(12).into(), Pred(5), false);
+    if codegen == CodeGen::Cuda7 {
+        b.mov(r(19), r(18).into());
+    }
+    // store dst[start + k]
+    b.iadd(r(12), r(6).into(), r(9).into());
+    b.shl(r(12), r(12).into(), imm(2));
+    b.iadd(r(12), r(12).into(), r(17).into());
+    b.stg(MemWidth::W32, r(12), 0, r(18));
+    b.iadd(r(9), r(9).into(), imm(1));
+    b.bra("mergeloop");
+    b.label("mergedone");
+    b.label("phasebar");
+    b.bar();
+    b.iadd(r(2), r(2).into(), imm(1));
+    b.shl(r(3), r(3).into(), imm(1));
+    b.isetp(Pred(6), CmpOp::Lt, r(2).into(), imm(phases));
+    b.if_p(Pred(6)).bra("phase");
+    b.exit();
+
+    let kernel = b.build().expect("mergesort kernel");
+    let instances = batch(scale);
+    let a_base = 0u32;
+    let b_base = 4 * n * instances;
+    let mut mem = GlobalMemory::new(8 * n * instances);
+    for inst in 0..instances {
+        for (i, v) in sort_input(n).into_iter().enumerate() {
+            mem.write_u32_host(a_base + 4 * (inst * n + i as u32), v as u32);
+        }
+    }
+    // After `phases` ping-pongs the sorted data lives in a if phases is
+    // even, b if odd.
+    let out_base = if phases % 2 == 0 { a_base } else { b_base };
+    let launch = LaunchConfig::new(instances, threads, vec![a_base, b_base]);
+    Workload {
+        name,
+        benchmark: Benchmark::Mergesort,
+        precision: Precision::Int32,
+        codegen,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::ExactRegion { offset: out_base, len: 4 * n * instances },
+    }
+}
+
+// --------------------------------------------------------- quicksort ----
+
+/// Elements each thread quicksorts.
+pub const QS_CHUNK: u32 = 32;
+
+fn qs_threads(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 8,
+        Scale::Small => 32,
+        Scale::Profile => 128,
+    }
+}
+
+/// Per-thread iterative quicksort (Lomuto partition, explicit stack in
+/// shared memory): each thread sorts its own `QS_CHUNK`-element slice of
+/// the global array in place. Data-dependent branching throughout.
+pub fn quicksort(codegen: CodeGen, scale: Scale) -> Workload {
+    let threads = qs_threads(scale);
+    let instances = batch(scale);
+    let n = threads * QS_CHUNK * instances;
+    // Both subranges are pushed unconditionally, so worst-case depth is
+    // the chunk size + 1; size generously to keep the stack safe for any
+    // input permutation. The stack lives in "local" (global) memory, like
+    // a register-spilled CUDA stack — shared memory stays tiny (Table I:
+    // 328 B).
+    let stack_depth = QS_CHUNK + 8;
+    let name = Benchmark::Quicksort.display_name(Precision::Int32);
+    let mut b = KernelBuilder::new(name.clone());
+    b.shared(328);
+
+    // params: [data_base, stack_base]
+    b.s2r(r(0), SpecialReg::TidX);
+    b.s2r(r(1), SpecialReg::CtaidX);
+    b.ldp(r(10), 0);
+    b.ldp(r(11), 1);
+    // global thread id, my chunk base address
+    b.imad(r(2), r(1).into(), imm(threads), r(0).into());
+    b.imul(r(3), r(2).into(), imm(QS_CHUNK));
+    b.shl(r(3), r(3).into(), imm(2));
+    b.iadd(r(3), r(3).into(), r(10).into());
+    // my stack base (byte address in the local-memory arena)
+    b.imad(r(4), r(2).into(), imm(stack_depth * 8), r(11).into());
+
+    // push (0, QS_CHUNK-1); sp = 1 (sp counts pairs)
+    b.mov(r(5), imm(0));
+    b.stg(MemWidth::W32, r(4), 0, r(5));
+    b.mov(r(5), imm(QS_CHUNK - 1));
+    b.stg(MemWidth::W32, r(4), 4, r(5));
+    b.mov(r(6), imm(1)); // sp
+
+    b.label("qloop");
+    b.isetp(Pred(0), CmpOp::Le, r(6).into(), imm(0));
+    b.if_p(Pred(0)).bra("qdone");
+    // pop (lo, hi)
+    b.iadd(r(6), r(6).into(), imi(-1));
+    b.shl(r(7), r(6).into(), imm(3));
+    b.iadd(r(7), r(7).into(), r(4).into());
+    b.ldg(MemWidth::W32, r(8), r(7), 0); // lo
+    b.ldg(MemWidth::W32, r(9), r(7), 4); // hi
+    b.isetp(Pred(1), CmpOp::Ge, r(8).into(), r(9).into());
+    b.if_p(Pred(1)).bra("qloop");
+
+    // Lomuto partition with pivot = data[hi].
+    b.shl(r(12), r(9).into(), imm(2));
+    b.iadd(r(12), r(12).into(), r(3).into());
+    b.ldg(MemWidth::W32, r(13), r(12), 0); // pivot
+    b.iadd(r(14), r(8).into(), imi(-1)); // i = lo - 1
+    b.mov(r(15), r(8).into()); // j = lo
+    b.label("part");
+    b.isetp(Pred(2), CmpOp::Ge, r(15).into(), r(9).into());
+    b.if_p(Pred(2)).bra("partdone");
+    // if data[j] <= pivot: i++, swap(data[i], data[j])
+    b.shl(r(16), r(15).into(), imm(2));
+    b.iadd(r(16), r(16).into(), r(3).into());
+    b.ldg(MemWidth::W32, r(17), r(16), 0); // data[j]
+    b.isetp(Pred(3), CmpOp::Gt, r(17).into(), r(13).into());
+    b.if_p(Pred(3)).bra("partnext");
+    b.iadd(r(14), r(14).into(), imm(1));
+    b.shl(r(18), r(14).into(), imm(2));
+    b.iadd(r(18), r(18).into(), r(3).into());
+    b.ldg(MemWidth::W32, r(19), r(18), 0); // data[i]
+    b.stg(MemWidth::W32, r(18), 0, r(17));
+    b.stg(MemWidth::W32, r(16), 0, r(19));
+    b.label("partnext");
+    b.iadd(r(15), r(15).into(), imm(1));
+    b.bra("part");
+    b.label("partdone");
+    // place pivot: swap(data[i+1], data[hi])
+    b.iadd(r(14), r(14).into(), imm(1));
+    b.shl(r(18), r(14).into(), imm(2));
+    b.iadd(r(18), r(18).into(), r(3).into());
+    b.ldg(MemWidth::W32, r(19), r(18), 0);
+    b.stg(MemWidth::W32, r(18), 0, r(13));
+    b.stg(MemWidth::W32, r(12), 0, r(19));
+    if codegen == CodeGen::Cuda7 {
+        b.mov(r(20), r(14).into());
+    }
+    // push (lo, p-1) and (p+1, hi)
+    b.iadd(r(16), r(14).into(), imi(-1));
+    b.shl(r(7), r(6).into(), imm(3));
+    b.iadd(r(7), r(7).into(), r(4).into());
+    b.stg(MemWidth::W32, r(7), 0, r(8));
+    b.stg(MemWidth::W32, r(7), 4, r(16));
+    b.iadd(r(6), r(6).into(), imm(1));
+    b.iadd(r(16), r(14).into(), imm(1));
+    b.shl(r(7), r(6).into(), imm(3));
+    b.iadd(r(7), r(7).into(), r(4).into());
+    b.stg(MemWidth::W32, r(7), 0, r(16));
+    b.stg(MemWidth::W32, r(7), 4, r(9));
+    b.iadd(r(6), r(6).into(), imm(1));
+    b.bra("qloop");
+
+    b.label("qdone");
+    b.exit();
+
+    let kernel = b.build().expect("quicksort kernel");
+    let stack_base = 4 * n;
+    let stack_bytes = instances * threads * stack_depth * 8;
+    let mut mem = GlobalMemory::new(4 * n + stack_bytes);
+    for (i, v) in sort_input(n).into_iter().enumerate() {
+        mem.write_u32_host(4 * i as u32, v as u32);
+    }
+    let launch = LaunchConfig::new(instances, threads, vec![0, stack_base]);
+    Workload {
+        name,
+        benchmark: Benchmark::Quicksort,
+        precision: Precision::Int32,
+        codegen,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::ExactRegion { offset: 0, len: 4 * n },
+    }
+}
+
+/// Host reference for quicksort: every chunk of the (possibly batched)
+/// array sorted independently. `total_threads` = threads x instances.
+pub fn quicksort_reference(total_threads: u32) -> Vec<i32> {
+    let n = total_threads * QS_CHUNK;
+    let mut data = sort_input(n);
+    for c in 0..total_threads {
+        let s = (c * QS_CHUNK) as usize;
+        data[s..s + QS_CHUNK as usize].sort_unstable();
+    }
+    data
+}
+
+/// Host reference for mergesort: the fully sorted array.
+pub fn mergesort_reference(n: u32) -> Vec<i32> {
+    let mut data = sort_input(n);
+    data.sort_unstable();
+    data
+}

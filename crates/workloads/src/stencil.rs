@@ -1,0 +1,235 @@
+//! Hotspot: the Rodinia thermal stencil.
+//!
+//! Each block owns an 8x8 tile of the temperature grid, stages it in
+//! shared memory, and relaxes it for [`ITERATIONS`] steps with a
+//! block-local 5-point stencil (neighbors clamp at tile edges — a
+//! pyramid-free simplification of Rodinia's halo handling that preserves
+//! the instruction mix; see DESIGN.md). Power values stay in registers.
+//!
+//! The iterative structure is what makes Hotspot interesting for the
+//! paper: repeated averaging *smooths* injected faults, which is why
+//! HHotspot defeats the NVBitFI-based prediction (Section VII-A).
+
+use crate::prec::{host, PrecEmit};
+use crate::{write_elem, Benchmark, CompareSpec, Scale, Workload};
+use gpu_arch::{CodeGen, Dim, KernelBuilder, LaunchConfig, Operand, Precision, Reg, SpecialReg};
+use gpu_sim::GlobalMemory;
+
+/// Relaxation steps performed inside the kernel.
+pub const ITERATIONS: u32 = 2;
+
+/// Stencil coefficients (binary32-representable so every precision agrees
+/// with the host reference after quantization).
+pub const RX: f64 = 0.125;
+/// North/south coupling.
+pub const RY: f64 = 0.0625;
+/// Coupling to ambient.
+pub const RZ: f64 = 0.03125;
+/// Thermal capacitance factor.
+pub const CAP: f64 = 0.5;
+/// Ambient temperature.
+pub const AMB: f64 = 8.0;
+
+const TILE: u32 = 8;
+
+fn r(i: u8) -> Reg {
+    Reg(i)
+}
+fn imm(v: u32) -> Operand {
+    Operand::Imm(v)
+}
+
+fn grid_size(scale: Scale) -> u32 {
+    match scale {
+        Scale::Tiny => 8,
+        Scale::Small => 16,
+        Scale::Profile => 64,
+    }
+}
+
+/// Initial temperature at a cell.
+pub fn init_temp(i: u32, j: u32) -> f64 {
+    4.0 + ((i.wrapping_mul(13).wrapping_add(j.wrapping_mul(5))) % 16) as f64 / 8.0
+}
+
+/// Power dissipated at a cell.
+pub fn init_power(i: u32, j: u32) -> f64 {
+    (((i.wrapping_mul(3).wrapping_add(j.wrapping_mul(11))) % 8) as f64) / 16.0
+}
+
+/// Host reference of the kernel's block-local stencil, bit-exact with the
+/// simulator for the given precision.
+pub fn reference(prec: Precision, n: u32) -> Vec<f64> {
+    let q = |v: f64| host::quantize(prec, v);
+    let mut t: Vec<f64> = (0..n * n)
+        .map(|idx| q(init_temp(idx / n, idx % n)))
+        .collect();
+    let p: Vec<f64> = (0..n * n)
+        .map(|idx| q(init_power(idx / n, idx % n)))
+        .collect();
+    let (rx, ry, rz, cap, amb) = (q(RX), q(RY), q(RZ), q(CAP), q(AMB));
+    for _ in 0..ITERATIONS {
+        let mut next = t.clone();
+        for by in 0..n / TILE {
+            for bx in 0..n / TILE {
+                for ty in 0..TILE {
+                    for tx in 0..TILE {
+                        let row = by * TILE + ty;
+                        let col = bx * TILE + tx;
+                        let cell = |dy: i64, dx: i64| -> f64 {
+                            let ny = (ty as i64 + dy).clamp(0, TILE as i64 - 1) as u32;
+                            let nx = (tx as i64 + dx).clamp(0, TILE as i64 - 1) as u32;
+                            t[((by * TILE + ny) * n + bx * TILE + nx) as usize]
+                        };
+                        let c = cell(0, 0);
+                        // Mirrors the exact FMA/ADD/MUL sequence the kernel
+                        // emits (order matters for bit-exactness).
+                        let vert = host::add(prec, cell(-1, 0), cell(1, 0));
+                        let horiz = host::add(prec, cell(0, -1), cell(0, 1));
+                        let c2 = host::add(prec, c, c);
+                        let dv = host::add(prec, vert, -c2);
+                        let dh = host::add(prec, horiz, -c2);
+                        let mut acc = p[(row * n + col) as usize];
+                        acc = host::fma(prec, ry, dv, acc);
+                        acc = host::fma(prec, rx, dh, acc);
+                        let damb = host::add(prec, amb, -c);
+                        acc = host::fma(prec, rz, damb, acc);
+                        next[(row * n + col) as usize] = host::fma(prec, cap, acc, c);
+                    }
+                }
+            }
+        }
+        t = next;
+    }
+    t
+}
+
+/// Build the Hotspot workload.
+pub fn hotspot(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+    let n = grid_size(scale);
+    let e = PrecEmit::new(prec);
+    let elem = prec.size_bytes();
+    let name = Benchmark::Hotspot.display_name(prec);
+    let mut b = KernelBuilder::new(name.clone());
+
+    let t_base = 0u32;
+    let p_base = n * n * elem;
+    let out_base = 2 * n * n * elem;
+    let tile_bytes = TILE * TILE * elem;
+    b.shared(tile_bytes.max(1024));
+
+    b.s2r(r(0), SpecialReg::TidX);
+    b.s2r(r(1), SpecialReg::TidY);
+    b.s2r(r(2), SpecialReg::CtaidX);
+    b.s2r(r(3), SpecialReg::CtaidY);
+    b.imad(r(4), r(2).into(), imm(TILE), r(0).into()); // col
+    b.imad(r(5), r(3).into(), imm(TILE), r(1).into()); // row
+    b.ldp(r(10), 0); // t_base
+    b.ldp(r(11), 1); // p_base
+    b.ldp(r(12), 2); // out_base
+    // Load own temperature into shared and power into a register.
+    b.imad(r(6), r(5).into(), imm(n), r(4).into());
+    b.shl(r(6), r(6).into(), imm(e.shift()));
+    b.iadd(r(7), r(6).into(), r(10).into());
+    e.load_g(&mut b, r(16), r(7), 0);
+    b.imad(r(8), r(1).into(), imm(TILE), r(0).into());
+    b.shl(r(8), r(8).into(), imm(e.shift())); // shared offset of own cell
+    e.store_s(&mut b, r(8), 0, r(16));
+    b.iadd(r(7), r(6).into(), r(11).into());
+    e.load_g(&mut b, r(30), r(7), 0); // power
+    // Constants.
+    e.mov_const(&mut b, r(32), RX);
+    e.mov_const(&mut b, r(34), RY);
+    e.mov_const(&mut b, r(36), RZ);
+    e.mov_const(&mut b, r(38), CAP);
+    e.mov_const(&mut b, r(40), AMB);
+    b.bar();
+
+    // Clamped neighbor shared offsets (computed once; they are loop
+    // invariant — the CUDA 10 back end would hoist them, so both codegens
+    // share this shape; CUDA 7 recomputes them each iteration).
+    let emit_neighbor_offsets = |b: &mut KernelBuilder| {
+        // north: (max(ty-1,0))*T + tx
+        b.iadd(r(9), r(1).into(), Operand::imm_i32(-1));
+        b.imax(r(9), r(9).into(), imm(0));
+        b.imad(r(9), r(9).into(), imm(TILE), r(0).into());
+        b.shl(r(50), r(9).into(), imm(e.shift()));
+        // south: (min(ty+1,T-1))*T + tx
+        b.iadd(r(9), r(1).into(), imm(1));
+        b.imin(r(9), r(9).into(), imm(TILE - 1));
+        b.imad(r(9), r(9).into(), imm(TILE), r(0).into());
+        b.shl(r(51), r(9).into(), imm(e.shift()));
+        // west: ty*T + max(tx-1,0)
+        b.iadd(r(9), r(0).into(), Operand::imm_i32(-1));
+        b.imax(r(9), r(9).into(), imm(0));
+        b.imad(r(9), r(1).into(), imm(TILE), r(9).into());
+        b.shl(r(52), r(9).into(), imm(e.shift()));
+        // east: ty*T + min(tx+1,T-1)
+        b.iadd(r(9), r(0).into(), imm(1));
+        b.imin(r(9), r(9).into(), imm(TILE - 1));
+        b.imad(r(9), r(1).into(), imm(TILE), r(9).into());
+        b.shl(r(53), r(9).into(), imm(e.shift()));
+    };
+    if codegen == CodeGen::Cuda10 {
+        emit_neighbor_offsets(&mut b);
+    }
+
+    for _ in 0..ITERATIONS {
+        if codegen == CodeGen::Cuda7 {
+            emit_neighbor_offsets(&mut b);
+        }
+        // Load center and neighbors from shared.
+        e.load_s(&mut b, r(16), r(8), 0); // center
+        e.load_s(&mut b, r(18), r(50), 0); // north
+        e.load_s(&mut b, r(20), r(51), 0); // south
+        e.load_s(&mut b, r(22), r(52), 0); // west
+        e.load_s(&mut b, r(24), r(53), 0); // east
+        // vert = n + s ; horiz = w + e ; c2 = c + c
+        e.add(&mut b, r(18), r(18).into(), r(20).into());
+        e.add(&mut b, r(22), r(22).into(), r(24).into());
+        e.add(&mut b, r(26), r(16).into(), r(16).into());
+        // dv = vert - c2 ; dh = horiz - c2 (negate via mul by -1: FMA form)
+        e.mov_const(&mut b, r(42), -1.0);
+        e.fma(&mut b, r(18), r(26).into(), r(42).into(), r(18).into());
+        e.fma(&mut b, r(22), r(26).into(), r(42).into(), r(22).into());
+        // acc = power + ry*dv + rx*dh + rz*(amb - c)
+        e.fma(&mut b, r(28), r(34).into(), r(18).into(), r(30).into());
+        e.fma(&mut b, r(28), r(32).into(), r(22).into(), r(28).into());
+        e.fma(&mut b, r(44), r(16).into(), r(42).into(), r(40).into()); // amb - c
+        e.fma(&mut b, r(28), r(36).into(), r(44).into(), r(28).into());
+        // t_new = c + cap*acc
+        e.fma(&mut b, r(46), r(38).into(), r(28).into(), r(16).into());
+        b.bar();
+        e.store_s(&mut b, r(8), 0, r(46));
+        b.bar();
+    }
+
+    // Write back to the output grid.
+    b.iadd(r(7), r(6).into(), r(12).into());
+    e.store_g(&mut b, r(7), 0, r(46));
+    b.exit();
+
+    let kernel = b.build().expect("hotspot kernel");
+    let mut mem = GlobalMemory::new(3 * n * n * elem);
+    for i in 0..n {
+        for j in 0..n {
+            write_elem(&mut mem, prec, t_base + (i * n + j) * elem, init_temp(i, j));
+            write_elem(&mut mem, prec, p_base + (i * n + j) * elem, init_power(i, j));
+        }
+    }
+    let launch = LaunchConfig::new_2d(
+        Dim::d2(n / TILE, n / TILE),
+        Dim::d2(TILE, TILE),
+        vec![t_base, p_base, out_base],
+    );
+    Workload {
+        name,
+        benchmark: Benchmark::Hotspot,
+        precision: prec,
+        codegen,
+        kernel,
+        launch,
+        memory: mem,
+        compare: CompareSpec::ExactRegion { offset: out_base, len: n * n * elem },
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: run one workload on the simulated GPU, profile it, inject
+//! one fault, and see what happens.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_reliability::prelude::*;
+
+fn main() {
+    // A Volta-class campaign device (single SM; see DESIGN.md) and the
+    // naive matrix-multiplication workload in single precision.
+    let device = DeviceModel::v100_sim();
+    let mxm = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small);
+
+    // 1. Fault-free (golden) execution.
+    let golden = mxm.golden(&device);
+    assert_eq!(golden.status, ExecStatus::Completed);
+    println!("== golden run of {} ==", mxm.name);
+    println!("   dynamic instructions : {}", golden.counts.total);
+    println!("   modeled cycles       : {:.0}", golden.timing.cycles);
+    println!("   executed IPC         : {:.2}", golden.timing.ipc);
+    println!("   achieved occupancy   : {:.2}", golden.timing.achieved_occupancy);
+
+    // 2. Profile: the Table I / Figure 1 view.
+    let profile = profile(&mxm, &device);
+    println!("\n== profile ==");
+    println!("   registers/thread     : {}", profile.regs_per_thread);
+    println!("   shared mem/block     : {} B", profile.shared_bytes);
+    println!("   phi (occ x IPC)      : {:.2}", profile.phi);
+    print!("   instruction mix      :");
+    for cat in MixCategory::ALL {
+        print!(" {cat}={:.0}%", profile.mix(cat) * 100.0);
+    }
+    println!();
+
+    // 3. Inject a single bit flip into the 1000th FFMA's output, the way
+    //    an architecture-level injector does.
+    let opts = RunOptions {
+        ecc: false,
+        fault: FaultPlan::InstructionOutput {
+            nth: 1000,
+            site: SiteClass::Unit(FunctionalUnit::Ffma),
+            flip: BitFlip::single(30),
+        },
+        watchdog_limit: golden.counts.total * 4,
+        ..RunOptions::default()
+    };
+    let faulty = mxm.run_with(&device, &opts);
+    let outcome = match faulty.status {
+        ExecStatus::Due(kind) => format!("DUE ({kind})"),
+        ExecStatus::Completed if mxm.output_matches(&golden, &faulty) => "Masked".to_string(),
+        ExecStatus::Completed => "SDC (corrupted output)".to_string(),
+    };
+    println!("\n== single injected fault ==");
+    println!("   flipped bit 30 of FFMA #1000 -> {outcome}");
+
+    // 4. A tiny AVF campaign (Figure 4 in miniature).
+    let campaign = CampaignConfig { injections: 200, seed: 7 };
+    let avf = measure_avf(Injector::NvBitFi, &mxm, &device, &campaign).unwrap();
+    println!("\n== NVBitFI AVF, {} injections ==", campaign.injections);
+    println!(
+        "   SDC {:.2}  DUE {:.2}  Masked {:.2}",
+        avf.sdc_avf(),
+        avf.due_avf(),
+        avf.masked
+    );
+}

@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: the paper's methodology end to end, at
+//! test scale, asserting the qualitative findings the reproduction is
+//! supposed to preserve.
+
+use gpu_reliability::prelude::*;
+
+fn tiny(benchmark: Benchmark, precision: Precision, codegen: CodeGen) -> Workload {
+    build(benchmark, precision, codegen, Scale::Tiny)
+}
+
+#[test]
+fn every_workload_runs_on_its_device() {
+    let kepler = DeviceModel::k40c_sim();
+    let volta = DeviceModel::v100_sim();
+    for w in kepler_suite(CodeGen::Cuda7, Scale::Tiny) {
+        assert_eq!(w.golden(&kepler).status, ExecStatus::Completed, "{}", w.name);
+    }
+    for w in volta_suite(Scale::Tiny) {
+        assert_eq!(w.golden(&volta).status, ExecStatus::Completed, "{}", w.name);
+    }
+}
+
+#[test]
+fn beam_and_injection_agree_on_determinism() {
+    let device = DeviceModel::k40c_sim();
+    let w = tiny(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10);
+    let c = CampaignConfig { injections: 80, seed: 5 };
+    let a = measure_avf(Injector::NvBitFi, &w, &device, &c).unwrap();
+    let b = measure_avf(Injector::NvBitFi, &w, &device, &c).unwrap();
+    assert_eq!(a.counts, b.counts);
+    let ba = expose(&w, &device, &BeamConfig::auto(400, true, 5));
+    let bb = expose(&w, &device, &BeamConfig::auto(400, true, 5));
+    assert_eq!(ba.counts, bb.counts);
+}
+
+#[test]
+fn sassifi_capability_matrix_matches_paper() {
+    let kepler = DeviceModel::k40c_sim();
+    let volta = DeviceModel::v100_sim();
+    let mxm = tiny(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7);
+    let gemm = tiny(Benchmark::Gemm, Precision::Single, CodeGen::Cuda7);
+    let yolo = tiny(Benchmark::Yolov2, Precision::Single, CodeGen::Cuda7);
+    // SASSIFI: Kepler only, no proprietary libraries.
+    assert!(Injector::Sassifi.supports(&mxm, &kepler).is_ok());
+    assert!(Injector::Sassifi.supports(&mxm, &volta).is_err());
+    assert!(Injector::Sassifi.supports(&gemm, &kepler).is_err());
+    assert!(Injector::Sassifi.supports(&yolo, &kepler).is_err());
+    // NVBitFI: everything.
+    assert!(Injector::NvBitFi.supports(&gemm, &volta).is_ok());
+    assert!(Injector::NvBitFi.supports(&yolo, &kepler).is_ok());
+}
+
+#[test]
+fn cnn_avf_is_far_below_matrix_multiply() {
+    // Section VI: "CNN's AVF is extremely low" thanks to classification
+    // tolerance, while matrix multiplication has the highest AVF.
+    let device = DeviceModel::v100_sim();
+    let c = CampaignConfig { injections: 250, seed: 9 };
+    let mxm = tiny(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10);
+    let yolo = tiny(Benchmark::Yolov2, Precision::Single, CodeGen::Cuda10);
+    let mxm_avf = measure_avf(Injector::NvBitFi, &mxm, &device, &c).unwrap();
+    let yolo_avf = measure_avf(Injector::NvBitFi, &yolo, &device, &c).unwrap();
+    assert!(
+        yolo_avf.sdc_avf() < mxm_avf.sdc_avf() / 3.0,
+        "yolo {} !<< mxm {}",
+        yolo_avf.sdc_avf(),
+        mxm_avf.sdc_avf()
+    );
+}
+
+#[test]
+fn integer_codes_have_lower_sdc_avf_than_float_codes() {
+    // Section VI: floating-point codes (Gaussian, LUD, MxM, Lava) have
+    // the highest AVF; integer codes (CCL & friends) the smallest.
+    let device = DeviceModel::k40c_sim();
+    let c = CampaignConfig { injections: 250, seed: 13 };
+    let lava = tiny(Benchmark::Lava, Precision::Single, CodeGen::Cuda7);
+    let ccl = tiny(Benchmark::Ccl, Precision::Int32, CodeGen::Cuda7);
+    let lava_avf = measure_avf(Injector::Sassifi, &lava, &device, &c).unwrap();
+    let ccl_avf = measure_avf(Injector::Sassifi, &ccl, &device, &c).unwrap();
+    assert!(
+        ccl_avf.sdc_avf() < lava_avf.sdc_avf(),
+        "ccl {} !< lava {}",
+        ccl_avf.sdc_avf(),
+        lava_avf.sdc_avf()
+    );
+}
+
+#[test]
+fn ecc_reduces_beam_sdc_rate() {
+    let device = DeviceModel::k40c_sim();
+    let w = tiny(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10);
+    let off = expose(&w, &device, &BeamConfig::auto(2500, false, 21));
+    let on = expose(&w, &device, &BeamConfig::auto(2500, true, 21));
+    assert!(
+        off.sdc_fit.fit > 1.5 * on.sdc_fit.fit,
+        "ECC off {} !>> on {}",
+        off.sdc_fit.fit,
+        on.sdc_fit.fit
+    );
+}
+
+#[test]
+fn volta_fit_grows_with_precision() {
+    // Section VI: "for all the codes, independent of the ECC status,
+    // increasing the precision increases the code FIT rate."
+    let device = DeviceModel::v100_sim();
+    let mut fits = Vec::new();
+    for p in [Precision::Half, Precision::Single, Precision::Double] {
+        let w = build(Benchmark::Mxm, p, CodeGen::Cuda10, Scale::Tiny);
+        let r = expose(&w, &device, &BeamConfig::auto(4000, false, 17));
+        fits.push((w.name.clone(), r.sdc_fit.fit));
+    }
+    assert!(fits[0].1 < fits[2].1, "H {} !< D {} ({fits:?})", fits[0].1, fits[2].1);
+}
+
+#[test]
+fn prediction_pipeline_produces_finite_comparisons() {
+    let device = DeviceModel::k40c_sim();
+    let benches = gpu_reliability::microbench::suite(Architecture::Kepler);
+    let units = characterize_units(
+        &device,
+        &benches,
+        &CharacterizeConfig { beam_runs: 500, injections: 60, seed: 31 },
+    );
+    let w = tiny(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10);
+    let prof = profile(&w, &device);
+    let avf = measure_avf(
+        Injector::NvBitFi,
+        &w,
+        &device,
+        &CampaignConfig { injections: 120, seed: 31 },
+    )
+    .unwrap();
+    let feet = memory_footprint(&w, &device, &prof);
+    let pred = predict(&prof, &avf, &units, &feet, &PredictOptions::default());
+    let beam_res = expose(&w, &device, &BeamConfig::auto(1200, true, 31));
+    let row = compare(&w.name, &beam_res, &pred);
+    assert!(row.sdc_ratio.is_finite());
+    assert!(row.due_underestimation > 1.0, "DUE factor {}", row.due_underestimation);
+}
+
+#[test]
+fn phi_factor_changes_prediction_by_the_profiled_phi() {
+    let device = DeviceModel::k40c_sim();
+    let benches = gpu_reliability::microbench::suite(Architecture::Kepler);
+    let units = characterize_units(
+        &device,
+        &benches,
+        &CharacterizeConfig { beam_runs: 400, injections: 50, seed: 37 },
+    );
+    let w = tiny(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10);
+    let prof = profile(&w, &device);
+    let avf = measure_avf(
+        Injector::NvBitFi,
+        &w,
+        &device,
+        &CampaignConfig { injections: 100, seed: 37 },
+    )
+    .unwrap();
+    let feet = memory_footprint(&w, &device, &prof);
+    let with_phi = predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: true });
+    let without = predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: false });
+    let ratio = with_phi.sdc_fit / without.sdc_fit;
+    assert!((ratio - prof.phi).abs() < 1e-9, "ratio {ratio} != phi {}", prof.phi);
+}
+
+#[test]
+fn hidden_resources_dominate_due_but_not_sdc() {
+    // The structural claim behind Section VII-B: beam DUEs mostly come
+    // from channels no injector can reach.
+    let device = DeviceModel::k40c_sim();
+    let w = tiny(Benchmark::Gaussian, Precision::Single, CodeGen::Cuda10);
+    let r = expose(&w, &device, &BeamConfig::auto(3000, true, 41));
+    assert!(r.due_fit.fit > r.sdc_fit.fit, "DUE {} !> SDC {}", r.due_fit.fit, r.sdc_fit.fit);
+}
