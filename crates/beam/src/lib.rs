@@ -34,9 +34,8 @@ mod xsec;
 pub use xsec::CrossSections;
 
 use gpu_arch::{DeviceModel, FunctionalUnit};
-use gpu_sim::{
-    BitFlip, DueKind, ExecStatus, Executed, FaultPlan, RunOptions, SiteClass, Target,
-};
+use gpu_sim::{BitFlip, DueKind, ExecStatus, Executed, FaultPlan, RunOptions, SiteClass, Target};
+use obs::CampaignObserver;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use stats::{FitRate, Fluence, Outcome, OutcomeCounts};
@@ -210,7 +209,9 @@ fn sample_effect<R: Rng>(
         StrikeKind::Unit(unit) => {
             let pop = golden.counts.per_unit[unit.index()].max(1);
             let bits = match unit {
-                FunctionalUnit::Hadd | FunctionalUnit::Hmul | FunctionalUnit::Hfma
+                FunctionalUnit::Hadd
+                | FunctionalUnit::Hmul
+                | FunctionalUnit::Hfma
                 | FunctionalUnit::Hmma => 16,
                 FunctionalUnit::Dadd | FunctionalUnit::Dmul | FunctionalUnit::Dfma => 64,
                 _ => 32,
@@ -294,6 +295,18 @@ pub fn expose<T: Target + Sync + ?Sized>(
     expose_with(target, device, &CrossSections::ground_truth(device), config)
 }
 
+/// [`expose`] with observation hooks: per-run outcome tallies (by DUE
+/// kind, plus direct hidden-resource strikes) into the observer's metrics
+/// registry and a progress tick per accounted run.
+pub fn expose_observed<T: Target + Sync + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    config: &BeamConfig,
+    observer: CampaignObserver<'_>,
+) -> BeamResult {
+    expose_with_observed(target, device, &CrossSections::ground_truth(device), config, observer)
+}
+
 /// [`expose`] against explicit cross-sections (ablation studies: MBU-rate
 /// sweeps, hypothetical process nodes...).
 pub fn expose_with<T: Target + Sync + ?Sized>(
@@ -301,6 +314,17 @@ pub fn expose_with<T: Target + Sync + ?Sized>(
     device: &DeviceModel,
     xsec: &CrossSections,
     config: &BeamConfig,
+) -> BeamResult {
+    expose_with_observed(target, device, xsec, config, CampaignObserver::none())
+}
+
+/// [`expose_with`] + [`expose_observed`] combined.
+pub fn expose_with_observed<T: Target + Sync + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    xsec: &CrossSections,
+    config: &BeamConfig,
+    observer: CampaignObserver<'_>,
 ) -> BeamResult {
     let opts = RunOptions { ecc: config.ecc, ..RunOptions::default() };
     let golden = target.execute(device, &opts);
@@ -330,9 +354,15 @@ pub fn expose_with<T: Target + Sync + ?Sized>(
     let memory_len = golden.memory.len();
     let mut plans = Vec::new();
 
+    let mut unstruck = 0u64;
+    let mut direct = OutcomeCounts::new();
     for _ in 0..config.runs {
         if !rng.gen_bool(p_strike.clamp(0.0, 1.0)) {
             counts.record(Outcome::Masked);
+            unstruck += 1;
+            if let Some(p) = observer.progress {
+                p.inc();
+            }
             continue;
         }
         struck_runs += 1;
@@ -347,34 +377,72 @@ pub fn expose_with<T: Target + Sync + ?Sized>(
             pick -= c.rate_per_flux;
         }
         match sample_effect(&mut rng, chosen, xsec, &golden, target.kernel(), memory_len) {
-            StrikeEffect::Direct(outcome) => counts.record(outcome),
+            StrikeEffect::Direct(outcome) => {
+                counts.record(outcome);
+                direct.record(outcome);
+                if let Some(p) = observer.progress {
+                    p.inc();
+                }
+            }
             StrikeEffect::Plan(plan) => plans.push(plan),
         }
     }
 
-    {
+    let executed: Vec<(Outcome, Option<DueKind>)> = {
         use rayon::prelude::*;
-        let executed: OutcomeCounts = plans
+        let progress = observer.progress;
+        plans
             .par_iter()
             .map(|&plan| {
-                let run_opts =
-                    RunOptions { ecc: config.ecc, fault: plan, watchdog_limit: watchdog, ..RunOptions::default() };
+                let run_opts = RunOptions {
+                    ecc: config.ecc,
+                    fault: plan,
+                    watchdog_limit: watchdog,
+                    ..RunOptions::default()
+                };
                 let faulty = target.execute(device, &run_opts);
-                match faulty.status {
-                    ExecStatus::Due(_) => Outcome::Due,
+                let classified = match faulty.status {
+                    ExecStatus::Due(kind) => (Outcome::Due, Some(kind)),
                     ExecStatus::Completed => {
                         if target.output_matches(&golden, &faulty) {
-                            Outcome::Masked
+                            (Outcome::Masked, None)
                         } else {
-                            Outcome::Sdc
+                            (Outcome::Sdc, None)
                         }
                     }
+                };
+                if let Some(p) = progress {
+                    p.inc();
                 }
+                classified
             })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .collect();
-        counts += executed;
+            .collect()
+    };
+    for &(outcome, _) in &executed {
+        counts.record(outcome);
+    }
+
+    if let Some(m) = observer.metrics {
+        m.counter("trials").add(config.runs as u64);
+        m.counter("beam.unstruck").add(unstruck);
+        m.counter("beam.struck").add(struck_runs as u64);
+        m.counter("outcome.sdc").add(counts.sdc);
+        m.counter("outcome.due").add(counts.due);
+        m.counter("outcome.masked").add(counts.masked);
+        m.counter("beam.direct.sdc").add(direct.sdc);
+        m.counter("beam.direct.due").add(direct.due);
+        m.counter("beam.direct.masked").add(direct.masked);
+        for &(_, due_kind) in &executed {
+            if let Some(kind) = due_kind {
+                m.counter(&format!("due.{}", kind.name())).inc();
+            }
+        }
+        // Every direct hidden-resource DUE is a crash/hang from state no
+        // injector reaches; tally them under the dedicated kind.
+        m.counter(&format!("due.{}", DueKind::HiddenResource.name())).add(direct.due);
+        if let Some(p) = observer.progress {
+            m.gauge("trials_per_sec").set(p.rate());
+        }
     }
 
     let fluence = Fluence::from_flux(flux, golden.timing.seconds * config.runs as f64);

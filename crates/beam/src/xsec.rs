@@ -129,8 +129,7 @@ mod tests {
         let x = CrossSections::ground_truth(&DeviceModel::k40c());
         let ratio = x.unit[FunctionalUnit::Iadd.index()] / x.unit[FunctionalUnit::Fadd.index()];
         assert!((ratio - 4.0).abs() < 0.1, "ratio {ratio}");
-        let imul_iadd =
-            x.unit[FunctionalUnit::Imul.index()] / x.unit[FunctionalUnit::Iadd.index()];
+        let imul_iadd = x.unit[FunctionalUnit::Imul.index()] / x.unit[FunctionalUnit::Iadd.index()];
         assert!((imul_iadd - 1.3).abs() < 0.05);
         assert!(x.unit[FunctionalUnit::Imad.index()] > x.unit[FunctionalUnit::Imul.index()]);
     }

@@ -7,7 +7,9 @@ use beam::BeamConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_arch::{Architecture, CodeGen, DeviceModel, Precision};
 use injector::{measure_avf, CampaignConfig, Injector};
-use prediction::{characterize_units, memory_footprint, predict, CharacterizeConfig, PredictOptions};
+use prediction::{
+    characterize_units, memory_footprint, predict, CharacterizeConfig, PredictOptions,
+};
 use profiler::profile;
 use workloads::{build, Benchmark, Scale};
 
@@ -79,13 +81,9 @@ fn fig6_prediction(c: &mut Criterion) {
     );
     let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
     let prof = profile(&w, &device);
-    let avf = measure_avf(
-        Injector::NvBitFi,
-        &w,
-        &device,
-        &CampaignConfig { injections: 60, seed: 1 },
-    )
-    .unwrap();
+    let avf =
+        measure_avf(Injector::NvBitFi, &w, &device, &CampaignConfig { injections: 60, seed: 1 })
+            .unwrap();
     let feet = memory_footprint(&w, &device, &prof);
     c.bench_function("fig6_predict_one_code", |b| {
         b.iter(|| predict(&prof, &avf, &units, &feet, &PredictOptions::default()))
@@ -104,17 +102,14 @@ fn ablate_phi(c: &mut Criterion) {
     );
     let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
     let prof = profile(&w, &device);
-    let avf = measure_avf(
-        Injector::NvBitFi,
-        &w,
-        &device,
-        &CampaignConfig { injections: 60, seed: 2 },
-    )
-    .unwrap();
+    let avf =
+        measure_avf(Injector::NvBitFi, &w, &device, &CampaignConfig { injections: 60, seed: 2 })
+            .unwrap();
     let feet = memory_footprint(&w, &device, &prof);
     c.bench_function("ablate_phi_toggle", |b| {
         b.iter(|| {
-            let a = predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: true });
+            let a =
+                predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: true });
             let b2 =
                 predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: false });
             (a.sdc_fit, b2.sdc_fit)

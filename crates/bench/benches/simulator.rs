@@ -16,12 +16,15 @@ fn golden_runs(c: &mut Criterion) {
 
     let cases = [
         ("mxm_f32", build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small)),
-        ("hotspot_f32", build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10, Scale::Small)),
+        (
+            "hotspot_f32",
+            build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10, Scale::Small),
+        ),
         ("mergesort", build(Benchmark::Mergesort, Precision::Int32, CodeGen::Cuda10, Scale::Small)),
         ("yolov2_f32", build(Benchmark::Yolov2, Precision::Single, CodeGen::Cuda10, Scale::Small)),
     ];
     for (name, w) in &cases {
-        group.bench_function(*name, |b| b.iter(|| w.execute_golden(&kepler)));
+        group.bench_function(name, |b| b.iter(|| w.execute_golden(&kepler)));
     }
     let mma = build(Benchmark::GemmMma, Precision::Half, CodeGen::Cuda10, Scale::Small);
     group.bench_function("gemm_mma_h16", |b| b.iter(|| mma.execute_golden(&volta)));

@@ -12,10 +12,12 @@
 use crate::experiments::{devices, HarnessConfig};
 use beam::{expose, expose_with, BeamConfig, CrossSections};
 use gpu_arch::{Architecture, CodeGen, Precision};
-use injector::{measure_avf, measure_class_avf, CampaignConfig, Injector};
-use prediction::{characterize_units, memory_footprint, predict, CharacterizeConfig, PredictOptions};
-use profiler::profile;
 use gpu_sim::SiteClass;
+use injector::{measure_avf, measure_class_avf, CampaignConfig, Injector};
+use prediction::{
+    characterize_units, memory_footprint, predict, CharacterizeConfig, PredictOptions,
+};
+use profiler::profile;
 use stats::signed_ratio;
 use workloads::{build, Benchmark};
 

@@ -15,62 +15,195 @@
 //! repro all      everything above, in order
 //! ```
 //!
+//! Observability flags (anywhere on the command line):
+//!
+//! ```text
+//! --metrics-out FILE   write one JSON line per campaign (outcome tallies
+//!                      by site class and DUE kind, trials/sec, profile
+//!                      φ/IPC/occupancy gauges) to FILE instead of stdout
+//! --trace-out FILE     capture a JSONL trace of one demonstration
+//!                      injection trial (FMXM on Kepler) to FILE
+//! --progress           render a stderr progress meter per campaign
+//! ```
+//!
 //! Campaign sizes honor `REPRO_PROFILE=quick|full` (default `quick`).
 
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
 use bench::{
-    avf_breakdown, codegen_comparison, convergence, due_analysis, fig1, fig3, fig4, fig5, fig6, render, table1,
-    HarnessConfig,
+    avf_breakdown, codegen_comparison, convergence, due_analysis, fig1, fig3_observed,
+    fig4_observed, fig5_observed, fig6, render, table1_observed, CampaignObservation,
+    HarnessConfig, ObserveCtx,
 };
+use obs::RunReport;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("help");
-    let cfg = HarnessConfig::from_env();
+struct Flags {
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    progress: bool,
+}
 
-    match what {
-        "table1" => print!("{}", render::table1(&table1(&cfg))),
-        "fig1" => print!("{}", render::fig1(&fig1(&cfg))),
-        "fig3" => print!("{}", render::fig3(&fig3(&cfg))),
-        "fig4" => print!("{}", render::fig4(&fig4(&cfg))),
-        "fig5" => print!("{}", render::fig5(&fig5(&cfg))),
-        "fig6" => {
-            let set = fig6(&cfg);
-            print!("{}", render::fig6(&set));
-            println!();
-            print!("{}", render::due(&due_analysis(&set)));
-        }
-        "ablate" => print!("{}", bench::ablations::render(&cfg)),
-        "codegen" => print!("{}", render::codegen(&codegen_comparison(&cfg))),
-        "breakdown" => print!("{}", render::breakdown(&avf_breakdown(&cfg))),
-        "convergence" => {
-            print!("{}", render::convergence(&convergence(&cfg, workloads::Benchmark::Hotspot)))
-        }
-        "due" => {
-            let set = fig6(&cfg);
-            print!("{}", render::due(&due_analysis(&set)));
-        }
-        "all" => {
-            print!("{}", render::table1(&table1(&cfg)));
-            println!();
-            print!("{}", render::fig1(&fig1(&cfg)));
-            println!();
-            print!("{}", render::fig3(&fig3(&cfg)));
-            println!();
-            print!("{}", render::fig4(&fig4(&cfg)));
-            println!();
-            print!("{}", render::fig5(&fig5(&cfg)));
-            println!();
-            let set = fig6(&cfg);
-            print!("{}", render::fig6(&set));
-            println!();
-            print!("{}", render::due(&due_analysis(&set)));
-        }
-        _ => {
-            eprintln!(
-                "usage: repro <table1|fig1|fig3|fig4|fig5|fig6|due|ablate|codegen|convergence|breakdown|all>\n\
-                 env:   REPRO_PROFILE=quick|full (default quick)"
-            );
+/// Split observability flags out of the argument list; everything else is
+/// returned as positional arguments.
+fn parse_flags(args: Vec<String>) -> (Flags, Vec<String>) {
+    let mut flags = Flags { metrics_out: None, trace_out: None, progress: false };
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    let file_arg = |flag: &str, it: &mut std::vec::IntoIter<String>| match it.next() {
+        Some(path) => path,
+        None => {
+            eprintln!("{flag} requires a FILE argument");
             std::process::exit(2);
         }
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--metrics-out" => flags.metrics_out = Some(file_arg("--metrics-out", &mut it)),
+            "--trace-out" => flags.trace_out = Some(file_arg("--trace-out", &mut it)),
+            "--progress" => flags.progress = true,
+            _ => rest.push(a),
+        }
     }
+    (flags, rest)
+}
+
+/// Capture a JSONL trace of one injection trial: the 11th dynamic
+/// single-precision arithmetic instruction of FMXM (tiny, Kepler) has one
+/// output bit flipped, and every engine hook point streams to `path`.
+fn write_demo_trace(path: &str) {
+    use gpu_arch::{CodeGen, Precision};
+    use gpu_sim::{BitFlip, ExecStatus, FaultPlan, RunOptions, SiteClass, Target};
+    let device = gpu_arch::DeviceModel::k40c_sim();
+    let w = workloads::build(
+        workloads::Benchmark::Mxm,
+        Precision::Single,
+        CodeGen::Cuda10,
+        workloads::Scale::Tiny,
+    );
+    let file = BufWriter::new(File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(1);
+    }));
+    let mut sink = obs::JsonlTraceSink::new(file);
+    let opts = RunOptions {
+        ecc: false,
+        fault: FaultPlan::InstructionOutput {
+            nth: 10,
+            site: SiteClass::FloatArith,
+            flip: BitFlip::single(3),
+        },
+        ..RunOptions::default()
+    };
+    let out = w.execute_traced(&device, &opts, &mut sink);
+    let mut writer = sink.into_inner();
+    writer.flush().expect("flush trace file");
+    let mut report = RunReport::new("trace");
+    report
+        .push_str("target", &w.name)
+        .push_str("path", path)
+        .push_uint("instructions", out.counts.total)
+        .push_str(
+            "status",
+            match out.status {
+                ExecStatus::Completed => "completed",
+                ExecStatus::Due(kind) => kind.name(),
+            },
+        );
+    println!("{}", report.to_json_line());
+}
+
+fn main() {
+    let (flags, args) = parse_flags(std::env::args().skip(1).collect());
+    let what = args.first().map(String::as_str).unwrap_or("help").to_string();
+    let cfg = HarnessConfig::from_env();
+
+    if let Some(path) = &flags.trace_out {
+        write_demo_trace(path);
+        if args.is_empty() {
+            return; // trace-only invocation
+        }
+    }
+
+    // Campaign observations go to --metrics-out when given, stdout
+    // otherwise (before the human tables render).
+    let mut sink: Box<dyn Write> = match &flags.metrics_out {
+        Some(path) => Box::new(BufWriter::new(File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        }))),
+        None => Box::new(std::io::stdout()),
+    };
+    let mut campaigns = 0u64;
+    {
+        let mut observe = |o: CampaignObservation| {
+            campaigns += 1;
+            sink.write_all(o.to_json_line().as_bytes()).expect("write campaign metrics");
+            sink.write_all(b"\n").expect("write campaign metrics");
+        };
+        let mut ctx = ObserveCtx { progress: flags.progress, observe: &mut observe };
+
+        match what.as_str() {
+            "table1" => print!("{}", render::table1(&table1_observed(&cfg, &mut ctx))),
+            "fig1" => print!("{}", render::fig1(&fig1(&cfg))),
+            "fig3" => print!("{}", render::fig3(&fig3_observed(&cfg, &mut ctx))),
+            "fig4" => print!("{}", render::fig4(&fig4_observed(&cfg, &mut ctx))),
+            "fig5" => print!("{}", render::fig5(&fig5_observed(&cfg, &mut ctx))),
+            "fig6" => {
+                let set = fig6(&cfg);
+                print!("{}", render::fig6(&set));
+                println!();
+                print!("{}", render::due(&due_analysis(&set)));
+            }
+            "ablate" => print!("{}", bench::ablations::render(&cfg)),
+            "codegen" => print!("{}", render::codegen(&codegen_comparison(&cfg))),
+            "breakdown" => print!("{}", render::breakdown(&avf_breakdown(&cfg))),
+            "convergence" => {
+                print!("{}", render::convergence(&convergence(&cfg, workloads::Benchmark::Hotspot)))
+            }
+            "due" => {
+                let set = fig6(&cfg);
+                print!("{}", render::due(&due_analysis(&set)));
+            }
+            "all" => {
+                print!("{}", render::table1(&table1_observed(&cfg, &mut ctx)));
+                println!();
+                print!("{}", render::fig1(&fig1(&cfg)));
+                println!();
+                print!("{}", render::fig3(&fig3_observed(&cfg, &mut ctx)));
+                println!();
+                print!("{}", render::fig4(&fig4_observed(&cfg, &mut ctx)));
+                println!();
+                print!("{}", render::fig5(&fig5_observed(&cfg, &mut ctx)));
+                println!();
+                let set = fig6(&cfg);
+                print!("{}", render::fig6(&set));
+                println!();
+                print!("{}", render::due(&due_analysis(&set)));
+            }
+            _ => {
+                eprintln!(
+                    "usage: repro <table1|fig1|fig3|fig4|fig5|fig6|due|ablate|codegen|convergence|breakdown|all>\n\
+                     \x20      [--metrics-out FILE] [--trace-out FILE] [--progress]\n\
+                     env:   REPRO_PROFILE=quick|full (default quick)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    sink.flush().expect("flush metrics");
+
+    // Machine-readable run summary, after the human-readable tables.
+    let mut report = RunReport::new("run");
+    report
+        .push_str("command", &what)
+        .push_str(
+            "profile",
+            &std::env::var("REPRO_PROFILE").unwrap_or_else(|_| "quick".to_string()),
+        )
+        .push_uint("campaigns", campaigns);
+    if let Some(path) = &flags.metrics_out {
+        report.push_str("metrics_out", path);
+    }
+    println!("{}", report.to_json_line());
 }

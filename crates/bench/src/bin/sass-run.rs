@@ -4,14 +4,22 @@
 //! ```text
 //! sass-run <file.sass> [--device kepler|volta] [--grid N] [--block N]
 //!          [--mem BYTES] [--param WORD]... [--dump OFFSET LEN] [--trace N]
+//!          [--trace-out FILE]
 //! ```
 //!
 //! The kernel text uses the `gpu_arch::asm` syntax (see that module's
 //! docs). Parameters become the constant bank read by `LDP`; `--dump`
-//! hex-dumps a region of global memory after the run.
+//! hex-dumps a region of global memory after the run. `--trace-out`
+//! streams every engine hook-point event (instruction retired, memory
+//! access, barrier, branch, fault, DUE) as JSON lines to FILE; the run
+//! always ends with one machine-readable `{"report":"sass-run",...}`
+//! line on stdout.
+
+use std::io::Write as _;
 
 use gpu_arch::{asm, DeviceModel, LaunchConfig};
-use gpu_sim::{run, ExecStatus, GlobalMemory, RunOptions};
+use gpu_sim::{run_with_sink, ExecStatus, GlobalMemory, RunOptions};
+use obs::{JsonlTraceSink, RunReport, TraceSink};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +50,7 @@ fn main() {
     let mut params = Vec::new();
     let mut dump: Option<(u32, u32)> = None;
     let mut trace = 0usize;
+    let mut trace_out: Option<String> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -77,6 +86,16 @@ fn main() {
                 i += 1;
                 trace = args[i].parse().expect("bad --trace");
             }
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => trace_out = Some(p.clone()),
+                    None => {
+                        eprintln!("--trace-out requires a FILE argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--dump" => {
                 let off = parse_word(&args[i + 1]);
                 let len = parse_word(&args[i + 2]);
@@ -91,17 +110,61 @@ fn main() {
         i += 1;
     }
 
-    println!("kernel `{}`: {} instructions, {} regs/thread, {} B shared", kernel.name, kernel.len(), kernel.regs_per_thread, kernel.shared_bytes);
+    println!(
+        "kernel `{}`: {} instructions, {} regs/thread, {} B shared",
+        kernel.name,
+        kernel.len(),
+        kernel.regs_per_thread,
+        kernel.shared_bytes
+    );
     let launch = LaunchConfig::new(grid, block, params);
     let opts = RunOptions { trace_limit: trace, ..RunOptions::default() };
-    let out = run(&device, &kernel, &launch, GlobalMemory::new(mem_bytes), &opts);
+    let mut sink = trace_out.as_deref().map(|path| {
+        let file = std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        }));
+        JsonlTraceSink::new(file)
+    });
+    let out = run_with_sink(
+        &device,
+        &kernel,
+        &launch,
+        GlobalMemory::new(mem_bytes),
+        &opts,
+        sink.as_mut().map(|s| s as &mut dyn TraceSink),
+    );
+    if let Some(s) = sink {
+        s.into_inner().flush().expect("flush trace file");
+    }
     for line in &out.trace {
         println!("{line}");
     }
     match out.status {
-        ExecStatus::Completed => println!("completed: {} dynamic instructions, {:.0} modeled cycles, IPC {:.2}", out.counts.total, out.timing.cycles, out.timing.ipc),
+        ExecStatus::Completed => println!(
+            "completed: {} dynamic instructions, {:.0} modeled cycles, IPC {:.2}",
+            out.counts.total, out.timing.cycles, out.timing.ipc
+        ),
         ExecStatus::Due(kind) => println!("DUE: {kind}"),
     }
+    let mut report = RunReport::new("sass-run");
+    report
+        .push_str("kernel", &kernel.name)
+        .push_str(
+            "status",
+            match out.status {
+                ExecStatus::Completed => "completed",
+                ExecStatus::Due(kind) => kind.name(),
+            },
+        )
+        .push_uint("instructions", out.counts.total)
+        .push_float("cycles", out.timing.cycles)
+        .push_float("ipc", out.timing.ipc)
+        .push_float("occupancy", out.timing.achieved_occupancy);
+    if let Some(path) = &trace_out {
+        report.push_str("trace_out", path);
+    }
+    println!("{}", report.to_json_line());
     if let Some((off, len)) = dump {
         println!("memory[{off:#x}..{:#x}]:", off + len);
         let raw = out.memory.raw();

@@ -6,7 +6,9 @@
 
 use beam::{expose, BeamConfig, BeamResult};
 use gpu_arch::{Architecture, CodeGen, DeviceModel, MixCategory, Precision};
+use gpu_sim::Target;
 use injector::{measure_avf, AvfResult, CampaignConfig, Injector};
+use obs::{CampaignObserver, MetricsRegistry, MetricsSnapshot, Progress};
 use prediction::{
     characterize_units, compare, memory_footprint, predict, CharacterizeConfig, ComparisonRow,
     PredictOptions, UnitFits,
@@ -75,6 +77,91 @@ pub fn devices() -> (DeviceModel, DeviceModel) {
     (DeviceModel::k40c_sim(), DeviceModel::v100_sim())
 }
 
+// -------------------------------------------------------- observability --
+
+/// One campaign's worth of metrics, labeled for routing into a JSONL
+/// stream (`repro --metrics-out`).
+#[derive(Clone, Debug)]
+pub struct CampaignObservation {
+    /// Campaign label, e.g. `fig4/Kepler/SASSIFI/FMXM`.
+    pub campaign: String,
+    /// Final metrics: outcome tallies, trials/sec, profile gauges.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl CampaignObservation {
+    /// One JSON line: `{"report":"campaign","campaign":...,"metrics":{...}}`.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"report\":\"campaign\",\"campaign\":");
+        obs::json::escape_str(&mut out, &self.campaign);
+        out.push_str(",\"metrics\":");
+        out.push_str(&self.snapshot.to_json_line());
+        out.push('}');
+        out
+    }
+}
+
+/// Observation hooks threaded through the `*_observed` experiment
+/// variants.
+pub struct ObserveCtx<'a> {
+    /// Render stderr progress meters while campaigns run.
+    pub progress: bool,
+    /// Receives one observation per campaign, in execution order.
+    pub observe: &'a mut dyn FnMut(CampaignObservation),
+}
+
+/// Run one AVF campaign; when observed, tally per-trial metrics, tick a
+/// progress meter, append the workload's profile gauges, and emit one
+/// [`CampaignObservation`].
+fn observed_avf<T: Target + Sync + ?Sized>(
+    label: &str,
+    injector_kind: Injector,
+    target: &T,
+    device: &DeviceModel,
+    campaign: &CampaignConfig,
+    ctx: Option<&mut ObserveCtx<'_>>,
+) -> Result<AvfResult, injector::Unsupported> {
+    let Some(ctx) = ctx else {
+        return measure_avf(injector_kind, target, device, campaign);
+    };
+    let metrics = MetricsRegistry::new();
+    let meter = Progress::new(label, campaign.injections as u64, ctx.progress);
+    let observer = CampaignObserver { metrics: Some(&metrics), progress: Some(&meter) };
+    let result = injector::measure_avf_observed(injector_kind, target, device, campaign, observer)?;
+    meter.finish();
+    profile(target, device).export_metrics(&metrics);
+    (ctx.observe)(CampaignObservation {
+        campaign: label.to_string(),
+        snapshot: metrics.snapshot(),
+    });
+    Ok(result)
+}
+
+/// [`observed_avf`]'s beam counterpart.
+fn observed_beam<T: Target + Sync + ?Sized>(
+    label: &str,
+    target: &T,
+    device: &DeviceModel,
+    beam_cfg: &BeamConfig,
+    ctx: Option<&mut ObserveCtx<'_>>,
+) -> BeamResult {
+    let Some(ctx) = ctx else {
+        return expose(target, device, beam_cfg);
+    };
+    let metrics = MetricsRegistry::new();
+    let meter = Progress::new(label, beam_cfg.runs as u64, ctx.progress);
+    let observer = CampaignObserver { metrics: Some(&metrics), progress: Some(&meter) };
+    let result = beam::expose_observed(target, device, beam_cfg, observer);
+    meter.finish();
+    profile(target, device).export_metrics(&metrics);
+    (ctx.observe)(CampaignObservation {
+        campaign: label.to_string(),
+        snapshot: metrics.snapshot(),
+    });
+    result
+}
+
 // ------------------------------------------------------------- Table I --
 
 /// One Table I row.
@@ -96,29 +183,41 @@ pub struct ProfileRow {
 
 /// Regenerate Table I: per-code shared memory, registers, IPC, occupancy.
 pub fn table1(cfg: &HarnessConfig) -> Vec<ProfileRow> {
+    table1_impl(cfg, None)
+}
+
+/// [`table1`] emitting one observation (φ/IPC/occupancy gauges) per code.
+pub fn table1_observed(cfg: &HarnessConfig, ctx: &mut ObserveCtx<'_>) -> Vec<ProfileRow> {
+    table1_impl(cfg, Some(ctx))
+}
+
+fn table1_impl(cfg: &HarnessConfig, mut ctx: Option<&mut ObserveCtx<'_>>) -> Vec<ProfileRow> {
     let (kepler, volta) = devices();
     let mut rows = Vec::new();
-    for w in kepler_suite(CodeGen::Cuda7, cfg.profile_scale) {
-        let p = profile(&w, &kepler);
-        rows.push(ProfileRow {
-            device: "Kepler",
-            name: w.name.clone(),
-            shared: p.shared_bytes,
-            regs: p.regs_per_thread,
-            ipc: p.ipc,
-            occupancy: p.occupancy,
-        });
-    }
-    for w in volta_suite(cfg.profile_scale) {
-        let p = profile(&w, &volta);
-        rows.push(ProfileRow {
-            device: "Volta",
-            name: w.name.clone(),
-            shared: p.shared_bytes,
-            regs: p.regs_per_thread,
-            ipc: p.ipc,
-            occupancy: p.occupancy,
-        });
+    let sets = [
+        ("Kepler", &kepler, kepler_suite(CodeGen::Cuda7, cfg.profile_scale)),
+        ("Volta", &volta, volta_suite(cfg.profile_scale)),
+    ];
+    for (device_label, dm, suite) in sets {
+        for w in suite {
+            let p = profile(&w, dm);
+            if let Some(c) = ctx.as_deref_mut() {
+                let metrics = MetricsRegistry::new();
+                p.export_metrics(&metrics);
+                (c.observe)(CampaignObservation {
+                    campaign: format!("table1/{device_label}/{}", w.name),
+                    snapshot: metrics.snapshot(),
+                });
+            }
+            rows.push(ProfileRow {
+                device: device_label,
+                name: w.name.clone(),
+                shared: p.shared_bytes,
+                regs: p.regs_per_thread,
+                ipc: p.ipc,
+                occupancy: p.occupancy,
+            });
+        }
     }
     rows
 }
@@ -176,19 +275,19 @@ fn fig3_device(
     label: &'static str,
     arch: Architecture,
     cfg: &HarnessConfig,
+    mut ctx: Option<&mut ObserveCtx<'_>>,
 ) -> Vec<Fig3Row> {
     let benches = microbench::suite(arch);
     let mut raws: Vec<(String, BeamResult, Option<f64>)> = Vec::new();
     for mb in &benches {
         let is_rf = mb.name == "RF";
         let beam_cfg = BeamConfig::auto(cfg.bench_beam_runs, !is_rf, cfg.seed);
-        let res = expose(mb, device, &beam_cfg);
+        let obs_label = format!("fig3/{label}/{}", mb.name);
+        let res = observed_beam(&obs_label, mb, device, &beam_cfg, ctx.as_deref_mut());
         let per_mb = if is_rf {
             // Report the register file per megabyte, as the figure does.
-            use gpu_sim::Target;
             let golden = mb.execute_golden(device);
-            let resident_threads =
-                golden.timing.resident_warps * 32.0 * device.sms as f64;
+            let resident_threads = golden.timing.resident_warps * 32.0 * device.sms as f64;
             let bits = mb.kernel.regs_per_thread.max(16) as f64 * 32.0 * resident_threads;
             Some(8_388_608.0 / bits) // bits per megabyte / exposed bits
         } else {
@@ -225,9 +324,18 @@ fn fig3_device(
 
 /// Regenerate Figure 3: micro-benchmark FIT rates, both devices.
 pub fn fig3(cfg: &HarnessConfig) -> Vec<Fig3Row> {
+    fig3_impl(cfg, None)
+}
+
+/// [`fig3`] with per-campaign observation (metrics snapshots, progress).
+pub fn fig3_observed(cfg: &HarnessConfig, ctx: &mut ObserveCtx<'_>) -> Vec<Fig3Row> {
+    fig3_impl(cfg, Some(ctx))
+}
+
+fn fig3_impl(cfg: &HarnessConfig, mut ctx: Option<&mut ObserveCtx<'_>>) -> Vec<Fig3Row> {
     let (kepler, volta) = devices();
-    let mut rows = fig3_device(&kepler, "Kepler", Architecture::Kepler, cfg);
-    rows.extend(fig3_device(&volta, "Volta", Architecture::Volta, cfg));
+    let mut rows = fig3_device(&kepler, "Kepler", Architecture::Kepler, cfg, ctx.as_deref_mut());
+    rows.extend(fig3_device(&volta, "Volta", Architecture::Volta, cfg, ctx));
     rows
 }
 
@@ -288,22 +396,36 @@ fn volta_fig4_set(scale: Scale) -> Vec<Workload> {
 /// on the codegen it supports); on Volta only NVBitFI. SASSIFI rows are
 /// absent for proprietary-library codes, as on real hardware.
 pub fn fig4(cfg: &HarnessConfig) -> Vec<AvfRow> {
+    fig4_impl(cfg, None)
+}
+
+/// [`fig4`] with per-campaign observation (metrics snapshots, progress).
+pub fn fig4_observed(cfg: &HarnessConfig, ctx: &mut ObserveCtx<'_>) -> Vec<AvfRow> {
+    fig4_impl(cfg, Some(ctx))
+}
+
+fn fig4_impl(cfg: &HarnessConfig, mut ctx: Option<&mut ObserveCtx<'_>>) -> Vec<AvfRow> {
     let (kepler, volta) = devices();
     let mut rows = Vec::new();
     let campaign = CampaignConfig { injections: cfg.injections, seed: cfg.seed };
 
     for w in kepler_suite(CodeGen::Cuda7, cfg.scale) {
-        if let Ok(r) = measure_avf(Injector::Sassifi, &w, &kepler, &campaign) {
+        let label = format!("fig4/Kepler/SASSIFI/{}", w.name);
+        if let Ok(r) =
+            observed_avf(&label, Injector::Sassifi, &w, &kepler, &campaign, ctx.as_deref_mut())
+        {
             rows.push(AvfRow::from("Kepler", &r));
         }
     }
     for w in kepler_suite(CodeGen::Cuda10, cfg.scale) {
-        let r = measure_avf(Injector::NvBitFi, &w, &kepler, &campaign)
+        let label = format!("fig4/Kepler/NVBitFI/{}", w.name);
+        let r = observed_avf(&label, Injector::NvBitFi, &w, &kepler, &campaign, ctx.as_deref_mut())
             .expect("NVBitFI supports Kepler");
         rows.push(AvfRow::from("Kepler", &r));
     }
     for w in volta_fig4_set(cfg.scale) {
-        let r = measure_avf(Injector::NvBitFi, &w, &volta, &campaign)
+        let label = format!("fig4/Volta/NVBitFI/{}", w.name);
+        let r = observed_avf(&label, Injector::NvBitFi, &w, &volta, &campaign, ctx.as_deref_mut())
             .expect("NVBitFI supports Volta");
         rows.push(AvfRow::from("Volta", &r));
     }
@@ -364,20 +486,23 @@ fn volta_fig5_sets(scale: Scale) -> (Vec<Workload>, Vec<Workload>) {
     .into_iter()
     .map(|(b, p)| build(b, p, CodeGen::Cuda10, scale))
     .collect();
-    let on = [
-        (GemmMma, Half),
-        (GemmMma, Single),
-        (Yolov3, Half),
-        (Yolov3, Single),
-    ]
-    .into_iter()
-    .map(|(b, p)| build(b, p, CodeGen::Cuda10, scale))
-    .collect();
+    let on = [(GemmMma, Half), (GemmMma, Single), (Yolov3, Half), (Yolov3, Single)]
+        .into_iter()
+        .map(|(b, p)| build(b, p, CodeGen::Cuda10, scale))
+        .collect();
     (off, on)
 }
 
-fn beam_row(device: &'static str, w: &Workload, dm: &DeviceModel, ecc: bool, cfg: &HarnessConfig) -> BeamRow {
-    let res = expose(w, dm, &BeamConfig::auto(cfg.beam_runs, ecc, cfg.seed));
+fn beam_row(
+    device: &'static str,
+    w: &Workload,
+    dm: &DeviceModel,
+    ecc: bool,
+    cfg: &HarnessConfig,
+    ctx: Option<&mut ObserveCtx<'_>>,
+) -> BeamRow {
+    let label = format!("fig5/{device}/ecc-{}/{}", if ecc { "on" } else { "off" }, w.name);
+    let res = observed_beam(&label, w, dm, &BeamConfig::auto(cfg.beam_runs, ecc, cfg.seed), ctx);
     BeamRow {
         device,
         name: w.name.clone(),
@@ -391,20 +516,29 @@ fn beam_row(device: &'static str, w: &Workload, dm: &DeviceModel, ecc: bool, cfg
 
 /// Regenerate Figure 5: workload beam FIT rates, ECC off and on.
 pub fn fig5(cfg: &HarnessConfig) -> Vec<BeamRow> {
+    fig5_impl(cfg, None)
+}
+
+/// [`fig5`] with per-campaign observation (metrics snapshots, progress).
+pub fn fig5_observed(cfg: &HarnessConfig, ctx: &mut ObserveCtx<'_>) -> Vec<BeamRow> {
+    fig5_impl(cfg, Some(ctx))
+}
+
+fn fig5_impl(cfg: &HarnessConfig, mut ctx: Option<&mut ObserveCtx<'_>>) -> Vec<BeamRow> {
     let (kepler, volta) = devices();
     let mut rows = Vec::new();
     for w in kepler_ecc_off_set(cfg.scale) {
-        rows.push(beam_row("Kepler", &w, &kepler, false, cfg));
+        rows.push(beam_row("Kepler", &w, &kepler, false, cfg, ctx.as_deref_mut()));
     }
     for w in kepler_suite(CodeGen::Cuda10, cfg.scale) {
-        rows.push(beam_row("Kepler", &w, &kepler, true, cfg));
+        rows.push(beam_row("Kepler", &w, &kepler, true, cfg, ctx.as_deref_mut()));
     }
     let (off, on) = volta_fig5_sets(cfg.scale);
     for w in off {
-        rows.push(beam_row("Volta", &w, &volta, false, cfg));
+        rows.push(beam_row("Volta", &w, &volta, false, cfg, ctx.as_deref_mut()));
     }
     for w in on {
-        rows.push(beam_row("Volta", &w, &volta, true, cfg));
+        rows.push(beam_row("Volta", &w, &volta, true, cfg, ctx.as_deref_mut()));
     }
     rows
 }
@@ -452,8 +586,7 @@ impl ComparisonSet {
 
     /// Fraction of predictions within `factor`x of the measurement.
     pub fn within_factor(&self, factor: f64) -> f64 {
-        let all: Vec<&Fig6Row> =
-            self.rows.iter().filter(|r| r.row.sdc_ratio.is_finite()).collect();
+        let all: Vec<&Fig6Row> = self.rows.iter().filter(|r| r.row.sdc_ratio.is_finite()).collect();
         if all.is_empty() {
             return f64::NAN;
         }
@@ -565,10 +698,8 @@ pub fn fig6(cfg: &HarnessConfig) -> ComparisonSet {
     let mut rows = Vec::new();
 
     // Kepler, both ECC states. The beam runs the CUDA 10 build.
-    let kepler_sets: [(bool, Vec<Workload>); 2] = [
-        (false, kepler_ecc_off_set(cfg.scale)),
-        (true, kepler_suite(CodeGen::Cuda10, cfg.scale)),
-    ];
+    let kepler_sets: [(bool, Vec<Workload>); 2] =
+        [(false, kepler_ecc_off_set(cfg.scale)), (true, kepler_suite(CodeGen::Cuda10, cfg.scale))];
     for (ecc, set) in kepler_sets {
         for w in &set {
             let prof = profile(w, &kepler);
@@ -684,7 +815,6 @@ pub fn codegen_comparison(cfg: &HarnessConfig) -> Vec<CodegenRow> {
         let w10 = build(bench, precision, CodeGen::Cuda10, cfg.scale);
         let a7 = measure_avf(Injector::NvBitFi, &w7, &kepler, &campaign).unwrap();
         let a10 = measure_avf(Injector::NvBitFi, &w10, &kepler, &campaign).unwrap();
-        use gpu_sim::Target;
         let g7 = w7.execute_golden(&kepler);
         let g10 = w10.execute_golden(&kepler);
         rows.push(CodegenRow {

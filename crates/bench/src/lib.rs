@@ -9,7 +9,8 @@ pub mod experiments;
 pub mod render;
 
 pub use experiments::{
-    avf_breakdown, codegen_comparison, convergence, due_analysis, fig1, fig3, fig4, fig5, fig6, table1,
-    AvfRow, BeamRow, BreakdownRow, CodegenRow, ComparisonSet, ConvergenceRow, Fig3Row, HarnessConfig,
-    MixRow, ProfileRow,
+    avf_breakdown, codegen_comparison, convergence, due_analysis, fig1, fig3, fig3_observed, fig4,
+    fig4_observed, fig5, fig5_observed, fig6, table1, table1_observed, AvfRow, BeamRow,
+    BreakdownRow, CampaignObservation, CodegenRow, ComparisonSet, ConvergenceRow, Fig3Row,
+    HarnessConfig, MixRow, ObserveCtx, ProfileRow,
 };

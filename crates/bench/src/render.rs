@@ -1,9 +1,7 @@
 //! Textual rendering of the experiment results: the same rows/series the
 //! paper's tables and figures report.
 
-use crate::experiments::{
-    AvfRow, BeamRow, ComparisonSet, DueSummary, Fig3Row, MixRow, ProfileRow,
-};
+use crate::experiments::{AvfRow, BeamRow, ComparisonSet, DueSummary, Fig3Row, MixRow, ProfileRow};
 use gpu_arch::MixCategory;
 use injector::Injector;
 use std::fmt::Write;
@@ -61,11 +59,8 @@ pub fn fig3(rows: &[Fig3Row]) -> String {
         "Figure 3: Micro-benchmark FIT rates [a.u.], normalized to FADD DUE (Kepler) / HFMA DUE (Volta)"
     );
     let _ = writeln!(out, "{:-<64}", "");
-    let _ = writeln!(
-        out,
-        "{:<8} {:<8} {:>12} {:>12}",
-        "Device", "Bench", "SDC [a.u.]", "DUE [a.u.]"
-    );
+    let _ =
+        writeln!(out, "{:<8} {:<8} {:>12} {:>12}", "Device", "Bench", "SDC [a.u.]", "DUE [a.u.]");
     for r in rows {
         let _ = writeln!(
             out,
@@ -145,10 +140,7 @@ pub fn fig6(set: &ComparisonSet) -> String {
         out,
         "Figure 6: SDC FIT, beam-measured vs fault-injection prediction (signed ratio)"
     );
-    let _ = writeln!(
-        out,
-        "  (positive: beam higher; negative: prediction higher; |1| = perfect)"
-    );
+    let _ = writeln!(out, "  (positive: beam higher; negative: prediction higher; |1| = perfect)");
     let _ = writeln!(out, "{:-<80}", "");
     let _ = writeln!(
         out,
@@ -250,7 +242,14 @@ pub fn convergence(rows: &[crate::experiments::ConvergenceRow]) -> String {
     let _ = writeln!(out, "{:>10} {:>10} {:>12}", "inject", "SDC AVF", "CI width");
     for r in rows {
         let mark = if r.ci_width < 0.05 { "  <- under 5%" } else { "" };
-        let _ = writeln!(out, "{:>10} {:>10.3} {:>11.3}%{}", r.injections, r.sdc_avf, r.ci_width * 100.0, mark);
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10.3} {:>11.3}%{}",
+            r.injections,
+            r.sdc_avf,
+            r.ci_width * 100.0,
+            mark
+        );
     }
     let _ = writeln!(
         out,

@@ -66,9 +66,7 @@ fn fig4_respects_injector_capabilities() {
         .iter()
         .any(|r| r.injector == injector::Injector::Sassifi && r.name.contains("YOLO")));
     // No SASSIFI rows on Volta at all.
-    assert!(!rows
-        .iter()
-        .any(|r| r.device == "Volta" && r.injector == injector::Injector::Sassifi));
+    assert!(!rows.iter().any(|r| r.device == "Volta" && r.injector == injector::Injector::Sassifi));
     for r in &rows {
         let s = r.sdc + r.due + r.masked;
         assert!((s - 1.0).abs() < 1e-9, "{}: {s}", r.name);

@@ -76,13 +76,15 @@ pub fn assemble(source: &str) -> Result<Kernel, AsmError> {
             match parts.next() {
                 Some("kernel") => {
                     name = Some(
-                        parts.next().ok_or_else(|| err(line_num, ".kernel needs a name"))?.to_string(),
+                        parts
+                            .next()
+                            .ok_or_else(|| err(line_num, ".kernel needs a name"))?
+                            .to_string(),
                     );
                 }
                 Some("regs") => {
                     let v = parts.next().ok_or_else(|| err(line_num, ".regs needs a count"))?;
-                    regs_override =
-                        Some(v.parse().map_err(|_| err(line_num, "bad .regs count"))?);
+                    regs_override = Some(v.parse().map_err(|_| err(line_num, "bad .regs count"))?);
                 }
                 Some("shared") => {
                     let v = parts.next().ok_or_else(|| err(line_num, ".shared needs bytes"))?;
@@ -117,8 +119,7 @@ pub fn assemble(source: &str) -> Result<Kernel, AsmError> {
         instrs[at as usize].target = Some(target);
     }
 
-    let mut kernel =
-        Kernel { name, instrs, regs_per_thread: 0, shared_bytes: shared, proprietary };
+    let mut kernel = Kernel { name, instrs, regs_per_thread: 0, shared_bytes: shared, proprietary };
     kernel.regs_per_thread = regs_override.unwrap_or_else(|| kernel.max_reg_used());
     kernel.validate()?;
     Ok(kernel)
@@ -163,11 +164,8 @@ fn parse_instr(line: &str, line_num: usize) -> Result<(Instr, Option<String>), A
 
     let (mnemonic, operand_text) = split_token(rest);
     let op = parse_mnemonic(mnemonic, line_num)?;
-    let tokens: Vec<&str> = operand_text
-        .split(',')
-        .map(str::trim)
-        .filter(|t| !t.is_empty())
-        .collect();
+    let tokens: Vec<&str> =
+        operand_text.split(',').map(str::trim).filter(|t| !t.is_empty()).collect();
 
     let mut instr = Instr::new(op);
     instr.guard = guard;
@@ -176,9 +174,8 @@ fn parse_instr(line: &str, line_num: usize) -> Result<(Instr, Option<String>), A
     let mut token_iter = tokens.into_iter().peekable();
 
     if op.writes_pred() {
-        let t = token_iter
-            .next()
-            .ok_or_else(|| err(line_num, "SETP needs a predicate destination"))?;
+        let t =
+            token_iter.next().ok_or_else(|| err(line_num, "SETP needs a predicate destination"))?;
         instr.pdst = Some(parse_pred(t, line_num)?);
     } else if !op.has_no_dst() {
         let t = token_iter.next().ok_or_else(|| err(line_num, "missing destination"))?;
@@ -521,10 +518,8 @@ mod tests {
 
     #[test]
     fn comment_styles_are_stripped() {
-        let k = assemble(
-            ".kernel c\n  NOP // trailing\n  NOP ; semicolon\n  /*0001*/ NOP\n  EXIT",
-        )
-        .unwrap();
+        let k = assemble(".kernel c\n  NOP // trailing\n  NOP ; semicolon\n  /*0001*/ NOP\n  EXIT")
+            .unwrap();
         assert_eq!(k.len(), 4);
     }
 }

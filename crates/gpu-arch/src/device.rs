@@ -206,11 +206,8 @@ impl DeviceModel {
         }
         let regs = regs_per_thread.max(16) as u32; // HW allocates >= 16
         let blocks_by_regs = self.regs_per_sm() / (regs * threads_per_block).max(1);
-        let blocks_by_shared = if shared_per_block == 0 {
-            u32::MAX
-        } else {
-            self.shared_bytes_per_sm / shared_per_block
-        };
+        let blocks_by_shared =
+            self.shared_bytes_per_sm.checked_div(shared_per_block).unwrap_or(u32::MAX);
         let blocks_by_threads = self.max_threads_per_sm / threads_per_block;
         blocks_by_regs.min(blocks_by_shared).min(blocks_by_threads)
     }
@@ -221,8 +218,14 @@ impl DeviceModel {
     /// This is the *static* occupancy bound; the simulator reports
     /// *achieved* occupancy, which is additionally bounded by the grid
     /// having enough blocks to fill all SMs.
-    pub fn occupancy_bound(&self, regs_per_thread: u16, shared_per_block: u32, threads_per_block: u32) -> f64 {
-        let blocks = self.resident_blocks_per_sm(regs_per_thread, shared_per_block, threads_per_block);
+    pub fn occupancy_bound(
+        &self,
+        regs_per_thread: u16,
+        shared_per_block: u32,
+        threads_per_block: u32,
+    ) -> f64 {
+        let blocks =
+            self.resident_blocks_per_sm(regs_per_thread, shared_per_block, threads_per_block);
         let warps = (blocks * threads_per_block).div_ceil(WARP_SIZE).min(self.max_warps_per_sm);
         warps as f64 / self.max_warps_per_sm as f64
     }
@@ -270,7 +273,10 @@ mod tests {
 
     #[test]
     fn kepler_is_more_sensitive_per_bit() {
-        assert!(DeviceModel::k40c().sram_bit_sensitivity > 5.0 * DeviceModel::v100().sram_bit_sensitivity);
+        assert!(
+            DeviceModel::k40c().sram_bit_sensitivity
+                > 5.0 * DeviceModel::v100().sram_bit_sensitivity
+        );
     }
 
     #[test]

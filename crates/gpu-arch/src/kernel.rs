@@ -575,7 +575,13 @@ impl KernelBuilder {
 
     /// Warp shuffle: `dst = src` value of the lane selected by
     /// `(mode, lane_sel)`.
-    pub fn shfl(&mut self, mode: crate::op::ShflMode, dst: Reg, src: Reg, lane_sel: Operand) -> &mut Self {
+    pub fn shfl(
+        &mut self,
+        mode: crate::op::ShflMode,
+        dst: Reg,
+        src: Reg,
+        lane_sel: Operand,
+    ) -> &mut Self {
         self.emit3(Op::Shfl(mode), dst, src.into(), lane_sel, Operand::None)
     }
 

@@ -293,6 +293,28 @@ impl FunctionalUnit {
     /// Number of distinct unit kinds (for dense count arrays).
     pub const COUNT: usize = 16;
 
+    /// Static display name (also usable as a metric/trace label).
+    pub fn name(self) -> &'static str {
+        match self {
+            FunctionalUnit::Fadd => "FADD",
+            FunctionalUnit::Fmul => "FMUL",
+            FunctionalUnit::Ffma => "FFMA",
+            FunctionalUnit::Dadd => "DADD",
+            FunctionalUnit::Dmul => "DMUL",
+            FunctionalUnit::Dfma => "DFMA",
+            FunctionalUnit::Hadd => "HADD",
+            FunctionalUnit::Hmul => "HMUL",
+            FunctionalUnit::Hfma => "HFMA",
+            FunctionalUnit::Iadd => "IADD",
+            FunctionalUnit::Imul => "IMUL",
+            FunctionalUnit::Imad => "IMAD",
+            FunctionalUnit::Hmma => "HMMA",
+            FunctionalUnit::Fmma => "FMMA",
+            FunctionalUnit::Ldst => "LDST",
+            FunctionalUnit::Other => "OTHER",
+        }
+    }
+
     /// Dense index in `0..COUNT` for array-backed counters.
     pub fn index(self) -> usize {
         match self {
@@ -361,25 +383,7 @@ impl FunctionalUnit {
 
 impl fmt::Display for FunctionalUnit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            FunctionalUnit::Fadd => "FADD",
-            FunctionalUnit::Fmul => "FMUL",
-            FunctionalUnit::Ffma => "FFMA",
-            FunctionalUnit::Dadd => "DADD",
-            FunctionalUnit::Dmul => "DMUL",
-            FunctionalUnit::Dfma => "DFMA",
-            FunctionalUnit::Hadd => "HADD",
-            FunctionalUnit::Hmul => "HMUL",
-            FunctionalUnit::Hfma => "HFMA",
-            FunctionalUnit::Iadd => "IADD",
-            FunctionalUnit::Imul => "IMUL",
-            FunctionalUnit::Imad => "IMAD",
-            FunctionalUnit::Hmma => "HMMA",
-            FunctionalUnit::Fmma => "FMMA",
-            FunctionalUnit::Ldst => "LDST",
-            FunctionalUnit::Other => "OTHER",
-        };
-        write!(f, "{name}")
+        write!(f, "{}", self.name())
     }
 }
 
@@ -459,8 +463,16 @@ impl Op {
             Op::Hadd => FunctionalUnit::Hadd,
             Op::Hmul => FunctionalUnit::Hmul,
             Op::Hfma => FunctionalUnit::Hfma,
-            Op::Iadd | Op::Imin | Op::Imax | Op::Shl | Op::Shr | Op::Asr | Op::And | Op::Or
-            | Op::Xor | Op::Not => FunctionalUnit::Iadd,
+            Op::Iadd
+            | Op::Imin
+            | Op::Imax
+            | Op::Shl
+            | Op::Shr
+            | Op::Asr
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Not => FunctionalUnit::Iadd,
             Op::Imul => FunctionalUnit::Imul,
             Op::Imad => FunctionalUnit::Imad,
             Op::Hmma => FunctionalUnit::Hmma,
@@ -478,8 +490,18 @@ impl Op {
             Op::Ffma | Op::Dfma | Op::Hfma => MixCategory::Fma,
             Op::Fmul | Op::Dmul | Op::Hmul => MixCategory::Mul,
             Op::Fadd | Op::Dadd | Op::Hadd | Op::Fmin | Op::Fmax => MixCategory::Add,
-            Op::Iadd | Op::Imul | Op::Imad | Op::Imin | Op::Imax | Op::Shl | Op::Shr
-            | Op::Asr | Op::And | Op::Or | Op::Xor | Op::Not => MixCategory::Int,
+            Op::Iadd
+            | Op::Imul
+            | Op::Imad
+            | Op::Imin
+            | Op::Imax
+            | Op::Shl
+            | Op::Shr
+            | Op::Asr
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Not => MixCategory::Int,
             Op::Hmma | Op::Fmma => MixCategory::Mma,
             Op::Ldg(_) | Op::Stg(_) | Op::Lds(_) | Op::Sts(_) | Op::AtomGAdd | Op::AtomSAdd => {
                 MixCategory::Ldst
@@ -533,8 +555,16 @@ impl Op {
             Op::Fadd | Op::Fmul | Op::Ffma | Op::Fmin | Op::Fmax => 6,
             Op::Hadd | Op::Hmul | Op::Hfma => 6,
             Op::Dadd | Op::Dmul | Op::Dfma => 10,
-            Op::Iadd | Op::Imin | Op::Imax | Op::And | Op::Or | Op::Xor | Op::Not | Op::Shl
-            | Op::Shr | Op::Asr => 6,
+            Op::Iadd
+            | Op::Imin
+            | Op::Imax
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Not
+            | Op::Shl
+            | Op::Shr
+            | Op::Asr => 6,
             Op::Imul | Op::Imad => 6,
             Op::Fsetp(_) | Op::Dsetp(_) | Op::Hsetp(_) | Op::Isetp(_) => 6,
             Op::F2i | Op::I2f | Op::F2d | Op::D2f | Op::F2h | Op::H2f => 8,
@@ -548,6 +578,67 @@ impl Op {
             Op::Shfl(_) => 8,
             Op::Hmma | Op::Fmma => 16,
             Op::Bra | Op::Bar | Op::Exit | Op::Nop => 4,
+        }
+    }
+
+    /// Base mnemonic without parameter suffixes — a `&'static str`, so
+    /// trace events can carry it without allocating.
+    pub fn base_name(self) -> &'static str {
+        match self {
+            Op::Fadd => "FADD",
+            Op::Fmul => "FMUL",
+            Op::Ffma => "FFMA",
+            Op::Fmin => "FMIN",
+            Op::Fmax => "FMAX",
+            Op::Fsetp(_) => "FSETP",
+            Op::F2i => "F2I",
+            Op::I2f => "I2F",
+            Op::F2d => "F2D",
+            Op::D2f => "D2F",
+            Op::F2h => "F2H",
+            Op::H2f => "H2F",
+            Op::Frcp => "FRCP",
+            Op::Fsqrt => "FSQRT",
+            Op::Drcp => "DRCP",
+            Op::Dsqrt => "DSQRT",
+            Op::Dadd => "DADD",
+            Op::Dmul => "DMUL",
+            Op::Dfma => "DFMA",
+            Op::Dsetp(_) => "DSETP",
+            Op::Hadd => "HADD",
+            Op::Hmul => "HMUL",
+            Op::Hfma => "HFMA",
+            Op::Hsetp(_) => "HSETP",
+            Op::Iadd => "IADD",
+            Op::Imul => "IMUL",
+            Op::Imad => "IMAD",
+            Op::Isetp(_) => "ISETP",
+            Op::Imin => "IMIN",
+            Op::Imax => "IMAX",
+            Op::Shl => "SHL",
+            Op::Shr => "SHR",
+            Op::Asr => "ASR",
+            Op::And => "AND",
+            Op::Or => "OR",
+            Op::Xor => "XOR",
+            Op::Not => "NOT",
+            Op::Mov => "MOV",
+            Op::Sel => "SEL",
+            Op::S2r(_) => "S2R",
+            Op::Ldp => "LDP",
+            Op::Ldg(_) => "LDG",
+            Op::Stg(_) => "STG",
+            Op::Lds(_) => "LDS",
+            Op::Sts(_) => "STS",
+            Op::Shfl(_) => "SHFL",
+            Op::AtomGAdd => "ATOMG.ADD",
+            Op::AtomSAdd => "ATOMS.ADD",
+            Op::Hmma => "HMMA",
+            Op::Fmma => "FMMA",
+            Op::Bra => "BRA",
+            Op::Bar => "BAR.SYNC",
+            Op::Exit => "EXIT",
+            Op::Nop => "NOP",
         }
     }
 

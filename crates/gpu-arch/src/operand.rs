@@ -29,7 +29,7 @@ impl Reg {
     /// odd partner still a real register).
     #[inline]
     pub fn is_pair_aligned(self) -> bool {
-        self.0 % 2 == 0 && self.0 < 254
+        self.0.is_multiple_of(2) && self.0 < 254
     }
 }
 

@@ -13,10 +13,7 @@ fn even_reg_strategy() -> impl Strategy<Value = Reg> {
 }
 
 fn operand_strategy() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        reg_strategy().prop_map(Operand::Reg),
-        any::<u32>().prop_map(Operand::Imm),
-    ]
+    prop_oneof![reg_strategy().prop_map(Operand::Reg), any::<u32>().prop_map(Operand::Imm),]
 }
 
 fn even_operand_strategy() -> impl Strategy<Value = Operand> {
@@ -68,23 +65,47 @@ fn instr_strategy() -> impl Strategy<Value = Gen> {
             .prop_map(|(d, a, b)| Gen::Iadd(d, a, b)),
         ((0u8..7).prop_map(Pred), cmp_strategy(), operand_strategy(), operand_strategy())
             .prop_map(|(p, c, a, b)| Gen::Isetp(p, c, a, b)),
-        (reg_strategy(), operand_strategy(), operand_strategy(), (0u8..7).prop_map(Pred), any::<bool>())
+        (
+            reg_strategy(),
+            operand_strategy(),
+            operand_strategy(),
+            (0u8..7).prop_map(Pred),
+            any::<bool>()
+        )
             .prop_map(|(d, a, b, p, n)| Gen::Sel(d, a, b, p, n)),
         (reg_strategy(), operand_strategy()).prop_map(|(d, a)| Gen::Mov(d, a)),
-        (reg_strategy(), prop_oneof![
-            Just(SpecialReg::TidX), Just(SpecialReg::CtaidX), Just(SpecialReg::LaneId)
-        ]).prop_map(|(d, s)| Gen::S2r(d, s)),
-        (prop_oneof![Just(MemWidth::W16), Just(MemWidth::W32), Just(MemWidth::W64)],
-            even_reg_strategy(), reg_strategy(), 0u32..4096)
+        (
+            reg_strategy(),
+            prop_oneof![Just(SpecialReg::TidX), Just(SpecialReg::CtaidX), Just(SpecialReg::LaneId)]
+        )
+            .prop_map(|(d, s)| Gen::S2r(d, s)),
+        (
+            prop_oneof![Just(MemWidth::W16), Just(MemWidth::W32), Just(MemWidth::W64)],
+            even_reg_strategy(),
+            reg_strategy(),
+            0u32..4096
+        )
             .prop_map(|(w, d, b, o)| Gen::Ldg(w, d, b, o)),
-        (prop_oneof![Just(MemWidth::W16), Just(MemWidth::W32), Just(MemWidth::W64)],
-            reg_strategy(), 0u32..4096, even_reg_strategy())
+        (
+            prop_oneof![Just(MemWidth::W16), Just(MemWidth::W32), Just(MemWidth::W64)],
+            reg_strategy(),
+            0u32..4096,
+            even_reg_strategy()
+        )
             .prop_map(|(w, b, o, v)| Gen::Stg(w, b, o, v)),
         (reg_strategy(), operand_strategy(), operand_strategy())
             .prop_map(|(d, a, b)| Gen::Shl(d, a, b)),
-        (prop_oneof![
-            Just(ShflMode::Idx), Just(ShflMode::Up), Just(ShflMode::Down), Just(ShflMode::Bfly)
-        ], reg_strategy(), reg_strategy(), operand_strategy())
+        (
+            prop_oneof![
+                Just(ShflMode::Idx),
+                Just(ShflMode::Up),
+                Just(ShflMode::Down),
+                Just(ShflMode::Bfly)
+            ],
+            reg_strategy(),
+            reg_strategy(),
+            operand_strategy()
+        )
             .prop_map(|(m, d, s, l)| Gen::Shfl(m, d, s, l)),
         (reg_strategy(), reg_strategy(), 0u32..4096, reg_strategy())
             .prop_map(|(d, b, o, v)| Gen::AtomG(d, b, o, v)),

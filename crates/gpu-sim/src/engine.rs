@@ -14,7 +14,21 @@ use gpu_arch::{
     CmpOp, DeviceModel, FunctionalUnit, Instr, Kernel, LaunchConfig, MemWidth, MixCategory, Op,
     Operand, Reg, SpecialReg, WARP_SIZE,
 };
+use obs::{MemSpace, TraceEvent, TraceSink};
 use softfloat::F16;
+
+/// Forward an event to the installed sink, if any. Event construction
+/// happens inside the branch, so with no sink each hook point costs one
+/// `Option` check and nothing else — the zero-cost-when-disabled contract
+/// the overhead benchmark (`bench/benches/obs_overhead.rs`) verifies.
+macro_rules! emit {
+    ($ctx:expr, $ev:expr) => {
+        if let Some(sink) = $ctx.sink.as_deref_mut() {
+            let ev = $ev;
+            sink.event(&ev);
+        }
+    };
+}
 
 /// Options controlling a single execution.
 #[derive(Clone, Debug)]
@@ -35,12 +49,7 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions {
-            ecc: true,
-            fault: FaultPlan::None,
-            watchdog_limit: u64::MAX,
-            trace_limit: 0,
-        }
+        RunOptions { ecc: true, fault: FaultPlan::None, watchdog_limit: u64::MAX, trace_limit: 0 }
     }
 }
 
@@ -167,8 +176,7 @@ impl Thread {
         if r.is_rz() {
             0
         } else {
-            (self.regs[r.0 as usize] as u64)
-                | ((self.regs[r.0 as usize + 1] as u64) << 32)
+            (self.regs[r.0 as usize] as u64) | ((self.regs[r.0 as usize + 1] as u64) << 32)
         }
     }
 
@@ -217,6 +225,7 @@ struct Ctx<'a> {
     fault_triggered: bool,
     current_block: u32,
     trace: Vec<String>,
+    sink: Option<&'a mut (dyn TraceSink + 'a)>,
 }
 
 /// Execute `kernel` on `device` with the given launch, memory image and
@@ -231,6 +240,25 @@ pub fn run(
     launch: &LaunchConfig,
     memory: GlobalMemory,
     opts: &RunOptions,
+) -> Executed {
+    run_with_sink(device, kernel, launch, memory, opts, None)
+}
+
+/// [`run`] with an optional trace sink receiving the engine's hook-point
+/// events (instruction retired, memory access, fault injected, DUE
+/// raised, barrier and branch events).
+///
+/// Event `idx` fields carry the global dynamic instruction number — the
+/// coordinate system [`FaultPlan`] sites use — so traces align with
+/// injection plans. Event content is a pure function of the run: two
+/// identical invocations produce identical event streams.
+pub fn run_with_sink<'a>(
+    device: &DeviceModel,
+    kernel: &'a Kernel,
+    launch: &'a LaunchConfig,
+    memory: GlobalMemory,
+    opts: &'a RunOptions,
+    sink: Option<&'a mut (dyn TraceSink + 'a)>,
 ) -> Executed {
     assert!(launch.total_threads() > 0, "empty launch");
     kernel.validate().expect("invalid kernel");
@@ -254,6 +282,7 @@ pub fn run(
         fault_triggered: false,
         current_block: 0,
         trace: Vec::new(),
+        sink,
     };
 
     let mut status = ExecStatus::Completed;
@@ -274,6 +303,10 @@ pub fn run(
     // End-of-kernel ECC sweep over memory that was struck but never read.
     if status == ExecStatus::Completed && ctx.global.scrub(opts.ecc) {
         status = ExecStatus::Due(DueKind::EccDoubleBit);
+    }
+
+    if let ExecStatus::Due(kind) = status {
+        emit!(ctx, TraceEvent::DueRaised { idx: ctx.dyn_count, kind: kind.name() });
     }
 
     let timing = timing::analyze(device, kernel, launch, &ctx.counts);
@@ -328,10 +361,10 @@ fn run_block(ctx: &mut Ctx<'_>, bx: u32, by: u32, block_linear: u32) -> Result<(
                     // Warp-synchronous: every non-exited lane must sit at
                     // this pc. Stall this lane until they do.
                     let mut aligned = true;
-                    for l in lo..hi {
-                        match threads[l].state {
+                    for t in &threads[lo..hi] {
+                        match t.state {
                             TState::Running => {
-                                if threads[l].pc != pc {
+                                if t.pc != pc {
                                     aligned = false;
                                 }
                             }
@@ -372,10 +405,22 @@ fn run_block(ctx: &mut Ctx<'_>, bx: u32, by: u32, block_linear: u32) -> Result<(
             .filter(|t| t.state != TState::Exited)
             .all(|t| t.state == TState::AtBarrier);
         if live_waiting {
+            let mut released: u32 = 0;
             for t in threads.iter_mut() {
                 if t.state == TState::AtBarrier {
                     t.state = TState::Running;
+                    released += 1;
                 }
+            }
+            if released > 0 {
+                emit!(
+                    ctx,
+                    TraceEvent::BarrierRelease {
+                        idx: ctx.dyn_count,
+                        block: block_linear,
+                        lanes: released,
+                    }
+                );
             }
             progress = true;
         }
@@ -383,7 +428,6 @@ fn run_block(ctx: &mut Ctx<'_>, bx: u32, by: u32, block_linear: u32) -> Result<(
         if !progress {
             return Err(DueKind::BarrierDeadlock);
         }
-
     }
 }
 
@@ -424,6 +468,14 @@ fn apply_timed_faults(
     match ctx.opts.fault {
         FaultPlan::RegisterBit { block, thread, reg, flip, at } if at == executed_idx => {
             ctx.fault_triggered = true;
+            emit!(
+                ctx,
+                TraceEvent::FaultInjected {
+                    idx: executed_idx,
+                    site: ctx.opts.fault.site_label(),
+                    detail: flip.mask,
+                }
+            );
             let tgt_block = if block == u32::MAX { block_linear } else { block };
             if tgt_block != block_linear {
                 return Ok(()); // target block not resident: masked
@@ -442,7 +494,8 @@ fn apply_timed_faults(
                             return Err(DueKind::EccDoubleBit);
                         }
                     } else {
-                        let r = (reg as usize).min(254) % ctx.kernel.regs_per_thread.max(1) as usize;
+                        let r =
+                            (reg as usize).min(254) % ctx.kernel.regs_per_thread.max(1) as usize;
                         th.regs[r] ^= flip.mask as u32;
                     }
                 }
@@ -450,6 +503,14 @@ fn apply_timed_faults(
         }
         FaultPlan::GlobalMemBit { byte, bit, at, mbu } if at == executed_idx => {
             ctx.fault_triggered = true;
+            emit!(
+                ctx,
+                TraceEvent::FaultInjected {
+                    idx: executed_idx,
+                    site: ctx.opts.fault.site_label(),
+                    detail: byte as u64,
+                }
+            );
             ctx.global.strike_bit(byte, bit);
             if mbu {
                 ctx.global.strike_bit(byte, (bit + 1) % 32);
@@ -457,6 +518,14 @@ fn apply_timed_faults(
         }
         FaultPlan::SharedMemBit { block, byte, bit, at, mbu } if at == executed_idx => {
             ctx.fault_triggered = true;
+            emit!(
+                ctx,
+                TraceEvent::FaultInjected {
+                    idx: executed_idx,
+                    site: ctx.opts.fault.site_label(),
+                    detail: byte as u64,
+                }
+            );
             let tgt_block = if block == u32::MAX { block_linear } else { block };
             if tgt_block == block_linear {
                 shared.strike_bit(byte, bit);
@@ -467,6 +536,14 @@ fn apply_timed_faults(
         }
         FaultPlan::Pc { at, flip } if at == executed_idx => {
             ctx.fault_triggered = true;
+            emit!(
+                ctx,
+                TraceEvent::FaultInjected {
+                    idx: executed_idx,
+                    site: ctx.opts.fault.site_label(),
+                    detail: flip.mask,
+                }
+            );
             let th = &mut threads[lane];
             th.pc ^= flip.mask as u32;
             // Validity is checked at the next fetch.
@@ -516,6 +593,17 @@ fn output_fault(ctx: &mut Ctx<'_>, op: Op) -> Option<OutputCorruption> {
         ctx.site_matches += 1;
         if my == nth {
             ctx.fault_triggered = true;
+            emit!(
+                ctx,
+                TraceEvent::FaultInjected {
+                    idx: ctx.dyn_count - 1,
+                    site: ctx.opts.fault.site_label(),
+                    detail: match corruption {
+                        OutputCorruption::Flip(f) => f.mask,
+                        OutputCorruption::Set(v) => v,
+                    },
+                }
+            );
             return Some(corruption);
         }
     }
@@ -529,6 +617,14 @@ fn addr_fault(ctx: &mut Ctx<'_>) -> Option<BitFlip> {
         ctx.mem_ops += 1;
         if my == nth {
             ctx.fault_triggered = true;
+            emit!(
+                ctx,
+                TraceEvent::FaultInjected {
+                    idx: ctx.dyn_count - 1,
+                    site: ctx.opts.fault.site_label(),
+                    detail: flip.mask,
+                }
+            );
             return Some(flip);
         }
     }
@@ -542,6 +638,14 @@ fn pred_fault(ctx: &mut Ctx<'_>) -> bool {
         ctx.setp_ops += 1;
         if my == nth {
             ctx.fault_triggered = true;
+            emit!(
+                ctx,
+                TraceEvent::FaultInjected {
+                    idx: ctx.dyn_count - 1,
+                    site: ctx.opts.fault.site_label(),
+                    detail: 1,
+                }
+            );
             return true;
         }
     }
@@ -570,10 +674,19 @@ fn step(
 
     let executed_idx = account(ctx, ins.op, global_warp)?;
     if ctx.trace.len() < ctx.opts.trace_limit {
-        ctx.trace.push(format!(
-            "[{executed_idx:>6}] b{block_linear} t{lane:<3} /*{pc:04}*/ {ins}"
-        ));
+        ctx.trace.push(format!("[{executed_idx:>6}] b{block_linear} t{lane:<3} /*{pc:04}*/ {ins}"));
     }
+    emit!(
+        ctx,
+        TraceEvent::InstrRetired {
+            idx: executed_idx,
+            block: block_linear,
+            warp: global_warp as u32,
+            lane: lane as u32,
+            pc,
+            op: ins.op.base_name(),
+        }
+    );
 
     // Guard check: a predicated-off instruction issues (and is counted)
     // but has no architectural effect.
@@ -582,6 +695,21 @@ fn step(
         None => true,
     };
     if !guard_passes {
+        if ins.op == Op::Bra {
+            // A guarded-off branch is the engine's divergence signal: the
+            // lane falls through while taken lanes jump.
+            emit!(
+                ctx,
+                TraceEvent::Branch {
+                    idx: executed_idx,
+                    block: block_linear,
+                    warp: global_warp as u32,
+                    lane: lane as u32,
+                    target: ins.target.unwrap_or(pc + 1),
+                    taken: false,
+                }
+            );
+        }
         threads[lane].pc = pc + 1;
         return apply_timed_faults(ctx, threads, lane, block_linear, shared, executed_idx);
     }
@@ -732,6 +860,20 @@ fn step(
                 addr ^= flip.mask as u32;
             }
             let bytes = w.bytes();
+            emit!(
+                ctx,
+                TraceEvent::MemAccess {
+                    idx: executed_idx,
+                    space: if matches!(ins.op, Op::Ldg(_)) {
+                        MemSpace::Global
+                    } else {
+                        MemSpace::Shared
+                    },
+                    write: false,
+                    addr,
+                    bytes,
+                }
+            );
             if addr % bytes != 0 {
                 return Err(if matches!(ins.op, Op::Ldg(_)) {
                     DueKind::MemoryViolation
@@ -740,7 +882,9 @@ fn step(
                 });
             }
             let res = if matches!(ins.op, Op::Ldg(_)) {
-                ctx.global.device_read(addr, bytes, ctx.opts.ecc).map_err(|_| DueKind::MemoryViolation)
+                ctx.global
+                    .device_read(addr, bytes, ctx.opts.ecc)
+                    .map_err(|_| DueKind::MemoryViolation)
             } else {
                 shared.device_read(addr, bytes, ctx.opts.ecc).map_err(|_| DueKind::SharedViolation)
             };
@@ -759,6 +903,20 @@ fn step(
                 addr ^= flip.mask as u32;
             }
             let bytes = w.bytes();
+            emit!(
+                ctx,
+                TraceEvent::MemAccess {
+                    idx: executed_idx,
+                    space: if matches!(ins.op, Op::Stg(_)) {
+                        MemSpace::Global
+                    } else {
+                        MemSpace::Shared
+                    },
+                    write: true,
+                    addr,
+                    bytes,
+                }
+            );
             if addr % bytes != 0 {
                 return Err(if matches!(ins.op, Op::Stg(_)) {
                     DueKind::MemoryViolation
@@ -784,6 +942,16 @@ fn step(
             if let Some(flip) = addr_fault(ctx) {
                 addr ^= flip.mask as u32;
             }
+            emit!(
+                ctx,
+                TraceEvent::MemAccess {
+                    idx: executed_idx,
+                    space: if ins.op == Op::AtomGAdd { MemSpace::Global } else { MemSpace::Shared },
+                    write: true,
+                    addr,
+                    bytes: 4,
+                }
+            );
             if addr % 4 != 0 {
                 return Err(if ins.op == Op::AtomGAdd {
                     DueKind::MemoryViolation
@@ -814,10 +982,30 @@ fn step(
         Op::Hmma | Op::Fmma => unreachable!("MMA handled at warp level"),
         Op::Bra => {
             next_pc = ins.target.expect("validated branch");
+            emit!(
+                ctx,
+                TraceEvent::Branch {
+                    idx: executed_idx,
+                    block: block_linear,
+                    warp: global_warp as u32,
+                    lane: lane as u32,
+                    target: next_pc,
+                    taken: true,
+                }
+            );
             Write::None
         }
         Op::Bar => {
             threads[lane].state = TState::AtBarrier;
+            emit!(
+                ctx,
+                TraceEvent::BarrierArrive {
+                    idx: executed_idx,
+                    block: block_linear,
+                    warp: global_warp as u32,
+                    lane: lane as u32,
+                }
+            );
             Write::None
         }
         Op::Exit => {
@@ -882,6 +1070,17 @@ fn exec_mma(
     if ctx.trace.len() < ctx.opts.trace_limit {
         ctx.trace.push(format!("[{executed_idx:>6}] warp{global_warp:<3} {ins}"));
     }
+    emit!(
+        ctx,
+        TraceEvent::InstrRetired {
+            idx: executed_idx,
+            block: ctx.current_block,
+            warp: global_warp as u32,
+            lane: u32::MAX,
+            pc: threads[lo].pc,
+            op: ins.op.base_name(),
+        }
+    );
     ctx.counts.sites.gpr_writers += 1; // the D-fragment write
 
     let mut a_m = [[0f32; 16]; 16];
@@ -978,6 +1177,17 @@ fn exec_shfl(
     if ctx.trace.len() < ctx.opts.trace_limit {
         ctx.trace.push(format!("[{_idx:>6}] warp{global_warp:<3} {ins}"));
     }
+    emit!(
+        ctx,
+        TraceEvent::InstrRetired {
+            idx: _idx,
+            block: ctx.current_block,
+            warp: global_warp as u32,
+            lane: u32::MAX,
+            pc: threads[lo].pc,
+            op: ins.op.base_name(),
+        }
+    );
     ctx.counts.sites.gpr_writers += 1;
 
     let width = hi - lo;

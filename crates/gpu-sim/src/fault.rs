@@ -68,7 +68,14 @@ impl SiteClass {
             }
             SiteClass::FloatArith => matches!(
                 op,
-                Op::Fadd | Op::Fmul | Op::Ffma | Op::Fmin | Op::Fmax | Op::Dadd | Op::Dmul | Op::Dfma
+                Op::Fadd
+                    | Op::Fmul
+                    | Op::Ffma
+                    | Op::Fmin
+                    | Op::Fmax
+                    | Op::Dadd
+                    | Op::Dmul
+                    | Op::Dfma
             ),
             SiteClass::HalfArith => matches!(op, Op::Hadd | Op::Hmul | Op::Hfma),
             SiteClass::IntArith => matches!(
@@ -91,6 +98,19 @@ impl SiteClass {
         }
     }
 
+    /// Stable metric/trace label for this site class.
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteClass::GprWriter => "gpr-writer",
+            SiteClass::GprWriterNoHalf => "gpr-writer-no-half",
+            SiteClass::FloatArith => "float-arith",
+            SiteClass::HalfArith => "half-arith",
+            SiteClass::IntArith => "int-arith",
+            SiteClass::Load => "load",
+            SiteClass::Unit(u) => u.name(),
+        }
+    }
+
     /// Widest destination this class can corrupt (for bit-position
     /// sampling): 64 for classes containing pair-writing ops.
     pub fn dst_bits(self, op: Op) -> u32 {
@@ -98,7 +118,12 @@ impl SiteClass {
             64
         } else if matches!(
             op,
-            Op::Hadd | Op::Hmul | Op::Hfma | Op::F2h | Op::Ldg(MemWidth::W16) | Op::Lds(MemWidth::W16)
+            Op::Hadd
+                | Op::Hmul
+                | Op::Hfma
+                | Op::F2h
+                | Op::Ldg(MemWidth::W16)
+                | Op::Lds(MemWidth::W16)
         ) {
             16
         } else {
@@ -204,6 +229,22 @@ impl FaultPlan {
     pub fn is_none(&self) -> bool {
         matches!(self, FaultPlan::None)
     }
+
+    /// Stable label for the corrupted-state category this plan targets,
+    /// used by trace events and campaign metric names.
+    pub fn site_label(&self) -> &'static str {
+        match self {
+            FaultPlan::None => "none",
+            FaultPlan::InstructionOutput { site, .. } => site.label(),
+            FaultPlan::InstructionOutputSet { site, .. } => site.label(),
+            FaultPlan::MemAddress { .. } => "mem-address",
+            FaultPlan::PredicateOutput { .. } => "predicate",
+            FaultPlan::Pc { .. } => "pc",
+            FaultPlan::RegisterBit { .. } => "register-file",
+            FaultPlan::GlobalMemBit { .. } => "global-mem",
+            FaultPlan::SharedMemBit { .. } => "shared-mem",
+        }
+    }
 }
 
 /// Why a run terminated as a Detected Unrecoverable Error.
@@ -228,6 +269,32 @@ pub enum DueKind {
     /// resources, which is the paper's explanation for the orders-of-
     /// magnitude DUE underestimation (Section VII-B).
     HiddenResource,
+}
+
+impl DueKind {
+    /// Every DUE kind, in reporting order (for metric pre-registration).
+    pub const ALL: [DueKind; 7] = [
+        DueKind::MemoryViolation,
+        DueKind::SharedViolation,
+        DueKind::IllegalPc,
+        DueKind::Watchdog,
+        DueKind::BarrierDeadlock,
+        DueKind::EccDoubleBit,
+        DueKind::HiddenResource,
+    ];
+
+    /// Stable short identifier used in trace events and metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            DueKind::MemoryViolation => "memory-violation",
+            DueKind::SharedViolation => "shared-violation",
+            DueKind::IllegalPc => "illegal-pc",
+            DueKind::Watchdog => "watchdog",
+            DueKind::BarrierDeadlock => "barrier-deadlock",
+            DueKind::EccDoubleBit => "ecc-double-bit",
+            DueKind::HiddenResource => "hidden-resource",
+        }
+    }
 }
 
 impl fmt::Display for DueKind {

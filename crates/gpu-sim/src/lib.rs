@@ -28,7 +28,7 @@ mod fault;
 mod memory;
 pub mod timing;
 
-pub use engine::{run, Counts, ExecStatus, Executed, RunOptions, SiteCounts};
+pub use engine::{run, run_with_sink, Counts, ExecStatus, Executed, RunOptions, SiteCounts};
 pub use fault::{BitFlip, DueKind, FaultPlan, SiteClass};
 pub use memory::{GlobalMemory, MemoryError, SharedMemory};
 
@@ -59,6 +59,16 @@ pub trait Target {
     /// Execute with explicit options.
     fn execute(&self, device: &gpu_arch::DeviceModel, opts: &RunOptions) -> Executed {
         run(device, self.kernel(), self.launch(), self.fresh_memory(), opts)
+    }
+
+    /// Execute with explicit options, streaming trace events to `sink`.
+    fn execute_traced(
+        &self,
+        device: &gpu_arch::DeviceModel,
+        opts: &RunOptions,
+        sink: &mut dyn obs::TraceSink,
+    ) -> Executed {
+        run_with_sink(device, self.kernel(), self.launch(), self.fresh_memory(), opts, Some(sink))
     }
 
     /// Fault-free execution with default options.

@@ -173,7 +173,8 @@ impl GlobalMemory {
                     // into the backing store (the corrupted word is what the
                     // rest of the program sees from now on).
                     let base = (w * 4) as usize;
-                    let mut stored = u32::from_le_bytes(self.data[base..base + 4].try_into().unwrap());
+                    let mut stored =
+                        u32::from_le_bytes(self.data[base..base + 4].try_into().unwrap());
                     stored ^= mask;
                     self.data[base..base + 4].copy_from_slice(&stored.to_le_bytes());
                     self.corruption.remove(&w);
@@ -228,7 +229,8 @@ impl GlobalMemory {
             for (w, (mask, _)) in corruption {
                 let base = (w * 4) as usize;
                 if base + 4 <= self.data.len() {
-                    let mut stored = u32::from_le_bytes(self.data[base..base + 4].try_into().unwrap());
+                    let mut stored =
+                        u32::from_le_bytes(self.data[base..base + 4].try_into().unwrap());
                     stored ^= mask;
                     self.data[base..base + 4].copy_from_slice(&stored.to_le_bytes());
                 }
@@ -262,7 +264,12 @@ impl SharedMemory {
     }
 
     /// Device read (see [`GlobalMemory::device_read`]).
-    pub fn device_read(&mut self, addr: u32, len: u32, ecc: bool) -> Result<(u64, bool), MemoryError> {
+    pub fn device_read(
+        &mut self,
+        addr: u32,
+        len: u32,
+        ecc: bool,
+    ) -> Result<(u64, bool), MemoryError> {
         self.inner.device_read(addr, len, ecc)
     }
 

@@ -79,8 +79,7 @@ pub fn analyze(
     let avg_resident_warps =
         (total_warps / (device.sms as f64 * waves as f64)).min(resident_warps_full).max(0.0);
 
-    let achieved_occupancy =
-        (avg_resident_warps / device.max_warps_per_sm as f64).clamp(0.0, 1.0);
+    let achieved_occupancy = (avg_resident_warps / device.max_warps_per_sm as f64).clamp(0.0, 1.0);
 
     // Issue-bound cycles: the schedulers cap warp-instruction issue at
     // `issue_width` per cycle, and each unit kind caps throughput at its
@@ -116,21 +115,14 @@ pub fn analyze(
         counts.warp_latency.iter().map(|&l| l as f64).sum::<f64>() / WARP_SIZE as f64;
     // sum / resident = avg_serial x waves: total latency-bound time.
     let resident_total = (avg_resident_warps * device.sms as f64).max(1.0);
-    let latency_cycles =
-        (sum_warp_latency / resident_total).max(max_warp_latency) * ILP_FACTOR;
+    let latency_cycles = (sum_warp_latency / resident_total).max(max_warp_latency) * ILP_FACTOR;
 
     let cycles = issue_cycles.max(latency_cycles).max(1.0);
     // NVPROF's "executed IPC": warp-level instructions per cycle per SM.
     let ipc = warp_instr_total / cycles / device.sms as f64;
     let seconds = cycles / device.clock_hz;
 
-    TimingReport {
-        cycles,
-        ipc,
-        achieved_occupancy,
-        seconds,
-        resident_warps: avg_resident_warps,
-    }
+    TimingReport { cycles, ipc, achieved_occupancy, seconds, resident_warps: avg_resident_warps }
 }
 
 #[cfg(test)]

@@ -4,7 +4,9 @@
 use gpu_arch::{
     CmpOp, DeviceModel, KernelBuilder, LaunchConfig, MemWidth, Operand, Pred, Reg, SpecialReg,
 };
-use gpu_sim::{run, run_golden, BitFlip, DueKind, ExecStatus, FaultPlan, GlobalMemory, RunOptions, SiteClass};
+use gpu_sim::{
+    run, run_golden, BitFlip, DueKind, ExecStatus, FaultPlan, GlobalMemory, RunOptions, SiteClass,
+};
 
 fn r(i: u8) -> Reg {
     Reg(i)

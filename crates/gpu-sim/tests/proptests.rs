@@ -1,7 +1,9 @@
 //! Property-based tests for the execution engine and the ECC memory
 //! model.
 
-use gpu_arch::{CmpOp, DeviceModel, KernelBuilder, LaunchConfig, MemWidth, Operand, Pred, Reg, SpecialReg};
+use gpu_arch::{
+    CmpOp, DeviceModel, KernelBuilder, LaunchConfig, MemWidth, Operand, Pred, Reg, SpecialReg,
+};
 use gpu_sim::{run, run_golden, BitFlip, ExecStatus, FaultPlan, GlobalMemory, RunOptions};
 use proptest::prelude::*;
 

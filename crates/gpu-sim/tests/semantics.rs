@@ -248,11 +248,8 @@ fn special_registers_2d() {
     b.stg(MemWidth::W32, r(13), 0, r(10));
     b.exit();
     let k = b.build().unwrap();
-    let launch = gpu_arch::LaunchConfig::new_2d(
-        gpu_arch::Dim::d2(2, 2),
-        gpu_arch::Dim::d2(4, 2),
-        vec![0],
-    );
+    let launch =
+        gpu_arch::LaunchConfig::new_2d(gpu_arch::Dim::d2(2, 2), gpu_arch::Dim::d2(4, 2), vec![0]);
     let out = run_golden(&DeviceModel::k40c_sim(), &k, &launch, GlobalMemory::new(4 * 32));
     assert_eq!(out.status, ExecStatus::Completed);
     for i in 0..32u32 {
@@ -324,6 +321,11 @@ fn trace_records_requested_prefix() {
     assert_eq!(out.trace.len(), 2);
     assert!(out.trace[0].contains("MOV R0, 0x1"), "{:?}", out.trace);
     // Untraced runs carry no overhead.
-    let silent = run_golden(&DeviceModel::v100_sim(), &k, &LaunchConfig::new(1, 4, vec![]), GlobalMemory::new(4));
+    let silent = run_golden(
+        &DeviceModel::v100_sim(),
+        &k,
+        &LaunchConfig::new(1, 4, vec![]),
+        GlobalMemory::new(4),
+    );
     assert!(silent.trace.is_empty());
 }

@@ -4,7 +4,9 @@ use gpu_arch::{
     CmpOp, DeviceModel, KernelBuilder, LaunchConfig, MemWidth, Operand, Pred, Reg, ShflMode,
     SpecialReg,
 };
-use gpu_sim::{run, run_golden, DueKind, ExecStatus, FaultPlan, GlobalMemory, RunOptions, SiteClass};
+use gpu_sim::{
+    run, run_golden, DueKind, ExecStatus, FaultPlan, GlobalMemory, RunOptions, SiteClass,
+};
 
 fn r(i: u8) -> Reg {
     Reg(i)
@@ -25,7 +27,12 @@ fn shfl_idx_broadcasts_lane_zero() {
     b.stg(MemWidth::W32, r(3), 0, r(2));
     b.exit();
     let k = b.build().unwrap();
-    let out = run_golden(&DeviceModel::v100_sim(), &k, &LaunchConfig::new(1, 32, vec![0]), GlobalMemory::new(128));
+    let out = run_golden(
+        &DeviceModel::v100_sim(),
+        &k,
+        &LaunchConfig::new(1, 32, vec![0]),
+        GlobalMemory::new(128),
+    );
     assert_eq!(out.status, ExecStatus::Completed);
     for lane in 0..32 {
         assert_eq!(out.memory.read_u32_host(4 * lane), 0, "lane {lane}");
@@ -49,7 +56,12 @@ fn shfl_bfly_reduction_sums_warp() {
     b.stg(MemWidth::W32, r(3), 0, r(1));
     b.exit();
     let k = b.build().unwrap();
-    let out = run_golden(&DeviceModel::v100_sim(), &k, &LaunchConfig::new(1, 32, vec![0]), GlobalMemory::new(128));
+    let out = run_golden(
+        &DeviceModel::v100_sim(),
+        &k,
+        &LaunchConfig::new(1, 32, vec![0]),
+        GlobalMemory::new(128),
+    );
     assert_eq!(out.status, ExecStatus::Completed);
     for lane in 0..32 {
         assert_eq!(out.memory.read_u32_host(4 * lane), 528, "lane {lane}");
@@ -69,7 +81,12 @@ fn shfl_up_down_clamp_at_warp_edges() {
     b.stg(MemWidth::W32, r(3), 4, r(2));
     b.exit();
     let k = b.build().unwrap();
-    let out = run_golden(&DeviceModel::v100_sim(), &k, &LaunchConfig::new(1, 32, vec![0]), GlobalMemory::new(256));
+    let out = run_golden(
+        &DeviceModel::v100_sim(),
+        &k,
+        &LaunchConfig::new(1, 32, vec![0]),
+        GlobalMemory::new(256),
+    );
     for lane in 0..32u32 {
         assert_eq!(out.memory.read_u32_host(8 * lane), lane.saturating_sub(1));
         assert_eq!(out.memory.read_u32_host(8 * lane + 4), (lane + 1).min(31));
@@ -171,11 +188,7 @@ fn value_set_fault_zeroes_an_output() {
     let launch = LaunchConfig::new(1, 1, vec![0]);
     let opts = RunOptions {
         ecc: false,
-        fault: FaultPlan::InstructionOutputSet {
-            nth: 0,
-            site: SiteClass::IntArith,
-            value: 0,
-        },
+        fault: FaultPlan::InstructionOutputSet { nth: 0, site: SiteClass::IntArith, value: 0 },
         watchdog_limit: 10_000,
         ..RunOptions::default()
     };

@@ -26,7 +26,8 @@
 //! with a Wilson 95% CI.
 
 use gpu_arch::{Architecture, DeviceModel, FunctionalUnit};
-use gpu_sim::{BitFlip, ExecStatus, Executed, FaultPlan, RunOptions, SiteClass, Target};
+use gpu_sim::{BitFlip, DueKind, ExecStatus, Executed, FaultPlan, RunOptions, SiteClass, Target};
+use obs::CampaignObserver;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use stats::{binomial_ci95, Outcome, OutcomeCounts};
@@ -187,7 +188,11 @@ impl AvfResult {
 
 /// The modes an injector cycles through, given the target's dynamic site
 /// populations (modes with an empty population are dropped).
-fn available_modes(injector: Injector, sites: &gpu_sim::SiteCounts, unit_counts: &[u64; FunctionalUnit::COUNT]) -> Vec<Mode> {
+fn available_modes(
+    injector: Injector,
+    sites: &gpu_sim::SiteCounts,
+    unit_counts: &[u64; FunctionalUnit::COUNT],
+) -> Vec<Mode> {
     let unit = |u: FunctionalUnit| unit_counts[u.index()];
     match injector {
         Injector::Sassifi => {
@@ -265,7 +270,9 @@ fn class_bits(class: SiteClass) -> u32 {
     match class {
         SiteClass::HalfArith => 16,
         SiteClass::Unit(u) => match u {
-            FunctionalUnit::Hadd | FunctionalUnit::Hmul | FunctionalUnit::Hfma
+            FunctionalUnit::Hadd
+            | FunctionalUnit::Hmul
+            | FunctionalUnit::Hfma
             | FunctionalUnit::Hmma => 16,
             FunctionalUnit::Dadd | FunctionalUnit::Dmul | FunctionalUnit::Dfma => 64,
             _ => 32,
@@ -377,6 +384,19 @@ pub fn measure_avf<T: Target + Sync + ?Sized>(
     device: &DeviceModel,
     config: &CampaignConfig,
 ) -> Result<AvfResult, Unsupported> {
+    measure_avf_observed(injector, target, device, config, CampaignObserver::none())
+}
+
+/// [`measure_avf`] with observation hooks: per-trial outcome tallies (by
+/// site class and DUE kind) into the observer's metrics registry and a
+/// progress tick per completed trial.
+pub fn measure_avf_observed<T: Target + Sync + ?Sized>(
+    injector: Injector,
+    target: &T,
+    device: &DeviceModel,
+    config: &CampaignConfig,
+    observer: CampaignObserver<'_>,
+) -> Result<AvfResult, Unsupported> {
     injector.supports(target, device)?;
 
     let golden_opts = RunOptions { ecc: false, ..RunOptions::default() };
@@ -406,8 +426,12 @@ pub fn measure_avf<T: Target + Sync + ?Sized>(
             None => presampled_masked += 1,
         }
     }
-    let mut counts = run_plans(target, device, &golden, &plans, watchdog);
+    let mut counts = run_plans_observed(target, device, &golden, &plans, watchdog, observer);
     counts.masked += presampled_masked;
+    if let (Some(m), presampled @ 1..) = (observer.metrics, presampled_masked) {
+        m.counter("trials").add(presampled);
+        m.counter("outcome.masked").add(presampled);
+    }
     Ok(AvfResult::from_counts(target.name().to_string(), injector, counts))
 }
 
@@ -465,17 +489,65 @@ fn run_plans<T: Target + Sync + ?Sized>(
     plans: &[FaultPlan],
     watchdog: u64,
 ) -> OutcomeCounts {
+    run_plans_observed(target, device, golden, plans, watchdog, CampaignObserver::none())
+}
+
+fn outcome_name(o: Outcome) -> &'static str {
+    match o {
+        Outcome::Sdc => "sdc",
+        Outcome::Due => "due",
+        Outcome::Masked => "masked",
+    }
+}
+
+/// [`run_plans`] with observation hooks. Progress ticks from inside the
+/// parallel loop; metrics are tallied sequentially afterwards so the
+/// registry's lock never sits on the hot path.
+fn run_plans_observed<T: Target + Sync + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    golden: &Executed,
+    plans: &[FaultPlan],
+    watchdog: u64,
+    observer: CampaignObserver<'_>,
+) -> OutcomeCounts {
     use rayon::prelude::*;
-    plans
+    let progress = observer.progress;
+    let results: Vec<(Outcome, Option<DueKind>)> = plans
         .par_iter()
         .map(|&plan| {
-            let opts = RunOptions { ecc: false, fault: plan, watchdog_limit: watchdog, ..RunOptions::default() };
+            let opts = RunOptions {
+                ecc: false,
+                fault: plan,
+                watchdog_limit: watchdog,
+                ..RunOptions::default()
+            };
             let faulty = target.execute(device, &opts);
-            classify(target, golden, &faulty)
+            let due_kind = match faulty.status {
+                ExecStatus::Due(kind) => Some(kind),
+                ExecStatus::Completed => None,
+            };
+            let outcome = classify(target, golden, &faulty);
+            if let Some(p) = progress {
+                p.inc();
+            }
+            (outcome, due_kind)
         })
-        .collect::<Vec<_>>()
-        .into_iter()
-        .collect()
+        .collect();
+    if let Some(m) = observer.metrics {
+        m.counter("trials").add(results.len() as u64);
+        for (&(outcome, due_kind), plan) in results.iter().zip(plans) {
+            m.counter(&format!("outcome.{}", outcome_name(outcome))).inc();
+            m.counter(&format!("site.{}.{}", plan.site_label(), outcome_name(outcome))).inc();
+            if let Some(kind) = due_kind {
+                m.counter(&format!("due.{}", kind.name())).inc();
+            }
+        }
+        if let Some(p) = progress {
+            m.gauge("trials_per_sec").set(p.rate());
+        }
+    }
+    results.into_iter().map(|(o, _)| o).collect()
 }
 
 fn hash_name(name: &str) -> u64 {
@@ -503,10 +575,7 @@ mod tests {
             Err(Unsupported::Architecture(Architecture::Volta))
         );
         assert_eq!(Injector::Sassifi.supports(&mxm, &kepler), Ok(()));
-        assert_eq!(
-            Injector::Sassifi.supports(&gemm, &kepler),
-            Err(Unsupported::ProprietaryKernel)
-        );
+        assert_eq!(Injector::Sassifi.supports(&gemm, &kepler), Err(Unsupported::ProprietaryKernel));
         assert_eq!(Injector::NvBitFi.supports(&gemm, &volta), Ok(()));
         assert_eq!(Injector::NvBitFi.supports(&gemm, &kepler), Ok(()));
     }
@@ -584,12 +653,8 @@ pub fn measure_avf_breakdown<T: Target + Sync + ?Sized>(
     let golden_opts = RunOptions { ecc: false, ..RunOptions::default() };
     let golden = target.execute(device, &golden_opts);
     assert!(golden.status.completed());
-    let classes = [
-        SiteClass::FloatArith,
-        SiteClass::HalfArith,
-        SiteClass::IntArith,
-        SiteClass::Load,
-    ];
+    let classes =
+        [SiteClass::FloatArith, SiteClass::HalfArith, SiteClass::IntArith, SiteClass::Load];
     let mut per_class = Vec::new();
     for class in classes {
         let pop = class_population(class, &golden.counts.sites, &golden.counts.per_unit);

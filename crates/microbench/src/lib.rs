@@ -19,8 +19,8 @@
 //! injection-measured AVF.
 
 use gpu_arch::{
-    CmpOp, FunctionalUnit, Kernel, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision,
-    Pred, Reg, SpecialReg,
+    CmpOp, FunctionalUnit, Kernel, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred,
+    Reg, SpecialReg,
 };
 use gpu_sim::{Executed, GlobalMemory, Target};
 use softfloat::F16;
@@ -154,7 +154,7 @@ pub fn arith(unit: FunctionalUnit) -> MicroBench {
     load(&mut b, prec, r(16), r(4)); // x (chain operand)
     b.iadd(r(4), r(3).into(), r(11).into());
     load(&mut b, prec, r(18), r(4)); // y / initial accumulator
-    // acc starts at y; chain OPS times.
+                                     // acc starts at y; chain OPS times.
     mov_like(&mut b, prec, r(20), r(18));
     b.mov(r(5), imm(0));
     b.label("chain");
@@ -427,7 +427,7 @@ pub fn register_file() -> MicroBench {
     b.ldp(r(1), 0);
     b.shl(r(2), r(0).into(), imm(2));
     b.iadd(r(1), r(1).into(), r(2).into()); // out addr
-    // Pattern fill: registers 4..4+RF_REGS get tid-dependent patterns.
+                                            // Pattern fill: registers 4..4+RF_REGS get tid-dependent patterns.
     for i in 0..RF_REGS {
         let reg = 4 + i as u8;
         // pattern = rotate(0x5A5A_A5A5, i) ^ tid — emitted as XOR of an
@@ -504,7 +504,8 @@ mod tests {
 
     #[test]
     fn kepler_suite_has_no_half_or_mma() {
-        let names: Vec<String> = suite(Architecture::Kepler).iter().map(|m| m.name.clone()).collect();
+        let names: Vec<String> =
+            suite(Architecture::Kepler).iter().map(|m| m.name.clone()).collect();
         assert!(!names.iter().any(|n| n.starts_with('H')));
         assert!(!names.iter().any(|n| n.contains("MMA")));
         assert!(names.contains(&"LDST".to_string()));
@@ -513,10 +514,11 @@ mod tests {
 
     #[test]
     fn volta_suite_matches_figure3_axis() {
-        let names: Vec<String> = suite(Architecture::Volta).iter().map(|m| m.name.clone()).collect();
+        let names: Vec<String> =
+            suite(Architecture::Volta).iter().map(|m| m.name.clone()).collect();
         for expect in [
-            "HADD", "HMUL", "HFMA", "FADD", "FMUL", "FFMA", "DADD", "DMUL", "DFMA", "IADD",
-            "IMUL", "IMAD", "HMMA", "FMMA", "LDST", "RF",
+            "HADD", "HMUL", "HFMA", "FADD", "FMUL", "FFMA", "DADD", "DMUL", "DFMA", "IADD", "IMUL",
+            "IMAD", "HMMA", "FMMA", "LDST", "RF",
         ] {
             assert!(names.contains(&expect.to_string()), "missing {expect}");
         }

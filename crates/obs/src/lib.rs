@@ -1,0 +1,32 @@
+//! Observability layer for the GPU-reliability stack.
+//!
+//! The paper's methodology is measurement: beam campaigns, injection
+//! campaigns and profiling runs. This crate gives every layer of the
+//! reproduction a shared, dependency-free way to *see* those runs:
+//!
+//! * [`TraceSink`] / [`TraceEvent`] — hook points inside the `gpu-sim`
+//!   engine (instruction retired, memory access, fault injected, DUE
+//!   raised, barrier and branch events), each stamped with the dynamic
+//!   instruction index that `FaultPlan` sites use, so traces align with
+//!   injection plans. Zero-cost when no sink is installed: the engine
+//!   checks one `Option` per hook and constructs nothing.
+//! * [`MetricsRegistry`] — counters/gauges/histograms with lock-free
+//!   updates, snapshotable to JSONL or CSV; campaign loops tally outcomes
+//!   by site class and DUE kind, trials/sec, and the profiler's
+//!   φ/IPC/occupancy gauges into it.
+//! * [`RunReport`] / [`JsonlWriter`] / [`Progress`] — structured
+//!   machine-readable run reporting and progress for the `bench` binaries
+//!   (`--trace-out`, `--metrics-out`, `--progress`).
+//!
+//! Determinism contract: trace event *content* is a pure function of the
+//! simulated run. Wall-clock only ever feeds presentation-side artifacts
+//! (progress rendering, trials/sec gauges), never events.
+
+pub mod json;
+mod metrics;
+mod report;
+mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use report::{CampaignObserver, JsonlWriter, Progress, RunReport, Value};
+pub use trace::{CountingSink, JsonlTraceSink, MemSpace, RecordingSink, TraceEvent, TraceSink};

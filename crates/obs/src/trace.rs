@@ -1,0 +1,286 @@
+//! Trace events and sinks.
+//!
+//! The simulator engine exposes hook points (instruction retired, memory
+//! access, fault injected, DUE raised, barrier and divergence events) that
+//! forward [`TraceEvent`]s to an optional [`TraceSink`]. Events carry the
+//! *dynamic instruction index* — the same numbering `FaultPlan` sites use —
+//! so a trace can be lined up against an injection plan directly.
+//!
+//! Event content is a pure function of the run: no wall-clock, no host
+//! addresses, no iteration-order dependence. Two identical runs produce
+//! byte-identical streams (tested in `gpu-sim/tests/trace.rs`).
+
+use std::fmt::Write as _;
+use std::io;
+
+use crate::json::escape_str;
+
+/// Which memory space an access touched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    Global,
+    Shared,
+}
+
+impl MemSpace {
+    pub fn name(self) -> &'static str {
+        match self {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+        }
+    }
+}
+
+/// One observable engine event.
+///
+/// `idx` is the dynamic (warp-level) instruction number: the index the
+/// engine's accounting assigns to the instruction this event belongs to,
+/// aligned with `FaultPlan` site numbering. Events emitted after the last
+/// instruction (end-of-kernel ECC scrub) carry the total dynamic count.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// A (warp-level) instruction finished architectural execution.
+    /// `lane == u32::MAX` marks warp-synchronous ops accounted once per
+    /// warp (MMA, SHFL).
+    InstrRetired { idx: u64, block: u32, warp: u32, lane: u32, pc: u32, op: &'static str },
+    /// A data memory access performed by the instruction at `idx`.
+    MemAccess { idx: u64, space: MemSpace, write: bool, addr: u32, bytes: u32 },
+    /// A planned fault fired. `site` names the fault-plan flavor; `detail`
+    /// is the flipped mask / corrupted address, depending on flavor.
+    FaultInjected { idx: u64, site: &'static str, detail: u64 },
+    /// Execution terminated with a detected unrecoverable error. `idx` is
+    /// the dynamic instruction count at the moment the DUE was raised.
+    DueRaised { idx: u64, kind: &'static str },
+    /// A lane arrived at a block-wide barrier.
+    BarrierArrive { idx: u64, block: u32, warp: u32, lane: u32 },
+    /// All lanes of a block arrived; the barrier released `lanes` lanes.
+    BarrierRelease { idx: u64, block: u32, lanes: u32 },
+    /// A lane evaluated a branch (taken = control transferred to
+    /// `target`; not taken = fell through because the guard failed).
+    Branch { idx: u64, block: u32, warp: u32, lane: u32, target: u32, taken: bool },
+}
+
+impl TraceEvent {
+    /// Dynamic instruction index the event belongs to.
+    pub fn idx(&self) -> u64 {
+        match *self {
+            TraceEvent::InstrRetired { idx, .. }
+            | TraceEvent::MemAccess { idx, .. }
+            | TraceEvent::FaultInjected { idx, .. }
+            | TraceEvent::DueRaised { idx, .. }
+            | TraceEvent::BarrierArrive { idx, .. }
+            | TraceEvent::BarrierRelease { idx, .. }
+            | TraceEvent::Branch { idx, .. } => idx,
+        }
+    }
+
+    /// Stable event-type tag (the `"ev"` field of the JSON form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::InstrRetired { .. } => "instr",
+            TraceEvent::MemAccess { .. } => "mem",
+            TraceEvent::FaultInjected { .. } => "fault",
+            TraceEvent::DueRaised { .. } => "due",
+            TraceEvent::BarrierArrive { .. } => "bar_arrive",
+            TraceEvent::BarrierRelease { .. } => "bar_release",
+            TraceEvent::Branch { .. } => "branch",
+        }
+    }
+
+    /// Append the event as one JSON object (no newline) to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = match *self {
+            TraceEvent::InstrRetired { idx, block, warp, lane, pc, op } => {
+                out.push_str("{\"ev\":\"instr\",\"idx\":");
+                let _ = write!(out, "{idx},\"block\":{block},\"warp\":{warp},\"lane\":");
+                if lane == u32::MAX {
+                    out.push_str("\"warp\"");
+                } else {
+                    let _ = write!(out, "{lane}");
+                }
+                let _ = write!(out, ",\"pc\":{pc},\"op\":");
+                escape_str(out, op);
+                write!(out, "}}")
+            }
+            TraceEvent::MemAccess { idx, space, write, addr, bytes } => {
+                write!(
+                    out,
+                    "{{\"ev\":\"mem\",\"idx\":{idx},\"space\":\"{}\",\"write\":{write},\"addr\":{addr},\"bytes\":{bytes}}}",
+                    space.name()
+                )
+            }
+            TraceEvent::FaultInjected { idx, site, detail } => {
+                write!(
+                    out,
+                    "{{\"ev\":\"fault\",\"idx\":{idx},\"site\":\"{site}\",\"detail\":{detail}}}"
+                )
+            }
+            TraceEvent::DueRaised { idx, kind } => {
+                write!(out, "{{\"ev\":\"due\",\"idx\":{idx},\"kind\":\"{kind}\"}}")
+            }
+            TraceEvent::BarrierArrive { idx, block, warp, lane } => {
+                write!(
+                    out,
+                    "{{\"ev\":\"bar_arrive\",\"idx\":{idx},\"block\":{block},\"warp\":{warp},\"lane\":{lane}}}"
+                )
+            }
+            TraceEvent::BarrierRelease { idx, block, lanes } => {
+                write!(
+                    out,
+                    "{{\"ev\":\"bar_release\",\"idx\":{idx},\"block\":{block},\"lanes\":{lanes}}}"
+                )
+            }
+            TraceEvent::Branch { idx, block, warp, lane, target, taken } => {
+                write!(
+                    out,
+                    "{{\"ev\":\"branch\",\"idx\":{idx},\"block\":{block},\"warp\":{warp},\"lane\":{lane},\"target\":{target},\"taken\":{taken}}}"
+                )
+            }
+        };
+    }
+
+    /// The event as a JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Receiver for engine trace events.
+///
+/// The engine holds `Option<&mut dyn TraceSink>` and constructs events
+/// only when a sink is installed, so the disabled path costs one
+/// branch per hook point.
+pub trait TraceSink {
+    fn event(&mut self, ev: &TraceEvent);
+}
+
+/// Buffers every event (tests, small traces).
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    pub events: Vec<TraceEvent>,
+}
+
+impl RecordingSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serialize the recorded stream as JSONL bytes.
+    pub fn to_jsonl(&self) -> Vec<u8> {
+        let mut out = String::new();
+        for ev in &self.events {
+            ev.write_json(&mut out);
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+/// Counts events without storing them — the cheapest enabled sink, used
+/// by the overhead benchmark.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    pub events: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn event(&mut self, _ev: &TraceEvent) {
+        self.events += 1;
+    }
+}
+
+/// Streams events as JSON lines to any writer (`--trace-out`).
+pub struct JsonlTraceSink<W: io::Write> {
+    writer: W,
+    buf: String,
+    pub errors: u64,
+}
+
+impl<W: io::Write> JsonlTraceSink<W> {
+    pub fn new(writer: W) -> Self {
+        JsonlTraceSink { writer, buf: String::with_capacity(128), errors: 0 }
+    }
+
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: io::Write> TraceSink for JsonlTraceSink<W> {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.buf.clear();
+        ev.write_json(&mut self.buf);
+        self.buf.push('\n');
+        if self.writer.write_all(self.buf.as_bytes()).is_err() {
+            self.errors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::InstrRetired { idx: 0, block: 0, warp: 0, lane: 3, pc: 7, op: "ffma" },
+            TraceEvent::InstrRetired {
+                idx: 1,
+                block: 1,
+                warp: 2,
+                lane: u32::MAX,
+                pc: 9,
+                op: "hmma",
+            },
+            TraceEvent::MemAccess {
+                idx: 1,
+                space: MemSpace::Global,
+                write: true,
+                addr: 64,
+                bytes: 4,
+            },
+            TraceEvent::FaultInjected { idx: 5, site: "instruction-output", detail: 0x1000 },
+            TraceEvent::BarrierArrive { idx: 6, block: 0, warp: 0, lane: 0 },
+            TraceEvent::BarrierRelease { idx: 6, block: 0, lanes: 64 },
+            TraceEvent::Branch { idx: 7, block: 0, warp: 1, lane: 33, target: 2, taken: false },
+            TraceEvent::DueRaised { idx: 8, kind: "watchdog" },
+        ]
+    }
+
+    #[test]
+    fn every_event_serializes_to_valid_json() {
+        for ev in sample_events() {
+            let line = ev.to_json();
+            let doc = json::parse(&line).expect(&line);
+            let obj = doc.as_obj().unwrap();
+            assert_eq!(obj["ev"].as_str(), Some(ev.kind()));
+            assert_eq!(obj["idx"].as_num(), Some(ev.idx() as f64));
+        }
+    }
+
+    #[test]
+    fn sinks_observe_the_same_stream() {
+        let events = sample_events();
+        let mut rec = RecordingSink::new();
+        let mut count = CountingSink::default();
+        let mut jsonl = JsonlTraceSink::new(Vec::new());
+        for ev in &events {
+            rec.event(ev);
+            count.event(ev);
+            jsonl.event(ev);
+        }
+        assert_eq!(rec.events, events);
+        assert_eq!(count.events, events.len() as u64);
+        assert_eq!(jsonl.errors, 0);
+        assert_eq!(jsonl.into_inner(), rec.to_jsonl());
+    }
+}

@@ -276,7 +276,11 @@ pub struct ComparisonRow {
 }
 
 /// Compare a beam measurement against a prediction.
-pub fn compare(name: impl Into<String>, measured: &BeamResult, predicted: &Prediction) -> ComparisonRow {
+pub fn compare(
+    name: impl Into<String>,
+    measured: &BeamResult,
+    predicted: &Prediction,
+) -> ComparisonRow {
     ComparisonRow {
         name: name.into(),
         measured_sdc: measured.sdc_fit.fit,

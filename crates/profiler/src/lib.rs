@@ -45,7 +45,11 @@ pub struct KernelProfile {
 
 impl KernelProfile {
     /// Extract a profile from a finished execution.
-    pub fn from_execution(name: impl Into<String>, target_kernel: &gpu_arch::Kernel, out: &Executed) -> Self {
+    pub fn from_execution(
+        name: impl Into<String>,
+        target_kernel: &gpu_arch::Kernel,
+        out: &Executed,
+    ) -> Self {
         KernelProfile {
             name: name.into(),
             shared_bytes: target_kernel.shared_bytes,
@@ -102,6 +106,19 @@ impl KernelProfile {
     pub fn mix(&self, cat: MixCategory) -> f64 {
         self.mix_fractions[cat.index()]
     }
+
+    /// Export the profile's headline quantities — φ (Equation 4's
+    /// utilization-weighted IPC), IPC, achieved occupancy, modeled
+    /// runtime — as gauges on `metrics`, prefixed `profile.<name>.`.
+    pub fn export_metrics(&self, metrics: &obs::MetricsRegistry) {
+        let prefix = format!("profile.{}", self.name);
+        metrics.gauge(&format!("{prefix}.phi")).set(self.phi);
+        metrics.gauge(&format!("{prefix}.ipc")).set(self.ipc);
+        metrics.gauge(&format!("{prefix}.occupancy")).set(self.occupancy);
+        metrics.gauge(&format!("{prefix}.seconds")).set(self.seconds);
+        metrics.gauge(&format!("{prefix}.cycles")).set(self.cycles);
+        metrics.gauge(&format!("{prefix}.instructions")).set(self.total_instructions as f64);
+    }
 }
 
 /// Run the target fault-free on `device` and profile it.
@@ -111,12 +128,7 @@ impl KernelProfile {
 /// fault-free is a bug.
 pub fn profile<T: Target + ?Sized>(target: &T, device: &DeviceModel) -> KernelProfile {
     let out = target.execute_golden(device);
-    assert!(
-        out.status.completed(),
-        "golden run of {} failed: {:?}",
-        target.name(),
-        out.status
-    );
+    assert!(out.status.completed(), "golden run of {} failed: {:?}", target.name(), out.status);
     KernelProfile::from_execution(target.name(), target.kernel(), &out)
 }
 
@@ -167,12 +179,7 @@ mod tests {
         let mxm = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Profile);
         let pg = profile(&gemm, &device);
         let pm = profile(&mxm, &device);
-        assert!(
-            pg.occupancy < pm.occupancy,
-            "gemm {} !< mxm {}",
-            pg.occupancy,
-            pm.occupancy
-        );
+        assert!(pg.occupancy < pm.occupancy, "gemm {} !< mxm {}", pg.occupancy, pm.occupancy);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use outcome::{Outcome, OutcomeCounts};
 /// Both inputs must be positive and finite; degenerate inputs yield `NaN`
 /// so callers can surface missing data rather than a fake agreement.
 pub fn signed_ratio(measured: f64, predicted: f64) -> f64 {
-    if !(measured > 0.0) || !(predicted > 0.0) || !measured.is_finite() || !predicted.is_finite() {
+    if !measured.is_finite() || !predicted.is_finite() || measured <= 0.0 || predicted <= 0.0 {
         return f64::NAN;
     }
     if measured >= predicted {
@@ -49,7 +49,9 @@ pub fn ratio_magnitude(signed: f64) -> f64 {
 /// Geometric mean of strictly positive values; `NaN` when empty or any
 /// value is non-positive. Used to average multiplicative prediction errors.
 pub fn geometric_mean(values: &[f64]) -> f64 {
-    if values.is_empty() || values.iter().any(|&v| !(v > 0.0)) {
+    if values.is_empty()
+        || values.iter().any(|&v| v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater))
+    {
         return f64::NAN;
     }
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();

@@ -148,8 +148,7 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let c: OutcomeCounts =
-            [Outcome::Sdc, Outcome::Sdc, Outcome::Due].into_iter().collect();
+        let c: OutcomeCounts = [Outcome::Sdc, Outcome::Sdc, Outcome::Due].into_iter().collect();
         assert_eq!(c, OutcomeCounts { sdc: 2, due: 1, masked: 0 });
     }
 

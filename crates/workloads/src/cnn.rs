@@ -18,7 +18,9 @@
 
 use crate::prec::{host, PrecEmit};
 use crate::{write_elem, Benchmark, CompareSpec, Scale, Workload};
-use gpu_arch::{CmpOp, CodeGen, Dim, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg, SpecialReg};
+use gpu_arch::{
+    CmpOp, CodeGen, Dim, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg, SpecialReg,
+};
 use gpu_sim::GlobalMemory;
 
 fn r(i: u8) -> Reg {
@@ -126,8 +128,8 @@ pub fn reference(version: u32, prec: Precision, scale: Scale) -> Vec<f64> {
         let mut s = 0.0;
         for ch in 0..last {
             let mut sum = 0.0;
-            for p in 0..hw {
-                sum = host::add(prec, sum, act[ch as usize][p]);
+            for &a in &act[ch as usize][..hw] {
+                sum = host::add(prec, sum, a);
             }
             let mean = host::mul(prec, sum, inv_hw);
             s = host::fma(prec, q(head_weight(class, ch)), mean, s);
@@ -300,7 +302,12 @@ pub fn yolo(version: u32, prec: Precision, scale: Scale) -> Workload {
     }
     for class in 0..CLASSES {
         for ch in 0..max_ch {
-            write_elem(&mut mem, prec, head_base + (class * max_ch + ch) * elem, head_weight(class, ch));
+            write_elem(
+                &mut mem,
+                prec,
+                head_base + (class * max_ch + ch) * elem,
+                head_weight(class, ch),
+            );
         }
     }
     let launch = LaunchConfig::new_2d(
@@ -316,6 +323,10 @@ pub fn yolo(version: u32, prec: Precision, scale: Scale) -> Workload {
         kernel,
         launch,
         memory: mem,
-        compare: CompareSpec::Classification { offset: score_base, count: CLASSES, precision: prec },
+        compare: CompareSpec::Classification {
+            offset: score_base,
+            count: CLASSES,
+            precision: prec,
+        },
     }
 }

@@ -6,7 +6,10 @@
 //! prediction error by exactly these properties).
 
 use crate::{Benchmark, CompareSpec, Scale, Workload};
-use gpu_arch::{CmpOp, CodeGen, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred, Reg, SpecialReg};
+use gpu_arch::{
+    CmpOp, CodeGen, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred, Reg,
+    SpecialReg,
+};
 use gpu_sim::GlobalMemory;
 
 fn r(i: u8) -> Reg {
@@ -121,7 +124,7 @@ pub fn nw(codegen: CodeGen, scale: Scale) -> Workload {
     b.if_not_p(Pred(1)).bra("wavebar");
     // i = t+1 (r6), j = d - t + 1
     b.iadd(r(9), r(9).into(), imm(1)); // j
-    // sim = seq0[i-1] == seq1[j-1] ? MATCH : MISMATCH (from shared)
+                                       // sim = seq0[i-1] == seq1[j-1] ? MATCH : MISMATCH (from shared)
     b.shl(r(13), r(0).into(), imm(2)); // (i-1) = t
     b.lds(MemWidth::W32, r(14), r(13), 0);
     b.iadd(r(13), r(9).into(), imi(-1));
@@ -136,18 +139,18 @@ pub fn nw(codegen: CodeGen, scale: Scale) -> Workload {
     b.shl(r(15), r(14).into(), imm(2));
     b.iadd(r(15), r(15).into(), r(12).into());
     b.ldg(MemWidth::W32, r(17), r(15), 0); // up
-    // diag = (i-1)*w + j - 1
+                                           // diag = (i-1)*w + j - 1
     b.iadd(r(14), r(14).into(), imi(-1));
     b.shl(r(15), r(14).into(), imm(2));
     b.iadd(r(15), r(15).into(), r(12).into());
     b.ldg(MemWidth::W32, r(18), r(15), 0); // diag
-    // left = i*w + j - 1
+                                           // left = i*w + j - 1
     b.imad(r(14), r(6).into(), imm(w), r(9).into());
     b.iadd(r(14), r(14).into(), imi(-1));
     b.shl(r(15), r(14).into(), imm(2));
     b.iadd(r(15), r(15).into(), r(12).into());
     b.ldg(MemWidth::W32, r(19), r(15), 0); // left
-    // score = max(diag+sim, up-GAP, left-GAP)
+                                           // score = max(diag+sim, up-GAP, left-GAP)
     b.iadd(r(18), r(18).into(), r(16).into());
     b.iadd(r(17), r(17).into(), imi(-(NW_GAP)));
     b.iadd(r(19), r(19).into(), imi(-(NW_GAP)));
@@ -211,11 +214,7 @@ fn batch(scale: Scale) -> u32 {
 
 /// Deterministic sparse digraph: each node has 3 out-edges.
 pub fn bfs_edges(n: u32, v: u32) -> [u32; 3] {
-    [
-        (v + 1) % n,
-        (v.wrapping_mul(3).wrapping_add(1)) % n,
-        (v.wrapping_mul(7).wrapping_add(5)) % n,
-    ]
+    [(v + 1) % n, (v.wrapping_mul(3).wrapping_add(1)) % n, (v.wrapping_mul(7).wrapping_add(5)) % n]
 }
 
 /// Host reference BFS levels from node 0 (`i32::MAX` = unreachable).
@@ -271,7 +270,7 @@ pub fn bfs(codegen: CodeGen, scale: Scale) -> Workload {
         b.shl(r(7), r(6).into(), imm(2));
         b.iadd(r(7), r(7).into(), r(11).into());
         b.ldg(MemWidth::W32, r(8), r(7), 0); // neighbor level
-        // if unreachable, set to cur+1
+                                             // if unreachable, set to cur+1
         b.isetp(Pred(1), CmpOp::Eq, r(8).into(), imi(i32::MAX));
         b.iadd(r(9), r(2).into(), imm(1));
         b.sel(r(9), r(9).into(), r(8).into(), Pred(1), false);

@@ -10,7 +10,9 @@
 
 use crate::prec::{host, PrecEmit};
 use crate::{write_elem, Benchmark, CompareSpec, Scale, Workload};
-use gpu_arch::{CmpOp, CodeGen, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg, SpecialReg};
+use gpu_arch::{
+    CmpOp, CodeGen, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg, SpecialReg,
+};
 use gpu_sim::GlobalMemory;
 
 /// Particles per box (one block per box, one thread per particle).
@@ -164,7 +166,7 @@ pub fn lava(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
     e.load_s(&mut b, r(26), r(6), 0); // xj
     e.load_s(&mut b, r(28), r(6), shared_stride); // yj
     e.load_s(&mut b, r(30), r(6), 2 * shared_stride); // qj
-    // dx = xi - xj ; dy = yi - yj (via FMA with -1)
+                                                      // dx = xi - xj ; dy = yi - yj (via FMA with -1)
     e.fma(&mut b, r(32), r(26).into(), r(24).into(), r(16).into());
     e.fma(&mut b, r(34), r(28).into(), r(24).into(), r(18).into());
     // r2 = dx*dx + eps ; r2 = dy*dy + r2

@@ -113,7 +113,11 @@ impl Benchmark {
     pub fn is_integer(self) -> bool {
         matches!(
             self,
-            Benchmark::Nw | Benchmark::Bfs | Benchmark::Ccl | Benchmark::Mergesort | Benchmark::Quicksort
+            Benchmark::Nw
+                | Benchmark::Bfs
+                | Benchmark::Ccl
+                | Benchmark::Mergesort
+                | Benchmark::Quicksort
         )
     }
 }
@@ -268,7 +272,12 @@ impl gpu_sim::Target for Workload {
 /// Panics if the benchmark/precision combination is unsupported (e.g.
 /// integer codes only support [`Precision::Int32`]; `GemmMma` requires
 /// half or single precision).
-pub fn build(benchmark: Benchmark, precision: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+pub fn build(
+    benchmark: Benchmark,
+    precision: Precision,
+    codegen: CodeGen,
+    scale: Scale,
+) -> Workload {
     if benchmark.is_integer() {
         assert_eq!(precision, Precision::Int32, "{benchmark:?} is an integer code");
     } else {
@@ -382,11 +391,8 @@ mod tests {
         for (i, v) in [0.15f32, 0.8, 0.35, 0.1].iter().enumerate() {
             test.write_f32_host(4 * i as u32, *v);
         }
-        let spec = CompareSpec::Classification {
-            offset: 0,
-            count: 4,
-            precision: Precision::Single,
-        };
+        let spec =
+            CompareSpec::Classification { offset: 0, count: 4, precision: Precision::Single };
         assert!(spec.matches(&golden, &test)); // argmax still class 1
         test.write_f32_host(8, 2.0); // now class 2 wins
         assert!(!spec.matches(&golden, &test));

@@ -8,7 +8,9 @@
 
 use crate::prec::{host, PrecEmit};
 use crate::{write_elem, Benchmark, CompareSpec, Scale, Workload};
-use gpu_arch::{CmpOp, CodeGen, Dim, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg, SpecialReg};
+use gpu_arch::{
+    CmpOp, CodeGen, Dim, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg, SpecialReg,
+};
 use gpu_sim::GlobalMemory;
 
 fn r(i: u8) -> Reg {
@@ -56,8 +58,12 @@ pub fn gaussian_reference(prec: Precision, n: u32) -> Vec<f64> {
                 if i > k && j >= k {
                     let ratio = host::mul(prec, next[(i * n + k) as usize], pivot_inv);
                     let nratio = host::mul(prec, ratio, -1.0);
-                    m[(i * n + j) as usize] =
-                        host::fma(prec, nratio, next[(k * n + j) as usize], next[(i * n + j) as usize]);
+                    m[(i * n + j) as usize] = host::fma(
+                        prec,
+                        nratio,
+                        next[(k * n + j) as usize],
+                        next[(i * n + j) as usize],
+                    );
                 }
             }
         }
@@ -91,7 +97,7 @@ fn prologue(b: &mut KernelBuilder, e: &PrecEmit, n: u32) {
     b.s2r(r(0), SpecialReg::TidX); // j (column)
     b.s2r(r(1), SpecialReg::TidY); // i (row)
     b.ldp(r(10), 0); // matrix base
-    // own element byte offset
+                     // own element byte offset
     b.imad(r(4), r(1).into(), imm(n), r(0).into());
     b.shl(r(4), r(4).into(), imm(e.shift()));
     b.iadd(r(4), r(4).into(), r(10).into());

@@ -117,7 +117,7 @@ pub fn mxm(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
                 e.fma(&mut b, r(16), r(20).into(), r(24).into(), r(16).into());
                 b.iadd(r(8), r(8).into(), imm(a_step));
                 b.iadd(r(9), r(9).into(), imm(b_step));
-                b.iadd(r(6), r(6).into(), imm(4 / 4));
+                b.iadd(r(6), r(6).into(), imm(1));
             }
             b.isetp(Pred(0), CmpOp::Lt, r(6).into(), imm(n));
             b.if_p(Pred(0)).bra("kloop");
@@ -143,11 +143,8 @@ pub fn mxm(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
 
     let kernel = b.build().expect("mxm kernel");
     let (mem, a_base, b_base, c_base) = fill_inputs(prec, n, false);
-    let launch = LaunchConfig::new_2d(
-        Dim::d2(n / 8, n / 8),
-        Dim::d2(8, 8),
-        vec![a_base, b_base, c_base],
-    );
+    let launch =
+        LaunchConfig::new_2d(Dim::d2(n / 8, n / 8), Dim::d2(8, 8), vec![a_base, b_base, c_base]);
     Workload {
         name,
         benchmark: Benchmark::Mxm,
@@ -247,11 +244,8 @@ pub fn gemm(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
 
     let kernel = b.build().expect("gemm kernel");
     let (mem, a_base, b_base, c_base) = fill_inputs(prec, n, false);
-    let launch = LaunchConfig::new_2d(
-        Dim::d2(n / t, n / t),
-        Dim::d2(t, t),
-        vec![a_base, b_base, c_base],
-    );
+    let launch =
+        LaunchConfig::new_2d(Dim::d2(n / t, n / t), Dim::d2(t, t), vec![a_base, b_base, c_base]);
     Workload {
         name,
         benchmark: Benchmark::Gemm,
@@ -313,7 +307,7 @@ pub fn gemm_mma(prec: Precision, scale: Scale) -> Workload {
         b.imad(r(5), r(0).into(), imm(8), imm(j));
         b.shr(r(6), r(5).into(), imm(4)); // lr = idx / 16
         b.and(r(7), r(5).into(), imm(15)); // lc = idx % 16
-        // A element address: ((tile_row*16 + lr) * n + kb*16 + lc) * elem
+                                           // A element address: ((tile_row*16 + lr) * n + kb*16 + lc) * elem
         b.imad(r(8), r(3).into(), imm(16), r(6).into());
         b.imad(r(8), r(8).into(), imm(n), r(7).into());
         b.imad(r(8), r(4).into(), imm(16), r(8).into());
@@ -388,9 +382,8 @@ pub fn gemm_mma(prec: Precision, scale: Scale) -> Workload {
 
     let kernel = b.build().expect("gemm-mma kernel");
     let (mem, a_base, b_base, c_base) = fill_inputs(prec, n, false);
-    let launch = LaunchConfig::new_2d(Dim::d2(n / 16, n / 16), Dim::d2(32, 1), vec![
-        a_base, b_base, c_base,
-    ]);
+    let launch =
+        LaunchConfig::new_2d(Dim::d2(n / 16, n / 16), Dim::d2(32, 1), vec![a_base, b_base, c_base]);
     Workload {
         name,
         benchmark: Benchmark::GemmMma,

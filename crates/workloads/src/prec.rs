@@ -176,12 +176,8 @@ pub mod host {
     /// `x*y + z` exactly as the corresponding kernel op computes it.
     pub fn fma(prec: Precision, x: f64, y: f64, z: f64) -> f64 {
         match prec {
-            Precision::Int32 => {
-                ((x as i32).wrapping_mul(y as i32).wrapping_add(z as i32)) as f64
-            }
-            Precision::Half => F16::from_f64(x)
-                .fma(F16::from_f64(y), F16::from_f64(z))
-                .to_f64(),
+            Precision::Int32 => ((x as i32).wrapping_mul(y as i32).wrapping_add(z as i32)) as f64,
+            Precision::Half => F16::from_f64(x).fma(F16::from_f64(y), F16::from_f64(z)).to_f64(),
             Precision::Single => ((x as f32).mul_add(y as f32, z as f32)) as f64,
             Precision::Double => x.mul_add(y, z),
         }

@@ -5,7 +5,10 @@
 //! small AVF).
 
 use crate::{Benchmark, CompareSpec, Scale, Workload};
-use gpu_arch::{CmpOp, CodeGen, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred, Reg, SpecialReg};
+use gpu_arch::{
+    CmpOp, CodeGen, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred, Reg,
+    SpecialReg,
+};
 use gpu_sim::GlobalMemory;
 
 fn r(i: u8) -> Reg {
@@ -93,7 +96,7 @@ pub fn mergesort(codegen: CodeGen, scale: Scale) -> Workload {
     // left exhausted? take right. right exhausted? take left. else compare.
     b.isetp(Pred(3), CmpOp::Ge, r(7).into(), r(3).into()); // i >= w
     b.isetp(Pred(4), CmpOp::Ge, r(8).into(), r(3).into()); // j >= w
-    // load left value (clamped index so the load is always in bounds)
+                                                           // load left value (clamped index so the load is always in bounds)
     b.iadd(r(12), r(6).into(), r(7).into());
     b.imin(r(12), r(12).into(), imm(n - 1));
     b.shl(r(12), r(12).into(), imm(2));
@@ -151,7 +154,7 @@ pub fn mergesort(codegen: CodeGen, scale: Scale) -> Workload {
     }
     // After `phases` ping-pongs the sorted data lives in a if phases is
     // even, b if odd.
-    let out_base = if phases % 2 == 0 { a_base } else { b_base };
+    let out_base = if phases.is_multiple_of(2) { a_base } else { b_base };
     let launch = LaunchConfig::new(instances, threads, vec![a_base, b_base]);
     Workload {
         name,

@@ -61,12 +61,8 @@ pub fn init_power(i: u32, j: u32) -> f64 {
 /// simulator for the given precision.
 pub fn reference(prec: Precision, n: u32) -> Vec<f64> {
     let q = |v: f64| host::quantize(prec, v);
-    let mut t: Vec<f64> = (0..n * n)
-        .map(|idx| q(init_temp(idx / n, idx % n)))
-        .collect();
-    let p: Vec<f64> = (0..n * n)
-        .map(|idx| q(init_power(idx / n, idx % n)))
-        .collect();
+    let mut t: Vec<f64> = (0..n * n).map(|idx| q(init_temp(idx / n, idx % n))).collect();
+    let p: Vec<f64> = (0..n * n).map(|idx| q(init_power(idx / n, idx % n))).collect();
     let (rx, ry, rz, cap, amb) = (q(RX), q(RY), q(RZ), q(CAP), q(AMB));
     for _ in 0..ITERATIONS {
         let mut next = t.clone();
@@ -127,7 +123,7 @@ pub fn hotspot(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
     b.ldp(r(10), 0); // t_base
     b.ldp(r(11), 1); // p_base
     b.ldp(r(12), 2); // out_base
-    // Load own temperature into shared and power into a register.
+                     // Load own temperature into shared and power into a register.
     b.imad(r(6), r(5).into(), imm(n), r(4).into());
     b.shl(r(6), r(6).into(), imm(e.shift()));
     b.iadd(r(7), r(6).into(), r(10).into());
@@ -137,7 +133,7 @@ pub fn hotspot(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
     e.store_s(&mut b, r(8), 0, r(16));
     b.iadd(r(7), r(6).into(), r(11).into());
     e.load_g(&mut b, r(30), r(7), 0); // power
-    // Constants.
+                                      // Constants.
     e.mov_const(&mut b, r(32), RX);
     e.mov_const(&mut b, r(34), RY);
     e.mov_const(&mut b, r(36), RZ);
@@ -184,7 +180,7 @@ pub fn hotspot(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
         e.load_s(&mut b, r(20), r(51), 0); // south
         e.load_s(&mut b, r(22), r(52), 0); // west
         e.load_s(&mut b, r(24), r(53), 0); // east
-        // vert = n + s ; horiz = w + e ; c2 = c + c
+                                           // vert = n + s ; horiz = w + e ; c2 = c + c
         e.add(&mut b, r(18), r(18).into(), r(20).into());
         e.add(&mut b, r(22), r(22).into(), r(24).into());
         e.add(&mut b, r(26), r(16).into(), r(16).into());

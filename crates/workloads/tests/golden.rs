@@ -53,11 +53,9 @@ fn mxm_reference(prec: Precision, n: u32) -> Vec<f64> {
 fn mxm_all_precisions_match_reference() {
     let kepler = DeviceModel::k40c_sim();
     let volta = DeviceModel::v100_sim();
-    for (prec, device) in [
-        (Precision::Single, &kepler),
-        (Precision::Half, &volta),
-        (Precision::Double, &volta),
-    ] {
+    for (prec, device) in
+        [(Precision::Single, &kepler), (Precision::Half, &volta), (Precision::Double, &volta)]
+    {
         for cg in [CodeGen::Cuda7, CodeGen::Cuda10] {
             let w = build(Benchmark::Mxm, prec, cg, Scale::Tiny);
             let out = run_ok(&w, device);
@@ -106,11 +104,8 @@ fn gemm_mma_matches_tensor_reference() {
                 for k in 0..n {
                     acc += a(i, k) * b(k, j);
                 }
-                let expect = if prec == Precision::Half {
-                    F16::from_f32(acc).to_f64()
-                } else {
-                    acc as f64
-                };
+                let expect =
+                    if prec == Precision::Half { F16::from_f32(acc).to_f64() } else { acc as f64 };
                 let got = read_elem(&out.memory, prec, c_base + (i * n + j) * elem);
                 assert_eq!(got, expect, "{} element ({i},{j})", w.name);
             }
@@ -184,8 +179,7 @@ fn bfs_matches_reference() {
     let kepler = DeviceModel::k40c_sim();
     let w = build(Benchmark::Bfs, Precision::Int32, CodeGen::Cuda7, Scale::Tiny);
     let out = run_ok(&w, &kepler);
-    let expect: Vec<f64> =
-        workloads::bfs_reference(32, 8).into_iter().map(|v| v as f64).collect();
+    let expect: Vec<f64> = workloads::bfs_reference(32, 8).into_iter().map(|v| v as f64).collect();
     check_region(&w, &out, out_offset(&w), &expect);
 }
 
@@ -194,8 +188,7 @@ fn ccl_matches_reference() {
     let kepler = DeviceModel::k40c_sim();
     let w = build(Benchmark::Ccl, Precision::Int32, CodeGen::Cuda10, Scale::Tiny);
     let out = run_ok(&w, &kepler);
-    let expect: Vec<f64> =
-        workloads::ccl_reference(8, 8).into_iter().map(|v| v as f64).collect();
+    let expect: Vec<f64> = workloads::ccl_reference(8, 8).into_iter().map(|v| v as f64).collect();
     check_region(&w, &out, out_offset(&w), &expect);
 }
 

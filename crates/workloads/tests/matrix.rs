@@ -5,7 +5,7 @@
 //! output* (optimizations cannot change semantics).
 
 use gpu_arch::{CodeGen, DeviceModel, Precision};
-use gpu_sim::{ExecStatus, Target};
+use gpu_sim::ExecStatus;
 use workloads::{build, read_elem, Benchmark, CompareSpec, Scale, Workload};
 
 const FP_BENCHES: [Benchmark; 7] = [
@@ -18,13 +18,8 @@ const FP_BENCHES: [Benchmark; 7] = [
     Benchmark::Yolov2,
 ];
 
-const INT_BENCHES: [Benchmark; 5] = [
-    Benchmark::Nw,
-    Benchmark::Bfs,
-    Benchmark::Ccl,
-    Benchmark::Mergesort,
-    Benchmark::Quicksort,
-];
+const INT_BENCHES: [Benchmark; 5] =
+    [Benchmark::Nw, Benchmark::Bfs, Benchmark::Ccl, Benchmark::Mergesort, Benchmark::Quicksort];
 
 fn out_region(w: &Workload) -> (u32, u32, Precision) {
     match w.compare {

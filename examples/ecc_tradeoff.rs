@@ -20,8 +20,7 @@ fn main() {
         "code", "SDC(off)", "SDC(on)", "SDC ratio", "DUE(off)", "DUE(on)"
     );
     for benchmark in [Benchmark::Mxm, Benchmark::Hotspot, Benchmark::Mergesort, Benchmark::Nw] {
-        let precision =
-            if benchmark.is_integer() { Precision::Int32 } else { Precision::Single };
+        let precision = if benchmark.is_integer() { Precision::Int32 } else { Precision::Single };
         let w = build(benchmark, precision, CodeGen::Cuda10, Scale::Small);
         let off = expose(&w, &device, &BeamConfig::auto(runs, false, 3));
         let on = expose(&w, &device, &BeamConfig::auto(runs, true, 3));

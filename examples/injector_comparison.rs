@@ -13,10 +13,7 @@ fn main() {
     let device = DeviceModel::k40c_sim();
     let campaign = CampaignConfig { injections: 500, seed: 99 };
 
-    println!(
-        "{:<12} {:>14} {:>14} {:>10}",
-        "code", "SASSIFI SDC", "NVBitFI SDC", "ratio"
-    );
+    println!("{:<12} {:>14} {:>14} {:>10}", "code", "SASSIFI SDC", "NVBitFI SDC", "ratio");
     let mut ratios = Vec::new();
     for benchmark in [
         Benchmark::Mxm,
@@ -27,8 +24,7 @@ fn main() {
         Benchmark::Quicksort,
         Benchmark::Gemm, // proprietary: SASSIFI refuses it
     ] {
-        let precision =
-            if benchmark.is_integer() { Precision::Int32 } else { Precision::Single };
+        let precision = if benchmark.is_integer() { Precision::Int32 } else { Precision::Single };
         // Each injector sees the binary its toolchain generation produces.
         let w7 = build(benchmark, precision, CodeGen::Cuda7, Scale::Small);
         let w10 = build(benchmark, precision, CodeGen::Cuda10, Scale::Small);

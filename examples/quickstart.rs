@@ -59,10 +59,5 @@ fn main() {
     let campaign = CampaignConfig { injections: 200, seed: 7 };
     let avf = measure_avf(Injector::NvBitFi, &mxm, &device, &campaign).unwrap();
     println!("\n== NVBitFI AVF, {} injections ==", campaign.injections);
-    println!(
-        "   SDC {:.2}  DUE {:.2}  Masked {:.2}",
-        avf.sdc_avf(),
-        avf.due_avf(),
-        avf.masked
-    );
+    println!("   SDC {:.2}  DUE {:.2}  Masked {:.2}", avf.sdc_avf(), avf.due_avf(), avf.masked);
 }

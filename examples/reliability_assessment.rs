@@ -43,20 +43,12 @@ fn main() {
     println!("[2/5] measuring AVF (NVBitFI, 600 injections)...");
     let campaign = CampaignConfig { injections: 600, seed: 11 };
     let avf = measure_avf(Injector::NvBitFi, &w, &device, &campaign).unwrap();
-    println!(
-        "      SDC {:.3}  DUE {:.3}  Masked {:.3}",
-        avf.sdc_avf(),
-        avf.due_avf(),
-        avf.masked
-    );
+    println!("      SDC {:.3}  DUE {:.3}  Masked {:.3}", avf.sdc_avf(), avf.due_avf(), avf.masked);
 
     // 3. Profile.
     println!("[3/5] profiling...");
     let prof = profile(&w, &device);
-    println!(
-        "      IPC {:.2}  occupancy {:.2}  phi {:.2}",
-        prof.ipc, prof.occupancy, prof.phi
-    );
+    println!("      IPC {:.2}  occupancy {:.2}  phi {:.2}", prof.ipc, prof.occupancy, prof.phi);
 
     // 4. Predict.
     println!("[4/5] predicting FIT (Equations 1-4)...");
@@ -64,7 +56,10 @@ fn main() {
     let pred_on = predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: true });
     let pred_off =
         predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: false, use_phi: true });
-    println!("      predicted SDC FIT: ECC on {:.3e} | ECC off {:.3e}", pred_on.sdc_fit, pred_off.sdc_fit);
+    println!(
+        "      predicted SDC FIT: ECC on {:.3e} | ECC off {:.3e}",
+        pred_on.sdc_fit, pred_off.sdc_fit
+    );
 
     // 5. Beam-measure and compare.
     println!("[5/5] beam campaigns (ECC on and off)...");
@@ -81,10 +76,7 @@ fn main() {
         "   ECC OFF: beam {:.3e}  predicted {:.3e}  ratio {:+.1}",
         row_off.measured_sdc, row_off.predicted_sdc, row_off.sdc_ratio
     );
-    println!(
-        "   DUE underestimation (ECC on): {:.0}x",
-        row_on.due_underestimation
-    );
+    println!("   DUE underestimation (ECC on): {:.0}x", row_on.due_underestimation);
     println!("\n(the paper finds most SDC ratios within 5x and DUEs underestimated by orders of magnitude)");
 }
 

@@ -68,8 +68,8 @@ pub mod prelude {
     };
     pub use injector::{measure_avf, AvfResult, CampaignConfig, Injector};
     pub use prediction::{
-        characterize_units, compare, memory_footprint, predict, CharacterizeConfig,
-        PredictOptions, UnitFits,
+        characterize_units, compare, memory_footprint, predict, CharacterizeConfig, PredictOptions,
+        UnitFits,
     };
     pub use profiler::{profile, KernelProfile};
     pub use stats::{signed_ratio, FitRate, Outcome, OutcomeCounts};

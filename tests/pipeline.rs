@@ -125,13 +125,9 @@ fn prediction_pipeline_produces_finite_comparisons() {
     );
     let w = tiny(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10);
     let prof = profile(&w, &device);
-    let avf = measure_avf(
-        Injector::NvBitFi,
-        &w,
-        &device,
-        &CampaignConfig { injections: 120, seed: 31 },
-    )
-    .unwrap();
+    let avf =
+        measure_avf(Injector::NvBitFi, &w, &device, &CampaignConfig { injections: 120, seed: 31 })
+            .unwrap();
     let feet = memory_footprint(&w, &device, &prof);
     let pred = predict(&prof, &avf, &units, &feet, &PredictOptions::default());
     let beam_res = expose(&w, &device, &BeamConfig::auto(1200, true, 31));
@@ -151,16 +147,14 @@ fn phi_factor_changes_prediction_by_the_profiled_phi() {
     );
     let w = tiny(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10);
     let prof = profile(&w, &device);
-    let avf = measure_avf(
-        Injector::NvBitFi,
-        &w,
-        &device,
-        &CampaignConfig { injections: 100, seed: 37 },
-    )
-    .unwrap();
+    let avf =
+        measure_avf(Injector::NvBitFi, &w, &device, &CampaignConfig { injections: 100, seed: 37 })
+            .unwrap();
     let feet = memory_footprint(&w, &device, &prof);
-    let with_phi = predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: true });
-    let without = predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: false });
+    let with_phi =
+        predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: true });
+    let without =
+        predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: false });
     let ratio = with_phi.sdc_fit / without.sdc_fit;
     assert!((ratio - prof.phi).abs() < 1e-9, "ratio {ratio} != phi {}", prof.phi);
 }

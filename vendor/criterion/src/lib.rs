@@ -1,0 +1,177 @@
+//! Vendored subset of `criterion`: `Criterion`, benchmark groups,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is real (wall-clock over batched iterations, warmup first)
+//! but reporting is plain text — min/mean/max ns per iteration — with no
+//! HTML reports, statistical regression, or baseline comparison. Good
+//! enough to compare two targets run back-to-back, which is how the
+//! workspace uses it (e.g. the no-sink vs counting-sink overhead check).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Upstream defaults to 100 samples; campaigns here cost tens of
+        // milliseconds per iteration, so keep runs bounded.
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), sample_size: None }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_bench(&format!("{}/{}", self.name, name), samples, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` performs the measurement.
+pub struct Bencher {
+    samples: usize,
+    /// Seconds per iteration, one entry per sample.
+    measured: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, pick a batch size targeting ~50 ms per
+    /// sample, then record `samples` batches.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        let warmup_budget = Duration::from_millis(100);
+        let start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_iters < 3 || (start.elapsed() < warmup_budget && warmup_iters < 1_000_000) {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let batch = ((0.05 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 10_000_000);
+
+        self.measured.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.measured.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn run_bench<F>(name: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { samples, measured: Vec::new() };
+    f(&mut bencher);
+    if bencher.measured.is_empty() {
+        println!("{name:<40} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let n = bencher.measured.len() as f64;
+    let mean = bencher.measured.iter().sum::<f64>() / n;
+    let min = bencher.measured.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = bencher.measured.iter().cloned().fold(0.0f64, f64::max);
+    println!("{name:<40} time: [{} {} {}]", fmt_time(min), fmt_time(mean), fmt_time(max));
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3).bench_function("smoke", |b| b.iter(|| black_box(2u64).pow(10)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! workspace vendors the *interface* it actually uses — `RngCore`,
+//! `SeedableRng`, `Rng::{gen, gen_range, gen_bool}` and the `Standard` /
+//! uniform distributions — with straightforward implementations. Campaign
+//! reproducibility only requires self-consistency (same seed, same draws),
+//! not bit-compatibility with upstream `rand`.
+
+/// Core random-number generation: raw 32/64-bit outputs.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64 (as upstream does).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64 { state };
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: seed expansion and a serviceable small PRNG.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution: uniform over all values for integers
+    /// and `bool`, uniform in `[0, 1)` for floats.
+    pub struct Standard;
+
+    macro_rules! standard_uint {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits → uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    pub mod uniform {
+        use super::super::RngCore;
+
+        /// Types that can be drawn uniformly from a half-open or inclusive
+        /// range. Integer sampling uses a modulo reduction: the bias for
+        /// campaign-sized ranges (≪ 2^64) is far below statistical noise.
+        pub trait SampleUniform: Sized + Copy + PartialOrd {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        }
+
+        macro_rules! uniform_int {
+            ($($t:ty => $wide:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        assert!(lo < hi, "gen_range: empty range");
+                        let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                        lo.wrapping_add((rng.next_u64() % span) as $t)
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = ((hi as $wide).wrapping_sub(lo as $wide) as u64).wrapping_add(1);
+                        if span == 0 {
+                            // Full u64 domain.
+                            return (rng.next_u64() as $wide).wrapping_add(lo as $wide) as $t;
+                        }
+                        lo.wrapping_add((rng.next_u64() % span) as $t)
+                    }
+                }
+            )*};
+        }
+        uniform_int!(
+            u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+            i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+        );
+
+        macro_rules! uniform_float {
+            ($($t:ty, $unit:expr);*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        assert!(lo < hi, "gen_range: empty range");
+                        let u = $unit(rng);
+                        lo + (hi - lo) * u
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let u = $unit(rng);
+                        lo + (hi - lo) * u
+                    }
+                }
+            )*};
+        }
+        uniform_float!(
+            f64, |rng: &mut R| (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            f32, |rng: &mut R| (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        );
+
+        /// Range-like arguments accepted by [`Rng::gen_range`].
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_half_open(self.start, self.end, rng)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_inclusive(*self.start(), *self.end(), rng)
+            }
+        }
+    }
+}
+
+pub use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Distribution, Standard};
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Uniform draw from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} outside [0,1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast PRNG (SplitMix64 core) standing in for `rand`'s
+    /// `StdRng`. Not cryptographic; fine for tests and tooling.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            StdRng { state: u64::from_le_bytes(seed) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Lcg(42);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let f: f64 = rng.gen_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&f));
+            let i: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let u: u16 = rng.gen_range(0..=3u16);
+            assert!(u <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn standard_f64_in_unit_interval() {
+        let mut rng = Lcg(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = rngs::StdRng::seed_from_u64(9);
+        let mut b = rngs::StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Vendored subset of `rayon`: `slice.par_iter().map(f).collect()`.
+//!
+//! The build environment has no registry access, so this implements the one
+//! parallel-iterator shape the campaign loops use, with real parallelism:
+//! the input slice is split into contiguous chunks, one scoped `std::thread`
+//! per chunk, and per-chunk results are concatenated in order — so
+//! `collect()` observes the same element order as the serial iterator,
+//! which the injection/beam campaigns rely on for reproducibility.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// `.par_iter()` on collections borrowed as slices.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Sync + 'data;
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Marker trait so `use rayon::prelude::*` brings the adaptor methods in;
+/// the methods live on the concrete types below.
+pub trait ParallelIterator {}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<T> ParallelIterator for ParIter<'_, T> {}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    pub fn map<F, R>(self, f: F) -> ParMap<'data, T, F, R>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { slice: self.slice, f, _result: std::marker::PhantomData }
+    }
+}
+
+/// Mapped parallel iterator; consumed by `collect`.
+pub struct ParMap<'data, T, F, R> {
+    slice: &'data [T],
+    f: F,
+    _result: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<T, F, R> ParallelIterator for ParMap<'_, T, F, R> {}
+
+impl<'data, T: Sync, F, R> ParMap<'data, T, F, R> {
+    pub fn collect<C>(self) -> C
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.slice.len();
+        let threads =
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n).max(1);
+        if threads <= 1 {
+            return self.slice.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rayon stub worker panicked")).collect()
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        let expected: Vec<u64> = input.iter().map(|&x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn works_on_slices_and_empty_input() {
+        let input = [1u32, 2, 3];
+        let out: Vec<u32> = input[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}
