@@ -28,26 +28,43 @@
 //! deterministic, so they are bit-identical to the golden run and counted
 //! directly (a pure optimization; the fluence accounting still includes
 //! them).
+//!
+//! Campaigns run on the shared [`campaign`] engine: construct a
+//! [`campaign::Campaign`] with a [`Beam`] kind, e.g.
+//!
+//! ```ignore
+//! let result = Campaign::new(Beam::auto(true), &target, &device)
+//!     .budget(Budget::fixed(4000).seed(3))
+//!     .run()?;
+//! ```
+//!
+//! Fluence (and therefore FIT denominators) scales with the trials
+//! actually spent, so fixed budgets remain the default discipline for
+//! beam statistics: stopping a beam campaign on a *proportion* CI would
+//! starve the Poisson error-count CIs the paper reports. The legacy
+//! `expose*` entry points survive as deprecated forwarders.
 
 mod xsec;
 
 pub use xsec::CrossSections;
 
+use campaign::{Budget, Campaign, CampaignRun, Kind, Sampler, TrialPlan};
 use gpu_arch::{DeviceModel, FunctionalUnit};
-use gpu_sim::{BitFlip, DueKind, ExecStatus, Executed, FaultPlan, RunOptions, SiteClass, Target};
-use obs::CampaignObserver;
-use rand::{Rng, SeedableRng};
+use gpu_sim::{BitFlip, DueKind, Executed, FaultPlan, SiteClass, Target};
+use obs::{CampaignObserver, MetricsRegistry};
+use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use stats::{FitRate, Fluence, Outcome, OutcomeCounts};
+use std::sync::Arc;
 
-/// Beam-campaign parameters.
+/// Legacy beam-campaign parameters, superseded by [`Beam`] +
+/// [`campaign::Budget`].
+#[deprecated(note = "use beam::Beam (kind) with campaign::Budget")]
 #[derive(Clone, Debug)]
 pub struct BeamConfig {
     /// Accelerated flux, n/(cm^2 s). ChipIR delivers ~3.5e6. Set to `0.0`
     /// to auto-tune the flux per target so the expected strikes per run
-    /// land at [`BeamConfig::TARGET_LAMBDA`] — the simulated equivalent of
-    /// the paper's "<1 error per 1,000 executions" discipline (FIT rates
-    /// are flux-independent; only the statistics change).
+    /// land at [`Beam::TARGET_LAMBDA`].
     pub flux: f64,
     /// Number of (accounted) runs; only runs that receive a strike are
     /// actually executed.
@@ -58,16 +75,29 @@ pub struct BeamConfig {
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl BeamConfig {
     /// Expected strikes per run under auto-tuned flux.
-    pub const TARGET_LAMBDA: f64 = 0.25;
+    pub const TARGET_LAMBDA: f64 = Beam::TARGET_LAMBDA;
 
     /// Auto-flux campaign.
     pub fn auto(runs: u32, ecc: bool, seed: u64) -> Self {
         BeamConfig { flux: 0.0, runs, ecc, seed }
     }
+
+    /// The equivalent fixed [`Budget`].
+    pub fn budget(&self) -> Budget {
+        Budget::fixed(self.runs).seed(self.seed)
+    }
+
+    /// The equivalent campaign [`Beam`] kind (ground-truth
+    /// cross-sections).
+    pub fn kind(&self) -> Beam {
+        Beam { flux: self.flux, ecc: self.ecc, xsec: None }
+    }
 }
 
+#[allow(deprecated)]
 impl Default for BeamConfig {
     fn default() -> Self {
         BeamConfig { flux: 0.0, runs: 20_000, ecc: true, seed: 0xBEA4 }
@@ -189,21 +219,18 @@ fn channels(
     out
 }
 
-/// Translate a strike on a channel into a fault plan (or a direct outcome
-/// for hidden-resource strikes).
-enum StrikeEffect {
-    Plan(FaultPlan),
-    Direct(Outcome),
-}
-
-fn sample_effect<R: Rng>(
-    rng: &mut R,
+/// Translate a strike on a channel into a trial plan: either a fault to
+/// execute, or a direct outcome (no-strike runs, off-chip address faults,
+/// hidden-resource strikes).
+fn sample_effect(
+    rng: &mut ChaCha12Rng,
     channel: &StrikeChannel,
     xsec: &CrossSections,
     golden: &Executed,
-    target_kernel: &gpu_arch::Kernel,
+    regs_per_thread: u16,
+    shared_bytes: u32,
     memory_len: u32,
-) -> StrikeEffect {
+) -> TrialPlan {
     let total_dyn = golden.counts.total.max(1);
     match channel.kind {
         StrikeKind::Unit(unit) => {
@@ -216,7 +243,7 @@ fn sample_effect<R: Rng>(
                 FunctionalUnit::Dadd | FunctionalUnit::Dmul | FunctionalUnit::Dfma => 64,
                 _ => 32,
             };
-            StrikeEffect::Plan(FaultPlan::InstructionOutput {
+            TrialPlan::Fault(FaultPlan::InstructionOutput {
                 nth: rng.gen_range(0..pop),
                 site: SiteClass::Unit(unit),
                 flip: BitFlip::single(rng.gen_range(0..bits)),
@@ -231,16 +258,20 @@ fn sample_effect<R: Rng>(
             if rng.gen_bool(xsec.ldst_address_fraction) {
                 let bit = rng.gen_range(0..64);
                 if bit >= 32 {
-                    return StrikeEffect::Direct(Outcome::Due);
+                    return TrialPlan::Direct {
+                        outcome: Outcome::Due,
+                        due: Some(DueKind::MemoryViolation),
+                        label: "beam.direct",
+                    };
                 }
                 let pop = golden.counts.sites.mem_ops.max(1);
-                StrikeEffect::Plan(FaultPlan::MemAddress {
+                TrialPlan::Fault(FaultPlan::MemAddress {
                     nth: rng.gen_range(0..pop),
                     flip: BitFlip::single(bit),
                 })
             } else {
                 let pop = golden.counts.sites.loads.max(1);
-                StrikeEffect::Plan(FaultPlan::InstructionOutput {
+                TrialPlan::Fault(FaultPlan::InstructionOutput {
                     nth: rng.gen_range(0..pop),
                     site: SiteClass::Load,
                     flip: BitFlip::single(rng.gen_range(0..32)),
@@ -252,63 +283,233 @@ fn sample_effect<R: Rng>(
             let bit = rng.gen_range(0..32);
             let flip =
                 if mbu { BitFlip::double(bit, (bit + 1) % 32) } else { BitFlip::single(bit) };
-            StrikeEffect::Plan(FaultPlan::RegisterBit {
+            TrialPlan::Fault(FaultPlan::RegisterBit {
                 block: u32::MAX, // whichever block is resident at that instant
                 thread: u32::MAX,
-                reg: rng.gen_range(0..target_kernel.regs_per_thread.max(1)) as u8,
+                reg: rng.gen_range(0..regs_per_thread.max(1)) as u8,
                 flip,
                 at: rng.gen_range(0..total_dyn),
             })
         }
-        StrikeKind::SharedMem => StrikeEffect::Plan(FaultPlan::SharedMemBit {
+        StrikeKind::SharedMem => TrialPlan::Fault(FaultPlan::SharedMemBit {
             block: u32::MAX,
-            byte: rng.gen_range(0..target_kernel.shared_bytes.max(1)),
+            byte: rng.gen_range(0..shared_bytes.max(1)),
             bit: rng.gen_range(0..32),
             at: rng.gen_range(0..total_dyn),
             mbu: rng.gen_bool(xsec.mbu_probability),
         }),
-        StrikeKind::GlobalMem => StrikeEffect::Plan(FaultPlan::GlobalMemBit {
+        StrikeKind::GlobalMem => TrialPlan::Fault(FaultPlan::GlobalMemBit {
             byte: rng.gen_range(0..memory_len.max(1)),
             bit: rng.gen_range(0..32),
             at: rng.gen_range(0..total_dyn),
             mbu: rng.gen_bool(xsec.mbu_probability),
         }),
         StrikeKind::Hidden => {
+            // Hidden-resource strikes resolve without simulation: the
+            // affected state (scheduler, fetch, controller queues) is
+            // below the architectural level.
             let roll: f64 = rng.gen();
-            if roll < xsec.hidden_due_fraction {
-                StrikeEffect::Direct(Outcome::Due)
+            let (outcome, due) = if roll < xsec.hidden_due_fraction {
+                (Outcome::Due, Some(DueKind::HiddenResource))
             } else if roll < xsec.hidden_due_fraction + xsec.hidden_sdc_fraction {
-                StrikeEffect::Direct(Outcome::Sdc)
+                (Outcome::Sdc, None)
             } else {
-                StrikeEffect::Direct(Outcome::Masked)
+                (Outcome::Masked, None)
+            };
+            TrialPlan::Direct { outcome, due, label: "beam.direct" }
+        }
+    }
+}
+
+/// The beam-exposure campaign kind: every trial is one accounted run
+/// under the beam; struck runs execute with the sampled fault, unstruck
+/// runs are counted directly as masked.
+#[derive(Clone, Debug)]
+pub struct Beam {
+    /// Accelerated flux, n/(cm^2 s); `0.0` auto-tunes so the expected
+    /// strikes per run land at [`Beam::TARGET_LAMBDA`].
+    pub flux: f64,
+    /// SECDED ECC state for the exposed device.
+    pub ecc: bool,
+    /// Cross-sections override for ablations; `None` uses the device's
+    /// ground truth.
+    pub xsec: Option<CrossSections>,
+}
+
+impl Beam {
+    /// Expected strikes per run under auto-tuned flux — the simulated
+    /// equivalent of the paper's "<1 error per 1,000 executions"
+    /// discipline (FIT rates are flux-independent; only the statistics
+    /// change).
+    pub const TARGET_LAMBDA: f64 = 0.25;
+
+    /// Auto-flux exposure with ground-truth cross-sections.
+    pub fn auto(ecc: bool) -> Self {
+        Beam { flux: 0.0, ecc, xsec: None }
+    }
+
+    /// Replace the flux.
+    pub fn flux(mut self, flux: f64) -> Self {
+        self.flux = flux;
+        self
+    }
+
+    /// Override the cross-sections (ablation studies: MBU-rate sweeps,
+    /// hypothetical process nodes...).
+    pub fn with_xsec(mut self, xsec: CrossSections) -> Self {
+        self.xsec = Some(xsec);
+        self
+    }
+}
+
+/// Sampler state for [`Beam`]: the strike channels and resolved flux.
+pub struct BeamSampler {
+    golden: Arc<Executed>,
+    xsec: CrossSections,
+    chans: Vec<StrikeChannel>,
+    lambda_per_flux: f64,
+    flux: f64,
+    p_strike: f64,
+    regs_per_thread: u16,
+    shared_bytes: u32,
+    memory_len: u32,
+}
+
+impl BeamSampler {
+    /// The flux this campaign runs at (auto-tuned when the kind's flux
+    /// was `0.0`).
+    pub fn resolved_flux(&self) -> f64 {
+        self.flux
+    }
+}
+
+impl Sampler for BeamSampler {
+    fn sample(&self, _trial: u64, rng: &mut ChaCha12Rng) -> TrialPlan {
+        if !rng.gen_bool(self.p_strike.clamp(0.0, 1.0)) {
+            return TrialPlan::Direct {
+                outcome: Outcome::Masked,
+                due: None,
+                label: "beam.unstruck",
+            };
+        }
+        // Pick the struck channel proportionally to its rate.
+        let mut pick = rng.gen_range(0.0..self.lambda_per_flux);
+        let mut chosen = self.chans.last().expect("channels never empty");
+        for c in &self.chans {
+            if pick < c.rate_per_flux {
+                chosen = c;
+                break;
             }
+            pick -= c.rate_per_flux;
+        }
+        sample_effect(
+            rng,
+            chosen,
+            &self.xsec,
+            &self.golden,
+            self.regs_per_thread,
+            self.shared_bytes,
+            self.memory_len,
+        )
+    }
+}
+
+impl<T: Target + Sync + ?Sized> Kind<T> for Beam {
+    type Sampler = BeamSampler;
+    type Output = BeamResult;
+
+    fn label(&self) -> String {
+        format!("beam/{}", if self.ecc { "ecc-on" } else { "ecc-off" })
+    }
+
+    fn ecc(&self) -> bool {
+        self.ecc
+    }
+
+    fn prepare(&self, target: &T, device: &DeviceModel, golden: &Arc<Executed>) -> BeamSampler {
+        let xsec = self.xsec.clone().unwrap_or_else(|| CrossSections::ground_truth(device));
+        let chans = channels(device, &xsec, target.kernel(), target.launch(), golden);
+        let lambda_per_flux: f64 = chans.iter().map(|c| c.rate_per_flux).sum();
+        let flux = if self.flux > 0.0 {
+            self.flux
+        } else {
+            Beam::TARGET_LAMBDA / lambda_per_flux.max(f64::MIN_POSITIVE)
+        };
+        let lambda = lambda_per_flux * flux;
+        BeamSampler {
+            golden: Arc::clone(golden),
+            xsec,
+            chans,
+            lambda_per_flux,
+            flux,
+            p_strike: 1.0 - (-lambda).exp(),
+            regs_per_thread: target.kernel().regs_per_thread,
+            shared_bytes: target.kernel().shared_bytes,
+            memory_len: golden.memory.len(),
+        }
+    }
+
+    fn finish(&self, target: &T, sampler: &BeamSampler, run: &CampaignRun) -> BeamResult {
+        let unstruck = run.direct.get("beam.unstruck").map_or(0, |c| c.total());
+        let fluence =
+            Fluence::from_flux(sampler.flux, run.golden.timing.seconds * run.trials as f64);
+        BeamResult {
+            target: target.name().to_string(),
+            sdc_fit: FitRate::from_beam(run.counts.sdc, fluence),
+            due_fit: FitRate::from_beam(run.counts.due, fluence),
+            counts: run.counts,
+            fluence,
+            struck_runs: (run.trials - unstruck) as u32,
+        }
+    }
+
+    fn export_metrics(&self, _sampler: &BeamSampler, run: &CampaignRun, m: &MetricsRegistry) {
+        // Compatibility counters alongside the engine's generic
+        // `direct.beam.*` tallies.
+        let unstruck = run.direct.get("beam.unstruck").map_or(0, |c| c.total());
+        m.counter("beam.unstruck").add(unstruck);
+        m.counter("beam.struck").add(run.trials - unstruck);
+        if let Some(d) = run.direct.get("beam.direct") {
+            m.counter("beam.direct.sdc").add(d.sdc);
+            m.counter("beam.direct.due").add(d.due);
+            m.counter("beam.direct.masked").add(d.masked);
         }
     }
 }
 
 /// Expose a target to the beam and measure its SDC and DUE FIT rates.
+#[deprecated(note = "use campaign::Campaign::new(beam::Beam::auto(ecc), ...)")]
+#[allow(deprecated)]
 pub fn expose<T: Target + Sync + ?Sized>(
     target: &T,
     device: &DeviceModel,
     config: &BeamConfig,
 ) -> BeamResult {
-    expose_with(target, device, &CrossSections::ground_truth(device), config)
+    expose_observed(target, device, config, CampaignObserver::none())
 }
 
 /// [`expose`] with observation hooks: per-run outcome tallies (by DUE
 /// kind, plus direct hidden-resource strikes) into the observer's metrics
 /// registry and a progress tick per accounted run.
+#[deprecated(note = "use campaign::Campaign::new(beam::Beam::auto(ecc), ...).observer(...)")]
+#[allow(deprecated)]
 pub fn expose_observed<T: Target + Sync + ?Sized>(
     target: &T,
     device: &DeviceModel,
     config: &BeamConfig,
     observer: CampaignObserver<'_>,
 ) -> BeamResult {
-    expose_with_observed(target, device, &CrossSections::ground_truth(device), config, observer)
+    Campaign::new(config.kind(), target, device)
+        .budget(config.budget())
+        .observer(observer)
+        .run()
+        .expect("beam campaign failed")
 }
 
 /// [`expose`] against explicit cross-sections (ablation studies: MBU-rate
 /// sweeps, hypothetical process nodes...).
+#[deprecated(note = "use campaign::Campaign::new(beam::Beam::auto(ecc).with_xsec(xsec), ...)")]
+#[allow(deprecated)]
 pub fn expose_with<T: Target + Sync + ?Sized>(
     target: &T,
     device: &DeviceModel,
@@ -319,6 +520,10 @@ pub fn expose_with<T: Target + Sync + ?Sized>(
 }
 
 /// [`expose_with`] + [`expose_observed`] combined.
+#[deprecated(
+    note = "use campaign::Campaign::new(beam::Beam::auto(ecc).with_xsec(xsec), ...).observer(...)"
+)]
+#[allow(deprecated)]
 pub fn expose_with_observed<T: Target + Sync + ?Sized>(
     target: &T,
     device: &DeviceModel,
@@ -326,134 +531,11 @@ pub fn expose_with_observed<T: Target + Sync + ?Sized>(
     config: &BeamConfig,
     observer: CampaignObserver<'_>,
 ) -> BeamResult {
-    let opts = RunOptions { ecc: config.ecc, ..RunOptions::default() };
-    let golden = target.execute(device, &opts);
-    assert!(
-        golden.status.completed(),
-        "golden run of {} failed under beam setup: {:?}",
-        target.name(),
-        golden.status
-    );
-    let watchdog = golden.counts.total * 4 + 100_000;
-
-    let chans = channels(device, xsec, target.kernel(), target.launch(), &golden);
-    let lambda_per_flux: f64 = chans.iter().map(|c| c.rate_per_flux).sum();
-    let flux = if config.flux > 0.0 {
-        config.flux
-    } else {
-        BeamConfig::TARGET_LAMBDA / lambda_per_flux.max(f64::MIN_POSITIVE)
-    };
-    let lambda = lambda_per_flux * flux;
-    let p_strike = 1.0 - (-lambda).exp();
-
-    // Sample every run's strike (deterministic, sequential RNG), then
-    // fan the actual executions out over the Rayon pool.
-    let mut rng = ChaCha12Rng::seed_from_u64(config.seed ^ hash_name(target.name()));
-    let mut counts = OutcomeCounts::new();
-    let mut struck_runs = 0u32;
-    let memory_len = golden.memory.len();
-    let mut plans = Vec::new();
-
-    let mut unstruck = 0u64;
-    let mut direct = OutcomeCounts::new();
-    for _ in 0..config.runs {
-        if !rng.gen_bool(p_strike.clamp(0.0, 1.0)) {
-            counts.record(Outcome::Masked);
-            unstruck += 1;
-            if let Some(p) = observer.progress {
-                p.inc();
-            }
-            continue;
-        }
-        struck_runs += 1;
-        // Pick the struck channel proportionally to its rate.
-        let mut pick = rng.gen_range(0.0..lambda_per_flux);
-        let mut chosen = chans.last().expect("channels never empty");
-        for c in &chans {
-            if pick < c.rate_per_flux {
-                chosen = c;
-                break;
-            }
-            pick -= c.rate_per_flux;
-        }
-        match sample_effect(&mut rng, chosen, xsec, &golden, target.kernel(), memory_len) {
-            StrikeEffect::Direct(outcome) => {
-                counts.record(outcome);
-                direct.record(outcome);
-                if let Some(p) = observer.progress {
-                    p.inc();
-                }
-            }
-            StrikeEffect::Plan(plan) => plans.push(plan),
-        }
-    }
-
-    let executed: Vec<(Outcome, Option<DueKind>)> = {
-        use rayon::prelude::*;
-        let progress = observer.progress;
-        plans
-            .par_iter()
-            .map(|&plan| {
-                let run_opts = RunOptions {
-                    ecc: config.ecc,
-                    fault: plan,
-                    watchdog_limit: watchdog,
-                    ..RunOptions::default()
-                };
-                let faulty = target.execute(device, &run_opts);
-                let classified = match faulty.status {
-                    ExecStatus::Due(kind) => (Outcome::Due, Some(kind)),
-                    ExecStatus::Completed => {
-                        if target.output_matches(&golden, &faulty) {
-                            (Outcome::Masked, None)
-                        } else {
-                            (Outcome::Sdc, None)
-                        }
-                    }
-                };
-                if let Some(p) = progress {
-                    p.inc();
-                }
-                classified
-            })
-            .collect()
-    };
-    for &(outcome, _) in &executed {
-        counts.record(outcome);
-    }
-
-    if let Some(m) = observer.metrics {
-        m.counter("trials").add(config.runs as u64);
-        m.counter("beam.unstruck").add(unstruck);
-        m.counter("beam.struck").add(struck_runs as u64);
-        m.counter("outcome.sdc").add(counts.sdc);
-        m.counter("outcome.due").add(counts.due);
-        m.counter("outcome.masked").add(counts.masked);
-        m.counter("beam.direct.sdc").add(direct.sdc);
-        m.counter("beam.direct.due").add(direct.due);
-        m.counter("beam.direct.masked").add(direct.masked);
-        for &(_, due_kind) in &executed {
-            if let Some(kind) = due_kind {
-                m.counter(&format!("due.{}", kind.name())).inc();
-            }
-        }
-        // Every direct hidden-resource DUE is a crash/hang from state no
-        // injector reaches; tally them under the dedicated kind.
-        m.counter(&format!("due.{}", DueKind::HiddenResource.name())).add(direct.due);
-        if let Some(p) = observer.progress {
-            m.gauge("trials_per_sec").set(p.rate());
-        }
-    }
-
-    let fluence = Fluence::from_flux(flux, golden.timing.seconds * config.runs as f64);
-    BeamResult {
-        target: target.name().to_string(),
-        sdc_fit: FitRate::from_beam(counts.sdc, fluence),
-        due_fit: FitRate::from_beam(counts.due, fluence),
-        counts,
-        fluence,
-        struck_runs,
-    }
+    Campaign::new(config.kind().with_xsec(xsec.clone()), target, device)
+        .budget(config.budget())
+        .observer(observer)
+        .run()
+        .expect("beam campaign failed")
 }
 
 /// A hidden-resource-only exposure, used by ablation studies: returns the
@@ -464,10 +546,6 @@ pub fn hidden_due_fit(device: &DeviceModel, seconds: f64, runs: u32, flux: f64) 
     let expected_dues = rate * runs as f64 * xsec.hidden_due_fraction;
     let fluence = Fluence::from_flux(flux, seconds * runs as f64);
     FitRate::from_beam(expected_dues.round() as u64, fluence)
-}
-
-fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
 }
 
 /// Convenience: classify a DUE kind as originating from hidden resources.
@@ -481,16 +559,24 @@ mod tests {
     use gpu_arch::{CodeGen, Precision};
     use workloads::{build, Benchmark, Scale};
 
-    fn quick(runs: u32, ecc: bool) -> BeamConfig {
-        BeamConfig { flux: 3.5e6, runs, ecc, seed: 7 }
+    fn run<T: Target + Sync + ?Sized>(
+        target: &T,
+        device: &DeviceModel,
+        runs: u32,
+        ecc: bool,
+    ) -> BeamResult {
+        Campaign::new(Beam::auto(ecc).flux(3.5e6), target, device)
+            .budget(Budget::fixed(runs).seed(7))
+            .run()
+            .unwrap()
     }
 
     #[test]
     fn beam_campaign_is_reproducible_and_counts_all_runs() {
         let device = DeviceModel::k40c_sim();
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
-        let a = expose(&w, &device, &quick(500, true));
-        let b = expose(&w, &device, &quick(500, true));
+        let a = run(&w, &device, 500, true);
+        let b = run(&w, &device, 500, true);
         assert_eq!(a.counts, b.counts);
         assert_eq!(a.counts.total(), 500);
         assert!(a.struck_runs > 0, "flux too low for the test");
@@ -498,11 +584,42 @@ mod tests {
     }
 
     #[test]
+    fn beam_campaign_is_deterministic_across_worker_counts() {
+        let device = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let counts: Vec<OutcomeCounts> = [1usize, 4]
+            .into_iter()
+            .map(|workers| {
+                Campaign::new(Beam::auto(true).flux(3.5e6), &w, &device)
+                    .budget(Budget::fixed(400).seed(7))
+                    .workers(workers)
+                    .run_full()
+                    .unwrap()
+                    .1
+                    .counts
+            })
+            .collect();
+        assert_eq!(counts[0], counts[1]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_forwarders_match_the_campaign_api() {
+        let device = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let old = expose(&w, &device, &BeamConfig { flux: 3.5e6, runs: 300, ecc: true, seed: 7 });
+        let new = run(&w, &device, 300, true);
+        assert_eq!(old.counts, new.counts);
+        assert_eq!(old.struck_runs, new.struck_runs);
+        assert!((old.fluence.0 - new.fluence.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn ecc_off_raises_sdc_fit() {
         let device = DeviceModel::k40c_sim();
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
-        let on = expose(&w, &device, &quick(1500, true));
-        let off = expose(&w, &device, &quick(1500, false));
+        let on = run(&w, &device, 1500, true);
+        let off = run(&w, &device, 1500, false);
         assert!(
             off.sdc_fit.fit > on.sdc_fit.fit,
             "ECC off {} !> on {}",
@@ -515,8 +632,8 @@ mod tests {
     fn fluence_scales_with_runs() {
         let device = DeviceModel::k40c_sim();
         let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
-        let a = expose(&w, &device, &quick(200, true));
-        let b = expose(&w, &device, &quick(400, true));
+        let a = run(&w, &device, 200, true);
+        let b = run(&w, &device, 400, true);
         assert!((b.fluence.0 / a.fluence.0 - 2.0).abs() < 1e-9);
     }
 

@@ -3,10 +3,11 @@
 //! per-experiment index in DESIGN.md requires. (The `repro` binary runs
 //! the full-size versions; these measure the harness cost itself.)
 
-use beam::BeamConfig;
+use beam::Beam;
+use campaign::{Budget, Campaign};
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_arch::{Architecture, CodeGen, DeviceModel, Precision};
-use injector::{measure_avf, CampaignConfig, Injector};
+use injector::{Avf, Injector};
 use prediction::{
     characterize_units, memory_footprint, predict, CharacterizeConfig, PredictOptions,
 };
@@ -36,7 +37,12 @@ fn fig3_microbench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3");
     group.sample_size(10);
     group.bench_function("beam_one_microbench_500_runs", |b| {
-        b.iter(|| beam::expose(&mb, &device, &BeamConfig::auto(500, true, 1)))
+        b.iter(|| {
+            Campaign::new(Beam::auto(true), &mb, &device)
+                .budget(Budget::fixed(500).seed(1))
+                .run()
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -48,13 +54,10 @@ fn fig4_avf(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("avf_campaign_100_injections", |b| {
         b.iter(|| {
-            measure_avf(
-                Injector::Sassifi,
-                &w,
-                &device,
-                &CampaignConfig { injections: 100, seed: 1 },
-            )
-            .unwrap()
+            Campaign::new(Avf::new(Injector::Sassifi), &w, &device)
+                .budget(Budget::fixed(100).seed(1))
+                .run()
+                .unwrap()
         })
     });
     group.finish();
@@ -66,7 +69,12 @@ fn fig5_beam(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);
     group.bench_function("beam_campaign_500_runs", |b| {
-        b.iter(|| beam::expose(&w, &device, &BeamConfig::auto(500, false, 1)))
+        b.iter(|| {
+            Campaign::new(Beam::auto(false), &w, &device)
+                .budget(Budget::fixed(500).seed(1))
+                .run()
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -77,13 +85,17 @@ fn fig6_prediction(c: &mut Criterion) {
     let units = characterize_units(
         &device,
         &microbench::suite(Architecture::Kepler),
-        &CharacterizeConfig { beam_runs: 300, injections: 40, seed: 1 },
+        &CharacterizeConfig {
+            beam: Budget::fixed(300).seed(1),
+            injection: Budget::fixed(40).seed(1),
+        },
     );
     let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
     let prof = profile(&w, &device);
-    let avf =
-        measure_avf(Injector::NvBitFi, &w, &device, &CampaignConfig { injections: 60, seed: 1 })
-            .unwrap();
+    let avf = Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)
+        .budget(Budget::fixed(60).seed(1))
+        .run()
+        .unwrap();
     let feet = memory_footprint(&w, &device, &prof);
     c.bench_function("fig6_predict_one_code", |b| {
         b.iter(|| predict(&prof, &avf, &units, &feet, &PredictOptions::default()))
@@ -98,13 +110,17 @@ fn ablate_phi(c: &mut Criterion) {
     let units = characterize_units(
         &device,
         &microbench::suite(Architecture::Kepler),
-        &CharacterizeConfig { beam_runs: 300, injections: 40, seed: 2 },
+        &CharacterizeConfig {
+            beam: Budget::fixed(300).seed(2),
+            injection: Budget::fixed(40).seed(2),
+        },
     );
     let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
     let prof = profile(&w, &device);
-    let avf =
-        measure_avf(Injector::NvBitFi, &w, &device, &CampaignConfig { injections: 60, seed: 2 })
-            .unwrap();
+    let avf = Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)
+        .budget(Budget::fixed(60).seed(2))
+        .run()
+        .unwrap();
     let feet = memory_footprint(&w, &device, &prof);
     c.bench_function("ablate_phi_toggle", |b| {
         b.iter(|| {

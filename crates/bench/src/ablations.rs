@@ -10,10 +10,11 @@
 //!    ECC-on DUE rate (SECDED detects exactly the double-bit events).
 
 use crate::experiments::{devices, HarnessConfig};
-use beam::{expose, expose_with, BeamConfig, CrossSections};
+use beam::{Beam, CrossSections};
+use campaign::Campaign;
 use gpu_arch::{Architecture, CodeGen, Precision};
 use gpu_sim::SiteClass;
-use injector::{measure_avf, measure_class_avf, CampaignConfig, Injector};
+use injector::{Avf, ClassAvf, Injector};
 use prediction::{
     characterize_units, memory_footprint, predict, CharacterizeConfig, PredictOptions,
 };
@@ -35,22 +36,24 @@ pub struct PhiRow {
 /// φ ablation over a few Kepler codes (ECC on).
 pub fn ablate_phi(cfg: &HarnessConfig) -> Vec<PhiRow> {
     let (kepler, _) = devices();
-    let char_cfg = CharacterizeConfig {
-        beam_runs: cfg.bench_beam_runs,
-        injections: cfg.bench_injections,
-        seed: cfg.seed,
-    };
+    let char_cfg =
+        CharacterizeConfig { beam: cfg.bench_beam.clone(), injection: cfg.bench_injection.clone() };
     let units = characterize_units(&kepler, &microbench::suite(Architecture::Kepler), &char_cfg);
-    let campaign = CampaignConfig { injections: cfg.injections, seed: cfg.seed };
 
     let mut rows = Vec::new();
     for bench in [Benchmark::Mxm, Benchmark::Hotspot, Benchmark::Gaussian, Benchmark::Mergesort] {
         let precision = if bench.is_integer() { Precision::Int32 } else { Precision::Single };
         let w = build(bench, precision, CodeGen::Cuda10, cfg.scale);
         let prof = profile(&w, &kepler);
-        let avf = measure_avf(Injector::NvBitFi, &w, &kepler, &campaign).unwrap();
+        let avf = Campaign::new(Avf::new(Injector::NvBitFi), &w, &kepler)
+            .budget(cfg.injection.clone())
+            .run()
+            .expect("injection campaign failed");
         let feet = memory_footprint(&w, &kepler, &prof);
-        let measured = expose(&w, &kepler, &BeamConfig::auto(cfg.beam_runs, true, cfg.seed));
+        let measured = Campaign::new(Beam::auto(true), &w, &kepler)
+            .budget(cfg.beam.clone())
+            .run()
+            .expect("beam campaign failed");
         let with_phi =
             predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: true });
         let without =
@@ -82,13 +85,9 @@ pub struct HalfCapabilityResult {
 /// What NVBitFI's half-precision gap costs on HHotspot (Section VII-A).
 pub fn ablate_half_capability(cfg: &HarnessConfig) -> HalfCapabilityResult {
     let (_, volta) = devices();
-    let char_cfg = CharacterizeConfig {
-        beam_runs: cfg.bench_beam_runs,
-        injections: cfg.bench_injections,
-        seed: cfg.seed,
-    };
+    let char_cfg =
+        CharacterizeConfig { beam: cfg.bench_beam.clone(), injection: cfg.bench_injection.clone() };
     let units = characterize_units(&volta, &microbench::suite(Architecture::Volta), &char_cfg);
-    let campaign = CampaignConfig { injections: cfg.injections, seed: cfg.seed };
 
     let h = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, cfg.scale);
     let f = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10, cfg.scale);
@@ -97,11 +96,20 @@ pub fn ablate_half_capability(cfg: &HarnessConfig) -> HalfCapabilityResult {
 
     // Real NVBitFI: cannot touch half ops; the paper substitutes the
     // float variant's AVF.
-    let avf_f = measure_avf(Injector::NvBitFi, &f, &volta, &campaign).unwrap();
+    let avf_f = Campaign::new(Avf::new(Injector::NvBitFi), &f, &volta)
+        .budget(cfg.injection.clone())
+        .run()
+        .expect("injection campaign failed");
     // Hypothetical injector with half support: all GPR writers.
-    let avf_h = measure_class_avf(&h, &volta, SiteClass::GprWriter, &campaign);
+    let avf_h = Campaign::new(ClassAvf::new(SiteClass::GprWriter), &h, &volta)
+        .budget(cfg.injection.clone())
+        .run()
+        .expect("injection campaign failed");
 
-    let measured = expose(&h, &volta, &BeamConfig::auto(cfg.beam_runs, true, cfg.seed));
+    let measured = Campaign::new(Beam::auto(true), &h, &volta)
+        .budget(cfg.beam.clone())
+        .run()
+        .expect("beam campaign failed");
     let p_without =
         predict(&prof, &avf_f, &units, &feet, &PredictOptions { ecc: true, use_phi: true });
     let p_with =
@@ -136,7 +144,10 @@ pub fn ablate_mbu(cfg: &HarnessConfig) -> Vec<MbuRow> {
     for mbu in [0.0, 0.02, 0.10, 0.30] {
         let mut xsec = CrossSections::ground_truth(&kepler);
         xsec.mbu_probability = mbu;
-        let r = expose_with(&w, &kepler, &xsec, &BeamConfig::auto(cfg.beam_runs, true, cfg.seed));
+        let r = Campaign::new(Beam::auto(true).with_xsec(xsec), &w, &kepler)
+            .budget(cfg.beam.clone())
+            .run()
+            .expect("beam campaign failed");
         rows.push(MbuRow { mbu, sdc_fit: r.sdc_fit.fit, due_fit: r.due_fit.fit });
     }
     rows

@@ -4,10 +4,11 @@
 //! textual tables the `repro` binary prints. The per-experiment index in
 //! DESIGN.md maps each function to its paper counterpart.
 
-use beam::{expose, BeamConfig, BeamResult};
+use beam::{Beam, BeamResult};
+use campaign::{Budget, Campaign};
 use gpu_arch::{Architecture, CodeGen, DeviceModel, MixCategory, Precision};
 use gpu_sim::Target;
-use injector::{measure_avf, AvfResult, CampaignConfig, Injector};
+use injector::{Avf, AvfResult, Injector};
 use obs::{CampaignObserver, MetricsRegistry, MetricsSnapshot, Progress};
 use prediction::{
     characterize_units, compare, memory_footprint, predict, CharacterizeConfig, ComparisonRow,
@@ -16,23 +17,26 @@ use prediction::{
 use profiler::profile;
 use workloads::{build, kepler_suite, volta_suite, Benchmark, Scale, Workload};
 
-/// Campaign sizing for the harness.
+/// Campaign sizing for the harness: one [`Budget`] per campaign family.
+///
+/// Injection budgets are adaptive (CI-targeted early stopping) in the
+/// presets; beam budgets stay fixed because the fluence accounting — and
+/// the paper's Poisson error-count statistics — assume a predetermined
+/// number of accounted runs.
 #[derive(Clone, Debug)]
 pub struct HarnessConfig {
     /// Workload scale for injection/beam campaigns.
     pub scale: Scale,
     /// Workload scale for the profiling experiments (Table I, Figure 1).
     pub profile_scale: Scale,
-    /// Injections per workload AVF campaign.
-    pub injections: u32,
-    /// Beam runs per workload campaign.
-    pub beam_runs: u32,
-    /// Beam runs per micro-benchmark (Figure 3).
-    pub bench_beam_runs: u32,
-    /// Injections per micro-benchmark (FIT de-masking AVF).
-    pub bench_injections: u32,
-    /// Base RNG seed.
-    pub seed: u64,
+    /// Budget per workload AVF campaign.
+    pub injection: Budget,
+    /// Budget per workload beam campaign.
+    pub beam: Budget,
+    /// Budget per micro-benchmark beam campaign (Figure 3).
+    pub bench_beam: Budget,
+    /// Budget per micro-benchmark injection campaign (FIT de-masking AVF).
+    pub bench_injection: Budget,
 }
 
 impl HarnessConfig {
@@ -41,11 +45,10 @@ impl HarnessConfig {
         HarnessConfig {
             scale: Scale::Small,
             profile_scale: Scale::Profile,
-            injections: 400,
-            beam_runs: 4000,
-            bench_beam_runs: 3000,
-            bench_injections: 200,
-            seed: 2021,
+            injection: Budget::quick(),
+            beam: Budget::fixed(4000).seed(2021),
+            bench_beam: Budget::fixed(3000).seed(2021),
+            bench_injection: Budget::fixed(200).seed(2021),
         }
     }
 
@@ -53,10 +56,10 @@ impl HarnessConfig {
     /// injections per code).
     pub fn full() -> Self {
         HarnessConfig {
-            injections: 4000,
-            beam_runs: 40_000,
-            bench_beam_runs: 20_000,
-            bench_injections: 1000,
+            injection: Budget::full(),
+            beam: Budget::fixed(40_000).seed(2021),
+            bench_beam: Budget::fixed(20_000).seed(2021),
+            bench_injection: Budget::fixed(1000).seed(2021),
             ..HarnessConfig::quick()
         }
     }
@@ -111,24 +114,27 @@ pub struct ObserveCtx<'a> {
     pub observe: &'a mut dyn FnMut(CampaignObservation),
 }
 
-/// Run one AVF campaign; when observed, tally per-trial metrics, tick a
-/// progress meter, append the workload's profile gauges, and emit one
-/// [`CampaignObservation`].
+/// Run one AVF campaign on the shared engine; when observed, tally
+/// per-trial metrics, tick a progress meter (total = budget ceiling;
+/// adaptive campaigns may finish early), append the workload's profile
+/// gauges, and emit one [`CampaignObservation`].
 fn observed_avf<T: Target + Sync + ?Sized>(
     label: &str,
     injector_kind: Injector,
     target: &T,
     device: &DeviceModel,
-    campaign: &CampaignConfig,
+    budget: &Budget,
     ctx: Option<&mut ObserveCtx<'_>>,
 ) -> Result<AvfResult, injector::Unsupported> {
+    injector_kind.supports(target, device)?;
+    let campaign = Campaign::new(Avf::new(injector_kind), target, device).budget(budget.clone());
     let Some(ctx) = ctx else {
-        return measure_avf(injector_kind, target, device, campaign);
+        return Ok(campaign.run().expect("injection campaign failed"));
     };
     let metrics = MetricsRegistry::new();
-    let meter = Progress::new(label, campaign.injections as u64, ctx.progress);
+    let meter = Progress::new(label, budget.ceiling as u64, ctx.progress);
     let observer = CampaignObserver { metrics: Some(&metrics), progress: Some(&meter) };
-    let result = injector::measure_avf_observed(injector_kind, target, device, campaign, observer)?;
+    let result = campaign.observer(observer).run().expect("injection campaign failed");
     meter.finish();
     profile(target, device).export_metrics(&metrics);
     (ctx.observe)(CampaignObservation {
@@ -143,16 +149,18 @@ fn observed_beam<T: Target + Sync + ?Sized>(
     label: &str,
     target: &T,
     device: &DeviceModel,
-    beam_cfg: &BeamConfig,
+    ecc: bool,
+    budget: &Budget,
     ctx: Option<&mut ObserveCtx<'_>>,
 ) -> BeamResult {
+    let campaign = Campaign::new(Beam::auto(ecc), target, device).budget(budget.clone());
     let Some(ctx) = ctx else {
-        return expose(target, device, beam_cfg);
+        return campaign.run().expect("beam campaign failed");
     };
     let metrics = MetricsRegistry::new();
-    let meter = Progress::new(label, beam_cfg.runs as u64, ctx.progress);
+    let meter = Progress::new(label, budget.ceiling as u64, ctx.progress);
     let observer = CampaignObserver { metrics: Some(&metrics), progress: Some(&meter) };
-    let result = beam::expose_observed(target, device, beam_cfg, observer);
+    let result = campaign.observer(observer).run().expect("beam campaign failed");
     meter.finish();
     profile(target, device).export_metrics(&metrics);
     (ctx.observe)(CampaignObservation {
@@ -281,9 +289,9 @@ fn fig3_device(
     let mut raws: Vec<(String, BeamResult, Option<f64>)> = Vec::new();
     for mb in &benches {
         let is_rf = mb.name == "RF";
-        let beam_cfg = BeamConfig::auto(cfg.bench_beam_runs, !is_rf, cfg.seed);
         let obs_label = format!("fig3/{label}/{}", mb.name);
-        let res = observed_beam(&obs_label, mb, device, &beam_cfg, ctx.as_deref_mut());
+        let res =
+            observed_beam(&obs_label, mb, device, !is_rf, &cfg.bench_beam, ctx.as_deref_mut());
         let per_mb = if is_rf {
             // Report the register file per megabyte, as the figure does.
             let golden = mb.execute_golden(device);
@@ -407,25 +415,25 @@ pub fn fig4_observed(cfg: &HarnessConfig, ctx: &mut ObserveCtx<'_>) -> Vec<AvfRo
 fn fig4_impl(cfg: &HarnessConfig, mut ctx: Option<&mut ObserveCtx<'_>>) -> Vec<AvfRow> {
     let (kepler, volta) = devices();
     let mut rows = Vec::new();
-    let campaign = CampaignConfig { injections: cfg.injections, seed: cfg.seed };
+    let budget = &cfg.injection;
 
     for w in kepler_suite(CodeGen::Cuda7, cfg.scale) {
         let label = format!("fig4/Kepler/SASSIFI/{}", w.name);
         if let Ok(r) =
-            observed_avf(&label, Injector::Sassifi, &w, &kepler, &campaign, ctx.as_deref_mut())
+            observed_avf(&label, Injector::Sassifi, &w, &kepler, budget, ctx.as_deref_mut())
         {
             rows.push(AvfRow::from("Kepler", &r));
         }
     }
     for w in kepler_suite(CodeGen::Cuda10, cfg.scale) {
         let label = format!("fig4/Kepler/NVBitFI/{}", w.name);
-        let r = observed_avf(&label, Injector::NvBitFi, &w, &kepler, &campaign, ctx.as_deref_mut())
+        let r = observed_avf(&label, Injector::NvBitFi, &w, &kepler, budget, ctx.as_deref_mut())
             .expect("NVBitFI supports Kepler");
         rows.push(AvfRow::from("Kepler", &r));
     }
     for w in volta_fig4_set(cfg.scale) {
         let label = format!("fig4/Volta/NVBitFI/{}", w.name);
-        let r = observed_avf(&label, Injector::NvBitFi, &w, &volta, &campaign, ctx.as_deref_mut())
+        let r = observed_avf(&label, Injector::NvBitFi, &w, &volta, budget, ctx.as_deref_mut())
             .expect("NVBitFI supports Volta");
         rows.push(AvfRow::from("Volta", &r));
     }
@@ -502,7 +510,7 @@ fn beam_row(
     ctx: Option<&mut ObserveCtx<'_>>,
 ) -> BeamRow {
     let label = format!("fig5/{device}/ecc-{}/{}", if ecc { "on" } else { "off" }, w.name);
-    let res = observed_beam(&label, w, dm, &BeamConfig::auto(cfg.beam_runs, ecc, cfg.seed), ctx);
+    let res = observed_beam(&label, w, dm, ecc, &cfg.beam, ctx);
     BeamRow {
         device,
         name: w.name.clone(),
@@ -651,12 +659,23 @@ impl AvfBank {
 /// vs predicted SDC FIT for every code, ECC off and on, both devices.
 pub fn fig6(cfg: &HarnessConfig) -> ComparisonSet {
     let (kepler, volta) = devices();
-    let campaign = CampaignConfig { injections: cfg.injections, seed: cfg.seed };
-    let char_cfg = CharacterizeConfig {
-        beam_runs: cfg.bench_beam_runs,
-        injections: cfg.bench_injections,
-        seed: cfg.seed,
+    let measure_avf = |injector: Injector, w: &Workload, dm: &DeviceModel| {
+        injector.supports(w, dm)?;
+        Ok::<AvfResult, injector::Unsupported>(
+            Campaign::new(Avf::new(injector), w, dm)
+                .budget(cfg.injection.clone())
+                .run()
+                .expect("injection campaign failed"),
+        )
     };
+    let expose = |w: &Workload, dm: &DeviceModel, ecc: bool| {
+        Campaign::new(Beam::auto(ecc), w, dm)
+            .budget(cfg.beam.clone())
+            .run()
+            .expect("beam campaign failed")
+    };
+    let char_cfg =
+        CharacterizeConfig { beam: cfg.bench_beam.clone(), injection: cfg.bench_injection.clone() };
 
     // 1. Characterize the functional units on both devices (Figure 3 data
     //    in usable form).
@@ -672,12 +691,12 @@ pub fn fig6(cfg: &HarnessConfig) -> ComparisonSet {
         volta_nvbitfi: Vec::new(),
     };
     for w in kepler_suite(CodeGen::Cuda7, cfg.scale) {
-        if let Ok(r) = measure_avf(Injector::Sassifi, &w, &kepler, &campaign) {
+        if let Ok(r) = measure_avf(Injector::Sassifi, &w, &kepler) {
             bank.kepler_sassifi.push(r);
         }
     }
     for w in kepler_suite(CodeGen::Cuda10, cfg.scale) {
-        if let Ok(r) = measure_avf(Injector::NvBitFi, &w, &kepler, &campaign) {
+        if let Ok(r) = measure_avf(Injector::NvBitFi, &w, &kepler) {
             bank.kepler_nvbitfi.push(r);
         }
     }
@@ -689,7 +708,7 @@ pub fn fig6(cfg: &HarnessConfig) -> ComparisonSet {
         if w.precision == Precision::Half {
             continue; // predictions use the float sibling
         }
-        if let Ok(r) = measure_avf(Injector::NvBitFi, w, &volta, &campaign) {
+        if let Ok(r) = measure_avf(Injector::NvBitFi, w, &volta) {
             bank.volta_nvbitfi.push(r);
         }
     }
@@ -704,7 +723,7 @@ pub fn fig6(cfg: &HarnessConfig) -> ComparisonSet {
         for w in &set {
             let prof = profile(w, &kepler);
             let feet = memory_footprint(w, &kepler, &prof);
-            let measured = expose(w, &kepler, &BeamConfig::auto(cfg.beam_runs, ecc, cfg.seed));
+            let measured = expose(w, &kepler, ecc);
             for injector in [Injector::Sassifi, Injector::NvBitFi] {
                 let Some(avf) = bank.kepler(&w.name, injector) else { continue };
                 let pred = predict(
@@ -731,7 +750,7 @@ pub fn fig6(cfg: &HarnessConfig) -> ComparisonSet {
         for w in &set {
             let prof = profile(w, &volta);
             let feet = memory_footprint(w, &volta, &prof);
-            let measured = expose(w, &volta, &BeamConfig::auto(cfg.beam_runs, ecc, cfg.seed));
+            let measured = expose(w, &volta, ecc);
             let Some(avf) = bank.volta(w) else { continue };
             let pred =
                 predict(&prof, avf, &volta_units, &feet, &PredictOptions { ecc, use_phi: true });
@@ -798,7 +817,12 @@ pub struct CodegenRow {
 /// the probability that a corrupted value reaches the output.
 pub fn codegen_comparison(cfg: &HarnessConfig) -> Vec<CodegenRow> {
     let (kepler, _) = devices();
-    let campaign = CampaignConfig { injections: cfg.injections, seed: cfg.seed };
+    let avf = |w: &Workload| {
+        Campaign::new(Avf::new(Injector::NvBitFi), w, &kepler)
+            .budget(cfg.injection.clone())
+            .run()
+            .expect("injection campaign failed")
+    };
     let mut rows = Vec::new();
     for bench in [
         Benchmark::Mxm,
@@ -813,8 +837,8 @@ pub fn codegen_comparison(cfg: &HarnessConfig) -> Vec<CodegenRow> {
         let precision = if bench.is_integer() { Precision::Int32 } else { Precision::Single };
         let w7 = build(bench, precision, CodeGen::Cuda7, cfg.scale);
         let w10 = build(bench, precision, CodeGen::Cuda10, cfg.scale);
-        let a7 = measure_avf(Injector::NvBitFi, &w7, &kepler, &campaign).unwrap();
-        let a10 = measure_avf(Injector::NvBitFi, &w10, &kepler, &campaign).unwrap();
+        let a7 = avf(&w7);
+        let a10 = avf(&w10);
         let g7 = w7.execute_golden(&kepler);
         let g10 = w10.execute_golden(&kepler);
         rows.push(CodegenRow {
@@ -842,7 +866,7 @@ pub struct ConvergenceRow {
 }
 
 /// How the AVF estimate converges with campaign size — the paper sizes
-/// campaigns so that "95% confidence intervals [are] lower than 5%"
+/// campaigns so that "95% confidence intervals \[are\] lower than 5%"
 /// (Section III-D).
 pub fn convergence(cfg: &HarnessConfig, benchmark: Benchmark) -> Vec<ConvergenceRow> {
     let (kepler, _) = devices();
@@ -850,8 +874,10 @@ pub fn convergence(cfg: &HarnessConfig, benchmark: Benchmark) -> Vec<Convergence
     let w = build(benchmark, precision, CodeGen::Cuda10, cfg.scale);
     let mut rows = Vec::new();
     for n in [100u32, 250, 500, 1000, 2000, 4000] {
-        let campaign = CampaignConfig { injections: n, seed: cfg.seed };
-        let r = measure_avf(Injector::NvBitFi, &w, &kepler, &campaign).unwrap();
+        let r = Campaign::new(Avf::new(Injector::NvBitFi), &w, &kepler)
+            .budget(Budget::fixed(n).seed(cfg.injection.seed))
+            .run()
+            .expect("injection campaign failed");
         rows.push(ConvergenceRow {
             injections: n,
             sdc_avf: r.sdc_avf(),
@@ -883,7 +909,6 @@ pub struct BreakdownRow {
 pub fn avf_breakdown(cfg: &HarnessConfig) -> Vec<BreakdownRow> {
     use gpu_sim::SiteClass;
     let (kepler, _) = devices();
-    let campaign = CampaignConfig { injections: cfg.injections, seed: cfg.seed };
     let label = |c: SiteClass| match c {
         SiteClass::FloatArith => "FP",
         SiteClass::HalfArith => "HALF",
@@ -895,7 +920,7 @@ pub fn avf_breakdown(cfg: &HarnessConfig) -> Vec<BreakdownRow> {
     for bench in [Benchmark::Mxm, Benchmark::Hotspot, Benchmark::Nw, Benchmark::Mergesort] {
         let precision = if bench.is_integer() { Precision::Int32 } else { Precision::Single };
         let w = build(bench, precision, CodeGen::Cuda10, cfg.scale);
-        let b = injector::measure_avf_breakdown(&w, &kepler, &campaign);
+        let b = injector::measure_avf_breakdown(&w, &kepler, &cfg.injection);
         for (class, r) in &b.per_class {
             rows.push(BreakdownRow {
                 name: w.name.clone(),

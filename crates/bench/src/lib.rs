@@ -8,6 +8,7 @@ pub mod ablations;
 pub mod experiments;
 pub mod render;
 
+pub use campaign::Budget;
 pub use experiments::{
     avf_breakdown, codegen_comparison, convergence, due_analysis, fig1, fig3, fig3_observed, fig4,
     fig4_observed, fig5, fig5_observed, fig6, table1, table1_observed, AvfRow, BeamRow,

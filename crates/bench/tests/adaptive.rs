@@ -1,0 +1,103 @@
+//! Acceptance test for the CI-targeted stop rule (DESIGN.md, "adaptive
+//! campaign engine"): on a skewed workload the adaptive quick-profile
+//! budget reaches the same Wilson 95% CI half-width target as the fixed
+//! quick-profile budget while spending fewer trials.
+
+use campaign::{Budget, Campaign, StopReason};
+use gpu_arch::{CodeGen, DeviceModel, Precision};
+use injector::{Avf, Injector};
+use stats::wilson_half_width;
+use workloads::{build, Benchmark, Scale};
+
+/// The widest of the two tracked CIs — the quantity the stop rule drives
+/// below its target.
+fn achieved_half_width(counts: &stats::OutcomeCounts, trials: u64) -> f64 {
+    wilson_half_width(counts.sdc, trials).max(wilson_half_width(counts.due, trials))
+}
+
+#[test]
+#[ignore = "probe: prints per-workload AVF skew, run with --nocapture"]
+fn probe_workload_skew() {
+    let device = DeviceModel::k40c_sim();
+    for bench in [
+        Benchmark::Mxm,
+        Benchmark::Hotspot,
+        Benchmark::Lava,
+        Benchmark::Nw,
+        Benchmark::Mergesort,
+        Benchmark::Quicksort,
+        Benchmark::Gaussian,
+        Benchmark::Lud,
+    ] {
+        let precision = if bench.is_integer() { Precision::Int32 } else { Precision::Single };
+        let w = build(bench, precision, CodeGen::Cuda10, Scale::Tiny);
+        let (r, run) = Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)
+            .budget(Budget::fixed(400).seed(2021))
+            .run_full()
+            .unwrap();
+        println!(
+            "{:<12} sdc={:.3} due={:.3} hw={:.4}",
+            w.name,
+            r.sdc_avf(),
+            r.due_avf(),
+            achieved_half_width(&run.counts, run.trials)
+        );
+    }
+}
+
+#[test]
+fn adaptive_budget_matches_fixed_ci_with_fewer_trials() {
+    let device = DeviceModel::k40c_sim();
+    let w = build(Benchmark::Nw, Precision::Int32, CodeGen::Cuda10, Scale::Tiny);
+
+    // Fixed quick-profile budget: always spends the full 400 trials,
+    // bounding the half-width by ~0.049 even at the worst case p = 0.5.
+    let (_, fixed) = Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)
+        .budget(Budget::fixed(400).seed(2021))
+        .run_full()
+        .unwrap();
+    assert_eq!(fixed.trials, 400);
+    assert_eq!(fixed.stop, StopReason::Ceiling);
+
+    // Adaptive budget with the same ceiling and the quick CI target.
+    let (_, adaptive) = Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)
+        .budget(Budget::adaptive(100, 400, 0.05).seed(2021))
+        .run_full()
+        .unwrap();
+
+    let fixed_hw = achieved_half_width(&fixed.counts, fixed.trials);
+    let adaptive_hw = achieved_half_width(&adaptive.counts, adaptive.trials);
+
+    // Both reach the quick-profile CI target...
+    assert!(fixed_hw <= 0.05, "fixed budget missed the target: {fixed_hw}");
+    assert!(adaptive_hw <= 0.05, "adaptive stop fired above the target: {adaptive_hw}");
+    // ...but the adaptive campaign spent fewer trials to get there.
+    assert!(
+        adaptive.trials < fixed.trials,
+        "adaptive spent {} trials, fixed spent {}",
+        adaptive.trials,
+        fixed.trials
+    );
+    assert!(adaptive.stop.stopped_early(), "expected a CiTarget stop, got {:?}", adaptive.stop);
+}
+
+#[test]
+#[ignore = "paper-scale variant of the efficiency claim (minutes)"]
+fn adaptive_budget_is_cheaper_at_full_scale() {
+    let device = DeviceModel::k40c_sim();
+    let w = build(Benchmark::Nw, Precision::Int32, CodeGen::Cuda10, Scale::Small);
+
+    let (_, fixed) = Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)
+        .budget(Budget::full().exhaustive())
+        .run_full()
+        .unwrap();
+    let (_, adaptive) = Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)
+        .budget(Budget::full())
+        .run_full()
+        .unwrap();
+
+    let target = Budget::full().ci_half_width.unwrap();
+    assert!(achieved_half_width(&fixed.counts, fixed.trials) <= target);
+    assert!(achieved_half_width(&adaptive.counts, adaptive.trials) <= target);
+    assert!(adaptive.trials < fixed.trials);
+}

@@ -3,7 +3,7 @@
 //! and renderable text.
 
 use bench::{
-    codegen_comparison, convergence, due_analysis, fig1, fig3, fig4, fig5, fig6, table1,
+    codegen_comparison, convergence, due_analysis, fig1, fig3, fig4, fig5, fig6, table1, Budget,
     HarnessConfig,
 };
 use workloads::{Benchmark, Scale};
@@ -12,11 +12,10 @@ fn micro() -> HarnessConfig {
     HarnessConfig {
         scale: Scale::Tiny,
         profile_scale: Scale::Tiny,
-        injections: 40,
-        beam_runs: 300,
-        bench_beam_runs: 250,
-        bench_injections: 25,
-        seed: 1234,
+        injection: Budget::fixed(40).seed(1234),
+        beam: Budget::fixed(300).seed(1234),
+        bench_beam: Budget::fixed(250).seed(1234),
+        bench_injection: Budget::fixed(25).seed(1234),
     }
 }
 

@@ -1,0 +1,177 @@
+//! Campaign sizing: trial floor/ceiling, the CI-targeted stop rule, the
+//! seed, and the shard size that fixes the deterministic RNG partition.
+
+/// How many trials a campaign runs and when it may stop early.
+///
+/// A budget fixes the *shape* of a campaign:
+///
+/// * at least [`Budget::floor`] trials always run;
+/// * at most [`Budget::ceiling`] trials ever run;
+/// * when [`Budget::ci_half_width`] is set, the campaign stops at the
+///   first shard boundary (at or past the floor) where the Wilson 95%
+///   confidence interval of **every** tracked outcome fraction (SDC and
+///   DUE) has a half-width at or below the target — the paper's "95%
+///   confidence intervals lower than 5%" discipline (Section III-D),
+///   applied adaptively instead of over-sampling easy targets;
+/// * [`Budget::seed`] and [`Budget::shard_size`] together define the
+///   deterministic RNG partition: trial `i` belongs to shard
+///   `i / shard_size`, and each shard owns an independent ChaCha12 stream
+///   keyed by `(seed, target, shard index)`. Results are therefore
+///   bit-identical at any worker count — but `shard_size` is part of the
+///   seed contract: changing it changes the draws.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Budget {
+    /// Minimum trials before the stop rule may fire.
+    pub floor: u32,
+    /// Maximum trials; the campaign always stops here.
+    pub ceiling: u32,
+    /// Wilson 95% CI half-width target for early stopping; `None` runs
+    /// the full ceiling (a fixed budget).
+    pub ci_half_width: Option<f64>,
+    /// Base RNG seed (mixed with the target name and shard index).
+    pub seed: u64,
+    /// Trials per shard — the early-stop granularity and the unit of
+    /// checkpoint/resume.
+    pub shard_size: u32,
+}
+
+impl Budget {
+    /// Default shard size: small enough that early stopping is responsive,
+    /// large enough that per-shard overhead is negligible.
+    pub const DEFAULT_SHARD_SIZE: u32 = 32;
+
+    /// A fixed budget: exactly `trials` trials, no early stopping.
+    pub fn fixed(trials: u32) -> Self {
+        Budget {
+            floor: trials,
+            ceiling: trials,
+            ci_half_width: None,
+            seed: 0x5EED,
+            shard_size: Self::DEFAULT_SHARD_SIZE,
+        }
+    }
+
+    /// An adaptive budget: run at least `floor` and at most `ceiling`
+    /// trials, stopping once every tracked Wilson 95% CI half-width is at
+    /// or below `ci_half_width`.
+    pub fn adaptive(floor: u32, ceiling: u32, ci_half_width: f64) -> Self {
+        Budget {
+            floor,
+            ceiling,
+            ci_half_width: Some(ci_half_width),
+            seed: 0x5EED,
+            shard_size: Self::DEFAULT_SHARD_SIZE,
+        }
+    }
+
+    /// The laptop-scale preset: up to 400 trials (which bounds the Wilson
+    /// 95% half-width by ~0.049 even at the worst-case fraction 0.5), with
+    /// early stopping at half-width 0.05 — skewed targets finish well
+    /// under the ceiling at the same confidence.
+    pub fn quick() -> Self {
+        Budget { seed: 2021, ..Budget::adaptive(100, 400, 0.05) }
+    }
+
+    /// The paper-scale preset: >= 1,000 and up to 4,000 trials per code
+    /// (Section III-D), stopping early at half-width 0.025 ("95%
+    /// confidence intervals lower than 5%" means a width of 0.05).
+    pub fn full() -> Self {
+        Budget { seed: 2021, ..Budget::adaptive(1000, 4000, 0.025) }
+    }
+
+    /// Replace the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the shard size (part of the determinism contract).
+    pub fn shard_size(mut self, trials: u32) -> Self {
+        self.shard_size = trials.max(1);
+        self
+    }
+
+    /// Replace the CI half-width target.
+    pub fn ci_target(mut self, half_width: f64) -> Self {
+        self.ci_half_width = Some(half_width);
+        self
+    }
+
+    /// Drop the CI target: run the full ceiling.
+    pub fn exhaustive(mut self) -> Self {
+        self.ci_half_width = None;
+        self
+    }
+
+    /// Multiply floor and ceiling by `factor` (saturating).
+    pub fn scaled(mut self, factor: u32) -> Self {
+        self.floor = self.floor.saturating_mul(factor);
+        self.ceiling = self.ceiling.saturating_mul(factor);
+        self
+    }
+
+    /// The ceiling with degenerate inputs clamped: at least one trial,
+    /// and never below the floor.
+    pub(crate) fn effective_ceiling(&self) -> u32 {
+        self.ceiling.max(self.floor).max(1)
+    }
+
+    /// The floor clamped into `1..=ceiling`.
+    pub(crate) fn effective_floor(&self) -> u32 {
+        self.floor.clamp(1, self.effective_ceiling())
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_budget_has_no_stop_rule() {
+        let b = Budget::fixed(250);
+        assert_eq!(b.floor, 250);
+        assert_eq!(b.ceiling, 250);
+        assert_eq!(b.ci_half_width, None);
+    }
+
+    #[test]
+    fn presets_are_ordered() {
+        let q = Budget::quick();
+        let f = Budget::full();
+        assert!(q.ceiling < f.ceiling);
+        assert!(q.ci_half_width.unwrap() > f.ci_half_width.unwrap());
+        assert_eq!(q.seed, f.seed);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let b = Budget::fixed(100).seed(7).shard_size(16).ci_target(0.01);
+        assert_eq!(b.seed, 7);
+        assert_eq!(b.shard_size, 16);
+        assert_eq!(b.ci_half_width, Some(0.01));
+        assert_eq!(b.exhaustive().ci_half_width, None);
+    }
+
+    #[test]
+    fn degenerate_budgets_are_clamped() {
+        let b = Budget { floor: 10, ceiling: 4, ci_half_width: None, seed: 0, shard_size: 8 };
+        assert_eq!(b.effective_ceiling(), 10);
+        assert_eq!(b.effective_floor(), 10);
+        let z = Budget::fixed(0);
+        assert_eq!(z.effective_ceiling(), 1);
+        assert_eq!(z.effective_floor(), 1);
+        assert_eq!(Budget::fixed(5).shard_size(0).shard_size, 1);
+    }
+
+    #[test]
+    fn scaled_multiplies_both_bounds() {
+        let b = Budget::adaptive(10, 40, 0.05).scaled(10);
+        assert_eq!((b.floor, b.ceiling), (100, 400));
+    }
+}

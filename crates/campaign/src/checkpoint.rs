@@ -1,0 +1,188 @@
+//! Campaign checkpoints: one JSON line per snapshot, written through
+//! [`obs::RunReport`] and parsed back with [`obs::json`].
+//!
+//! A checkpoint captures everything the engine needs to resume at a
+//! shard boundary: the campaign identity (label + seed + shard size),
+//! how many shards are folded in, and the accumulated outcome tallies.
+//! Because every shard owns a self-contained RNG stream, resuming from a
+//! checkpoint and running to the end is bit-identical to an uninterrupted
+//! campaign. Site-class and DUE-kind observability tallies are *not*
+//! checkpointed — they live in the caller's [`obs::MetricsRegistry`] and
+//! only cover the shards run in the current process.
+
+use obs::json::{self, Json};
+use obs::RunReport;
+use stats::OutcomeCounts;
+use std::collections::BTreeMap;
+
+/// The JSONL `"report"` tag of a checkpoint line.
+pub const CHECKPOINT_REPORT_KIND: &str = "campaign.checkpoint";
+
+/// A resumable campaign snapshot at a shard boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Campaign identity: `kind/device/target`.
+    pub label: String,
+    /// Budget seed the shards were keyed with.
+    pub seed: u64,
+    /// Shard size of the partition (part of the determinism contract).
+    pub shard_size: u32,
+    /// Shards folded in so far; the next shard to run.
+    pub shards_done: u32,
+    /// Trials accounted so far.
+    pub trials: u64,
+    /// Outcome tallies over all trials.
+    pub counts: OutcomeCounts,
+    /// Tallies of trials resolved without execution, keyed by the
+    /// sampler's direct label (e.g. `beam.unstruck`).
+    pub direct: BTreeMap<String, OutcomeCounts>,
+}
+
+impl Checkpoint {
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut r = RunReport::new(CHECKPOINT_REPORT_KIND);
+        r.push_str("label", &self.label)
+            .push_uint("seed", self.seed)
+            .push_uint("shard_size", self.shard_size as u64)
+            .push_uint("shards_done", self.shards_done as u64)
+            .push_uint("trials", self.trials)
+            .push_uint("sdc", self.counts.sdc)
+            .push_uint("due", self.counts.due)
+            .push_uint("masked", self.counts.masked);
+        for (label, c) in &self.direct {
+            r.push_uint(&format!("direct.{label}.sdc"), c.sdc)
+                .push_uint(&format!("direct.{label}.due"), c.due)
+                .push_uint(&format!("direct.{label}.masked"), c.masked);
+        }
+        r.to_json_line()
+    }
+
+    /// Parse a checkpoint line produced by [`Checkpoint::to_json_line`].
+    pub fn parse(line: &str) -> Result<Checkpoint, String> {
+        let parsed = json::parse(line)?;
+        let obj = parsed.as_obj().ok_or("checkpoint line is not a JSON object")?;
+        if obj.get("report").and_then(Json::as_str) != Some(CHECKPOINT_REPORT_KIND) {
+            return Err(format!("not a {CHECKPOINT_REPORT_KIND} line"));
+        }
+        let str_field = |k: &str| -> Result<String, String> {
+            obj.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("checkpoint missing string field {k:?}"))
+        };
+        let uint_field = |k: &str| -> Result<u64, String> {
+            obj.get(k)
+                .and_then(Json::as_num)
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .map(|v| v as u64)
+                .ok_or_else(|| format!("checkpoint missing numeric field {k:?}"))
+        };
+        let mut direct: BTreeMap<String, OutcomeCounts> = BTreeMap::new();
+        for (key, value) in obj {
+            let Some(rest) = key.strip_prefix("direct.") else { continue };
+            let Some((label, outcome)) = rest.rsplit_once('.') else {
+                return Err(format!("malformed direct tally key {key:?}"));
+            };
+            let n = value
+                .as_num()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| format!("non-numeric direct tally {key:?}"))?
+                as u64;
+            let c = direct.entry(label.to_string()).or_default();
+            match outcome {
+                "sdc" => c.sdc = n,
+                "due" => c.due = n,
+                "masked" => c.masked = n,
+                other => return Err(format!("unknown outcome {other:?} in {key:?}")),
+            }
+        }
+        let cp = Checkpoint {
+            label: str_field("label")?,
+            seed: uint_field("seed")?,
+            shard_size: uint_field("shard_size")? as u32,
+            shards_done: uint_field("shards_done")? as u32,
+            trials: uint_field("trials")?,
+            counts: OutcomeCounts {
+                sdc: uint_field("sdc")?,
+                due: uint_field("due")?,
+                masked: uint_field("masked")?,
+            },
+            direct,
+        };
+        if cp.counts.total() != cp.trials {
+            return Err(format!(
+                "inconsistent checkpoint: {} tallied outcomes for {} trials",
+                cp.counts.total(),
+                cp.trials
+            ));
+        }
+        Ok(cp)
+    }
+
+    /// Scan a JSONL stream (e.g. a checkpoint file) and return the last
+    /// checkpoint for `label`, ignoring non-checkpoint lines.
+    pub fn last_in_stream(text: &str, label: &str) -> Option<Checkpoint> {
+        text.lines()
+            .rev()
+            .filter_map(|line| Checkpoint::parse(line.trim()).ok())
+            .find(|cp| cp.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut direct = BTreeMap::new();
+        direct.insert("beam.unstruck".to_string(), OutcomeCounts { sdc: 0, due: 0, masked: 70 });
+        direct.insert("beam.direct".to_string(), OutcomeCounts { sdc: 1, due: 4, masked: 2 });
+        Checkpoint {
+            label: "beam/ecc-on/SK40c/FMXM".to_string(),
+            seed: 2021,
+            shard_size: 32,
+            shards_done: 4,
+            trials: 128,
+            counts: OutcomeCounts { sdc: 11, due: 13, masked: 104 },
+            direct,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cp = sample();
+        let line = cp.to_json_line();
+        assert!(line.contains("\"report\":\"campaign.checkpoint\""));
+        assert_eq!(Checkpoint::parse(&line).unwrap(), cp);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_and_inconsistent_lines() {
+        assert!(Checkpoint::parse("{\"report\":\"run\"}").is_err());
+        assert!(Checkpoint::parse("not json").is_err());
+        let mut cp = sample();
+        cp.trials += 1; // no longer equals counts.total()
+        assert!(Checkpoint::parse(&cp.to_json_line()).is_err());
+    }
+
+    #[test]
+    fn last_in_stream_picks_matching_label() {
+        let mut early = sample();
+        early.shards_done = 2;
+        early.trials = 64;
+        early.counts = OutcomeCounts { sdc: 5, due: 7, masked: 52 };
+        early.direct.clear();
+        let late = sample();
+        let mut other = sample();
+        other.label = "something/else".to_string();
+        let stream = format!(
+            "{}\n{{\"report\":\"run\",\"campaigns\":3}}\n{}\n{}\n",
+            early.to_json_line(),
+            late.to_json_line(),
+            other.to_json_line()
+        );
+        assert_eq!(Checkpoint::last_in_stream(&stream, &late.label), Some(late));
+        assert_eq!(Checkpoint::last_in_stream(&stream, "missing"), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Process-wide golden-run cache.
+//!
+//! Every campaign needs the fault-free reference execution of its target,
+//! and the old entry points recomputed it per call — `fig6` alone ran the
+//! same golden dozens of times. The cache keys on everything that makes a
+//! golden run unique (target name, device, launch geometry, kernel and
+//! memory size, ECC state — scale is implied by the sizes) and hands out
+//! `Arc<Executed>` so concurrent campaigns share one copy.
+//!
+//! The cache is bounded: past [`CACHE_CAPACITY`] entries the oldest
+//! insertion is evicted (golden runs are cheap to recompute relative to a
+//! campaign; the bound just keeps long `repro all` sessions from pinning
+//! every workload's output memory at once).
+
+use gpu_arch::DeviceModel;
+use gpu_sim::{Executed, RunOptions, Target};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum cached golden runs.
+pub const CACHE_CAPACITY: usize = 32;
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct GoldenKey {
+    target: String,
+    device: &'static str,
+    ecc: bool,
+    kernel_len: usize,
+    grid: u32,
+    block: u32,
+    memory_len: u32,
+}
+
+struct GoldenCache {
+    map: HashMap<GoldenKey, Arc<Executed>>,
+    /// Insertion order for FIFO eviction.
+    order: Vec<GoldenKey>,
+}
+
+static CACHE: OnceLock<Mutex<GoldenCache>> = OnceLock::new();
+
+fn cache() -> &'static Mutex<GoldenCache> {
+    CACHE.get_or_init(|| Mutex::new(GoldenCache { map: HashMap::new(), order: Vec::new() }))
+}
+
+fn key<T: Target + ?Sized>(target: &T, device: &DeviceModel, ecc: bool) -> GoldenKey {
+    let launch = target.launch();
+    GoldenKey {
+        target: target.name().to_string(),
+        device: device.name,
+        ecc,
+        kernel_len: target.kernel().len(),
+        grid: launch.grid.count(),
+        block: launch.block.count(),
+        memory_len: target.fresh_memory().len(),
+    }
+}
+
+/// Fetch (or compute and insert) the golden run of `target` on `device`.
+/// Returns the run and whether it was a cache hit.
+///
+/// # Errors
+/// Returns the failure status description if the golden run does not
+/// complete (a target that cannot run fault-free cannot be campaigned).
+pub fn fetch<T: Target + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    ecc: bool,
+) -> Result<(Arc<Executed>, bool), String> {
+    let key = key(target, device, ecc);
+    if let Some(hit) = cache().lock().expect("golden cache poisoned").map.get(&key) {
+        return Ok((Arc::clone(hit), true));
+    }
+    // Compute outside the lock: concurrent misses on the same key waste a
+    // run but never block each other, and the results are identical.
+    let opts = RunOptions { ecc, ..RunOptions::default() };
+    let golden = target.execute(device, &opts);
+    if !golden.status.completed() {
+        return Err(format!("golden run of {} failed: {:?}", target.name(), golden.status));
+    }
+    let golden = Arc::new(golden);
+    let mut cache = cache().lock().expect("golden cache poisoned");
+    if !cache.map.contains_key(&key) {
+        if cache.map.len() >= CACHE_CAPACITY {
+            let oldest = cache.order.remove(0);
+            cache.map.remove(&oldest);
+        }
+        cache.map.insert(key.clone(), Arc::clone(&golden));
+        cache.order.push(key);
+    }
+    Ok((golden, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_arch::FunctionalUnit;
+
+    #[test]
+    fn second_fetch_hits_and_shares_the_run() {
+        let device = DeviceModel::k40c_sim();
+        let target = microbench::arith(FunctionalUnit::Iadd);
+        let (first, hit_a) = fetch(&target, &device, false).unwrap();
+        let (second, hit_b) = fetch(&target, &device, false).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&first, &second));
+        // ECC state is part of the key.
+        let (_, hit_ecc) = fetch(&target, &device, true).unwrap();
+        assert!(!hit_ecc);
+    }
+}

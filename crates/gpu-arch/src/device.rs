@@ -82,7 +82,7 @@ pub struct DeviceModel {
     pub clock_hz: f64,
     /// Relative per-bit SRAM neutron sensitivity of this process node
     /// (Kepler's 28 nm planar is about an order of magnitude more
-    /// sensitive than Volta's 16 nm FinFET; Section V-B, [29]).
+    /// sensitive than Volta's 16 nm FinFET; Section V-B, \[29\]).
     pub sram_bit_sensitivity: f64,
     /// Whether ECC can be toggled by the user.
     pub ecc_capable: bool,

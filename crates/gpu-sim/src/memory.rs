@@ -61,7 +61,8 @@ impl GlobalMemory {
 
     /// Raw data access (host-side verification reads results directly;
     /// pending ECC corruption masks are NOT applied — use
-    /// [`GlobalMemory::read_u32`]-style accessors for device semantics).
+    /// [`GlobalMemory::read_u32_host`]-style accessors for device
+    /// semantics).
     pub fn raw(&self) -> &[u8] {
         &self.data
     }

@@ -20,18 +20,32 @@
 //!   **not into half-precision instructions**, the limitation behind the
 //!   HHotspot 27x overestimation (Section VII-A).
 //!
-//! An injection campaign draws `n` single-bit faults uniformly over the
-//! target's dynamic injectable-site population, runs each to completion,
-//! and classifies the outcome as SDC / DUE / Masked, yielding the AVF
-//! with a Wilson 95% CI.
+//! Campaigns run on the shared [`campaign`] engine: construct a
+//! [`campaign::Campaign`] with an [`Avf`] (or [`ClassAvf`]) kind and a
+//! [`campaign::Budget`], e.g.
+//!
+//! ```ignore
+//! let result = Campaign::new(Avf::new(Injector::Sassifi), &target, &device)
+//!     .budget(Budget::quick())
+//!     .run()?;
+//! ```
+//!
+//! which draws single-bit faults uniformly over the target's dynamic
+//! injectable-site population, runs each to completion, classifies the
+//! outcome as SDC / DUE / Masked, and yields the AVF with a Wilson 95%
+//! CI — stopping early once the CI target is met when the budget is
+//! adaptive. The legacy `measure_avf*` entry points survive as deprecated
+//! forwarders.
 
-use gpu_arch::{Architecture, DeviceModel, FunctionalUnit};
-use gpu_sim::{BitFlip, DueKind, ExecStatus, Executed, FaultPlan, RunOptions, SiteClass, Target};
+use campaign::{Budget, Campaign, CampaignRun, Kind, Sampler, TrialPlan};
+use gpu_arch::{Architecture, DeviceModel, FunctionalUnit, LaunchConfig};
+use gpu_sim::{BitFlip, ExecStatus, Executed, FaultPlan, SiteClass, Target};
 use obs::CampaignObserver;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use stats::{binomial_ci95, Outcome, OutcomeCounts};
 use std::fmt;
+use std::sync::Arc;
 
 /// The two fault-injection frameworks compared by the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -112,7 +126,8 @@ pub enum Mode {
     Address,
 }
 
-/// Campaign parameters.
+/// Legacy campaign parameters, superseded by [`campaign::Budget`].
+#[deprecated(note = "use campaign::Budget (e.g. Budget::fixed(n).seed(s))")]
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {
     /// Number of injection runs.
@@ -121,12 +136,21 @@ pub struct CampaignConfig {
     pub seed: u64,
 }
 
+#[allow(deprecated)]
 impl Default for CampaignConfig {
     fn default() -> Self {
         // The paper uses >= 4,000 per code for NVBitFI; the default here
         // is sized for a laptop-scale simulator while keeping the Wilson
         // 95% CI under ~3%.
         CampaignConfig { injections: 1000, seed: 0x5EED }
+    }
+}
+
+#[allow(deprecated)]
+impl CampaignConfig {
+    /// The equivalent fixed [`Budget`].
+    pub fn budget(&self) -> Budget {
+        Budget::fixed(self.injections).seed(self.seed)
     }
 }
 
@@ -289,7 +313,7 @@ fn sample_plan<R: Rng>(
     rng: &mut R,
     mode: Mode,
     golden: &Executed,
-    target_launch: &gpu_arch::LaunchConfig,
+    target_launch: &LaunchConfig,
     regs_per_thread: u16,
 ) -> Option<FaultPlan> {
     let sites = &golden.counts.sites;
@@ -370,14 +394,170 @@ pub fn classify<T: Target + ?Sized>(target: &T, golden: &Executed, faulty: &Exec
     }
 }
 
-/// Run a full AVF campaign of `config.injections` single-bit faults.
+/// The AVF campaign kind: single-bit (and SASSIFI RV/ZV) faults drawn
+/// uniformly over the injector's site population, cycling the budget
+/// evenly across the available modes.
 ///
 /// Injection runs execute with ECC disabled in the simulator: an
 /// instrumentation-based injector writes state architecturally, so ECC
 /// never sees a raw bit error (unlike particle strikes).
 ///
+/// Check [`Injector::supports`] before running: `prepare` panics on an
+/// unsupported (target, device) pair, mirroring the real frameworks'
+/// hard instrumentation failures.
+#[derive(Clone, Copy, Debug)]
+pub struct Avf {
+    /// Which framework's capability model to apply.
+    pub injector: Injector,
+}
+
+impl Avf {
+    /// An AVF campaign kind for `injector`.
+    pub fn new(injector: Injector) -> Self {
+        Avf { injector }
+    }
+}
+
+/// Sampler state for [`Avf`]: the golden run's site populations and the
+/// mode rotation.
+pub struct AvfSampler {
+    golden: Arc<Executed>,
+    modes: Vec<Mode>,
+    launch: LaunchConfig,
+    regs_per_thread: u16,
+}
+
+impl Sampler for AvfSampler {
+    fn sample(&self, trial: u64, rng: &mut ChaCha12Rng) -> TrialPlan {
+        // SASSIFI splits the budget evenly across instruction kinds
+        // ("1,000 for each instruction kind"); cycling on the global
+        // trial index achieves the same, independent of sharding.
+        let mode = self.modes[(trial % self.modes.len() as u64) as usize];
+        match sample_plan(rng, mode, &self.golden, &self.launch, self.regs_per_thread) {
+            Some(plan) => TrialPlan::Fault(plan),
+            // A mode whose population turned out empty: the fault has no
+            // site to land on, so the run is trivially masked.
+            None => TrialPlan::Direct { outcome: Outcome::Masked, due: None, label: "presampled" },
+        }
+    }
+}
+
+impl<T: Target + Sync + ?Sized> Kind<T> for Avf {
+    type Sampler = AvfSampler;
+    type Output = AvfResult;
+
+    fn label(&self) -> String {
+        match self.injector {
+            Injector::Sassifi => "avf/sassifi".to_string(),
+            Injector::NvBitFi => "avf/nvbitfi".to_string(),
+        }
+    }
+
+    fn ecc(&self) -> bool {
+        false
+    }
+
+    fn prepare(&self, target: &T, device: &DeviceModel, golden: &Arc<Executed>) -> AvfSampler {
+        if let Err(why) = self.injector.supports(target, device) {
+            panic!("{} cannot instrument {}: {why}", self.injector, target.name());
+        }
+        let modes = available_modes(self.injector, &golden.counts.sites, &golden.counts.per_unit);
+        assert!(!modes.is_empty(), "no injectable sites in {}", target.name());
+        AvfSampler {
+            golden: Arc::clone(golden),
+            modes,
+            launch: target.launch().clone(),
+            regs_per_thread: target.kernel().regs_per_thread,
+        }
+    }
+
+    fn finish(&self, target: &T, _sampler: &AvfSampler, run: &CampaignRun) -> AvfResult {
+        AvfResult::from_counts(target.name().to_string(), self.injector, run.counts)
+    }
+}
+
+/// A capability-ablation campaign kind: injections restricted to one site
+/// class, regardless of any real framework's mode set. Used for the
+/// Figure 3 / Section V-A unit-AVF de-masking and for "what if NVBitFI
+/// could inject into half-precision?" ablations (Section VII-A).
+///
+/// Results are reported under [`Injector::NvBitFi`], the framework such
+/// single-class campaigns model.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassAvf {
+    /// The site class all faults target.
+    pub class: SiteClass,
+}
+
+impl ClassAvf {
+    /// A campaign kind injecting only into `class`.
+    pub fn new(class: SiteClass) -> Self {
+        ClassAvf { class }
+    }
+
+    /// A campaign kind injecting only into outputs of `unit` (the
+    /// micro-benchmark unit-AVF measurement).
+    pub fn unit(unit: FunctionalUnit) -> Self {
+        ClassAvf { class: SiteClass::Unit(unit) }
+    }
+}
+
+/// Sampler state for [`ClassAvf`]: the class population and flip width.
+pub struct ClassAvfSampler {
+    class: SiteClass,
+    population: u64,
+    bits: u32,
+}
+
+impl Sampler for ClassAvfSampler {
+    fn sample(&self, _trial: u64, rng: &mut ChaCha12Rng) -> TrialPlan {
+        if self.population == 0 {
+            return TrialPlan::Direct { outcome: Outcome::Masked, due: None, label: "empty-class" };
+        }
+        TrialPlan::Fault(FaultPlan::InstructionOutput {
+            nth: rng.gen_range(0..self.population),
+            site: self.class,
+            flip: BitFlip::single(rng.gen_range(0..self.bits)),
+        })
+    }
+}
+
+impl<T: Target + Sync + ?Sized> Kind<T> for ClassAvf {
+    type Sampler = ClassAvfSampler;
+    type Output = AvfResult;
+
+    fn label(&self) -> String {
+        format!("avf/class/{}", self.class.label())
+    }
+
+    fn ecc(&self) -> bool {
+        false
+    }
+
+    fn prepare(
+        &self,
+        _target: &T,
+        _device: &DeviceModel,
+        golden: &Arc<Executed>,
+    ) -> ClassAvfSampler {
+        ClassAvfSampler {
+            class: self.class,
+            population: class_population(self.class, &golden.counts.sites, &golden.counts.per_unit),
+            bits: class_bits(self.class),
+        }
+    }
+
+    fn finish(&self, target: &T, _sampler: &ClassAvfSampler, run: &CampaignRun) -> AvfResult {
+        AvfResult::from_counts(target.name().to_string(), Injector::NvBitFi, run.counts)
+    }
+}
+
+/// Run a full AVF campaign of `config.injections` single-bit faults.
+///
 /// # Errors
 /// Returns [`Unsupported`] if the injector cannot instrument the target.
+#[deprecated(note = "use campaign::Campaign::new(injector::Avf::new(injector), ...)")]
+#[allow(deprecated)]
 pub fn measure_avf<T: Target + Sync + ?Sized>(
     injector: Injector,
     target: &T,
@@ -390,6 +570,8 @@ pub fn measure_avf<T: Target + Sync + ?Sized>(
 /// [`measure_avf`] with observation hooks: per-trial outcome tallies (by
 /// site class and DUE kind) into the observer's metrics registry and a
 /// progress tick per completed trial.
+#[deprecated(note = "use campaign::Campaign::new(injector::Avf::new(injector), ...).observer(...)")]
+#[allow(deprecated)]
 pub fn measure_avf_observed<T: Target + Sync + ?Sized>(
     injector: Injector,
     target: &T,
@@ -398,46 +580,18 @@ pub fn measure_avf_observed<T: Target + Sync + ?Sized>(
     observer: CampaignObserver<'_>,
 ) -> Result<AvfResult, Unsupported> {
     injector.supports(target, device)?;
-
-    let golden_opts = RunOptions { ecc: false, ..RunOptions::default() };
-    let golden = target.execute(device, &golden_opts);
-    assert!(
-        golden.status.completed(),
-        "golden run of {} failed: {:?}",
-        target.name(),
-        golden.status
-    );
-    let watchdog = golden.counts.total * 4 + 100_000;
-    let modes = available_modes(injector, &golden.counts.sites, &golden.counts.per_unit);
-    assert!(!modes.is_empty(), "no injectable sites in {}", target.name());
-
-    // Plans are drawn sequentially (deterministic), executions fan out
-    // over the Rayon pool (each run is independent).
-    let mut rng = ChaCha12Rng::seed_from_u64(config.seed ^ hash_name(target.name()));
-    let mut plans = Vec::with_capacity(config.injections as usize);
-    let mut presampled_masked = 0u64;
-    for i in 0..config.injections {
-        // SASSIFI splits the budget evenly across instruction kinds
-        // ("1,000 for each instruction kind"); cycling achieves the same.
-        let mode = modes[(i as usize) % modes.len()];
-        match sample_plan(&mut rng, mode, &golden, target.launch(), target.kernel().regs_per_thread)
-        {
-            Some(plan) => plans.push(plan),
-            None => presampled_masked += 1,
-        }
-    }
-    let mut counts = run_plans_observed(target, device, &golden, &plans, watchdog, observer);
-    counts.masked += presampled_masked;
-    if let (Some(m), presampled @ 1..) = (observer.metrics, presampled_masked) {
-        m.counter("trials").add(presampled);
-        m.counter("outcome.masked").add(presampled);
-    }
-    Ok(AvfResult::from_counts(target.name().to_string(), injector, counts))
+    Ok(Campaign::new(Avf::new(injector), target, device)
+        .budget(config.budget())
+        .observer(observer)
+        .run()
+        .expect("injection campaign failed"))
 }
 
 /// Measure the masking AVF of a micro-benchmark for the Figure 3 / FIT
 /// correction of Section V-A: injections restricted to the unit the
 /// micro-benchmark exercises.
+#[deprecated(note = "use campaign::Campaign::new(injector::ClassAvf::unit(unit), ...)")]
+#[allow(deprecated)]
 pub fn measure_unit_avf<T: Target + Sync + ?Sized>(
     target: &T,
     device: &DeviceModel,
@@ -448,110 +602,55 @@ pub fn measure_unit_avf<T: Target + Sync + ?Sized>(
 }
 
 /// Measure an AVF with injections drawn from an arbitrary site class.
-/// Used for capability ablations (e.g. "what if NVBitFI could inject into
-/// half-precision instructions?" — Section VII-A's HHotspot discussion).
+#[deprecated(note = "use campaign::Campaign::new(injector::ClassAvf::new(class), ...)")]
+#[allow(deprecated)]
 pub fn measure_class_avf<T: Target + Sync + ?Sized>(
     target: &T,
     device: &DeviceModel,
     class: SiteClass,
     config: &CampaignConfig,
 ) -> AvfResult {
-    let golden_opts = RunOptions { ecc: false, ..RunOptions::default() };
-    let golden = target.execute(device, &golden_opts);
-    assert!(golden.status.completed());
-    let watchdog = golden.counts.total * 4 + 100_000;
-    let pop = class_population(class, &golden.counts.sites, &golden.counts.per_unit);
-    let mut rng = ChaCha12Rng::seed_from_u64(config.seed ^ hash_name(target.name()));
-    let mut plans = Vec::with_capacity(config.injections as usize);
-    let mut presampled_masked = 0u64;
-    for _ in 0..config.injections {
+    Campaign::new(ClassAvf::new(class), target, device)
+        .budget(config.budget())
+        .run()
+        .expect("class-AVF campaign failed")
+}
+
+/// AVF broken down by injection-site class: which *kind* of instruction,
+/// once corrupted, drives the code's failure rate. The paper's conclusion
+/// ("this data can be used to tune future fault simulation frameworks")
+/// calls for exactly this decomposition.
+#[derive(Clone, Debug)]
+pub struct AvfBreakdown {
+    /// Target name.
+    pub target: String,
+    /// Per-class results (classes with zero population are omitted).
+    pub per_class: Vec<(SiteClass, AvfResult)>,
+}
+
+/// Measure the SDC/DUE AVF separately per site class. Every per-class
+/// campaign shares the same cached golden run and `budget`.
+pub fn measure_avf_breakdown<T: Target + Sync + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    budget: &Budget,
+) -> AvfBreakdown {
+    let (golden, _) = campaign::golden::fetch(target, device, false).expect("golden run failed");
+    let classes =
+        [SiteClass::FloatArith, SiteClass::HalfArith, SiteClass::IntArith, SiteClass::Load];
+    let mut per_class = Vec::new();
+    for class in classes {
+        let pop = class_population(class, &golden.counts.sites, &golden.counts.per_unit);
         if pop == 0 {
-            presampled_masked += 1;
             continue;
         }
-        plans.push(FaultPlan::InstructionOutput {
-            nth: rng.gen_range(0..pop),
-            site: class,
-            flip: BitFlip::single(rng.gen_range(0..class_bits(class))),
-        });
+        let r = Campaign::new(ClassAvf::new(class), target, device)
+            .budget(budget.clone())
+            .run()
+            .expect("class-AVF campaign failed");
+        per_class.push((class, r));
     }
-    let mut counts = run_plans(target, device, &golden, &plans, watchdog);
-    counts.masked += presampled_masked;
-    AvfResult::from_counts(target.name().to_string(), Injector::NvBitFi, counts)
-}
-
-/// Execute a batch of fault plans (in parallel when the target is Sync)
-/// and tally the outcomes.
-fn run_plans<T: Target + Sync + ?Sized>(
-    target: &T,
-    device: &DeviceModel,
-    golden: &Executed,
-    plans: &[FaultPlan],
-    watchdog: u64,
-) -> OutcomeCounts {
-    run_plans_observed(target, device, golden, plans, watchdog, CampaignObserver::none())
-}
-
-fn outcome_name(o: Outcome) -> &'static str {
-    match o {
-        Outcome::Sdc => "sdc",
-        Outcome::Due => "due",
-        Outcome::Masked => "masked",
-    }
-}
-
-/// [`run_plans`] with observation hooks. Progress ticks from inside the
-/// parallel loop; metrics are tallied sequentially afterwards so the
-/// registry's lock never sits on the hot path.
-fn run_plans_observed<T: Target + Sync + ?Sized>(
-    target: &T,
-    device: &DeviceModel,
-    golden: &Executed,
-    plans: &[FaultPlan],
-    watchdog: u64,
-    observer: CampaignObserver<'_>,
-) -> OutcomeCounts {
-    use rayon::prelude::*;
-    let progress = observer.progress;
-    let results: Vec<(Outcome, Option<DueKind>)> = plans
-        .par_iter()
-        .map(|&plan| {
-            let opts = RunOptions {
-                ecc: false,
-                fault: plan,
-                watchdog_limit: watchdog,
-                ..RunOptions::default()
-            };
-            let faulty = target.execute(device, &opts);
-            let due_kind = match faulty.status {
-                ExecStatus::Due(kind) => Some(kind),
-                ExecStatus::Completed => None,
-            };
-            let outcome = classify(target, golden, &faulty);
-            if let Some(p) = progress {
-                p.inc();
-            }
-            (outcome, due_kind)
-        })
-        .collect();
-    if let Some(m) = observer.metrics {
-        m.counter("trials").add(results.len() as u64);
-        for (&(outcome, due_kind), plan) in results.iter().zip(plans) {
-            m.counter(&format!("outcome.{}", outcome_name(outcome))).inc();
-            m.counter(&format!("site.{}.{}", plan.site_label(), outcome_name(outcome))).inc();
-            if let Some(kind) = due_kind {
-                m.counter(&format!("due.{}", kind.name())).inc();
-            }
-        }
-        if let Some(p) = progress {
-            m.gauge("trials_per_sec").set(p.rate());
-        }
-    }
-    results.into_iter().map(|(o, _)| o).collect()
-}
-
-fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    AvfBreakdown { target: target.name().to_string(), per_class }
 }
 
 #[cfg(test)]
@@ -560,8 +659,17 @@ mod tests {
     use gpu_arch::{CodeGen, Precision};
     use workloads::{build, Benchmark, Scale};
 
-    fn cfg(n: u32) -> CampaignConfig {
-        CampaignConfig { injections: n, seed: 42 }
+    fn budget(n: u32) -> Budget {
+        Budget::fixed(n).seed(42)
+    }
+
+    fn avf<T: Target + Sync + ?Sized>(
+        injector: Injector,
+        target: &T,
+        device: &DeviceModel,
+        n: u32,
+    ) -> AvfResult {
+        Campaign::new(Avf::new(injector), target, device).budget(budget(n)).run().unwrap()
     }
 
     #[test]
@@ -584,16 +692,115 @@ mod tests {
     fn campaign_is_reproducible() {
         let kepler = DeviceModel::k40c_sim();
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
-        let a = measure_avf(Injector::Sassifi, &w, &kepler, &cfg(60)).unwrap();
-        let b = measure_avf(Injector::Sassifi, &w, &kepler, &cfg(60)).unwrap();
+        let a = avf(Injector::Sassifi, &w, &kepler, 60);
+        let b = avf(Injector::Sassifi, &w, &kepler, 60);
         assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_worker_counts() {
+        let kepler = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let runs: Vec<OutcomeCounts> = [1usize, 2, 5]
+            .into_iter()
+            .map(|workers| {
+                Campaign::new(Avf::new(Injector::Sassifi), &w, &kepler)
+                    .budget(budget(96).shard_size(16))
+                    .workers(workers)
+                    .run_full()
+                    .unwrap()
+                    .1
+                    .counts
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical() {
+        let kepler = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let b = budget(80).shard_size(16);
+        let mut checkpoints = Vec::new();
+        let (_, full) = Campaign::new(Avf::new(Injector::Sassifi), &w, &kepler)
+            .budget(b.clone())
+            .on_checkpoint(|cp| checkpoints.push(cp.clone()))
+            .run_full()
+            .unwrap();
+        assert_eq!(full.trials, 80);
+        assert_eq!(checkpoints.len(), 5);
+        // Round-trip the mid-campaign checkpoint through its JSONL form,
+        // as a separate process would.
+        let mid = campaign::Checkpoint::parse(&checkpoints[2].to_json_line()).unwrap();
+        assert_eq!(mid.trials, 48);
+        let (_, resumed) = Campaign::new(Avf::new(Injector::Sassifi), &w, &kepler)
+            .budget(b)
+            .resume_from(mid)
+            .run_full()
+            .unwrap();
+        assert_eq!(resumed.counts, full.counts);
+        assert_eq!(resumed.trials, full.trials);
+        assert_eq!(resumed.resumed_trials, 48);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_partition() {
+        let kepler = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let b = budget(64).shard_size(16);
+        let mut checkpoints = Vec::new();
+        Campaign::new(Avf::new(Injector::Sassifi), &w, &kepler)
+            .budget(b.clone())
+            .on_checkpoint(|cp| checkpoints.push(cp.clone()))
+            .run()
+            .unwrap();
+        let mid = checkpoints[1].clone();
+        let err = Campaign::new(Avf::new(Injector::Sassifi), &w, &kepler)
+            .budget(b.clone().seed(43))
+            .resume_from(mid.clone())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, campaign::CampaignError::CheckpointMismatch(_)));
+        let err = Campaign::new(Avf::new(Injector::NvBitFi), &w, &kepler)
+            .budget(b)
+            .resume_from(mid)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, campaign::CampaignError::CheckpointMismatch(_)));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_forwarders_match_the_campaign_api() {
+        let kepler = DeviceModel::k40c_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+        let config = CampaignConfig { injections: 60, seed: 42 };
+        let old = measure_avf(Injector::Sassifi, &w, &kepler, &config).unwrap();
+        let new = avf(Injector::Sassifi, &w, &kepler, 60);
+        assert_eq!(old.counts, new.counts);
+        let old_unit = measure_unit_avf(
+            &microbench::arith(FunctionalUnit::Iadd),
+            &kepler,
+            FunctionalUnit::Iadd,
+            &config,
+        );
+        let new_unit = Campaign::new(
+            ClassAvf::unit(FunctionalUnit::Iadd),
+            &microbench::arith(FunctionalUnit::Iadd),
+            &kepler,
+        )
+        .budget(config.budget())
+        .run()
+        .unwrap();
+        assert_eq!(old_unit.counts, new_unit.counts);
     }
 
     #[test]
     fn avf_fractions_sum_to_one() {
         let kepler = DeviceModel::k40c_sim();
         let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
-        let r = measure_avf(Injector::NvBitFi, &w, &kepler, &cfg(80)).unwrap();
+        let r = avf(Injector::NvBitFi, &w, &kepler, 80);
         assert_eq!(r.counts.total(), 80);
         let sum = r.sdc_avf() + r.due_avf() + r.masked;
         assert!((sum - 1.0).abs() < 1e-12);
@@ -603,7 +810,7 @@ mod tests {
     fn mxm_campaign_produces_all_outcome_kinds() {
         let kepler = DeviceModel::k40c_sim();
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
-        let r = measure_avf(Injector::Sassifi, &w, &kepler, &cfg(240)).unwrap();
+        let r = avf(Injector::Sassifi, &w, &kepler, 240);
         assert!(r.counts.sdc > 0, "no SDCs: {:?}", r.counts);
         assert!(r.counts.due > 0, "no DUEs: {:?}", r.counts);
         assert!(r.counts.masked > 0, "nothing masked: {:?}", r.counts);
@@ -615,7 +822,10 @@ mod tests {
         // versions (modulo the end-of-chain check masking).
         let kepler = DeviceModel::k40c_sim();
         let mb = microbench::arith(FunctionalUnit::Iadd);
-        let r = measure_unit_avf(&mb, &kepler, FunctionalUnit::Iadd, &cfg(100));
+        let r = Campaign::new(ClassAvf::unit(FunctionalUnit::Iadd), &mb, &kepler)
+            .budget(budget(100))
+            .run()
+            .unwrap();
         assert!(r.sdc_avf() > 0.9, "IADD AVF {}", r.sdc_avf());
     }
 
@@ -627,44 +837,9 @@ mod tests {
         let w = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
         let g = w.golden(&volta);
         assert!(g.counts.sites.gpr_writers > g.counts.sites.gpr_writers_no_half);
-        let r = measure_avf(Injector::NvBitFi, &w, &volta, &cfg(50)).unwrap();
+        let r = avf(Injector::NvBitFi, &w, &volta, 50);
         assert_eq!(r.counts.total(), 50);
     }
-}
-
-/// AVF broken down by injection-site class: which *kind* of instruction,
-/// once corrupted, drives the code's failure rate. The paper's conclusion
-/// ("this data can be used to tune future fault simulation frameworks")
-/// calls for exactly this decomposition.
-#[derive(Clone, Debug)]
-pub struct AvfBreakdown {
-    /// Target name.
-    pub target: String,
-    /// Per-class results (classes with zero population are omitted).
-    pub per_class: Vec<(SiteClass, AvfResult)>,
-}
-
-/// Measure the SDC/DUE AVF separately per site class.
-pub fn measure_avf_breakdown<T: Target + Sync + ?Sized>(
-    target: &T,
-    device: &DeviceModel,
-    config: &CampaignConfig,
-) -> AvfBreakdown {
-    let golden_opts = RunOptions { ecc: false, ..RunOptions::default() };
-    let golden = target.execute(device, &golden_opts);
-    assert!(golden.status.completed());
-    let classes =
-        [SiteClass::FloatArith, SiteClass::HalfArith, SiteClass::IntArith, SiteClass::Load];
-    let mut per_class = Vec::new();
-    for class in classes {
-        let pop = class_population(class, &golden.counts.sites, &golden.counts.per_unit);
-        if pop == 0 {
-            continue;
-        }
-        let r = measure_class_avf(target, device, class, config);
-        per_class.push((class, r));
-    }
-    AvfBreakdown { target: target.name().to_string(), per_class }
 }
 
 #[cfg(test)]
@@ -677,7 +852,7 @@ mod breakdown_tests {
     fn breakdown_covers_the_code_mix() {
         let device = DeviceModel::k40c_sim();
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
-        let b = measure_avf_breakdown(&w, &device, &CampaignConfig { injections: 60, seed: 4 });
+        let b = measure_avf_breakdown(&w, &device, &Budget::fixed(60).seed(4));
         let classes: Vec<SiteClass> = b.per_class.iter().map(|(c, _)| *c).collect();
         assert!(classes.contains(&SiteClass::FloatArith));
         assert!(classes.contains(&SiteClass::IntArith));
@@ -695,7 +870,7 @@ mod breakdown_tests {
         // address arithmetic.
         let device = DeviceModel::k40c_sim();
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
-        let b = measure_avf_breakdown(&w, &device, &CampaignConfig { injections: 150, seed: 4 });
+        let b = measure_avf_breakdown(&w, &device, &Budget::fixed(150).seed(4));
         let get = |c: SiteClass| {
             b.per_class.iter().find(|(cc, _)| *cc == c).map(|(_, r)| r.sdc_avf()).unwrap()
         };

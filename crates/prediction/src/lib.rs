@@ -27,10 +27,11 @@
 //! hidden inside the beam crate, so Figure 6 is a genuine blind
 //! comparison.
 
-use beam::{expose, BeamConfig, BeamResult};
+use beam::{Beam, BeamResult};
+use campaign::{Budget, Campaign};
 use gpu_arch::{DeviceModel, FunctionalUnit, WARP_SIZE};
 use gpu_sim::Target;
-use injector::{measure_unit_avf, AvfResult, CampaignConfig};
+use injector::{AvfResult, ClassAvf};
 use microbench::MicroBench;
 use profiler::KernelProfile;
 use stats::signed_ratio;
@@ -78,19 +79,23 @@ impl UnitFits {
 }
 
 /// Configuration for the micro-benchmark characterization pass.
+///
+/// Beam budgets stay fixed (fluence accounting needs a predetermined run
+/// count); the de-masking injection budget may be adaptive.
 #[derive(Clone, Debug)]
 pub struct CharacterizeConfig {
-    /// Beam runs per micro-benchmark.
-    pub beam_runs: u32,
-    /// Injections per micro-benchmark for the de-masking AVF.
-    pub injections: u32,
-    /// RNG seed.
-    pub seed: u64,
+    /// Beam budget per micro-benchmark.
+    pub beam: Budget,
+    /// Injection budget per micro-benchmark for the de-masking AVF.
+    pub injection: Budget,
 }
 
 impl Default for CharacterizeConfig {
     fn default() -> Self {
-        CharacterizeConfig { beam_runs: 4000, injections: 300, seed: 0xF17 }
+        CharacterizeConfig {
+            beam: Budget::fixed(4000).seed(0xF17),
+            injection: Budget::fixed(300).seed(0xF17),
+        }
     }
 }
 
@@ -106,8 +111,10 @@ pub fn characterize_units(
     let mut fits = UnitFits::default();
     for mb in benches {
         let is_rf = mb.name == "RF";
-        let beam_cfg = BeamConfig::auto(config.beam_runs, !is_rf, config.seed);
-        let result = expose(mb, device, &beam_cfg);
+        let result = Campaign::new(Beam::auto(!is_rf), mb, device)
+            .budget(config.beam.clone())
+            .run()
+            .expect("beam characterization failed");
         if is_rf {
             // Normalize to a per-bit rate over the bits the bench exposes.
             let golden = mb.execute_golden(device);
@@ -120,8 +127,10 @@ pub fn characterize_units(
         }
         // De-mask by the bench's own unit AVF (Section V-A): the bench
         // only observes errors that survive to the end of the chain.
-        let avf_cfg = CampaignConfig { injections: config.injections, seed: config.seed };
-        let avf = measure_unit_avf(mb, device, mb.unit, &avf_cfg);
+        let avf = Campaign::new(ClassAvf::unit(mb.unit), mb, device)
+            .budget(config.injection.clone())
+            .run()
+            .expect("de-masking injection campaign failed");
         let sdc_avf = avf.sdc_avf().max(0.05); // floor against tiny campaigns
         let golden = mb.execute_golden(device);
         let count = golden.counts.unit(mb.unit) as f64;
@@ -304,7 +313,10 @@ mod tests {
     use workloads::{build, Benchmark, Scale};
 
     fn quick_cfg() -> CharacterizeConfig {
-        CharacterizeConfig { beam_runs: 600, injections: 60, seed: 3 }
+        CharacterizeConfig {
+            beam: Budget::fixed(600).seed(3),
+            injection: Budget::fixed(60).seed(3),
+        }
     }
 
     #[test]
@@ -329,13 +341,10 @@ mod tests {
 
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         let profile = profiler::profile(&w, &device);
-        let avf = injector::measure_avf(
-            Injector::Sassifi,
-            &w,
-            &device,
-            &CampaignConfig { injections: 120, seed: 1 },
-        )
-        .unwrap();
+        let avf = Campaign::new(injector::Avf::new(Injector::Sassifi), &w, &device)
+            .budget(Budget::fixed(120).seed(1))
+            .run()
+            .unwrap();
         let feet = memory_footprint(&w, &device, &profile);
 
         let ecc_on = predict(&profile, &avf, &fits, &feet, &PredictOptions::default());
@@ -354,7 +363,10 @@ mod tests {
 
         // Compare against a (small) beam measurement; the ratio must be
         // finite and the DUE side underestimated.
-        let beam_res = expose(&w, &device, &BeamConfig::auto(1500, true, 5));
+        let beam_res = Campaign::new(Beam::auto(true), &w, &device)
+            .budget(Budget::fixed(1500).seed(5))
+            .run()
+            .unwrap();
         let row = compare(&w.name, &beam_res, &ecc_on);
         assert!(row.sdc_ratio.is_finite(), "sdc ratio NaN: {row:?}");
         assert!(

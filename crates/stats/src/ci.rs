@@ -98,6 +98,14 @@ pub fn binomial_ci95(successes: u64, trials: u64) -> (f64, f64) {
     wilson_ci(successes, trials)
 }
 
+/// Half the Wilson 95% interval width — the quantity the adaptive
+/// campaign stop rule drives below its target. `0.5` (maximum
+/// uncertainty) when `trials == 0`.
+pub fn wilson_half_width(successes: u64, trials: u64) -> f64 {
+    let (lo, hi) = wilson_ci(successes, trials);
+    (hi - lo) / 2.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +176,48 @@ mod tests {
     #[test]
     fn wilson_ci_empty_trials() {
         assert_eq!(wilson_ci(0, 0), (0.0, 1.0));
+        assert_eq!(wilson_half_width(0, 0), 0.5);
+    }
+
+    #[test]
+    fn wilson_ci_single_trial() {
+        // n = 1 carries almost no information: both one-success and
+        // one-failure intervals must stay wide and inside [0,1].
+        for &k in &[0u64, 1] {
+            let (lo, hi) = wilson_ci(k, 1);
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+            assert!(hi - lo > 0.7, "n=1 interval implausibly tight: {}", hi - lo);
+        }
+        // Symmetry: k=0 and k=n mirror each other.
+        let (lo0, hi0) = wilson_ci(0, 1);
+        let (lo1, hi1) = wilson_ci(1, 1);
+        assert!((lo0 - (1.0 - hi1)).abs() < 1e-12);
+        assert!((hi0 - (1.0 - lo1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_ci_degenerate_proportions() {
+        // k = 0: lower bound (numerically) 0, upper bound shrinks with n.
+        let (lo_small, hi_small) = wilson_ci(0, 10);
+        let (lo_large, hi_large) = wilson_ci(0, 1000);
+        assert!(lo_small.abs() < 1e-15);
+        assert!(lo_large.abs() < 1e-15);
+        assert!(hi_large < hi_small);
+        // k = n mirrors k = 0.
+        let (lo, hi) = wilson_ci(1000, 1000);
+        assert_eq!(hi, 1.0);
+        assert!((lo - (1.0 - hi_large)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_half_width_shrinks_with_trials_and_skew() {
+        // More trials => tighter CI at the same proportion.
+        assert!(wilson_half_width(200, 400) < wilson_half_width(50, 100));
+        // Skewed proportions are tighter than p = 0.5 at equal n — the
+        // effect the adaptive stop rule exploits.
+        assert!(wilson_half_width(4, 400) < wilson_half_width(200, 400));
+        // The quick-profile ceiling bounds the worst case by ~0.049.
+        assert!(wilson_half_width(200, 400) < 0.05);
     }
 
     #[test]

@@ -16,7 +16,7 @@ mod ci;
 mod fit;
 mod outcome;
 
-pub use ci::{binomial_ci95, poisson_ci95, wilson_ci};
+pub use ci::{binomial_ci95, poisson_ci95, wilson_ci, wilson_half_width};
 pub use fit::{natural_equivalent_hours, FitRate, Fluence, JEDEC_FLUX_PER_CM2_H};
 pub use outcome::{Outcome, OutcomeCounts};
 

@@ -6,9 +6,9 @@
 //! cargo run --release --example custom_kernel
 //! ```
 
-use gpu_reliability::arch::{asm, LaunchConfig};
+use gpu_reliability::arch::{asm, Kernel, LaunchConfig};
 use gpu_reliability::prelude::*;
-use gpu_reliability::sim::run;
+use gpu_reliability::sim::{run, Executed};
 
 const DOT_PRODUCT: &str = r#"
 .kernel dot
@@ -107,4 +107,46 @@ fn main() {
          FFMA almost always survives to the dot product)",
         outcomes.sdc, outcomes.due, outcomes.masked
     );
+
+    // Implementing `Target` makes any hand-written kernel a first-class
+    // citizen of the campaign engine: seeded, sharded, adaptive.
+    let dot = Dot { kernel, launch, memory: mem, out_base };
+    let (avf, campaign) = Campaign::new(Avf::new(Injector::NvBitFi), &dot, &device)
+        .budget(Budget::adaptive(50, 800, 0.05).seed(42))
+        .run_full()
+        .unwrap();
+    println!(
+        "\nadaptive NVBitFI campaign over the whole kernel: SDC {:.2}  DUE {:.2}\n\
+         ({} trials, stop: {:?})",
+        avf.sdc_avf(),
+        avf.due_avf(),
+        campaign.trials,
+        campaign.stop
+    );
+}
+
+/// The dot-product kernel as a campaign target.
+struct Dot {
+    kernel: Kernel,
+    launch: LaunchConfig,
+    memory: GlobalMemory,
+    out_base: u32,
+}
+
+impl Target for Dot {
+    fn name(&self) -> &str {
+        "DOT"
+    }
+    fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+    fn launch(&self) -> &LaunchConfig {
+        &self.launch
+    }
+    fn fresh_memory(&self) -> GlobalMemory {
+        self.memory.clone()
+    }
+    fn output_matches(&self, golden: &Executed, faulty: &Executed) -> bool {
+        golden.memory.read_f32_host(self.out_base) == faulty.memory.read_f32_host(self.out_base)
+    }
 }

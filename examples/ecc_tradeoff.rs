@@ -13,7 +13,9 @@ use gpu_reliability::prelude::*;
 
 fn main() {
     let device = DeviceModel::k40c_sim();
-    let runs = 4000;
+    // Beam statistics are Poisson in the fluence, so the campaigns use a
+    // fixed run budget rather than the CI-targeted stop rule.
+    let budget = Budget::fixed(4000).seed(3);
 
     println!(
         "{:<12} {:>12} {:>12} {:>10} {:>12} {:>12}",
@@ -22,8 +24,9 @@ fn main() {
     for benchmark in [Benchmark::Mxm, Benchmark::Hotspot, Benchmark::Mergesort, Benchmark::Nw] {
         let precision = if benchmark.is_integer() { Precision::Int32 } else { Precision::Single };
         let w = build(benchmark, precision, CodeGen::Cuda10, Scale::Small);
-        let off = expose(&w, &device, &BeamConfig::auto(runs, false, 3));
-        let on = expose(&w, &device, &BeamConfig::auto(runs, true, 3));
+        let off =
+            Campaign::new(Beam::auto(false), &w, &device).budget(budget.clone()).run().unwrap();
+        let on = Campaign::new(Beam::auto(true), &w, &device).budget(budget.clone()).run().unwrap();
         let ratio = if on.sdc_fit.fit > 0.0 { off.sdc_fit.fit / on.sdc_fit.fit } else { f64::NAN };
         println!(
             "{:<12} {:>12.3e} {:>12.3e} {:>9.1}x {:>12.3e} {:>12.3e}",

@@ -11,7 +11,7 @@ use gpu_reliability::prelude::*;
 
 fn main() {
     let device = DeviceModel::k40c_sim();
-    let campaign = CampaignConfig { injections: 500, seed: 99 };
+    let budget = Budget::fixed(500).seed(99);
 
     println!("{:<12} {:>14} {:>14} {:>10}", "code", "SASSIFI SDC", "NVBitFI SDC", "ratio");
     let mut ratios = Vec::new();
@@ -29,8 +29,16 @@ fn main() {
         let w7 = build(benchmark, precision, CodeGen::Cuda7, Scale::Small);
         let w10 = build(benchmark, precision, CodeGen::Cuda10, Scale::Small);
 
-        let sassifi = measure_avf(Injector::Sassifi, &w7, &device, &campaign);
-        let nvbitfi = measure_avf(Injector::NvBitFi, &w10, &device, &campaign).unwrap();
+        let sassifi = Injector::Sassifi.supports(&w7, &device).map(|()| {
+            Campaign::new(Avf::new(Injector::Sassifi), &w7, &device)
+                .budget(budget.clone())
+                .run()
+                .unwrap()
+        });
+        let nvbitfi = Campaign::new(Avf::new(Injector::NvBitFi), &w10, &device)
+            .budget(budget.clone())
+            .run()
+            .unwrap();
         match sassifi {
             Ok(s) => {
                 let ratio = nvbitfi.sdc_avf() / s.sdc_avf().max(1e-9);

@@ -55,9 +55,22 @@ fn main() {
     println!("\n== single injected fault ==");
     println!("   flipped bit 30 of FFMA #1000 -> {outcome}");
 
-    // 4. A tiny AVF campaign (Figure 4 in miniature).
-    let campaign = CampaignConfig { injections: 200, seed: 7 };
-    let avf = measure_avf(Injector::NvBitFi, &mxm, &device, &campaign).unwrap();
-    println!("\n== NVBitFI AVF, {} injections ==", campaign.injections);
+    // 4. An adaptive AVF campaign (Figure 4 in miniature). The engine
+    //    stops as soon as the Wilson 95% CI half-width on the SDC and DUE
+    //    proportions reaches the quick-profile target, or at the ceiling.
+    let budget = Budget::quick().seed(7);
+    let ceiling = budget.ceiling;
+    let (avf, outcome) = Campaign::new(Avf::new(Injector::NvBitFi), &mxm, &device)
+        .budget(budget)
+        .run_full()
+        .unwrap();
+    println!("\n== NVBitFI AVF, adaptive campaign ==");
     println!("   SDC {:.2}  DUE {:.2}  Masked {:.2}", avf.sdc_avf(), avf.due_avf(), avf.masked);
+    match outcome.stop {
+        StopReason::CiTarget { half_width, trials } => println!(
+            "   stopped early: {trials} of {ceiling} budgeted trials \
+             (95% CI half-width {half_width:.3})"
+        ),
+        StopReason::Ceiling => println!("   ran to the {ceiling}-trial ceiling"),
+    }
 }

@@ -33,7 +33,10 @@ fn main() {
     // 1. Characterize the functional units with beam micro-benchmarks.
     println!("[1/5] characterizing functional units (beam micro-benchmarks)...");
     let benches = microbench_suite();
-    let char_cfg = CharacterizeConfig { beam_runs: 2000, injections: 150, seed: 11 };
+    let char_cfg = CharacterizeConfig {
+        beam: Budget::fixed(2000).seed(11),
+        injection: Budget::fixed(150).seed(11),
+    };
     let units = characterize_units(&device, &benches, &char_cfg);
     for u in [FunctionalUnit::Fadd, FunctionalUnit::Ffma, FunctionalUnit::Iadd] {
         println!("      {u}: SDC FIT/work {:.3e}", units.sdc_per_work(u));
@@ -41,8 +44,10 @@ fn main() {
 
     // 2. AVF by injection.
     println!("[2/5] measuring AVF (NVBitFI, 600 injections)...");
-    let campaign = CampaignConfig { injections: 600, seed: 11 };
-    let avf = measure_avf(Injector::NvBitFi, &w, &device, &campaign).unwrap();
+    let avf = Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)
+        .budget(Budget::fixed(600).seed(11))
+        .run()
+        .unwrap();
     println!("      SDC {:.3}  DUE {:.3}  Masked {:.3}", avf.sdc_avf(), avf.due_avf(), avf.masked);
 
     // 3. Profile.
@@ -63,8 +68,10 @@ fn main() {
 
     // 5. Beam-measure and compare.
     println!("[5/5] beam campaigns (ECC on and off)...");
-    let beam_on = expose(&w, &device, &BeamConfig::auto(4000, true, 11));
-    let beam_off = expose(&w, &device, &BeamConfig::auto(4000, false, 11));
+    let beam_budget = Budget::fixed(4000).seed(11);
+    let beam_on =
+        Campaign::new(Beam::auto(true), &w, &device).budget(beam_budget.clone()).run().unwrap();
+    let beam_off = Campaign::new(Beam::auto(false), &w, &device).budget(beam_budget).run().unwrap();
     let row_on = compare(&w.name, &beam_on, &pred_on);
     let row_off = compare(&w.name, &beam_off, &pred_off);
     println!("\n== {} ==", w.name);

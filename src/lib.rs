@@ -22,6 +22,8 @@
 //!   capability differences;
 //! * [`beam`] — a Monte-Carlo neutron-beam engine over hidden
 //!   ground-truth cross-sections;
+//! * [`campaign`] — the shared campaign engine: deterministic sharded
+//!   execution, CI-targeted early stopping, checkpoint/resume;
 //! * [`prediction`] — the paper's Equations 1-4 FIT model and the
 //!   beam-vs-prediction comparison;
 //! * [`stats`] — FIT/fluence accounting, Poisson and Wilson intervals.
@@ -39,17 +41,23 @@
 //! let profile = profile(&mxm, &device);
 //! assert!(profile.phi > 0.0);
 //!
-//! // Measure its AVF with NVBitFI (Figure 4).
-//! let campaign = CampaignConfig { injections: 50, seed: 1 };
-//! let avf = measure_avf(Injector::NvBitFi, &mxm, &device, &campaign).unwrap();
+//! // Measure its AVF with NVBitFI on the shared campaign engine
+//! // (Figure 4). `Budget::quick()` would stop early at a 0.05 CI
+//! // half-width; a fixed budget always spends its whole ceiling.
+//! let avf = Campaign::new(Avf::new(Injector::NvBitFi), &mxm, &device)
+//!     .budget(Budget::fixed(50).seed(1))
+//!     .run()
+//!     .unwrap();
 //! assert!(avf.counts.total() == 50);
 //! ```
 
 pub use beam;
+pub use campaign;
 pub use gpu_arch as arch;
 pub use gpu_sim as sim;
 pub use injector;
 pub use microbench;
+pub use obs;
 pub use prediction;
 pub use profiler;
 pub use softfloat;
@@ -58,7 +66,8 @@ pub use workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use beam::{expose, BeamConfig, BeamResult, CrossSections};
+    pub use beam::{Beam, BeamResult, CrossSections};
+    pub use campaign::{Budget, Campaign, CampaignRun, Checkpoint, StopReason};
     pub use gpu_arch::{
         Architecture, CodeGen, DeviceModel, FunctionalUnit, MixCategory, Precision,
     };
@@ -66,12 +75,18 @@ pub mod prelude {
         run_golden, BitFlip, DueKind, ExecStatus, FaultPlan, GlobalMemory, RunOptions, SiteClass,
         Target,
     };
-    pub use injector::{measure_avf, AvfResult, CampaignConfig, Injector};
+    pub use injector::{Avf, AvfResult, ClassAvf, Injector};
     pub use prediction::{
         characterize_units, compare, memory_footprint, predict, CharacterizeConfig, PredictOptions,
         UnitFits,
     };
     pub use profiler::{profile, KernelProfile};
-    pub use stats::{signed_ratio, FitRate, Outcome, OutcomeCounts};
+    pub use stats::{signed_ratio, wilson_half_width, FitRate, Outcome, OutcomeCounts};
     pub use workloads::{build, kepler_suite, volta_suite, Benchmark, Scale, Workload};
+
+    // Deprecated pre-engine entry points, kept for migrating callers.
+    #[allow(deprecated)]
+    pub use beam::{expose, BeamConfig};
+    #[allow(deprecated)]
+    pub use injector::{measure_avf, CampaignConfig};
 }

@@ -8,6 +8,23 @@ fn tiny(benchmark: Benchmark, precision: Precision, codegen: CodeGen) -> Workloa
     build(benchmark, precision, codegen, Scale::Tiny)
 }
 
+fn avf(
+    injector: Injector,
+    w: &Workload,
+    device: &DeviceModel,
+    trials: u32,
+    seed: u64,
+) -> AvfResult {
+    Campaign::new(Avf::new(injector), w, device)
+        .budget(Budget::fixed(trials).seed(seed))
+        .run()
+        .unwrap()
+}
+
+fn beam(w: &Workload, device: &DeviceModel, runs: u32, ecc: bool, seed: u64) -> BeamResult {
+    Campaign::new(Beam::auto(ecc), w, device).budget(Budget::fixed(runs).seed(seed)).run().unwrap()
+}
+
 #[test]
 fn every_workload_runs_on_its_device() {
     let kepler = DeviceModel::k40c_sim();
@@ -24,12 +41,11 @@ fn every_workload_runs_on_its_device() {
 fn beam_and_injection_agree_on_determinism() {
     let device = DeviceModel::k40c_sim();
     let w = tiny(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10);
-    let c = CampaignConfig { injections: 80, seed: 5 };
-    let a = measure_avf(Injector::NvBitFi, &w, &device, &c).unwrap();
-    let b = measure_avf(Injector::NvBitFi, &w, &device, &c).unwrap();
+    let a = avf(Injector::NvBitFi, &w, &device, 80, 5);
+    let b = avf(Injector::NvBitFi, &w, &device, 80, 5);
     assert_eq!(a.counts, b.counts);
-    let ba = expose(&w, &device, &BeamConfig::auto(400, true, 5));
-    let bb = expose(&w, &device, &BeamConfig::auto(400, true, 5));
+    let ba = beam(&w, &device, 400, true, 5);
+    let bb = beam(&w, &device, 400, true, 5);
     assert_eq!(ba.counts, bb.counts);
 }
 
@@ -55,11 +71,10 @@ fn cnn_avf_is_far_below_matrix_multiply() {
     // Section VI: "CNN's AVF is extremely low" thanks to classification
     // tolerance, while matrix multiplication has the highest AVF.
     let device = DeviceModel::v100_sim();
-    let c = CampaignConfig { injections: 250, seed: 9 };
     let mxm = tiny(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10);
     let yolo = tiny(Benchmark::Yolov2, Precision::Single, CodeGen::Cuda10);
-    let mxm_avf = measure_avf(Injector::NvBitFi, &mxm, &device, &c).unwrap();
-    let yolo_avf = measure_avf(Injector::NvBitFi, &yolo, &device, &c).unwrap();
+    let mxm_avf = avf(Injector::NvBitFi, &mxm, &device, 250, 9);
+    let yolo_avf = avf(Injector::NvBitFi, &yolo, &device, 250, 9);
     assert!(
         yolo_avf.sdc_avf() < mxm_avf.sdc_avf() / 3.0,
         "yolo {} !<< mxm {}",
@@ -73,11 +88,10 @@ fn integer_codes_have_lower_sdc_avf_than_float_codes() {
     // Section VI: floating-point codes (Gaussian, LUD, MxM, Lava) have
     // the highest AVF; integer codes (CCL & friends) the smallest.
     let device = DeviceModel::k40c_sim();
-    let c = CampaignConfig { injections: 250, seed: 13 };
     let lava = tiny(Benchmark::Lava, Precision::Single, CodeGen::Cuda7);
     let ccl = tiny(Benchmark::Ccl, Precision::Int32, CodeGen::Cuda7);
-    let lava_avf = measure_avf(Injector::Sassifi, &lava, &device, &c).unwrap();
-    let ccl_avf = measure_avf(Injector::Sassifi, &ccl, &device, &c).unwrap();
+    let lava_avf = avf(Injector::Sassifi, &lava, &device, 250, 13);
+    let ccl_avf = avf(Injector::Sassifi, &ccl, &device, 250, 13);
     assert!(
         ccl_avf.sdc_avf() < lava_avf.sdc_avf(),
         "ccl {} !< lava {}",
@@ -90,8 +104,8 @@ fn integer_codes_have_lower_sdc_avf_than_float_codes() {
 fn ecc_reduces_beam_sdc_rate() {
     let device = DeviceModel::k40c_sim();
     let w = tiny(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10);
-    let off = expose(&w, &device, &BeamConfig::auto(2500, false, 21));
-    let on = expose(&w, &device, &BeamConfig::auto(2500, true, 21));
+    let off = beam(&w, &device, 2500, false, 21);
+    let on = beam(&w, &device, 2500, true, 21);
     assert!(
         off.sdc_fit.fit > 1.5 * on.sdc_fit.fit,
         "ECC off {} !>> on {}",
@@ -108,7 +122,7 @@ fn volta_fit_grows_with_precision() {
     let mut fits = Vec::new();
     for p in [Precision::Half, Precision::Single, Precision::Double] {
         let w = build(Benchmark::Mxm, p, CodeGen::Cuda10, Scale::Tiny);
-        let r = expose(&w, &device, &BeamConfig::auto(4000, false, 17));
+        let r = beam(&w, &device, 4000, false, 17);
         fits.push((w.name.clone(), r.sdc_fit.fit));
     }
     assert!(fits[0].1 < fits[2].1, "H {} !< D {} ({fits:?})", fits[0].1, fits[2].1);
@@ -121,16 +135,17 @@ fn prediction_pipeline_produces_finite_comparisons() {
     let units = characterize_units(
         &device,
         &benches,
-        &CharacterizeConfig { beam_runs: 500, injections: 60, seed: 31 },
+        &CharacterizeConfig {
+            beam: Budget::fixed(500).seed(31),
+            injection: Budget::fixed(60).seed(31),
+        },
     );
     let w = tiny(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10);
     let prof = profile(&w, &device);
-    let avf =
-        measure_avf(Injector::NvBitFi, &w, &device, &CampaignConfig { injections: 120, seed: 31 })
-            .unwrap();
+    let w_avf = avf(Injector::NvBitFi, &w, &device, 120, 31);
     let feet = memory_footprint(&w, &device, &prof);
-    let pred = predict(&prof, &avf, &units, &feet, &PredictOptions::default());
-    let beam_res = expose(&w, &device, &BeamConfig::auto(1200, true, 31));
+    let pred = predict(&prof, &w_avf, &units, &feet, &PredictOptions::default());
+    let beam_res = beam(&w, &device, 1200, true, 31);
     let row = compare(&w.name, &beam_res, &pred);
     assert!(row.sdc_ratio.is_finite());
     assert!(row.due_underestimation > 1.0, "DUE factor {}", row.due_underestimation);
@@ -143,18 +158,19 @@ fn phi_factor_changes_prediction_by_the_profiled_phi() {
     let units = characterize_units(
         &device,
         &benches,
-        &CharacterizeConfig { beam_runs: 400, injections: 50, seed: 37 },
+        &CharacterizeConfig {
+            beam: Budget::fixed(400).seed(37),
+            injection: Budget::fixed(50).seed(37),
+        },
     );
     let w = tiny(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10);
     let prof = profile(&w, &device);
-    let avf =
-        measure_avf(Injector::NvBitFi, &w, &device, &CampaignConfig { injections: 100, seed: 37 })
-            .unwrap();
+    let w_avf = avf(Injector::NvBitFi, &w, &device, 100, 37);
     let feet = memory_footprint(&w, &device, &prof);
     let with_phi =
-        predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: true });
+        predict(&prof, &w_avf, &units, &feet, &PredictOptions { ecc: true, use_phi: true });
     let without =
-        predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: false });
+        predict(&prof, &w_avf, &units, &feet, &PredictOptions { ecc: true, use_phi: false });
     let ratio = with_phi.sdc_fit / without.sdc_fit;
     assert!((ratio - prof.phi).abs() < 1e-9, "ratio {ratio} != phi {}", prof.phi);
 }
@@ -165,6 +181,6 @@ fn hidden_resources_dominate_due_but_not_sdc() {
     // from channels no injector can reach.
     let device = DeviceModel::k40c_sim();
     let w = tiny(Benchmark::Gaussian, Precision::Single, CodeGen::Cuda10);
-    let r = expose(&w, &device, &BeamConfig::auto(3000, true, 41));
+    let r = beam(&w, &device, 3000, true, 41);
     assert!(r.due_fit.fit > r.sdc_fit.fit, "DUE {} !> SDC {}", r.due_fit.fit, r.sdc_fit.fit);
 }
