@@ -1,0 +1,129 @@
+//! `sass-lint` — static verifier for SASS-like kernels.
+//!
+//! ```text
+//! sass-lint <file.sass> [--grid N] [--block N] [--param WORD]...
+//!           [--deny-warnings]
+//! sass-lint --workloads [--deny-warnings]
+//! ```
+//!
+//! Runs the `sass-analysis` verifier (CFG + dataflow lints: uninitialized
+//! register reads, dead writes, unreachable blocks, barriers under
+//! divergent control flow, unsynchronized shared-memory access pairs,
+//! out-of-range `LDP` parameter indices) over a kernel assembled from
+//! `gpu_arch::asm` text, or — with `--workloads` — over every built-in
+//! paper workload kernel.
+//!
+//! Launch flags give the verifier the launch context the bounds checks
+//! need: `--param` words populate the constant bank `LDP` reads.
+//!
+//! Exit status: 0 clean, 1 diagnostics at error severity (or any
+//! diagnostic under `--deny-warnings`), 2 usage error.
+
+use gpu_arch::{asm, CodeGen, LaunchConfig};
+use sass_analysis::{verify_with_launch, Diagnostic, Severity};
+use workloads::{kepler_suite, volta_suite, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: sass-lint <file.sass> [--grid N] [--block N] [--param WORD]... [--deny-warnings]\n       sass-lint --workloads [--deny-warnings]"
+        );
+        std::process::exit(2);
+    }
+
+    let mut path: Option<String> = None;
+    let mut all_workloads = false;
+    let mut deny_warnings = false;
+    let mut grid = 1u32;
+    let mut block = 32u32;
+    let mut params = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workloads" => all_workloads = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--grid" => {
+                i += 1;
+                grid = args[i].parse().expect("bad --grid");
+            }
+            "--block" => {
+                i += 1;
+                block = args[i].parse().expect("bad --block");
+            }
+            "--param" => {
+                i += 1;
+                params.push(parse_word(&args[i]));
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+            file => {
+                if path.replace(file.to_string()).is_some() {
+                    eprintln!("multiple input files given");
+                    std::process::exit(2);
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let mut worst = None;
+    if all_workloads {
+        let mut suites = kepler_suite(CodeGen::Cuda7, Scale::Tiny);
+        suites.extend(kepler_suite(CodeGen::Cuda10, Scale::Tiny));
+        suites.extend(volta_suite(Scale::Tiny));
+        for w in &suites {
+            let diags = verify_with_launch(&w.kernel, &w.launch);
+            report(&w.name, &diags, &mut worst);
+        }
+        println!("linted {} workload kernels", suites.len());
+    } else {
+        let Some(path) = path else {
+            eprintln!("no input file (or pass --workloads)");
+            std::process::exit(2);
+        };
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let kernel = match asm::assemble(&source) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("assembly error in {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let launch = LaunchConfig::new(grid, block, params);
+        let diags = verify_with_launch(&kernel, &launch);
+        report(&kernel.name, &diags, &mut worst);
+    }
+
+    match worst {
+        Some(Severity::Error) => std::process::exit(1),
+        Some(_) if deny_warnings => std::process::exit(1),
+        _ => {}
+    }
+}
+
+fn report(name: &str, diags: &[Diagnostic], worst: &mut Option<Severity>) {
+    for d in diags {
+        println!("{name}: {d}");
+        if worst.is_none_or(|w| d.severity > w) {
+            *worst = Some(d.severity);
+        }
+    }
+}
+
+fn parse_word(s: &str) -> u32 {
+    if let Some(h) = s.strip_prefix("0x") {
+        u32::from_str_radix(h, 16).expect("bad hex word")
+    } else {
+        s.parse().expect("bad word")
+    }
+}

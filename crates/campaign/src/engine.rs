@@ -81,6 +81,14 @@ pub trait Kind<T: Target + Sync + ?Sized> {
     /// ECC state for the golden run and every trial.
     fn ecc(&self) -> bool;
 
+    /// Whether the golden run must carry a site-provenance record
+    /// ([`gpu_sim::SitesRecord`]). Kinds that statically prune masked
+    /// sites need it; everything else leaves the default `false` and
+    /// shares the cheaper plain golden.
+    fn record_sites(&self) -> bool {
+        false
+    }
+
     /// Build the sampler from the golden run.
     fn prepare(&self, target: &T, device: &DeviceModel, golden: &Arc<Executed>) -> Self::Sampler;
 
@@ -253,8 +261,12 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
     /// engine-level [`CampaignRun`] (trials spent, stop reason, golden).
     pub fn run_full(mut self) -> Result<(K::Output, CampaignRun), CampaignError> {
         let ecc = self.kind.ecc();
-        let (golden, cache_hit) =
-            golden::fetch(self.target, self.device, ecc).map_err(CampaignError::GoldenFailed)?;
+        let (golden, cache_hit) = if self.kind.record_sites() {
+            golden::fetch_recorded(self.target, self.device, ecc)
+        } else {
+            golden::fetch(self.target, self.device, ecc)
+        }
+        .map_err(CampaignError::GoldenFailed)?;
         if let Some(m) = self.observer.metrics {
             m.counter(if cache_hit { "campaign.golden.hit" } else { "campaign.golden.miss" }).inc();
         }

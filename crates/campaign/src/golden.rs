@@ -26,9 +26,13 @@ struct GoldenKey {
     device: &'static str,
     ecc: bool,
     kernel_len: usize,
-    grid: u32,
-    block: u32,
+    grid: u64,
+    block: u64,
     memory_len: u32,
+    /// Whether the run carries a [`gpu_sim::SitesRecord`]. Recorded runs
+    /// are a superset of plain ones, so a plain fetch may reuse a
+    /// recorded entry (but not vice versa).
+    recorded: bool,
 }
 
 struct GoldenCache {
@@ -43,7 +47,12 @@ fn cache() -> &'static Mutex<GoldenCache> {
     CACHE.get_or_init(|| Mutex::new(GoldenCache { map: HashMap::new(), order: Vec::new() }))
 }
 
-fn key<T: Target + ?Sized>(target: &T, device: &DeviceModel, ecc: bool) -> GoldenKey {
+fn key<T: Target + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    ecc: bool,
+    recorded: bool,
+) -> GoldenKey {
     let launch = target.launch();
     GoldenKey {
         target: target.name().to_string(),
@@ -53,6 +62,7 @@ fn key<T: Target + ?Sized>(target: &T, device: &DeviceModel, ecc: bool) -> Golde
         grid: launch.grid.count(),
         block: launch.block.count(),
         memory_len: target.fresh_memory().len(),
+        recorded,
     }
 }
 
@@ -67,13 +77,46 @@ pub fn fetch<T: Target + ?Sized>(
     device: &DeviceModel,
     ecc: bool,
 ) -> Result<(Arc<Executed>, bool), String> {
-    let key = key(target, device, ecc);
-    if let Some(hit) = cache().lock().expect("golden cache poisoned").map.get(&key) {
-        return Ok((Arc::clone(hit), true));
+    fetch_inner(target, device, ecc, false)
+}
+
+/// [`fetch`] of a golden run carrying a site-provenance record
+/// ([`gpu_sim::SitesRecord`]); the returned run's `sites_record` is
+/// always `Some`. Statically-pruned campaigns use this.
+///
+/// # Errors
+/// Same contract as [`fetch`].
+pub fn fetch_recorded<T: Target + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    ecc: bool,
+) -> Result<(Arc<Executed>, bool), String> {
+    fetch_inner(target, device, ecc, true)
+}
+
+fn fetch_inner<T: Target + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    ecc: bool,
+    recorded: bool,
+) -> Result<(Arc<Executed>, bool), String> {
+    let key = key(target, device, ecc, recorded);
+    {
+        let cache = cache().lock().expect("golden cache poisoned");
+        if let Some(hit) = cache.map.get(&key) {
+            return Ok((Arc::clone(hit), true));
+        }
+        if !recorded {
+            // A recorded run is the same execution plus provenance; a
+            // plain fetch can share it instead of recomputing.
+            if let Some(hit) = cache.map.get(&GoldenKey { recorded: true, ..key.clone() }) {
+                return Ok((Arc::clone(hit), true));
+            }
+        }
     }
     // Compute outside the lock: concurrent misses on the same key waste a
     // run but never block each other, and the results are identical.
-    let opts = RunOptions { ecc, ..RunOptions::default() };
+    let opts = RunOptions { ecc, record_sites: recorded, ..RunOptions::default() };
     let golden = target.execute(device, &opts);
     if !golden.status.completed() {
         return Err(format!("golden run of {} failed: {:?}", target.name(), golden.status));
@@ -108,5 +151,20 @@ mod tests {
         // ECC state is part of the key.
         let (_, hit_ecc) = fetch(&target, &device, true).unwrap();
         assert!(!hit_ecc);
+    }
+
+    #[test]
+    fn recorded_fetch_carries_provenance_and_serves_plain_fetches() {
+        let device = DeviceModel::v100_sim();
+        let target = microbench::arith(FunctionalUnit::Ffma);
+        let (rec, hit) = fetch_recorded(&target, &device, false).unwrap();
+        assert!(!hit);
+        let sites = rec.sites_record.as_ref().expect("recorded golden has provenance");
+        assert_eq!(sites.site_pcs.len() as u64, rec.counts.sites.gpr_writers);
+        assert_eq!(sites.block_windows.len() as u64, target.launch().grid.count());
+        // A plain fetch reuses the recorded entry instead of recomputing.
+        let (plain, hit_plain) = fetch(&target, &device, false).unwrap();
+        assert!(hit_plain);
+        assert!(Arc::ptr_eq(&rec, &plain));
     }
 }

@@ -42,6 +42,68 @@ impl fmt::Display for Guard {
     }
 }
 
+/// A small fixed-capacity register list, returned by [`Instr::src_regs`]
+/// and [`Instr::dst_regs`].
+///
+/// The engine calls those per dynamic instruction and the dataflow passes
+/// call them per (block, instruction) iteration, so they must not allocate.
+/// The worst case is an FP64 three-source op (3 sources + 3 pair-high
+/// words = 6); capacity 8 leaves headroom. Derefs to `&[Reg]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RegList {
+    regs: [Reg; RegList::CAPACITY],
+    len: u8,
+}
+
+impl RegList {
+    /// Maximum registers one instruction can name (with pair expansion).
+    pub const CAPACITY: usize = 8;
+
+    /// Empty list.
+    pub fn new() -> RegList {
+        RegList { regs: [Reg::RZ; RegList::CAPACITY], len: 0 }
+    }
+
+    fn push(&mut self, r: Reg) {
+        self.regs[self.len as usize] = r;
+        self.len += 1;
+    }
+
+    /// The registers as a slice.
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.regs[..self.len as usize]
+    }
+}
+
+impl Default for RegList {
+    fn default() -> RegList {
+        RegList::new()
+    }
+}
+
+impl std::ops::Deref for RegList {
+    type Target = [Reg];
+    fn deref(&self) -> &[Reg] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for RegList {
+    type Item = Reg;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Reg, { RegList::CAPACITY }>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.regs.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a RegList {
+    type Item = &'a Reg;
+    type IntoIter = std::slice::Iter<'a, Reg>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// One decoded instruction.
 ///
 /// * `dst` is the destination GPR (`RZ` when unused or write-discarded).
@@ -88,8 +150,8 @@ impl Instr {
 
     /// Registers read by this instruction, including high words of 64-bit
     /// pairs. MMA fragment reads are expanded by the simulator, not here.
-    pub fn src_regs(&self) -> Vec<Reg> {
-        let mut regs = Vec::with_capacity(6);
+    pub fn src_regs(&self) -> RegList {
+        let mut regs = RegList::new();
         let pairwise = matches!(
             self.op,
             Op::Dadd | Op::Dmul | Op::Dfma | Op::Dsetp(_) | Op::D2f | Op::Drcp | Op::Dsqrt
@@ -118,15 +180,16 @@ impl Instr {
     }
 
     /// Registers written by this instruction.
-    pub fn dst_regs(&self) -> Vec<Reg> {
+    pub fn dst_regs(&self) -> RegList {
+        let mut regs = RegList::new();
         if self.op.has_no_dst() || self.dst.is_rz() {
-            return Vec::new();
+            return regs;
         }
+        regs.push(self.dst);
         if self.op.writes_pair() {
-            vec![self.dst, self.dst.pair_hi()]
-        } else {
-            vec![self.dst]
+            regs.push(self.dst.pair_hi());
         }
+        regs
     }
 }
 
@@ -186,8 +249,8 @@ mod tests {
         let mut i = Instr::new(Op::Dadd);
         i.dst = Reg(0);
         i.srcs = [Operand::Reg(Reg(2)), Operand::Reg(Reg(4)), Operand::None];
-        assert_eq!(i.src_regs(), vec![Reg(2), Reg(3), Reg(4), Reg(5)]);
-        assert_eq!(i.dst_regs(), vec![Reg(0), Reg(1)]);
+        assert_eq!(i.src_regs().as_slice(), [Reg(2), Reg(3), Reg(4), Reg(5)]);
+        assert_eq!(i.dst_regs().as_slice(), [Reg(0), Reg(1)]);
     }
 
     #[test]

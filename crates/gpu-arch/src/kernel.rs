@@ -27,9 +27,10 @@ impl Dim {
         Dim { x, y }
     }
 
-    /// Total element count.
-    pub fn count(self) -> u32 {
-        self.x * self.y
+    /// Total element count. Widened to `u64`: `x * y` of two `u32`s can
+    /// exceed `u32::MAX` for large grids.
+    pub fn count(self) -> u64 {
+        u64::from(self.x) * u64::from(self.y)
     }
 }
 
@@ -57,12 +58,12 @@ impl LaunchConfig {
 
     /// Total threads in the launch.
     pub fn total_threads(&self) -> u64 {
-        self.grid.count() as u64 * self.block.count() as u64
+        self.grid.count() * self.block.count()
     }
 
     /// Warps per block (rounded up).
     pub fn warps_per_block(&self) -> u32 {
-        self.block.count().div_ceil(WARP_SIZE)
+        self.block.count().div_ceil(u64::from(WARP_SIZE)) as u32
     }
 }
 

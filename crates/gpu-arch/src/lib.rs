@@ -34,7 +34,7 @@ mod op;
 mod operand;
 
 pub use device::{Architecture, CodeGen, DeviceModel, EccMode};
-pub use instr::{Guard, Instr};
+pub use instr::{Guard, Instr, RegList};
 pub use kernel::{Dim, Kernel, KernelBuilder, KernelError, LaunchConfig};
 pub use op::{CmpOp, FunctionalUnit, MemWidth, MixCategory, Op, ShflMode, SpecialReg};
 pub use operand::{Operand, Pred, Reg};

@@ -45,11 +45,23 @@ pub struct RunOptions {
     /// thread coordinates) into [`Executed::trace`]. Zero disables
     /// tracing; campaigns leave it off.
     pub trace_limit: usize,
+    /// Record the static pc of every dynamic injectable GPR-writer site
+    /// (and per-block dynamic-count windows) into
+    /// [`Executed::sites_record`]. Golden runs backing statically-pruned
+    /// campaigns turn this on; it is off by default because the record
+    /// grows with the dynamic instruction count.
+    pub record_sites: bool,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { ecc: true, fault: FaultPlan::None, watchdog_limit: u64::MAX, trace_limit: 0 }
+        RunOptions {
+            ecc: true,
+            fault: FaultPlan::None,
+            watchdog_limit: u64::MAX,
+            trace_limit: 0,
+            record_sites: false,
+        }
     }
 }
 
@@ -129,6 +141,28 @@ impl Counts {
     }
 }
 
+/// Per-site provenance recorded during a golden run (see
+/// [`RunOptions::record_sites`]).
+///
+/// `site_pcs[n]` is the static pc of the `n`-th dynamic GPR-writer site —
+/// the same enumeration `FaultPlan::InstructionOutput { nth, .. }`
+/// samples, so `site_pcs[nth]` (after filtering by the plan's
+/// [`SiteClass`](crate::SiteClass)) tells a pruner which *instruction* a
+/// planned corruption would land on. Warp-level MMA/SHFL sites appear
+/// once per warp, matching their single `gpr_writers` tick.
+///
+/// `block_windows[b]` is the half-open `[start, end)` range of global
+/// dynamic instruction indices during which linear block `b` was resident
+/// (blocks execute sequentially), locating time-triggered register-file
+/// strikes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SitesRecord {
+    /// Static pc of each dynamic GPR-writer site, in execution order.
+    pub site_pcs: Vec<u32>,
+    /// Per linear block: `[start, end)` window of dynamic indices.
+    pub block_windows: Vec<(u64, u64)>,
+}
+
 /// The result of one execution.
 #[derive(Clone, Debug)]
 pub struct Executed {
@@ -145,6 +179,8 @@ pub struct Executed {
     /// Execution trace (first `trace_limit` instructions), empty unless
     /// requested.
     pub trace: Vec<String>,
+    /// Site provenance, present iff [`RunOptions::record_sites`] was set.
+    pub sites_record: Option<SitesRecord>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -225,6 +261,7 @@ struct Ctx<'a> {
     fault_triggered: bool,
     current_block: u32,
     trace: Vec<String>,
+    record: Option<SitesRecord>,
     sink: Option<&'a mut (dyn TraceSink + 'a)>,
 }
 
@@ -282,6 +319,7 @@ pub fn run_with_sink<'a>(
         fault_triggered: false,
         current_block: 0,
         trace: Vec::new(),
+        record: opts.record_sites.then(SitesRecord::default),
         sink,
     };
 
@@ -290,7 +328,12 @@ pub fn run_with_sink<'a>(
         for bx in 0..launch.grid.x {
             let block_linear = by * launch.grid.x + bx;
             ctx.current_block = block_linear;
-            match run_block(&mut ctx, bx, by, block_linear) {
+            let window_start = ctx.dyn_count;
+            let result = run_block(&mut ctx, bx, by, block_linear);
+            if let Some(rec) = ctx.record.as_mut() {
+                rec.block_windows.push((window_start, ctx.dyn_count));
+            }
+            match result {
                 Ok(()) => {}
                 Err(due) => {
                     status = ExecStatus::Due(due);
@@ -317,6 +360,7 @@ pub fn run_with_sink<'a>(
         timing,
         fault_triggered: ctx.fault_triggered,
         trace: ctx.trace,
+        sites_record: ctx.record,
     }
 }
 
@@ -724,6 +768,9 @@ fn step(
             if !matches!(op, Op::Hadd | Op::Hmul | Op::Hfma | Op::Hmma) {
                 ctx.counts.sites.gpr_writers_no_half += 1;
             }
+            if let Some(rec) = ctx.record.as_mut() {
+                rec.site_pcs.push(pc);
+            }
         }
         if matches!(op, Op::Ldg(_) | Op::Lds(_)) {
             ctx.counts.sites.loads += 1;
@@ -1082,6 +1129,9 @@ fn exec_mma(
         }
     );
     ctx.counts.sites.gpr_writers += 1; // the D-fragment write
+    if let Some(rec) = ctx.record.as_mut() {
+        rec.site_pcs.push(threads[lo].pc);
+    }
 
     let mut a_m = [[0f32; 16]; 16];
     let mut b_m = [[0f32; 16]; 16];
@@ -1189,6 +1239,9 @@ fn exec_shfl(
         }
     );
     ctx.counts.sites.gpr_writers += 1;
+    if let Some(rec) = ctx.record.as_mut() {
+        rec.site_pcs.push(threads[lo].pc);
+    }
 
     let width = hi - lo;
     // Gather every lane's source value and selector first (simultaneous

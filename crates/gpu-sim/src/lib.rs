@@ -28,7 +28,9 @@ mod fault;
 mod memory;
 pub mod timing;
 
-pub use engine::{run, run_with_sink, Counts, ExecStatus, Executed, RunOptions, SiteCounts};
+pub use engine::{
+    run, run_with_sink, Counts, ExecStatus, Executed, RunOptions, SiteCounts, SitesRecord,
+};
 pub use fault::{BitFlip, DueKind, FaultPlan, SiteClass};
 pub use memory::{GlobalMemory, MemoryError, SharedMemory};
 

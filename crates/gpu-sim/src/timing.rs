@@ -62,15 +62,17 @@ pub fn analyze(
     launch: &LaunchConfig,
     counts: &Counts,
 ) -> TimingReport {
-    let threads_per_block = launch.block.count();
-    let resident_blocks = device
-        .resident_blocks_per_sm(kernel.regs_per_thread, kernel.shared_bytes, threads_per_block)
-        .max(1);
-    let warps_per_block = launch.warps_per_block().max(1);
+    let threads_per_block = launch.block.count() as u32;
+    let resident_blocks = u64::from(
+        device
+            .resident_blocks_per_sm(kernel.regs_per_thread, kernel.shared_bytes, threads_per_block)
+            .max(1),
+    );
+    let warps_per_block = u64::from(launch.warps_per_block().max(1));
     let total_blocks = launch.grid.count().max(1);
 
     // Wave structure.
-    let blocks_per_sm = total_blocks.div_ceil(device.sms);
+    let blocks_per_sm = total_blocks.div_ceil(u64::from(device.sms));
     let waves = blocks_per_sm.div_ceil(resident_blocks).max(1);
     // Warps resident on the busiest SM during a typical wave.
     let resident_warps_full = (resident_blocks.min(blocks_per_sm) * warps_per_block) as f64;

@@ -357,8 +357,8 @@ fn sample_plan<R: Rng>(
         }
         Mode::Register => {
             let at = rng.gen_range(0..golden.counts.total.max(1));
-            let block = rng.gen_range(0..target_launch.grid.count());
-            let thread = rng.gen_range(0..target_launch.block.count());
+            let block = rng.gen_range(0..target_launch.grid.count()) as u32;
+            let thread = rng.gen_range(0..target_launch.block.count()) as u32;
             let reg = rng.gen_range(0..regs_per_thread.max(1)) as u8;
             Some(FaultPlan::RegisterBit {
                 block,
@@ -376,6 +376,92 @@ fn sample_plan<R: Rng>(
                 nth: rng.gen_range(0..sites.mem_ops),
                 flip: BitFlip::single(rng.gen_range(0..32)),
             })
+        }
+    }
+}
+
+/// The statically-proven masking oracle backing pruned AVF campaigns
+/// ([`Avf::new_pruned`]).
+///
+/// Built from [`sass_analysis::StaticMasks`] (bit-level liveness over the
+/// kernel) plus the golden run's site provenance
+/// ([`gpu_sim::SitesRecord`]), which resolves a sampled `nth` dynamic
+/// site to the static pc the corruption would land on. A trial the
+/// oracle proves Masked is tallied directly instead of simulated; the
+/// outcome counts are bit-identical to the unpruned campaign because the
+/// sampler consumes the RNG identically and only replaces provably-Masked
+/// executions.
+struct PruneState {
+    masks: sass_analysis::StaticMasks,
+    /// Per site class in the mode rotation: the golden dynamic site
+    /// stream filtered to that class, mirroring the engine's in-order
+    /// `site_matches` numbering.
+    class_streams: Vec<(SiteClass, Vec<u32>)>,
+    /// Per linear block: `[start, end)` dynamic-index residency window.
+    block_windows: Vec<(u64, u64)>,
+}
+
+impl PruneState {
+    fn build(kernel: &gpu_arch::Kernel, record: &gpu_sim::SitesRecord, modes: &[Mode]) -> Self {
+        let mut classes: Vec<SiteClass> = Vec::new();
+        for m in modes {
+            if let Mode::Output(c) | Mode::OutputRandom(c) | Mode::OutputZero(c) = *m {
+                if !classes.contains(&c) {
+                    classes.push(c);
+                }
+            }
+        }
+        let class_streams = classes
+            .into_iter()
+            .map(|c| {
+                let stream = record
+                    .site_pcs
+                    .iter()
+                    .copied()
+                    .filter(|&pc| c.matches(kernel.instrs[pc as usize].op))
+                    .collect();
+                (c, stream)
+            })
+            .collect();
+        PruneState {
+            masks: sass_analysis::StaticMasks::compute(kernel),
+            class_streams,
+            block_windows: record.block_windows.clone(),
+        }
+    }
+
+    /// Static pc of the `nth` dynamic site of `class` (the instruction the
+    /// engine's in-order site numbering lands the fault on).
+    fn pc_of(&self, class: SiteClass, nth: u64) -> Option<u32> {
+        let stream = &self.class_streams.iter().find(|(c, _)| *c == class)?.1;
+        stream.get(nth as usize).copied()
+    }
+
+    /// Is `plan` provably Masked? Sound only for ECC-off runs (AVF
+    /// campaigns), where a register strike lands raw instead of being
+    /// corrected/detected.
+    fn provably_masked(&self, plan: &FaultPlan, regs_per_thread: u16) -> bool {
+        match *plan {
+            FaultPlan::InstructionOutput { nth, site, flip } => {
+                self.pc_of(site, nth).is_some_and(|pc| self.masks.output_flip_masked(pc, flip.mask))
+            }
+            FaultPlan::InstructionOutputSet { nth, site, .. } => {
+                self.pc_of(site, nth).is_some_and(|pc| self.masks.output_replace_masked(pc))
+            }
+            FaultPlan::RegisterBit { block, thread: _, reg, flip, at } => {
+                let Some(&(start, end)) = self.block_windows.get(block as usize) else {
+                    return false;
+                };
+                if at < start || at >= end {
+                    // Blocks run sequentially; a strike timed outside the
+                    // target block's residency window is the engine's
+                    // "target block not resident" no-op.
+                    return true;
+                }
+                self.masks.register_flip_masked(reg, regs_per_thread, flip.mask as u32)
+            }
+            // Predicate, address, memory and PC faults are never pruned.
+            _ => false,
         }
     }
 }
@@ -409,22 +495,38 @@ pub fn classify<T: Target + ?Sized>(target: &T, golden: &Executed, faulty: &Exec
 pub struct Avf {
     /// Which framework's capability model to apply.
     pub injector: Injector,
+    /// Skip trials a static dataflow proof already classifies as Masked
+    /// (see [`Avf::new_pruned`]). Outcome tallies are bit-identical to
+    /// the unpruned campaign; only the number of *simulated* trials
+    /// shrinks.
+    pub pruned: bool,
 }
 
 impl Avf {
     /// An AVF campaign kind for `injector`.
     pub fn new(injector: Injector) -> Self {
-        Avf { injector }
+        Avf { injector, pruned: false }
+    }
+
+    /// [`Avf::new`] with statically-proven-masked pruning: trials whose
+    /// sampled fault is provably unobservable (dead destination bits,
+    /// never-read register bits, strikes timed outside the target block's
+    /// residency) are tallied Masked directly instead of simulated. The
+    /// sampler draws from the RNG exactly as the unpruned campaign does,
+    /// so SDC/DUE/Masked counts match it bit for bit at equal seeds.
+    pub fn new_pruned(injector: Injector) -> Self {
+        Avf { injector, pruned: true }
     }
 }
 
 /// Sampler state for [`Avf`]: the golden run's site populations and the
-/// mode rotation.
+/// mode rotation (plus the static masking oracle when pruning).
 pub struct AvfSampler {
     golden: Arc<Executed>,
     modes: Vec<Mode>,
     launch: LaunchConfig,
     regs_per_thread: u16,
+    prune: Option<PruneState>,
 }
 
 impl Sampler for AvfSampler {
@@ -434,7 +536,18 @@ impl Sampler for AvfSampler {
         // trial index achieves the same, independent of sharding.
         let mode = self.modes[(trial % self.modes.len() as u64) as usize];
         match sample_plan(rng, mode, &self.golden, &self.launch, self.regs_per_thread) {
-            Some(plan) => TrialPlan::Fault(plan),
+            Some(plan) => {
+                if let Some(pr) = &self.prune {
+                    if pr.provably_masked(&plan, self.regs_per_thread) {
+                        return TrialPlan::Direct {
+                            outcome: Outcome::Masked,
+                            due: None,
+                            label: "static-masked",
+                        };
+                    }
+                }
+                TrialPlan::Fault(plan)
+            }
             // A mode whose population turned out empty: the fault has no
             // site to land on, so the run is trivially masked.
             None => TrialPlan::Direct { outcome: Outcome::Masked, due: None, label: "presampled" },
@@ -447,14 +560,23 @@ impl<T: Target + Sync + ?Sized> Kind<T> for Avf {
     type Output = AvfResult;
 
     fn label(&self) -> String {
-        match self.injector {
-            Injector::Sassifi => "avf/sassifi".to_string(),
-            Injector::NvBitFi => "avf/nvbitfi".to_string(),
+        let base = match self.injector {
+            Injector::Sassifi => "avf/sassifi",
+            Injector::NvBitFi => "avf/nvbitfi",
+        };
+        if self.pruned {
+            format!("{base}+prune")
+        } else {
+            base.to_string()
         }
     }
 
     fn ecc(&self) -> bool {
         false
+    }
+
+    fn record_sites(&self) -> bool {
+        self.pruned
     }
 
     fn prepare(&self, target: &T, device: &DeviceModel, golden: &Arc<Executed>) -> AvfSampler {
@@ -463,11 +585,19 @@ impl<T: Target + Sync + ?Sized> Kind<T> for Avf {
         }
         let modes = available_modes(self.injector, &golden.counts.sites, &golden.counts.per_unit);
         assert!(!modes.is_empty(), "no injectable sites in {}", target.name());
+        let prune = self.pruned.then(|| {
+            let record = golden
+                .sites_record
+                .as_ref()
+                .expect("pruned AVF campaign requires a site-recorded golden run");
+            PruneState::build(target.kernel(), record, &modes)
+        });
         AvfSampler {
             golden: Arc::clone(golden),
             modes,
             launch: target.launch().clone(),
             regs_per_thread: target.kernel().regs_per_thread,
+            prune,
         }
     }
 
@@ -557,14 +687,18 @@ impl<T: Target + Sync + ?Sized> Kind<T> for ClassAvf {
 /// # Errors
 /// Returns [`Unsupported`] if the injector cannot instrument the target.
 #[deprecated(note = "use campaign::Campaign::new(injector::Avf::new(injector), ...)")]
-#[allow(deprecated)]
+#[allow(deprecated)] // the signature takes the deprecated CampaignConfig
 pub fn measure_avf<T: Target + Sync + ?Sized>(
     injector: Injector,
     target: &T,
     device: &DeviceModel,
     config: &CampaignConfig,
 ) -> Result<AvfResult, Unsupported> {
-    measure_avf_observed(injector, target, device, config, CampaignObserver::none())
+    injector.supports(target, device)?;
+    Ok(Campaign::new(Avf::new(injector), target, device)
+        .budget(config.budget())
+        .run()
+        .expect("injection campaign failed"))
 }
 
 /// [`measure_avf`] with observation hooks: per-trial outcome tallies (by
@@ -591,14 +725,17 @@ pub fn measure_avf_observed<T: Target + Sync + ?Sized>(
 /// correction of Section V-A: injections restricted to the unit the
 /// micro-benchmark exercises.
 #[deprecated(note = "use campaign::Campaign::new(injector::ClassAvf::unit(unit), ...)")]
-#[allow(deprecated)]
+#[allow(deprecated)] // the signature takes the deprecated CampaignConfig
 pub fn measure_unit_avf<T: Target + Sync + ?Sized>(
     target: &T,
     device: &DeviceModel,
     unit: FunctionalUnit,
     config: &CampaignConfig,
 ) -> AvfResult {
-    measure_class_avf(target, device, SiteClass::Unit(unit), config)
+    Campaign::new(ClassAvf::unit(unit), target, device)
+        .budget(config.budget())
+        .run()
+        .expect("class-AVF campaign failed")
 }
 
 /// Measure an AVF with injections drawn from an arbitrary site class.
@@ -695,6 +832,43 @@ mod tests {
         let a = avf(Injector::Sassifi, &w, &kepler, 60);
         let b = avf(Injector::Sassifi, &w, &kepler, 60);
         assert_eq!(a.counts, b.counts);
+    }
+
+    /// The pruning regression contract: at equal seeds a pruned campaign
+    /// must reproduce the unpruned SDC/DUE/Masked tallies bit for bit
+    /// while *simulating* strictly fewer trials. If the static oracle
+    /// ever mislabeled a consequential fault as Masked, the tallies would
+    /// diverge here.
+    #[test]
+    fn pruned_campaign_is_bit_identical_and_simulates_fewer_trials() {
+        let cases: [(Injector, DeviceModel, Precision); 2] = [
+            (Injector::NvBitFi, DeviceModel::v100_sim(), Precision::Half),
+            (Injector::Sassifi, DeviceModel::k40c_sim(), Precision::Single),
+        ];
+        for (injector, device, precision) in cases {
+            let w = build(Benchmark::Mxm, precision, CodeGen::Cuda7, Scale::Tiny);
+            let (base, base_run) = Campaign::new(Avf::new(injector), &w, &device)
+                .budget(budget(200))
+                .run_full()
+                .unwrap();
+            let (pruned, pruned_run) = Campaign::new(Avf::new_pruned(injector), &w, &device)
+                .budget(budget(200))
+                .run_full()
+                .unwrap();
+            assert_eq!(base.counts, pruned.counts, "{injector} tallies diverged");
+            assert!(
+                pruned_run.executed.total() < base_run.executed.total(),
+                "{injector}: pruned campaign simulated {} of {} trials",
+                pruned_run.executed.total(),
+                base_run.executed.total(),
+            );
+            let skipped = pruned_run.direct.get("static-masked").map_or(0, |c| c.total());
+            assert_eq!(
+                skipped,
+                base_run.executed.total() - pruned_run.executed.total(),
+                "{injector}: every skipped trial is tallied under static-masked"
+            );
+        }
     }
 
     #[test]

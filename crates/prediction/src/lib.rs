@@ -158,6 +158,9 @@ pub struct Prediction {
     pub phi: f64,
     /// The memory contribution included in `sdc_fit` (zero with ECC on).
     pub memory_sdc: f64,
+    /// Static ACE fraction of the profiled kernel (the statically-proven
+    /// upper bound companion to the dynamic AVF the FIT terms use).
+    pub static_ace: f64,
 }
 
 /// Options for the prediction model (the ablations of DESIGN.md).
@@ -226,7 +229,13 @@ pub fn predict(
         due += bits * fits.rf_due_per_bit * avf.due_avf().max(0.01);
     }
 
-    Prediction { sdc_fit: sdc, due_fit: due, phi: profile.phi, memory_sdc }
+    Prediction {
+        sdc_fit: sdc,
+        due_fit: due,
+        phi: profile.phi,
+        memory_sdc,
+        static_ace: profile.static_ace,
+    }
 }
 
 /// Bits of each memory level a workload instantiates (`f(MEM_m)` of
@@ -282,6 +291,9 @@ pub struct ComparisonRow {
     /// Measured-over-predicted DUE factor (the Section VII-B
     /// underestimation).
     pub due_underestimation: f64,
+    /// Static ACE fraction of the kernel (from the prediction side),
+    /// printed next to the dynamic-AVF-based FIT columns.
+    pub static_ace: f64,
 }
 
 /// Compare a beam measurement against a prediction.
@@ -302,6 +314,7 @@ pub fn compare(
         } else {
             f64::INFINITY
         },
+        static_ace: predicted.static_ace,
     }
 }
 
@@ -369,6 +382,7 @@ mod tests {
             .unwrap();
         let row = compare(&w.name, &beam_res, &ecc_on);
         assert!(row.sdc_ratio.is_finite(), "sdc ratio NaN: {row:?}");
+        assert!(row.static_ace > 0.0 && row.static_ace <= 1.0, "static_ace={}", row.static_ace);
         assert!(
             row.due_underestimation > 1.0,
             "DUEs should be underestimated, got {}",

@@ -41,6 +41,12 @@ pub struct KernelProfile {
     pub seconds: f64,
     /// Modeled cycles.
     pub cycles: f64,
+    /// Static ACE fraction: of the destination bits the kernel's
+    /// (reachable, scalar GPR-writing) instructions produce, the fraction
+    /// some path may observe ([`sass_analysis::StaticMasks`]). The static
+    /// analogue of the dynamically-measured AVF, reported beside it in
+    /// the prediction tables.
+    pub static_ace: f64,
 }
 
 impl KernelProfile {
@@ -62,6 +68,7 @@ impl KernelProfile {
             mix_fractions: out.counts.mix_fractions(),
             seconds: out.timing.seconds,
             cycles: out.timing.cycles,
+            static_ace: sass_analysis::static_ace_fraction(target_kernel),
         }
     }
 
@@ -118,6 +125,7 @@ impl KernelProfile {
         metrics.gauge(&format!("{prefix}.seconds")).set(self.seconds);
         metrics.gauge(&format!("{prefix}.cycles")).set(self.cycles);
         metrics.gauge(&format!("{prefix}.instructions")).set(self.total_instructions as f64);
+        metrics.gauge(&format!("{prefix}.static_ace")).set(self.static_ace);
     }
 }
 
@@ -149,6 +157,9 @@ mod tests {
         assert!((p.phi - p.ipc * p.occupancy).abs() < 1e-12);
         let s: f64 = p.mix_fractions.iter().sum();
         assert!((s - 1.0).abs() < 1e-9, "mix sums to {s}");
+        // Hand-built kernels keep most produced bits live; a zero or full
+        // static ACE would mean the analysis collapsed.
+        assert!(p.static_ace > 0.5 && p.static_ace <= 1.0, "static_ace={}", p.static_ace);
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! Control-flow graph construction over a [`Kernel`].
+//!
+//! Branch targets in the ISA are resolved instruction indices
+//! ([`gpu_arch::KernelBuilder`] fixes up labels at build time), so basic
+//! blocks fall out of a single leader scan: block boundaries sit at branch
+//! targets and after every `BRA`/`EXIT`. Predication (`@P` guards on
+//! non-branch instructions) does *not* split blocks — a guarded `IADD` is
+//! data-flow, not control flow — but a guarded `BRA`/`EXIT` makes the
+//! fall-through edge real.
+//!
+//! Dominators and postdominators are computed as plain iterative bitset
+//! dataflow. Kernels in this workspace are at most a few hundred
+//! instructions, so the O(blocks²) sets are cheaper than a Lengauer-Tarjan
+//! implementation would be to maintain, and the sets themselves are what
+//! the loop finder and the divergence analysis consume.
+
+use gpu_arch::{Kernel, Op};
+
+/// Sentinel for "no block" (unreachable, or no immediate (post)dominator).
+pub const NO_BLOCK: u32 = u32::MAX;
+
+/// A maximal straight-line run of instructions.
+#[derive(Clone, Debug)]
+pub struct BasicBlock {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successor block indices.
+    pub succs: Vec<u32>,
+    /// Predecessor block indices.
+    pub preds: Vec<u32>,
+}
+
+impl BasicBlock {
+    /// Instruction indices of this block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
+/// A natural loop: the target of a back edge plus every block that can
+/// reach the back edge without passing through the head.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// Loop header block.
+    pub head: u32,
+    /// All member blocks, head included.
+    pub body: Vec<u32>,
+}
+
+/// A fixed-size bitset over basic blocks, used for dominator sets.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BlockSet {
+    words: Vec<u64>,
+}
+
+impl BlockSet {
+    fn empty(n: usize) -> BlockSet {
+        BlockSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    fn full(n: usize) -> BlockSet {
+        let mut s = BlockSet { words: vec![u64::MAX; n.div_ceil(64)] };
+        // Clear the bits past `n` so equality checks stay meaningful.
+        for b in n..s.words.len() * 64 {
+            s.words[b / 64] &= !(1 << (b % 64));
+        }
+        s
+    }
+
+    fn insert(&mut self, b: u32) {
+        self.words[b as usize / 64] |= 1 << (b % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, b: u32) -> bool {
+        self.words[b as usize / 64] & (1 << (b % 64)) != 0
+    }
+
+    fn intersect_with(&mut self, other: &BlockSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// True if no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// The control-flow graph of one kernel, with derived structure.
+pub struct Cfg {
+    /// Basic blocks in program order.
+    pub blocks: Vec<BasicBlock>,
+    /// Block index of every instruction.
+    pub block_of: Vec<u32>,
+    /// Per block: reachable from entry?
+    pub reachable: Vec<bool>,
+    /// Per block: the set of blocks that dominate it (unreachable blocks
+    /// get an empty set).
+    pub dom: Vec<BlockSet>,
+    /// Per block: the set of blocks that postdominate it. Blocks that
+    /// cannot reach an exit get an empty set.
+    pub pdom: Vec<BlockSet>,
+    /// Immediate postdominator per block ([`NO_BLOCK`] when the block
+    /// exits directly or cannot reach an exit).
+    pub ipdom: Vec<u32>,
+    /// Back edges `(tail, head)` where `head` dominates `tail`.
+    pub back_edges: Vec<(u32, u32)>,
+    /// Natural loops, one per back-edge head (bodies merged per head).
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl Cfg {
+    /// Build the CFG of `kernel`. The kernel must be non-empty and have
+    /// in-range branch targets (guaranteed by [`Kernel::validate`]).
+    pub fn build(kernel: &Kernel) -> Cfg {
+        let instrs = &kernel.instrs;
+        let n = instrs.len();
+        assert!(n > 0, "cannot build a CFG of an empty kernel");
+
+        // Leader scan.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, i) in instrs.iter().enumerate() {
+            match i.op {
+                Op::Bra => {
+                    let t = i.target.expect("BRA without target") as usize;
+                    leader[t] = true;
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Op::Exit if pc + 1 < n => {
+                    leader[pc + 1] = true;
+                }
+                _ => {}
+            }
+        }
+
+        // Blocks and the pc -> block map.
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0u32; n];
+        for pc in 0..n {
+            if leader[pc] {
+                blocks.push(BasicBlock {
+                    start: pc as u32,
+                    end: pc as u32 + 1,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+            } else {
+                blocks.last_mut().expect("pc 0 is a leader").end = pc as u32 + 1;
+            }
+            block_of[pc] = blocks.len() as u32 - 1;
+        }
+        let nb = blocks.len();
+
+        // Edges.
+        for b in 0..nb {
+            let last = &instrs[blocks[b].end as usize - 1];
+            let mut succs = Vec::new();
+            match last.op {
+                Op::Bra => {
+                    succs.push(block_of[last.target.expect("BRA without target") as usize]);
+                    // A guarded branch falls through when the guard fails.
+                    if last.guard.is_some() && (blocks[b].end as usize) < n {
+                        succs.push(block_of[blocks[b].end as usize]);
+                    }
+                }
+                Op::Exit => {
+                    if last.guard.is_some() && (blocks[b].end as usize) < n {
+                        succs.push(block_of[blocks[b].end as usize]);
+                    }
+                }
+                _ => {
+                    if (blocks[b].end as usize) < n {
+                        succs.push(block_of[blocks[b].end as usize]);
+                    }
+                }
+            }
+            succs.dedup();
+            blocks[b].succs = succs;
+        }
+        for b in 0..nb as u32 {
+            for s in blocks[b as usize].succs.clone() {
+                blocks[s as usize].preds.push(b);
+            }
+        }
+
+        // Reachability from entry.
+        let mut reachable = vec![false; nb];
+        let mut stack = vec![0u32];
+        reachable[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &blocks[b as usize].succs {
+                if !reachable[s as usize] {
+                    reachable[s as usize] = true;
+                    stack.push(s);
+                }
+            }
+        }
+
+        // Dominators: dom[b] = {b} ∪ ⋂ dom[p], iterated to fixpoint.
+        let mut dom: Vec<BlockSet> = (0..nb)
+            .map(|b| {
+                if b == 0 {
+                    let mut s = BlockSet::empty(nb);
+                    s.insert(0);
+                    s
+                } else if reachable[b] {
+                    BlockSet::full(nb)
+                } else {
+                    BlockSet::empty(nb)
+                }
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 1..nb {
+                if !reachable[b] {
+                    continue;
+                }
+                let mut new = BlockSet::full(nb);
+                let mut any_pred = false;
+                for &p in &blocks[b].preds {
+                    if reachable[p as usize] {
+                        new.intersect_with(&dom[p as usize]);
+                        any_pred = true;
+                    }
+                }
+                if !any_pred {
+                    new = BlockSet::empty(nb);
+                }
+                new.insert(b as u32);
+                if new != dom[b] {
+                    dom[b] = new;
+                    changed = true;
+                }
+            }
+        }
+
+        // Postdominators: the same dataflow on the reversed graph, seeded
+        // at the exit blocks (no successors). Blocks in a region that
+        // cannot reach any exit converge to the empty set.
+        let exits: Vec<usize> =
+            (0..nb).filter(|&b| reachable[b] && blocks[b].succs.is_empty()).collect();
+        let mut pdom: Vec<BlockSet> = (0..nb)
+            .map(|b| {
+                if exits.contains(&b) {
+                    let mut s = BlockSet::empty(nb);
+                    s.insert(b as u32);
+                    s
+                } else if reachable[b] {
+                    BlockSet::full(nb)
+                } else {
+                    BlockSet::empty(nb)
+                }
+            })
+            .collect();
+        changed = true;
+        while changed {
+            changed = false;
+            for b in (0..nb).rev() {
+                if !reachable[b] || exits.contains(&b) {
+                    continue;
+                }
+                let mut new = BlockSet::full(nb);
+                for &s in &blocks[b].succs {
+                    new.intersect_with(&pdom[s as usize]);
+                }
+                if blocks[b].succs.is_empty() {
+                    new = BlockSet::empty(nb);
+                }
+                new.insert(b as u32);
+                if new != pdom[b] {
+                    pdom[b] = new;
+                    changed = true;
+                }
+            }
+        }
+        // A full set can only survive the fixpoint in an exit-free cycle;
+        // normalize it to "unknown" (empty) so consumers treat those
+        // blocks conservatively.
+        for b in 0..nb {
+            if reachable[b] && pdom[b].len() >= nb as u32 && nb > 1 {
+                pdom[b] = BlockSet::empty(nb);
+            }
+        }
+
+        // Immediate postdominators: ipdom(b) is the member c of
+        // pdom(b)\{b} whose own set pdom(c) equals pdom(b)\{b}.
+        let mut ipdom = vec![NO_BLOCK; nb];
+        for b in 0..nb {
+            if !reachable[b] || pdom[b].is_empty() {
+                continue;
+            }
+            let mut cands = pdom[b].clone();
+            cands.words[b / 64] &= !(1 << (b % 64));
+            for c in 0..nb as u32 {
+                if cands.contains(c) && pdom[c as usize] == cands {
+                    ipdom[b] = c;
+                    break;
+                }
+            }
+        }
+
+        // Back edges and natural loops.
+        let mut back_edges = Vec::new();
+        for b in 0..nb {
+            if !reachable[b] {
+                continue;
+            }
+            for &s in &blocks[b].succs {
+                if dom[b].contains(s) {
+                    back_edges.push((b as u32, s));
+                }
+            }
+        }
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for &(tail, head) in &back_edges {
+            // Body: head plus reverse-reachability from tail stopping at
+            // the head.
+            let mut in_body = vec![false; nb];
+            in_body[head as usize] = true;
+            let mut stack = vec![tail];
+            while let Some(b) = stack.pop() {
+                if in_body[b as usize] {
+                    continue;
+                }
+                in_body[b as usize] = true;
+                for &p in &blocks[b as usize].preds {
+                    stack.push(p);
+                }
+            }
+            let body: Vec<u32> = (0..nb as u32).filter(|&b| in_body[b as usize]).collect();
+            if let Some(l) = loops.iter_mut().find(|l| l.head == head) {
+                for b in body {
+                    if !l.body.contains(&b) {
+                        l.body.push(b);
+                    }
+                }
+                l.body.sort_unstable();
+            } else {
+                loops.push(NaturalLoop { head, body });
+            }
+        }
+
+        Cfg { blocks, block_of, reachable, dom, pdom, ipdom, back_edges, loops }
+    }
+
+    /// Does block `a` dominate block `b`?
+    pub fn dominates(&self, a: u32, b: u32) -> bool {
+        self.dom[b as usize].contains(a)
+    }
+
+    /// Blocks on some path from `branch`'s successors to (but excluding)
+    /// its immediate postdominator: the region whose execution depends on
+    /// which way `branch` goes. With no known reconvergence point the
+    /// whole forward cone is returned.
+    pub fn influence_region(&self, branch: u32) -> Vec<u32> {
+        let stop = self.ipdom[branch as usize];
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack: Vec<u32> = self.blocks[branch as usize].succs.clone();
+        let mut out = Vec::new();
+        while let Some(b) = stack.pop() {
+            if b == stop || seen[b as usize] {
+                continue;
+            }
+            seen[b as usize] = true;
+            out.push(b);
+            for &s in &self.blocks[b as usize].succs {
+                stack.push(s);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_arch::{CmpOp, KernelBuilder, MemWidth, Operand, Pred, Reg};
+
+    /// if (R0 < 16) { R1 = 1 } else { R1 = 2 }; exit — diamond.
+    fn diamond() -> Kernel {
+        let mut b = KernelBuilder::new("diamond");
+        b.isetp(Pred(0), CmpOp::Lt, Operand::Reg(Reg(0)), Operand::Imm(16));
+        b.if_not_p(Pred(0));
+        b.bra("else");
+        b.mov(Reg(1), Operand::Imm(1));
+        b.bra("join");
+        b.label("else");
+        b.mov(Reg(1), Operand::Imm(2));
+        b.label("join");
+        b.stg(MemWidth::W32, Reg(2), 0, Reg(1));
+        b.exit();
+        b.build().unwrap()
+    }
+
+    /// Simple counted loop.
+    fn counted_loop() -> Kernel {
+        let mut b = KernelBuilder::new("loop");
+        b.mov(Reg(0), Operand::Imm(0));
+        b.label("head");
+        b.iadd(Reg(0), Operand::Reg(Reg(0)), Operand::Imm(1));
+        b.isetp(Pred(0), CmpOp::Lt, Operand::Reg(Reg(0)), Operand::Imm(10));
+        b.if_p(Pred(0));
+        b.bra("head");
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let k = diamond();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.blocks.len(), 4);
+        assert!(cfg.reachable.iter().all(|&r| r));
+        // Entry dominates everything; the join is the entry's ipdom... the
+        // entry's immediate postdominator is the join block.
+        let join = cfg.block_of[k.instrs.len() - 1];
+        assert_eq!(cfg.ipdom[0], join);
+        assert!(cfg.dominates(0, join));
+        assert!(!cfg.dominates(1, join));
+        assert!(cfg.back_edges.is_empty());
+        let region = cfg.influence_region(0);
+        assert!(!region.contains(&join));
+        assert_eq!(region.len(), 2);
+    }
+
+    #[test]
+    fn loop_detection() {
+        let k = counted_loop();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.back_edges.len(), 1);
+        assert_eq!(cfg.loops.len(), 1);
+        let l = &cfg.loops[0];
+        assert!(l.body.contains(&l.head));
+        // The loop head is the branch target.
+        let (tail, head) = cfg.back_edges[0];
+        assert!(cfg.dominates(head, tail));
+    }
+
+    #[test]
+    fn unreachable_code_is_flagged() {
+        let mut b = KernelBuilder::new("dead");
+        b.bra("end");
+        b.mov(Reg(0), Operand::Imm(1)); // never executed
+        b.label("end");
+        b.exit();
+        let k = b.build().unwrap();
+        let cfg = Cfg::build(&k);
+        assert!(cfg.reachable.iter().any(|&r| !r));
+    }
+}

@@ -1,0 +1,38 @@
+//! Static analysis over the SASS-like ISA: control-flow graphs, dataflow
+//! passes, a kernel verifier, and statically-proven masked injection
+//! sites.
+//!
+//! The fault-injection methodology of the paper samples sites uniformly
+//! over the *dynamic* instruction stream and simulates every trial to
+//! classify it SDC/DUE/Masked. A large share of those trials is decidable
+//! without simulation: a flip in a destination no later instruction ever
+//! observes is Masked by construction. This crate supplies the proofs —
+//! and, as a byproduct of the same dataflow, a verifier that lints the
+//! hand-built workload kernels (the `sass-lint` binary in the bench
+//! crate).
+//!
+//! Layout:
+//!
+//! * [`cfg`] — basic blocks, dominators/postdominators, natural loops;
+//! * [`dataflow`] — reaching definitions + def-use chains, bit-level
+//!   liveness, definite assignment, uniformity (divergence) analysis;
+//! * [`lint`] — [`verify`]/[`verify_with_launch`] producing
+//!   [`Diagnostic`]s with severities;
+//! * [`mask`] — [`StaticMasks`]: per-site observed-bit masks consumed by
+//!   the injector's pruned campaigns, plus the static ACE fraction
+//!   reported next to dynamic AVF in the prediction tables.
+
+pub mod cfg;
+pub mod dataflow;
+pub mod lint;
+pub mod mask;
+
+pub use cfg::Cfg;
+pub use lint::{verify, verify_with_launch, Diagnostic, LintKind, Severity};
+pub use mask::StaticMasks;
+
+/// Convenience: the static ACE fraction of `kernel` (see
+/// [`StaticMasks::ace_fraction`]).
+pub fn static_ace_fraction(kernel: &gpu_arch::Kernel) -> f64 {
+    StaticMasks::compute(kernel).ace_fraction()
+}
