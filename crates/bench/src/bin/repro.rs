@@ -24,6 +24,11 @@
 //! --trace-out FILE     capture a JSONL trace of one demonstration
 //!                      injection trial (FMXM on Kepler) to FILE
 //! --progress           render a stderr progress meter per campaign
+//! --checkpoint-dir DIR durable checkpoint store: campaigns save
+//!                      shard-boundary checkpoints under DIR and a
+//!                      re-run resumes each campaign from its last
+//!                      checkpoint (kill-safe; applies to the observed
+//!                      commands table1/fig3/fig4/fig5/all)
 //! ```
 //!
 //! Campaign sizes honor `REPRO_PROFILE=quick|full` (default `quick`).
@@ -42,12 +47,14 @@ struct Flags {
     metrics_out: Option<String>,
     trace_out: Option<String>,
     progress: bool,
+    checkpoint_dir: Option<String>,
 }
 
 /// Split observability flags out of the argument list; everything else is
 /// returned as positional arguments.
 fn parse_flags(args: Vec<String>) -> (Flags, Vec<String>) {
-    let mut flags = Flags { metrics_out: None, trace_out: None, progress: false };
+    let mut flags =
+        Flags { metrics_out: None, trace_out: None, progress: false, checkpoint_dir: None };
     let mut rest = Vec::new();
     let mut it = args.into_iter();
     let file_arg = |flag: &str, it: &mut std::vec::IntoIter<String>| match it.next() {
@@ -62,6 +69,9 @@ fn parse_flags(args: Vec<String>) -> (Flags, Vec<String>) {
             "--metrics-out" => flags.metrics_out = Some(file_arg("--metrics-out", &mut it)),
             "--trace-out" => flags.trace_out = Some(file_arg("--trace-out", &mut it)),
             "--progress" => flags.progress = true,
+            "--checkpoint-dir" => {
+                flags.checkpoint_dir = Some(file_arg("--checkpoint-dir", &mut it));
+            }
             _ => rest.push(a),
         }
     }
@@ -135,13 +145,22 @@ fn main() {
         None => Box::new(std::io::stdout()),
     };
     let mut campaigns = 0u64;
+    let mut store =
+        flags.checkpoint_dir.as_ref().map(|dir| match campaign::CheckpointStore::open(dir) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("cannot open checkpoint store {dir}: {e}");
+                std::process::exit(1);
+            }
+        });
     {
         let mut observe = |o: CampaignObservation| {
             campaigns += 1;
             sink.write_all(o.to_json_line().as_bytes()).expect("write campaign metrics");
             sink.write_all(b"\n").expect("write campaign metrics");
         };
-        let mut ctx = ObserveCtx { progress: flags.progress, observe: &mut observe };
+        let mut ctx =
+            ObserveCtx { progress: flags.progress, observe: &mut observe, store: store.as_mut() };
 
         match what.as_str() {
             "table1" => print!("{}", render::table1(&table1_observed(&cfg, &mut ctx))),
@@ -185,6 +204,7 @@ fn main() {
                 eprintln!(
                     "usage: repro <table1|fig1|fig3|fig4|fig5|fig6|due|ablate|codegen|convergence|breakdown|all>\n\
                      \x20      [--metrics-out FILE] [--trace-out FILE] [--progress]\n\
+                     \x20      [--checkpoint-dir DIR]\n\
                      env:   REPRO_PROFILE=quick|full (default quick)"
                 );
                 std::process::exit(2);
@@ -192,6 +212,11 @@ fn main() {
         }
     }
     sink.flush().expect("flush metrics");
+    if let Some(store) = &store {
+        for warning in store.warnings() {
+            eprintln!("checkpoint-store: {warning}");
+        }
+    }
 
     // Machine-readable run summary, after the human-readable tables.
     let mut report = RunReport::new("run");

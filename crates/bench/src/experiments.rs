@@ -112,6 +112,11 @@ pub struct ObserveCtx<'a> {
     pub progress: bool,
     /// Receives one observation per campaign, in execution order.
     pub observe: &'a mut dyn FnMut(CampaignObservation),
+    /// Durable checkpoint store shared by every campaign in the run:
+    /// each campaign saves shard-boundary checkpoints to it and resumes
+    /// automatically from its own last checkpoint (`repro
+    /// --checkpoint-dir`).
+    pub store: Option<&'a mut campaign::CheckpointStore>,
 }
 
 /// Run one AVF campaign on the shared engine; when observed, tally
@@ -130,6 +135,10 @@ fn observed_avf<T: Target + Sync + ?Sized>(
     let campaign = Campaign::new(Avf::new(injector_kind), target, device).budget(budget.clone());
     let Some(ctx) = ctx else {
         return Ok(campaign.run().expect("injection campaign failed"));
+    };
+    let campaign = match ctx.store.as_deref_mut() {
+        Some(store) => campaign.store(store),
+        None => campaign,
     };
     let metrics = MetricsRegistry::new();
     let meter = Progress::new(label, budget.ceiling as u64, ctx.progress);
@@ -156,6 +165,10 @@ fn observed_beam<T: Target + Sync + ?Sized>(
     let campaign = Campaign::new(Beam::auto(ecc), target, device).budget(budget.clone());
     let Some(ctx) = ctx else {
         return campaign.run().expect("beam campaign failed");
+    };
+    let campaign = match ctx.store.as_deref_mut() {
+        Some(store) => campaign.store(store),
+        None => campaign,
     };
     let metrics = MetricsRegistry::new();
     let meter = Progress::new(label, budget.ceiling as u64, ctx.progress);

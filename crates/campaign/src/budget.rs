@@ -1,5 +1,63 @@
 //! Campaign sizing: trial floor/ceiling, the CI-targeted stop rule, the
-//! seed, and the shard size that fixes the deterministic RNG partition.
+//! seed, the shard size that fixes the deterministic RNG partition, and
+//! the per-trial watchdog budgets.
+
+use std::time::Duration;
+
+/// Per-trial watchdog budgets: how long a faulty run may execute before
+/// the harness declares it hung.
+///
+/// The paper's beam setup layers two recovery mechanisms (Section III-A):
+/// an application-level timeout that kills a hung kernel, and a host
+/// watchdog that power-cycles a machine the timeout cannot save. The
+/// simulator mirrors that layering:
+///
+/// * the **dynamic-instruction bound** — `dyn_factor * golden_total +
+///   dyn_slack` — catches faults that keep the program counter moving
+///   (corrupted loop bounds, branch targets); it is deterministic, so it
+///   is always armed and is part of the tally contract;
+/// * the optional **wall-clock bound** ([`Watchdog::wall_budget`]) backs
+///   it up in real time, reaping trials whose simulation is slow for
+///   host-side reasons the instruction count cannot see. A trial that
+///   trips it is tallied as [`gpu_sim::DueKind::HostWatchdog`]. Because a
+///   wall-clock trip depends on machine speed, arming it trades strict
+///   tally determinism for bounded campaign tail latency — leave it
+///   `None` (the default) when bit-identical reproduction matters more
+///   than runtime.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Watchdog {
+    /// Dynamic-instruction budget as a multiple of the golden run's
+    /// dynamic instruction count.
+    pub dyn_factor: u64,
+    /// Additive slack on top of `dyn_factor * golden_total`, so that even
+    /// tiny kernels get headroom for fault-lengthened execution.
+    pub dyn_slack: u64,
+    /// Optional per-trial wall-clock budget; `None` disarms the
+    /// wall-clock watchdog.
+    pub wall_budget: Option<Duration>,
+}
+
+impl Watchdog {
+    /// The dynamic-instruction limit for a golden run of `golden_total`
+    /// instructions (saturating).
+    pub fn dyn_limit(&self, golden_total: u64) -> u64 {
+        self.dyn_factor.saturating_mul(golden_total).saturating_add(self.dyn_slack)
+    }
+
+    /// Replace the wall-clock budget.
+    pub fn wall(mut self, budget: Duration) -> Self {
+        self.wall_budget = Some(budget);
+        self
+    }
+}
+
+impl Default for Watchdog {
+    /// The historical formula: four times the golden dynamic instruction
+    /// count plus 100k slack, no wall-clock bound.
+    fn default() -> Self {
+        Watchdog { dyn_factor: 4, dyn_slack: 100_000, wall_budget: None }
+    }
+}
 
 /// How many trials a campaign runs and when it may stop early.
 ///
@@ -33,6 +91,8 @@ pub struct Budget {
     /// Trials per shard — the early-stop granularity and the unit of
     /// checkpoint/resume.
     pub shard_size: u32,
+    /// Per-trial hang detection; see [`Watchdog`].
+    pub watchdog: Watchdog,
 }
 
 impl Budget {
@@ -48,6 +108,7 @@ impl Budget {
             ci_half_width: None,
             seed: 0x5EED,
             shard_size: Self::DEFAULT_SHARD_SIZE,
+            watchdog: Watchdog::default(),
         }
     }
 
@@ -61,6 +122,7 @@ impl Budget {
             ci_half_width: Some(ci_half_width),
             seed: 0x5EED,
             shard_size: Self::DEFAULT_SHARD_SIZE,
+            watchdog: Watchdog::default(),
         }
     }
 
@@ -88,6 +150,19 @@ impl Budget {
     /// Replace the shard size (part of the determinism contract).
     pub fn shard_size(mut self, trials: u32) -> Self {
         self.shard_size = trials.max(1);
+        self
+    }
+
+    /// Replace the watchdog configuration.
+    pub fn watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Arm the per-trial wall-clock watchdog (see
+    /// [`Watchdog::wall_budget`] for the determinism trade-off).
+    pub fn wall_budget(mut self, budget: Duration) -> Self {
+        self.watchdog.wall_budget = Some(budget);
         self
     }
 
@@ -129,6 +204,7 @@ impl Default for Budget {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -160,7 +236,14 @@ mod tests {
 
     #[test]
     fn degenerate_budgets_are_clamped() {
-        let b = Budget { floor: 10, ceiling: 4, ci_half_width: None, seed: 0, shard_size: 8 };
+        let b = Budget {
+            floor: 10,
+            ceiling: 4,
+            ci_half_width: None,
+            seed: 0,
+            shard_size: 8,
+            watchdog: Watchdog::default(),
+        };
         assert_eq!(b.effective_ceiling(), 10);
         assert_eq!(b.effective_floor(), 10);
         let z = Budget::fixed(0);
@@ -173,5 +256,15 @@ mod tests {
     fn scaled_multiplies_both_bounds() {
         let b = Budget::adaptive(10, 40, 0.05).scaled(10);
         assert_eq!((b.floor, b.ceiling), (100, 400));
+    }
+
+    #[test]
+    fn watchdog_dyn_limit_matches_formula_and_saturates() {
+        let w = Watchdog::default();
+        assert_eq!(w.dyn_limit(1000), 4 * 1000 + 100_000);
+        assert_eq!(w.dyn_limit(u64::MAX), u64::MAX);
+        assert_eq!(Watchdog::default().wall_budget, None);
+        let armed = Budget::fixed(10).wall_budget(Duration::from_millis(50));
+        assert_eq!(armed.watchdog.wall_budget, Some(Duration::from_millis(50)));
     }
 }

@@ -122,15 +122,93 @@ impl Checkpoint {
 
     /// Scan a JSONL stream (e.g. a checkpoint file) and return the last
     /// checkpoint for `label`, ignoring non-checkpoint lines.
+    ///
+    /// This keeps only the answer; corrupt lines are indistinguishable
+    /// from absent ones. Recovery paths that need to warn (instead of
+    /// silently restarting from zero) should use [`Checkpoint::scan_stream`].
     pub fn last_in_stream(text: &str, label: &str) -> Option<Checkpoint> {
-        text.lines()
-            .rev()
-            .filter_map(|line| Checkpoint::parse(line.trim()).ok())
-            .find(|cp| cp.label == label)
+        Checkpoint::scan_stream(text, label).checkpoint
+    }
+
+    /// Scan a JSONL stream for the last checkpoint for `label`, reporting
+    /// what was seen along the way.
+    ///
+    /// Three kinds of line are distinguished:
+    ///
+    /// * a parseable checkpoint — the last one whose label matches wins;
+    /// * a *foreign* line — valid JSON that is not a
+    ///   `campaign.checkpoint` report (progress lines, run reports);
+    ///   these are expected in shared streams and are not counted as
+    ///   damage;
+    /// * a *rejected* line — unparseable JSON, or a checkpoint report
+    ///   that fails validation (truncated tail after a crash, torn
+    ///   write, inconsistent tallies). These are tolerated — the scan
+    ///   falls back to the previous parseable checkpoint — but counted,
+    ///   so recovery can warn that history was lost.
+    pub fn scan_stream(text: &str, label: &str) -> StreamScan {
+        let mut scan = StreamScan::default();
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            scan.lines_scanned += 1;
+            let parsed = match json::parse(line) {
+                Ok(v) => v,
+                Err(why) => {
+                    scan.reject(&why);
+                    continue;
+                }
+            };
+            let is_checkpoint =
+                parsed.as_obj().and_then(|obj| obj.get("report")).and_then(Json::as_str)
+                    == Some(CHECKPOINT_REPORT_KIND);
+            if !is_checkpoint {
+                continue; // foreign but well-formed: not damage
+            }
+            match Checkpoint::parse(line) {
+                Ok(cp) => {
+                    if cp.label == label {
+                        scan.checkpoint = Some(cp);
+                    }
+                }
+                Err(why) => scan.reject(&why),
+            }
+        }
+        scan
+    }
+}
+
+/// What [`Checkpoint::scan_stream`] saw: the recovered checkpoint (if
+/// any) plus damage diagnostics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StreamScan {
+    /// The last parseable checkpoint whose label matched.
+    pub checkpoint: Option<Checkpoint>,
+    /// Non-empty lines examined.
+    pub lines_scanned: u64,
+    /// Lines that were unparseable JSON or failed checkpoint validation.
+    pub lines_rejected: u64,
+    /// The first rejection's parse error, for the recovery warning.
+    pub first_error: Option<String>,
+}
+
+impl StreamScan {
+    fn reject(&mut self, why: &str) {
+        self.lines_rejected += 1;
+        if self.first_error.is_none() {
+            self.first_error = Some(why.to_string());
+        }
+    }
+
+    /// True when the stream contained lines that had to be discarded.
+    pub fn damaged(&self) -> bool {
+        self.lines_rejected > 0
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -184,5 +262,44 @@ mod tests {
         );
         assert_eq!(Checkpoint::last_in_stream(&stream, &late.label), Some(late));
         assert_eq!(Checkpoint::last_in_stream(&stream, "missing"), None);
+    }
+
+    #[test]
+    fn scan_stream_counts_damage_and_recovers_previous_checkpoint() {
+        let good = sample();
+        let mut torn = good.to_json_line();
+        torn.truncate(torn.len() / 2); // crash mid-write
+        let stream = format!(
+            "{}\n{{\"report\":\"run\",\"campaigns\":3}}\nnot json at all\n{torn}\n",
+            good.to_json_line()
+        );
+        let scan = Checkpoint::scan_stream(&stream, &good.label);
+        assert_eq!(scan.checkpoint, Some(good));
+        assert_eq!(scan.lines_scanned, 4);
+        // The foreign-but-valid run report is not damage; the garbage
+        // line and the torn checkpoint are.
+        assert_eq!(scan.lines_rejected, 2);
+        assert!(scan.damaged());
+        assert!(scan.first_error.is_some());
+    }
+
+    #[test]
+    fn scan_stream_rejects_inconsistent_checkpoint_lines() {
+        let mut cp = sample();
+        cp.trials += 1; // violates counts.total() == trials
+        let scan = Checkpoint::scan_stream(&cp.to_json_line(), &cp.label);
+        assert_eq!(scan.checkpoint, None);
+        assert_eq!(scan.lines_rejected, 1);
+        assert!(scan.first_error.unwrap().contains("inconsistent"));
+    }
+
+    #[test]
+    fn scan_stream_on_clean_stream_reports_no_damage() {
+        let cp = sample();
+        let scan = Checkpoint::scan_stream(&cp.to_json_line(), &cp.label);
+        assert_eq!(scan.checkpoint, Some(cp));
+        assert_eq!((scan.lines_scanned, scan.lines_rejected), (1, 0));
+        assert!(!scan.damaged());
+        assert_eq!(scan.first_error, None);
     }
 }

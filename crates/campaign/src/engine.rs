@@ -28,6 +28,8 @@
 use crate::budget::Budget;
 use crate::checkpoint::Checkpoint;
 use crate::golden;
+use crate::store::CheckpointStore;
+use crate::supervise::{panic_message, DeadlineMonitor, QuarantineRecord};
 use gpu_arch::DeviceModel;
 use gpu_sim::{DueKind, ExecStatus, Executed, FaultPlan, RunOptions, Target};
 use obs::{CampaignObserver, MetricsRegistry};
@@ -36,8 +38,14 @@ use rand_chacha::ChaCha12Rng;
 use stats::{wilson_half_width, Outcome, OutcomeCounts};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Direct-tally label for trials that panicked twice and were
+/// quarantined. They count as DUEs: like the paper's beam-room crashes,
+/// the experiment detected its own failure and produced no output.
+pub const QUARANTINE_LABEL: &str = "engine.quarantined";
 
 /// What a sampler decided to do with one trial.
 pub enum TrialPlan {
@@ -128,6 +136,12 @@ pub enum CampaignError {
     /// A resume checkpoint does not match this campaign's identity or
     /// shard partition.
     CheckpointMismatch(String),
+    /// The attached [`CheckpointStore`] failed (lock held, I/O error
+    /// after retries).
+    Store(String),
+    /// A shard worker died outside the supervised per-trial scope (a
+    /// bug in the engine itself, not in a trial).
+    ShardPanicked(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -135,6 +149,8 @@ impl fmt::Display for CampaignError {
         match self {
             CampaignError::GoldenFailed(why) => write!(f, "golden run failed: {why}"),
             CampaignError::CheckpointMismatch(why) => write!(f, "checkpoint mismatch: {why}"),
+            CampaignError::Store(why) => write!(f, "checkpoint store: {why}"),
+            CampaignError::ShardPanicked(why) => write!(f, "shard worker panicked: {why}"),
         }
     }
 }
@@ -166,6 +182,11 @@ pub struct CampaignRun {
     pub golden: Arc<Executed>,
     /// Terminal checkpoint (resuming from it is a no-op).
     pub checkpoint: Checkpoint,
+    /// Trials that panicked once and succeeded on replay.
+    pub retries: u64,
+    /// Trials that panicked twice and were quarantined (also tallied as
+    /// DUEs under `direct.engine.quarantined`).
+    pub quarantine: Vec<QuarantineRecord>,
 }
 
 impl CampaignRun {
@@ -191,6 +212,7 @@ pub struct Campaign<'a, T: Target + Sync + ?Sized, K: Kind<T>> {
     checkpoint_every: u32,
     sink: Option<CheckpointSink<'a>>,
     resume: Option<Checkpoint>,
+    store: Option<&'a mut CheckpointStore>,
 }
 
 impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
@@ -207,6 +229,7 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
             checkpoint_every: 1,
             sink: None,
             resume: None,
+            store: None,
         }
     }
 
@@ -240,6 +263,17 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
     /// stream with [`Checkpoint::to_json_line`]).
     pub fn on_checkpoint(mut self, sink: impl FnMut(&Checkpoint) + 'a) -> Self {
         self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Attach a durable [`CheckpointStore`]: checkpoints are saved to it
+    /// at the [`Campaign::checkpoint_every`] cadence, quarantined trials
+    /// are appended to its quarantine journal, and — unless
+    /// [`Campaign::resume_from`] was given explicitly — the campaign
+    /// automatically resumes from the store's last checkpoint for this
+    /// label.
+    pub fn store(mut self, store: &'a mut CheckpointStore) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -277,8 +311,15 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
         let floor = self.budget.effective_floor() as u64;
         let ci = self.budget.ci_half_width;
         let total_shards = ceiling.div_ceil(shard_size) as u32;
-        let watchdog = golden.counts.total * 4 + 100_000;
+        let watchdog = self.budget.watchdog.dyn_limit(golden.counts.total);
         let base_seed = self.budget.seed ^ fnv1a(self.target.name());
+
+        if self.resume.is_none() {
+            if let Some(store) = self.store.as_mut() {
+                self.resume =
+                    store.load(&label).map_err(|e| CampaignError::Store(e.to_string()))?;
+            }
+        }
 
         let mut counts = OutcomeCounts::default();
         let mut executed = OutcomeCounts::default();
@@ -322,6 +363,10 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
         } else {
             self.workers
         };
+        let monitor =
+            self.budget.watchdog.wall_budget.map(|wall| DeadlineMonitor::new(wall, workers));
+        let mut retries = 0u64;
+        let mut quarantine: Vec<QuarantineRecord> = Vec::new();
 
         let mut stop = eval_stop(&counts, trials, floor, ceiling, ci);
         let mut since_checkpoint = 0u32;
@@ -340,8 +385,9 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
                 shard_size,
                 ceiling,
                 self.observer.progress,
-            );
-            for out in outs {
+                monitor.as_ref(),
+            )?;
+            for mut out in outs {
                 counts += out.counts;
                 executed += out.executed;
                 for (dlabel, c) in &out.direct {
@@ -350,15 +396,28 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
                 trials += out.trials;
                 next_shard += 1;
                 since_checkpoint += 1;
+                retries += out.retries;
+                for mut rec in std::mem::take(&mut out.quarantined) {
+                    rec.label.clone_from(&label);
+                    if let Some(store) = self.store.as_mut() {
+                        store.quarantine(&rec).map_err(|e| CampaignError::Store(e.to_string()))?;
+                    }
+                    quarantine.push(rec);
+                }
                 if let Some(m) = self.observer.metrics {
                     export_shard_metrics(m, &out);
                 }
                 stop = eval_stop(&counts, trials, floor, ceiling, ci);
                 let boundary = stop.is_some() || next_shard == total_shards;
-                if (boundary || since_checkpoint >= self.checkpoint_every) && self.sink.is_some() {
+                if (boundary || since_checkpoint >= self.checkpoint_every)
+                    && (self.sink.is_some() || self.store.is_some())
+                {
                     let cp = snapshot(&label, &self.budget, next_shard, trials, counts, &direct);
                     if let Some(sink) = self.sink.as_mut() {
                         sink(&cp);
+                    }
+                    if let Some(store) = self.store.as_mut() {
+                        store.save(&cp).map_err(|e| CampaignError::Store(e.to_string()))?;
                     }
                     since_checkpoint = 0;
                 }
@@ -382,6 +441,8 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
             resumed_trials,
             stop,
             golden,
+            retries,
+            quarantine,
         };
         if let Some(m) = self.observer.metrics {
             match run.stop {
@@ -409,6 +470,8 @@ struct ShardOut {
     sites: BTreeMap<&'static str, OutcomeCounts>,
     dues: BTreeMap<&'static str, u64>,
     micros: u64,
+    retries: u64,
+    quarantined: Vec<QuarantineRecord>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -424,10 +487,13 @@ fn run_wave<T: Target + Sync + ?Sized, S: Sampler>(
     shard_size: u64,
     ceiling: u64,
     progress: Option<&obs::Progress>,
-) -> Vec<ShardOut> {
+    monitor: Option<&DeadlineMonitor>,
+) -> Result<Vec<ShardOut>, CampaignError> {
+    let wave_start = shards.start;
     let run_one = |s: u32| {
         let start = s as u64 * shard_size;
         let end = ((s as u64 + 1) * shard_size).min(ceiling);
+        let slot = (s - wave_start) as usize;
         run_shard(
             target,
             device,
@@ -435,20 +501,114 @@ fn run_wave<T: Target + Sync + ?Sized, S: Sampler>(
             sampler,
             ecc,
             watchdog,
+            s,
             start..end,
             shard_seed(base_seed, s),
             progress,
+            monitor.map(|m| (m, slot)),
         )
     };
     if shards.len() == 1 {
-        return vec![run_one(shards.start)];
+        return Ok(vec![run_one(shards.start)]);
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = shards.map(|s| scope.spawn(move || run_one(s))).collect();
-        handles.into_iter().map(|h| h.join().expect("campaign shard worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| {
+                // Per-trial panics are caught inside `run_shard`; a panic
+                // that reaches the join is an engine bug, reported as a
+                // typed error instead of poisoning the caller.
+                h.join().map_err(|payload| {
+                    CampaignError::ShardPanicked(panic_message(payload.as_ref()))
+                })
+            })
+            .collect()
     })
 }
 
+/// What one trial resolved to, produced by [`run_trial`] so the
+/// supervision wrapper can apply it (or discard it on a retry) as a
+/// unit.
+enum TrialTally {
+    Direct { outcome: Outcome, due: Option<DueKind>, label: &'static str },
+    Fault { plan: FaultPlan, outcome: Outcome, due: Option<DueKind> },
+}
+
+/// Sample and (when planned) execute one trial. Pure with respect to the
+/// shard state: everything it decides comes back in the [`TrialTally`],
+/// so a panic anywhere inside leaves `out` untouched and the supervision
+/// wrapper can replay from an RNG snapshot.
+#[allow(clippy::too_many_arguments)]
+fn run_trial<T: Target + Sync + ?Sized, S: Sampler>(
+    target: &T,
+    device: &DeviceModel,
+    golden: &Executed,
+    sampler: &S,
+    ecc: bool,
+    watchdog: u64,
+    trial: u64,
+    rng: &mut ChaCha12Rng,
+    monitor: Option<(&DeadlineMonitor, usize)>,
+) -> TrialTally {
+    match sampler.sample(trial, rng) {
+        TrialPlan::Direct { outcome, due, label } => TrialTally::Direct { outcome, due, label },
+        TrialPlan::Fault(plan) => {
+            let cancel = monitor.map(|(m, slot)| m.arm(slot));
+            let opts = RunOptions {
+                ecc,
+                fault: plan,
+                watchdog_limit: watchdog,
+                cancel,
+                ..RunOptions::default()
+            };
+            let faulty = target.execute(device, &opts);
+            if let Some((m, slot)) = monitor {
+                m.disarm(slot);
+            }
+            let (outcome, due) = match faulty.status {
+                ExecStatus::Due(kind) => (Outcome::Due, Some(kind)),
+                ExecStatus::Completed => {
+                    if target.output_matches(golden, &faulty) {
+                        (Outcome::Masked, None)
+                    } else {
+                        (Outcome::Sdc, None)
+                    }
+                }
+            };
+            TrialTally::Fault { plan, outcome, due }
+        }
+    }
+}
+
+fn apply_tally(out: &mut ShardOut, tally: TrialTally) {
+    match tally {
+        TrialTally::Direct { outcome, due, label } => {
+            out.counts.record(outcome);
+            out.direct.entry(label).or_default().record(outcome);
+            if let Some(kind) = due {
+                *out.dues.entry(kind.name()).or_default() += 1;
+            }
+        }
+        TrialTally::Fault { plan, outcome, due } => {
+            out.counts.record(outcome);
+            out.executed.record(outcome);
+            out.sites.entry(plan.site_label()).or_default().record(outcome);
+            if let Some(kind) = due {
+                *out.dues.entry(kind.name()).or_default() += 1;
+            }
+        }
+    }
+}
+
+/// Run one shard under supervision: every trial executes inside
+/// `catch_unwind` on a clone of the shard RNG, so a panicking trial can
+/// be retried once from an identical stream and, on a second panic,
+/// quarantined — tallied as a DUE under [`QUARANTINE_LABEL`] with its
+/// fault plan recovered for the quarantine journal. The shard's RNG
+/// state after any trial is the state after its sampler draws, whether
+/// the trial completed, retried, or was quarantined — which is what
+/// keeps tallies bit-identical at any worker count.
 #[allow(clippy::too_many_arguments)]
 fn run_shard<T: Target + Sync + ?Sized, S: Sampler>(
     target: &T,
@@ -457,46 +617,74 @@ fn run_shard<T: Target + Sync + ?Sized, S: Sampler>(
     sampler: &S,
     ecc: bool,
     watchdog: u64,
+    shard: u32,
     range: std::ops::Range<u64>,
     seed: u64,
     progress: Option<&obs::Progress>,
+    monitor: Option<(&DeadlineMonitor, usize)>,
 ) -> ShardOut {
     let started = Instant::now();
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let mut out = ShardOut::default();
     for trial in range {
-        match sampler.sample(trial, &mut rng) {
-            TrialPlan::Direct { outcome, due, label } => {
-                out.counts.record(outcome);
-                out.direct.entry(label).or_default().record(outcome);
-                if let Some(kind) = due {
-                    *out.dues.entry(kind.name()).or_default() += 1;
+        let snap = rng.clone();
+        let attempt = || {
+            let mut r = snap.clone();
+            let tally =
+                run_trial(target, device, golden, sampler, ecc, watchdog, trial, &mut r, monitor);
+            (tally, r)
+        };
+        let result = match catch_unwind(AssertUnwindSafe(&attempt)) {
+            Ok(ok) => Ok(ok),
+            Err(_first) => {
+                // First panic: deterministic retry on a fresh replay of
+                // the same stream (the clone in `attempt`).
+                out.retries += 1;
+                if let Some((m, slot)) = monitor {
+                    m.disarm(slot);
                 }
+                catch_unwind(AssertUnwindSafe(&attempt))
             }
-            TrialPlan::Fault(plan) => {
-                let opts = RunOptions {
-                    ecc,
-                    fault: plan,
-                    watchdog_limit: watchdog,
-                    ..RunOptions::default()
-                };
-                let faulty = target.execute(device, &opts);
-                let (outcome, due_kind) = match faulty.status {
-                    ExecStatus::Due(kind) => (Outcome::Due, Some(kind)),
-                    ExecStatus::Completed => {
-                        if target.output_matches(golden, &faulty) {
-                            (Outcome::Masked, None)
-                        } else {
-                            (Outcome::Sdc, None)
-                        }
-                    }
-                };
-                out.counts.record(outcome);
-                out.executed.record(outcome);
-                out.sites.entry(plan.site_label()).or_default().record(outcome);
-                if let Some(kind) = due_kind {
-                    *out.dues.entry(kind.name()).or_default() += 1;
+        };
+        match result {
+            Ok((tally, r)) => {
+                rng = r;
+                apply_tally(&mut out, tally);
+            }
+            Err(payload) => {
+                // Second panic: quarantine. Recover the fault plan by
+                // replaying the sampler alone on another snapshot clone
+                // (execution never consumes RNG, so this also yields the
+                // canonical post-trial stream state).
+                if let Some((m, slot)) = monitor {
+                    m.disarm(slot);
                 }
+                let replay = catch_unwind(AssertUnwindSafe(|| {
+                    let mut r = snap.clone();
+                    let plan = match sampler.sample(trial, &mut r) {
+                        TrialPlan::Fault(plan) => Some(plan),
+                        TrialPlan::Direct { .. } => None,
+                    };
+                    (plan, r)
+                }));
+                let (plan, after) = match replay {
+                    Ok((plan, r)) => (plan, r),
+                    // The sampler itself panics: the stream state after
+                    // its draws is unknowable, but it is unknowable the
+                    // same way in every configuration — fall back to the
+                    // pre-trial snapshot.
+                    Err(_) => (None, snap),
+                };
+                rng = after;
+                out.counts.record(Outcome::Due);
+                out.direct.entry(QUARANTINE_LABEL).or_default().record(Outcome::Due);
+                out.quarantined.push(QuarantineRecord {
+                    label: String::new(), // filled at fold time
+                    trial,
+                    shard,
+                    plan,
+                    panic: panic_message(payload.as_ref()),
+                });
             }
         }
         out.trials += 1;
@@ -528,6 +716,18 @@ fn export_shard_metrics(m: &MetricsRegistry, out: &ShardOut) {
     }
     for (kind, n) in &out.dues {
         m.counter(&format!("due.{kind}")).add(*n);
+    }
+    if let Some(n) = out.dues.get(DueKind::Watchdog.name()) {
+        m.counter("campaign.watchdog.dyn_trips").add(*n);
+    }
+    if let Some(n) = out.dues.get(DueKind::HostWatchdog.name()) {
+        m.counter("campaign.watchdog.wall_trips").add(*n);
+    }
+    if out.retries > 0 {
+        m.counter("campaign.trial_retries").add(out.retries);
+    }
+    if !out.quarantined.is_empty() {
+        m.counter("campaign.quarantined").add(out.quarantined.len() as u64);
     }
     for (dlabel, c) in &out.direct {
         for (suffix, n) in [("sdc", c.sdc), ("due", c.due), ("masked", c.masked)] {
@@ -595,7 +795,7 @@ fn subtract(a: OutcomeCounts, b: OutcomeCounts) -> OutcomeCounts {
 
 /// FNV-1a over the target name — same mix the legacy entry points used,
 /// so different targets at one budget seed get uncorrelated streams.
-fn fnv1a(name: &str) -> u64 {
+pub(crate) fn fnv1a(name: &str) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in name.bytes() {
         h ^= b as u64;

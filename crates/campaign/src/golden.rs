@@ -102,7 +102,7 @@ fn fetch_inner<T: Target + ?Sized>(
 ) -> Result<(Arc<Executed>, bool), String> {
     let key = key(target, device, ecc, recorded);
     {
-        let cache = cache().lock().expect("golden cache poisoned");
+        let cache = cache().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(hit) = cache.map.get(&key) {
             return Ok((Arc::clone(hit), true));
         }
@@ -122,7 +122,7 @@ fn fetch_inner<T: Target + ?Sized>(
         return Err(format!("golden run of {} failed: {:?}", target.name(), golden.status));
     }
     let golden = Arc::new(golden);
-    let mut cache = cache().lock().expect("golden cache poisoned");
+    let mut cache = cache().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     if !cache.map.contains_key(&key) {
         if cache.map.len() >= CACHE_CAPACITY {
             let oldest = cache.order.remove(0);
@@ -135,6 +135,7 @@ fn fetch_inner<T: Target + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gpu_arch::FunctionalUnit;

@@ -61,7 +61,13 @@ mod budget;
 mod checkpoint;
 mod engine;
 pub mod golden;
+mod store;
+mod supervise;
 
-pub use budget::Budget;
-pub use checkpoint::{Checkpoint, CHECKPOINT_REPORT_KIND};
-pub use engine::{Campaign, CampaignError, CampaignRun, Kind, Sampler, StopReason, TrialPlan};
+pub use budget::{Budget, Watchdog};
+pub use checkpoint::{Checkpoint, StreamScan, CHECKPOINT_REPORT_KIND};
+pub use engine::{
+    Campaign, CampaignError, CampaignRun, Kind, Sampler, StopReason, TrialPlan, QUARANTINE_LABEL,
+};
+pub use store::{CheckpointStore, StoreError};
+pub use supervise::{QuarantineRecord, QUARANTINE_REPORT_KIND};

@@ -2,6 +2,8 @@
 //! kind (every trial is a direct outcome, so no simulation runs and the
 //! properties hold for any `Kind`).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+
 use campaign::{Budget, Campaign, CampaignRun, Kind, Sampler, StopReason, TrialPlan};
 use gpu_arch::{DeviceModel, FunctionalUnit};
 use gpu_sim::{Executed, Target};

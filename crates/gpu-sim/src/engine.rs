@@ -7,6 +7,7 @@
 //! dynamic-instruction counter — the coordinate system every [`FaultPlan`]
 //! uses — fully deterministic.
 
+use crate::error::SimError;
 use crate::fault::{BitFlip, DueKind, FaultPlan};
 use crate::memory::{GlobalMemory, SharedMemory};
 use crate::timing::{self, TimingReport};
@@ -16,6 +17,8 @@ use gpu_arch::{
 };
 use obs::{MemSpace, TraceEvent, TraceSink};
 use softfloat::F16;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Forward an event to the installed sink, if any. Event construction
 /// happens inside the branch, so with no sink each hook point costs one
@@ -51,7 +54,20 @@ pub struct RunOptions {
     /// campaigns turn this on; it is off by default because the record
     /// grows with the dynamic instruction count.
     pub record_sites: bool,
+    /// Cooperative cancellation flag, polled in the dispatch loop every
+    /// [`CANCEL_POLL_INTERVAL`] dynamic instructions. When an external
+    /// watchdog sets it, the run aborts as a [`DueKind::HostWatchdog`]
+    /// DUE — the wall-clock complement to [`RunOptions::watchdog_limit`],
+    /// which bounds dynamic instructions but not real time. `None` (the
+    /// default) costs one `Option` check per poll window.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
+
+/// How many dynamic instructions pass between polls of
+/// [`RunOptions::cancel`]. A power of two so the poll reduces to a mask
+/// test; small enough that a hung trial is reaped within microseconds of
+/// its deadline at simulator speeds.
+pub const CANCEL_POLL_INTERVAL: u64 = 1024;
 
 impl Default for RunOptions {
     fn default() -> Self {
@@ -61,6 +77,7 @@ impl Default for RunOptions {
             watchdog_limit: u64::MAX,
             trace_limit: 0,
             record_sites: false,
+            cancel: None,
         }
     }
 }
@@ -297,8 +314,33 @@ pub fn run_with_sink<'a>(
     opts: &'a RunOptions,
     sink: Option<&'a mut (dyn TraceSink + 'a)>,
 ) -> Executed {
-    assert!(launch.total_threads() > 0, "empty launch");
-    kernel.validate().expect("invalid kernel");
+    match try_run_with_sink(device, kernel, launch, memory, opts, sink) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_with_sink`] with setup failures surfaced as values: a zero-thread
+/// launch or a kernel that fails validation returns a [`SimError`] instead
+/// of panicking, so campaign harnesses can quarantine a bad target rather
+/// than abort.
+///
+/// # Errors
+/// [`SimError::EmptyLaunch`] or [`SimError::InvalidKernel`]; device
+/// failures during execution are outcomes ([`ExecStatus::Due`]), never
+/// errors.
+pub fn try_run_with_sink<'a>(
+    device: &DeviceModel,
+    kernel: &'a Kernel,
+    launch: &'a LaunchConfig,
+    memory: GlobalMemory,
+    opts: &'a RunOptions,
+    sink: Option<&'a mut (dyn TraceSink + 'a)>,
+) -> Result<Executed, SimError> {
+    if launch.total_threads() == 0 {
+        return Err(SimError::EmptyLaunch);
+    }
+    kernel.validate().map_err(SimError::InvalidKernel)?;
 
     let warps_per_block = launch.warps_per_block() as usize;
     let total_warps = warps_per_block * launch.grid.count() as usize;
@@ -353,7 +395,7 @@ pub fn run_with_sink<'a>(
     }
 
     let timing = timing::analyze(device, kernel, launch, &ctx.counts);
-    Executed {
+    Ok(Executed {
         status,
         memory: ctx.global,
         counts: ctx.counts,
@@ -361,7 +403,7 @@ pub fn run_with_sink<'a>(
         fault_triggered: ctx.fault_triggered,
         trace: ctx.trace,
         sites_record: ctx.record,
-    }
+    })
 }
 
 fn run_block(ctx: &mut Ctx<'_>, bx: u32, by: u32, block_linear: u32) -> Result<(), DueKind> {
@@ -494,6 +536,13 @@ fn account(ctx: &mut Ctx<'_>, op: Op, global_warp: usize) -> Result<u64, DueKind
     }
     if ctx.dyn_count > ctx.opts.watchdog_limit {
         return Err(DueKind::Watchdog);
+    }
+    if ctx.dyn_count.is_multiple_of(CANCEL_POLL_INTERVAL) {
+        if let Some(cancel) = &ctx.opts.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(DueKind::HostWatchdog);
+            }
+        }
     }
     Ok(idx)
 }
@@ -877,7 +926,7 @@ fn step(
         Op::Not => Write::W32(!src(threads, a)),
         Op::Mov => Write::W32(src(threads, a)),
         Op::Sel => {
-            let (p, neg) = ins.psrc.expect("validated SEL has psrc");
+            let Some((p, neg)) = ins.psrc else { unreachable!("validated SEL has psrc") };
             let cond = threads[lane].pred(p) != neg;
             Write::W32(if cond { src(threads, a) } else { src(threads, b) })
         }
@@ -1028,7 +1077,8 @@ fn step(
         Op::Shfl(_) => unreachable!("SHFL handled at warp level"),
         Op::Hmma | Op::Fmma => unreachable!("MMA handled at warp level"),
         Op::Bra => {
-            next_pc = ins.target.expect("validated branch");
+            let Some(target) = ins.target else { unreachable!("validated branch has target") };
+            next_pc = target;
             emit!(
                 ctx,
                 TraceEvent::Branch {
@@ -1081,7 +1131,8 @@ fn step(
             if pred_fault(ctx) {
                 v = !v;
             }
-            threads[lane].set_pred(ins.pdst.expect("validated SETP"), v);
+            let Some(pdst) = ins.pdst else { unreachable!("validated SETP has pdst") };
+            threads[lane].set_pred(pdst, v);
         }
     }
 
@@ -1104,9 +1155,11 @@ fn exec_mma(
     ins: &Instr,
 ) -> Result<(), DueKind> {
     assert_eq!(hi - lo, WARP_SIZE as usize, "MMA requires a full warp");
-    let a_base = ins.srcs[0].reg().expect("MMA A fragment").0 as usize;
-    let b_base = ins.srcs[1].reg().expect("MMA B fragment").0 as usize;
-    let c_base = ins.srcs[2].reg().expect("MMA C fragment").0 as usize;
+    let (Some(a), Some(b), Some(c)) = (ins.srcs[0].reg(), ins.srcs[1].reg(), ins.srcs[2].reg())
+    else {
+        unreachable!("validated MMA has register fragments")
+    };
+    let (a_base, b_base, c_base) = (a.0 as usize, b.0 as usize, c.0 as usize);
     let is_hmma = ins.op == Op::Hmma;
 
     // One warp instruction: account it once, on the owning warp's slot.

@@ -269,11 +269,18 @@ pub enum DueKind {
     /// resources, which is the paper's explanation for the orders-of-
     /// magnitude DUE underestimation (Section VII-B).
     HiddenResource,
+    /// The host-side wall-clock watchdog cancelled the run via
+    /// [`crate::RunOptions::cancel`] — the software analogue of the beam
+    /// room's host watchdog power-cycling a hung board. Unlike
+    /// [`DueKind::Watchdog`] (a dynamic-instruction bound), this kind is
+    /// driven by real time and therefore only appears when a campaign
+    /// arms a per-trial wall budget.
+    HostWatchdog,
 }
 
 impl DueKind {
     /// Every DUE kind, in reporting order (for metric pre-registration).
-    pub const ALL: [DueKind; 7] = [
+    pub const ALL: [DueKind; 8] = [
         DueKind::MemoryViolation,
         DueKind::SharedViolation,
         DueKind::IllegalPc,
@@ -281,6 +288,7 @@ impl DueKind {
         DueKind::BarrierDeadlock,
         DueKind::EccDoubleBit,
         DueKind::HiddenResource,
+        DueKind::HostWatchdog,
     ];
 
     /// Stable short identifier used in trace events and metric names.
@@ -293,6 +301,7 @@ impl DueKind {
             DueKind::BarrierDeadlock => "barrier-deadlock",
             DueKind::EccDoubleBit => "ecc-double-bit",
             DueKind::HiddenResource => "hidden-resource",
+            DueKind::HostWatchdog => "host-watchdog",
         }
     }
 }
@@ -307,6 +316,7 @@ impl fmt::Display for DueKind {
             DueKind::BarrierDeadlock => "barrier deadlock",
             DueKind::EccDoubleBit => "ECC double-bit detection",
             DueKind::HiddenResource => "hidden-resource device error",
+            DueKind::HostWatchdog => "host wall-clock watchdog abort",
         };
         write!(f, "{s}")
     }

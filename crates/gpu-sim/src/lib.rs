@@ -24,13 +24,16 @@
 //! always produce the same result, which the injection campaigns rely on.
 
 mod engine;
+mod error;
 mod fault;
 mod memory;
 pub mod timing;
 
 pub use engine::{
-    run, run_with_sink, Counts, ExecStatus, Executed, RunOptions, SiteCounts, SitesRecord,
+    run, run_with_sink, try_run_with_sink, Counts, ExecStatus, Executed, RunOptions, SiteCounts,
+    SitesRecord, CANCEL_POLL_INTERVAL,
 };
+pub use error::SimError;
 pub use fault::{BitFlip, DueKind, FaultPlan, SiteClass};
 pub use memory::{GlobalMemory, MemoryError, SharedMemory};
 

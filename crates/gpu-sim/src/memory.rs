@@ -15,6 +15,13 @@ pub struct MemoryError {
     pub capacity: u32,
 }
 
+/// The aligned 32-bit word starting at `base` (caller checks bounds).
+fn word_at(data: &[u8], base: usize) -> u32 {
+    let mut bytes = [0u8; 4];
+    bytes.copy_from_slice(&data[base..base + 4]);
+    u32::from_le_bytes(bytes)
+}
+
 impl fmt::Display for MemoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -77,51 +84,80 @@ impl GlobalMemory {
     }
 
     /// Host-side typed write (little-endian), for input preparation.
-    pub fn write_u32_host(&mut self, addr: u32, value: u32) {
-        let i = self.check(addr, 4).expect("host write out of bounds");
+    ///
+    /// # Errors
+    /// [`MemoryError`] when the access falls outside the allocation;
+    /// host accesses never abort the process.
+    pub fn write_u32_host(&mut self, addr: u32, value: u32) -> Result<(), MemoryError> {
+        let i = self.check(addr, 4)?;
         self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
     }
 
     /// Host-side typed read.
-    pub fn read_u32_host(&self, addr: u32) -> u32 {
-        let i = self.check(addr, 4).expect("host read out of bounds");
-        u32::from_le_bytes(self.data[i..i + 4].try_into().unwrap())
+    ///
+    /// # Errors
+    /// [`MemoryError`] when the access falls outside the allocation.
+    pub fn read_u32_host(&self, addr: u32) -> Result<u32, MemoryError> {
+        let i = self.check(addr, 4)?;
+        Ok(word_at(&self.data, i))
     }
 
     /// Host-side f32 helpers.
-    pub fn write_f32_host(&mut self, addr: u32, value: f32) {
-        self.write_u32_host(addr, value.to_bits());
+    ///
+    /// # Errors
+    /// [`MemoryError`] when the access falls outside the allocation.
+    pub fn write_f32_host(&mut self, addr: u32, value: f32) -> Result<(), MemoryError> {
+        self.write_u32_host(addr, value.to_bits())
     }
 
     /// Host-side f32 read.
-    pub fn read_f32_host(&self, addr: u32) -> f32 {
-        f32::from_bits(self.read_u32_host(addr))
+    ///
+    /// # Errors
+    /// [`MemoryError`] when the access falls outside the allocation.
+    pub fn read_f32_host(&self, addr: u32) -> Result<f32, MemoryError> {
+        Ok(f32::from_bits(self.read_u32_host(addr)?))
     }
 
     /// Host-side f64 helpers (two aligned words, little-endian).
-    pub fn write_f64_host(&mut self, addr: u32, value: f64) {
+    ///
+    /// # Errors
+    /// [`MemoryError`] when the access falls outside the allocation.
+    pub fn write_f64_host(&mut self, addr: u32, value: f64) -> Result<(), MemoryError> {
         let bits = value.to_bits();
-        self.write_u32_host(addr, bits as u32);
-        self.write_u32_host(addr + 4, (bits >> 32) as u32);
+        self.write_u32_host(addr, bits as u32)?;
+        self.write_u32_host(addr + 4, (bits >> 32) as u32)
     }
 
     /// Host-side f64 read.
-    pub fn read_f64_host(&self, addr: u32) -> f64 {
-        let lo = self.read_u32_host(addr) as u64;
-        let hi = self.read_u32_host(addr + 4) as u64;
-        f64::from_bits(lo | (hi << 32))
+    ///
+    /// # Errors
+    /// [`MemoryError`] when the access falls outside the allocation.
+    pub fn read_f64_host(&self, addr: u32) -> Result<f64, MemoryError> {
+        let lo = self.read_u32_host(addr)? as u64;
+        let hi = self.read_u32_host(addr + 4)? as u64;
+        Ok(f64::from_bits(lo | (hi << 32)))
     }
 
     /// Host-side u16 helpers (for binary16 arrays).
-    pub fn write_u16_host(&mut self, addr: u32, value: u16) {
-        let i = self.check(addr, 2).expect("host write out of bounds");
+    ///
+    /// # Errors
+    /// [`MemoryError`] when the access falls outside the allocation.
+    pub fn write_u16_host(&mut self, addr: u32, value: u16) -> Result<(), MemoryError> {
+        let i = self.check(addr, 2)?;
         self.data[i..i + 2].copy_from_slice(&value.to_le_bytes());
+        Ok(())
     }
 
     /// Host-side u16 read.
-    pub fn read_u16_host(&self, addr: u32) -> u16 {
-        let i = self.check(addr, 2).expect("host read out of bounds");
-        u16::from_le_bytes(self.data[i..i + 2].try_into().unwrap())
+    ///
+    /// # Errors
+    /// [`MemoryError`] when the access falls outside the allocation.
+    pub fn read_u16_host(&self, addr: u32) -> Result<u16, MemoryError> {
+        let i = self.check(addr, 2)?;
+        let mut bytes = [0u8; 2];
+        bytes.copy_from_slice(&self.data[i..i + 2]);
+        Ok(u16::from_le_bytes(bytes))
     }
 
     /// Record a particle strike flipping `bit` (0..32) of the aligned word
@@ -174,9 +210,7 @@ impl GlobalMemory {
                     // into the backing store (the corrupted word is what the
                     // rest of the program sees from now on).
                     let base = (w * 4) as usize;
-                    let mut stored =
-                        u32::from_le_bytes(self.data[base..base + 4].try_into().unwrap());
-                    stored ^= mask;
+                    let stored = word_at(&self.data, base) ^ mask;
                     self.data[base..base + 4].copy_from_slice(&stored.to_le_bytes());
                     self.corruption.remove(&w);
                     // Recompute the value bytes that overlap this word.
@@ -230,9 +264,7 @@ impl GlobalMemory {
             for (w, (mask, _)) in corruption {
                 let base = (w * 4) as usize;
                 if base + 4 <= self.data.len() {
-                    let mut stored =
-                        u32::from_le_bytes(self.data[base..base + 4].try_into().unwrap());
-                    stored ^= mask;
+                    let stored = word_at(&self.data, base) ^ mask;
                     self.data[base..base + 4].copy_from_slice(&stored.to_le_bytes());
                 }
             }
@@ -286,20 +318,21 @@ impl SharedMemory {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
     #[test]
     fn host_roundtrips() {
         let mut m = GlobalMemory::new(64);
-        m.write_u32_host(0, 0xDEADBEEF);
-        assert_eq!(m.read_u32_host(0), 0xDEADBEEF);
-        m.write_f32_host(4, 1.5);
-        assert_eq!(m.read_f32_host(4), 1.5);
-        m.write_f64_host(8, -2.25);
-        assert_eq!(m.read_f64_host(8), -2.25);
-        m.write_u16_host(16, 0x3C00);
-        assert_eq!(m.read_u16_host(16), 0x3C00);
+        m.write_u32_host(0, 0xDEADBEEF).unwrap();
+        assert_eq!(m.read_u32_host(0).unwrap(), 0xDEADBEEF);
+        m.write_f32_host(4, 1.5).unwrap();
+        assert_eq!(m.read_f32_host(4).unwrap(), 1.5);
+        m.write_f64_host(8, -2.25).unwrap();
+        assert_eq!(m.read_f64_host(8).unwrap(), -2.25);
+        m.write_u16_host(16, 0x3C00).unwrap();
+        assert_eq!(m.read_u16_host(16).unwrap(), 0x3C00);
     }
 
     #[test]
@@ -314,19 +347,19 @@ mod tests {
     #[test]
     fn single_bit_flip_no_ecc_corrupts_data() {
         let mut m = GlobalMemory::new(8);
-        m.write_u32_host(0, 0b1000);
+        m.write_u32_host(0, 0b1000).unwrap();
         m.strike_bit(0, 0);
         let (v, due) = m.device_read(0, 4, false).unwrap();
         assert_eq!(v, 0b1001);
         assert!(!due);
         // The corruption persisted into the backing store.
-        assert_eq!(m.read_u32_host(0), 0b1001);
+        assert_eq!(m.read_u32_host(0).unwrap(), 0b1001);
     }
 
     #[test]
     fn single_bit_flip_with_ecc_corrected() {
         let mut m = GlobalMemory::new(8);
-        m.write_u32_host(0, 0xFF);
+        m.write_u32_host(0, 0xFF).unwrap();
         m.strike_bit(0, 3);
         let (v, due) = m.device_read(0, 4, true).unwrap();
         assert_eq!(v, 0xFF);
@@ -374,17 +407,17 @@ mod tests {
     #[test]
     fn scrub_without_ecc_commits_flips() {
         let mut m = GlobalMemory::new(8);
-        m.write_u32_host(4, 0);
+        m.write_u32_host(4, 0).unwrap();
         m.strike_bit(4, 5);
         assert!(!m.scrub(false));
-        assert_eq!(m.read_u32_host(4), 32);
+        assert_eq!(m.read_u32_host(4).unwrap(), 32);
     }
 
     #[test]
     fn sixty_four_bit_read_spans_two_words() {
         let mut m = GlobalMemory::new(16);
-        m.write_u32_host(0, 1);
-        m.write_u32_host(4, 2);
+        m.write_u32_host(0, 1).unwrap();
+        m.write_u32_host(4, 2).unwrap();
         m.strike_bit(4, 0); // flips low bit of the high word
         let (v, _) = m.device_read(0, 8, false).unwrap();
         assert_eq!(v, ((3u64) << 32) | 1);

@@ -128,6 +128,7 @@ pub fn analyze(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gpu_arch::Op;

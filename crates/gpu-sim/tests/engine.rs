@@ -1,6 +1,8 @@
 //! End-to-end tests of the execution engine: functional semantics, SIMT
 //! control flow, memory, tensor ops, and every fault hook.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+
 use gpu_arch::{
     CmpOp, DeviceModel, KernelBuilder, LaunchConfig, MemWidth, Operand, Pred, Reg, SpecialReg,
 };
@@ -49,8 +51,8 @@ fn saxpy_setup(n: u32, a: f32) -> (gpu_arch::Kernel, LaunchConfig, GlobalMemory)
     let out_base = 8 * n;
     let mut mem = GlobalMemory::new(12 * n);
     for i in 0..n {
-        mem.write_f32_host(x_base + 4 * i, i as f32);
-        mem.write_f32_host(y_base + 4 * i, 100.0 + i as f32);
+        mem.write_f32_host(x_base + 4 * i, i as f32).unwrap();
+        mem.write_f32_host(y_base + 4 * i, 100.0 + i as f32).unwrap();
     }
     let launch = LaunchConfig::new(n / 32, 32, vec![x_base, y_base, out_base, a.to_bits()]);
     (kernel, launch, mem)
@@ -63,7 +65,7 @@ fn saxpy_computes_correctly() {
     let out = run_golden(&device, &kernel, &launch, mem);
     assert_eq!(out.status, ExecStatus::Completed);
     for i in 0..128u32 {
-        let got = out.memory.read_f32_host(8 * 128 + 4 * i);
+        let got = out.memory.read_f32_host(8 * 128 + 4 * i).unwrap();
         assert_eq!(got, 2.0 * i as f32 + 100.0 + i as f32, "i={i}");
     }
     assert!(out.counts.total > 0);
@@ -100,7 +102,7 @@ fn loop_and_predication() {
     let launch = LaunchConfig::new(1, 1, vec![0]);
     let out = run_golden(&DeviceModel::v100(), &kernel, &launch, mem);
     assert_eq!(out.status, ExecStatus::Completed);
-    assert_eq!(out.memory.read_u32_host(0), 55);
+    assert_eq!(out.memory.read_u32_host(0).unwrap(), 55);
 }
 
 #[test]
@@ -125,7 +127,7 @@ fn warp_divergence_converges() {
     assert_eq!(out.status, ExecStatus::Completed);
     for i in 0..32 {
         let expect = if i % 2 == 0 { 1 } else { 2 };
-        assert_eq!(out.memory.read_u32_host(4 * i), expect, "lane {i}");
+        assert_eq!(out.memory.read_u32_host(4 * i).unwrap(), expect, "lane {i}");
     }
 }
 
@@ -159,7 +161,7 @@ fn shared_memory_reduction_with_barrier() {
     let launch = LaunchConfig::new(1, n, vec![0]);
     let out = run_golden(&DeviceModel::k40c(), &kernel, &launch, mem);
     assert_eq!(out.status, ExecStatus::Completed);
-    assert_eq!(out.memory.read_u32_host(0), (0..n).sum::<u32>());
+    assert_eq!(out.memory.read_u32_host(0).unwrap(), (0..n).sum::<u32>());
 }
 
 #[test]
@@ -173,12 +175,12 @@ fn fp64_pair_arithmetic() {
     b.exit();
     let kernel = b.build().unwrap();
     let mut mem = GlobalMemory::new(24);
-    mem.write_f64_host(0, 2.5);
-    mem.write_f64_host(8, 3.0);
+    mem.write_f64_host(0, 2.5).unwrap();
+    mem.write_f64_host(8, 3.0).unwrap();
     let launch = LaunchConfig::new(1, 1, vec![0]);
     let out = run_golden(&DeviceModel::v100(), &kernel, &launch, mem);
     assert_eq!(out.status, ExecStatus::Completed);
-    assert_eq!(out.memory.read_f64_host(16), 2.5f64 * 3.0 + 2.5);
+    assert_eq!(out.memory.read_f64_host(16).unwrap(), 2.5f64 * 3.0 + 2.5);
 }
 
 #[test]
@@ -199,7 +201,7 @@ fn fp16_arithmetic_and_conversion() {
     let mem = GlobalMemory::new(4);
     let launch = LaunchConfig::new(1, 1, vec![0]);
     let out = run_golden(&DeviceModel::v100(), &kernel, &launch, mem);
-    assert_eq!(out.memory.read_f32_host(0), 10.5);
+    assert_eq!(out.memory.read_f32_host(0).unwrap(), 10.5);
 }
 
 /// Build a warp MMA kernel computing D = A*B + C on 16x16 fragments, with
@@ -266,7 +268,7 @@ fn mma_matches_reference() {
         for j in 0..8u32 {
             let idx = lane * 8 + j;
             let expect = F16::from_f32((idx & 3) as f32 * 0.25).to_f32();
-            let got = out.memory.read_f32_host(lane * 32 + 4 * j);
+            let got = out.memory.read_f32_host(lane * 32 + 4 * j).unwrap();
             assert_eq!(got, expect, "element {idx}");
         }
     }
@@ -359,7 +361,7 @@ fn predicate_flip_changes_loop_count() {
     let out = run(&DeviceModel::v100(), &kernel, &launch, GlobalMemory::new(4), &opts);
     assert!(out.fault_triggered);
     assert_eq!(out.status, ExecStatus::Completed);
-    assert_eq!(out.memory.read_u32_host(0), 1 + 2 + 3); // exited after i=3
+    assert_eq!(out.memory.read_u32_host(0).unwrap(), 1 + 2 + 3); // exited after i=3
 }
 
 #[test]
@@ -534,4 +536,76 @@ fn mix_counts_sum_to_total() {
     assert_eq!(unit_sum, out.counts.total);
     let warp_sum: u64 = out.counts.warp_instrs.iter().sum();
     assert_eq!(warp_sum, out.counts.total);
+}
+
+// ---------------------------------------------------------------------
+// Cooperative cancellation (the host wall-clock watchdog's mechanism).
+
+/// A kernel that loops forever: the campaign's deadline monitor (or any
+/// host-side supervisor) must be able to stop it via the cancel flag.
+fn forever_kernel() -> gpu_arch::Kernel {
+    let mut b = KernelBuilder::new("forever");
+    b.mov(r(0), imm(1));
+    b.label("spin");
+    b.isetp(Pred(0), CmpOp::Ne, r(0).into(), imm(0)); // always true
+    b.if_p(Pred(0)).bra("spin");
+    b.exit();
+    b.build().expect("forever kernel builds")
+}
+
+#[test]
+fn preset_cancel_flag_aborts_long_run_as_host_watchdog() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let device = DeviceModel::k40c_sim();
+    let kernel = forever_kernel();
+    let launch = LaunchConfig::new(1, 32, vec![]);
+    let cancel = Arc::new(AtomicBool::new(true));
+    let opts = RunOptions { cancel: Some(Arc::clone(&cancel)), ..RunOptions::default() };
+    let out = run(&device, &kernel, &launch, GlobalMemory::new(4), &opts);
+    assert_eq!(out.status, ExecStatus::Due(DueKind::HostWatchdog));
+    // The abort happens at the first poll boundary, not instantly.
+    assert!(out.counts.total >= gpu_sim::CANCEL_POLL_INTERVAL);
+    assert!(out.counts.total <= 2 * gpu_sim::CANCEL_POLL_INTERVAL);
+}
+
+#[test]
+fn cancel_flag_set_mid_run_stops_spinning_kernel() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let device = DeviceModel::k40c_sim();
+    let kernel = forever_kernel();
+    let launch = LaunchConfig::new(1, 32, vec![]);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let tripper = {
+        let cancel = Arc::clone(&cancel);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            cancel.store(true, Ordering::Relaxed);
+        })
+    };
+    let opts = RunOptions { cancel: Some(cancel), ..RunOptions::default() };
+    let out = run(&device, &kernel, &launch, GlobalMemory::new(4), &opts);
+    tripper.join().expect("tripper thread");
+    assert_eq!(out.status, ExecStatus::Due(DueKind::HostWatchdog));
+}
+
+#[test]
+fn short_kernel_completes_even_with_cancel_set() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    // Cancellation is cooperative with poll granularity: a kernel that
+    // retires fewer than CANCEL_POLL_INTERVAL instructions finishes
+    // normally even when the flag is already set.
+    let device = DeviceModel::k40c_sim();
+    let (kernel, launch, mem) = saxpy_setup(32, 1.5);
+    let opts =
+        RunOptions { cancel: Some(Arc::new(AtomicBool::new(true))), ..RunOptions::default() };
+    let out = run(&device, &kernel, &launch, mem, &opts);
+    assert_eq!(out.status, ExecStatus::Completed);
+    assert!(out.counts.total < gpu_sim::CANCEL_POLL_INTERVAL);
 }

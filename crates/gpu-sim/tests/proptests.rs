@@ -1,6 +1,8 @@
 //! Property-based tests for the execution engine and the ECC memory
 //! model.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+
 use gpu_arch::{
     CmpOp, DeviceModel, KernelBuilder, LaunchConfig, MemWidth, Operand, Pred, Reg, SpecialReg,
 };
@@ -35,7 +37,7 @@ fn poly_setup(xs: &[f32], a: f32, bb: f32) -> (gpu_arch::Kernel, LaunchConfig, G
     let n = xs.len() as u32;
     let mut mem = GlobalMemory::new(8 * n);
     for (i, &x) in xs.iter().enumerate() {
-        mem.write_f32_host(4 * i as u32, x);
+        mem.write_f32_host(4 * i as u32, x).unwrap();
     }
     let launch = LaunchConfig::new(1, n, vec![0, 4 * n, a.to_bits(), bb.to_bits()]);
     (poly_kernel(), launch, mem)
@@ -57,7 +59,7 @@ proptest! {
         prop_assert_eq!(out.status, ExecStatus::Completed);
         for (i, &x) in xs.iter().enumerate() {
             let expect = a.mul_add(x, bb).mul_add(x, i as f32);
-            let got = out.memory.read_f32_host(4 * xs.len() as u32 + 4 * i as u32);
+            let got = out.memory.read_f32_host(4 * xs.len() as u32 + 4 * i as u32).unwrap();
             prop_assert_eq!(got.to_bits(), expect.to_bits());
         }
     }

@@ -2,6 +2,8 @@
 //! conversions, saturation, shifts, min/max, SFU functions, selects, and
 //! predicate-guard corner cases.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+
 use gpu_arch::{
     CmpOp, DeviceModel, KernelBuilder, LaunchConfig, MemWidth, Operand, Pred, Reg, SpecialReg,
 };
@@ -51,10 +53,10 @@ fn f2i_truncates_and_saturates() {
         b.f2i(r(1), r(0).into());
         b.stg(MemWidth::W32, r(9), 12, r(1));
     });
-    assert_eq!(mem.read_u32_host(0) as i32, 3);
-    assert_eq!(mem.read_u32_host(4) as i32, -3);
-    assert_eq!(mem.read_u32_host(8) as i32, i32::MAX);
-    assert_eq!(mem.read_u32_host(12) as i32, 0); // NaN -> 0, like cvt.rzi
+    assert_eq!(mem.read_u32_host(0).unwrap() as i32, 3);
+    assert_eq!(mem.read_u32_host(4).unwrap() as i32, -3);
+    assert_eq!(mem.read_u32_host(8).unwrap() as i32, i32::MAX);
+    assert_eq!(mem.read_u32_host(12).unwrap() as i32, 0); // NaN -> 0, like cvt.rzi
 }
 
 #[test]
@@ -67,7 +69,7 @@ fn conversion_chain_f32_f64_roundtrip() {
         b.d2f(r(1), r(4).into());
         b.stg(MemWidth::W32, r(9), 0, r(1));
     });
-    assert_eq!(mem.read_f32_host(0), 1.5625);
+    assert_eq!(mem.read_f32_host(0).unwrap(), 1.5625);
 }
 
 #[test]
@@ -80,7 +82,7 @@ fn half_conversion_rounds_to_nearest_even() {
         b.h2f(r(2), r(1).into());
         b.stg(MemWidth::W32, r(9), 0, r(2));
     });
-    assert_eq!(mem.read_f32_host(0), 1.0);
+    assert_eq!(mem.read_f32_host(0).unwrap(), 1.0);
 }
 
 #[test]
@@ -95,9 +97,9 @@ fn shifts_mask_their_amounts() {
         b.asr(r(1), r(0).into(), imm(1));
         b.stg(MemWidth::W32, r(9), 8, r(1));
     });
-    assert_eq!(mem.read_u32_host(0), 0x0000_0002);
-    assert_eq!(mem.read_u32_host(4), 0x4000_0000);
-    assert_eq!(mem.read_u32_host(8), 0xC000_0000);
+    assert_eq!(mem.read_u32_host(0).unwrap(), 0x0000_0002);
+    assert_eq!(mem.read_u32_host(4).unwrap(), 0x4000_0000);
+    assert_eq!(mem.read_u32_host(8).unwrap(), 0xC000_0000);
 }
 
 #[test]
@@ -111,8 +113,8 @@ fn imin_imax_are_signed() {
         b.stg(MemWidth::W32, r(9), 0, r(2));
         b.stg(MemWidth::W32, r(9), 4, r(3));
     });
-    assert_eq!(mem.read_u32_host(0) as i32, -5);
-    assert_eq!(mem.read_u32_host(4) as i32, 3);
+    assert_eq!(mem.read_u32_host(0).unwrap() as i32, -5);
+    assert_eq!(mem.read_u32_host(4).unwrap() as i32, 3);
 }
 
 #[test]
@@ -126,8 +128,8 @@ fn fmin_fmax_follow_ieee_like_f32() {
         b.stg(MemWidth::W32, r(9), 0, r(2));
         b.stg(MemWidth::W32, r(9), 4, r(3));
     });
-    assert_eq!(mem.read_f32_host(0), -0.5);
-    assert_eq!(mem.read_f32_host(4), 2.5);
+    assert_eq!(mem.read_f32_host(0).unwrap(), -0.5);
+    assert_eq!(mem.read_f32_host(4).unwrap(), 2.5);
 }
 
 #[test]
@@ -148,10 +150,10 @@ fn sfu_rcp_and_sqrt() {
         b.d2f(r(3), r(6).into());
         b.stg(MemWidth::W32, r(9), 12, r(3));
     });
-    assert_eq!(mem.read_f32_host(0), 0.125);
-    assert_eq!(mem.read_f32_host(4), 8.0f32.sqrt());
-    assert_eq!(mem.read_f32_host(8), 0.125);
-    assert_eq!(mem.read_f32_host(12), (8.0f64).sqrt() as f32);
+    assert_eq!(mem.read_f32_host(0).unwrap(), 0.125);
+    assert_eq!(mem.read_f32_host(4).unwrap(), 8.0f32.sqrt());
+    assert_eq!(mem.read_f32_host(8).unwrap(), 0.125);
+    assert_eq!(mem.read_f32_host(12).unwrap(), (8.0f64).sqrt() as f32);
 }
 
 #[test]
@@ -165,8 +167,8 @@ fn sel_respects_negation() {
         b.stg(MemWidth::W32, r(9), 0, r(1));
         b.stg(MemWidth::W32, r(9), 4, r(2));
     });
-    assert_eq!(mem.read_u32_host(0), 10);
-    assert_eq!(mem.read_u32_host(4), 20);
+    assert_eq!(mem.read_u32_host(0).unwrap(), 10);
+    assert_eq!(mem.read_u32_host(4).unwrap(), 20);
 }
 
 #[test]
@@ -180,8 +182,8 @@ fn guarded_store_is_suppressed() {
         b.if_p(Pred(0)).stg(MemWidth::W32, r(9), 0, r(1)); // suppressed
         b.if_not_p(Pred(0)).stg(MemWidth::W32, r(9), 4, r(1)); // executes
     });
-    assert_eq!(mem.read_u32_host(0), 99);
-    assert_eq!(mem.read_u32_host(4), 7);
+    assert_eq!(mem.read_u32_host(0).unwrap(), 99);
+    assert_eq!(mem.read_u32_host(4).unwrap(), 7);
 }
 
 #[test]
@@ -199,8 +201,8 @@ fn fp_compare_handles_nan_like_setp() {
         b.sel(r(2), imm(1), imm(0), Pred(1), false);
         b.stg(MemWidth::W32, r(9), 4, r(2));
     });
-    assert_eq!(mem.read_u32_host(0), 0);
-    assert_eq!(mem.read_u32_host(4), 1);
+    assert_eq!(mem.read_u32_host(0).unwrap(), 0);
+    assert_eq!(mem.read_u32_host(4).unwrap(), 1);
 }
 
 #[test]
@@ -218,10 +220,10 @@ fn bitwise_ops() {
         b.stg(MemWidth::W32, r(9), 8, r(4));
         b.stg(MemWidth::W32, r(9), 12, r(5));
     });
-    assert_eq!(mem.read_u32_host(0), 0b1000);
-    assert_eq!(mem.read_u32_host(4), 0b1110);
-    assert_eq!(mem.read_u32_host(8), 0b0110);
-    assert_eq!(mem.read_u32_host(12), !0b1100u32);
+    assert_eq!(mem.read_u32_host(0).unwrap(), 0b1000);
+    assert_eq!(mem.read_u32_host(4).unwrap(), 0b1110);
+    assert_eq!(mem.read_u32_host(8).unwrap(), 0b0110);
+    assert_eq!(mem.read_u32_host(12).unwrap(), !0b1100u32);
 }
 
 #[test]
@@ -253,7 +255,7 @@ fn special_registers_2d() {
     let out = run_golden(&DeviceModel::k40c_sim(), &k, &launch, GlobalMemory::new(4 * 32));
     assert_eq!(out.status, ExecStatus::Completed);
     for i in 0..32u32 {
-        assert_eq!(out.memory.read_u32_host(4 * i), i, "gid {i}");
+        assert_eq!(out.memory.read_u32_host(4 * i).unwrap(), i, "gid {i}");
     }
 }
 

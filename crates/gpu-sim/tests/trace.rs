@@ -3,6 +3,8 @@
 //! events and the `FaultPlan` site numbering, and the invariant that
 //! installing a sink never perturbs architectural results.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+
 use gpu_arch::{
     CmpOp, DeviceModel, KernelBuilder, LaunchConfig, MemWidth, Operand, Pred, Reg, SpecialReg,
 };
@@ -46,8 +48,8 @@ fn saxpy_setup(n: u32, a: f32) -> (gpu_arch::Kernel, LaunchConfig, GlobalMemory)
     let (x_base, y_base, out_base) = (0u32, 4 * n, 8 * n);
     let mut mem = GlobalMemory::new(12 * n);
     for i in 0..n {
-        mem.write_f32_host(x_base + 4 * i, i as f32);
-        mem.write_f32_host(y_base + 4 * i, 100.0 + i as f32);
+        mem.write_f32_host(x_base + 4 * i, i as f32).unwrap();
+        mem.write_f32_host(y_base + 4 * i, 100.0 + i as f32).unwrap();
     }
     let launch = LaunchConfig::new(n / 32, 32, vec![x_base, y_base, out_base, a.to_bits()]);
     (kernel, launch, mem)
@@ -182,7 +184,7 @@ fn barrier_events_cover_all_lanes() {
     let opts = RunOptions::default();
     let (out, sink) = record(&device, &kernel, &launch, GlobalMemory::new(4), &opts);
     assert_eq!(out.status, ExecStatus::Completed);
-    assert_eq!(out.memory.read_u32_host(0), (0..n).sum::<u32>());
+    assert_eq!(out.memory.read_u32_host(0).unwrap(), (0..n).sum::<u32>());
     let arrivals =
         sink.events.iter().filter(|e| matches!(e, TraceEvent::BarrierArrive { .. })).count();
     assert_eq!(arrivals as u32, n, "one arrival per lane");

@@ -1,5 +1,7 @@
 //! Tests for warp shuffles, atomics, and value-replacement faults.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+
 use gpu_arch::{
     CmpOp, DeviceModel, KernelBuilder, LaunchConfig, MemWidth, Operand, Pred, Reg, ShflMode,
     SpecialReg,
@@ -35,7 +37,7 @@ fn shfl_idx_broadcasts_lane_zero() {
     );
     assert_eq!(out.status, ExecStatus::Completed);
     for lane in 0..32 {
-        assert_eq!(out.memory.read_u32_host(4 * lane), 0, "lane {lane}");
+        assert_eq!(out.memory.read_u32_host(4 * lane).unwrap(), 0, "lane {lane}");
     }
 }
 
@@ -64,7 +66,7 @@ fn shfl_bfly_reduction_sums_warp() {
     );
     assert_eq!(out.status, ExecStatus::Completed);
     for lane in 0..32 {
-        assert_eq!(out.memory.read_u32_host(4 * lane), 528, "lane {lane}");
+        assert_eq!(out.memory.read_u32_host(4 * lane).unwrap(), 528, "lane {lane}");
     }
 }
 
@@ -88,8 +90,8 @@ fn shfl_up_down_clamp_at_warp_edges() {
         GlobalMemory::new(256),
     );
     for lane in 0..32u32 {
-        assert_eq!(out.memory.read_u32_host(8 * lane), lane.saturating_sub(1));
-        assert_eq!(out.memory.read_u32_host(8 * lane + 4), (lane + 1).min(31));
+        assert_eq!(out.memory.read_u32_host(8 * lane).unwrap(), lane.saturating_sub(1));
+        assert_eq!(out.memory.read_u32_host(8 * lane + 4).unwrap(), (lane + 1).min(31));
     }
 }
 
@@ -117,8 +119,9 @@ fn atomic_add_counts_all_threads() {
         GlobalMemory::new(4 + 4 * 64),
     );
     assert_eq!(out.status, ExecStatus::Completed);
-    assert_eq!(out.memory.read_u32_host(0), 64);
-    let mut seen: Vec<u32> = (0..64).map(|i| out.memory.read_u32_host(4 + 4 * i)).collect();
+    assert_eq!(out.memory.read_u32_host(0).unwrap(), 64);
+    let mut seen: Vec<u32> =
+        (0..64).map(|i| out.memory.read_u32_host(4 + 4 * i).unwrap()).collect();
     seen.sort_unstable();
     assert_eq!(seen, (0..64).collect::<Vec<u32>>());
 }
@@ -154,7 +157,7 @@ fn shared_atomic_add_histogram() {
     );
     assert_eq!(out.status, ExecStatus::Completed);
     for bucket in 0..4 {
-        assert_eq!(out.memory.read_u32_host(4 * bucket), 16, "bucket {bucket}");
+        assert_eq!(out.memory.read_u32_host(4 * bucket).unwrap(), 16, "bucket {bucket}");
     }
 }
 
@@ -195,7 +198,7 @@ fn value_set_fault_zeroes_an_output() {
     let out = run(&DeviceModel::k40c_sim(), &k, &launch, GlobalMemory::new(4), &opts);
     assert_eq!(out.status, ExecStatus::Completed);
     assert!(out.fault_triggered);
-    assert_eq!(out.memory.read_u32_host(0), 0);
+    assert_eq!(out.memory.read_u32_host(0).unwrap(), 0);
 }
 
 #[test]
@@ -226,6 +229,6 @@ fn shfl_output_fault_corrupts_one_lane() {
     assert_eq!(out.status, ExecStatus::Completed);
     assert!(out.fault_triggered);
     // Exactly one lane's stored value differs from 0.
-    let corrupted = (0..32).filter(|&l| out.memory.read_u32_host(4 * l) != 0).count();
+    let corrupted = (0..32).filter(|&l| out.memory.read_u32_host(4 * l).unwrap() != 0).count();
     assert_eq!(corrupted, 1);
 }

@@ -218,6 +218,7 @@ fn write_val(mem: &mut GlobalMemory, p: Precision, addr: u32, v: f64) {
         Precision::Single => mem.write_f32_host(addr, v as f32),
         Precision::Double => mem.write_f64_host(addr, v),
     }
+    .expect("microbench operand buffer sized for every lane");
 }
 
 /// The chained operation: `acc = acc OP x` (FMA uses `acc = x*y + acc`).
@@ -396,7 +397,8 @@ pub fn ldst() -> MicroBench {
     let dst_base = 4 * threads;
     let mut mem = GlobalMemory::new(8 * threads);
     for t in 0..threads {
-        mem.write_u32_host(src_base + 4 * t, 0xA5A5_0000 | t);
+        mem.write_u32_host(src_base + 4 * t, 0xA5A5_0000 | t)
+            .expect("shuffle source buffer covers every lane");
     }
     MicroBench {
         name: "LDST".to_string(),
@@ -561,7 +563,7 @@ mod tests {
         let out = mb.execute_golden(&device);
         assert_eq!(out.status, ExecStatus::Completed);
         // dst now carries the pattern too.
-        assert_eq!(out.memory.read_u32_host(4 * 512 + 4 * 3), 0xA5A5_0003);
+        assert_eq!(out.memory.read_u32_host(4 * 512 + 4 * 3).unwrap(), 0xA5A5_0003);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!
 //! Layout:
 //!
-//! * [`cfg`] — basic blocks, dominators/postdominators, natural loops;
+//! * [`mod@cfg`] — basic blocks, dominators/postdominators, natural loops;
 //! * [`dataflow`] — reaching definitions + def-use chains, bit-level
 //!   liveness, definite assignment, uniformity (divergence) analysis;
 //! * [`lint`] — [`verify`]/[`verify_with_launch`] producing

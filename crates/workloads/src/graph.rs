@@ -177,8 +177,10 @@ pub fn nw(codegen: CodeGen, scale: Scale) -> Workload {
     let dp_base = 8 * m;
     let mut mem = GlobalMemory::new(8 * m + 4 * w * w);
     for i in 0..m {
-        mem.write_u32_host(seq0_base + 4 * i, nw_seq(0, i) as u32);
-        mem.write_u32_host(seq1_base + 4 * i, nw_seq(1, i) as u32);
+        mem.write_u32_host(seq0_base + 4 * i, nw_seq(0, i) as u32)
+            .expect("NW sequence buffer covers every element");
+        mem.write_u32_host(seq1_base + 4 * i, nw_seq(1, i) as u32)
+            .expect("NW sequence buffer covers every element");
     }
     let launch = LaunchConfig::new(1, m, vec![seq0_base, seq1_base, dp_base]);
     Workload {
@@ -294,12 +296,14 @@ pub fn bfs(codegen: CodeGen, scale: Scale) -> Workload {
     for inst in 0..instances {
         for v in 0..n {
             for (k, nb) in bfs_edges(n, v).into_iter().enumerate() {
-                mem.write_u32_host(edges_base + 4 * (inst * 3 * n + v * 3 + k as u32), nb);
+                mem.write_u32_host(edges_base + 4 * (inst * 3 * n + v * 3 + k as u32), nb)
+                    .expect("BFS edge buffer covers every vertex");
             }
             mem.write_u32_host(
                 level_base + 4 * (inst * n + v),
                 if v == 0 { 0 } else { i32::MAX as u32 },
-            );
+            )
+            .expect("BFS level buffer covers every vertex");
         }
     }
     let launch = LaunchConfig::new(instances, n, vec![edges_base, level_base]);
@@ -463,9 +467,11 @@ pub fn ccl(codegen: CodeGen, scale: Scale) -> Workload {
             for j in 0..n {
                 let idx = i * n + j;
                 let px = ccl_pixel(i, j);
-                mem.write_u32_host(px_base + 4 * (inst * n * n + idx), px);
+                mem.write_u32_host(px_base + 4 * (inst * n * n + idx), px)
+                    .expect("CCL pixel buffer covers every pixel");
                 let init = if px == 1 { idx as i32 } else { -1 };
-                mem.write_u32_host(a_base + 4 * (inst * n * n + idx), init as u32);
+                mem.write_u32_host(a_base + 4 * (inst * n * n + idx), init as u32)
+                    .expect("CCL label buffer covers every pixel");
             }
         }
     }

@@ -198,16 +198,18 @@ pub fn write_elem(mem: &mut GlobalMemory, precision: Precision, addr: u32, value
         Precision::Single => mem.write_f32_host(addr, value as f32),
         Precision::Double => mem.write_f64_host(addr, value),
     }
+    .expect("workload buffers are sized by the generator");
 }
 
 /// Read one element of the given precision at `addr` (host side).
 pub fn read_elem(mem: &GlobalMemory, precision: Precision, addr: u32) -> f64 {
-    match precision {
-        Precision::Int32 => mem.read_u32_host(addr) as i32 as f64,
-        Precision::Half => F16::from_bits(mem.read_u16_host(addr)).to_f64(),
-        Precision::Single => mem.read_f32_host(addr) as f64,
+    let read = match precision {
+        Precision::Int32 => mem.read_u32_host(addr).map(|v| v as i32 as f64),
+        Precision::Half => mem.read_u16_host(addr).map(|v| F16::from_bits(v).to_f64()),
+        Precision::Single => mem.read_f32_host(addr).map(f64::from),
         Precision::Double => mem.read_f64_host(addr),
-    }
+    };
+    read.expect("workload buffers are sized by the generator")
 }
 
 /// A ready-to-run workload instance.
@@ -386,15 +388,15 @@ mod tests {
         let mut golden = GlobalMemory::new(16);
         let mut test = GlobalMemory::new(16);
         for (i, v) in [0.1f32, 0.9, 0.3, 0.2].iter().enumerate() {
-            golden.write_f32_host(4 * i as u32, *v);
+            golden.write_f32_host(4 * i as u32, *v).unwrap();
         }
         for (i, v) in [0.15f32, 0.8, 0.35, 0.1].iter().enumerate() {
-            test.write_f32_host(4 * i as u32, *v);
+            test.write_f32_host(4 * i as u32, *v).unwrap();
         }
         let spec =
             CompareSpec::Classification { offset: 0, count: 4, precision: Precision::Single };
         assert!(spec.matches(&golden, &test)); // argmax still class 1
-        test.write_f32_host(8, 2.0); // now class 2 wins
+        test.write_f32_host(8, 2.0).unwrap(); // now class 2 wins
         assert!(!spec.matches(&golden, &test));
     }
 
@@ -404,9 +406,9 @@ mod tests {
         let mut test = GlobalMemory::new(16);
         let spec = CompareSpec::ExactRegion { offset: 4, len: 8 };
         assert!(spec.matches(&golden, &test));
-        test.write_u32_host(0, 5); // outside region: ignored
+        test.write_u32_host(0, 5).unwrap(); // outside region: ignored
         assert!(spec.matches(&golden, &test));
-        test.write_u32_host(8, 1); // inside region
+        test.write_u32_host(8, 1).unwrap(); // inside region
         assert!(!spec.matches(&golden, &test));
     }
 

@@ -149,7 +149,8 @@ pub fn mergesort(codegen: CodeGen, scale: Scale) -> Workload {
     let mut mem = GlobalMemory::new(8 * n * instances);
     for inst in 0..instances {
         for (i, v) in sort_input(n).into_iter().enumerate() {
-            mem.write_u32_host(a_base + 4 * (inst * n + i as u32), v as u32);
+            mem.write_u32_host(a_base + 4 * (inst * n + i as u32), v as u32)
+                .expect("sort input buffer covers every element");
         }
     }
     // After `phases` ping-pongs the sorted data lives in a if phases is
@@ -288,7 +289,8 @@ pub fn quicksort(codegen: CodeGen, scale: Scale) -> Workload {
     let stack_bytes = instances * threads * stack_depth * 8;
     let mut mem = GlobalMemory::new(4 * n + stack_bytes);
     for (i, v) in sort_input(n).into_iter().enumerate() {
-        mem.write_u32_host(4 * i as u32, v as u32);
+        mem.write_u32_host(4 * i as u32, v as u32)
+            .expect("quicksort input buffer covers every element");
     }
     let launch = LaunchConfig::new(instances, threads, vec![0, stack_base]);
     Workload {

@@ -63,15 +63,15 @@ fn main() {
     let out_base = 8 * n;
     let mut mem = GlobalMemory::new(8 * n + 4);
     for i in 0..n {
-        mem.write_f32_host(x_base + 4 * i, (i + 1) as f32);
-        mem.write_f32_host(y_base + 4 * i, 0.5);
+        mem.write_f32_host(x_base + 4 * i, (i + 1) as f32).expect("x buffer covers every element");
+        mem.write_f32_host(y_base + 4 * i, 0.5).expect("y buffer covers every element");
     }
     let launch = LaunchConfig::new(1, 32, vec![x_base, y_base, out_base, n]);
     let device = DeviceModel::v100_sim();
 
     let golden = run(&device, &kernel, &launch, mem.clone(), &RunOptions::default());
     assert_eq!(golden.status, ExecStatus::Completed);
-    let result = golden.memory.read_f32_host(out_base);
+    let result = golden.memory.read_f32_host(out_base).expect("output in bounds");
     println!("dot(x, y) = {result}   (expected {})", 0.5 * (n * (n + 1) / 2) as f32);
 
     // Now flip one bit in each of the first 20 FFMA outputs and watch the
@@ -93,7 +93,7 @@ fn main() {
         let outcome = match faulty.status {
             ExecStatus::Due(_) => Outcome::Due,
             ExecStatus::Completed => {
-                if faulty.memory.read_f32_host(out_base) == result {
+                if faulty.memory.read_f32_host(out_base).expect("output in bounds") == result {
                     Outcome::Masked
                 } else {
                     Outcome::Sdc
@@ -147,6 +147,7 @@ impl Target for Dot {
         self.memory.clone()
     }
     fn output_matches(&self, golden: &Executed, faulty: &Executed) -> bool {
-        golden.memory.read_f32_host(self.out_base) == faulty.memory.read_f32_host(self.out_base)
+        golden.memory.read_f32_host(self.out_base).expect("output in bounds")
+            == faulty.memory.read_f32_host(self.out_base).expect("output in bounds")
     }
 }

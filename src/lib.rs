@@ -67,13 +67,15 @@ pub use workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use beam::{Beam, BeamResult, CrossSections};
-    pub use campaign::{Budget, Campaign, CampaignRun, Checkpoint, StopReason};
+    pub use campaign::{
+        Budget, Campaign, CampaignRun, Checkpoint, CheckpointStore, StopReason, Watchdog,
+    };
     pub use gpu_arch::{
         Architecture, CodeGen, DeviceModel, FunctionalUnit, MixCategory, Precision,
     };
     pub use gpu_sim::{
-        run_golden, BitFlip, DueKind, ExecStatus, FaultPlan, GlobalMemory, RunOptions, SiteClass,
-        Target,
+        run_golden, BitFlip, DueKind, ExecStatus, FaultPlan, GlobalMemory, RunOptions, SimError,
+        SiteClass, Target,
     };
     pub use injector::{Avf, AvfResult, ClassAvf, Injector};
     pub use prediction::{
@@ -83,10 +85,8 @@ pub mod prelude {
     pub use profiler::{profile, KernelProfile};
     pub use stats::{signed_ratio, wilson_half_width, FitRate, Outcome, OutcomeCounts};
     pub use workloads::{build, kepler_suite, volta_suite, Benchmark, Scale, Workload};
-
-    // Deprecated pre-engine entry points, kept for migrating callers.
-    #[allow(deprecated)]
-    pub use beam::{expose, BeamConfig};
-    #[allow(deprecated)]
-    pub use injector::{measure_avf, CampaignConfig};
+    // The deprecated pre-engine entry points (`measure_avf*`, `expose*`,
+    // `CampaignConfig`, `BeamConfig`) are no longer re-exported here;
+    // migrating callers can still reach them at their crate paths until
+    // the forwarders are removed.
 }
