@@ -1,0 +1,129 @@
+//! Hot-loop throughput of the interpreter: dynamic instructions per
+//! second of wall clock, on representative golden runs.
+//!
+//! This is the number the predecode layer (DESIGN.md §14) exists to move:
+//! every campaign pays the `step()` loop thousands of times, so
+//! instructions/second is the unit cost of every table and figure. The
+//! bench is self-reporting — alongside the human-readable lines it writes
+//! `BENCH_sim_throughput.json` (override the path with the
+//! `BENCH_JSON_PATH` environment variable) so CI can record the perf
+//! trajectory per commit.
+//!
+//! Run modes:
+//! * `cargo bench -p bench --bench sim_throughput` — full measurement;
+//! * `... -- --test` (or `--smoke`) — CI smoke mode: one warmup and a
+//!   short measurement window, still emitting the JSON.
+
+use gpu_arch::{CodeGen, DeviceModel, Precision};
+use gpu_sim::Target;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+use workloads::{build, Benchmark, Scale, Workload};
+
+struct Case {
+    name: &'static str,
+    workload: Workload,
+    device: DeviceModel,
+}
+
+struct Measurement {
+    name: &'static str,
+    dyn_instrs: u64,
+    /// Best (minimum) seconds per golden run over the sample set.
+    best_secs: f64,
+    mean_secs: f64,
+    samples: usize,
+}
+
+impl Measurement {
+    fn instrs_per_sec(&self) -> f64 {
+        self.dyn_instrs as f64 / self.best_secs
+    }
+}
+
+fn measure(case: &Case, budget_secs: f64, min_samples: usize) -> Measurement {
+    // One untimed run warms caches and yields the dynamic-instruction
+    // count the rates are computed from.
+    let golden = case.workload.execute_golden(&case.device);
+    assert!(golden.status.completed(), "{}: golden run failed", case.name);
+    let dyn_instrs = golden.counts.total;
+
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while samples.len() < min_samples || start.elapsed().as_secs_f64() < budget_secs {
+        let t = Instant::now();
+        black_box(case.workload.execute_golden(&case.device));
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Measurement {
+        name: case.name,
+        dyn_instrs,
+        best_secs: best,
+        mean_secs: mean,
+        samples: samples.len(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test" || a == "--smoke");
+    let (budget_secs, min_samples) = if smoke { (0.2, 2) } else { (2.0, 10) };
+
+    let cases = [
+        Case {
+            name: "mxm_f32_small",
+            workload: build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small),
+            device: DeviceModel::k40c_sim(),
+        },
+        Case {
+            name: "hotspot_f32_small",
+            workload: build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10, Scale::Small),
+            device: DeviceModel::k40c_sim(),
+        },
+        Case {
+            name: "gemm_mma_h16_small",
+            workload: build(Benchmark::GemmMma, Precision::Half, CodeGen::Cuda10, Scale::Small),
+            device: DeviceModel::v100_sim(),
+        },
+    ];
+
+    let results: Vec<Measurement> =
+        cases.iter().map(|c| measure(c, budget_secs, min_samples)).collect();
+
+    for m in &results {
+        println!(
+            "sim_throughput/{:<20} {:>8.2} M dyn-instrs/s  (best {:.3} ms, mean {:.3} ms, {} dyn instrs, {} samples)",
+            m.name,
+            m.instrs_per_sec() / 1e6,
+            m.best_secs * 1e3,
+            m.mean_secs * 1e3,
+            m.dyn_instrs,
+            m.samples,
+        );
+    }
+
+    let path = std::env::var("BENCH_JSON_PATH")
+        .unwrap_or_else(|_| "BENCH_sim_throughput.json".to_string());
+    let mut json = String::from("{\n  \"bench\": \"sim_throughput\",\n  \"unit\": \"dyn_instrs_per_sec\",\n  \"cases\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"dyn_instrs\": {}, \"best_secs\": {:.9}, \"mean_secs\": {:.9}, \"instrs_per_sec\": {:.1}}}{}",
+            m.name,
+            m.dyn_instrs,
+            m.best_secs,
+            m.mean_secs,
+            m.instrs_per_sec(),
+            sep
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("sim_throughput: could not write {path}: {e}");
+    } else {
+        println!("sim_throughput: wrote {path}");
+    }
+}

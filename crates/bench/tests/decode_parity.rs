@@ -1,0 +1,118 @@
+//! Regression pins for the predecode refactor.
+//!
+//! The decode layer (`gpu_arch::decode`) replaced the engine's per-tick
+//! `match ins.op` classification with table lookups over `InstrMeta`, and
+//! the injector/profiler/sass-analysis private classification copies with
+//! the same shared metadata. That refactor is only sound if it is
+//! *bit-identical* end-to-end: same `FaultPlan` dyn-instruction
+//! numbering, same `SiteCounts` populations, same injector RNG draws,
+//! same campaign tallies. These tests pin concrete pre-refactor values
+//! (captured on the seed revision, before the decode layer existed) so
+//! any drift fails loudly instead of silently skewing AVF.
+
+#![allow(clippy::unwrap_used)]
+
+use campaign::{Budget, Campaign};
+use gpu_arch::{CodeGen, DeviceModel, Precision};
+use gpu_sim::{RunOptions, Target};
+use injector::{Avf, Injector};
+use workloads::{build, Benchmark, Scale};
+
+/// FNV-1a over a byte stream: a stable, dependency-free digest for
+/// pinning vectors of counters without pasting thousands of values.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn digest_u64s(vals: impl IntoIterator<Item = u64>) -> u64 {
+    fnv1a(vals.into_iter().flat_map(u64::to_le_bytes))
+}
+
+#[test]
+fn campaign_tallies_pinned_mxm_sassifi_k40c() {
+    let device = DeviceModel::k40c_sim();
+    let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+    let (result, run) = Campaign::new(Avf::new(Injector::Sassifi), &w, &device)
+        .budget(Budget::fixed(160).seed(12021))
+        .run_full()
+        .unwrap();
+    // Pinned on the pre-decode engine; bit-identical RNG draw order and
+    // site populations are required to reproduce these tallies.
+    assert_eq!(run.trials, 160);
+    assert_eq!(
+        (result.counts.sdc, result.counts.due, result.counts.masked),
+        (103, 39, 18),
+        "campaign tallies drifted (Sassifi/k40c/mxm_f32_tiny seed 12021)"
+    );
+}
+
+#[test]
+fn campaign_tallies_pinned_hotspot_nvbitfi_v100() {
+    let device = DeviceModel::v100_sim();
+    let w = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
+    let (result, run) = Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)
+        .budget(Budget::fixed(160).seed(12021))
+        .run_full()
+        .unwrap();
+    assert_eq!(run.trials, 160);
+    assert_eq!(
+        (result.counts.sdc, result.counts.due, result.counts.masked),
+        (52, 66, 42),
+        "campaign tallies drifted (NvBitFi/v100/hotspot_f16_tiny seed 12021)"
+    );
+}
+
+#[test]
+fn golden_counts_and_sites_record_pinned() {
+    let cases = [
+        (
+            "mxm_f32_tiny/k40c",
+            build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny),
+            DeviceModel::k40c_sim(),
+            (57344u64, 14446947560695722350u64, 48640u64, 17686690349316740165u64),
+        ),
+        (
+            "hotspot_f16_tiny/v100",
+            build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny),
+            DeviceModel::v100_sim(),
+            (5184u64, 2033849798692785799u64, 4544u64, 8827934939734633225u64),
+        ),
+    ];
+    for (name, w, device, (total, counts_digest, sites_len, sites_digest)) in cases {
+        let opts = RunOptions { record_sites: true, ..RunOptions::default() };
+        let run = w.execute(&device, &opts);
+        let c = &run.counts;
+        let got_counts = digest_u64s(
+            c.per_unit
+                .iter()
+                .chain(c.per_mix.iter())
+                .chain(c.warp_latency.iter())
+                .chain(c.warp_instrs.iter())
+                .copied()
+                .chain([
+                    c.sites.gpr_writers,
+                    c.sites.gpr_writers_no_half,
+                    c.sites.loads,
+                    c.sites.mem_ops,
+                    c.sites.setp,
+                ]),
+        );
+        let rec = run.sites_record.as_ref().unwrap();
+        let got_sites = digest_u64s(
+            rec.site_pcs
+                .iter()
+                .map(|&pc| pc as u64)
+                .chain(rec.block_windows.iter().flat_map(|&(s, e)| [s, e])),
+        );
+        assert_eq!(
+            (c.total, got_counts, rec.site_pcs.len() as u64, got_sites),
+            (total, counts_digest, sites_len, sites_digest),
+            "golden counts / SitesRecord drifted for {name}"
+        );
+    }
+}

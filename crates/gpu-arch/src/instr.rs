@@ -64,7 +64,7 @@ impl RegList {
         RegList { regs: [Reg::RZ; RegList::CAPACITY], len: 0 }
     }
 
-    fn push(&mut self, r: Reg) {
+    pub(crate) fn push(&mut self, r: Reg) {
         self.regs[self.len as usize] = r;
         self.len += 1;
     }

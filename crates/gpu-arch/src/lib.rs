@@ -27,12 +27,14 @@
 //! `PT`.
 
 pub mod asm;
+pub mod decode;
 mod device;
 mod instr;
 mod kernel;
 mod op;
 mod operand;
 
+pub use decode::{DecodedKernel, InstrMeta, SiteClass, SiteClassSet};
 pub use device::{Architecture, CodeGen, DeviceModel, EccMode};
 pub use instr::{Guard, Instr, RegList};
 pub use kernel::{Dim, Kernel, KernelBuilder, KernelError, LaunchConfig};

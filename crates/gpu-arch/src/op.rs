@@ -451,6 +451,81 @@ impl fmt::Display for MixCategory {
 }
 
 impl Op {
+    /// One representative of every opcode, with parameterized variants
+    /// appearing once per parameter value that can change classification
+    /// (every `MemWidth` — it drives `dst_bits` — and every `ShflMode`;
+    /// `CmpOp` and `SpecialReg` never do, so one each). Exhaustiveness
+    /// checks over the classification tables ([`crate::decode`]) iterate
+    /// this instead of hand-maintaining per-test lists; extend it when
+    /// adding an opcode.
+    pub const ALL: [Op; 65] = [
+        Op::Fadd,
+        Op::Fmul,
+        Op::Ffma,
+        Op::Fmin,
+        Op::Fmax,
+        Op::Fsetp(CmpOp::Lt),
+        Op::F2i,
+        Op::I2f,
+        Op::F2d,
+        Op::D2f,
+        Op::F2h,
+        Op::H2f,
+        Op::Frcp,
+        Op::Fsqrt,
+        Op::Drcp,
+        Op::Dsqrt,
+        Op::Dadd,
+        Op::Dmul,
+        Op::Dfma,
+        Op::Dsetp(CmpOp::Ge),
+        Op::Hadd,
+        Op::Hmul,
+        Op::Hfma,
+        Op::Hsetp(CmpOp::Eq),
+        Op::Iadd,
+        Op::Imul,
+        Op::Imad,
+        Op::Isetp(CmpOp::Ne),
+        Op::Imin,
+        Op::Imax,
+        Op::Shl,
+        Op::Shr,
+        Op::Asr,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Not,
+        Op::Mov,
+        Op::Sel,
+        Op::S2r(SpecialReg::TidX),
+        Op::Ldp,
+        Op::Ldg(MemWidth::W16),
+        Op::Ldg(MemWidth::W32),
+        Op::Ldg(MemWidth::W64),
+        Op::Stg(MemWidth::W16),
+        Op::Stg(MemWidth::W32),
+        Op::Stg(MemWidth::W64),
+        Op::Lds(MemWidth::W16),
+        Op::Lds(MemWidth::W32),
+        Op::Lds(MemWidth::W64),
+        Op::Sts(MemWidth::W16),
+        Op::Sts(MemWidth::W32),
+        Op::Sts(MemWidth::W64),
+        Op::Shfl(ShflMode::Idx),
+        Op::Shfl(ShflMode::Up),
+        Op::Shfl(ShflMode::Down),
+        Op::Shfl(ShflMode::Bfly),
+        Op::AtomGAdd,
+        Op::AtomSAdd,
+        Op::Hmma,
+        Op::Fmma,
+        Op::Bra,
+        Op::Bar,
+        Op::Exit,
+        Op::Nop,
+    ];
+
     /// The functional unit that executes this op (Figure 3 granularity).
     pub fn functional_unit(self) -> FunctionalUnit {
         match self {

@@ -1,7 +1,11 @@
 //! Property-based tests: assembler/disassembler round trips over randomly
-//! generated kernels, and structural invariants of the builder.
+//! generated kernels, structural invariants of the builder, and the
+//! predecode layer agreeing with per-instruction classification.
 
-use gpu_arch::{asm, CmpOp, KernelBuilder, MemWidth, Operand, Pred, Reg, ShflMode, SpecialReg};
+use gpu_arch::{
+    asm, decode, CmpOp, DecodedKernel, FunctionalUnit, KernelBuilder, MemWidth, Op, Operand, Pred,
+    Reg, ShflMode, SiteClass, SpecialReg,
+};
 use proptest::prelude::*;
 
 fn reg_strategy() -> impl Strategy<Value = Reg> {
@@ -198,6 +202,96 @@ proptest! {
             for r in ins.src_regs().into_iter().chain(ins.dst_regs()) {
                 prop_assert!((r.0 as u16) < k.regs_per_thread);
             }
+        }
+    }
+
+    /// The predecode layer agrees with per-instruction classification for
+    /// arbitrary (optionally guarded) instructions: every [`gpu_arch::InstrMeta`]
+    /// field re-derives from the instruction's opcode and guard, `in_class`
+    /// equals the definition [`SiteClass::matches`] for every class
+    /// (per-unit classes included), and the decoded read/write tables match
+    /// a fresh per-instruction recomputation.
+    #[test]
+    fn predecode_agrees_with_per_instruction_classification(
+        instrs in prop::collection::vec(
+            // Guard mode: 0-1 unguarded, 2 `@P`, 3 `@!P` (vendored
+            // proptest has no `prop::option`, so an integer encodes it).
+            (instr_strategy(), 0u8..4, (0u8..7).prop_map(Pred)),
+            1..40,
+        )
+    ) {
+        let mut b = KernelBuilder::new("prop");
+        for (g, guard_mode, p) in &instrs {
+            match guard_mode {
+                2 => {
+                    b.if_p(*p);
+                }
+                3 => {
+                    b.if_not_p(*p);
+                }
+                _ => {}
+            }
+            apply(&mut b, g);
+        }
+        b.exit();
+        let k = b.build().unwrap();
+        let d = DecodedKernel::new(&k);
+        prop_assert_eq!(d.len(), k.instrs.len());
+
+        let units = [
+            FunctionalUnit::Fadd, FunctionalUnit::Fmul, FunctionalUnit::Ffma,
+            FunctionalUnit::Dadd, FunctionalUnit::Dmul, FunctionalUnit::Dfma,
+            FunctionalUnit::Hadd, FunctionalUnit::Hmul, FunctionalUnit::Hfma,
+            FunctionalUnit::Iadd, FunctionalUnit::Imul, FunctionalUnit::Imad,
+            FunctionalUnit::Hmma, FunctionalUnit::Fmma,
+            FunctionalUnit::Ldst, FunctionalUnit::Other,
+        ];
+        let base_classes = [
+            SiteClass::GprWriter,
+            SiteClass::GprWriterNoHalf,
+            SiteClass::FloatArith,
+            SiteClass::HalfArith,
+            SiteClass::IntArith,
+            SiteClass::Load,
+        ];
+
+        for (pc, i) in k.instrs.iter().enumerate() {
+            let m = d.meta(pc as u32);
+            let op = i.op;
+            prop_assert_eq!(m.op, op);
+            prop_assert_eq!(m.unit, op.functional_unit());
+            prop_assert_eq!(m.unit_index as usize, op.functional_unit().index());
+            prop_assert_eq!(m.mix_index as usize, op.mix_category().index());
+            prop_assert_eq!(m.latency, op.latency());
+            prop_assert_eq!(m.writes_pred, op.writes_pred());
+            prop_assert_eq!(m.writes_pair, op.writes_pair());
+            prop_assert_eq!(m.has_no_dst, op.has_no_dst());
+            prop_assert_eq!(m.guard, i.guard);
+            // The predicates the engine and injectors used to spell out
+            // per instruction, re-derived here as the pinned spec.
+            prop_assert_eq!(m.writes_gpr(), !op.has_no_dst() && !op.writes_pred());
+            prop_assert_eq!(m.is_load(), matches!(op, Op::Ldg(_) | Op::Lds(_)));
+            prop_assert_eq!(
+                m.is_mem_op,
+                matches!(
+                    op,
+                    Op::Ldg(_) | Op::Lds(_) | Op::Stg(_) | Op::Sts(_) | Op::AtomGAdd | Op::AtomSAdd
+                )
+            );
+            prop_assert_eq!(
+                m.def_kills,
+                i.guard.is_none() && !matches!(op, Op::Hmma | Op::Fmma | Op::Shfl(_))
+            );
+            for class in base_classes.into_iter().chain(units.into_iter().map(SiteClass::Unit)) {
+                prop_assert_eq!(m.in_class(class), class.matches(op), "class {:?}", class);
+            }
+            // Register tables match a fresh per-instruction recomputation.
+            let (srcs, dsts) = (i.src_regs(), i.dst_regs());
+            prop_assert_eq!(m.src_regs.as_slice(), srcs.as_slice());
+            prop_assert_eq!(m.dst_regs.as_slice(), dsts.as_slice());
+            let (reads, writes) = (decode::observed_reads_of(i), decode::written_regs_of(i));
+            prop_assert_eq!(d.observed_reads(pc), reads.as_slice());
+            prop_assert_eq!(d.written_regs(pc), writes.as_slice());
         }
     }
 

@@ -8,12 +8,12 @@
 //! uses — fully deterministic.
 
 use crate::error::SimError;
-use crate::fault::{BitFlip, DueKind, FaultPlan};
+use crate::fault::{BitFlip, DueKind, FaultPlan, SiteClass};
 use crate::memory::{GlobalMemory, SharedMemory};
 use crate::timing::{self, TimingReport};
 use gpu_arch::{
-    CmpOp, DeviceModel, FunctionalUnit, Instr, Kernel, LaunchConfig, MemWidth, MixCategory, Op,
-    Operand, Reg, SpecialReg, WARP_SIZE,
+    CmpOp, DecodedKernel, DeviceModel, FunctionalUnit, Instr, InstrMeta, Kernel, LaunchConfig,
+    MemWidth, MixCategory, Op, Operand, Reg, SpecialReg, WARP_SIZE,
 };
 use obs::{MemSpace, TraceEvent, TraceSink};
 use softfloat::F16;
@@ -342,6 +342,10 @@ pub fn try_run_with_sink<'a>(
     }
     kernel.validate().map_err(SimError::InvalidKernel)?;
 
+    // Decode once per launch: the hot loop below only does table lookups
+    // over the per-pc `InstrMeta`, never re-classifying opcodes.
+    let decoded = DecodedKernel::new(kernel);
+
     let warps_per_block = launch.warps_per_block() as usize;
     let total_warps = warps_per_block * launch.grid.count() as usize;
     let mut ctx = Ctx {
@@ -371,7 +375,7 @@ pub fn try_run_with_sink<'a>(
             let block_linear = by * launch.grid.x + bx;
             ctx.current_block = block_linear;
             let window_start = ctx.dyn_count;
-            let result = run_block(&mut ctx, bx, by, block_linear);
+            let result = run_block(&mut ctx, &decoded, bx, by, block_linear);
             if let Some(rec) = ctx.record.as_mut() {
                 rec.block_windows.push((window_start, ctx.dyn_count));
             }
@@ -406,7 +410,16 @@ pub fn try_run_with_sink<'a>(
     })
 }
 
-fn run_block(ctx: &mut Ctx<'_>, bx: u32, by: u32, block_linear: u32) -> Result<(), DueKind> {
+fn run_block(
+    ctx: &mut Ctx<'_>,
+    decoded: &DecodedKernel,
+    bx: u32,
+    by: u32,
+    block_linear: u32,
+) -> Result<(), DueKind> {
+    // Copy the kernel reference out of `ctx` so instruction borrows are
+    // independent of the `&mut ctx` passed to the executors.
+    let kernel = ctx.kernel;
     let block = ctx.launch.block;
     let nthreads = block.count() as usize;
     let mut shared = SharedMemory::new(ctx.kernel.shared_bytes);
@@ -438,12 +451,13 @@ fn run_block(ctx: &mut Ctx<'_>, bx: u32, by: u32, block_linear: u32) -> Result<(
                 }
                 all_done = false;
                 let pc = threads[lane].pc;
-                if pc as usize >= ctx.kernel.instrs.len() {
+                if pc as usize >= kernel.instrs.len() {
                     return Err(DueKind::IllegalPc);
                 }
-                let ins = ctx.kernel.instrs[pc as usize];
+                let ins = &kernel.instrs[pc as usize];
+                let meta = decoded.meta(pc);
 
-                if ins.op.is_warp_sync() {
+                if meta.is_warp_sync {
                     // Warp-synchronous: every non-exited lane must sit at
                     // this pc. Stall this lane until they do.
                     let mut aligned = true;
@@ -462,10 +476,10 @@ fn run_block(ctx: &mut Ctx<'_>, bx: u32, by: u32, block_linear: u32) -> Result<(
                         lane += 1;
                         continue; // other lanes will catch up
                     }
-                    if ins.op.is_mma() {
-                        exec_mma(ctx, &mut threads, lo, hi, &ins)?;
+                    if meta.is_mma {
+                        exec_mma(ctx, meta, &mut threads, lo, hi, ins)?;
                     } else {
-                        exec_shfl(ctx, &mut threads, lo, hi, &ins)?;
+                        exec_shfl(ctx, meta, &mut threads, lo, hi, ins)?;
                     }
                     for t in threads[lo..hi].iter_mut() {
                         t.pc = pc + 1;
@@ -475,7 +489,18 @@ fn run_block(ctx: &mut Ctx<'_>, bx: u32, by: u32, block_linear: u32) -> Result<(
                     break;
                 }
 
-                step(ctx, &mut threads, lane, bx, by, block_linear, w as u32, &mut shared)?;
+                step(
+                    ctx,
+                    ins,
+                    meta,
+                    &mut threads,
+                    lane,
+                    bx,
+                    by,
+                    block_linear,
+                    w as u32,
+                    &mut shared,
+                )?;
                 progress = true;
                 lane += 1;
             }
@@ -519,17 +544,17 @@ fn run_block(ctx: &mut Ctx<'_>, bx: u32, by: u32, block_linear: u32) -> Result<(
 
 /// Account one executed instruction and return the global dynamic index it
 /// received.
-fn account(ctx: &mut Ctx<'_>, op: Op, global_warp: usize) -> Result<u64, DueKind> {
+fn account(ctx: &mut Ctx<'_>, meta: &InstrMeta, global_warp: usize) -> Result<u64, DueKind> {
     let idx = ctx.dyn_count;
     ctx.dyn_count += 1;
     ctx.counts.total += 1;
-    ctx.counts.per_unit[op.functional_unit().index()] += 1;
-    ctx.counts.per_mix[op.mix_category().index()] += 1;
+    ctx.counts.per_unit[meta.unit_index as usize] += 1;
+    ctx.counts.per_mix[meta.mix_index as usize] += 1;
     if let Some(slot) = ctx.counts.warp_latency.get_mut(global_warp) {
         // The slot accumulates *lane*-granularity latency; the timing
         // model divides by the warp width to recover the warp's serial
-        // chain. Warp-wide MMA therefore scales by the full warp.
-        *slot += op.latency() as u64 * if op.is_mma() { WARP_SIZE as u64 } else { 1 };
+        // chain. Warp-wide MMA's addend is pre-scaled by the warp width.
+        *slot += meta.warp_latency_add;
     }
     if let Some(slot) = ctx.counts.warp_instrs.get_mut(global_warp) {
         *slot += 1;
@@ -671,7 +696,7 @@ impl OutputCorruption {
 
 /// Should an `InstructionOutput`/`InstructionOutputSet` fault fire for
 /// this instruction? Returns the corruption if so.
-fn output_fault(ctx: &mut Ctx<'_>, op: Op) -> Option<OutputCorruption> {
+fn output_fault(ctx: &mut Ctx<'_>, meta: &InstrMeta) -> Option<OutputCorruption> {
     let (nth, site, corruption) = match ctx.opts.fault {
         FaultPlan::InstructionOutput { nth, site, flip } => {
             (nth, site, OutputCorruption::Flip(flip))
@@ -681,7 +706,7 @@ fn output_fault(ctx: &mut Ctx<'_>, op: Op) -> Option<OutputCorruption> {
         }
         _ => return None,
     };
-    if site.matches(op) {
+    if meta.in_class(site) {
         let my = ctx.site_matches;
         ctx.site_matches += 1;
         if my == nth {
@@ -752,6 +777,8 @@ fn f16_of(bits: u32) -> F16 {
 #[allow(clippy::too_many_arguments)]
 fn step(
     ctx: &mut Ctx<'_>,
+    ins: &Instr,
+    meta: &InstrMeta,
     threads: &mut [Thread],
     lane: usize,
     bx: u32,
@@ -761,11 +788,10 @@ fn step(
     shared: &mut SharedMemory,
 ) -> Result<(), DueKind> {
     let pc = threads[lane].pc;
-    let ins: Instr = ctx.kernel.instrs[pc as usize];
     let global_warp =
         block_linear as usize * ctx.launch.warps_per_block() as usize + warp_in_block as usize;
 
-    let executed_idx = account(ctx, ins.op, global_warp)?;
+    let executed_idx = account(ctx, meta, global_warp)?;
     if ctx.trace.len() < ctx.opts.trace_limit {
         ctx.trace.push(format!("[{executed_idx:>6}] b{block_linear} t{lane:<3} /*{pc:04}*/ {ins}"));
     }
@@ -783,7 +809,7 @@ fn step(
 
     // Guard check: a predicated-off instruction issues (and is counted)
     // but has no architectural effect.
-    let guard_passes = match ins.guard {
+    let guard_passes = match meta.guard {
         Some(g) => g.passes(threads[lane].pred(g.pred)),
         None => true,
     };
@@ -807,32 +833,28 @@ fn step(
         return apply_timed_faults(ctx, threads, lane, block_linear, shared, executed_idx);
     }
 
-    // Site-class population bookkeeping (matches the injectors' sampling
-    // spaces; only guard-passing instructions are injectable).
-    {
-        let op = ins.op;
-        let writes_gpr = !op.has_no_dst() && !op.writes_pred();
-        if writes_gpr {
-            ctx.counts.sites.gpr_writers += 1;
-            if !matches!(op, Op::Hadd | Op::Hmul | Op::Hfma | Op::Hmma) {
-                ctx.counts.sites.gpr_writers_no_half += 1;
-            }
-            if let Some(rec) = ctx.record.as_mut() {
-                rec.site_pcs.push(pc);
-            }
+    // Site-class population bookkeeping; only guard-passing instructions
+    // are injectable. These tallies and the injectors' samplers read the
+    // same precomputed `InstrMeta` classes (`gpu_arch::decode`), and the
+    // decode tests pin the class/unit correspondence exhaustively — the
+    // populations cannot silently drift apart.
+    if meta.writes_gpr() {
+        ctx.counts.sites.gpr_writers += 1;
+        if meta.in_class(SiteClass::GprWriterNoHalf) {
+            ctx.counts.sites.gpr_writers_no_half += 1;
         }
-        if matches!(op, Op::Ldg(_) | Op::Lds(_)) {
-            ctx.counts.sites.loads += 1;
+        if let Some(rec) = ctx.record.as_mut() {
+            rec.site_pcs.push(pc);
         }
-        if matches!(
-            op,
-            Op::Ldg(_) | Op::Lds(_) | Op::Stg(_) | Op::Sts(_) | Op::AtomGAdd | Op::AtomSAdd
-        ) {
-            ctx.counts.sites.mem_ops += 1;
-        }
-        if op.writes_pred() {
-            ctx.counts.sites.setp += 1;
-        }
+    }
+    if meta.is_load() {
+        ctx.counts.sites.loads += 1;
+    }
+    if meta.is_mem_op {
+        ctx.counts.sites.mem_ops += 1;
+    }
+    if meta.writes_pred {
+        ctx.counts.sites.setp += 1;
     }
 
     let src = |threads: &[Thread], o: Operand| -> u32 {
@@ -1116,13 +1138,13 @@ fn step(
     match write {
         Write::None => {}
         Write::W32(mut v) => {
-            if let Some(c) = output_fault(ctx, ins.op) {
+            if let Some(c) = output_fault(ctx, meta) {
                 v = c.apply32(v);
             }
             threads[lane].set_reg(ins.dst, v);
         }
         Write::W64(mut v) => {
-            if let Some(c) = output_fault(ctx, ins.op) {
+            if let Some(c) = output_fault(ctx, meta) {
                 v = c.apply64(v);
             }
             threads[lane].set_reg64(ins.dst, v);
@@ -1149,6 +1171,7 @@ fn step(
 /// Products accumulate in binary32 and round once at the end (HMMA).
 fn exec_mma(
     ctx: &mut Ctx<'_>,
+    meta: &InstrMeta,
     threads: &mut [Thread],
     lo: usize,
     hi: usize,
@@ -1166,7 +1189,7 @@ fn exec_mma(
     let warp_in_block = lo / WARP_SIZE as usize;
     let global_warp =
         ctx.current_block as usize * ctx.launch.warps_per_block() as usize + warp_in_block;
-    let executed_idx = account(ctx, ins.op, global_warp)?;
+    let executed_idx = account(ctx, meta, global_warp)?;
     if ctx.trace.len() < ctx.opts.trace_limit {
         ctx.trace.push(format!("[{executed_idx:>6}] warp{global_warp:<3} {ins}"));
     }
@@ -1222,7 +1245,7 @@ fn exec_mma(
     }
 
     // Output fault: corrupt one D element, selected by the plan's nth.
-    if let Some(c) = output_fault(ctx, ins.op) {
+    if let Some(c) = output_fault(ctx, meta) {
         let nth = match ctx.opts.fault {
             FaultPlan::InstructionOutput { nth, .. }
             | FaultPlan::InstructionOutputSet { nth, .. } => nth,
@@ -1267,6 +1290,7 @@ fn exec_mma(
 /// the lane selected by the mode and `srcs[1]`, simultaneously.
 fn exec_shfl(
     ctx: &mut Ctx<'_>,
+    meta: &InstrMeta,
     threads: &mut [Thread],
     lo: usize,
     hi: usize,
@@ -1276,7 +1300,7 @@ fn exec_shfl(
     let warp_in_block = lo / WARP_SIZE as usize;
     let global_warp =
         ctx.current_block as usize * ctx.launch.warps_per_block() as usize + warp_in_block;
-    let _idx = account(ctx, ins.op, global_warp)?;
+    let _idx = account(ctx, meta, global_warp)?;
     if ctx.trace.len() < ctx.opts.trace_limit {
         ctx.trace.push(format!("[{_idx:>6}] warp{global_warp:<3} {ins}"));
     }
@@ -1327,7 +1351,7 @@ fn exec_shfl(
         results.push(values[src_lane]);
     }
     // One output fault can land on one lane's result.
-    if let Some(c) = output_fault(ctx, ins.op) {
+    if let Some(c) = output_fault(ctx, meta) {
         let nth = match ctx.opts.fault {
             FaultPlan::InstructionOutput { nth, .. }
             | FaultPlan::InstructionOutputSet { nth, .. } => nth,

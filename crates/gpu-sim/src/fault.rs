@@ -5,8 +5,12 @@
 //! assumption, Section IV-A). The injectors and the beam engine construct
 //! plans; the execution engine triggers them at the right dynamic instant.
 
-use gpu_arch::{FunctionalUnit, MemWidth, Op};
 use std::fmt;
+
+// The site-class taxonomy lives in the predecode layer (`gpu_arch::decode`)
+// so the engine, the injectors and the static analyses all classify from
+// the same definition; re-exported here because fault plans carry it.
+pub use gpu_arch::SiteClass;
 
 /// An XOR corruption mask applied to a value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,106 +33,6 @@ impl BitFlip {
     /// Number of bits this flip corrupts.
     pub fn bits(self) -> u32 {
         self.mask.count_ones()
-    }
-}
-
-/// Which dynamic instructions an instruction-level injection may target.
-///
-/// These mirror the injectors' documented instruction groups: SASSIFI's
-/// FP/INT/LD output groups and store-address group, NVBitFI's
-/// "instructions that write general-purpose registers" (which excludes
-/// half-precision ops — the limitation behind HHotspot's 27x
-/// overestimation in Section VII-A).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SiteClass {
-    /// Any instruction writing a general-purpose register.
-    GprWriter,
-    /// Any instruction writing a GPR except binary16 arithmetic (NVBitFI).
-    GprWriterNoHalf,
-    /// Single-precision and double-precision FP arithmetic outputs.
-    FloatArith,
-    /// Binary16 arithmetic outputs.
-    HalfArith,
-    /// Integer arithmetic outputs.
-    IntArith,
-    /// Load outputs (global and shared).
-    Load,
-    /// A specific functional unit (micro-benchmark AVF measurements).
-    Unit(FunctionalUnit),
-}
-
-impl SiteClass {
-    /// Does `op` belong to this injection site class?
-    pub fn matches(self, op: Op) -> bool {
-        let writes_gpr = !op.has_no_dst() && !op.writes_pred();
-        match self {
-            SiteClass::GprWriter => writes_gpr,
-            SiteClass::GprWriterNoHalf => {
-                writes_gpr && !matches!(op, Op::Hadd | Op::Hmul | Op::Hfma | Op::Hmma)
-            }
-            SiteClass::FloatArith => matches!(
-                op,
-                Op::Fadd
-                    | Op::Fmul
-                    | Op::Ffma
-                    | Op::Fmin
-                    | Op::Fmax
-                    | Op::Dadd
-                    | Op::Dmul
-                    | Op::Dfma
-            ),
-            SiteClass::HalfArith => matches!(op, Op::Hadd | Op::Hmul | Op::Hfma),
-            SiteClass::IntArith => matches!(
-                op,
-                Op::Iadd
-                    | Op::Imul
-                    | Op::Imad
-                    | Op::Imin
-                    | Op::Imax
-                    | Op::Shl
-                    | Op::Shr
-                    | Op::Asr
-                    | Op::And
-                    | Op::Or
-                    | Op::Xor
-                    | Op::Not
-            ),
-            SiteClass::Load => matches!(op, Op::Ldg(_) | Op::Lds(_)),
-            SiteClass::Unit(u) => op.functional_unit() == u && writes_gpr,
-        }
-    }
-
-    /// Stable metric/trace label for this site class.
-    pub fn label(self) -> &'static str {
-        match self {
-            SiteClass::GprWriter => "gpr-writer",
-            SiteClass::GprWriterNoHalf => "gpr-writer-no-half",
-            SiteClass::FloatArith => "float-arith",
-            SiteClass::HalfArith => "half-arith",
-            SiteClass::IntArith => "int-arith",
-            SiteClass::Load => "load",
-            SiteClass::Unit(u) => u.name(),
-        }
-    }
-
-    /// Widest destination this class can corrupt (for bit-position
-    /// sampling): 64 for classes containing pair-writing ops.
-    pub fn dst_bits(self, op: Op) -> u32 {
-        if op.writes_pair() {
-            64
-        } else if matches!(
-            op,
-            Op::Hadd
-                | Op::Hmul
-                | Op::Hfma
-                | Op::F2h
-                | Op::Ldg(MemWidth::W16)
-                | Op::Lds(MemWidth::W16)
-        ) {
-            16
-        } else {
-            32
-        }
     }
 }
 
@@ -325,7 +229,9 @@ impl fmt::Display for DueKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_arch::CmpOp;
+
+    // SiteClass's own behavior is tested at its definition site,
+    // `gpu_arch::decode`.
 
     #[test]
     fn bitflip_masks() {
@@ -334,49 +240,6 @@ mod tests {
         assert_eq!(BitFlip::double(0, 4).mask, 0b10001);
         assert_eq!(BitFlip::single(3).bits(), 1);
         assert_eq!(BitFlip::double(1, 2).bits(), 2);
-    }
-
-    #[test]
-    fn gpr_writer_excludes_stores_and_setp() {
-        assert!(SiteClass::GprWriter.matches(Op::Fadd));
-        assert!(SiteClass::GprWriter.matches(Op::Ldg(MemWidth::W32)));
-        assert!(!SiteClass::GprWriter.matches(Op::Stg(MemWidth::W32)));
-        assert!(!SiteClass::GprWriter.matches(Op::Isetp(CmpOp::Lt)));
-        assert!(!SiteClass::GprWriter.matches(Op::Bra));
-    }
-
-    #[test]
-    fn nvbitfi_class_excludes_half() {
-        assert!(SiteClass::GprWriterNoHalf.matches(Op::Fadd));
-        assert!(!SiteClass::GprWriterNoHalf.matches(Op::Hfma));
-        assert!(!SiteClass::GprWriterNoHalf.matches(Op::Hmma));
-        assert!(SiteClass::GprWriterNoHalf.matches(Op::Dfma));
-    }
-
-    #[test]
-    fn group_classes() {
-        assert!(SiteClass::FloatArith.matches(Op::Dfma));
-        assert!(!SiteClass::FloatArith.matches(Op::Hadd));
-        assert!(SiteClass::HalfArith.matches(Op::Hmul));
-        assert!(SiteClass::IntArith.matches(Op::Shl));
-        assert!(!SiteClass::IntArith.matches(Op::Fadd));
-        assert!(SiteClass::Load.matches(Op::Lds(MemWidth::W64)));
-        assert!(!SiteClass::Load.matches(Op::Sts(MemWidth::W32)));
-    }
-
-    #[test]
-    fn unit_class_requires_gpr_write() {
-        assert!(SiteClass::Unit(FunctionalUnit::Ffma).matches(Op::Ffma));
-        assert!(!SiteClass::Unit(FunctionalUnit::Ldst).matches(Op::Stg(MemWidth::W32)));
-        assert!(SiteClass::Unit(FunctionalUnit::Ldst).matches(Op::Ldg(MemWidth::W32)));
-    }
-
-    #[test]
-    fn dst_bits_by_width() {
-        assert_eq!(SiteClass::GprWriter.dst_bits(Op::Dfma), 64);
-        assert_eq!(SiteClass::GprWriter.dst_bits(Op::Hadd), 16);
-        assert_eq!(SiteClass::GprWriter.dst_bits(Op::Fadd), 32);
-        assert_eq!(SiteClass::GprWriter.dst_bits(Op::Ldg(MemWidth::W16)), 16);
     }
 
     #[test]

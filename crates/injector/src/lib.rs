@@ -38,6 +38,7 @@
 //! forwarders.
 
 use campaign::{Budget, Campaign, CampaignRun, Kind, Sampler, TrialPlan};
+use gpu_arch::decode::{FP32_ARITH_UNITS, FP64_ARITH_UNITS, HALF_ARITH_UNITS, INT_ARITH_UNITS};
 use gpu_arch::{Architecture, DeviceModel, FunctionalUnit, LaunchConfig};
 use gpu_sim::{BitFlip, ExecStatus, Executed, FaultPlan, SiteClass, Target};
 use obs::CampaignObserver;
@@ -222,19 +223,13 @@ fn available_modes(
         Injector::Sassifi => {
             // One mode per instruction group ("1,000 for each instruction
             // kind"), plus predicate, GPR and address modes.
+            // Populations are sized by summing per-unit counts over the
+            // shared predecode unit groups; `gpu_arch::decode` tests pin
+            // these groups equal to the engine's site-class tallies.
             let mut modes = Vec::new();
-            let float: u64 = [FunctionalUnit::Fadd, FunctionalUnit::Fmul, FunctionalUnit::Ffma]
-                .iter()
-                .map(|&u| unit(u))
-                .sum();
-            let double: u64 = [FunctionalUnit::Dadd, FunctionalUnit::Dmul, FunctionalUnit::Dfma]
-                .iter()
-                .map(|&u| unit(u))
-                .sum();
-            let int: u64 = [FunctionalUnit::Iadd, FunctionalUnit::Imul, FunctionalUnit::Imad]
-                .iter()
-                .map(|&u| unit(u))
-                .sum();
+            let float: u64 = FP32_ARITH_UNITS.iter().map(|&u| unit(u)).sum();
+            let double: u64 = FP64_ARITH_UNITS.iter().map(|&u| unit(u)).sum();
+            let int: u64 = INT_ARITH_UNITS.iter().map(|&u| unit(u)).sum();
             if float + double > 0 {
                 modes.push(Mode::Output(SiteClass::FloatArith));
                 modes.push(Mode::OutputRandom(SiteClass::FloatArith));
@@ -274,16 +269,15 @@ fn class_population(
     sites: &gpu_sim::SiteCounts,
     unit_counts: &[u64; FunctionalUnit::COUNT],
 ) -> u64 {
-    use FunctionalUnit::*;
     let unit = |u: FunctionalUnit| unit_counts[u.index()];
     match class {
         SiteClass::GprWriter => sites.gpr_writers,
         SiteClass::GprWriterNoHalf => sites.gpr_writers_no_half,
         SiteClass::FloatArith => {
-            [Fadd, Fmul, Ffma, Dadd, Dmul, Dfma].iter().map(|&u| unit(u)).sum()
+            FP32_ARITH_UNITS.iter().chain(FP64_ARITH_UNITS.iter()).map(|&u| unit(u)).sum()
         }
-        SiteClass::HalfArith => [Hadd, Hmul, Hfma].iter().map(|&u| unit(u)).sum(),
-        SiteClass::IntArith => [Iadd, Imul, Imad].iter().map(|&u| unit(u)).sum(),
+        SiteClass::HalfArith => HALF_ARITH_UNITS.iter().map(|&u| unit(u)).sum(),
+        SiteClass::IntArith => INT_ARITH_UNITS.iter().map(|&u| unit(u)).sum(),
         SiteClass::Load => sites.loads,
         SiteClass::Unit(u) => unit(u),
     }

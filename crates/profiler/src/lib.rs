@@ -33,9 +33,12 @@ pub struct KernelProfile {
     pub phi: f64,
     /// Total dynamic (thread) instructions.
     pub total_instructions: u64,
-    /// Dynamic instruction count per functional unit.
+    /// Dynamic instruction count per functional unit. The engine tallies
+    /// these from the predecode tables (`gpu_arch::decode::InstrMeta`),
+    /// the same classification the injectors sample from.
     pub unit_counts: [u64; FunctionalUnit::COUNT],
-    /// Figure 1 fractions per mix category.
+    /// Figure 1 fractions per mix category, from the same predecode
+    /// tables as [`KernelProfile::unit_counts`].
     pub mix_fractions: [f64; MixCategory::COUNT],
     /// Modeled kernel wall time in seconds (drives beam fluence).
     pub seconds: f64,

@@ -2,8 +2,9 @@
 //! bit-level register liveness, definite-assignment, and a uniformity
 //! (divergence) analysis.
 //!
-//! All passes share one read/write model of the ISA
-//! ([`observed_reads`]/[`written_regs`]):
+//! All passes share the predecode layer's read/write model of the ISA
+//! ([`gpu_arch::DecodedKernel`]) — the same tables the simulator and the
+//! injectors consume:
 //!
 //! * reads carry a *bit mask* of the source register that the instruction
 //!   can actually observe — half-precision ops read the low 16 bits,
@@ -17,6 +18,10 @@
 //!   value in place, so the old value stays live (and a prior definition
 //!   still reaches) across it.
 //!
+//! Each pass decodes the kernel once up front, so the fixpoint iterations
+//! index precomputed read/write tables instead of re-deriving them per
+//! (block, instruction) visit.
+//!
 //! The bit-level liveness result is what proves injection sites masked
 //! (see [`crate::StaticMasks`]): a flipped destination bit that no path
 //! ever observes cannot change memory, control flow, or addresses, so the
@@ -24,7 +29,7 @@
 //! run's.
 
 use crate::cfg::Cfg;
-use gpu_arch::{Instr, Kernel, MemWidth, Op, Reg, SpecialReg};
+use gpu_arch::{DecodedKernel, Instr, InstrMeta, Kernel, Op, Reg, SpecialReg};
 
 /// Number of real (non-`RZ`) general-purpose registers.
 pub const TRACKED_REGS: usize = 255;
@@ -72,99 +77,23 @@ impl RegSet {
     }
 }
 
-/// Bit mask of a register that a read can observe: full word unless the
-/// instruction provably looks at fewer bits.
-pub const FULL: u32 = u32::MAX;
-/// Low half only (packed/scalar binary16 sources, 16-bit store values).
-pub const HALF: u32 = 0xFFFF;
-/// Shift amounts are taken modulo 32 by the engine.
-pub const SHIFT_COUNT: u32 = 0x1F;
+/// Observability masks, re-exported from the predecode layer (the
+/// definitions moved to [`gpu_arch::decode`]).
+pub use gpu_arch::decode::{OBS_FULL as FULL, OBS_HALF as HALF, OBS_SHIFT_COUNT as SHIFT_COUNT};
 
 /// Registers read by `i` with the observed-bit mask per read.
 ///
-/// Supersedes [`Instr::src_regs`] for analysis purposes: MMA fragment
-/// reads are expanded here (the simulator does that expansion at
-/// execution time), and each read carries its observability mask.
+/// Delegates to [`gpu_arch::decode::observed_reads_of`]; passes that walk
+/// a whole kernel should decode once and use
+/// [`DecodedKernel::observed_reads`] instead.
 pub fn observed_reads(i: &Instr) -> Vec<(Reg, u32)> {
-    let mut out = Vec::new();
-    let mut push = |r: Reg, m: u32| {
-        if !r.is_rz() {
-            out.push((r, m));
-        }
-    };
-    match i.op {
-        Op::Hmma | Op::Fmma => {
-            // A and B are packed-f16 4-register fragments; C is 4
-            // registers packed (HMMA) or 8 registers of f32 (FMMA).
-            for slot in [i.srcs[0], i.srcs[1]] {
-                if let Some(base) = slot.reg() {
-                    for k in 0..4 {
-                        push(Reg(base.0 + k), FULL);
-                    }
-                }
-            }
-            if let Some(c) = i.srcs[2].reg() {
-                let n = if i.op == Op::Hmma { 4 } else { 8 };
-                for k in 0..n {
-                    push(Reg(c.0 + k), FULL);
-                }
-            }
-        }
-        Op::Shl | Op::Shr | Op::Asr => {
-            if let Some(r) = i.srcs[0].reg() {
-                push(r, FULL);
-            }
-            if let Some(r) = i.srcs[1].reg() {
-                push(r, SHIFT_COUNT);
-            }
-        }
-        _ => {
-            let pairwise = matches!(
-                i.op,
-                Op::Dadd | Op::Dmul | Op::Dfma | Op::Dsetp(_) | Op::D2f | Op::Drcp | Op::Dsqrt
-            );
-            let half = matches!(i.op, Op::Hadd | Op::Hmul | Op::Hfma | Op::Hsetp(_) | Op::H2f);
-            for (slot, s) in i.srcs.iter().enumerate() {
-                if let Some(r) = s.reg() {
-                    // A 16-bit store only forwards the low half of its
-                    // value register (`srcs[2]`); its base address is a
-                    // full-width read.
-                    let value_slot = slot == 2
-                        && matches!(i.op, Op::Stg(MemWidth::W16) | Op::Sts(MemWidth::W16));
-                    let m = if half || value_slot { HALF } else { FULL };
-                    push(r, m);
-                    if pairwise {
-                        push(r.pair_hi(), FULL);
-                    }
-                }
-            }
-            if matches!(i.op, Op::Stg(MemWidth::W64) | Op::Sts(MemWidth::W64)) {
-                if let Some(r) = i.srcs[2].reg() {
-                    push(r.pair_hi(), FULL);
-                }
-            }
-        }
-    }
-    out
+    gpu_arch::decode::observed_reads_of(i)
 }
 
-/// Registers written by `i`, MMA fragments expanded.
+/// Registers written by `i`, MMA fragments expanded (see
+/// [`gpu_arch::decode::written_regs_of`]).
 pub fn written_regs(i: &Instr) -> Vec<Reg> {
-    match i.op {
-        Op::Hmma | Op::Fmma => {
-            let mut out = Vec::new();
-            if let Some(c) = i.srcs[2].reg() {
-                let n = if i.op == Op::Hmma { 4 } else { 8 };
-                for k in 0..n {
-                    if !Reg(c.0 + k).is_rz() {
-                        out.push(Reg(c.0 + k));
-                    }
-                }
-            }
-            out
-        }
-        _ => i.dst_regs().as_slice().to_vec(),
-    }
+    gpu_arch::decode::written_regs_of(i).as_slice().to_vec()
 }
 
 /// True if the definitions of `i` overwrite the whole destination on every
@@ -172,7 +101,7 @@ pub fn written_regs(i: &Instr) -> Vec<Reg> {
 /// warp-level MMA/SHFL writes do not (the conservative direction for both
 /// liveness and reaching definitions).
 pub fn def_kills(i: &Instr) -> bool {
-    i.guard.is_none() && !matches!(i.op, Op::Hmma | Op::Fmma | Op::Shfl(_))
+    InstrMeta::new(i).def_kills
 }
 
 /// Bit-level liveness: which bits of which registers may still be
@@ -200,6 +129,7 @@ fn zero_state() -> LiveState {
 /// Run bit-level liveness to fixpoint over `cfg`.
 pub fn liveness(kernel: &Kernel, cfg: &Cfg) -> Liveness {
     let instrs = &kernel.instrs;
+    let decoded = DecodedKernel::new(kernel);
     let nb = cfg.blocks.len();
     let mut live_in: Vec<LiveState> = (0..nb).map(|_| zero_state()).collect();
 
@@ -207,22 +137,23 @@ pub fn liveness(kernel: &Kernel, cfg: &Cfg) -> Liveness {
         let mut dst_obs = dst_observed;
         for pc in cfg.blocks[block].range().rev() {
             let i = &instrs[pc];
+            let meta = decoded.meta(pc as u32);
             if let Some(obs) = dst_obs.as_deref_mut() {
                 let mut o = 0u64;
-                if !i.op.has_no_dst() && !i.dst.is_rz() {
+                if !meta.has_no_dst && !i.dst.is_rz() {
                     o = u64::from(live[i.dst.0 as usize]);
-                    if i.op.writes_pair() && !i.dst.pair_hi().is_rz() {
+                    if meta.writes_pair && !i.dst.pair_hi().is_rz() {
                         o |= u64::from(live[i.dst.pair_hi().0 as usize]) << 32;
                     }
                 }
                 obs[pc] = o;
             }
-            if def_kills(i) {
-                for r in written_regs(i) {
+            if meta.def_kills {
+                for &r in decoded.written_regs(pc) {
                     live[r.0 as usize] = 0;
                 }
             }
-            for (r, m) in observed_reads(i) {
+            for &(r, m) in decoded.observed_reads(pc) {
                 live[r.0 as usize] |= m;
             }
         }
@@ -271,7 +202,7 @@ pub fn liveness(kernel: &Kernel, cfg: &Cfg) -> Liveness {
             continue;
         }
         for pc in cfg.blocks[b].range() {
-            for (r, m) in observed_reads(&instrs[pc]) {
+            for &(r, m) in decoded.observed_reads(pc) {
                 read_union[r.0 as usize] |= m;
             }
         }
@@ -309,7 +240,7 @@ impl DefUse {
 
 /// Compute reaching definitions and def-use chains over reachable code.
 pub fn def_use(kernel: &Kernel, cfg: &Cfg) -> DefUse {
-    let instrs = &kernel.instrs;
+    let decoded = DecodedKernel::new(kernel);
     // Enumerate defs and index them per register.
     let mut defs = Vec::new();
     let mut defs_of_reg: Vec<Vec<u32>> = vec![Vec::new(); TRACKED_REGS];
@@ -318,7 +249,7 @@ pub fn def_use(kernel: &Kernel, cfg: &Cfg) -> DefUse {
             continue;
         }
         for pc in cfg.blocks[b].range() {
-            for r in written_regs(&instrs[pc]) {
+            for &r in decoded.written_regs(pc) {
                 defs_of_reg[r.0 as usize].push(defs.len() as u32);
                 defs.push(Def { pc: pc as u32, reg: r });
             }
@@ -337,9 +268,8 @@ pub fn def_use(kernel: &Kernel, cfg: &Cfg) -> DefUse {
     // enough at these kernel sizes).
     let apply_block = |block: usize, cur: &mut Vec<u64>, mut chains: Option<&mut Vec<Vec<u32>>>| {
         for pc in cfg.blocks[block].range() {
-            let i = &instrs[pc];
             if let Some(chains) = chains.as_deref_mut() {
-                for (r, _) in observed_reads(i) {
+                for &(r, _) in decoded.observed_reads(pc) {
                     for &d in &defs_of_reg[r.0 as usize] {
                         if test(cur, d) && !chains[d as usize].contains(&(pc as u32)) {
                             chains[d as usize].push(pc as u32);
@@ -347,8 +277,8 @@ pub fn def_use(kernel: &Kernel, cfg: &Cfg) -> DefUse {
                     }
                 }
             }
-            let kills = def_kills(i);
-            for r in written_regs(i) {
+            let kills = decoded.meta(pc as u32).def_kills;
+            for &r in decoded.written_regs(pc) {
                 for &d in &defs_of_reg[r.0 as usize] {
                     if kills && defs[d as usize].pc != pc as u32 {
                         clear(cur, d);
@@ -415,12 +345,12 @@ pub struct UninitRead {
 /// assignment — so only reads with *no* defining path are reported, which
 /// keeps the lint free of false positives on predicated code.
 pub fn uninitialized_reads(kernel: &Kernel, cfg: &Cfg) -> Vec<UninitRead> {
-    let instrs = &kernel.instrs;
+    let decoded = DecodedKernel::new(kernel);
     let nb = cfg.blocks.len();
     let mut in_sets = vec![RegSet::new(); nb];
     let out_of = |block: usize, mut cur: RegSet| {
         for pc in cfg.blocks[block].range() {
-            for r in written_regs(&instrs[pc]) {
+            for &r in decoded.written_regs(pc) {
                 cur.insert(r);
             }
         }
@@ -452,13 +382,12 @@ pub fn uninitialized_reads(kernel: &Kernel, cfg: &Cfg) -> Vec<UninitRead> {
         }
         let mut cur = *in_set;
         for pc in cfg.blocks[b].range() {
-            let i = &instrs[pc];
-            for (r, _) in observed_reads(i) {
+            for &(r, _) in decoded.observed_reads(pc) {
                 if !cur.contains(r) && !out.contains(&UninitRead { pc: pc as u32, reg: r }) {
                     out.push(UninitRead { pc: pc as u32, reg: r });
                 }
             }
-            for r in written_regs(i) {
+            for &r in decoded.written_regs(pc) {
                 cur.insert(r);
             }
         }
@@ -499,9 +428,15 @@ struct Taint {
 
 /// Apply one instruction's taint transfer; returns whether its guard is
 /// varying at this point.
-fn taint_transfer(i: &Instr, block_divergent: bool, t: &mut Taint) -> bool {
+fn taint_transfer(
+    decoded: &DecodedKernel,
+    pc: usize,
+    i: &Instr,
+    block_divergent: bool,
+    t: &mut Taint,
+) -> bool {
     let mut var = forced_varying(i.op) || block_divergent;
-    for (r, _) in observed_reads(i) {
+    for &(r, _) in decoded.observed_reads(pc) {
         var |= t.regs.contains(r);
     }
     if let Some((p, _)) = i.psrc {
@@ -510,7 +445,7 @@ fn taint_transfer(i: &Instr, block_divergent: bool, t: &mut Taint) -> bool {
     let guard_var =
         i.guard.map(|g| !g.pred.is_pt() && t.preds & (1 << g.pred.0) != 0).unwrap_or(false);
     var |= guard_var;
-    for r in written_regs(i) {
+    for &r in decoded.written_regs(pc) {
         if var {
             t.regs.insert(r);
         } else if i.guard.is_none() {
@@ -536,6 +471,7 @@ fn taint_transfer(i: &Instr, block_divergent: bool, t: &mut Taint) -> bool {
 /// fixpoint (both lattices only grow).
 pub fn uniformity(kernel: &Kernel, cfg: &Cfg) -> Uniformity {
     let instrs = &kernel.instrs;
+    let decoded = DecodedKernel::new(kernel);
     let nb = cfg.blocks.len();
     let mut divergent = vec![false; nb];
     let mut state_in = vec![Taint { regs: RegSet::new(), preds: 0 }; nb];
@@ -552,7 +488,7 @@ pub fn uniformity(kernel: &Kernel, cfg: &Cfg) -> Uniformity {
                 }
                 let mut t = state_in[b];
                 for pc in cfg.blocks[b].range() {
-                    taint_transfer(&instrs[pc], divergent[b], &mut t);
+                    taint_transfer(&decoded, pc, &instrs[pc], divergent[b], &mut t);
                 }
                 for &s in &cfg.blocks[b].succs {
                     let s = s as usize;
@@ -580,7 +516,7 @@ pub fn uniformity(kernel: &Kernel, cfg: &Cfg) -> Uniformity {
                 if pc == last {
                     break;
                 }
-                taint_transfer(&instrs[pc], divergent[b], &mut t);
+                taint_transfer(&decoded, pc, &instrs[pc], divergent[b], &mut t);
             }
             let g = instrs[last].guard.expect("checked above");
             let guard_var = (!g.pred.is_pt() && t.preds & (1 << g.pred.0) != 0) || divergent[b];
@@ -606,7 +542,7 @@ pub fn uniformity(kernel: &Kernel, cfg: &Cfg) -> Uniformity {
         }
         let mut t = state_in[b];
         for pc in cfg.blocks[b].range() {
-            guard_varying[pc] = taint_transfer(&instrs[pc], divergent[b], &mut t);
+            guard_varying[pc] = taint_transfer(&decoded, pc, &instrs[pc], divergent[b], &mut t);
         }
     }
 

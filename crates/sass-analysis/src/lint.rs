@@ -20,7 +20,7 @@
 
 use crate::cfg::Cfg;
 use crate::dataflow;
-use gpu_arch::{Instr, Kernel, LaunchConfig, Op, Operand};
+use gpu_arch::{DecodedKernel, Instr, Kernel, LaunchConfig, Op, Operand};
 use std::fmt;
 
 /// How bad a diagnostic is.
@@ -111,16 +111,6 @@ fn diag(kind: LintKind, pc: u32, message: String) -> Diagnostic {
     Diagnostic { kind, severity: kind.severity(), pc, message }
 }
 
-/// Ops excluded from dead-write reporting: their register write is a
-/// side effect of an operation that matters anyway (memory traffic,
-/// warp-wide exchange), so an unused destination is a normal idiom.
-fn has_side_effects(op: Op) -> bool {
-    matches!(
-        op,
-        Op::Ldg(_) | Op::Lds(_) | Op::AtomGAdd | Op::AtomSAdd | Op::Shfl(_) | Op::Hmma | Op::Fmma
-    )
-}
-
 /// Verify `kernel` without launch information. Runs every lint except the
 /// constant-bank bounds check (which needs the parameter count).
 pub fn verify(kernel: &Kernel) -> Vec<Diagnostic> {
@@ -134,6 +124,7 @@ pub fn verify_with_launch(kernel: &Kernel, launch: &LaunchConfig) -> Vec<Diagnos
 
 fn verify_inner(kernel: &Kernel, launch: Option<&LaunchConfig>) -> Vec<Diagnostic> {
     let cfg = Cfg::build(kernel);
+    let decoded = DecodedKernel::new(kernel);
     let instrs = &kernel.instrs;
     let mut out = Vec::new();
 
@@ -173,7 +164,11 @@ fn verify_inner(kernel: &Kernel, launch: Option<&LaunchConfig>) -> Vec<Diagnosti
         }
         for pc in block.range() {
             let i = &instrs[pc];
-            if has_side_effects(i.op) || i.dst_regs().is_empty() {
+            // Side-effecting ops (per the predecode layer's classification)
+            // are excluded: their register write is incidental to an
+            // operation that matters anyway (memory traffic, warp-wide
+            // exchange), so an unused destination is a normal idiom.
+            if decoded.meta(pc as u32).side_effects || decoded.written_regs(pc).is_empty() {
                 continue;
             }
             if lv.dst_observed[pc] == 0 {

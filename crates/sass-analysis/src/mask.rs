@@ -30,7 +30,7 @@
 
 use crate::cfg::Cfg;
 use crate::dataflow;
-use gpu_arch::{Kernel, Op};
+use gpu_arch::{DecodedKernel, Kernel, Op};
 use gpu_sim::SiteClass;
 
 /// Per-kernel static masking facts.
@@ -50,15 +50,18 @@ impl StaticMasks {
     /// Run the analyses over `kernel`.
     pub fn compute(kernel: &Kernel) -> StaticMasks {
         let cfg = Cfg::build(kernel);
+        let decoded = DecodedKernel::new(kernel);
         let lv = dataflow::liveness(kernel, &cfg);
         let mut site = Vec::with_capacity(kernel.instrs.len());
         let mut writes_pair = Vec::with_capacity(kernel.instrs.len());
-        for (pc, i) in kernel.instrs.iter().enumerate() {
-            let scalar_writer = !i.op.has_no_dst()
-                && !i.op.writes_pred()
-                && !matches!(i.op, Op::Hmma | Op::Fmma | Op::Shfl(_));
+        for pc in 0..kernel.instrs.len() {
+            // A scalar GPR writer in the predecode layer's terms: the
+            // warp-level MMA/SHFL corruptions use different engine
+            // machinery, so only non-warp-sync writers are prunable.
+            let m = decoded.meta(pc as u32);
+            let scalar_writer = m.writes_gpr() && !m.is_warp_sync;
             site.push(scalar_writer && cfg.reachable[cfg.block_of[pc] as usize]);
-            writes_pair.push(i.op.writes_pair());
+            writes_pair.push(m.writes_pair);
         }
         StaticMasks {
             ops: kernel.instrs.iter().map(|i| i.op).collect(),
