@@ -14,8 +14,10 @@
 //! * `... -- --test` (or `--smoke`) — CI smoke mode: one warmup and a
 //!   short measurement window, still emitting the JSON.
 
+use campaign::{Budget, Campaign};
 use gpu_arch::{CodeGen, DeviceModel, Precision};
 use gpu_sim::Target;
+use injector::{Avf, Injector};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -67,6 +69,56 @@ fn measure(case: &Case, budget_secs: f64, min_samples: usize) -> Measurement {
     }
 }
 
+/// End-to-end campaign rate: full injector trials (plan sampling, faulty
+/// run, golden compare, tallying) per second of wall clock — the number a
+/// campaign's ETA is made of, complementing the per-instruction rate.
+struct CampaignMeasurement {
+    name: &'static str,
+    trials: u64,
+    best_secs: f64,
+    mean_secs: f64,
+    samples: usize,
+}
+
+impl CampaignMeasurement {
+    fn trials_per_sec(&self) -> f64 {
+        self.trials as f64 / self.best_secs
+    }
+}
+
+fn measure_campaign(
+    name: &'static str,
+    workload: &Workload,
+    device: &DeviceModel,
+    trials: u32,
+    budget_secs: f64,
+    min_samples: usize,
+) -> CampaignMeasurement {
+    let run_once = || {
+        Campaign::new(Avf::new(Injector::NvBitFi), workload, device)
+            .budget(Budget::fixed(trials).seed(2021))
+            .run()
+            .expect("throughput campaign failed")
+    };
+    black_box(run_once()); // warm the golden cache
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while samples.len() < min_samples || start.elapsed().as_secs_f64() < budget_secs {
+        let t = Instant::now();
+        black_box(run_once());
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    CampaignMeasurement {
+        name,
+        trials: trials as u64,
+        best_secs: best,
+        mean_secs: mean,
+        samples: samples.len(),
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test" || a == "--smoke");
     let (budget_secs, min_samples) = if smoke { (0.2, 2) } else { (2.0, 10) };
@@ -104,6 +156,27 @@ fn main() {
         );
     }
 
+    let campaign_trials = if smoke { 50 } else { 200 };
+    let campaign_results = [measure_campaign(
+        "avf_nvbitfi_mxm_f32_tiny",
+        &build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny),
+        &DeviceModel::k40c_sim(),
+        campaign_trials,
+        budget_secs,
+        min_samples,
+    )];
+    for m in &campaign_results {
+        println!(
+            "sim_throughput/{:<26} {:>8.1} trials/s  (best {:.3} ms, mean {:.3} ms, {} trials, {} samples)",
+            m.name,
+            m.trials_per_sec(),
+            m.best_secs * 1e3,
+            m.mean_secs * 1e3,
+            m.trials,
+            m.samples,
+        );
+    }
+
     let path = std::env::var("BENCH_JSON_PATH")
         .unwrap_or_else(|_| "BENCH_sim_throughput.json".to_string());
     let mut json = String::from("{\n  \"bench\": \"sim_throughput\",\n  \"unit\": \"dyn_instrs_per_sec\",\n  \"cases\": [\n");
@@ -117,6 +190,20 @@ fn main() {
             m.best_secs,
             m.mean_secs,
             m.instrs_per_sec(),
+            sep
+        );
+    }
+    json.push_str("  ],\n  \"campaigns\": [\n");
+    for (i, m) in campaign_results.iter().enumerate() {
+        let sep = if i + 1 < campaign_results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"trials\": {}, \"best_secs\": {:.9}, \"mean_secs\": {:.9}, \"trials_per_sec\": {:.1}}}{}",
+            m.name,
+            m.trials,
+            m.best_secs,
+            m.mean_secs,
+            m.trials_per_sec(),
             sep
         );
     }

@@ -1,0 +1,80 @@
+//! `campaign-top` — live dashboard for a running campaign.
+//!
+//! Point it at the status directory a `repro --status-dir DIR` run is
+//! publishing into; it polls `status.json` and redraws a small dashboard
+//! (trials, rates, shard progress, CI convergence, trial latency
+//! quantiles, retry/quarantine/watchdog counters):
+//!
+//! ```text
+//! campaign-top --dir DIR [--interval MS] [--once]
+//! ```
+//!
+//! `--once` renders a single frame and exits (no screen clearing), which
+//! is what scripts and CI use. The reader half of the tmp-file + atomic
+//! rename protocol: a read either sees a complete snapshot or the
+//! previous one, never a torn file.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use obs::{console, StatusSnapshot};
+
+struct Options {
+    dir: PathBuf,
+    interval: Duration,
+    once: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: campaign-top --dir DIR [--interval MS] [--once]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut dir = None;
+    let mut interval = Duration::from_millis(500);
+    let mut once = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--interval" => {
+                let ms = it.next().and_then(|v| v.parse::<u64>().ok()).unwrap_or_else(|| usage());
+                interval = Duration::from_millis(ms);
+            }
+            "--once" => once = true,
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+    Options { dir, interval, once }
+}
+
+/// One frame: the rendered snapshot, or a waiting message until the
+/// publisher's first atomic rename lands.
+fn frame(opts: &Options) -> String {
+    let path = opts.dir.join("status.json");
+    match std::fs::read_to_string(&path) {
+        Ok(line) => match StatusSnapshot::from_json_line(&line) {
+            Ok(status) => console::render_status(&status),
+            Err(e) => format!("unreadable status in {}: {e}\n", path.display()),
+        },
+        Err(_) => format!("waiting for status in {} ...\n", opts.dir.display()),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    if opts.once {
+        print!("{}", frame(&opts));
+        return;
+    }
+    loop {
+        // ANSI clear + home, then the frame; redraw-in-place keeps the
+        // dashboard steady under watch.
+        print!("\x1b[2J\x1b[H{}", frame(&opts));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(opts.interval);
+    }
+}

@@ -24,11 +24,20 @@
 //! --trace-out FILE     capture a JSONL trace of one demonstration
 //!                      injection trial (FMXM on Kepler) to FILE
 //! --progress           render a stderr progress meter per campaign
+//! --progress-interval MS  minimum milliseconds between progress renders
+//!                      (default 200; implies --progress)
 //! --checkpoint-dir DIR durable checkpoint store: campaigns save
 //!                      shard-boundary checkpoints under DIR and a
 //!                      re-run resumes each campaign from its last
 //!                      checkpoint (kill-safe; applies to the observed
 //!                      commands table1/fig3/fig4/fig5/all)
+//! --spans-out FILE     write campaign → shard → trial → engine-phase
+//!                      spans as Chrome Trace Event Format JSON (load in
+//!                      chrome://tracing or Perfetto)
+//! --status-dir DIR     publish status.json + status.prom into DIR every
+//!                      second while campaigns run (watch live with
+//!                      `campaign-top --dir DIR`; scrape status.prom
+//!                      with Prometheus)
 //! ```
 //!
 //! Campaign sizes honor `REPRO_PROFILE=quick|full` (default `quick`).
@@ -47,14 +56,24 @@ struct Flags {
     metrics_out: Option<String>,
     trace_out: Option<String>,
     progress: bool,
+    progress_interval: Option<std::time::Duration>,
     checkpoint_dir: Option<String>,
+    spans_out: Option<String>,
+    status_dir: Option<String>,
 }
 
 /// Split observability flags out of the argument list; everything else is
 /// returned as positional arguments.
 fn parse_flags(args: Vec<String>) -> (Flags, Vec<String>) {
-    let mut flags =
-        Flags { metrics_out: None, trace_out: None, progress: false, checkpoint_dir: None };
+    let mut flags = Flags {
+        metrics_out: None,
+        trace_out: None,
+        progress: false,
+        progress_interval: None,
+        checkpoint_dir: None,
+        spans_out: None,
+        status_dir: None,
+    };
     let mut rest = Vec::new();
     let mut it = args.into_iter();
     let file_arg = |flag: &str, it: &mut std::vec::IntoIter<String>| match it.next() {
@@ -69,9 +88,20 @@ fn parse_flags(args: Vec<String>) -> (Flags, Vec<String>) {
             "--metrics-out" => flags.metrics_out = Some(file_arg("--metrics-out", &mut it)),
             "--trace-out" => flags.trace_out = Some(file_arg("--trace-out", &mut it)),
             "--progress" => flags.progress = true,
+            "--progress-interval" => {
+                let ms = file_arg("--progress-interval", &mut it);
+                let ms: u64 = ms.parse().unwrap_or_else(|_| {
+                    eprintln!("--progress-interval requires a millisecond count, got {ms:?}");
+                    std::process::exit(2);
+                });
+                flags.progress = true;
+                flags.progress_interval = Some(std::time::Duration::from_millis(ms));
+            }
             "--checkpoint-dir" => {
                 flags.checkpoint_dir = Some(file_arg("--checkpoint-dir", &mut it));
             }
+            "--spans-out" => flags.spans_out = Some(file_arg("--spans-out", &mut it)),
+            "--status-dir" => flags.status_dir = Some(file_arg("--status-dir", &mut it)),
             _ => rest.push(a),
         }
     }
@@ -153,14 +183,30 @@ fn main() {
                 std::process::exit(1);
             }
         });
+    let spans = flags.spans_out.as_ref().map(|_| obs::SpanBus::new());
+    let publisher = flags.status_dir.as_ref().map(|dir| {
+        match obs::SnapshotPublisher::start(dir, std::time::Duration::from_secs(1)) {
+            Ok(publisher) => publisher,
+            Err(e) => {
+                eprintln!("cannot start status publisher in {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     {
         let mut observe = |o: CampaignObservation| {
             campaigns += 1;
             sink.write_all(o.to_json_line().as_bytes()).expect("write campaign metrics");
             sink.write_all(b"\n").expect("write campaign metrics");
         };
-        let mut ctx =
-            ObserveCtx { progress: flags.progress, observe: &mut observe, store: store.as_mut() };
+        let mut ctx = ObserveCtx {
+            progress: flags.progress,
+            progress_interval: flags.progress_interval,
+            observe: &mut observe,
+            store: store.as_mut(),
+            spans: spans.as_ref(),
+            publisher: publisher.as_ref(),
+        };
 
         match what.as_str() {
             "table1" => print!("{}", render::table1(&table1_observed(&cfg, &mut ctx))),
@@ -204,7 +250,8 @@ fn main() {
                 eprintln!(
                     "usage: repro <table1|fig1|fig3|fig4|fig5|fig6|due|ablate|codegen|convergence|breakdown|all>\n\
                      \x20      [--metrics-out FILE] [--trace-out FILE] [--progress]\n\
-                     \x20      [--checkpoint-dir DIR]\n\
+                     \x20      [--progress-interval MS] [--checkpoint-dir DIR]\n\
+                     \x20      [--spans-out FILE] [--status-dir DIR]\n\
                      env:   REPRO_PROFILE=quick|full (default quick)"
                 );
                 std::process::exit(2);
@@ -217,6 +264,13 @@ fn main() {
             eprintln!("checkpoint-store: {warning}");
         }
     }
+    if let (Some(bus), Some(path)) = (&spans, &flags.spans_out) {
+        bus.write_chrome_trace(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot write spans to {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    drop(publisher); // join the interval thread; final publish on drop
 
     // Machine-readable run summary, after the human-readable tables.
     let mut report = RunReport::new("run");
@@ -229,6 +283,17 @@ fn main() {
         .push_uint("campaigns", campaigns);
     if let Some(path) = &flags.metrics_out {
         report.push_str("metrics_out", path);
+    }
+    if let (Some(bus), Some(path)) = (&spans, &flags.spans_out) {
+        report.push_str("spans_out", path).push_uint("spans", bus.len() as u64);
+    }
+    if let Some(dir) = &flags.status_dir {
+        report.push_str("status_dir", dir);
+    }
+    if let Some(store) = &store {
+        report
+            .push_uint("store_damage_events", store.damage_events())
+            .push_uint("store_lock_breaks", store.lock_breaks());
     }
     println!("{}", report.to_json_line());
 }

@@ -110,6 +110,9 @@ impl CampaignObservation {
 pub struct ObserveCtx<'a> {
     /// Render stderr progress meters while campaigns run.
     pub progress: bool,
+    /// Minimum time between progress renders (`repro --progress-interval`;
+    /// `None` keeps the 200ms default).
+    pub progress_interval: Option<std::time::Duration>,
     /// Receives one observation per campaign, in execution order.
     pub observe: &'a mut dyn FnMut(CampaignObservation),
     /// Durable checkpoint store shared by every campaign in the run:
@@ -117,6 +120,56 @@ pub struct ObserveCtx<'a> {
     /// automatically from its own last checkpoint (`repro
     /// --checkpoint-dir`).
     pub store: Option<&'a mut campaign::CheckpointStore>,
+    /// Span bus collecting campaign → shard → trial → engine-phase spans
+    /// across every campaign in the run (`repro --spans-out`).
+    pub spans: Option<&'a obs::SpanBus>,
+    /// Live status publisher (`repro --status-dir`): re-pointed at each
+    /// campaign's registry as it starts, so `campaign-top` always shows
+    /// the campaign currently running.
+    pub publisher: Option<&'a obs::SnapshotPublisher>,
+}
+
+impl<'a> ObserveCtx<'a> {
+    /// Shared per-campaign telemetry setup: a fresh registry (Arc so the
+    /// background publisher can snapshot it concurrently), a progress
+    /// meter honoring `--progress-interval`, and an observer carrying the
+    /// run-wide span bus.
+    fn begin_campaign(
+        &self,
+        label: &str,
+        ceiling: u64,
+    ) -> (std::sync::Arc<MetricsRegistry>, Progress) {
+        let metrics = std::sync::Arc::new(MetricsRegistry::new());
+        let mut meter = Progress::new(label, ceiling, self.progress);
+        if let Some(interval) = self.progress_interval {
+            meter = meter.with_interval(interval);
+        }
+        if let Some(publisher) = self.publisher {
+            publisher.set_campaign(label, std::sync::Arc::clone(&metrics));
+        }
+        (metrics, meter)
+    }
+
+    /// Shared per-campaign teardown: finish the meter, append profile
+    /// gauges, force one status publish and hand off the observation.
+    fn end_campaign<T: Target + Sync + ?Sized>(
+        &mut self,
+        label: &str,
+        metrics: &MetricsRegistry,
+        meter: &Progress,
+        target: &T,
+        device: &DeviceModel,
+    ) {
+        meter.finish();
+        profile(target, device).export_metrics(metrics);
+        if let Some(publisher) = self.publisher {
+            let _ = publisher.publish_now();
+        }
+        (self.observe)(CampaignObservation {
+            campaign: label.to_string(),
+            snapshot: metrics.snapshot(),
+        });
+    }
 }
 
 /// Run one AVF campaign on the shared engine; when observed, tally
@@ -136,20 +189,16 @@ fn observed_avf<T: Target + Sync + ?Sized>(
     let Some(ctx) = ctx else {
         return Ok(campaign.run().expect("injection campaign failed"));
     };
+    let (metrics, meter) = ctx.begin_campaign(label, budget.ceiling as u64);
+    let mut observer = CampaignObserver::with_metrics(&metrics);
+    observer.progress = Some(&meter);
+    observer.spans = ctx.spans;
     let campaign = match ctx.store.as_deref_mut() {
         Some(store) => campaign.store(store),
         None => campaign,
     };
-    let metrics = MetricsRegistry::new();
-    let meter = Progress::new(label, budget.ceiling as u64, ctx.progress);
-    let observer = CampaignObserver { metrics: Some(&metrics), progress: Some(&meter) };
     let result = campaign.observer(observer).run().expect("injection campaign failed");
-    meter.finish();
-    profile(target, device).export_metrics(&metrics);
-    (ctx.observe)(CampaignObservation {
-        campaign: label.to_string(),
-        snapshot: metrics.snapshot(),
-    });
+    ctx.end_campaign(label, &metrics, &meter, target, device);
     Ok(result)
 }
 
@@ -166,20 +215,16 @@ fn observed_beam<T: Target + Sync + ?Sized>(
     let Some(ctx) = ctx else {
         return campaign.run().expect("beam campaign failed");
     };
+    let (metrics, meter) = ctx.begin_campaign(label, budget.ceiling as u64);
+    let mut observer = CampaignObserver::with_metrics(&metrics);
+    observer.progress = Some(&meter);
+    observer.spans = ctx.spans;
     let campaign = match ctx.store.as_deref_mut() {
         Some(store) => campaign.store(store),
         None => campaign,
     };
-    let metrics = MetricsRegistry::new();
-    let meter = Progress::new(label, budget.ceiling as u64, ctx.progress);
-    let observer = CampaignObserver { metrics: Some(&metrics), progress: Some(&meter) };
     let result = campaign.observer(observer).run().expect("beam campaign failed");
-    meter.finish();
-    profile(target, device).export_metrics(&metrics);
-    (ctx.observe)(CampaignObservation {
-        campaign: label.to_string(),
-        snapshot: metrics.snapshot(),
-    });
+    ctx.end_campaign(label, &metrics, &meter, target, device);
     result
 }
 

@@ -1,0 +1,135 @@
+//! Acceptance tests for the campaign telemetry pipeline (DESIGN.md §15):
+//! a real injector campaign on HHOTSPOT/Volta must produce a valid Chrome
+//! trace and a Prometheus snapshot with trial-duration histogram buckets,
+//! the span tree must be well-formed, and telemetry must never perturb
+//! the architectural result — tallies are bit-identical with telemetry
+//! on or off, at any worker count.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use campaign::{Budget, Campaign, CampaignRun};
+use gpu_arch::{CodeGen, DeviceModel, Precision};
+use injector::{Avf, AvfResult, Injector};
+use obs::{json, CampaignObserver, MetricsRegistry, SpanBus};
+use workloads::{build, Benchmark, Scale, Workload};
+
+fn hhotspot() -> (Workload, DeviceModel) {
+    let w = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
+    assert_eq!(w.name, "HHOTSPOT");
+    (w, DeviceModel::v100_sim())
+}
+
+fn run_campaign(
+    trials: u32,
+    workers: usize,
+    observer: CampaignObserver<'_>,
+) -> (AvfResult, CampaignRun) {
+    let (w, device) = hhotspot();
+    Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)
+        .budget(Budget::fixed(trials).seed(2021))
+        .workers(workers)
+        .observer(observer)
+        .run_full()
+        .expect("telemetry campaign failed")
+}
+
+#[test]
+fn campaign_emits_valid_chrome_trace_and_prometheus_snapshot() {
+    let metrics = MetricsRegistry::new();
+    let spans = SpanBus::new();
+    let observer = CampaignObserver::with_metrics(&metrics).with_spans(&spans);
+    let (_, run) = run_campaign(96, 2, observer);
+    assert_eq!(run.trials, 96);
+
+    // The Chrome trace is one valid JSON array of complete/instant
+    // events; every event carries the fields chrome://tracing requires.
+    let trace = spans.to_chrome_trace();
+    let doc = json::parse(&trace).expect("chrome trace must be valid JSON");
+    let events = doc.as_arr().expect("chrome trace must be a JSON array");
+    assert!(!events.is_empty());
+    for event in events {
+        let obj = event.as_obj().expect("trace event must be an object");
+        let ph = obj.get("ph").and_then(json::Json::as_str).expect("missing ph");
+        assert!(ph == "X" || ph == "i", "unexpected phase {ph}");
+        assert!(obj.get("name").and_then(json::Json::as_str).is_some());
+        assert!(obj.get("ts").is_some() && obj.get("pid").is_some() && obj.get("tid").is_some());
+        if ph == "X" {
+            assert!(obj.get("dur").is_some(), "complete event without dur");
+        }
+    }
+
+    // The Prometheus exposition carries the trial-duration histogram with
+    // cumulative buckets, plus the outcome counters.
+    let prom = metrics.snapshot().to_prometheus_text();
+    assert!(prom.contains("# TYPE campaign_trial_micros histogram"));
+    assert!(prom.contains("campaign_trial_micros_bucket{le=\""));
+    assert!(prom.contains("campaign_trial_micros_bucket{le=\"+Inf\"} 96"));
+    assert!(prom.contains("campaign_trial_micros_count 96"));
+    assert!(prom.contains("trials_total 96"));
+}
+
+#[test]
+fn span_tree_is_well_formed() {
+    let metrics = MetricsRegistry::new();
+    let spans = SpanBus::new();
+    let observer = CampaignObserver::with_metrics(&metrics).with_spans(&spans);
+    let (_, run) = run_campaign(96, 3, observer);
+
+    let records = spans.records();
+    let campaigns: Vec<_> = records.iter().filter(|r| r.cat == "campaign").collect();
+    assert_eq!(campaigns.len(), 1, "exactly one campaign span");
+    let campaign = campaigns[0];
+    assert!(campaign.dur_us.is_some(), "campaign span must be closed");
+    assert_eq!(campaign.parent, obs::ROOT_SPAN);
+
+    let shard_ids: std::collections::BTreeSet<u64> =
+        records.iter().filter(|r| r.cat == "shard").map(|r| r.id).collect();
+    assert_eq!(shard_ids.len() as u32, run.shards, "one span per shard");
+    for shard in records.iter().filter(|r| r.cat == "shard") {
+        assert_eq!(shard.parent, campaign.id, "shards parent under the campaign");
+        assert!(shard.dur_us.is_some(), "shard span must be closed");
+    }
+
+    let trials: Vec<_> = records.iter().filter(|r| r.cat == "trial").collect();
+    assert_eq!(trials.len() as u64, run.trials, "one span per trial");
+    for trial in &trials {
+        assert!(trial.dur_us.is_some(), "every trial span must be closed");
+        assert!(shard_ids.contains(&trial.parent), "trials parent under a shard");
+    }
+
+    // Engine-phase spans from sampled trials nest under trial spans.
+    let trial_ids: std::collections::BTreeSet<u64> = trials.iter().map(|r| r.id).collect();
+    let phases: Vec<_> = records.iter().filter(|r| r.cat == "engine").collect();
+    assert!(!phases.is_empty(), "default sampling must trace at least one trial");
+    for phase in &phases {
+        assert!(trial_ids.contains(&phase.parent), "phases parent under a trial");
+        assert!(phase.dur_us.is_some());
+    }
+}
+
+#[test]
+fn tallies_are_bit_identical_with_telemetry_on_or_off() {
+    let (bare_result, bare) = run_campaign(64, 1, CampaignObserver::none());
+
+    let metrics = MetricsRegistry::new();
+    let spans = SpanBus::new();
+    let observer = CampaignObserver::with_metrics(&metrics).with_spans(&spans);
+    let (observed_result, observed) = run_campaign(64, 1, observer);
+
+    assert_eq!(bare_result.counts, observed_result.counts);
+    assert_eq!(bare.counts, observed.counts);
+    assert_eq!(bare.executed, observed.executed);
+    assert_eq!(bare.direct, observed.direct);
+    assert_eq!(bare.trials, observed.trials);
+    assert_eq!(bare.stop, observed.stop);
+
+    // ... and at any worker count, with telemetry still attached.
+    let metrics = MetricsRegistry::new();
+    let spans = SpanBus::new();
+    let observer = CampaignObserver::with_metrics(&metrics).with_spans(&spans);
+    let (wide_result, wide) = run_campaign(64, 4, observer);
+    assert_eq!(bare_result.counts, wide_result.counts);
+    assert_eq!(bare.counts, wide.counts);
+    assert_eq!(bare.direct, wide.direct);
+    assert_eq!(bare.trials, wide.trials);
+}

@@ -32,6 +32,7 @@ use crate::store::CheckpointStore;
 use crate::supervise::{panic_message, DeadlineMonitor, QuarantineRecord};
 use gpu_arch::DeviceModel;
 use gpu_sim::{DueKind, ExecStatus, Executed, FaultPlan, RunOptions, Target};
+use obs::span::SpanBus;
 use obs::{CampaignObserver, MetricsRegistry};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -295,6 +296,8 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
     /// engine-level [`CampaignRun`] (trials spent, stop reason, golden).
     pub fn run_full(mut self) -> Result<(K::Output, CampaignRun), CampaignError> {
         let ecc = self.kind.ecc();
+        let store_damage0 = self.store.as_deref().map_or(0, |s| s.damage_events());
+        let golden_timer = obs::Timer::start();
         let (golden, cache_hit) = if self.kind.record_sites() {
             golden::fetch_recorded(self.target, self.device, ecc)
         } else {
@@ -303,6 +306,7 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
         .map_err(CampaignError::GoldenFailed)?;
         if let Some(m) = self.observer.metrics {
             m.counter(if cache_hit { "campaign.golden.hit" } else { "campaign.golden.miss" }).inc();
+            golden_timer.observe(&m.histogram("campaign.golden.fetch_micros"));
         }
         let sampler = self.kind.prepare(self.target, self.device, &golden);
         let label = format!("{}/{}/{}", self.kind.label(), self.device.name, self.target.name());
@@ -313,6 +317,24 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
         let total_shards = ceiling.div_ceil(shard_size) as u32;
         let watchdog = self.budget.watchdog.dyn_limit(golden.counts.total);
         let base_seed = self.budget.seed ^ fnv1a(self.target.name());
+        // Trial span IDs are keyed off the campaign label + trial index,
+        // so a trial's span ID is stable across runs and worker counts
+        // (the same function of the FaultPlan draw).
+        let key_base = fnv1a(&label);
+        let campaign_span = self.observer.spans.map(|bus| {
+            let mut span = bus.begin(label.clone(), "campaign", obs::ROOT_SPAN, 0);
+            span.arg("ceiling", ceiling.to_string());
+            span.arg("shard_size", shard_size.to_string());
+            span
+        });
+        let campaign_span_id = campaign_span.as_ref().map_or(obs::ROOT_SPAN, |s| s.id());
+        if let Some(m) = self.observer.metrics {
+            m.gauge("campaign.trial_ceiling").set(ceiling as f64);
+            m.gauge("campaign.shards_total").set(total_shards as f64);
+            if let Some(target) = ci {
+                m.gauge("campaign.ci_target").set(target);
+            }
+        }
 
         if self.resume.is_none() {
             if let Some(store) = self.store.as_mut() {
@@ -384,7 +406,9 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
                 base_seed,
                 shard_size,
                 ceiling,
-                self.observer.progress,
+                self.observer,
+                campaign_span_id,
+                key_base,
                 monitor.as_ref(),
             )?;
             for mut out in outs {
@@ -408,6 +432,30 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
                     export_shard_metrics(m, &out);
                 }
                 stop = eval_stop(&counts, trials, floor, ceiling, ci);
+                // Convergence telemetry at every fold: the live console and
+                // progress line both show the current Wilson half-width.
+                let half_width = max_half_width(&counts, trials);
+                if let Some(m) = self.observer.metrics {
+                    m.gauge("campaign.shards_done").set(next_shard as f64);
+                    m.gauge("campaign.ci_half_width").set(half_width);
+                    if let Some(p) = self.observer.progress {
+                        m.gauge("trials_per_sec").set(p.rate());
+                    }
+                }
+                if let Some(p) = self.observer.progress {
+                    p.note_ci(half_width);
+                }
+                if let Some(bus) = self.observer.spans {
+                    bus.instant(
+                        "ci-update",
+                        campaign_span_id,
+                        0,
+                        vec![
+                            ("trials", trials.to_string()),
+                            ("half_width", format!("{half_width:.6}")),
+                        ],
+                    );
+                }
                 let boundary = stop.is_some() || next_shard == total_shards;
                 if (boundary || since_checkpoint >= self.checkpoint_every)
                     && (self.sink.is_some() || self.store.is_some())
@@ -417,7 +465,11 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
                         sink(&cp);
                     }
                     if let Some(store) = self.store.as_mut() {
+                        let save_timer = obs::Timer::start();
                         store.save(&cp).map_err(|e| CampaignError::Store(e.to_string()))?;
+                        if let Some(m) = self.observer.metrics {
+                            save_timer.observe(&m.histogram("campaign.store.save_micros"));
+                        }
                     }
                     since_checkpoint = 0;
                 }
@@ -444,6 +496,17 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
             retries,
             quarantine,
         };
+        if let Some(mut span) = campaign_span {
+            span.arg("trials", run.trials.to_string());
+            span.arg(
+                "stop",
+                match run.stop {
+                    StopReason::Ceiling => "ceiling",
+                    StopReason::CiTarget { .. } => "ci-target",
+                },
+            );
+            span.end();
+        }
         if let Some(m) = self.observer.metrics {
             match run.stop {
                 StopReason::CiTarget { .. } => m.counter("campaign.stop.ci_target").inc(),
@@ -452,6 +515,18 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
             m.gauge("campaign.ci_half_width").set(run.ci_half_width());
             if let Some(p) = self.observer.progress {
                 m.gauge("trials_per_sec").set(p.rate());
+            }
+            if let Some(store) = self.store.as_deref() {
+                // Durable-store health: damage seen by this campaign's
+                // loads/saves plus stale locks broken when the store was
+                // opened.
+                let damage = store.damage_events() - store_damage0;
+                if damage > 0 {
+                    m.counter("campaign.store.damage").add(damage);
+                }
+                if store.lock_breaks() > 0 {
+                    m.counter("campaign.store.lock_broken").add(store.lock_breaks());
+                }
             }
             self.kind.export_metrics(&sampler, &run, m);
         }
@@ -486,7 +561,9 @@ fn run_wave<T: Target + Sync + ?Sized, S: Sampler>(
     base_seed: u64,
     shard_size: u64,
     ceiling: u64,
-    progress: Option<&obs::Progress>,
+    observer: CampaignObserver<'_>,
+    campaign_span: u64,
+    key_base: u64,
     monitor: Option<&DeadlineMonitor>,
 ) -> Result<Vec<ShardOut>, CampaignError> {
     let wave_start = shards.start;
@@ -504,7 +581,9 @@ fn run_wave<T: Target + Sync + ?Sized, S: Sampler>(
             s,
             start..end,
             shard_seed(base_seed, s),
-            progress,
+            observer,
+            campaign_span,
+            key_base,
             monitor.map(|m| (m, slot)),
         )
     };
@@ -532,7 +611,17 @@ fn run_wave<T: Target + Sync + ?Sized, S: Sampler>(
 /// unit.
 enum TrialTally {
     Direct { outcome: Outcome, due: Option<DueKind>, label: &'static str },
-    Fault { plan: FaultPlan, outcome: Outcome, due: Option<DueKind> },
+    Fault { plan: FaultPlan, outcome: Outcome, due: Option<DueKind>, dyn_instrs: u64 },
+}
+
+impl TrialTally {
+    /// `(outcome, due kind, tally label)` for span args.
+    fn meta(&self) -> (Outcome, Option<DueKind>, &'static str) {
+        match self {
+            TrialTally::Direct { outcome, due, label } => (*outcome, *due, label),
+            TrialTally::Fault { plan, outcome, due, .. } => (*outcome, *due, plan.site_label()),
+        }
+    }
 }
 
 /// Sample and (when planned) execute one trial. Pure with respect to the
@@ -550,6 +639,7 @@ fn run_trial<T: Target + Sync + ?Sized, S: Sampler>(
     trial: u64,
     rng: &mut ChaCha12Rng,
     monitor: Option<(&DeadlineMonitor, usize)>,
+    phase_trace: Option<(&SpanBus, u64, u64)>,
 ) -> TrialTally {
     match sampler.sample(trial, rng) {
         TrialPlan::Direct { outcome, due, label } => TrialTally::Direct { outcome, due, label },
@@ -562,7 +652,16 @@ fn run_trial<T: Target + Sync + ?Sized, S: Sampler>(
                 cancel,
                 ..RunOptions::default()
             };
-            let faulty = target.execute(device, &opts);
+            // Sampled trials run with the engine-phase sink attached; the
+            // sink only timestamps phase events, so architectural results
+            // (and therefore tallies) are identical either way.
+            let faulty = match phase_trace {
+                Some((bus, span, tid)) => {
+                    let mut sink = obs::SpanSink::new(bus, span, tid);
+                    target.execute_traced(device, &opts, &mut sink)
+                }
+                None => target.execute(device, &opts),
+            };
             if let Some((m, slot)) = monitor {
                 m.disarm(slot);
             }
@@ -576,7 +675,7 @@ fn run_trial<T: Target + Sync + ?Sized, S: Sampler>(
                     }
                 }
             };
-            TrialTally::Fault { plan, outcome, due }
+            TrialTally::Fault { plan, outcome, due, dyn_instrs: faulty.counts.total }
         }
     }
 }
@@ -590,7 +689,7 @@ fn apply_tally(out: &mut ShardOut, tally: TrialTally) {
                 *out.dues.entry(kind.name()).or_default() += 1;
             }
         }
-        TrialTally::Fault { plan, outcome, due } => {
+        TrialTally::Fault { plan, outcome, due, .. } => {
             out.counts.record(outcome);
             out.executed.record(outcome);
             out.sites.entry(plan.site_label()).or_default().record(outcome);
@@ -620,18 +719,49 @@ fn run_shard<T: Target + Sync + ?Sized, S: Sampler>(
     shard: u32,
     range: std::ops::Range<u64>,
     seed: u64,
-    progress: Option<&obs::Progress>,
+    observer: CampaignObserver<'_>,
+    campaign_span: u64,
+    key_base: u64,
     monitor: Option<(&DeadlineMonitor, usize)>,
 ) -> ShardOut {
     let started = Instant::now();
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let mut out = ShardOut::default();
+    let progress = observer.progress;
+    // Resolve hot-loop instruments once per shard, outside the trial loop.
+    let trial_hists = observer
+        .metrics
+        .map(|m| (m.histogram("campaign.trial_micros"), m.histogram("campaign.trial_dyn_instrs")));
+    let span_tid = shard as u64 + 1;
+    let mut shard_span = observer.spans.map(|bus| {
+        let mut span = bus.begin(format!("shard-{shard}"), "shard", campaign_span, span_tid);
+        span.arg("range", format!("{}..{}", range.start, range.end));
+        span
+    });
+    let shard_span_id = shard_span.as_ref().map_or(obs::ROOT_SPAN, |s| s.id());
     for trial in range {
         let snap = rng.clone();
+        let trial_t0 = observer.spans.map(|bus| bus.now_us());
+        let timer = trial_hists.is_some().then(obs::Timer::start);
+        // Engine-phase tracing is sampled: one trial in `phase_every`
+        // executes through the traced path, parented under its trial span.
+        let phase_trace = observer.spans.and_then(|bus| {
+            bus.sample_phases(trial).then(|| (bus, obs::keyed_id(key_base, trial), span_tid))
+        });
         let attempt = || {
             let mut r = snap.clone();
-            let tally =
-                run_trial(target, device, golden, sampler, ecc, watchdog, trial, &mut r, monitor);
+            let tally = run_trial(
+                target,
+                device,
+                golden,
+                sampler,
+                ecc,
+                watchdog,
+                trial,
+                &mut r,
+                monitor,
+                phase_trace,
+            );
             (tally, r)
         };
         let result = match catch_unwind(AssertUnwindSafe(&attempt)) {
@@ -643,12 +773,52 @@ fn run_shard<T: Target + Sync + ?Sized, S: Sampler>(
                 if let Some((m, slot)) = monitor {
                     m.disarm(slot);
                 }
+                if let Some(bus) = observer.spans {
+                    bus.instant(
+                        "retry",
+                        shard_span_id,
+                        span_tid,
+                        vec![("trial", trial.to_string())],
+                    );
+                }
                 catch_unwind(AssertUnwindSafe(&attempt))
             }
         };
+        let trial_micros = timer.as_ref().map(|t| t.elapsed_micros());
         match result {
             Ok((tally, r)) => {
                 rng = r;
+                if let Some((hist_us, hist_dyn)) = &trial_hists {
+                    if let Some(us) = trial_micros {
+                        hist_us.observe(us);
+                    }
+                    if let TrialTally::Fault { dyn_instrs, .. } = tally {
+                        hist_dyn.observe(dyn_instrs);
+                    }
+                }
+                if let Some(bus) = observer.spans {
+                    let (outcome, due, site) = tally.meta();
+                    let mut args = vec![
+                        ("trial", trial.to_string()),
+                        ("outcome", outcome.to_string()),
+                        ("site", site.to_string()),
+                    ];
+                    if let Some(kind) = due {
+                        args.push(("due", kind.name().to_string()));
+                        if matches!(kind, DueKind::Watchdog | DueKind::HostWatchdog) {
+                            bus.instant(
+                                "watchdog",
+                                shard_span_id,
+                                span_tid,
+                                vec![
+                                    ("trial", trial.to_string()),
+                                    ("kind", kind.name().to_string()),
+                                ],
+                            );
+                        }
+                    }
+                    push_trial_span(bus, key_base, trial, shard_span_id, span_tid, trial_t0, args);
+                }
                 apply_tally(&mut out, tally);
             }
             Err(payload) => {
@@ -678,6 +848,25 @@ fn run_shard<T: Target + Sync + ?Sized, S: Sampler>(
                 rng = after;
                 out.counts.record(Outcome::Due);
                 out.direct.entry(QUARANTINE_LABEL).or_default().record(Outcome::Due);
+                if let Some((hist_us, _)) = &trial_hists {
+                    if let Some(us) = trial_micros {
+                        hist_us.observe(us);
+                    }
+                }
+                if let Some(bus) = observer.spans {
+                    bus.instant(
+                        "quarantine",
+                        shard_span_id,
+                        span_tid,
+                        vec![("trial", trial.to_string())],
+                    );
+                    let args = vec![
+                        ("trial", trial.to_string()),
+                        ("outcome", Outcome::Due.to_string()),
+                        ("site", QUARANTINE_LABEL.to_string()),
+                    ];
+                    push_trial_span(bus, key_base, trial, shard_span_id, span_tid, trial_t0, args);
+                }
                 out.quarantined.push(QuarantineRecord {
                     label: String::new(), // filled at fold time
                     trial,
@@ -692,8 +881,37 @@ fn run_shard<T: Target + Sync + ?Sized, S: Sampler>(
             p.inc();
         }
     }
+    if let Some(span) = shard_span.as_mut() {
+        span.arg("trials", out.trials.to_string());
+    }
+    drop(shard_span);
     out.micros = started.elapsed().as_micros() as u64;
     out
+}
+
+/// Record a completed trial as a span with its FaultPlan-keyed ID. Spans
+/// are recorded post-hoc (begin time captured before the run), so a
+/// panicking or quarantined trial still produces a closed span.
+fn push_trial_span(
+    bus: &SpanBus,
+    key_base: u64,
+    trial: u64,
+    parent: u64,
+    tid: u64,
+    t0_us: Option<u64>,
+    args: Vec<(&'static str, String)>,
+) {
+    let t0 = t0_us.unwrap_or(0);
+    bus.push(obs::SpanRecord {
+        id: obs::keyed_id(key_base, trial),
+        parent,
+        name: "trial".to_string(),
+        cat: "trial",
+        tid,
+        ts_us: t0,
+        dur_us: Some(bus.now_us().saturating_sub(t0)),
+        args,
+    });
 }
 
 fn export_shard_metrics(m: &MetricsRegistry, out: &ShardOut) {

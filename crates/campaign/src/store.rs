@@ -162,6 +162,8 @@ pub struct CheckpointStore {
     io: Box<dyn StoreIo + Send>,
     locked: bool,
     warnings: Vec<String>,
+    damage_events: u64,
+    lock_breaks: u64,
 }
 
 impl CheckpointStore {
@@ -189,6 +191,7 @@ impl CheckpointStore {
         let lock = dir.join("LOCK");
         let pid = std::process::id().to_string();
         let mut warnings = Vec::new();
+        let mut lock_breaks = 0;
         match io.create_new(&lock, pid.as_bytes()) {
             Ok(()) => {}
             Err(e) if e.kind() == ErrorKind::AlreadyExists => {
@@ -201,6 +204,7 @@ impl CheckpointStore {
                     "broke stale lock left by dead pid {holder} in {}",
                     dir.display()
                 ));
+                lock_breaks += 1;
                 io.write_sync(&lock, pid.as_bytes()).map_err(|source| StoreError::Io {
                     op: "replace stale lock",
                     path: lock,
@@ -211,7 +215,7 @@ impl CheckpointStore {
                 return Err(StoreError::Io { op: "create lock", path: lock, source });
             }
         }
-        Ok(CheckpointStore { dir, io, locked: true, warnings })
+        Ok(CheckpointStore { dir, io, locked: true, warnings, damage_events: 0, lock_breaks })
     }
 
     /// The store directory.
@@ -224,6 +228,19 @@ impl CheckpointStore {
     /// broken. Surfaced so harnesses can log them; empty on clean runs.
     pub fn warnings(&self) -> &[String] {
         &self.warnings
+    }
+
+    /// Damage events seen so far: torn/corrupt latest pointers and
+    /// discarded history lines. Campaign loops export this as the
+    /// `campaign.store.damage` counter.
+    pub fn damage_events(&self) -> u64 {
+        self.damage_events
+    }
+
+    /// Stale locks broken when this store was opened (exported as
+    /// `campaign.store.lock_broken`).
+    pub fn lock_breaks(&self) -> u64 {
+        self.lock_breaks
     }
 
     fn history_path(&self) -> PathBuf {
@@ -283,6 +300,7 @@ impl CheckpointStore {
                     latest.display(),
                     scan.first_error.unwrap_or_else(|| "empty".to_string())
                 ));
+                self.damage_events += 1;
             }
             Err(e) if e.kind() == ErrorKind::NotFound => {}
             Err(source) => {
@@ -306,6 +324,7 @@ impl CheckpointStore {
                 scan.lines_scanned,
                 scan.first_error.as_deref().unwrap_or("unknown damage")
             ));
+            self.damage_events += scan.lines_rejected.max(1);
         }
         Ok(scan.checkpoint)
     }

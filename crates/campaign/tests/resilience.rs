@@ -383,7 +383,7 @@ fn wall_clock_watchdog_reaps_infinite_loop_as_host_watchdog_due() {
     let started = Instant::now();
     let run = Campaign::new(SpinKind, &target, &device)
         .budget(Budget::fixed(2).seed(1).watchdog(watchdog))
-        .observer(CampaignObserver { metrics: Some(&metrics), progress: None })
+        .observer(CampaignObserver::with_metrics(&metrics))
         .run_full()
         .expect("watchdogged campaign")
         .1;
@@ -416,7 +416,7 @@ fn unarmed_wall_watchdog_leaves_spin_kernel_to_dyn_watchdog() {
     let metrics = MetricsRegistry::new();
     let run = Campaign::new(SpinKind, &target, &device)
         .budget(Budget::fixed(1).seed(1))
-        .observer(CampaignObserver { metrics: Some(&metrics), progress: None })
+        .observer(CampaignObserver::with_metrics(&metrics))
         .run_full()
         .expect("dyn-watchdogged campaign")
         .1;

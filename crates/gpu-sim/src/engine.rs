@@ -343,8 +343,16 @@ pub fn try_run_with_sink<'a>(
     kernel.validate().map_err(SimError::InvalidKernel)?;
 
     // Decode once per launch: the hot loop below only does table lookups
-    // over the per-pc `InstrMeta`, never re-classifying opcodes.
+    // over the per-pc `InstrMeta`, never re-classifying opcodes. Phase
+    // events bracket it so span traces can attribute setup time.
+    let mut sink = sink;
+    if let Some(s) = sink.as_deref_mut() {
+        s.event(&TraceEvent::PhaseBegin { idx: 0, phase: "decode" });
+    }
     let decoded = DecodedKernel::new(kernel);
+    if let Some(s) = sink.as_deref_mut() {
+        s.event(&TraceEvent::PhaseEnd { idx: 0, phase: "decode" });
+    }
 
     let warps_per_block = launch.warps_per_block() as usize;
     let total_warps = warps_per_block * launch.grid.count() as usize;
@@ -375,7 +383,9 @@ pub fn try_run_with_sink<'a>(
             let block_linear = by * launch.grid.x + bx;
             ctx.current_block = block_linear;
             let window_start = ctx.dyn_count;
+            emit!(ctx, TraceEvent::PhaseBegin { idx: window_start, phase: "block" });
             let result = run_block(&mut ctx, &decoded, bx, by, block_linear);
+            emit!(ctx, TraceEvent::PhaseEnd { idx: ctx.dyn_count, phase: "block" });
             if let Some(rec) = ctx.record.as_mut() {
                 rec.block_windows.push((window_start, ctx.dyn_count));
             }
@@ -390,8 +400,12 @@ pub fn try_run_with_sink<'a>(
     }
 
     // End-of-kernel ECC sweep over memory that was struck but never read.
-    if status == ExecStatus::Completed && ctx.global.scrub(opts.ecc) {
-        status = ExecStatus::Due(DueKind::EccDoubleBit);
+    if status == ExecStatus::Completed {
+        emit!(ctx, TraceEvent::PhaseBegin { idx: ctx.dyn_count, phase: "ecc-scrub" });
+        if ctx.global.scrub(opts.ecc) {
+            status = ExecStatus::Due(DueKind::EccDoubleBit);
+        }
+        emit!(ctx, TraceEvent::PhaseEnd { idx: ctx.dyn_count, phase: "ecc-scrub" });
     }
 
     if let ExecStatus::Due(kind) = status {

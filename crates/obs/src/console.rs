@@ -1,0 +1,148 @@
+//! Text rendering of a published [`StatusSnapshot`] — the `campaign-top`
+//! live view. Pure string-in/string-out so the rendering is testable; the
+//! binary adds the screen-clearing and polling loop.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::publish::StatusSnapshot;
+
+fn fmt_ms(us: u64) -> String {
+    if us >= 10_000 {
+        format!("{:.1}ms", us as f64 / 1000.0)
+    } else {
+        format!("{us}us")
+    }
+}
+
+fn pct(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}%", 100.0 * part as f64 / whole as f64)
+    }
+}
+
+/// Render one status snapshot as a small multi-line dashboard.
+pub fn render_status(status: &StatusSnapshot) -> String {
+    let m: &MetricsSnapshot = &status.snapshot;
+    let counter = |name: &str| m.counters.get(name).copied().unwrap_or(0);
+    let gauge = |name: &str| m.gauges.get(name).copied();
+
+    let mut out = String::with_capacity(512);
+    let _ = writeln!(out, "campaign   {}", status.campaign);
+
+    let trials = counter("trials");
+    let ceiling = gauge("campaign.trial_ceiling").unwrap_or(0.0) as u64;
+    let rate = gauge("trials_per_sec").unwrap_or(0.0);
+    let _ = write!(out, "trials     {trials}");
+    if ceiling > 0 {
+        let _ = write!(out, "/{ceiling}");
+    }
+    if rate > 0.0 {
+        let _ = write!(out, " · {rate:.1}/s");
+    }
+    let _ = writeln!(
+        out,
+        " · sdc {} · due {} · masked {}",
+        pct(counter("outcome.sdc"), trials),
+        pct(counter("outcome.due"), trials),
+        pct(counter("outcome.masked"), trials)
+    );
+
+    let done = gauge("campaign.shards_done").unwrap_or(0.0) as u64;
+    let total = gauge("campaign.shards_total").unwrap_or(0.0) as u64;
+    if total > 0 {
+        let width = 24usize;
+        let filled = ((done as f64 / total as f64) * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "shards     {done}/{total} [{}{}]",
+            "#".repeat(filled.min(width)),
+            "-".repeat(width - filled.min(width))
+        );
+    }
+
+    if let Some(hw) = gauge("campaign.ci_half_width").filter(|x| x.is_finite()) {
+        let _ = write!(out, "ci         half-width {hw:.4}");
+        if let Some(target) = gauge("campaign.ci_target").filter(|x| x.is_finite()) {
+            let _ = write!(out, " (target {target:.4})");
+        }
+        out.push('\n');
+    }
+
+    if let Some(h) = m.histograms.get("campaign.trial_micros") {
+        let _ = writeln!(
+            out,
+            "latency    trial p50 {} · p90 {} · p99 {} · mean {}",
+            fmt_ms(h.quantile(0.5)),
+            fmt_ms(h.quantile(0.9)),
+            fmt_ms(h.quantile(0.99)),
+            fmt_ms(h.mean() as u64)
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "events     retries {} · quarantined {} · watchdog {} · golden hit/miss {}/{}",
+        counter("campaign.trial_retries"),
+        counter("campaign.quarantined"),
+        counter("campaign.watchdog.dyn_trips") + counter("campaign.watchdog.wall_trips"),
+        counter("campaign.golden.hit"),
+        counter("campaign.golden.miss"),
+    );
+
+    let damage = counter("campaign.store.damage");
+    let locks = counter("campaign.store.lock_broken");
+    if damage > 0 || locks > 0 {
+        let _ = writeln!(out, "store      damage {damage} · locks broken {locks}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn renders_the_whole_dashboard() {
+        let reg = MetricsRegistry::new();
+        reg.counter("trials").add(1000);
+        reg.counter("outcome.sdc").add(101);
+        reg.counter("outcome.due").add(22);
+        reg.counter("outcome.masked").add(877);
+        reg.counter("campaign.trial_retries").add(1);
+        reg.counter("campaign.store.damage").add(2);
+        reg.gauge("trials_per_sec").set(433.25);
+        reg.gauge("campaign.trial_ceiling").set(20000.0);
+        reg.gauge("campaign.shards_done").set(12.0);
+        reg.gauge("campaign.shards_total").set(32.0);
+        reg.gauge("campaign.ci_half_width").set(0.061);
+        reg.gauge("campaign.ci_target").set(0.05);
+        let h = reg.histogram("campaign.trial_micros");
+        for _ in 0..100 {
+            h.observe(2100);
+        }
+        let status =
+            StatusSnapshot { campaign: "avf/Volta/HHOTSPOT".into(), snapshot: reg.snapshot() };
+        let text = render_status(&status);
+        assert!(text.contains("campaign   avf/Volta/HHOTSPOT"));
+        assert!(text.contains("trials     1000/20000 · 433.2/s"));
+        assert!(text.contains("sdc 10.10%"));
+        assert!(text.contains("shards     12/32 ["));
+        assert!(text.contains("ci         half-width 0.0610 (target 0.0500)"));
+        assert!(text.contains("latency    trial p50"));
+        assert!(text.contains("retries 1"));
+        assert!(text.contains("store      damage 2"));
+    }
+
+    #[test]
+    fn renders_sparse_snapshots_without_panicking() {
+        let status = StatusSnapshot::default();
+        let text = render_status(&status);
+        assert!(text.contains("trials     0"));
+        assert!(!text.contains("shards"));
+        assert!(!text.contains("store"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Prometheus text exposition encoding for [`MetricsSnapshot`].
+//!
+//! The publisher writes these alongside the JSON snapshot so anything
+//! that scrapes Prometheus text (or a human with `cat`) can read campaign
+//! state. Log₂ histogram buckets map onto cumulative `le` buckets using
+//! each bucket's inclusive upper bound; counters get the conventional
+//! `_total` suffix; metric names are sanitized to the Prometheus charset.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{Histogram, MetricsSnapshot};
+
+/// Map an instrument name onto the Prometheus metric charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters become `_`, a leading
+/// digit is prefixed with `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if valid {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn emit_value(out: &mut String, x: f64) {
+    if x.is_nan() {
+        out.push_str("NaN");
+    } else if x.is_infinite() {
+        out.push_str(if x > 0.0 { "+Inf" } else { "-Inf" });
+    } else {
+        let _ = write!(out, "{x:?}");
+    }
+}
+
+impl MetricsSnapshot {
+    /// The snapshot in Prometheus text exposition format (version 0.0.4).
+    /// Output is deterministic: metrics are sorted by name within each
+    /// instrument kind.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::with_capacity(512);
+        for (name, value) in &self.counters {
+            let mut pname = prometheus_name(name);
+            if !pname.ends_with("_total") {
+                pname.push_str("_total");
+            }
+            let _ = write!(out, "# TYPE {pname} counter\n{pname} {value}\n");
+        }
+        for (name, value) in &self.gauges {
+            let pname = prometheus_name(name);
+            let _ = write!(out, "# TYPE {pname} gauge\n{pname} ");
+            emit_value(&mut out, *value);
+            out.push('\n');
+        }
+        for (name, hist) in &self.histograms {
+            let pname = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {pname} histogram");
+            let mut cumulative = 0u64;
+            for &(idx, n) in &hist.buckets {
+                cumulative += n;
+                let (_, hi) = Histogram::bucket_range(idx as usize);
+                let _ = writeln!(out, "{pname}_bucket{{le=\"{hi}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", hist.count);
+            let _ = writeln!(out, "{pname}_sum {}", hist.sum);
+            let _ = writeln!(out, "{pname}_count {}", hist.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(prometheus_name("campaign.trial_micros"), "campaign_trial_micros");
+        assert_eq!(prometheus_name("due.sim-watchdog"), "due_sim_watchdog");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name(""), "_");
+    }
+
+    #[test]
+    fn exposition_covers_all_instrument_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("outcome.sdc").add(12);
+        reg.gauge("campaign.ci_half_width").set(0.031);
+        let h = reg.histogram("campaign.trial_micros");
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        let text = reg.snapshot().to_prometheus_text();
+
+        assert!(text.contains("# TYPE outcome_sdc_total counter\noutcome_sdc_total 12\n"));
+        assert!(text.contains("campaign_ci_half_width 0.031\n"));
+        // Buckets are cumulative over the log2 upper bounds.
+        assert!(text.contains("campaign_trial_micros_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("campaign_trial_micros_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("campaign_trial_micros_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("campaign_trial_micros_bucket{le=\"1023\"} 5\n"));
+        assert!(text.contains("campaign_trial_micros_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("campaign_trial_micros_sum 1006\n"));
+        assert!(text.contains("campaign_trial_micros_count 5\n"));
+    }
+
+    #[test]
+    fn non_finite_gauges_render_go_style() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("nan").set(f64::NAN);
+        reg.gauge("inf").set(f64::INFINITY);
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(text.contains("nan NaN\n"));
+        assert!(text.contains("inf +Inf\n"));
+    }
+}

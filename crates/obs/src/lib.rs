@@ -14,6 +14,12 @@
 //!   updates, snapshotable to JSONL or CSV; campaign loops tally outcomes
 //!   by site class and DUE kind, trials/sec, and the profiler's
 //!   φ/IPC/occupancy gauges into it.
+//! * [`SpanBus`] / [`SpanSink`] — campaign → shard → trial → engine-phase
+//!   span tracing with FaultPlan-keyed trial IDs, exported as Chrome Trace
+//!   Event Format (`chrome://tracing`, Perfetto) or JSONL.
+//! * [`SnapshotPublisher`] / [`StatusSnapshot`] / [`console`] — periodic
+//!   atomic publishing of snapshots (JSON + Prometheus text exposition)
+//!   plus the `campaign-top` dashboard rendering that consumes them.
 //! * [`RunReport`] / [`JsonlWriter`] / [`Progress`] — structured
 //!   machine-readable run reporting and progress for the `bench` binaries
 //!   (`--trace-out`, `--metrics-out`, `--progress`).
@@ -22,11 +28,20 @@
 //! simulated run. Wall-clock only ever feeds presentation-side artifacts
 //! (progress rendering, trials/sec gauges), never events.
 
+pub mod console;
+mod export;
 pub mod json;
 mod metrics;
+mod publish;
 mod report;
+pub mod span;
 mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use export::prometheus_name;
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Timer,
+};
+pub use publish::{write_atomic, SnapshotPublisher, StatusSnapshot};
 pub use report::{CampaignObserver, JsonlWriter, Progress, RunReport, Value};
+pub use span::{keyed_id, OpenSpan, SpanBus, SpanRecord, SpanSink, ROOT_SPAN};
 pub use trace::{CountingSink, JsonlTraceSink, MemSpace, RecordingSink, TraceEvent, TraceSink};

@@ -8,8 +8,9 @@
 //! the hot loop.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::json::{self, escape_str, Json};
 
@@ -59,13 +60,48 @@ impl Gauge {
 /// bucket `i` holds values with `floor(log2(v)) == i - 1`.
 const HISTOGRAM_BUCKETS: usize = 65;
 
-/// Log₂-bucketed histogram of `u64` observations (e.g. dynamic fault-site
-/// indices, per-trial instruction counts).
+/// Number of independent update stripes per histogram. Each thread hashes
+/// to one stripe, so concurrent workers touch disjoint cache lines; the
+/// snapshot folds stripes back together (addition is order-independent,
+/// so snapshots stay deterministic for a given set of observations).
+const HISTOGRAM_STRIPES: usize = 8;
+
+/// One stripe of histogram state. Cache-line aligned so two stripes never
+/// share a line at their boundary.
 #[derive(Debug)]
-pub struct Histogram {
+#[repr(align(64))]
+struct HistogramStripe {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+}
+
+impl Default for HistogramStripe {
+    fn default() -> Self {
+        HistogramStripe {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Stripe this thread updates. Threads are assigned round-robin on first
+/// touch, which spreads a rayon pool evenly across stripes.
+fn stripe_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) % HISTOGRAM_STRIPES;
+    }
+    STRIPE.with(|s| *s)
+}
+
+/// Log₂-bucketed histogram of `u64` observations (e.g. per-trial sim
+/// microseconds, dynamic instruction counts, fsync latencies). Updates are
+/// lock-free and striped per thread; min/max are shared atomics.
+#[derive(Debug)]
+pub struct Histogram {
+    stripes: [HistogramStripe; HISTOGRAM_STRIPES],
     min: AtomicU64,
     max: AtomicU64,
 }
@@ -73,9 +109,7 @@ pub struct Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
+            stripes: [(); HISTOGRAM_STRIPES].map(|_| HistogramStripe::default()),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }
@@ -84,9 +118,10 @@ impl Default for Histogram {
 
 impl Histogram {
     pub fn observe(&self, v: u64) {
-        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        let stripe = &self.stripes[stripe_index()];
+        stripe.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        stripe.count.fetch_add(1, Ordering::Relaxed);
+        stripe.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
@@ -106,11 +141,11 @@ impl Histogram {
     }
 
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.stripes.iter().map(|s| s.count.load(Ordering::Relaxed)).sum()
     }
 
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.stripes.iter().map(|s| s.sum.load(Ordering::Relaxed)).sum()
     }
 
     pub fn mean(&self) -> f64 {
@@ -129,16 +164,39 @@ impl Histogram {
             sum: self.sum(),
             min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
             max: self.max.load(Ordering::Relaxed),
-            buckets: self
-                .buckets
-                .iter()
-                .enumerate()
-                .filter_map(|(i, b)| {
-                    let n = b.load(Ordering::Relaxed);
+            buckets: (0..HISTOGRAM_BUCKETS)
+                .filter_map(|i| {
+                    let n: u64 =
+                        self.stripes.iter().map(|s| s.buckets[i].load(Ordering::Relaxed)).sum();
                     (n > 0).then_some((i as u32, n))
                 })
                 .collect(),
         }
+    }
+}
+
+/// Wall-clock stopwatch feeding histograms in microseconds. Timing is
+/// presentation-side only (never trace content), so it does not break the
+/// determinism contract.
+#[derive(Debug)]
+pub struct Timer {
+    started: Instant,
+}
+
+impl Timer {
+    pub fn start() -> Self {
+        Timer { started: Instant::now() }
+    }
+
+    pub fn elapsed_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Record the elapsed microseconds into `hist` and return them.
+    pub fn observe(self, hist: &Histogram) -> u64 {
+        let us = self.elapsed_micros();
+        hist.observe(us);
+        us
     }
 }
 
@@ -198,7 +256,7 @@ impl MetricsRegistry {
 }
 
 /// Point-in-time copy of a [`Histogram`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
@@ -206,6 +264,58 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// `(bucket index, count)` for non-empty buckets only.
     pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the value at quantile `q` (clamped to `[0,1]`), at
+    /// log₂-bucket resolution: the inclusive upper edge of the bucket the
+    /// rank-`ceil(q·count)` observation falls in, clamped to the observed
+    /// max. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                let (_, hi) = Histogram::bucket_range(idx as usize);
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold `other` into `self`: counts add, ranges widen. Merging is
+    /// commutative and associative, so per-worker snapshots fold to the
+    /// same result in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for &(idx, n) in &other.buckets {
+            *merged.entry(idx).or_default() += n;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
 }
 
 /// Point-in-time copy of a [`MetricsRegistry`], serializable to a JSON
@@ -219,6 +329,23 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Fold `other` into `self`: counters and histograms add; gauges are
+    /// last-write-wins (`other` wins where both define a gauge). Counter
+    /// and histogram merging is commutative/associative, so snapshots from
+    /// 1..N workers fold to an identical combined snapshot regardless of
+    /// fold order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
     /// One JSON object, no trailing newline. Key order is deterministic
     /// (sorted), so identical snapshots serialize byte-identically.
     pub fn to_json_line(&self) -> String {
@@ -420,6 +547,130 @@ mod tests {
         });
         assert_eq!(c.get(), 8000);
         assert_eq!(reg.histogram("h").count(), 8000);
+    }
+
+    #[test]
+    fn histogram_quantiles_hit_bucket_upper_bounds() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // Rank-1 observation is 1; rank-50 lands in bucket [32..=63];
+        // the top ranks land in [64..=127] but clamp to the observed max.
+        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(snap.quantile(0.5), 63);
+        assert_eq!(snap.quantile(1.0), 100);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+
+        let single = {
+            let h = Histogram::default();
+            h.observe(7);
+            h.snapshot()
+        };
+        assert_eq!(single.quantile(0.5), 7);
+        assert_eq!(single.quantile(0.99), 7);
+    }
+
+    #[test]
+    fn histogram_snapshots_merge_commutatively() {
+        let a = {
+            let h = Histogram::default();
+            for v in [0, 1, 5, 900] {
+                h.observe(v);
+            }
+            h.snapshot()
+        };
+        let b = {
+            let h = Histogram::default();
+            for v in [3, 5, 1 << 40] {
+                h.observe(v);
+            }
+            h.snapshot()
+        };
+        let combined = {
+            let h = Histogram::default();
+            for v in [0, 1, 5, 900, 3, 5, 1 << 40] {
+                h.observe(v);
+            }
+            h.snapshot()
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, combined);
+        assert_eq!(ba, combined);
+
+        // Merging into / from empty is the identity.
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&combined);
+        assert_eq!(empty, combined);
+        let mut c = combined.clone();
+        c.merge(&HistogramSnapshot::default());
+        assert_eq!(c, combined);
+    }
+
+    #[test]
+    fn striped_updates_fold_into_one_deterministic_snapshot() {
+        // Many threads (more than stripes) hammer one histogram; the
+        // snapshot must account for every observation exactly once and be
+        // identical to a single-threaded run over the same multiset.
+        let h = Histogram::default();
+        std::thread::scope(|s| {
+            for t in 0..16 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        h.observe(i + t % 2);
+                    }
+                });
+            }
+        });
+        let reference = Histogram::default();
+        for t in 0..16u64 {
+            for i in 0..500u64 {
+                reference.observe(i + t % 2);
+            }
+        }
+        assert_eq!(h.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn metrics_snapshots_merge_across_workers() {
+        let w1 = MetricsRegistry::new();
+        w1.counter("trials").add(10);
+        w1.histogram("t").observe(100);
+        let w2 = MetricsRegistry::new();
+        w2.counter("trials").add(5);
+        w2.counter("outcome.sdc").add(2);
+        w2.gauge("phi").set(1.5);
+        w2.histogram("t").observe(7);
+
+        let mut m12 = w1.snapshot();
+        m12.merge(&w2.snapshot());
+        assert_eq!(m12.counters["trials"], 15);
+        assert_eq!(m12.counters["outcome.sdc"], 2);
+        assert_eq!(m12.gauges["phi"], 1.5);
+        assert_eq!(m12.histograms["t"].count, 2);
+        assert_eq!(m12.histograms["t"].sum, 107);
+
+        let mut m21 = w2.snapshot();
+        m21.merge(&w1.snapshot());
+        // Counter/histogram content is order-independent.
+        assert_eq!(m21.counters, m12.counters);
+        assert_eq!(m21.histograms, m12.histograms);
+    }
+
+    #[test]
+    fn timer_observes_microseconds() {
+        let h = Histogram::default();
+        let t = Timer::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let us = t.observe(&h);
+        assert!(us >= 1_000, "timer measured {us}us");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), us);
     }
 
     #[test]

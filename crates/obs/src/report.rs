@@ -10,10 +10,11 @@
 use std::io::{self, Write as _};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::json::{emit_f64, escape_str};
 use crate::metrics::MetricsRegistry;
+use crate::span::SpanBus;
 
 /// One report field value.
 #[derive(Clone, Debug, PartialEq)]
@@ -120,13 +121,17 @@ impl<W: io::Write> JsonlWriter<W> {
     }
 }
 
-/// Throttled stderr progress meter: completed/total, trials/sec, ETA.
+/// Throttled stderr progress meter: completed/total, trials/sec, ETA and
+/// (when the campaign reports one) the current CI half-width.
 pub struct Progress {
     label: String,
     total: u64,
     done: AtomicU64,
     started: Instant,
     enabled: bool,
+    interval: Duration,
+    /// Latest CI half-width (f64 bits; NaN = not reported yet).
+    ci_bits: AtomicU64,
     last_render: Mutex<Instant>,
 }
 
@@ -141,8 +146,21 @@ impl Progress {
             done: AtomicU64::new(0),
             started: now,
             enabled,
+            interval: Duration::from_millis(200),
+            ci_bits: AtomicU64::new(f64::NAN.to_bits()),
             last_render: Mutex::new(now),
         }
+    }
+
+    /// Change the minimum time between renders (default 200ms).
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Report the current Wilson-CI half-width; shown on the next render.
+    pub fn note_ci(&self, half_width: f64) {
+        self.ci_bits.store(half_width.to_bits(), Ordering::Relaxed);
     }
 
     /// Record one completed trial (thread-safe).
@@ -151,19 +169,21 @@ impl Progress {
         if !self.enabled {
             return;
         }
-        // Render at most ~5 times per second; always render the last one.
+        // Render at most once per interval; always render the last one.
         let mut last = match self.last_render.try_lock() {
             Ok(guard) => guard,
             Err(_) => return,
         };
-        if done < self.total && last.elapsed().as_millis() < 200 {
+        if done < self.total && last.elapsed() < self.interval {
             return;
         }
         *last = Instant::now();
         let rate = self.rate();
         let eta = if rate > 0.0 { (self.total.saturating_sub(done)) as f64 / rate } else { 0.0 };
+        let ci = f64::from_bits(self.ci_bits.load(Ordering::Relaxed));
+        let ci_part = if ci.is_finite() { format!(", ci ±{ci:.4}") } else { String::new() };
         eprint!(
-            "\r{}: {}/{} trials ({:.0}/s, ETA {:.1}s)   ",
+            "\r{}: {}/{} trials ({:.0}/s, ETA {:.1}s{ci_part})   ",
             self.label, done, self.total, rate, eta
         );
         let _ = io::stderr().flush();
@@ -198,13 +218,14 @@ impl Progress {
 }
 
 /// Optional observation hooks a campaign loop accepts: a metrics registry
-/// to tally into and a progress meter to tick. `CampaignObserver::none()`
-/// (or `Default`) observes nothing and adds no per-trial cost beyond two
-/// `Option` checks.
+/// to tally into, a progress meter to tick and a span bus to trace into.
+/// `CampaignObserver::none()` (or `Default`) observes nothing and adds no
+/// per-trial cost beyond a few `Option` checks.
 #[derive(Default, Clone, Copy)]
 pub struct CampaignObserver<'a> {
     pub metrics: Option<&'a MetricsRegistry>,
     pub progress: Option<&'a Progress>,
+    pub spans: Option<&'a SpanBus>,
 }
 
 impl<'a> CampaignObserver<'a> {
@@ -213,7 +234,12 @@ impl<'a> CampaignObserver<'a> {
     }
 
     pub fn with_metrics(metrics: &'a MetricsRegistry) -> Self {
-        CampaignObserver { metrics: Some(metrics), progress: None }
+        CampaignObserver { metrics: Some(metrics), ..Self::default() }
+    }
+
+    pub fn with_spans(mut self, spans: &'a SpanBus) -> Self {
+        self.spans = Some(spans);
+        self
     }
 }
 

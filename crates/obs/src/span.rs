@@ -1,0 +1,502 @@
+//! Campaign span bus: campaign → shard → trial → engine-phase spans.
+//!
+//! A [`SpanBus`] collects timed spans and instant events from a campaign
+//! run and exports them as Chrome Trace Event Format (loadable in
+//! `chrome://tracing` or Perfetto) or JSONL. Span *timing* is wall-clock
+//! (presentation side, like `Progress`); span *identity* is deterministic:
+//! trial spans use FaultPlan-keyed IDs derived from the campaign label and
+//! trial index via [`keyed_id`], so the same trial gets the same span ID
+//! on every run and at every worker count.
+//!
+//! [`SpanSink`] adapts the bus to the engine's [`TraceSink`] hook points:
+//! it turns `PhaseBegin`/`PhaseEnd` events into engine-phase spans nested
+//! under a trial span. Campaign loops attach it to a *sampled* subset of
+//! trials (`phase_every`) so full tracing stays cheap.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::escape_str;
+use crate::trace::{TraceEvent, TraceSink};
+
+/// Parent ID for top-level spans.
+pub const ROOT_SPAN: u64 = 0;
+
+/// Default engine-phase sampling period: one trial in `DEFAULT_PHASE_EVERY`
+/// runs with the phase-tracing sink attached.
+pub const DEFAULT_PHASE_EVERY: u64 = 64;
+
+/// Deterministic span ID for item `n` under key `base` (splitmix64
+/// finalizer). The high bit is set so keyed IDs never collide with
+/// bus-allocated sequential IDs.
+pub fn keyed_id(base: u64, n: u64) -> u64 {
+    let mut z = base ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) | (1 << 63)
+}
+
+/// One recorded span (`dur_us: Some`) or instant event (`dur_us: None`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: u64,
+    pub name: String,
+    /// Category: `"campaign"`, `"shard"`, `"trial"`, `"engine"` or `"event"`.
+    pub cat: &'static str,
+    /// Track the span renders on (campaign = 0, shard `s` = `s + 1`).
+    pub tid: u64,
+    pub ts_us: u64,
+    pub dur_us: Option<u64>,
+    pub args: Vec<(&'static str, String)>,
+}
+
+/// Thread-safe collector for one campaign's spans.
+#[derive(Debug)]
+pub struct SpanBus {
+    started: Instant,
+    records: Mutex<Vec<SpanRecord>>,
+    next_id: AtomicU64,
+    phase_every: u64,
+}
+
+impl Default for SpanBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanBus {
+    pub fn new() -> Self {
+        SpanBus {
+            started: Instant::now(),
+            records: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            phase_every: DEFAULT_PHASE_EVERY,
+        }
+    }
+
+    /// Set the engine-phase sampling period (0 disables phase tracing).
+    pub fn with_phase_every(mut self, every: u64) -> Self {
+        self.phase_every = every;
+        self
+    }
+
+    pub fn phase_every(&self) -> u64 {
+        self.phase_every
+    }
+
+    /// Should trial `n` run with the engine-phase sink attached?
+    pub fn sample_phases(&self, trial: u64) -> bool {
+        self.phase_every != 0 && trial.is_multiple_of(self.phase_every)
+    }
+
+    /// Microseconds since the bus was created.
+    pub fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Allocate a fresh sequential span ID.
+    pub fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Append a fully-formed record (low-level; `begin`/`instant` cover
+    /// the common cases).
+    pub fn push(&self, record: SpanRecord) {
+        self.records.lock().unwrap_or_else(|e| e.into_inner()).push(record);
+    }
+
+    /// Open a span with a bus-allocated ID. The span closes (records
+    /// itself with its duration) on `end()` or drop, so a panic that
+    /// unwinds through a guard still closes it.
+    pub fn begin(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        parent: u64,
+        tid: u64,
+    ) -> OpenSpan<'_> {
+        self.begin_keyed(self.alloc_id(), name, cat, parent, tid)
+    }
+
+    /// Open a span with a caller-supplied (e.g. [`keyed_id`]) ID.
+    pub fn begin_keyed(
+        &self,
+        id: u64,
+        name: impl Into<String>,
+        cat: &'static str,
+        parent: u64,
+        tid: u64,
+    ) -> OpenSpan<'_> {
+        OpenSpan {
+            bus: self,
+            id,
+            parent,
+            tid,
+            t0_us: self.now_us(),
+            name: name.into(),
+            cat,
+            args: Vec::new(),
+            closed: false,
+        }
+    }
+
+    /// Record an instant event (retry, quarantine, watchdog trip, CI
+    /// update) at the current time.
+    pub fn instant(
+        &self,
+        name: impl Into<String>,
+        parent: u64,
+        tid: u64,
+        args: Vec<(&'static str, String)>,
+    ) {
+        self.push(SpanRecord {
+            id: self.alloc_id(),
+            parent,
+            name: name.into(),
+            cat: "event",
+            tid,
+            ts_us: self.now_us(),
+            dur_us: None,
+            args,
+        });
+    }
+
+    /// Copy of everything recorded so far.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Chrome Trace Event Format: a JSON array of complete (`"ph":"X"`)
+    /// and instant (`"ph":"i"`) events, timestamps in microseconds.
+    pub fn to_chrome_trace(&self) -> String {
+        let records = self.records.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::with_capacity(records.len() * 128 + 16);
+        out.push('[');
+        for (i, r) in records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n{\"name\":");
+            escape_str(&mut out, &r.name);
+            let _ = write!(
+                out,
+                ",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+                r.cat,
+                if r.dur_us.is_some() { "X" } else { "i" },
+                r.ts_us,
+                r.tid
+            );
+            match r.dur_us {
+                Some(d) => {
+                    let _ = write!(out, ",\"dur\":{d}");
+                }
+                None => out.push_str(",\"s\":\"t\""),
+            }
+            let _ =
+                write!(out, ",\"args\":{{\"id\":\"{:#x}\",\"parent\":\"{:#x}\"", r.id, r.parent);
+            for (k, v) in &r.args {
+                out.push(',');
+                escape_str(&mut out, k);
+                out.push(':');
+                escape_str(&mut out, v);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// One JSON object per record with numeric `id`/`parent`, for tooling
+    /// that wants the span tree rather than a rendering.
+    pub fn to_jsonl(&self) -> String {
+        let records = self.records.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::with_capacity(records.len() * 128);
+        for r in records.iter() {
+            let _ = write!(out, "{{\"id\":{},\"parent\":{},\"name\":", r.id, r.parent);
+            escape_str(&mut out, &r.name);
+            let _ = write!(
+                out,
+                ",\"cat\":\"{}\",\"tid\":{},\"ts_us\":{},\"dur_us\":",
+                r.cat, r.tid, r.ts_us
+            );
+            match r.dur_us {
+                Some(d) => {
+                    let _ = write!(out, "{d}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in r.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_str(&mut out, k);
+                out.push(':');
+                escape_str(&mut out, v);
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+
+    /// Write the Chrome trace to `path` (tmp file + atomic rename).
+    pub fn write_chrome_trace(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_chrome_trace())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// A span opened on a [`SpanBus`], recorded when ended or dropped.
+pub struct OpenSpan<'a> {
+    bus: &'a SpanBus,
+    id: u64,
+    parent: u64,
+    tid: u64,
+    t0_us: u64,
+    name: String,
+    cat: &'static str,
+    args: Vec<(&'static str, String)>,
+    closed: bool,
+}
+
+impl OpenSpan<'_> {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn tid(&self) -> u64 {
+        self.tid
+    }
+
+    /// Attach a key/value argument rendered in the trace viewer.
+    pub fn arg(&mut self, key: &'static str, value: impl Into<String>) {
+        self.args.push((key, value.into()));
+    }
+
+    /// Close the span, recording its duration.
+    pub fn end(self) {
+        drop(self);
+    }
+}
+
+impl Drop for OpenSpan<'_> {
+    fn drop(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        self.bus.push(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            cat: self.cat,
+            tid: self.tid,
+            ts_us: self.t0_us,
+            dur_us: Some(self.bus.now_us().saturating_sub(self.t0_us)),
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+/// [`TraceSink`] adapter: times `PhaseBegin`/`PhaseEnd` engine events into
+/// `"engine"` spans parented under a trial span, and counts everything
+/// else. Attach to sampled trials via `Target::execute_traced`.
+pub struct SpanSink<'a> {
+    bus: &'a SpanBus,
+    parent: u64,
+    tid: u64,
+    stack: Vec<(&'static str, u64, u64)>,
+    /// Total events seen (phases included).
+    pub events: u64,
+}
+
+impl<'a> SpanSink<'a> {
+    pub fn new(bus: &'a SpanBus, parent: u64, tid: u64) -> Self {
+        SpanSink { bus, parent, tid, stack: Vec::new(), events: 0 }
+    }
+}
+
+impl TraceSink for SpanSink<'_> {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        match *ev {
+            TraceEvent::PhaseBegin { idx, phase } => {
+                self.stack.push((phase, self.bus.now_us(), idx));
+            }
+            TraceEvent::PhaseEnd { idx, phase } => {
+                // Pop to the matching begin; tolerates truncated streams
+                // (e.g. a DUE raised mid-phase).
+                while let Some((name, t0, idx0)) = self.stack.pop() {
+                    if name != phase {
+                        continue;
+                    }
+                    self.bus.push(SpanRecord {
+                        id: self.bus.alloc_id(),
+                        parent: self.parent,
+                        name: name.to_string(),
+                        cat: "engine",
+                        tid: self.tid,
+                        ts_us: t0,
+                        dur_us: Some(self.bus.now_us().saturating_sub(t0)),
+                        args: vec![("idx0", idx0.to_string()), ("idx1", idx.to_string())],
+                    });
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn spans_nest_and_close() {
+        let bus = SpanBus::new();
+        let campaign = bus.begin("campaign", "campaign", ROOT_SPAN, 0);
+        let cid = campaign.id();
+        let mut shard = bus.begin("shard-0", "shard", cid, 1);
+        shard.arg("trials", "4");
+        let sid = shard.id();
+        let trial = bus.begin_keyed(keyed_id(7, 0), "trial", "trial", sid, 1);
+        let tid_span = trial.id();
+        assert_eq!(tid_span, keyed_id(7, 0));
+        trial.end();
+        bus.instant("retry", sid, 1, vec![("trial", "3".into())]);
+        shard.end();
+        campaign.end();
+
+        let records = bus.records();
+        assert_eq!(records.len(), 4);
+        // Closed in LIFO order: trial, instant, shard, campaign.
+        assert_eq!(records[0].cat, "trial");
+        assert_eq!(records[0].parent, sid);
+        assert!(records[0].dur_us.is_some());
+        assert_eq!(records[1].dur_us, None);
+        assert_eq!(records[3].parent, ROOT_SPAN);
+    }
+
+    #[test]
+    fn dropped_span_still_records() {
+        let bus = SpanBus::new();
+        {
+            let _span = bus.begin("shard-1", "shard", ROOT_SPAN, 2);
+            // Simulates unwinding without an explicit end().
+        }
+        let records = bus.records();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].dur_us.is_some());
+    }
+
+    #[test]
+    fn keyed_ids_are_stable_and_distinct() {
+        let a = keyed_id(42, 0);
+        assert_eq!(a, keyed_id(42, 0));
+        assert_ne!(a, keyed_id(42, 1));
+        assert_ne!(a, keyed_id(43, 0));
+        // High bit marks keyed IDs so they never collide with sequential
+        // bus-allocated ones.
+        assert!(a & (1 << 63) != 0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let bus = SpanBus::new();
+        let span = bus.begin("campaign \"q\"", "campaign", ROOT_SPAN, 0);
+        bus.instant("watchdog", span.id(), 1, vec![("trial", "9".into())]);
+        span.end();
+
+        let trace = bus.to_chrome_trace();
+        let doc = json::parse(&trace).expect("chrome trace parses");
+        let events = doc.as_arr().expect("array");
+        assert_eq!(events.len(), 2);
+        let by_ph = |ph: &str| {
+            events
+                .iter()
+                .find(|e| e.as_obj().unwrap()["ph"].as_str() == Some(ph))
+                .unwrap()
+                .as_obj()
+                .unwrap()
+                .clone()
+        };
+        let complete = by_ph("X");
+        assert!(complete["dur"].as_num().is_some());
+        assert_eq!(complete["name"].as_str(), Some("campaign \"q\""));
+        assert_eq!(complete["pid"].as_num(), Some(1.0));
+        let instant = by_ph("i");
+        assert_eq!(instant["s"].as_str(), Some("t"));
+        assert_eq!(instant["args"].as_obj().unwrap()["trial"].as_str(), Some("9"));
+    }
+
+    #[test]
+    fn jsonl_preserves_the_tree() {
+        let bus = SpanBus::new();
+        let parent = bus.begin("shard-0", "shard", ROOT_SPAN, 1);
+        let child = bus.begin("trial", "trial", parent.id(), 1);
+        let (pid, cid) = (parent.id(), child.id());
+        child.end();
+        parent.end();
+
+        let lines: Vec<_> = bus.to_jsonl().lines().map(str::to_string).collect();
+        assert_eq!(lines.len(), 2);
+        let first = json::parse(&lines[0]).unwrap();
+        let obj = first.as_obj().unwrap();
+        assert_eq!(obj["id"].as_num(), Some(cid as f64));
+        assert_eq!(obj["parent"].as_num(), Some(pid as f64));
+        assert!(obj["dur_us"].as_num().is_some());
+    }
+
+    #[test]
+    fn span_sink_times_phases_under_the_trial() {
+        let bus = SpanBus::new();
+        let trial_id = keyed_id(1, 5);
+        let mut sink = SpanSink::new(&bus, trial_id, 3);
+        sink.event(&TraceEvent::PhaseBegin { idx: 0, phase: "decode" });
+        sink.event(&TraceEvent::PhaseEnd { idx: 0, phase: "decode" });
+        sink.event(&TraceEvent::PhaseBegin { idx: 0, phase: "block" });
+        sink.event(&TraceEvent::InstrRetired {
+            idx: 0,
+            block: 0,
+            warp: 0,
+            lane: 0,
+            pc: 0,
+            op: "iadd",
+        });
+        sink.event(&TraceEvent::PhaseEnd { idx: 17, phase: "block" });
+        assert_eq!(sink.events, 5);
+
+        let records = bus.records();
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.parent == trial_id && r.cat == "engine"));
+        let block = records.iter().find(|r| r.name == "block").unwrap();
+        assert_eq!(block.args, vec![("idx0", "0".to_string()), ("idx1", "17".to_string())]);
+    }
+
+    #[test]
+    fn phase_sampling_period() {
+        let bus = SpanBus::new().with_phase_every(8);
+        assert!(bus.sample_phases(0));
+        assert!(!bus.sample_phases(7));
+        assert!(bus.sample_phases(8));
+        let off = SpanBus::new().with_phase_every(0);
+        assert!(!off.sample_phases(0));
+    }
+}

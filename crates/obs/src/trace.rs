@@ -58,6 +58,12 @@ pub enum TraceEvent {
     /// A lane evaluated a branch (taken = control transferred to
     /// `target`; not taken = fell through because the guard failed).
     Branch { idx: u64, block: u32, warp: u32, lane: u32, target: u32, taken: bool },
+    /// An engine phase ("decode", "block", "ecc-scrub") started. `idx` is
+    /// the dynamic instruction count at entry.
+    PhaseBegin { idx: u64, phase: &'static str },
+    /// The matching phase finished; `idx` is the dynamic count at exit, so
+    /// `PhaseEnd.idx - PhaseBegin.idx` is the phase's instruction volume.
+    PhaseEnd { idx: u64, phase: &'static str },
 }
 
 impl TraceEvent {
@@ -70,7 +76,9 @@ impl TraceEvent {
             | TraceEvent::DueRaised { idx, .. }
             | TraceEvent::BarrierArrive { idx, .. }
             | TraceEvent::BarrierRelease { idx, .. }
-            | TraceEvent::Branch { idx, .. } => idx,
+            | TraceEvent::Branch { idx, .. }
+            | TraceEvent::PhaseBegin { idx, .. }
+            | TraceEvent::PhaseEnd { idx, .. } => idx,
         }
     }
 
@@ -84,6 +92,8 @@ impl TraceEvent {
             TraceEvent::BarrierArrive { .. } => "bar_arrive",
             TraceEvent::BarrierRelease { .. } => "bar_release",
             TraceEvent::Branch { .. } => "branch",
+            TraceEvent::PhaseBegin { .. } => "phase_begin",
+            TraceEvent::PhaseEnd { .. } => "phase_end",
         }
     }
 
@@ -135,6 +145,12 @@ impl TraceEvent {
                     out,
                     "{{\"ev\":\"branch\",\"idx\":{idx},\"block\":{block},\"warp\":{warp},\"lane\":{lane},\"target\":{target},\"taken\":{taken}}}"
                 )
+            }
+            TraceEvent::PhaseBegin { idx, phase } => {
+                write!(out, "{{\"ev\":\"phase_begin\",\"idx\":{idx},\"phase\":\"{phase}\"}}")
+            }
+            TraceEvent::PhaseEnd { idx, phase } => {
+                write!(out, "{{\"ev\":\"phase_end\",\"idx\":{idx},\"phase\":\"{phase}\"}}")
             }
         };
     }
@@ -252,6 +268,8 @@ mod tests {
             TraceEvent::BarrierArrive { idx: 6, block: 0, warp: 0, lane: 0 },
             TraceEvent::BarrierRelease { idx: 6, block: 0, lanes: 64 },
             TraceEvent::Branch { idx: 7, block: 0, warp: 1, lane: 33, target: 2, taken: false },
+            TraceEvent::PhaseBegin { idx: 0, phase: "block" },
+            TraceEvent::PhaseEnd { idx: 8, phase: "block" },
             TraceEvent::DueRaised { idx: 8, kind: "watchdog" },
         ]
     }
