@@ -41,68 +41,22 @@
 //! Fluence (and therefore FIT denominators) scales with the trials
 //! actually spent, so fixed budgets remain the default discipline for
 //! beam statistics: stopping a beam campaign on a *proportion* CI would
-//! starve the Poisson error-count CIs the paper reports. The legacy
-//! `expose*` entry points survive as deprecated forwarders.
+//! starve the Poisson error-count CIs the paper reports. (The legacy
+//! `expose*` / `BeamConfig` forwarders, deprecated for several releases,
+//! are gone; see the README migration notes.)
 
 mod xsec;
 
 pub use xsec::CrossSections;
 
-use campaign::{Budget, Campaign, CampaignRun, Kind, Sampler, TrialPlan};
+use campaign::{CampaignRun, Kind, Sampler, TrialPlan};
 use gpu_arch::{DeviceModel, FunctionalUnit};
 use gpu_sim::{BitFlip, DueKind, Executed, FaultPlan, SiteClass, Target};
-use obs::{CampaignObserver, MetricsRegistry};
+use obs::MetricsRegistry;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use stats::{FitRate, Fluence, Outcome, OutcomeCounts};
 use std::sync::Arc;
-
-/// Legacy beam-campaign parameters, superseded by [`Beam`] +
-/// [`campaign::Budget`].
-#[deprecated(note = "use beam::Beam (kind) with campaign::Budget")]
-#[derive(Clone, Debug)]
-pub struct BeamConfig {
-    /// Accelerated flux, n/(cm^2 s). ChipIR delivers ~3.5e6. Set to `0.0`
-    /// to auto-tune the flux per target so the expected strikes per run
-    /// land at [`Beam::TARGET_LAMBDA`].
-    pub flux: f64,
-    /// Number of (accounted) runs; only runs that receive a strike are
-    /// actually executed.
-    pub runs: u32,
-    /// SECDED ECC state for the exposed device.
-    pub ecc: bool,
-    /// RNG seed.
-    pub seed: u64,
-}
-
-#[allow(deprecated)]
-impl BeamConfig {
-    /// Expected strikes per run under auto-tuned flux.
-    pub const TARGET_LAMBDA: f64 = Beam::TARGET_LAMBDA;
-
-    /// Auto-flux campaign.
-    pub fn auto(runs: u32, ecc: bool, seed: u64) -> Self {
-        BeamConfig { flux: 0.0, runs, ecc, seed }
-    }
-
-    /// The equivalent fixed [`Budget`].
-    pub fn budget(&self) -> Budget {
-        Budget::fixed(self.runs).seed(self.seed)
-    }
-
-    /// The equivalent campaign [`Beam`] kind (ground-truth
-    /// cross-sections).
-    pub fn kind(&self) -> Beam {
-        Beam { flux: self.flux, ecc: self.ecc, xsec: None }
-    }
-}
-
-#[allow(deprecated)]
-impl Default for BeamConfig {
-    fn default() -> Self {
-        BeamConfig { flux: 0.0, runs: 20_000, ecc: true, seed: 0xBEA4 }
-    }
-}
 
 /// Result of one beam campaign: SDC and DUE FIT rates with Poisson CIs.
 #[derive(Clone, Debug)]
@@ -477,67 +431,6 @@ impl<T: Target + Sync + ?Sized> Kind<T> for Beam {
     }
 }
 
-/// Expose a target to the beam and measure its SDC and DUE FIT rates.
-#[deprecated(note = "use campaign::Campaign::new(beam::Beam::auto(ecc), ...)")]
-#[allow(deprecated)]
-pub fn expose<T: Target + Sync + ?Sized>(
-    target: &T,
-    device: &DeviceModel,
-    config: &BeamConfig,
-) -> BeamResult {
-    expose_observed(target, device, config, CampaignObserver::none())
-}
-
-/// [`expose`] with observation hooks: per-run outcome tallies (by DUE
-/// kind, plus direct hidden-resource strikes) into the observer's metrics
-/// registry and a progress tick per accounted run.
-#[deprecated(note = "use campaign::Campaign::new(beam::Beam::auto(ecc), ...).observer(...)")]
-#[allow(deprecated)]
-pub fn expose_observed<T: Target + Sync + ?Sized>(
-    target: &T,
-    device: &DeviceModel,
-    config: &BeamConfig,
-    observer: CampaignObserver<'_>,
-) -> BeamResult {
-    Campaign::new(config.kind(), target, device)
-        .budget(config.budget())
-        .observer(observer)
-        .run()
-        .expect("beam campaign failed")
-}
-
-/// [`expose`] against explicit cross-sections (ablation studies: MBU-rate
-/// sweeps, hypothetical process nodes...).
-#[deprecated(note = "use campaign::Campaign::new(beam::Beam::auto(ecc).with_xsec(xsec), ...)")]
-#[allow(deprecated)]
-pub fn expose_with<T: Target + Sync + ?Sized>(
-    target: &T,
-    device: &DeviceModel,
-    xsec: &CrossSections,
-    config: &BeamConfig,
-) -> BeamResult {
-    expose_with_observed(target, device, xsec, config, CampaignObserver::none())
-}
-
-/// [`expose_with`] + [`expose_observed`] combined.
-#[deprecated(
-    note = "use campaign::Campaign::new(beam::Beam::auto(ecc).with_xsec(xsec), ...).observer(...)"
-)]
-#[allow(deprecated)]
-pub fn expose_with_observed<T: Target + Sync + ?Sized>(
-    target: &T,
-    device: &DeviceModel,
-    xsec: &CrossSections,
-    config: &BeamConfig,
-    observer: CampaignObserver<'_>,
-) -> BeamResult {
-    Campaign::new(config.kind().with_xsec(xsec.clone()), target, device)
-        .budget(config.budget())
-        .observer(observer)
-        .run()
-        .expect("beam campaign failed")
-}
-
 /// A hidden-resource-only exposure, used by ablation studies: returns the
 /// DUE FIT a device accumulates from resources no injector can reach.
 pub fn hidden_due_fit(device: &DeviceModel, seconds: f64, runs: u32, flux: f64) -> FitRate {
@@ -556,6 +449,7 @@ pub fn is_hidden_due(kind: DueKind) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use campaign::{Budget, Campaign};
     use gpu_arch::{CodeGen, Precision};
     use workloads::{build, Benchmark, Scale};
 
@@ -600,18 +494,6 @@ mod tests {
             })
             .collect();
         assert_eq!(counts[0], counts[1]);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_forwarders_match_the_campaign_api() {
-        let device = DeviceModel::k40c_sim();
-        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
-        let old = expose(&w, &device, &BeamConfig { flux: 3.5e6, runs: 300, ecc: true, seed: 7 });
-        let new = run(&w, &device, 300, true);
-        assert_eq!(old.counts, new.counts);
-        assert_eq!(old.struck_runs, new.struck_runs);
-        assert!((old.fluence.0 - new.fluence.0).abs() < 1e-9);
     }
 
     #[test]

@@ -9,12 +9,19 @@
 //! `BENCH_JSON_PATH` environment variable) so CI can record the perf
 //! trajectory per commit.
 //!
+//! The campaign section measures trials/second twice — with the golden
+//! snapshot fast-forward (DESIGN.md §16) enabled and disabled — and
+//! reports the speedup, plus a snapshot-cache size report
+//! (`BENCH_sim_throughput_snapshot_cache.txt`, override with
+//! `BENCH_SNAPSHOT_CACHE_PATH`) for the CI artifact.
+//!
 //! Run modes:
 //! * `cargo bench -p bench --bench sim_throughput` — full measurement;
 //! * `... -- --test` (or `--smoke`) — CI smoke mode: one warmup and a
-//!   short measurement window, still emitting the JSON.
+//!   short measurement window, still emitting the JSON. Smoke mode
+//!   asserts the snapshot-enabled campaign figure made it into the JSON.
 
-use campaign::{Budget, Campaign};
+use campaign::{golden, Budget, Campaign, SnapshotPolicy};
 use gpu_arch::{CodeGen, DeviceModel, Precision};
 use gpu_sim::Target;
 use injector::{Avf, Injector};
@@ -91,12 +98,13 @@ fn measure_campaign(
     workload: &Workload,
     device: &DeviceModel,
     trials: u32,
+    snapshots: SnapshotPolicy,
     budget_secs: f64,
     min_samples: usize,
 ) -> CampaignMeasurement {
     let run_once = || {
         Campaign::new(Avf::new(Injector::NvBitFi), workload, device)
-            .budget(Budget::fixed(trials).seed(2021))
+            .budget(Budget::fixed(trials).seed(2021).snapshots(snapshots))
             .run()
             .expect("throughput campaign failed")
     };
@@ -156,18 +164,35 @@ fn main() {
         );
     }
 
+    // Campaign trials/sec, snapshots on vs off: the same workload, seed
+    // and trial count, differing only in the fast-forward policy — so the
+    // ratio is the speedup the snapshot layer buys.
     let campaign_trials = if smoke { 50 } else { 200 };
-    let campaign_results = [measure_campaign(
-        "avf_nvbitfi_mxm_f32_tiny",
-        &build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny),
-        &DeviceModel::k40c_sim(),
-        campaign_trials,
-        budget_secs,
-        min_samples,
-    )];
+    let mxm_tiny = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+    let kepler = DeviceModel::k40c_sim();
+    let campaign_results = [
+        measure_campaign(
+            "avf_nvbitfi_mxm_f32_tiny",
+            &mxm_tiny,
+            &kepler,
+            campaign_trials,
+            SnapshotPolicy::Auto,
+            budget_secs,
+            min_samples,
+        ),
+        measure_campaign(
+            "avf_nvbitfi_mxm_f32_tiny_nosnap",
+            &mxm_tiny,
+            &kepler,
+            campaign_trials,
+            SnapshotPolicy::Off,
+            budget_secs,
+            min_samples,
+        ),
+    ];
     for m in &campaign_results {
         println!(
-            "sim_throughput/{:<26} {:>8.1} trials/s  (best {:.3} ms, mean {:.3} ms, {} trials, {} samples)",
+            "sim_throughput/{:<32} {:>8.1} trials/s  (best {:.3} ms, mean {:.3} ms, {} trials, {} samples)",
             m.name,
             m.trials_per_sec(),
             m.best_secs * 1e3,
@@ -176,6 +201,10 @@ fn main() {
             m.samples,
         );
     }
+    let snap_rate = campaign_results[0].trials_per_sec();
+    let nosnap_rate = campaign_results[1].trials_per_sec();
+    let speedup = snap_rate / nosnap_rate;
+    println!("sim_throughput/snapshot_fastforward_speedup {speedup:>8.2}x (snapshots {snap_rate:.1} vs from-zero {nosnap_rate:.1} trials/s)");
 
     let path = std::env::var("BENCH_JSON_PATH")
         .unwrap_or_else(|_| "BENCH_sim_throughput.json".to_string());
@@ -207,10 +236,44 @@ fn main() {
             sep
         );
     }
-    json.push_str("  ]\n}\n");
-    if let Err(e) = std::fs::write(&path, json) {
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"snapshots\": {{\"case\": \"avf_nvbitfi_mxm_f32_tiny\", \"trials_per_sec_snapshots\": {snap_rate:.1}, \"trials_per_sec_nosnap\": {nosnap_rate:.1}, \"speedup\": {speedup:.3}}}"
+    );
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("sim_throughput: could not write {path}: {e}");
     } else {
         println!("sim_throughput: wrote {path}");
+    }
+
+    // Snapshot-cache size report for the CI artifact: which golden runs
+    // are cached and how much memory their snapshot sets hold.
+    let cache_path = std::env::var("BENCH_SNAPSHOT_CACHE_PATH")
+        .unwrap_or_else(|_| "BENCH_sim_throughput_snapshot_cache.txt".to_string());
+    let report = golden::cache_report();
+    if let Err(e) = std::fs::write(&cache_path, &report) {
+        eprintln!("sim_throughput: could not write {cache_path}: {e}");
+    } else {
+        println!("sim_throughput: wrote {cache_path}");
+    }
+
+    if smoke {
+        // CI contract: the snapshot-enabled campaign figure must be
+        // present (and sane) in the emitted JSON.
+        let written = std::fs::read_to_string(&path).expect("smoke: read back BENCH JSON");
+        assert!(
+            written.contains("\"trials_per_sec_snapshots\""),
+            "smoke: snapshot-enabled trials/sec missing from {path}"
+        );
+        assert!(
+            snap_rate > 0.0 && snap_rate.is_finite(),
+            "smoke: snapshot-enabled trials/sec not positive: {snap_rate}"
+        );
+        assert!(
+            report.contains("stride="),
+            "smoke: snapshot cache report has no cached entries:\n{report}"
+        );
     }
 }

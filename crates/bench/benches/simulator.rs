@@ -41,33 +41,27 @@ fn fault_runs(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("instruction_output", |b| {
         b.iter(|| {
-            let opts = RunOptions {
-                ecc: false,
-                fault: FaultPlan::InstructionOutput {
-                    nth: 5000,
-                    site: SiteClass::Unit(FunctionalUnit::Ffma),
-                    flip: BitFlip::single(12),
-                },
-                watchdog_limit: watchdog,
-                ..RunOptions::default()
-            };
+            let opts = RunOptions::trial(FaultPlan::InstructionOutput {
+                nth: 5000,
+                site: SiteClass::Unit(FunctionalUnit::Ffma),
+                flip: BitFlip::single(12),
+            })
+            .ecc(false)
+            .watchdog(watchdog);
             w.execute(&device, &opts)
         })
     });
     group.bench_function("register_bit", |b| {
         b.iter(|| {
-            let opts = RunOptions {
-                ecc: false,
-                fault: FaultPlan::RegisterBit {
-                    block: 0,
-                    thread: 7,
-                    reg: 16,
-                    flip: BitFlip::single(3),
-                    at: 10_000,
-                },
-                watchdog_limit: watchdog,
-                ..RunOptions::default()
-            };
+            let opts = RunOptions::trial(FaultPlan::RegisterBit {
+                block: 0,
+                thread: 7,
+                reg: 16,
+                flip: BitFlip::single(3),
+                at: 10_000,
+            })
+            .ecc(false)
+            .watchdog(watchdog);
             w.execute(&device, &opts)
         })
     });

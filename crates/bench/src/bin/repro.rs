@@ -126,15 +126,12 @@ fn write_demo_trace(path: &str) {
         std::process::exit(1);
     }));
     let mut sink = obs::JsonlTraceSink::new(file);
-    let opts = RunOptions {
-        ecc: false,
-        fault: FaultPlan::InstructionOutput {
-            nth: 10,
-            site: SiteClass::FloatArith,
-            flip: BitFlip::single(3),
-        },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::InstructionOutput {
+        nth: 10,
+        site: SiteClass::FloatArith,
+        flip: BitFlip::single(3),
+    })
+    .ecc(false);
     let out = w.execute_traced(&device, &opts, &mut sink);
     let mut writer = sink.into_inner();
     writer.flush().expect("flush trace file");

@@ -118,7 +118,7 @@ fn main() {
         kernel.shared_bytes
     );
     let launch = LaunchConfig::new(grid, block, params);
-    let opts = RunOptions { trace_limit: trace, ..RunOptions::default() };
+    let opts = RunOptions::golden().trace(trace);
     let mut sink = trace_out.as_deref().map(|path| {
         let file = std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
             eprintln!("cannot create {path}: {e}");

@@ -12,7 +12,7 @@
 
 #![allow(clippy::unwrap_used)]
 
-use campaign::{Budget, Campaign};
+use campaign::{Budget, Campaign, SnapshotPolicy};
 use gpu_arch::{CodeGen, DeviceModel, Precision};
 use gpu_sim::{RunOptions, Target};
 use injector::{Avf, Injector};
@@ -67,6 +67,61 @@ fn campaign_tallies_pinned_hotspot_nvbitfi_v100() {
     );
 }
 
+/// Trial fast-forward must be invisible in the tallies: the pinned
+/// campaign digests reproduce exactly with snapshots off, at the Auto
+/// policy, and at two explicit strides — and at any worker count (the
+/// engine's shard fold is already order-independent, but run 1 and 4
+/// workers to prove the resume path doesn't break it).
+#[test]
+fn campaign_tallies_identical_snapshots_on_or_off_any_workers() {
+    let device = DeviceModel::k40c_sim();
+    let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
+    let policies = [
+        SnapshotPolicy::Off,
+        SnapshotPolicy::Auto,
+        SnapshotPolicy::Every(1000),
+        SnapshotPolicy::Every(7777),
+    ];
+    for policy in policies {
+        for workers in [1usize, 4] {
+            let (result, run) = Campaign::new(Avf::new(Injector::Sassifi), &w, &device)
+                .budget(Budget::fixed(160).seed(12021).snapshots(policy))
+                .workers(workers)
+                .run_full()
+                .unwrap();
+            assert_eq!(run.trials, 160);
+            assert_eq!(
+                (result.counts.sdc, result.counts.due, result.counts.masked),
+                (103, 39, 18),
+                "tallies drifted with snapshots={policy:?} workers={workers}"
+            );
+        }
+    }
+}
+
+/// The golden run's own digests (counts and SitesRecord) are unchanged by
+/// snapshot capture: the capture hook only copies state, never perturbs
+/// execution.
+#[test]
+fn golden_digests_identical_with_and_without_snapshots() {
+    let device = DeviceModel::v100_sim();
+    let w = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
+    let plain = w.execute(&device, &RunOptions::golden().record_sites(true));
+    for stride in [512u64, 4096] {
+        let snap =
+            w.execute(&device, &RunOptions::golden().record_sites(true).snapshot_every(stride));
+        assert_eq!(plain.counts.total, snap.counts.total);
+        assert_eq!(plain.counts.per_unit, snap.counts.per_unit);
+        assert_eq!(plain.counts.sites, snap.counts.sites);
+        assert_eq!(plain.memory.raw(), snap.memory.raw());
+        let a = plain.sites_record.as_ref().unwrap();
+        let b = snap.sites_record.as_ref().unwrap();
+        assert_eq!(a.site_pcs, b.site_pcs);
+        assert_eq!(a.block_windows, b.block_windows);
+        assert!(!snap.snapshots.is_empty(), "stride {stride} captured nothing");
+    }
+}
+
 #[test]
 fn golden_counts_and_sites_record_pinned() {
     let cases = [
@@ -84,7 +139,7 @@ fn golden_counts_and_sites_record_pinned() {
         ),
     ];
     for (name, w, device, (total, counts_digest, sites_len, sites_digest)) in cases {
-        let opts = RunOptions { record_sites: true, ..RunOptions::default() };
+        let opts = RunOptions::golden().record_sites(true);
         let run = w.execute(&device, &opts);
         let c = &run.counts;
         let got_counts = digest_u64s(

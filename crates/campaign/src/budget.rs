@@ -59,6 +59,41 @@ impl Default for Watchdog {
     }
 }
 
+/// When the golden run captures engine snapshots for trial fast-forward.
+///
+/// Snapshots let each injection trial resume from the last golden
+/// checkpoint at or before its fault site instead of re-executing the
+/// fault-free prefix from instruction zero (DESIGN.md §16). The policy
+/// only changes *where trials start*, never what they compute: tallies,
+/// site records and golden digests are bit-identical under every variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SnapshotPolicy {
+    /// Never capture; every trial replays from instruction zero.
+    Off,
+    /// Capture every [`SnapshotPolicy::AUTO_STRIDE`] dynamic instructions
+    /// (the default): dense enough to skip most of a long golden prefix,
+    /// sparse enough that capture cost is noise on tiny kernels.
+    #[default]
+    Auto,
+    /// Capture every `n` dynamic instructions; `0` behaves like `Off`.
+    Every(u64),
+}
+
+impl SnapshotPolicy {
+    /// The capture stride [`SnapshotPolicy::Auto`] uses.
+    pub const AUTO_STRIDE: u64 = 4096;
+
+    /// The [`gpu_sim::RunOptions::snapshot_stride`] this policy requests
+    /// (`0` disables capture).
+    pub fn stride(self) -> u64 {
+        match self {
+            SnapshotPolicy::Off => 0,
+            SnapshotPolicy::Auto => Self::AUTO_STRIDE,
+            SnapshotPolicy::Every(n) => n,
+        }
+    }
+}
+
 /// How many trials a campaign runs and when it may stop early.
 ///
 /// A budget fixes the *shape* of a campaign:
@@ -93,6 +128,9 @@ pub struct Budget {
     pub shard_size: u32,
     /// Per-trial hang detection; see [`Watchdog`].
     pub watchdog: Watchdog,
+    /// Golden-snapshot capture for trial fast-forward; see
+    /// [`SnapshotPolicy`]. Tallies are identical under every policy.
+    pub snapshots: SnapshotPolicy,
 }
 
 impl Budget {
@@ -109,6 +147,7 @@ impl Budget {
             seed: 0x5EED,
             shard_size: Self::DEFAULT_SHARD_SIZE,
             watchdog: Watchdog::default(),
+            snapshots: SnapshotPolicy::default(),
         }
     }
 
@@ -123,6 +162,7 @@ impl Budget {
             seed: 0x5EED,
             shard_size: Self::DEFAULT_SHARD_SIZE,
             watchdog: Watchdog::default(),
+            snapshots: SnapshotPolicy::default(),
         }
     }
 
@@ -156,6 +196,12 @@ impl Budget {
     /// Replace the watchdog configuration.
     pub fn watchdog(mut self, watchdog: Watchdog) -> Self {
         self.watchdog = watchdog;
+        self
+    }
+
+    /// Replace the snapshot policy (trial fast-forward).
+    pub fn snapshots(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshots = policy;
         self
     }
 
@@ -243,6 +289,7 @@ mod tests {
             seed: 0,
             shard_size: 8,
             watchdog: Watchdog::default(),
+            snapshots: SnapshotPolicy::default(),
         };
         assert_eq!(b.effective_ceiling(), 10);
         assert_eq!(b.effective_floor(), 10);
@@ -250,6 +297,17 @@ mod tests {
         assert_eq!(z.effective_ceiling(), 1);
         assert_eq!(z.effective_floor(), 1);
         assert_eq!(Budget::fixed(5).shard_size(0).shard_size, 1);
+    }
+
+    #[test]
+    fn snapshot_policy_maps_to_strides() {
+        assert_eq!(SnapshotPolicy::Off.stride(), 0);
+        assert_eq!(SnapshotPolicy::Auto.stride(), SnapshotPolicy::AUTO_STRIDE);
+        assert_eq!(SnapshotPolicy::Every(512).stride(), 512);
+        assert_eq!(SnapshotPolicy::Every(0).stride(), 0);
+        assert_eq!(Budget::fixed(10).snapshots, SnapshotPolicy::Auto);
+        let off = Budget::fixed(10).snapshots(SnapshotPolicy::Off);
+        assert_eq!(off.snapshots, SnapshotPolicy::Off);
     }
 
     #[test]

@@ -31,7 +31,9 @@ use crate::golden;
 use crate::store::CheckpointStore;
 use crate::supervise::{panic_message, DeadlineMonitor, QuarantineRecord};
 use gpu_arch::DeviceModel;
-use gpu_sim::{DueKind, ExecStatus, Executed, FaultPlan, RunOptions, Target};
+use gpu_sim::{
+    nearest_snapshot, DueKind, EngineSnapshot, ExecStatus, Executed, FaultPlan, RunOptions, Target,
+};
 use obs::span::SpanBus;
 use obs::{CampaignObserver, MetricsRegistry};
 use rand::SeedableRng;
@@ -298,15 +300,23 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
         let ecc = self.kind.ecc();
         let store_damage0 = self.store.as_deref().map_or(0, |s| s.damage_events());
         let golden_timer = obs::Timer::start();
-        let (golden, cache_hit) = if self.kind.record_sites() {
-            golden::fetch_recorded(self.target, self.device, ecc)
-        } else {
-            golden::fetch(self.target, self.device, ecc)
-        }
-        .map_err(CampaignError::GoldenFailed)?;
+        let stride = self.budget.snapshots.stride();
+        let req = golden::GoldenRequest::new(ecc)
+            .record_sites(self.kind.record_sites())
+            .snapshots(stride);
+        let (golden, cache_hit) =
+            golden::fetch(self.target, self.device, req).map_err(CampaignError::GoldenFailed)?;
+        // Fast-forward is gated by *this* budget's policy, not by whatever
+        // a cached golden happens to carry: with the policy off, trials
+        // replay from instruction zero even when snapshots are available.
+        let ff: Option<&[Arc<EngineSnapshot>]> =
+            (stride > 0 && !golden.snapshots.is_empty()).then(|| golden.snapshots.as_slice());
         if let Some(m) = self.observer.metrics {
             m.counter(if cache_hit { "campaign.golden.hit" } else { "campaign.golden.miss" }).inc();
             golden_timer.observe(&m.histogram("campaign.golden.fetch_micros"));
+            m.gauge("campaign.snapshot.cached").set(golden.snapshots.len() as f64);
+            m.gauge("campaign.snapshot.bytes")
+                .set(golden.snapshots.iter().map(|s| s.approx_bytes()).sum::<u64>() as f64);
         }
         let sampler = self.kind.prepare(self.target, self.device, &golden);
         let label = format!("{}/{}/{}", self.kind.label(), self.device.name, self.target.name());
@@ -402,6 +412,7 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
                 &sampler,
                 ecc,
                 watchdog,
+                ff,
                 wave_start..wave_end,
                 base_seed,
                 shard_size,
@@ -557,6 +568,7 @@ fn run_wave<T: Target + Sync + ?Sized, S: Sampler>(
     sampler: &S,
     ecc: bool,
     watchdog: u64,
+    ff: Option<&[Arc<EngineSnapshot>]>,
     shards: std::ops::Range<u32>,
     base_seed: u64,
     shard_size: u64,
@@ -578,6 +590,7 @@ fn run_wave<T: Target + Sync + ?Sized, S: Sampler>(
             sampler,
             ecc,
             watchdog,
+            ff,
             s,
             start..end,
             shard_seed(base_seed, s),
@@ -610,8 +623,20 @@ fn run_wave<T: Target + Sync + ?Sized, S: Sampler>(
 /// supervision wrapper can apply it (or discard it on a retry) as a
 /// unit.
 enum TrialTally {
-    Direct { outcome: Outcome, due: Option<DueKind>, label: &'static str },
-    Fault { plan: FaultPlan, outcome: Outcome, due: Option<DueKind>, dyn_instrs: u64 },
+    Direct {
+        outcome: Outcome,
+        due: Option<DueKind>,
+        label: &'static str,
+    },
+    Fault {
+        plan: FaultPlan,
+        outcome: Outcome,
+        due: Option<DueKind>,
+        dyn_instrs: u64,
+        /// Dynamic instructions skipped by resuming from a golden
+        /// snapshot; `None` when the trial replayed from zero.
+        fast_forwarded: Option<u64>,
+    },
 }
 
 impl TrialTally {
@@ -640,18 +665,23 @@ fn run_trial<T: Target + Sync + ?Sized, S: Sampler>(
     rng: &mut ChaCha12Rng,
     monitor: Option<(&DeadlineMonitor, usize)>,
     phase_trace: Option<(&SpanBus, u64, u64)>,
+    ff: Option<&[Arc<EngineSnapshot>]>,
 ) -> TrialTally {
     match sampler.sample(trial, rng) {
         TrialPlan::Direct { outcome, due, label } => TrialTally::Direct { outcome, due, label },
         TrialPlan::Fault(plan) => {
             let cancel = monitor.map(|(m, slot)| m.arm(slot));
-            let opts = RunOptions {
-                ecc,
-                fault: plan,
-                watchdog_limit: watchdog,
-                cancel,
-                ..RunOptions::default()
-            };
+            // Fast-forward: resume from the latest golden snapshot at or
+            // before the fault site. The skipped prefix is fault-free and
+            // bit-identical to the golden run, so the tally is the same
+            // either way — only the wall clock changes.
+            let resume = ff.and_then(|snaps| nearest_snapshot(snaps, &plan)).cloned();
+            let fast_forwarded = resume.as_ref().map(|s| s.dyn_count());
+            let opts = RunOptions::trial(plan)
+                .ecc(ecc)
+                .watchdog(watchdog)
+                .cancel_flag(cancel)
+                .resume(resume);
             // Sampled trials run with the engine-phase sink attached; the
             // sink only timestamps phase events, so architectural results
             // (and therefore tallies) are identical either way.
@@ -675,7 +705,13 @@ fn run_trial<T: Target + Sync + ?Sized, S: Sampler>(
                     }
                 }
             };
-            TrialTally::Fault { plan, outcome, due, dyn_instrs: faulty.counts.total }
+            TrialTally::Fault {
+                plan,
+                outcome,
+                due,
+                dyn_instrs: faulty.counts.total,
+                fast_forwarded,
+            }
         }
     }
 }
@@ -716,6 +752,7 @@ fn run_shard<T: Target + Sync + ?Sized, S: Sampler>(
     sampler: &S,
     ecc: bool,
     watchdog: u64,
+    ff: Option<&[Arc<EngineSnapshot>]>,
     shard: u32,
     range: std::ops::Range<u64>,
     seed: u64,
@@ -732,6 +769,15 @@ fn run_shard<T: Target + Sync + ?Sized, S: Sampler>(
     let trial_hists = observer
         .metrics
         .map(|m| (m.histogram("campaign.trial_micros"), m.histogram("campaign.trial_dyn_instrs")));
+    // Snapshot fast-forward instruments, resolved once per shard and only
+    // when the policy armed fast-forward for this campaign.
+    let snap_instr = ff.and(observer.metrics).map(|m| {
+        (
+            m.counter("campaign.snapshot.hit"),
+            m.counter("campaign.snapshot.miss"),
+            m.histogram("campaign.snapshot.fastforward_instrs"),
+        )
+    });
     let span_tid = shard as u64 + 1;
     let mut shard_span = observer.spans.map(|bus| {
         let mut span = bus.begin(format!("shard-{shard}"), "shard", campaign_span, span_tid);
@@ -761,6 +807,7 @@ fn run_shard<T: Target + Sync + ?Sized, S: Sampler>(
                 &mut r,
                 monitor,
                 phase_trace,
+                ff,
             );
             (tally, r)
         };
@@ -794,6 +841,17 @@ fn run_shard<T: Target + Sync + ?Sized, S: Sampler>(
                     }
                     if let TrialTally::Fault { dyn_instrs, .. } = tally {
                         hist_dyn.observe(dyn_instrs);
+                    }
+                }
+                if let TrialTally::Fault { fast_forwarded, .. } = tally {
+                    if let Some((hit, miss, hist)) = &snap_instr {
+                        match fast_forwarded {
+                            Some(skipped) => {
+                                hit.inc();
+                                hist.observe(skipped);
+                            }
+                            None => miss.inc(),
+                        }
                     }
                 }
                 if let Some(bus) = observer.spans {

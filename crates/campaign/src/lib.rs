@@ -64,10 +64,11 @@ pub mod golden;
 mod store;
 mod supervise;
 
-pub use budget::{Budget, Watchdog};
+pub use budget::{Budget, SnapshotPolicy, Watchdog};
 pub use checkpoint::{Checkpoint, StreamScan, CHECKPOINT_REPORT_KIND};
 pub use engine::{
     Campaign, CampaignError, CampaignRun, Kind, Sampler, StopReason, TrialPlan, QUARANTINE_LABEL,
 };
+pub use golden::GoldenRequest;
 pub use store::{CheckpointStore, StoreError};
 pub use supervise::{QuarantineRecord, QUARANTINE_REPORT_KIND};

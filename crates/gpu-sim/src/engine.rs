@@ -10,6 +10,7 @@
 use crate::error::SimError;
 use crate::fault::{BitFlip, DueKind, FaultPlan, SiteClass};
 use crate::memory::{GlobalMemory, SharedMemory};
+use crate::snapshot::{ClassTallies, EngineSnapshot, SNAPSHOT_CAP};
 use crate::timing::{self, TimingReport};
 use gpu_arch::{
     CmpOp, DecodedKernel, DeviceModel, FunctionalUnit, Instr, InstrMeta, Kernel, LaunchConfig,
@@ -61,6 +62,80 @@ pub struct RunOptions {
     /// which bounds dynamic instructions but not real time. `None` (the
     /// default) costs one `Option` check per poll window.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Capture an [`EngineSnapshot`] into [`Executed::snapshots`] roughly
+    /// every this many dynamic instructions (at the next block-scheduler
+    /// round boundary). Zero (the default) disables capture. Golden runs
+    /// backing fast-forwarded campaigns turn this on; past
+    /// [`SNAPSHOT_CAP`] snapshots the stride doubles and every other
+    /// snapshot is dropped, bounding memory.
+    pub snapshot_stride: u64,
+    /// Start execution from this snapshot instead of instruction 0,
+    /// skipping the bit-identical fault-free prefix. The snapshot must
+    /// come from a golden run of the same kernel/launch/memory geometry,
+    /// and the fault plan's trigger must not precede its capture point
+    /// (use [`crate::nearest_snapshot`]); violations are
+    /// [`SimError::ResumeConflict`]s. Incompatible with
+    /// [`RunOptions::record_sites`] and [`RunOptions::snapshot_stride`].
+    pub resume_from: Option<Arc<EngineSnapshot>>,
+}
+
+impl RunOptions {
+    /// Options for a golden (fault-free) run: the defaults.
+    pub fn golden() -> Self {
+        Self::default()
+    }
+
+    /// Options for an injection trial exercising `fault`.
+    pub fn trial(fault: FaultPlan) -> Self {
+        RunOptions { fault, ..Self::default() }
+    }
+
+    /// Set the ECC state (see [`RunOptions::ecc`]).
+    pub fn ecc(mut self, on: bool) -> Self {
+        self.ecc = on;
+        self
+    }
+
+    /// Set the dynamic-instruction watchdog limit (see
+    /// [`RunOptions::watchdog_limit`]).
+    pub fn watchdog(mut self, limit: u64) -> Self {
+        self.watchdog_limit = limit;
+        self
+    }
+
+    /// Record the first `limit` executed instructions (see
+    /// [`RunOptions::trace_limit`]).
+    pub fn trace(mut self, limit: usize) -> Self {
+        self.trace_limit = limit;
+        self
+    }
+
+    /// Toggle site-provenance recording (see [`RunOptions::record_sites`]).
+    pub fn record_sites(mut self, on: bool) -> Self {
+        self.record_sites = on;
+        self
+    }
+
+    /// Install (or clear) the cooperative cancellation flag (see
+    /// [`RunOptions::cancel`]).
+    pub fn cancel_flag(mut self, flag: Option<Arc<AtomicBool>>) -> Self {
+        self.cancel = flag;
+        self
+    }
+
+    /// Capture engine snapshots every `stride` dynamic instructions; zero
+    /// disables (see [`RunOptions::snapshot_stride`]).
+    pub fn snapshot_every(mut self, stride: u64) -> Self {
+        self.snapshot_stride = stride;
+        self
+    }
+
+    /// Resume from a golden-run snapshot, or run from instruction 0 when
+    /// `None` (see [`RunOptions::resume_from`]).
+    pub fn resume(mut self, snapshot: Option<Arc<EngineSnapshot>>) -> Self {
+        self.resume_from = snapshot;
+        self
+    }
 }
 
 /// How many dynamic instructions pass between polls of
@@ -78,6 +153,8 @@ impl Default for RunOptions {
             trace_limit: 0,
             record_sites: false,
             cancel: None,
+            snapshot_stride: 0,
+            resume_from: None,
         }
     }
 }
@@ -198,6 +275,10 @@ pub struct Executed {
     pub trace: Vec<String>,
     /// Site provenance, present iff [`RunOptions::record_sites`] was set.
     pub sites_record: Option<SitesRecord>,
+    /// Engine snapshots captured at [`RunOptions::snapshot_stride`]
+    /// intervals, empty unless capture was enabled. Trials fast-forward by
+    /// resuming from the [`crate::nearest_snapshot`] of their fault plan.
+    pub snapshots: Vec<Arc<EngineSnapshot>>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -205,6 +286,21 @@ enum TState {
     Running,
     AtBarrier,
     Exited,
+}
+
+/// A thread's architectural state as stored inside an [`EngineSnapshot`]:
+/// registers trimmed at the last nonzero word (fresh registers are zero,
+/// so the trim is lossless), scheduler state as a small integer.
+#[derive(Clone, Debug)]
+pub(crate) struct ThreadState {
+    /// Register file, trimmed at the last nonzero register.
+    pub(crate) regs: Vec<u32>,
+    /// Predicate register bits.
+    pub(crate) preds: u8,
+    /// Program counter.
+    pub(crate) pc: u32,
+    /// 0 = running, 1 = at barrier, 2 = exited.
+    pub(crate) state: u8,
 }
 
 struct Thread {
@@ -217,6 +313,37 @@ struct Thread {
 }
 
 impl Thread {
+    fn to_state(&self) -> ThreadState {
+        let live = self.regs.iter().rposition(|&r| r != 0).map_or(0, |i| i + 1);
+        ThreadState {
+            regs: self.regs[..live].to_vec(),
+            preds: self.preds,
+            pc: self.pc,
+            state: match self.state {
+                TState::Running => 0,
+                TState::AtBarrier => 1,
+                TState::Exited => 2,
+            },
+        }
+    }
+
+    fn from_state(st: &ThreadState, t: u32, block_x: u32) -> Thread {
+        let mut regs = Box::new([0u32; 256]);
+        regs[..st.regs.len()].copy_from_slice(&st.regs);
+        Thread {
+            regs,
+            preds: st.preds,
+            pc: st.pc,
+            state: match st.state {
+                0 => TState::Running,
+                1 => TState::AtBarrier,
+                _ => TState::Exited,
+            },
+            tid_x: t % block_x,
+            tid_y: t / block_x,
+        }
+    }
+
     fn reg(&self, r: Reg) -> u32 {
         if r.is_rz() {
             0
@@ -265,6 +392,18 @@ impl Thread {
     }
 }
 
+/// Snapshot-capture state, present only when
+/// [`RunOptions::snapshot_stride`] is nonzero.
+struct Capture {
+    /// Current stride (doubles when the cap compacts).
+    stride: u64,
+    /// Next dynamic-instruction count at which to capture.
+    next_due: u64,
+    snapshots: Vec<Arc<EngineSnapshot>>,
+    /// Fault-hook match tallies mirrored per class (see [`ClassTallies`]).
+    tallies: ClassTallies,
+}
+
 struct Ctx<'a> {
     kernel: &'a Kernel,
     launch: &'a LaunchConfig,
@@ -279,6 +418,7 @@ struct Ctx<'a> {
     current_block: u32,
     trace: Vec<String>,
     record: Option<SitesRecord>,
+    cap: Option<Capture>,
     sink: Option<&'a mut (dyn TraceSink + 'a)>,
 }
 
@@ -341,6 +481,32 @@ pub fn try_run_with_sink<'a>(
         return Err(SimError::EmptyLaunch);
     }
     kernel.validate().map_err(SimError::InvalidKernel)?;
+    if let Some(snap) = opts.resume_from.as_deref() {
+        if opts.record_sites {
+            return Err(SimError::ResumeConflict(
+                "cannot record sites during a resumed run (the skipped prefix's sites \
+                 would be missing)"
+                    .to_string(),
+            ));
+        }
+        if opts.snapshot_stride != 0 {
+            return Err(SimError::ResumeConflict(
+                "cannot capture snapshots during a resumed run".to_string(),
+            ));
+        }
+        snap.check_geometry(
+            kernel.instrs.len(),
+            (launch.grid.x, launch.grid.y),
+            (launch.block.x, launch.block.y),
+            memory.len(),
+        )
+        .map_err(SimError::ResumeConflict)?;
+        if !snap.precedes(&opts.fault) {
+            return Err(SimError::ResumeConflict(
+                "fault plan's trigger precedes the snapshot capture point".to_string(),
+            ));
+        }
+    }
 
     // Decode once per launch: the hot loop below only does table lookups
     // over the per-pc `InstrMeta`, never re-classifying opcodes. Phase
@@ -374,17 +540,48 @@ pub fn try_run_with_sink<'a>(
         current_block: 0,
         trace: Vec::new(),
         record: opts.record_sites.then(SitesRecord::default),
+        cap: (opts.snapshot_stride > 0).then(|| Capture {
+            stride: opts.snapshot_stride,
+            next_due: opts.snapshot_stride,
+            snapshots: Vec::new(),
+            tallies: ClassTallies::default(),
+        }),
         sink,
     };
+
+    let resume = opts.resume_from.as_deref();
+    if let Some(snap) = resume {
+        // Seed the context with the golden run's state at the capture
+        // point: the trial's fault-free prefix is bit-identical to the
+        // golden run, so this is exactly the state a from-zero execution
+        // would have reached. The fault-hook counters are seeded with the
+        // number of matches the skipped prefix consumed, keeping site
+        // numbering global (relative to instruction 0, not the resume
+        // offset).
+        ctx.dyn_count = snap.dyn_count;
+        ctx.counts = snap.counts.clone();
+        ctx.global = snap.global.clone();
+        ctx.site_matches = match opts.fault {
+            FaultPlan::InstructionOutput { site, .. }
+            | FaultPlan::InstructionOutputSet { site, .. } => snap.tallies.class_matches(site),
+            _ => 0,
+        };
+        ctx.mem_ops = snap.counts.sites.mem_ops;
+        ctx.setp_ops = snap.counts.sites.setp;
+    }
 
     let mut status = ExecStatus::Completed;
     'blocks: for by in 0..launch.grid.y {
         for bx in 0..launch.grid.x {
             let block_linear = by * launch.grid.x + bx;
+            if resume.is_some_and(|s| block_linear < s.block) {
+                continue; // completed inside the snapshot's prefix
+            }
+            let init = resume.filter(|s| s.block == block_linear);
             ctx.current_block = block_linear;
             let window_start = ctx.dyn_count;
             emit!(ctx, TraceEvent::PhaseBegin { idx: window_start, phase: "block" });
-            let result = run_block(&mut ctx, &decoded, bx, by, block_linear);
+            let result = run_block(&mut ctx, &decoded, bx, by, block_linear, init);
             emit!(ctx, TraceEvent::PhaseEnd { idx: ctx.dyn_count, phase: "block" });
             if let Some(rec) = ctx.record.as_mut() {
                 rec.block_windows.push((window_start, ctx.dyn_count));
@@ -421,7 +618,44 @@ pub fn try_run_with_sink<'a>(
         fault_triggered: ctx.fault_triggered,
         trace: ctx.trace,
         sites_record: ctx.record,
+        snapshots: ctx.cap.map(|c| c.snapshots).unwrap_or_default(),
     })
+}
+
+/// Capture an [`EngineSnapshot`] of the current state (called at a
+/// block-round boundary, so `threads`/`shared` are between instructions).
+/// Past [`SNAPSHOT_CAP`] snapshots, drops every other one and doubles the
+/// stride.
+fn capture_snapshot(
+    ctx: &mut Ctx<'_>,
+    block_linear: u32,
+    threads: &[Thread],
+    shared: &SharedMemory,
+) {
+    let dyn_count = ctx.dyn_count;
+    let Some(cap) = ctx.cap.as_mut() else { return };
+    let snap = EngineSnapshot {
+        dyn_count,
+        counts: ctx.counts.clone(),
+        tallies: cap.tallies.clone(),
+        global: ctx.global.clone(),
+        block: block_linear,
+        threads: threads.iter().map(Thread::to_state).collect(),
+        shared: shared.clone(),
+        kernel_len: ctx.kernel.instrs.len() as u32,
+        grid: (ctx.launch.grid.x, ctx.launch.grid.y),
+        block_dim: (ctx.launch.block.x, ctx.launch.block.y),
+    };
+    cap.snapshots.push(Arc::new(snap));
+    if cap.snapshots.len() > SNAPSHOT_CAP {
+        let mut idx = 0usize;
+        cap.snapshots.retain(|_| {
+            idx += 1;
+            idx.is_multiple_of(2)
+        });
+        cap.stride = cap.stride.saturating_mul(2);
+    }
+    cap.next_due = dyn_count.saturating_add(cap.stride);
 }
 
 fn run_block(
@@ -430,27 +664,48 @@ fn run_block(
     bx: u32,
     by: u32,
     block_linear: u32,
+    init: Option<&EngineSnapshot>,
 ) -> Result<(), DueKind> {
     // Copy the kernel reference out of `ctx` so instruction borrows are
     // independent of the `&mut ctx` passed to the executors.
     let kernel = ctx.kernel;
     let block = ctx.launch.block;
     let nthreads = block.count() as usize;
-    let mut shared = SharedMemory::new(ctx.kernel.shared_bytes);
-    let mut threads: Vec<Thread> = (0..nthreads)
-        .map(|t| Thread {
-            regs: Box::new([0; 256]),
-            preds: 0,
-            pc: 0,
-            state: TState::Running,
-            tid_x: t as u32 % block.x,
-            tid_y: t as u32 / block.x,
-        })
-        .collect();
+    let (mut shared, mut threads): (SharedMemory, Vec<Thread>) = match init {
+        // Resume: restore the snapshot's mid-block state. The capture
+        // point was the top of this scheduler loop, so starting the loop
+        // over the restored state continues the run exactly.
+        Some(snap) => (
+            snap.shared.clone(),
+            snap.threads
+                .iter()
+                .enumerate()
+                .map(|(t, st)| Thread::from_state(st, t as u32, block.x))
+                .collect(),
+        ),
+        None => (
+            SharedMemory::new(ctx.kernel.shared_bytes),
+            (0..nthreads)
+                .map(|t| Thread {
+                    regs: Box::new([0; 256]),
+                    preds: 0,
+                    pc: 0,
+                    state: TState::Running,
+                    tid_x: t as u32 % block.x,
+                    tid_y: t as u32 / block.x,
+                })
+                .collect(),
+        ),
+    };
 
     let nwarps = nthreads.div_ceil(WARP_SIZE as usize);
 
     loop {
+        if let Some(cap) = &ctx.cap {
+            if ctx.dyn_count >= cap.next_due {
+                capture_snapshot(ctx, block_linear, &threads, &shared);
+            }
+        }
         let mut progress = false;
         let mut all_done = true;
 
@@ -860,6 +1115,9 @@ fn step(
         if let Some(rec) = ctx.record.as_mut() {
             rec.site_pcs.push(pc);
         }
+        if let Some(cap) = ctx.cap.as_mut() {
+            cap.tallies.note(meta);
+        }
     }
     if meta.is_load() {
         ctx.counts.sites.loads += 1;
@@ -1222,6 +1480,9 @@ fn exec_mma(
     if let Some(rec) = ctx.record.as_mut() {
         rec.site_pcs.push(threads[lo].pc);
     }
+    if let Some(cap) = ctx.cap.as_mut() {
+        cap.tallies.note(meta);
+    }
 
     let mut a_m = [[0f32; 16]; 16];
     let mut b_m = [[0f32; 16]; 16];
@@ -1332,6 +1593,9 @@ fn exec_shfl(
     ctx.counts.sites.gpr_writers += 1;
     if let Some(rec) = ctx.record.as_mut() {
         rec.site_pcs.push(threads[lo].pc);
+    }
+    if let Some(cap) = ctx.cap.as_mut() {
+        cap.tallies.note(meta);
     }
 
     let width = hi - lo;

@@ -21,6 +21,12 @@ pub enum SimError {
     InvalidKernel(KernelError),
     /// A host-side typed access fell outside the allocation.
     HostAccess(MemoryError),
+    /// A [`crate::RunOptions::resume_from`] snapshot cannot seed this run:
+    /// it was captured under a different kernel/launch/memory geometry,
+    /// the options combine resuming with snapshot capture or site
+    /// recording, or the fault plan's site precedes the snapshot (the
+    /// fault would have fired inside the skipped prefix).
+    ResumeConflict(String),
 }
 
 impl fmt::Display for SimError {
@@ -29,6 +35,7 @@ impl fmt::Display for SimError {
             SimError::EmptyLaunch => write!(f, "launch has zero threads"),
             SimError::InvalidKernel(why) => write!(f, "kernel failed validation: {why}"),
             SimError::HostAccess(e) => write!(f, "host access: {e}"),
+            SimError::ResumeConflict(why) => write!(f, "snapshot resume conflict: {why}"),
         }
     }
 }
@@ -38,7 +45,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::HostAccess(e) => Some(e),
             SimError::InvalidKernel(e) => Some(e),
-            SimError::EmptyLaunch => None,
+            SimError::EmptyLaunch | SimError::ResumeConflict(_) => None,
         }
     }
 }

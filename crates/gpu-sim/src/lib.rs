@@ -27,6 +27,7 @@ mod engine;
 mod error;
 mod fault;
 mod memory;
+mod snapshot;
 pub mod timing;
 
 pub use engine::{
@@ -36,6 +37,7 @@ pub use engine::{
 pub use error::SimError;
 pub use fault::{BitFlip, DueKind, FaultPlan, SiteClass};
 pub use memory::{GlobalMemory, MemoryError, SharedMemory};
+pub use snapshot::{nearest_snapshot, EngineSnapshot, SNAPSHOT_CAP};
 
 /// Anything the fault-injection and beam engines can exercise: a kernel
 /// with a launch configuration, a reproducible input image, and an

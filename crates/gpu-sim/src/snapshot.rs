@@ -1,0 +1,426 @@
+//! Engine snapshots: the golden run's architectural state at periodic
+//! dynamic-instruction barriers, so injection trials can fast-forward
+//! past their fault-free prefix (DESIGN.md §16).
+//!
+//! A snapshot captures everything the engine's state is a function of at
+//! a block-scheduler round boundary: the register file and predicates of
+//! every thread of the resident block, the block's shared memory, global
+//! memory (including latent ECC corruption — the scrub position), the
+//! dynamic-instruction counter, the accumulated [`Counts`], and the
+//! per-site-class match tallies the fault hooks count against. Resuming
+//! from a snapshot ([`crate::RunOptions::resume_from`]) reproduces the
+//! from-zero execution bit-for-bit **provided the fault site does not
+//! precede the snapshot** — which [`nearest`] guarantees by selecting the
+//! latest snapshot at or before the plan's trigger point.
+//!
+//! The parity argument: before a trial's fault fires, the trial executes
+//! exactly the golden instruction stream (a single [`FaultPlan`] has no
+//! architectural effect until its trigger), so the golden run's state at
+//! any earlier round boundary *is* the trial's state at that boundary.
+
+use crate::engine::{Counts, ThreadState};
+use crate::fault::FaultPlan;
+use crate::memory::{GlobalMemory, SharedMemory};
+use gpu_arch::{FunctionalUnit, InstrMeta, SiteClass};
+use std::sync::Arc;
+
+/// Maximum snapshots captured per run. When a capture would exceed the
+/// cap, every other existing snapshot is dropped and the stride doubles —
+/// memory stays bounded for arbitrarily long kernels while the snapshot
+/// spacing degrades gracefully (geometric, not cliff-edge).
+pub const SNAPSHOT_CAP: usize = 32;
+
+/// The injectable site classes with positional (`nth`-indexed) fault
+/// plans, in the order [`ClassTallies::base`] is indexed.
+const BASE_CLASSES: [SiteClass; 6] = [
+    SiteClass::GprWriter,
+    SiteClass::GprWriterNoHalf,
+    SiteClass::FloatArith,
+    SiteClass::HalfArith,
+    SiteClass::IntArith,
+    SiteClass::Load,
+];
+
+/// Running populations of every fault-hook enumeration: how many
+/// guard-passing GPR-writer instructions of each [`SiteClass`] have
+/// reached the output-fault hook so far. These mirror the engine's
+/// `site_matches` counter *per class* (and per functional unit, for
+/// [`SiteClass::Unit`] plans), so a resumed trial can seed its match
+/// counter with the exact number of matches the skipped prefix consumed.
+///
+/// Note this is **not** [`crate::SiteCounts`]: warp-level MMA ticks the
+/// `GprWriterNoHalf` match counter (an `FMMA` is a no-half writer) but
+/// not the `gpr_writers_no_half` population, so the tallies are counted
+/// at the fault-hook call sites themselves.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct ClassTallies {
+    /// Matches per positional class, indexed like `BASE_CLASSES`.
+    pub(crate) base: [u64; 6],
+    /// Guard-passing GPR writers per functional unit (the
+    /// [`SiteClass::Unit`] populations).
+    pub(crate) unit_writers: [u64; FunctionalUnit::COUNT],
+}
+
+impl ClassTallies {
+    /// Account one instruction that reached the output-fault hook.
+    #[inline]
+    pub(crate) fn note(&mut self, meta: &InstrMeta) {
+        for (slot, class) in self.base.iter_mut().zip(BASE_CLASSES) {
+            if meta.in_class(class) {
+                *slot += 1;
+            }
+        }
+        self.unit_writers[meta.unit_index as usize] += 1;
+    }
+
+    /// Matches of `site` consumed so far.
+    pub(crate) fn class_matches(&self, site: SiteClass) -> u64 {
+        match site {
+            SiteClass::GprWriter => self.base[0],
+            SiteClass::GprWriterNoHalf => self.base[1],
+            SiteClass::FloatArith => self.base[2],
+            SiteClass::HalfArith => self.base[3],
+            SiteClass::IntArith => self.base[4],
+            SiteClass::Load => self.base[5],
+            SiteClass::Unit(u) => self.unit_writers[u.index()],
+        }
+    }
+}
+
+/// The engine's architectural state at one block-round boundary of a run,
+/// sufficient to resume execution from that point (see the module doc for
+/// the parity argument). Captured by [`crate::RunOptions::snapshot_stride`],
+/// consumed by [`crate::RunOptions::resume_from`].
+#[derive(Clone, Debug)]
+pub struct EngineSnapshot {
+    /// Global dynamic-instruction counter at the capture point.
+    pub(crate) dyn_count: u64,
+    /// Accumulated execution statistics.
+    pub(crate) counts: Counts,
+    /// Fault-hook match tallies (see [`ClassTallies`]).
+    pub(crate) tallies: ClassTallies,
+    /// Global memory, including latent ECC corruption (the scrub state).
+    pub(crate) global: GlobalMemory,
+    /// Linear index of the block that was executing.
+    pub(crate) block: u32,
+    /// Per-thread register files, predicates, pcs and scheduler states of
+    /// the resident block.
+    pub(crate) threads: Vec<ThreadState>,
+    /// The resident block's shared memory.
+    pub(crate) shared: SharedMemory,
+    /// Geometry fingerprint: kernel length, grid and block dimensions.
+    /// Resume refuses a snapshot whose fingerprint does not match.
+    pub(crate) kernel_len: u32,
+    pub(crate) grid: (u32, u32),
+    pub(crate) block_dim: (u32, u32),
+}
+
+impl EngineSnapshot {
+    /// The global dynamic-instruction counter at the capture point — how
+    /// many instructions a trial resumed from this snapshot skips.
+    pub fn dyn_count(&self) -> u64 {
+        self.dyn_count
+    }
+
+    /// True when `plan`'s trigger point lies at or after this snapshot,
+    /// i.e. resuming from here cannot skip the fault site.
+    ///
+    /// Positional plans (`nth`-indexed) compare against the class match
+    /// tally; timed plans (`at`-indexed) compare against the dynamic
+    /// counter. [`FaultPlan::None`] has no site and never fast-forwards.
+    pub fn precedes(&self, plan: &FaultPlan) -> bool {
+        match *plan {
+            FaultPlan::None => false,
+            FaultPlan::InstructionOutput { nth, site, .. }
+            | FaultPlan::InstructionOutputSet { nth, site, .. } => {
+                self.tallies.class_matches(site) <= nth
+            }
+            FaultPlan::MemAddress { nth, .. } => self.counts.sites.mem_ops <= nth,
+            FaultPlan::PredicateOutput { nth } => self.counts.sites.setp <= nth,
+            FaultPlan::Pc { at, .. }
+            | FaultPlan::RegisterBit { at, .. }
+            | FaultPlan::GlobalMemBit { at, .. }
+            | FaultPlan::SharedMemBit { at, .. } => self.dyn_count <= at,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes (dominated by the memory
+    /// images and register files). Used for cache size reporting.
+    pub fn approx_bytes(&self) -> u64 {
+        let fixed = 256u64;
+        let counts = (self.counts.warp_latency.len() + self.counts.warp_instrs.len()) as u64 * 8;
+        let global = self.global.len() as u64;
+        let shared = self.shared.len() as u64;
+        let threads: u64 = self.threads.iter().map(|t| t.regs.len() as u64 * 4 + 8).sum();
+        fixed + counts + global + shared + threads
+    }
+
+    /// Check that this snapshot was captured under the same geometry the
+    /// caller is about to run.
+    pub(crate) fn check_geometry(
+        &self,
+        kernel_len: usize,
+        grid: (u32, u32),
+        block_dim: (u32, u32),
+        memory_len: u32,
+    ) -> Result<(), String> {
+        if self.kernel_len as usize != kernel_len {
+            return Err(format!(
+                "snapshot kernel length {} != launch kernel length {kernel_len}",
+                self.kernel_len
+            ));
+        }
+        if self.grid != grid || self.block_dim != block_dim {
+            return Err(format!(
+                "snapshot geometry grid {:?} block {:?} != launch grid {grid:?} block {block_dim:?}",
+                self.grid, self.block_dim
+            ));
+        }
+        if self.global.len() != memory_len {
+            return Err(format!(
+                "snapshot memory size {} != launch memory size {memory_len}",
+                self.global.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serialize to a self-describing little-endian byte image.
+    ///
+    /// The format is versioned (`GSNP` magic + version 1) and covers every
+    /// field, so a round-trip through [`EngineSnapshot::from_bytes`]
+    /// reproduces the snapshot exactly — the property the engine tests
+    /// pin. Corruption entries serialize in word order, making the byte
+    /// image deterministic despite the hash-map backing.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.approx_bytes() as usize + 64);
+        out.extend_from_slice(b"GSNP");
+        put_u32(&mut out, 1); // version
+        put_u64(&mut out, self.dyn_count);
+        put_u32(&mut out, self.block);
+        put_u32(&mut out, self.kernel_len);
+        put_u32(&mut out, self.grid.0);
+        put_u32(&mut out, self.grid.1);
+        put_u32(&mut out, self.block_dim.0);
+        put_u32(&mut out, self.block_dim.1);
+        // Counts.
+        put_u64(&mut out, self.counts.total);
+        for v in self.counts.per_unit {
+            put_u64(&mut out, v);
+        }
+        for v in self.counts.per_mix {
+            put_u64(&mut out, v);
+        }
+        put_u32(&mut out, self.counts.warp_latency.len() as u32);
+        for &v in &self.counts.warp_latency {
+            put_u64(&mut out, v);
+        }
+        put_u32(&mut out, self.counts.warp_instrs.len() as u32);
+        for &v in &self.counts.warp_instrs {
+            put_u64(&mut out, v);
+        }
+        for v in [
+            self.counts.sites.gpr_writers,
+            self.counts.sites.gpr_writers_no_half,
+            self.counts.sites.loads,
+            self.counts.sites.mem_ops,
+            self.counts.sites.setp,
+        ] {
+            put_u64(&mut out, v);
+        }
+        // Tallies.
+        for v in self.tallies.base {
+            put_u64(&mut out, v);
+        }
+        for v in self.tallies.unit_writers {
+            put_u64(&mut out, v);
+        }
+        put_memory(&mut out, &self.global);
+        put_memory(&mut out, self.shared.inner());
+        // Threads.
+        put_u32(&mut out, self.threads.len() as u32);
+        for t in &self.threads {
+            put_u32(&mut out, t.regs.len() as u32);
+            for &r in &t.regs {
+                put_u32(&mut out, r);
+            }
+            out.push(t.preds);
+            put_u32(&mut out, t.pc);
+            out.push(t.state);
+        }
+        out
+    }
+
+    /// Deserialize a byte image produced by [`EngineSnapshot::to_bytes`].
+    ///
+    /// # Errors
+    /// A human-readable description when the image is truncated, carries
+    /// the wrong magic/version, or fails an internal length check.
+    pub fn from_bytes(bytes: &[u8]) -> Result<EngineSnapshot, String> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        if cur.take(4)? != b"GSNP" {
+            return Err("bad snapshot magic".to_string());
+        }
+        let version = cur.u32()?;
+        if version != 1 {
+            return Err(format!("unsupported snapshot version {version}"));
+        }
+        let dyn_count = cur.u64()?;
+        let block = cur.u32()?;
+        let kernel_len = cur.u32()?;
+        let grid = (cur.u32()?, cur.u32()?);
+        let block_dim = (cur.u32()?, cur.u32()?);
+        let total = cur.u64()?;
+        let mut per_unit = [0u64; FunctionalUnit::COUNT];
+        for v in per_unit.iter_mut() {
+            *v = cur.u64()?;
+        }
+        let mut per_mix = [0u64; gpu_arch::MixCategory::COUNT];
+        for v in per_mix.iter_mut() {
+            *v = cur.u64()?;
+        }
+        let n = cur.u32()? as usize;
+        cur.check_remaining(n.saturating_mul(8))?;
+        let warp_latency: Vec<u64> = (0..n).map(|_| cur.u64()).collect::<Result<_, _>>()?;
+        let n = cur.u32()? as usize;
+        cur.check_remaining(n.saturating_mul(8))?;
+        let warp_instrs: Vec<u64> = (0..n).map(|_| cur.u64()).collect::<Result<_, _>>()?;
+        let sites = crate::engine::SiteCounts {
+            gpr_writers: cur.u64()?,
+            gpr_writers_no_half: cur.u64()?,
+            loads: cur.u64()?,
+            mem_ops: cur.u64()?,
+            setp: cur.u64()?,
+        };
+        let mut tallies = ClassTallies::default();
+        for v in tallies.base.iter_mut() {
+            *v = cur.u64()?;
+        }
+        for v in tallies.unit_writers.iter_mut() {
+            *v = cur.u64()?;
+        }
+        let global = take_memory(&mut cur)?;
+        let shared = SharedMemory::from_inner(take_memory(&mut cur)?);
+        let nthreads = cur.u32()? as usize;
+        let mut threads = Vec::with_capacity(nthreads.min(4096));
+        for _ in 0..nthreads {
+            let nregs = cur.u32()? as usize;
+            if nregs > 256 {
+                return Err(format!("snapshot thread has {nregs} registers (max 256)"));
+            }
+            let regs: Vec<u32> = (0..nregs).map(|_| cur.u32()).collect::<Result<_, _>>()?;
+            let preds = cur.u8()?;
+            let pc = cur.u32()?;
+            let state = cur.u8()?;
+            if state > 2 {
+                return Err(format!("snapshot thread has invalid state {state}"));
+            }
+            threads.push(ThreadState { regs, preds, pc, state });
+        }
+        Ok(EngineSnapshot {
+            dyn_count,
+            counts: Counts { total, per_unit, per_mix, warp_latency, warp_instrs, sites },
+            tallies,
+            global,
+            block,
+            threads,
+            shared,
+            kernel_len,
+            grid,
+            block_dim,
+        })
+    }
+}
+
+/// The latest snapshot whose capture point lies at or before `plan`'s
+/// trigger — the one that skips the most prefix without skipping the
+/// fault site. `None` when the plan is golden, the list is empty, or the
+/// fault fires before the first snapshot.
+pub fn nearest_snapshot<'a>(
+    snapshots: &'a [Arc<EngineSnapshot>],
+    plan: &FaultPlan,
+) -> Option<&'a Arc<EngineSnapshot>> {
+    // Capture order is dyn-count order and every trigger counter is
+    // nondecreasing along the run, so the latest qualifying snapshot is
+    // the first match scanning backwards.
+    snapshots.iter().rev().find(|s| s.precedes(plan))
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_memory(out: &mut Vec<u8>, mem: &GlobalMemory) {
+    let (data, corr) = mem.snapshot_parts();
+    put_u32(out, data.len() as u32);
+    out.extend_from_slice(data);
+    put_u32(out, corr.len() as u32);
+    for (word, mask, strikes) in corr {
+        put_u32(out, word);
+        put_u32(out, mask);
+        out.push(strikes);
+    }
+}
+
+fn take_memory(cur: &mut Cursor<'_>) -> Result<GlobalMemory, String> {
+    let len = cur.u32()? as usize;
+    let data = cur.take(len)?.to_vec();
+    let ncorr = cur.u32()? as usize;
+    cur.check_remaining(ncorr.saturating_mul(9))?;
+    let mut corr = Vec::with_capacity(ncorr);
+    for _ in 0..ncorr {
+        let word = cur.u32()?;
+        let mask = cur.u32()?;
+        let strikes = cur.u8()?;
+        corr.push((word, mask, strikes));
+    }
+    Ok(GlobalMemory::from_snapshot_parts(data, &corr))
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).ok_or("snapshot length overflow")?;
+        if end > self.bytes.len() {
+            return Err(format!(
+                "snapshot truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            ));
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn check_remaining(&self, n: usize) -> Result<(), String> {
+        if self.pos.saturating_add(n) > self.bytes.len() {
+            return Err("snapshot truncated: declared length exceeds image".to_string());
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+}

@@ -281,14 +281,11 @@ fn instruction_output_flip_causes_sdc() {
     let device = DeviceModel::v100();
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
     let golden = run_golden(&device, &kernel, &launch, mem.clone());
-    let opts = RunOptions {
-        fault: FaultPlan::InstructionOutput {
-            nth: 10,
-            site: SiteClass::Unit(gpu_arch::FunctionalUnit::Ffma),
-            flip: BitFlip::single(30), // high exponent bit: visible
-        },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::InstructionOutput {
+        nth: 10,
+        site: SiteClass::Unit(gpu_arch::FunctionalUnit::Ffma),
+        flip: BitFlip::single(30), // high exponent bit: visible
+    });
     let faulty = run(&device, &kernel, &launch, mem, &opts);
     assert_eq!(faulty.status, ExecStatus::Completed);
     assert!(faulty.fault_triggered);
@@ -299,14 +296,11 @@ fn instruction_output_flip_causes_sdc() {
 fn fault_beyond_dynamic_count_never_triggers() {
     let device = DeviceModel::v100();
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
-    let opts = RunOptions {
-        fault: FaultPlan::InstructionOutput {
-            nth: 1_000_000,
-            site: SiteClass::GprWriter,
-            flip: BitFlip::single(0),
-        },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::InstructionOutput {
+        nth: 1_000_000,
+        site: SiteClass::GprWriter,
+        flip: BitFlip::single(0),
+    });
     let out = run(&device, &kernel, &launch, mem, &opts);
     assert!(!out.fault_triggered);
     assert_eq!(out.status, ExecStatus::Completed);
@@ -316,10 +310,7 @@ fn fault_beyond_dynamic_count_never_triggers() {
 fn address_flip_low_bit_is_misalignment_due() {
     let device = DeviceModel::v100();
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
-    let opts = RunOptions {
-        fault: FaultPlan::MemAddress { nth: 0, flip: BitFlip::single(0) },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::MemAddress { nth: 0, flip: BitFlip::single(0) });
     let out = run(&device, &kernel, &launch, mem, &opts);
     assert_eq!(out.status, ExecStatus::Due(DueKind::MemoryViolation));
 }
@@ -328,10 +319,7 @@ fn address_flip_low_bit_is_misalignment_due() {
 fn address_flip_high_bit_is_oob_due() {
     let device = DeviceModel::v100();
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
-    let opts = RunOptions {
-        fault: FaultPlan::MemAddress { nth: 3, flip: BitFlip::single(28) },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::MemAddress { nth: 3, flip: BitFlip::single(28) });
     let out = run(&device, &kernel, &launch, mem, &opts);
     assert_eq!(out.status, ExecStatus::Due(DueKind::MemoryViolation));
 }
@@ -353,11 +341,7 @@ fn predicate_flip_changes_loop_count() {
     b.exit();
     let kernel = b.build().unwrap();
     let launch = LaunchConfig::new(1, 1, vec![0]);
-    let opts = RunOptions {
-        fault: FaultPlan::PredicateOutput { nth: 2 },
-        watchdog_limit: 10_000,
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::PredicateOutput { nth: 2 }).watchdog(10_000);
     let out = run(&DeviceModel::v100(), &kernel, &launch, GlobalMemory::new(4), &opts);
     assert!(out.fault_triggered);
     assert_eq!(out.status, ExecStatus::Completed);
@@ -368,11 +352,9 @@ fn predicate_flip_changes_loop_count() {
 fn pc_corruption_is_illegal_fetch_or_wild_jump() {
     let device = DeviceModel::v100();
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
-    let opts = RunOptions {
-        fault: FaultPlan::Pc { at: 5, flip: BitFlip::single(10) }, // jump +1024
-        watchdog_limit: 1_000_000,
-        ..RunOptions::default()
-    };
+    // Bit 10 makes the fetch jump +1024 instructions.
+    let opts =
+        RunOptions::trial(FaultPlan::Pc { at: 5, flip: BitFlip::single(10) }).watchdog(1_000_000);
     let out = run(&device, &kernel, &launch, mem, &opts);
     assert_eq!(out.status, ExecStatus::Due(DueKind::IllegalPc));
 }
@@ -388,7 +370,7 @@ fn watchdog_fires_on_runaway_loop() {
     b.exit();
     let kernel = b.build().unwrap();
     let launch = LaunchConfig::new(1, 1, vec![]);
-    let opts = RunOptions { watchdog_limit: 10_000, ..RunOptions::default() };
+    let opts = RunOptions::golden().watchdog(10_000);
     let out = run(&DeviceModel::k40c(), &kernel, &launch, GlobalMemory::new(4), &opts);
     assert_eq!(out.status, ExecStatus::Due(DueKind::Watchdog));
 }
@@ -401,17 +383,14 @@ fn register_bit_flip_without_ecc_corrupts() {
     // Flip thread 3's FFMA result (r9) while it is live: thread 3 runs the
     // FFMA (static instr 12) at global instant 32*12+3 = 387 and stores at
     // 483, so a strike at 400 lands between producer and consumer.
-    let opts = RunOptions {
-        ecc: false,
-        fault: FaultPlan::RegisterBit {
-            block: 0,
-            thread: 3,
-            reg: 9,
-            flip: BitFlip::single(30),
-            at: 400,
-        },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::RegisterBit {
+        block: 0,
+        thread: 3,
+        reg: 9,
+        flip: BitFlip::single(30),
+        at: 400,
+    })
+    .ecc(false);
     let out = run(&device, &kernel, &launch, mem, &opts);
     assert!(out.fault_triggered);
     assert_eq!(out.status, ExecStatus::Completed);
@@ -423,17 +402,14 @@ fn register_bit_flip_with_ecc_is_corrected() {
     let device = DeviceModel::v100();
     let (kernel, launch, mem) = saxpy_setup(32, 2.0);
     let golden = run_golden(&device, &kernel, &launch, mem.clone());
-    let opts = RunOptions {
-        ecc: true,
-        fault: FaultPlan::RegisterBit {
-            block: 0,
-            thread: 3,
-            reg: 9,
-            flip: BitFlip::single(30),
-            at: 400,
-        },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::RegisterBit {
+        block: 0,
+        thread: 3,
+        reg: 9,
+        flip: BitFlip::single(30),
+        at: 400,
+    })
+    .ecc(true);
     let out = run(&device, &kernel, &launch, mem, &opts);
     assert_eq!(out.status, ExecStatus::Completed);
     assert_eq!(golden.memory.raw(), out.memory.raw(), "ECC must correct");
@@ -443,17 +419,14 @@ fn register_bit_flip_with_ecc_is_corrected() {
 fn register_double_bit_with_ecc_is_due() {
     let device = DeviceModel::v100();
     let (kernel, launch, mem) = saxpy_setup(32, 2.0);
-    let opts = RunOptions {
-        ecc: true,
-        fault: FaultPlan::RegisterBit {
-            block: 0,
-            thread: 3,
-            reg: 5,
-            flip: BitFlip::double(3, 17),
-            at: 120,
-        },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::RegisterBit {
+        block: 0,
+        thread: 3,
+        reg: 5,
+        flip: BitFlip::double(3, 17),
+        at: 120,
+    })
+    .ecc(true);
     let out = run(&device, &kernel, &launch, mem, &opts);
     assert_eq!(out.status, ExecStatus::Due(DueKind::EccDoubleBit));
 }
@@ -464,11 +437,8 @@ fn global_memory_bit_flip_without_ecc_is_sdc() {
     let (kernel, launch, mem) = saxpy_setup(32, 2.0);
     let golden = run_golden(&device, &kernel, &launch, mem.clone());
     // Strike an input word before any thread reads it.
-    let opts = RunOptions {
-        ecc: false,
-        fault: FaultPlan::GlobalMemBit { byte: 16, bit: 27, at: 1, mbu: false },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::GlobalMemBit { byte: 16, bit: 27, at: 1, mbu: false })
+        .ecc(false);
     let out = run(&device, &kernel, &launch, mem, &opts);
     assert_eq!(out.status, ExecStatus::Completed);
     assert_ne!(golden.memory.raw(), out.memory.raw());
@@ -479,11 +449,8 @@ fn global_memory_bit_flip_with_ecc_is_masked() {
     let device = DeviceModel::v100();
     let (kernel, launch, mem) = saxpy_setup(32, 2.0);
     let golden = run_golden(&device, &kernel, &launch, mem.clone());
-    let opts = RunOptions {
-        ecc: true,
-        fault: FaultPlan::GlobalMemBit { byte: 16, bit: 27, at: 1, mbu: false },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::GlobalMemBit { byte: 16, bit: 27, at: 1, mbu: false })
+        .ecc(true);
     let out = run(&device, &kernel, &launch, mem, &opts);
     assert_eq!(out.status, ExecStatus::Completed);
     assert_eq!(golden.memory.raw(), out.memory.raw());
@@ -493,11 +460,8 @@ fn global_memory_bit_flip_with_ecc_is_masked() {
 fn global_memory_mbu_with_ecc_is_due() {
     let device = DeviceModel::v100();
     let (kernel, launch, mem) = saxpy_setup(32, 2.0);
-    let opts = RunOptions {
-        ecc: true,
-        fault: FaultPlan::GlobalMemBit { byte: 16, bit: 27, at: 1, mbu: true },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::GlobalMemBit { byte: 16, bit: 27, at: 1, mbu: true })
+        .ecc(true);
     let out = run(&device, &kernel, &launch, mem, &opts);
     assert_eq!(out.status, ExecStatus::Due(DueKind::EccDoubleBit));
 }
@@ -562,7 +526,7 @@ fn preset_cancel_flag_aborts_long_run_as_host_watchdog() {
     let kernel = forever_kernel();
     let launch = LaunchConfig::new(1, 32, vec![]);
     let cancel = Arc::new(AtomicBool::new(true));
-    let opts = RunOptions { cancel: Some(Arc::clone(&cancel)), ..RunOptions::default() };
+    let opts = RunOptions::golden().cancel_flag(Some(Arc::clone(&cancel)));
     let out = run(&device, &kernel, &launch, GlobalMemory::new(4), &opts);
     assert_eq!(out.status, ExecStatus::Due(DueKind::HostWatchdog));
     // The abort happens at the first poll boundary, not instantly.
@@ -587,7 +551,7 @@ fn cancel_flag_set_mid_run_stops_spinning_kernel() {
             cancel.store(true, Ordering::Relaxed);
         })
     };
-    let opts = RunOptions { cancel: Some(cancel), ..RunOptions::default() };
+    let opts = RunOptions::golden().cancel_flag(Some(cancel));
     let out = run(&device, &kernel, &launch, GlobalMemory::new(4), &opts);
     tripper.join().expect("tripper thread");
     assert_eq!(out.status, ExecStatus::Due(DueKind::HostWatchdog));
@@ -603,8 +567,7 @@ fn short_kernel_completes_even_with_cancel_set() {
     // normally even when the flag is already set.
     let device = DeviceModel::k40c_sim();
     let (kernel, launch, mem) = saxpy_setup(32, 1.5);
-    let opts =
-        RunOptions { cancel: Some(Arc::new(AtomicBool::new(true))), ..RunOptions::default() };
+    let opts = RunOptions::golden().cancel_flag(Some(Arc::new(AtomicBool::new(true))));
     let out = run(&device, &kernel, &launch, mem, &opts);
     assert_eq!(out.status, ExecStatus::Completed);
     assert!(out.counts.total < gpu_sim::CANCEL_POLL_INTERVAL);

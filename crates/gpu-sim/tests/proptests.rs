@@ -6,8 +6,12 @@
 use gpu_arch::{
     CmpOp, DeviceModel, KernelBuilder, LaunchConfig, MemWidth, Operand, Pred, Reg, SpecialReg,
 };
-use gpu_sim::{run, run_golden, BitFlip, ExecStatus, FaultPlan, GlobalMemory, RunOptions};
+use gpu_sim::{
+    nearest_snapshot, run, run_golden, try_run_with_sink, BitFlip, ExecStatus, FaultPlan,
+    GlobalMemory, RunOptions,
+};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn r(i: u8) -> Reg {
     Reg(i)
@@ -74,16 +78,11 @@ proptest! {
     ) {
         let device = DeviceModel::k40c_sim();
         let (k, l, m) = poly_setup(&xs, 1.5, -0.25);
-        let opts = RunOptions {
-            ecc: false,
-            fault: FaultPlan::InstructionOutput {
+        let opts = RunOptions::trial(FaultPlan::InstructionOutput {
                 nth,
                 site: gpu_sim::SiteClass::GprWriter,
                 flip: BitFlip::single(bit),
-            },
-            watchdog_limit: 1_000_000,
-            ..RunOptions::default()
-        };
+            }).ecc(false).watchdog(1_000_000);
         let a = run(&device, &k, &l, m.clone(), &opts);
         let b = run(&device, &k, &l, m, &opts);
         prop_assert_eq!(a.status, b.status);
@@ -105,12 +104,7 @@ proptest! {
         let (k, l, m) = poly_setup(&xs, 2.0, 1.0);
         prop_assume!(byte < m.len());
         let golden = run_golden(&device, &k, &l, m.clone());
-        let opts = RunOptions {
-            ecc: true,
-            fault: FaultPlan::GlobalMemBit { byte, bit, at, mbu: false },
-            watchdog_limit: 1_000_000,
-            ..RunOptions::default()
-        };
+        let opts = RunOptions::trial(FaultPlan::GlobalMemBit { byte, bit, at, mbu: false }).ecc(true).watchdog(1_000_000);
         let out = run(&device, &k, &l, m, &opts);
         prop_assert_eq!(out.status, ExecStatus::Completed);
         prop_assert_eq!(out.memory.raw(), golden.memory.raw());
@@ -128,14 +122,58 @@ proptest! {
         let xs: Vec<f32> = (0..16).map(|i| i as f32).collect();
         let (k, l, m) = poly_setup(&xs, 1.0, 0.0);
         prop_assume!(byte < m.len());
-        let opts = RunOptions {
-            ecc: false,
-            fault: FaultPlan::GlobalMemBit { byte, bit, at, mbu: false },
-            watchdog_limit: 1_000_000,
-            ..RunOptions::default()
-        };
+        let opts = RunOptions::trial(FaultPlan::GlobalMemBit { byte, bit, at, mbu: false }).ecc(false).watchdog(1_000_000);
         let out = run(&device, &k, &l, m, &opts);
         prop_assert_eq!(out.status, ExecStatus::Completed);
+    }
+
+    /// Fast-forward invariant: for any snapshot stride and any fault plan,
+    /// resuming a trial from the nearest golden snapshot reproduces the
+    /// from-zero [`gpu_sim::Executed`] bit-for-bit — status, dynamic
+    /// counts, output image and trigger flag.
+    #[test]
+    fn resume_from_any_stride_is_bit_exact(
+        stride in 1u64..400,
+        nth in 0u64..200,
+        bit in 0u32..32,
+        xs in prop::collection::vec(-10f32..10.0, 8..48),
+    ) {
+        let timed = bit % 2 == 0; // alternate between timed and positional plans
+        let device = DeviceModel::v100_sim();
+        let (k, l, m) = poly_setup(&xs, 1.25, -0.5);
+        let golden = run(
+            &device, &k, &l, m.clone(),
+            &RunOptions::golden().snapshot_every(stride),
+        );
+        prop_assert_eq!(golden.status, ExecStatus::Completed);
+        let plan = if timed {
+            FaultPlan::RegisterBit {
+                block: u32::MAX,
+                thread: nth as u32 % l.block.count() as u32,
+                reg: 7,
+                flip: BitFlip::single(bit),
+                at: nth % golden.counts.total,
+            }
+        } else {
+            FaultPlan::InstructionOutput {
+                nth,
+                site: gpu_sim::SiteClass::GprWriter,
+                flip: BitFlip::single(bit),
+            }
+        };
+        let from_zero = run(&device, &k, &l, m.clone(), &RunOptions::trial(plan));
+        if let Some(snap) = nearest_snapshot(&golden.snapshots, &plan) {
+            let resumed = try_run_with_sink(
+                &device, &k, &l, m,
+                &RunOptions::trial(plan).resume(Some(Arc::clone(snap))),
+                None,
+            ).expect("snapshot precedes the fault, resume must be accepted");
+            prop_assert_eq!(from_zero.status, resumed.status);
+            prop_assert_eq!(from_zero.fault_triggered, resumed.fault_triggered);
+            prop_assert_eq!(from_zero.counts.total, resumed.counts.total);
+            prop_assert_eq!(from_zero.counts.sites, resumed.counts.sites);
+            prop_assert_eq!(from_zero.memory.raw(), resumed.memory.raw());
+        }
     }
 
     /// A guarded loop kernel terminates for any trip count, and its

@@ -312,7 +312,7 @@ fn trace_records_requested_prefix() {
     b.iadd(r(0), r(0).into(), imm(2));
     b.exit();
     let k = b.build().unwrap();
-    let opts = RunOptions { trace_limit: 2, ..RunOptions::default() };
+    let opts = RunOptions::golden().trace(2);
     let out = run(
         &DeviceModel::v100_sim(),
         &k,

@@ -1,0 +1,297 @@
+//! Snapshot capture and trial fast-forward: resuming from any golden
+//! snapshot must reproduce the from-zero execution bit-for-bit, for every
+//! fault-plan family (DESIGN.md §16).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+
+use gpu_arch::{
+    CmpOp, DeviceModel, KernelBuilder, LaunchConfig, MemWidth, Operand, Pred, Reg, SpecialReg,
+};
+use gpu_sim::{
+    nearest_snapshot, run, try_run_with_sink, BitFlip, EngineSnapshot, Executed, FaultPlan,
+    GlobalMemory, RunOptions, SimError, SiteClass, SNAPSHOT_CAP,
+};
+use std::sync::Arc;
+
+fn r(i: u8) -> Reg {
+    Reg(i)
+}
+fn imm(v: u32) -> Operand {
+    Operand::Imm(v)
+}
+
+/// Multi-block kernel exercising loads, stores, integer/float arithmetic,
+/// a SETP-guarded loop and divergence: out[i] = sum_{k=1..=i%7} k + 2*x[i].
+fn fixture() -> (gpu_arch::Kernel, LaunchConfig, GlobalMemory) {
+    let mut b = KernelBuilder::new("snapfix");
+    b.s2r(r(0), SpecialReg::TidX);
+    b.s2r(r(1), SpecialReg::CtaidX);
+    b.s2r(r(2), SpecialReg::NtidX);
+    b.imad(r(0), r(1).into(), r(2).into(), r(0).into()); // gid
+    b.shl(r(3), r(0).into(), imm(2)); // byte offset
+    b.ldp(r(4), 0);
+    b.iadd(r(4), r(4).into(), r(3).into());
+    b.ldg(MemWidth::W32, r(5), r(4), 0); // x[i]
+    b.iadd(r(5), r(5).into(), r(5).into()); // 2*x[i]
+                                            // bound = gid % 7 via gid - (gid >> 3 roughly): keep it simple, use AND.
+    b.and(r(6), r(0).into(), imm(7)); // bound in 0..8
+    b.mov(r(7), imm(0)); // acc
+    b.mov(r(8), imm(0)); // k
+    b.label("top");
+    b.isetp(Pred(0), CmpOp::Lt, r(8).into(), r(6).into());
+    b.if_p(Pred(0)).iadd(r(8), r(8).into(), imm(1));
+    b.if_p(Pred(0)).iadd(r(7), r(7).into(), r(8).into());
+    b.if_p(Pred(0)).bra("top");
+    b.iadd(r(9), r(7).into(), r(5).into());
+    b.ldp(r(10), 1);
+    b.iadd(r(10), r(10).into(), r(3).into());
+    b.stg(MemWidth::W32, r(10), 0, r(9));
+    b.exit();
+    let kernel = b.build().unwrap();
+    let n = 128u32;
+    let mut mem = GlobalMemory::new(8 * n);
+    for i in 0..n {
+        mem.write_u32_host(4 * i, 3 * i + 1).unwrap();
+    }
+    let launch = LaunchConfig::new(n / 32, 32, vec![0, 4 * n]);
+    (kernel, launch, mem)
+}
+
+fn assert_bit_identical(a: &Executed, b: &Executed) {
+    assert_eq!(a.status, b.status);
+    assert_eq!(a.fault_triggered, b.fault_triggered);
+    assert_eq!(a.counts.total, b.counts.total);
+    assert_eq!(a.counts.per_unit, b.counts.per_unit);
+    assert_eq!(a.counts.per_mix, b.counts.per_mix);
+    assert_eq!(a.counts.warp_latency, b.counts.warp_latency);
+    assert_eq!(a.counts.warp_instrs, b.counts.warp_instrs);
+    assert_eq!(a.counts.sites, b.counts.sites);
+    assert_eq!(a.memory.raw(), b.memory.raw());
+}
+
+fn golden_with_snapshots(stride: u64) -> (Vec<Arc<EngineSnapshot>>, Executed) {
+    let device = DeviceModel::v100();
+    let (kernel, launch, mem) = fixture();
+    let out = run(&device, &kernel, &launch, mem, &RunOptions::golden().snapshot_every(stride));
+    assert!(out.status.completed());
+    (out.snapshots.clone(), out)
+}
+
+/// Run `plan` from zero and resumed from its nearest snapshot; both must
+/// agree bit-for-bit.
+fn check_parity(snapshots: &[Arc<EngineSnapshot>], plan: FaultPlan) -> bool {
+    let device = DeviceModel::v100();
+    let (kernel, launch, mem) = fixture();
+    let from_zero = run(&device, &kernel, &launch, mem.clone(), &RunOptions::trial(plan));
+    match nearest_snapshot(snapshots, &plan) {
+        Some(snap) => {
+            let resumed = try_run_with_sink(
+                &device,
+                &kernel,
+                &launch,
+                mem,
+                &RunOptions::trial(plan).resume(Some(Arc::clone(snap))),
+                None,
+            )
+            .expect("resume accepted");
+            assert!(
+                resumed.counts.total >= from_zero.counts.total.saturating_sub(snap.dyn_count())
+            );
+            assert_bit_identical(&from_zero, &resumed);
+            true
+        }
+        None => false,
+    }
+}
+
+#[test]
+fn snapshot_capture_does_not_change_the_run() {
+    let device = DeviceModel::v100();
+    let (kernel, launch, mem) = fixture();
+    let plain = run(&device, &kernel, &launch, mem.clone(), &RunOptions::golden());
+    let (snapshots, with_snaps) = golden_with_snapshots(200);
+    assert!(!snapshots.is_empty(), "expected snapshots on a {}-instr run", plain.counts.total);
+    assert_bit_identical(&plain, &with_snaps);
+    // Capture points are strictly increasing and mid-run.
+    for pair in snapshots.windows(2) {
+        assert!(pair[0].dyn_count() < pair[1].dyn_count());
+    }
+    assert!(snapshots.last().unwrap().dyn_count() < plain.counts.total);
+}
+
+#[test]
+fn resume_reproduces_every_fault_family_bit_for_bit() {
+    let (snapshots, golden) = golden_with_snapshots(150);
+    let mut fast_forwarded = 0u32;
+    let flip = BitFlip::single(3);
+    let sites = golden.counts.sites;
+    let mut plans = vec![
+        FaultPlan::MemAddress { nth: sites.mem_ops * 3 / 4, flip },
+        FaultPlan::PredicateOutput { nth: sites.setp * 3 / 4 },
+        FaultPlan::Pc { at: golden.counts.total * 3 / 4, flip },
+        FaultPlan::RegisterBit {
+            block: u32::MAX,
+            thread: 5,
+            reg: 7,
+            flip,
+            at: golden.counts.total / 2,
+        },
+        FaultPlan::GlobalMemBit { byte: 40, bit: 2, at: golden.counts.total / 2, mbu: false },
+        FaultPlan::SharedMemBit {
+            block: 1,
+            byte: 0,
+            bit: 1,
+            at: golden.counts.total / 2,
+            mbu: true,
+        },
+        // A fault whose site is never reached: resumes from the last
+        // snapshot and still matches (both runs are fault-free).
+        FaultPlan::InstructionOutput { nth: u64::MAX, site: SiteClass::GprWriter, flip },
+    ];
+    for class in [SiteClass::GprWriter, SiteClass::IntArith, SiteClass::Load] {
+        plans.push(FaultPlan::InstructionOutput { nth: sites.gpr_writers / 2, site: class, flip });
+        plans.push(FaultPlan::InstructionOutputSet {
+            nth: sites.gpr_writers - 1,
+            site: class,
+            value: 0,
+        });
+    }
+    for plan in plans {
+        if check_parity(&snapshots, plan) {
+            fast_forwarded += 1;
+        }
+    }
+    assert!(fast_forwarded >= 8, "only {fast_forwarded} plans found a usable snapshot");
+}
+
+#[test]
+fn every_snapshot_of_every_stride_resumes_exactly() {
+    let device = DeviceModel::v100();
+    let (kernel, launch, mem) = fixture();
+    // A late fault qualifies every snapshot as a resume point.
+    let plan = FaultPlan::Pc { at: u64::MAX, flip: BitFlip::single(1) };
+    let from_zero = run(&device, &kernel, &launch, mem.clone(), &RunOptions::trial(plan));
+    for stride in [75u64, 333, 1024] {
+        let (snapshots, _) = golden_with_snapshots(stride);
+        assert!(!snapshots.is_empty(), "stride {stride} captured nothing");
+        for snap in &snapshots {
+            let resumed = try_run_with_sink(
+                &device,
+                &kernel,
+                &launch,
+                mem.clone(),
+                &RunOptions::trial(plan).resume(Some(Arc::clone(snap))),
+                None,
+            )
+            .expect("resume accepted");
+            assert_bit_identical(&from_zero, &resumed);
+        }
+    }
+}
+
+#[test]
+fn nearest_snapshot_picks_the_latest_preceding() {
+    let (snapshots, golden) = golden_with_snapshots(100);
+    assert!(snapshots.len() >= 2);
+    // A timed fault between the first two capture points must select the
+    // first snapshot, not a later one.
+    let at = snapshots[0].dyn_count();
+    let plan = FaultPlan::Pc { at, flip: BitFlip::single(0) };
+    let picked = nearest_snapshot(&snapshots, &plan).expect("found");
+    assert_eq!(picked.dyn_count(), snapshots[0].dyn_count());
+    // A fault before the first snapshot has no resume point.
+    let early = FaultPlan::Pc { at: at - 1, flip: BitFlip::single(0) };
+    assert!(nearest_snapshot(&snapshots, &early).is_none());
+    // A fault after everything selects the last snapshot.
+    let late = FaultPlan::Pc { at: golden.counts.total, flip: BitFlip::single(0) };
+    let picked = nearest_snapshot(&snapshots, &late).expect("found");
+    assert_eq!(picked.dyn_count(), snapshots.last().unwrap().dyn_count());
+    // Golden plans never fast-forward.
+    assert!(nearest_snapshot(&snapshots, &FaultPlan::None).is_none());
+}
+
+#[test]
+fn resume_conflicts_are_rejected() {
+    let device = DeviceModel::v100();
+    let (kernel, launch, mem) = fixture();
+    let (snapshots, _) = golden_with_snapshots(200);
+    let snap = Arc::clone(snapshots.last().unwrap());
+    let plan = FaultPlan::Pc { at: u64::MAX, flip: BitFlip::single(0) };
+    let conflict = |opts: RunOptions| {
+        matches!(
+            try_run_with_sink(&device, &kernel, &launch, mem.clone(), &opts, None),
+            Err(SimError::ResumeConflict(_))
+        )
+    };
+    // Recording or re-capturing during a resumed run is rejected.
+    assert!(conflict(RunOptions::trial(plan).resume(Some(Arc::clone(&snap))).record_sites(true)));
+    assert!(conflict(RunOptions::trial(plan).resume(Some(Arc::clone(&snap))).snapshot_every(64)));
+    // A golden (fault-free) resume has no site to guard and is rejected.
+    assert!(conflict(RunOptions::golden().resume(Some(Arc::clone(&snap)))));
+    // A fault that fires inside the skipped prefix is rejected.
+    let early = FaultPlan::Pc { at: 0, flip: BitFlip::single(0) };
+    assert!(conflict(RunOptions::trial(early).resume(Some(Arc::clone(&snap)))));
+    // Geometry mismatch (different memory size) is rejected.
+    let bad_mem = GlobalMemory::new(16);
+    assert!(matches!(
+        try_run_with_sink(
+            &device,
+            &kernel,
+            &launch,
+            bad_mem,
+            &RunOptions::trial(plan).resume(Some(snap)),
+            None,
+        ),
+        Err(SimError::ResumeConflict(_))
+    ));
+}
+
+#[test]
+fn snapshot_serialization_round_trips() {
+    let (snapshots, _) = golden_with_snapshots(150);
+    for snap in &snapshots {
+        let bytes = snap.to_bytes();
+        let back = EngineSnapshot::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.dyn_count(), snap.dyn_count());
+        assert!(snap.approx_bytes() > 0);
+        // A deserialized snapshot resumes identically to the original.
+        let device = DeviceModel::v100();
+        let (kernel, launch, mem) = fixture();
+        let plan = FaultPlan::Pc { at: u64::MAX, flip: BitFlip::single(2) };
+        let a = try_run_with_sink(
+            &device,
+            &kernel,
+            &launch,
+            mem.clone(),
+            &RunOptions::trial(plan).resume(Some(Arc::clone(snap))),
+            None,
+        )
+        .unwrap();
+        let b = try_run_with_sink(
+            &device,
+            &kernel,
+            &launch,
+            mem,
+            &RunOptions::trial(plan).resume(Some(Arc::new(back))),
+            None,
+        )
+        .unwrap();
+        assert_bit_identical(&a, &b);
+    }
+    // Corrupt images are errors, not panics.
+    assert!(EngineSnapshot::from_bytes(b"nope").is_err());
+    let mut truncated = snapshots[0].to_bytes();
+    truncated.truncate(truncated.len() / 2);
+    assert!(EngineSnapshot::from_bytes(&truncated).is_err());
+}
+
+#[test]
+fn capture_count_stays_bounded_by_doubling() {
+    // Stride 1 would capture at every scheduler round; the doubling
+    // compaction must keep the count at or under SNAPSHOT_CAP.
+    let (snapshots, golden) = golden_with_snapshots(1);
+    assert!(snapshots.len() <= SNAPSHOT_CAP);
+    assert!(snapshots.len() >= SNAPSHOT_CAP / 4, "compaction dropped too much");
+    assert!(golden.status.completed());
+}

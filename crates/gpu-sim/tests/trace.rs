@@ -98,14 +98,11 @@ fn record(
 fn identical_runs_emit_byte_identical_traces() {
     let device = DeviceModel::k40c();
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
-    let opts = RunOptions {
-        fault: FaultPlan::InstructionOutput {
-            nth: 5,
-            site: SiteClass::GprWriter,
-            flip: BitFlip::single(7),
-        },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::InstructionOutput {
+        nth: 5,
+        site: SiteClass::GprWriter,
+        flip: BitFlip::single(7),
+    });
     let (out_a, sink_a) = record(&device, &kernel, &launch, mem.clone(), &opts);
     let (out_b, sink_b) = record(&device, &kernel, &launch, mem, &opts);
     assert_eq!(out_a.status, out_b.status);
@@ -136,10 +133,11 @@ fn fault_event_aligns_with_plan_site() {
     let device = DeviceModel::k40c();
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
     let flip = BitFlip::single(3);
-    let opts = RunOptions {
-        fault: FaultPlan::InstructionOutput { nth: 0, site: SiteClass::FloatArith, flip },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::InstructionOutput {
+        nth: 0,
+        site: SiteClass::FloatArith,
+        flip,
+    });
     let (out, sink) = record(&device, &kernel, &launch, mem, &opts);
     assert!(out.fault_triggered);
     let faults: Vec<&TraceEvent> =
@@ -207,10 +205,7 @@ fn due_run_ends_with_due_event() {
     let device = DeviceModel::k40c();
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
     // Corrupt a load *address* high bit: deterministic out-of-bounds DUE.
-    let opts = RunOptions {
-        fault: FaultPlan::MemAddress { nth: 0, flip: BitFlip::single(30) },
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::MemAddress { nth: 0, flip: BitFlip::single(30) });
     let (out, sink) = record(&device, &kernel, &launch, mem, &opts);
     assert!(matches!(out.status, ExecStatus::Due(_)));
     let dues: Vec<&TraceEvent> =

@@ -189,12 +189,13 @@ fn value_set_fault_zeroes_an_output() {
     b.exit();
     let k = b.build().unwrap();
     let launch = LaunchConfig::new(1, 1, vec![0]);
-    let opts = RunOptions {
-        ecc: false,
-        fault: FaultPlan::InstructionOutputSet { nth: 0, site: SiteClass::IntArith, value: 0 },
-        watchdog_limit: 10_000,
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::InstructionOutputSet {
+        nth: 0,
+        site: SiteClass::IntArith,
+        value: 0,
+    })
+    .ecc(false)
+    .watchdog(10_000);
     let out = run(&DeviceModel::k40c_sim(), &k, &launch, GlobalMemory::new(4), &opts);
     assert_eq!(out.status, ExecStatus::Completed);
     assert!(out.fault_triggered);
@@ -213,18 +214,15 @@ fn shfl_output_fault_corrupts_one_lane() {
     b.exit();
     let k = b.build().unwrap();
     let launch = LaunchConfig::new(1, 32, vec![0]);
-    let opts = RunOptions {
-        ecc: false,
-        // 32 S2Rs execute first (one per lane); the warp-wide SHFL is the
-        // 33rd GPR-writing instruction.
-        fault: FaultPlan::InstructionOutput {
-            nth: 32,
-            site: SiteClass::GprWriter,
-            flip: gpu_sim::BitFlip::single(4),
-        },
-        watchdog_limit: 100_000,
-        ..RunOptions::default()
-    };
+    // 32 S2Rs execute first (one per lane); the warp-wide SHFL is the
+    // 33rd GPR-writing instruction.
+    let opts = RunOptions::trial(FaultPlan::InstructionOutput {
+        nth: 32,
+        site: SiteClass::GprWriter,
+        flip: gpu_sim::BitFlip::single(4),
+    })
+    .ecc(false)
+    .watchdog(100_000);
     let out = run(&DeviceModel::v100_sim(), &k, &launch, GlobalMemory::new(128), &opts);
     assert_eq!(out.status, ExecStatus::Completed);
     assert!(out.fault_triggered);

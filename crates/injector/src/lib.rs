@@ -34,14 +34,14 @@
 //! injectable-site population, runs each to completion, classifies the
 //! outcome as SDC / DUE / Masked, and yields the AVF with a Wilson 95%
 //! CI — stopping early once the CI target is met when the budget is
-//! adaptive. The legacy `measure_avf*` entry points survive as deprecated
-//! forwarders.
+//! adaptive. (The legacy `measure_avf*` / `CampaignConfig` forwarders,
+//! deprecated for several releases, are gone; see the README migration
+//! notes.)
 
 use campaign::{Budget, Campaign, CampaignRun, Kind, Sampler, TrialPlan};
 use gpu_arch::decode::{FP32_ARITH_UNITS, FP64_ARITH_UNITS, HALF_ARITH_UNITS, INT_ARITH_UNITS};
 use gpu_arch::{Architecture, DeviceModel, FunctionalUnit, LaunchConfig};
 use gpu_sim::{BitFlip, ExecStatus, Executed, FaultPlan, SiteClass, Target};
-use obs::CampaignObserver;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use stats::{binomial_ci95, Outcome, OutcomeCounts};
@@ -125,34 +125,6 @@ pub enum Mode {
     /// Corrupt a memory instruction's effective address (SASSIFI's
     /// store-address group, extended to loads as in its LD group).
     Address,
-}
-
-/// Legacy campaign parameters, superseded by [`campaign::Budget`].
-#[deprecated(note = "use campaign::Budget (e.g. Budget::fixed(n).seed(s))")]
-#[derive(Clone, Debug)]
-pub struct CampaignConfig {
-    /// Number of injection runs.
-    pub injections: u32,
-    /// RNG seed (campaigns are fully reproducible).
-    pub seed: u64,
-}
-
-#[allow(deprecated)]
-impl Default for CampaignConfig {
-    fn default() -> Self {
-        // The paper uses >= 4,000 per code for NVBitFI; the default here
-        // is sized for a laptop-scale simulator while keeping the Wilson
-        // 95% CI under ~3%.
-        CampaignConfig { injections: 1000, seed: 0x5EED }
-    }
-}
-
-#[allow(deprecated)]
-impl CampaignConfig {
-    /// The equivalent fixed [`Budget`].
-    pub fn budget(&self) -> Budget {
-        Budget::fixed(self.injections).seed(self.seed)
-    }
 }
 
 /// The result of an AVF campaign (one bar of Figure 4).
@@ -676,77 +648,6 @@ impl<T: Target + Sync + ?Sized> Kind<T> for ClassAvf {
     }
 }
 
-/// Run a full AVF campaign of `config.injections` single-bit faults.
-///
-/// # Errors
-/// Returns [`Unsupported`] if the injector cannot instrument the target.
-#[deprecated(note = "use campaign::Campaign::new(injector::Avf::new(injector), ...)")]
-#[allow(deprecated)] // the signature takes the deprecated CampaignConfig
-pub fn measure_avf<T: Target + Sync + ?Sized>(
-    injector: Injector,
-    target: &T,
-    device: &DeviceModel,
-    config: &CampaignConfig,
-) -> Result<AvfResult, Unsupported> {
-    injector.supports(target, device)?;
-    Ok(Campaign::new(Avf::new(injector), target, device)
-        .budget(config.budget())
-        .run()
-        .expect("injection campaign failed"))
-}
-
-/// [`measure_avf`] with observation hooks: per-trial outcome tallies (by
-/// site class and DUE kind) into the observer's metrics registry and a
-/// progress tick per completed trial.
-#[deprecated(note = "use campaign::Campaign::new(injector::Avf::new(injector), ...).observer(...)")]
-#[allow(deprecated)]
-pub fn measure_avf_observed<T: Target + Sync + ?Sized>(
-    injector: Injector,
-    target: &T,
-    device: &DeviceModel,
-    config: &CampaignConfig,
-    observer: CampaignObserver<'_>,
-) -> Result<AvfResult, Unsupported> {
-    injector.supports(target, device)?;
-    Ok(Campaign::new(Avf::new(injector), target, device)
-        .budget(config.budget())
-        .observer(observer)
-        .run()
-        .expect("injection campaign failed"))
-}
-
-/// Measure the masking AVF of a micro-benchmark for the Figure 3 / FIT
-/// correction of Section V-A: injections restricted to the unit the
-/// micro-benchmark exercises.
-#[deprecated(note = "use campaign::Campaign::new(injector::ClassAvf::unit(unit), ...)")]
-#[allow(deprecated)] // the signature takes the deprecated CampaignConfig
-pub fn measure_unit_avf<T: Target + Sync + ?Sized>(
-    target: &T,
-    device: &DeviceModel,
-    unit: FunctionalUnit,
-    config: &CampaignConfig,
-) -> AvfResult {
-    Campaign::new(ClassAvf::unit(unit), target, device)
-        .budget(config.budget())
-        .run()
-        .expect("class-AVF campaign failed")
-}
-
-/// Measure an AVF with injections drawn from an arbitrary site class.
-#[deprecated(note = "use campaign::Campaign::new(injector::ClassAvf::new(class), ...)")]
-#[allow(deprecated)]
-pub fn measure_class_avf<T: Target + Sync + ?Sized>(
-    target: &T,
-    device: &DeviceModel,
-    class: SiteClass,
-    config: &CampaignConfig,
-) -> AvfResult {
-    Campaign::new(ClassAvf::new(class), target, device)
-        .budget(config.budget())
-        .run()
-        .expect("class-AVF campaign failed")
-}
-
 /// AVF broken down by injection-site class: which *kind* of instruction,
 /// once corrupted, drives the code's failure rate. The paper's conclusion
 /// ("this data can be used to tune future fault simulation frameworks")
@@ -766,7 +667,9 @@ pub fn measure_avf_breakdown<T: Target + Sync + ?Sized>(
     device: &DeviceModel,
     budget: &Budget,
 ) -> AvfBreakdown {
-    let (golden, _) = campaign::golden::fetch(target, device, false).expect("golden run failed");
+    let (golden, _) =
+        campaign::golden::fetch(target, device, campaign::golden::GoldenRequest::new(false))
+            .expect("golden run failed");
     let classes =
         [SiteClass::FloatArith, SiteClass::HalfArith, SiteClass::IntArith, SiteClass::Load];
     let mut per_class = Vec::new();
@@ -936,32 +839,6 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, campaign::CampaignError::CheckpointMismatch(_)));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_forwarders_match_the_campaign_api() {
-        let kepler = DeviceModel::k40c_sim();
-        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
-        let config = CampaignConfig { injections: 60, seed: 42 };
-        let old = measure_avf(Injector::Sassifi, &w, &kepler, &config).unwrap();
-        let new = avf(Injector::Sassifi, &w, &kepler, 60);
-        assert_eq!(old.counts, new.counts);
-        let old_unit = measure_unit_avf(
-            &microbench::arith(FunctionalUnit::Iadd),
-            &kepler,
-            FunctionalUnit::Iadd,
-            &config,
-        );
-        let new_unit = Campaign::new(
-            ClassAvf::unit(FunctionalUnit::Iadd),
-            &microbench::arith(FunctionalUnit::Iadd),
-            &kepler,
-        )
-        .budget(config.budget())
-        .run()
-        .unwrap();
-        assert_eq!(old_unit.counts, new_unit.counts);
     }
 
     #[test]

@@ -535,14 +535,11 @@ mod tests {
         let mb = arith(FunctionalUnit::Iadd);
         let golden = mb.execute_golden(&device);
         for nth in [0u64, 100, 5000] {
-            let opts = RunOptions {
-                fault: FaultPlan::InstructionOutput {
-                    nth,
-                    site: SiteClass::Unit(FunctionalUnit::Iadd),
-                    flip: BitFlip::single(7),
-                },
-                ..RunOptions::default()
-            };
+            let opts = RunOptions::trial(FaultPlan::InstructionOutput {
+                nth,
+                site: SiteClass::Unit(FunctionalUnit::Iadd),
+                flip: BitFlip::single(7),
+            });
             let out = mb.execute(&device, &opts);
             assert_eq!(out.status, ExecStatus::Completed);
             assert!(out.fault_triggered);

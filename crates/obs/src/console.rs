@@ -92,6 +92,20 @@ pub fn render_status(status: &StatusSnapshot) -> String {
         counter("campaign.golden.miss"),
     );
 
+    let snap_hit = counter("campaign.snapshot.hit");
+    let snap_miss = counter("campaign.snapshot.miss");
+    if snap_hit + snap_miss > 0 {
+        let _ = write!(out, "snapshots  fast-forwarded {}", pct(snap_hit, snap_hit + snap_miss));
+        if let Some(h) = m.histograms.get("campaign.snapshot.fastforward_instrs") {
+            let _ = write!(out, " · skipped p50 {} instrs", h.quantile(0.5));
+        }
+        if let Some(cached) = gauge("campaign.snapshot.cached").filter(|&x| x > 0.0) {
+            let kib = gauge("campaign.snapshot.bytes").unwrap_or(0.0) / 1024.0;
+            let _ = write!(out, " · cached {cached:.0} ({kib:.0} KiB)");
+        }
+        out.push('\n');
+    }
+
     let damage = counter("campaign.store.damage");
     let locks = counter("campaign.store.lock_broken");
     if damage > 0 || locks > 0 {
@@ -124,6 +138,14 @@ mod tests {
         for _ in 0..100 {
             h.observe(2100);
         }
+        reg.counter("campaign.snapshot.hit").add(750);
+        reg.counter("campaign.snapshot.miss").add(250);
+        reg.gauge("campaign.snapshot.cached").set(7.0);
+        reg.gauge("campaign.snapshot.bytes").set(58368.0);
+        let ff = reg.histogram("campaign.snapshot.fastforward_instrs");
+        for _ in 0..10 {
+            ff.observe(4096);
+        }
         let status =
             StatusSnapshot { campaign: "avf/Volta/HHOTSPOT".into(), snapshot: reg.snapshot() };
         let text = render_status(&status);
@@ -134,6 +156,8 @@ mod tests {
         assert!(text.contains("ci         half-width 0.0610 (target 0.0500)"));
         assert!(text.contains("latency    trial p50"));
         assert!(text.contains("retries 1"));
+        assert!(text.contains("snapshots  fast-forwarded 75.00%"));
+        assert!(text.contains("cached 7 (57 KiB)"));
         assert!(text.contains("store      damage 2"));
     }
 
@@ -143,6 +167,7 @@ mod tests {
         let text = render_status(&status);
         assert!(text.contains("trials     0"));
         assert!(!text.contains("shards"));
+        assert!(!text.contains("snapshots"));
         assert!(!text.contains("store"));
     }
 }

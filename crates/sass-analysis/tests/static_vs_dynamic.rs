@@ -66,7 +66,7 @@ fn launch() -> LaunchConfig {
 
 fn run_with(kernel: &Kernel, fault: FaultPlan) -> gpu_sim::Executed {
     let device = DeviceModel::v100_sim();
-    let opts = RunOptions { ecc: false, fault, ..RunOptions::default() };
+    let opts = RunOptions::trial(fault).ecc(false);
     run(&device, kernel, &launch(), GlobalMemory::new(256), &opts)
 }
 

@@ -79,16 +79,13 @@ fn main() {
     println!("\ninjecting into the first 20 FFMA outputs (bit 20):");
     let mut outcomes = OutcomeCounts::new();
     for nth in 0..20 {
-        let opts = RunOptions {
-            ecc: false,
-            fault: FaultPlan::InstructionOutput {
-                nth,
-                site: SiteClass::Unit(FunctionalUnit::Ffma),
-                flip: BitFlip::single(20),
-            },
-            watchdog_limit: golden.counts.total * 4,
-            ..RunOptions::default()
-        };
+        let opts = RunOptions::trial(FaultPlan::InstructionOutput {
+            nth,
+            site: SiteClass::Unit(FunctionalUnit::Ffma),
+            flip: BitFlip::single(20),
+        })
+        .ecc(false)
+        .watchdog(golden.counts.total * 4);
         let faulty = run(&device, &kernel, &launch, mem.clone(), &opts);
         let outcome = match faulty.status {
             ExecStatus::Due(_) => Outcome::Due,

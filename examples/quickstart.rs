@@ -36,16 +36,13 @@ fn main() {
 
     // 3. Inject a single bit flip into the 1000th FFMA's output, the way
     //    an architecture-level injector does.
-    let opts = RunOptions {
-        ecc: false,
-        fault: FaultPlan::InstructionOutput {
-            nth: 1000,
-            site: SiteClass::Unit(FunctionalUnit::Ffma),
-            flip: BitFlip::single(30),
-        },
-        watchdog_limit: golden.counts.total * 4,
-        ..RunOptions::default()
-    };
+    let opts = RunOptions::trial(FaultPlan::InstructionOutput {
+        nth: 1000,
+        site: SiteClass::Unit(FunctionalUnit::Ffma),
+        flip: BitFlip::single(30),
+    })
+    .ecc(false)
+    .watchdog(golden.counts.total * 4);
     let faulty = mxm.run_with(&device, &opts);
     let outcome = match faulty.status {
         ExecStatus::Due(kind) => format!("DUE ({kind})"),
