@@ -2,41 +2,89 @@
 //!
 //! ```text
 //! sass-lint <file.sass> [--grid N] [--block N] [--param WORD]...
-//!           [--deny-warnings]
-//! sass-lint --workloads [--deny-warnings]
+//!           [--global-bytes N] [--deny-warnings] [--allow LINT]...
+//!           [--format text|json] [--verdicts]
+//! sass-lint --workloads [--deny-warnings] [--allow LINT]...
+//!           [--format text|json] [--verdicts]
 //! ```
 //!
 //! Runs the `sass-analysis` verifier (CFG + dataflow lints: uninitialized
-//! register reads, dead writes, unreachable blocks, barriers under
-//! divergent control flow, unsynchronized shared-memory access pairs,
-//! out-of-range `LDP` parameter indices) over a kernel assembled from
-//! `gpu_arch::asm` text, or — with `--workloads` — over every built-in
-//! paper workload kernel.
+//! register reads, dead GPR and predicate writes, unreachable blocks,
+//! redundant guards, barriers under divergent control flow,
+//! unsynchronized shared-memory access pairs, out-of-range `LDP`
+//! parameter indices) over a kernel assembled from `gpu_arch::asm` text,
+//! or — with `--workloads` — over every built-in paper workload kernel.
 //!
-//! Launch flags give the verifier the launch context the bounds checks
-//! need: `--param` words populate the constant bank `LDP` reads.
+//! Beyond the lints, every kernel gets a **fault-verdict summary**: the
+//! value-flow verdict lattice (`sass_analysis::verdict`) partitions the
+//! kernel's injectable site bits into masked / proven-DUE / store /
+//! addr+ctl / unknown strata and derives the static SDC/DUE upper
+//! bounds. `--verdicts` additionally prints the per-site verdict table
+//! (single-file mode) or the per-kernel strata summary (`--workloads`).
 //!
-//! Exit status: 0 clean, 1 diagnostics at error severity (or any
-//! diagnostic under `--deny-warnings`), 2 usage error.
+//! Launch flags give the verifier and the verdict pass the launch
+//! context the bounds checks need: `--param` words populate the constant
+//! bank `LDP` reads, `--global-bytes` sizes the out-of-bounds proofs.
+//!
+//! `--allow LINT` (repeatable, by stable lint name, e.g.
+//! `--allow dead-write`) exempts a lint from the exit-status computation
+//! — its diagnostics are still printed/serialized, flagged `allowed` —
+//! so CI can deny warnings without chasing intentional fixtures.
+//!
+//! `--format json` emits one machine-readable document on stdout
+//! (per-kernel diagnostics plus the verdict summary) for CI artifacts.
+//!
+//! Exit status: 0 clean, 1 non-allowed diagnostics at error severity (or
+//! any non-allowed diagnostic under `--deny-warnings`), 2 usage error.
 
-use gpu_arch::{asm, CodeGen, LaunchConfig};
-use sass_analysis::{verify_with_launch, Diagnostic, Severity};
+use gpu_arch::{asm, CodeGen, DecodedKernel, Kernel, LaunchConfig};
+use sass_analysis::{
+    analyze, verify_with_launch, AnalysisContext, Diagnostic, Severity, VerdictSummary,
+};
 use workloads::{kepler_suite, volta_suite, Scale};
+
+/// Stable names of every lint, for `--allow` validation.
+const LINT_NAMES: [&str; 8] = [
+    "uninitialized-read",
+    "dead-write",
+    "unreachable-block",
+    "divergent-barrier",
+    "shared-race",
+    "ldp-out-of-range",
+    "dead-predicate-write",
+    "redundant-guard",
+];
+
+const USAGE: &str = "usage: sass-lint <file.sass> [--grid N] [--block N] [--param WORD]... [--global-bytes N] [--deny-warnings] [--allow LINT]... [--format text|json] [--verdicts]\n       sass-lint --workloads [--deny-warnings] [--allow LINT]... [--format text|json] [--verdicts]";
+
+enum Format {
+    Text,
+    Json,
+}
+
+/// Everything reported about one kernel.
+struct KernelReport {
+    name: String,
+    diags: Vec<Diagnostic>,
+    summary: VerdictSummary,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!(
-            "usage: sass-lint <file.sass> [--grid N] [--block N] [--param WORD]... [--deny-warnings]\n       sass-lint --workloads [--deny-warnings]"
-        );
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
 
     let mut path: Option<String> = None;
     let mut all_workloads = false;
     let mut deny_warnings = false;
+    let mut verdicts = false;
+    let mut format = Format::Text;
+    let mut allowed: Vec<String> = Vec::new();
     let mut grid = 1u32;
     let mut block = 32u32;
+    let mut global_bytes: Option<u64> = None;
     let mut params = Vec::new();
 
     let mut i = 0;
@@ -44,6 +92,30 @@ fn main() {
         match args[i].as_str() {
             "--workloads" => all_workloads = true,
             "--deny-warnings" => deny_warnings = true,
+            "--verdicts" => verdicts = true,
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        eprintln!("bad --format {other:?} (expected text|json)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--allow" => {
+                i += 1;
+                let name = args.get(i).cloned().unwrap_or_default();
+                if !LINT_NAMES.contains(&name.as_str()) {
+                    eprintln!(
+                        "unknown lint `{name}` for --allow (one of: {})",
+                        LINT_NAMES.join(", ")
+                    );
+                    std::process::exit(2);
+                }
+                allowed.push(name);
+            }
             "--grid" => {
                 i += 1;
                 grid = args[i].parse().expect("bad --grid");
@@ -51,6 +123,10 @@ fn main() {
             "--block" => {
                 i += 1;
                 block = args[i].parse().expect("bad --block");
+            }
+            "--global-bytes" => {
+                i += 1;
+                global_bytes = Some(args[i].parse().expect("bad --global-bytes"));
             }
             "--param" => {
                 i += 1;
@@ -70,16 +146,20 @@ fn main() {
         i += 1;
     }
 
-    let mut worst = None;
+    let mut reports = Vec::new();
     if all_workloads {
         let mut suites = kepler_suite(CodeGen::Cuda7, Scale::Tiny);
         suites.extend(kepler_suite(CodeGen::Cuda10, Scale::Tiny));
         suites.extend(volta_suite(Scale::Tiny));
         for w in &suites {
-            let diags = verify_with_launch(&w.kernel, &w.launch);
-            report(&w.name, &diags, &mut worst);
+            use gpu_sim::Target;
+            let ctx = AnalysisContext::for_launch(&w.launch, w.fresh_memory().len() as u64);
+            reports.push(KernelReport {
+                name: w.name.clone(),
+                diags: verify_with_launch(&w.kernel, &w.launch),
+                summary: analyze(&w.kernel, &ctx).summary(),
+            });
         }
-        println!("linted {} workload kernels", suites.len());
     } else {
         let Some(path) = path else {
             eprintln!("no input file (or pass --workloads)");
@@ -100,24 +180,164 @@ fn main() {
             }
         };
         let launch = LaunchConfig::new(grid, block, params);
-        let diags = verify_with_launch(&kernel, &launch);
-        report(&kernel.name, &diags, &mut worst);
+        let ctx = AnalysisContext { launch: Some(launch.clone()), global_bytes };
+        reports.push(KernelReport {
+            name: kernel.name.clone(),
+            diags: verify_with_launch(&kernel, &launch),
+            summary: analyze(&kernel, &ctx).summary(),
+        });
+        if verdicts && matches!(format, Format::Text) {
+            print_site_table(&kernel, &ctx);
+        }
     }
 
-    match worst {
-        Some(Severity::Error) => std::process::exit(1),
-        Some(_) if deny_warnings => std::process::exit(1),
-        _ => {}
+    // Exit status from non-allowed diagnostics only.
+    let mut worst: Option<Severity> = None;
+    for r in &reports {
+        for d in r.diags.iter().filter(|d| !allowed.iter().any(|a| a == d.kind.name())) {
+            if worst.is_none_or(|w| d.severity > w) {
+                worst = Some(d.severity);
+            }
+        }
+    }
+    let failed = matches!(worst, Some(Severity::Error)) || (deny_warnings && worst.is_some());
+
+    match format {
+        Format::Text => {
+            for r in &reports {
+                for d in &r.diags {
+                    let tag =
+                        if allowed.iter().any(|a| a == d.kind.name()) { " (allowed)" } else { "" };
+                    println!("{}: {d}{tag}", r.name);
+                }
+                if verdicts || !all_workloads {
+                    print_summary(&r.name, &r.summary);
+                }
+            }
+            if all_workloads {
+                println!("linted {} workload kernels", reports.len());
+            }
+        }
+        Format::Json => print_json(&reports, &allowed, worst, failed),
+    }
+
+    if failed {
+        std::process::exit(1);
     }
 }
 
-fn report(name: &str, diags: &[Diagnostic], worst: &mut Option<Severity>) {
-    for d in diags {
-        println!("{name}: {d}");
-        if worst.is_none_or(|w| d.severity > w) {
-            *worst = Some(d.severity);
+/// One `strata ...` line per kernel: the verdict-lattice partition of the
+/// kernel's site bits plus the derived outcome upper bounds.
+fn print_summary(name: &str, s: &VerdictSummary) {
+    println!(
+        "{name}: strata masked={:.3} proven-due={:.3} store={:.3} addr-ctl={:.3} unknown={:.3} | sdc<={:.3} due<={:.3}",
+        s.masked,
+        s.proven_due,
+        s.store,
+        s.addr_ctl,
+        s.unknown,
+        s.sdc_upper(),
+        s.due_upper()
+    );
+}
+
+/// Per-site verdict table (single-file mode): one row per injectable
+/// site, with the output/predicate/address verdicts and any proven-DUE
+/// output bits.
+fn print_site_table(kernel: &Kernel, ctx: &AnalysisContext) {
+    let analysis = analyze(kernel, ctx);
+    let v = &analysis.verdicts;
+    let decoded = DecodedKernel::new(kernel);
+    println!(
+        "{:>4}  {:<10} {:<8} {:<8} {:<8} proven-due-bits",
+        "pc", "op", "output", "pred", "addr"
+    );
+    for pc in 0..kernel.instrs.len() as u32 {
+        let meta = decoded.meta(pc);
+        let gpr_site = meta.writes_gpr() && !meta.is_warp_sync;
+        if !gpr_site && !meta.writes_pred && !meta.is_mem_op {
+            continue;
+        }
+        let cell = |on: bool, s: &'static str| if on { s } else { "-" };
+        let due = v.output_due_bits(pc);
+        let due_cell = if due.bits != 0 {
+            format!("{:#010x} {:?}", due.bits, due.kind.expect("bits imply kind"))
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{pc:>4}  {:<10} {:<8} {:<8} {:<8} {due_cell}",
+            format!("{:?}", kernel.instrs[pc as usize].op),
+            cell(gpr_site, v.output_verdict(pc).name()),
+            cell(meta.writes_pred, v.predicate_verdict(pc).name()),
+            cell(meta.is_mem_op, v.mem_verdict(pc).name()),
+        );
+    }
+}
+
+/// Minimal JSON escaping: the only dynamic strings are lint messages and
+/// kernel names, which are ASCII, but escape defensively anyway.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
+    out.push('"');
+    out
+}
+
+fn print_json(reports: &[KernelReport], allowed: &[String], worst: Option<Severity>, failed: bool) {
+    let mut out = String::from("{\n  \"kernels\": [\n");
+    for (ki, r) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": {},\n", json_str(&r.name)));
+        out.push_str("      \"diagnostics\": [");
+        for (di, d) in r.diags.iter().enumerate() {
+            if di > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        {{\"lint\": {}, \"severity\": {}, \"pc\": {}, \"message\": {}, \"allowed\": {}}}",
+                json_str(d.kind.name()),
+                json_str(&d.severity.to_string()),
+                d.pc,
+                json_str(&d.message),
+                allowed.iter().any(|a| a == d.kind.name()),
+            ));
+        }
+        if !r.diags.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("],\n");
+        let s = &r.summary;
+        out.push_str(&format!(
+            "      \"verdicts\": {{\"masked\": {}, \"proven_due\": {}, \"store\": {}, \"addr_ctl\": {}, \"unknown\": {}, \"sdc_upper\": {}, \"due_upper\": {}}}\n",
+            s.masked,
+            s.proven_due,
+            s.store,
+            s.addr_ctl,
+            s.unknown,
+            s.sdc_upper(),
+            s.due_upper()
+        ));
+        out.push_str(if ki + 1 < reports.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"worst\": {},\n",
+        worst.map_or("null".to_string(), |w| json_str(&w.to_string()))
+    ));
+    out.push_str(&format!("  \"failed\": {failed}\n}}"));
+    println!("{out}");
 }
 
 fn parse_word(s: &str) -> u32 {

@@ -67,6 +67,35 @@ fn campaign_tallies_pinned_hotspot_nvbitfi_v100() {
     );
 }
 
+/// Static-resolution pruning must be invisible in the tallies: the
+/// pinned hotspot campaign reproduces its exact pre-verdict tallies with
+/// pruning on, at any worker count, while strictly reducing the number
+/// of *simulated* trials. A single mislabeled proof (a consequential
+/// fault resolved Masked, or a non-faulting flip resolved DUE) shifts a
+/// tally and fails this pin.
+#[test]
+fn pruned_campaign_tallies_pinned_hotspot_nvbitfi_v100_any_workers() {
+    let device = DeviceModel::v100_sim();
+    let w = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
+    for workers in [1usize, 4] {
+        let (result, run) = Campaign::new(Avf::new_pruned(Injector::NvBitFi), &w, &device)
+            .budget(Budget::fixed(160).seed(12021))
+            .workers(workers)
+            .run_full()
+            .unwrap();
+        assert_eq!(run.trials, 160);
+        assert_eq!(
+            (result.counts.sdc, result.counts.due, result.counts.masked),
+            (52, 66, 42),
+            "pruned tallies drifted (NvBitFi/v100/hotspot_f16_tiny seed 12021, workers={workers})"
+        );
+        assert!(
+            run.executed.total() < 160,
+            "pruning resolved nothing statically (workers={workers})"
+        );
+    }
+}
+
 /// Trial fast-forward must be invisible in the tallies: the pinned
 /// campaign digests reproduce exactly with snapshots off, at the Auto
 /// policy, and at two explicit strides — and at any worker count (the

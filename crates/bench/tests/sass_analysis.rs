@@ -94,14 +94,19 @@ fn seeded_bug_fixtures_are_detected() {
     );
 }
 
-/// The headline pruning win (ISSUE acceptance): on at least two workloads
-/// a pruned NVBitFI-model AVF campaign resolves >= 15% of its trials by
-/// static proof — simulating that many fewer — while every SDC/DUE/Masked
-/// tally stays bit-identical to the unpruned campaign at the same seed.
+/// The headline pruning win (ISSUE acceptance): on both half-precision
+/// Volta workloads a pruned NVBitFI-model AVF campaign resolves >= 15% of
+/// its trials by static proof — masked liveness/flow proofs plus outright
+/// DUE proofs — and on at least one of them >= 30%, while every
+/// SDC/DUE/Masked tally stays bit-identical to the unpruned campaign at
+/// the same seed. The verdict strata reported by the sampler must also be
+/// dynamically sound: no simulated SDC inside a masked/addr_ctl stratum,
+/// no simulated DUE inside the store stratum.
 #[test]
-fn pruned_avf_campaigns_skip_fifteen_percent_with_identical_tallies() {
+fn pruned_avf_campaigns_statically_resolve_thirty_percent() {
     let device = DeviceModel::v100_sim();
     let budget = || Budget::fixed(300).seed(7);
+    let mut best = 0.0f64;
     for (bench, precision) in
         [(Benchmark::Hotspot, Precision::Half), (Benchmark::Lava, Precision::Half)]
     {
@@ -119,10 +124,23 @@ fn pruned_avf_campaigns_skip_fifteen_percent_with_identical_tallies() {
         assert_eq!(base.due, pruned.due, "{}: DUE estimate diverged", w.name);
         let total = base_run.executed.total();
         let skipped = total - pruned_run.executed.total();
-        assert!(
-            skipped as f64 >= 0.15 * total as f64,
-            "{}: pruned only {skipped}/{total} trials",
-            w.name
-        );
+        let fraction = skipped as f64 / total as f64;
+        assert!(fraction >= 0.15, "{}: resolved only {skipped}/{total} trials", w.name);
+        best = best.max(fraction);
+        // Every skipped trial is tallied under a static-proof label, and
+        // the per-stratum dynamic outcomes respect the lattice bounds.
+        let masked = pruned_run.direct.get("static-masked").map_or(0, |c| c.total());
+        let due = pruned_run.direct.get("static-due").map_or(0, |c| c.total());
+        assert_eq!(masked + due, skipped, "{}: skipped trials not labeled", w.name);
+        for (s, c) in &pruned_run.strata_sim {
+            match s.as_str() {
+                "masked" | "addr_ctl" => {
+                    assert_eq!(c.sdc, 0, "{}: SDC in simulated {s} stratum", w.name)
+                }
+                "store" => assert_eq!(c.due, 0, "{}: DUE in simulated store stratum", w.name),
+                _ => {}
+            }
+        }
     }
+    assert!(best >= 0.30, "best statically-resolved fraction {best:.3} < 0.30");
 }

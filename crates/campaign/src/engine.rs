@@ -73,6 +73,17 @@ pub trait Sampler: Sync {
     /// Plan trial number `trial` (global index, for mode-cycling
     /// samplers); `rng` is the owning shard's private stream.
     fn sample(&self, trial: u64, rng: &mut ChaCha12Rng) -> TrialPlan;
+
+    /// Optional static-verdict stratum for `plan` — a small stable label
+    /// (e.g. `"masked"`, `"store"`, `"addr_ctl"`, `"unknown"`). Purely
+    /// telemetry: direct trials accumulate under `campaign.pruned.{s}`
+    /// and executed trials under `campaign.verdict.{s}.*`, and both maps
+    /// surface on [`CampaignRun`]. Must be a pure function of
+    /// `(trial, plan)` so retries and worker counts cannot skew the
+    /// strata. The default sampler has no strata.
+    fn stratum(&self, _trial: u64, _plan: &TrialPlan) -> Option<&'static str> {
+        None
+    }
 }
 
 /// A campaign flavor: how to set up a sampler from the golden run and how
@@ -173,6 +184,13 @@ pub struct CampaignRun {
     pub executed: OutcomeCounts,
     /// Tallies of trials resolved without execution, by direct label.
     pub direct: BTreeMap<String, OutcomeCounts>,
+    /// Direct (pruned) trials by sampler-reported verdict stratum.
+    /// Covers only trials run in this process, not resumed ones.
+    pub strata_pruned: BTreeMap<String, OutcomeCounts>,
+    /// Executed trials by sampler-reported verdict stratum (same
+    /// coverage caveat). A nonzero `sdc` under a stratum whose verdict
+    /// forbids SDCs is a soundness bug in the sampler's static oracle.
+    pub strata_sim: BTreeMap<String, OutcomeCounts>,
     /// Total trials spent (including any resumed from a checkpoint).
     pub trials: u64,
     /// Shards folded in (including resumed ones).
@@ -356,6 +374,8 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
         let mut counts = OutcomeCounts::default();
         let mut executed = OutcomeCounts::default();
         let mut direct: BTreeMap<String, OutcomeCounts> = BTreeMap::new();
+        let mut strata_pruned: BTreeMap<String, OutcomeCounts> = BTreeMap::new();
+        let mut strata_sim: BTreeMap<String, OutcomeCounts> = BTreeMap::new();
         let mut trials = 0u64;
         let mut next_shard = 0u32;
         let mut resumed_trials = 0u64;
@@ -428,6 +448,12 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
                 for (dlabel, c) in &out.direct {
                     *direct.entry((*dlabel).to_string()).or_default() += *c;
                 }
+                for (s, c) in &out.strata_pruned {
+                    *strata_pruned.entry((*s).to_string()).or_default() += *c;
+                }
+                for (s, c) in &out.strata_sim {
+                    *strata_sim.entry((*s).to_string()).or_default() += *c;
+                }
                 trials += out.trials;
                 next_shard += 1;
                 since_checkpoint += 1;
@@ -499,6 +525,8 @@ impl<'a, T: Target + Sync + ?Sized, K: Kind<T>> Campaign<'a, T, K> {
             counts,
             executed,
             direct,
+            strata_pruned,
+            strata_sim,
             trials,
             shards: next_shard,
             resumed_trials,
@@ -554,6 +582,8 @@ struct ShardOut {
     executed: OutcomeCounts,
     direct: BTreeMap<&'static str, OutcomeCounts>,
     sites: BTreeMap<&'static str, OutcomeCounts>,
+    strata_pruned: BTreeMap<&'static str, OutcomeCounts>,
+    strata_sim: BTreeMap<&'static str, OutcomeCounts>,
     dues: BTreeMap<&'static str, u64>,
     micros: u64,
     retries: u64,
@@ -627,11 +657,13 @@ enum TrialTally {
         outcome: Outcome,
         due: Option<DueKind>,
         label: &'static str,
+        stratum: Option<&'static str>,
     },
     Fault {
         plan: FaultPlan,
         outcome: Outcome,
         due: Option<DueKind>,
+        stratum: Option<&'static str>,
         dyn_instrs: u64,
         /// Dynamic instructions skipped by resuming from a golden
         /// snapshot; `None` when the trial replayed from zero.
@@ -643,7 +675,7 @@ impl TrialTally {
     /// `(outcome, due kind, tally label)` for span args.
     fn meta(&self) -> (Outcome, Option<DueKind>, &'static str) {
         match self {
-            TrialTally::Direct { outcome, due, label } => (*outcome, *due, label),
+            TrialTally::Direct { outcome, due, label, .. } => (*outcome, *due, label),
             TrialTally::Fault { plan, outcome, due, .. } => (*outcome, *due, plan.site_label()),
         }
     }
@@ -667,8 +699,12 @@ fn run_trial<T: Target + Sync + ?Sized, S: Sampler>(
     phase_trace: Option<(&SpanBus, u64, u64)>,
     ff: Option<&[Arc<EngineSnapshot>]>,
 ) -> TrialTally {
-    match sampler.sample(trial, rng) {
-        TrialPlan::Direct { outcome, due, label } => TrialTally::Direct { outcome, due, label },
+    let planned = sampler.sample(trial, rng);
+    let stratum = sampler.stratum(trial, &planned);
+    match planned {
+        TrialPlan::Direct { outcome, due, label } => {
+            TrialTally::Direct { outcome, due, label, stratum }
+        }
         TrialPlan::Fault(plan) => {
             let cancel = monitor.map(|(m, slot)| m.arm(slot));
             // Fast-forward: resume from the latest golden snapshot at or
@@ -709,6 +745,7 @@ fn run_trial<T: Target + Sync + ?Sized, S: Sampler>(
                 plan,
                 outcome,
                 due,
+                stratum,
                 dyn_instrs: faulty.counts.total,
                 fast_forwarded,
             }
@@ -718,17 +755,23 @@ fn run_trial<T: Target + Sync + ?Sized, S: Sampler>(
 
 fn apply_tally(out: &mut ShardOut, tally: TrialTally) {
     match tally {
-        TrialTally::Direct { outcome, due, label } => {
+        TrialTally::Direct { outcome, due, label, stratum } => {
             out.counts.record(outcome);
             out.direct.entry(label).or_default().record(outcome);
+            if let Some(s) = stratum {
+                out.strata_pruned.entry(s).or_default().record(outcome);
+            }
             if let Some(kind) = due {
                 *out.dues.entry(kind.name()).or_default() += 1;
             }
         }
-        TrialTally::Fault { plan, outcome, due, .. } => {
+        TrialTally::Fault { plan, outcome, due, stratum, .. } => {
             out.counts.record(outcome);
             out.executed.record(outcome);
             out.sites.entry(plan.site_label()).or_default().record(outcome);
+            if let Some(s) = stratum {
+                out.strata_sim.entry(s).or_default().record(outcome);
+            }
             if let Some(kind) = due {
                 *out.dues.entry(kind.name()).or_default() += 1;
             }
@@ -1009,6 +1052,19 @@ fn export_shard_metrics(m: &MetricsRegistry, out: &ShardOut) {
         for (suffix, n) in [("sdc", c.sdc), ("due", c.due), ("masked", c.masked)] {
             if n > 0 {
                 m.counter(&format!("direct.{dlabel}.{suffix}")).add(n);
+            }
+        }
+    }
+    // Verdict strata: pruned totals per stratum, and simulated trials per
+    // stratum broken down by outcome (a soundness dashboard — e.g. a
+    // nonzero `campaign.verdict.store.due` would falsify the lattice).
+    for (s, c) in &out.strata_pruned {
+        m.counter(&format!("campaign.pruned.{s}")).add(c.total());
+    }
+    for (s, c) in &out.strata_sim {
+        for (suffix, n) in [("sdc", c.sdc), ("due", c.due), ("masked", c.masked)] {
+            if n > 0 {
+                m.counter(&format!("campaign.verdict.{s}.{suffix}")).add(n);
             }
         }
     }

@@ -255,6 +255,12 @@ pub struct SitesRecord {
     pub site_pcs: Vec<u32>,
     /// Per linear block: `[start, end)` window of dynamic indices.
     pub block_windows: Vec<(u64, u64)>,
+    /// Static pc of each dynamic memory-op site (`MemAddress` faults
+    /// count these), in execution order.
+    pub mem_pcs: Vec<u32>,
+    /// Static pc of each dynamic predicate-writer site
+    /// (`PredicateOutput` faults count these), in execution order.
+    pub setp_pcs: Vec<u32>,
 }
 
 /// The result of one execution.
@@ -1124,9 +1130,15 @@ fn step(
     }
     if meta.is_mem_op {
         ctx.counts.sites.mem_ops += 1;
+        if let Some(rec) = ctx.record.as_mut() {
+            rec.mem_pcs.push(pc);
+        }
     }
     if meta.writes_pred {
         ctx.counts.sites.setp += 1;
+        if let Some(rec) = ctx.record.as_mut() {
+            rec.setp_pcs.push(pc);
+        }
     }
 
     let src = |threads: &[Thread], o: Operand| -> u32 {

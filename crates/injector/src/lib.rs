@@ -346,29 +346,56 @@ fn sample_plan<R: Rng>(
     }
 }
 
-/// The statically-proven masking oracle backing pruned AVF campaigns
+/// How the static oracle resolved one sampled fault plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StaticResolution {
+    /// No proof applies: simulate the trial.
+    Simulate,
+    /// Provably Masked: no observed bit ever differs from the golden run.
+    Masked,
+    /// Provably a DUE of this kind: the corrupted value reaches a
+    /// misaligned or out-of-bounds access before anything else can
+    /// observe it.
+    Due(gpu_sim::DueKind),
+}
+
+/// The static fault-resolution oracle backing pruned AVF campaigns
 /// ([`Avf::new_pruned`]).
 ///
-/// Built from [`sass_analysis::StaticMasks`] (bit-level liveness over the
-/// kernel) plus the golden run's site provenance
+/// Built from the memoized [`sass_analysis::analyze`] result —
+/// [`sass_analysis::StaticMasks`] (bit-level liveness) plus
+/// [`sass_analysis::KernelVerdicts`] (value-flow taint verdicts and
+/// interval/alignment DUE proofs) — and the golden run's site provenance
 /// ([`gpu_sim::SitesRecord`]), which resolves a sampled `nth` dynamic
-/// site to the static pc the corruption would land on. A trial the
-/// oracle proves Masked is tallied directly instead of simulated; the
-/// outcome counts are bit-identical to the unpruned campaign because the
-/// sampler consumes the RNG identically and only replaces provably-Masked
-/// executions.
+/// site to the static pc the corruption lands on. A trial the oracle
+/// proves Masked (or a DUE of a specific kind) is tallied directly
+/// instead of simulated; the outcome counts are bit-identical to the
+/// unpruned campaign because the sampler consumes the RNG identically
+/// and only replaces provably-resolved executions.
 struct PruneState {
-    masks: sass_analysis::StaticMasks,
+    analysis: Arc<sass_analysis::KernelAnalysis>,
     /// Per site class in the mode rotation: the golden dynamic site
     /// stream filtered to that class, mirroring the engine's in-order
     /// `site_matches` numbering.
     class_streams: Vec<(SiteClass, Vec<u32>)>,
     /// Per linear block: `[start, end)` dynamic-index residency window.
     block_windows: Vec<(u64, u64)>,
+    /// Dynamic memory-op pc stream (the engine's `MemAddress` `nth`
+    /// numbering).
+    mem_pcs: Vec<u32>,
+    /// Dynamic SETP pc stream (the engine's `PredicateOutput` `nth`
+    /// numbering).
+    setp_pcs: Vec<u32>,
 }
 
 impl PruneState {
-    fn build(kernel: &gpu_arch::Kernel, record: &gpu_sim::SitesRecord, modes: &[Mode]) -> Self {
+    fn build(
+        kernel: &gpu_arch::Kernel,
+        launch: &LaunchConfig,
+        global_bytes: u64,
+        record: &gpu_sim::SitesRecord,
+        modes: &[Mode],
+    ) -> Self {
         let mut classes: Vec<SiteClass> = Vec::new();
         for m in modes {
             if let Mode::Output(c) | Mode::OutputRandom(c) | Mode::OutputZero(c) = *m {
@@ -389,10 +416,13 @@ impl PruneState {
                 (c, stream)
             })
             .collect();
+        let ctx = sass_analysis::AnalysisContext::for_launch(launch, global_bytes);
         PruneState {
-            masks: sass_analysis::StaticMasks::compute(kernel),
+            analysis: sass_analysis::analyze(kernel, &ctx),
             class_streams,
             block_windows: record.block_windows.clone(),
+            mem_pcs: record.mem_pcs.clone(),
+            setp_pcs: record.setp_pcs.clone(),
         }
     }
 
@@ -403,32 +433,115 @@ impl PruneState {
         stream.get(nth as usize).copied()
     }
 
-    /// Is `plan` provably Masked? Sound only for ECC-off runs (AVF
+    /// Statically resolve `plan`. Sound only for ECC-off runs (AVF
     /// campaigns), where a register strike lands raw instead of being
     /// corrected/detected.
-    fn provably_masked(&self, plan: &FaultPlan, regs_per_thread: u16) -> bool {
+    fn resolve(&self, plan: &FaultPlan, regs_per_thread: u16) -> StaticResolution {
+        use sass_analysis::SiteVerdict;
+        let masks = &self.analysis.masks;
+        let verdicts = &self.analysis.verdicts;
         match *plan {
             FaultPlan::InstructionOutput { nth, site, flip } => {
-                self.pc_of(site, nth).is_some_and(|pc| self.masks.output_flip_masked(pc, flip.mask))
+                let Some(pc) = self.pc_of(site, nth) else {
+                    return StaticResolution::Simulate;
+                };
+                if masks.output_flip_masked(pc, flip.mask)
+                    || verdicts.output_verdict(pc) == SiteVerdict::ProvenMasked
+                {
+                    return StaticResolution::Masked;
+                }
+                if let Some(kind) = verdicts.output_flip_due(pc, flip.mask) {
+                    return StaticResolution::Due(kind);
+                }
+                StaticResolution::Simulate
             }
             FaultPlan::InstructionOutputSet { nth, site, .. } => {
-                self.pc_of(site, nth).is_some_and(|pc| self.masks.output_replace_masked(pc))
+                let masked = self.pc_of(site, nth).is_some_and(|pc| {
+                    masks.output_replace_masked(pc)
+                        || verdicts.output_verdict(pc) == SiteVerdict::ProvenMasked
+                });
+                if masked {
+                    StaticResolution::Masked
+                } else {
+                    StaticResolution::Simulate
+                }
             }
             FaultPlan::RegisterBit { block, thread: _, reg, flip, at } => {
                 let Some(&(start, end)) = self.block_windows.get(block as usize) else {
-                    return false;
+                    return StaticResolution::Simulate;
                 };
                 if at < start || at >= end {
                     // Blocks run sequentially; a strike timed outside the
                     // target block's residency window is the engine's
                     // "target block not resident" no-op.
-                    return true;
+                    return StaticResolution::Masked;
                 }
-                self.masks.register_flip_masked(reg, regs_per_thread, flip.mask as u32)
+                if masks.register_flip_masked(reg, regs_per_thread, flip.mask as u32) {
+                    StaticResolution::Masked
+                } else {
+                    StaticResolution::Simulate
+                }
             }
-            // Predicate, address, memory and PC faults are never pruned.
-            _ => false,
+            FaultPlan::PredicateOutput { nth } => {
+                let masked = self
+                    .setp_pcs
+                    .get(nth as usize)
+                    .is_some_and(|&pc| verdicts.predicate_verdict(pc) == SiteVerdict::ProvenMasked);
+                if masked {
+                    StaticResolution::Masked
+                } else {
+                    StaticResolution::Simulate
+                }
+            }
+            FaultPlan::MemAddress { nth, flip } => {
+                let due = self
+                    .mem_pcs
+                    .get(nth as usize)
+                    .and_then(|&pc| verdicts.mem_flip_due(pc, flip.mask));
+                match due {
+                    Some(kind) => StaticResolution::Due(kind),
+                    None => StaticResolution::Simulate,
+                }
+            }
+            // PC and whole-value memory faults are never resolved
+            // statically.
+            _ => StaticResolution::Simulate,
         }
+    }
+
+    /// Verdict stratum of the static site `plan` lands on, for the
+    /// campaign's `campaign.pruned.*` / `campaign.verdict.*` telemetry.
+    fn stratum_of(&self, plan: &FaultPlan) -> Option<&'static str> {
+        let verdicts = &self.analysis.verdicts;
+        let verdict = match *plan {
+            FaultPlan::InstructionOutput { nth, site, .. }
+            | FaultPlan::InstructionOutputSet { nth, site, .. } => {
+                verdicts.output_verdict(self.pc_of(site, nth)?)
+            }
+            FaultPlan::PredicateOutput { nth } => {
+                verdicts.predicate_verdict(*self.setp_pcs.get(nth as usize)?)
+            }
+            FaultPlan::MemAddress { nth, .. } => {
+                verdicts.mem_verdict(*self.mem_pcs.get(nth as usize)?)
+            }
+            // Register-file strikes have no single static site.
+            _ => return None,
+        };
+        Some(stratum_name(verdict))
+    }
+}
+
+/// Collapse a [`sass_analysis::SiteVerdict`] to the four-stratum naming
+/// used by [`sass_analysis::VerdictSummary`] and the campaign counters
+/// (`AddressReaching` and `ControlReaching` are both DUE-prone and
+/// share the `addr_ctl` stratum).
+fn stratum_name(v: sass_analysis::SiteVerdict) -> &'static str {
+    use sass_analysis::SiteVerdict;
+    match v {
+        SiteVerdict::ProvenMasked => "masked",
+        SiteVerdict::StoreReaching => "store",
+        SiteVerdict::AddressReaching | SiteVerdict::ControlReaching => "addr_ctl",
+        SiteVerdict::Unknown => "unknown",
     }
 }
 
@@ -461,9 +574,9 @@ pub fn classify<T: Target + ?Sized>(target: &T, golden: &Executed, faulty: &Exec
 pub struct Avf {
     /// Which framework's capability model to apply.
     pub injector: Injector,
-    /// Skip trials a static dataflow proof already classifies as Masked
-    /// (see [`Avf::new_pruned`]). Outcome tallies are bit-identical to
-    /// the unpruned campaign; only the number of *simulated* trials
+    /// Skip trials a static proof already classifies as Masked or as a
+    /// DUE (see [`Avf::new_pruned`]). Outcome tallies are bit-identical
+    /// to the unpruned campaign; only the number of *simulated* trials
     /// shrinks.
     pub pruned: bool,
 }
@@ -474,12 +587,15 @@ impl Avf {
         Avf { injector, pruned: false }
     }
 
-    /// [`Avf::new`] with statically-proven-masked pruning: trials whose
-    /// sampled fault is provably unobservable (dead destination bits,
-    /// never-read register bits, strikes timed outside the target block's
-    /// residency) are tallied Masked directly instead of simulated. The
-    /// sampler draws from the RNG exactly as the unpruned campaign does,
-    /// so SDC/DUE/Masked counts match it bit for bit at equal seeds.
+    /// [`Avf::new`] with static-resolution pruning: trials whose sampled
+    /// fault is provably unobservable (dead destination bits, sites whose
+    /// value-flow taint reaches no store/address/branch, never-read
+    /// register bits, strikes timed outside the target block's residency)
+    /// are tallied Masked directly, and single-bit flips proven to
+    /// produce a misaligned or out-of-bounds access are tallied as DUEs
+    /// of the proven kind — both without simulating. The sampler draws
+    /// from the RNG exactly as the unpruned campaign does, so
+    /// SDC/DUE/Masked counts match it bit for bit at equal seeds.
     pub fn new_pruned(injector: Injector) -> Self {
         Avf { injector, pruned: true }
     }
@@ -504,12 +620,22 @@ impl Sampler for AvfSampler {
         match sample_plan(rng, mode, &self.golden, &self.launch, self.regs_per_thread) {
             Some(plan) => {
                 if let Some(pr) = &self.prune {
-                    if pr.provably_masked(&plan, self.regs_per_thread) {
-                        return TrialPlan::Direct {
-                            outcome: Outcome::Masked,
-                            due: None,
-                            label: "static-masked",
-                        };
+                    match pr.resolve(&plan, self.regs_per_thread) {
+                        StaticResolution::Masked => {
+                            return TrialPlan::Direct {
+                                outcome: Outcome::Masked,
+                                due: None,
+                                label: "static-masked",
+                            };
+                        }
+                        StaticResolution::Due(kind) => {
+                            return TrialPlan::Direct {
+                                outcome: Outcome::Due,
+                                due: Some(kind),
+                                label: "static-due",
+                            };
+                        }
+                        StaticResolution::Simulate => {}
                     }
                 }
                 TrialPlan::Fault(plan)
@@ -517,6 +643,22 @@ impl Sampler for AvfSampler {
             // A mode whose population turned out empty: the fault has no
             // site to land on, so the run is trivially masked.
             None => TrialPlan::Direct { outcome: Outcome::Masked, due: None, label: "presampled" },
+        }
+    }
+
+    fn stratum(&self, _trial: u64, plan: &TrialPlan) -> Option<&'static str> {
+        let pr = self.prune.as_ref()?;
+        match plan {
+            // Pruned trials: proven-Masked sites land in the masked
+            // stratum; proven-DUE sites are DUE-prone by construction
+            // (the corrupted value reaches an address), so they count
+            // under the DUE-prone stratum.
+            TrialPlan::Direct { label, .. } => match *label {
+                "static-masked" => Some("masked"),
+                "static-due" => Some("addr_ctl"),
+                _ => None,
+            },
+            TrialPlan::Fault(plan) => pr.stratum_of(plan),
         }
     }
 }
@@ -556,7 +698,13 @@ impl<T: Target + Sync + ?Sized> Kind<T> for Avf {
                 .sites_record
                 .as_ref()
                 .expect("pruned AVF campaign requires a site-recorded golden run");
-            PruneState::build(target.kernel(), record, &modes)
+            PruneState::build(
+                target.kernel(),
+                target.launch(),
+                golden.memory.len() as u64,
+                record,
+                &modes,
+            )
         });
         AvfSampler {
             golden: Arc::clone(golden),
@@ -759,12 +907,28 @@ mod tests {
                 pruned_run.executed.total(),
                 base_run.executed.total(),
             );
-            let skipped = pruned_run.direct.get("static-masked").map_or(0, |c| c.total());
+            let skipped = pruned_run.direct.get("static-masked").map_or(0, |c| c.total())
+                + pruned_run.direct.get("static-due").map_or(0, |c| c.total());
             assert_eq!(
                 skipped,
                 base_run.executed.total() - pruned_run.executed.total(),
-                "{injector}: every skipped trial is tallied under static-masked"
+                "{injector}: every skipped trial is tallied under static-masked/static-due"
             );
+            // The verdict strata partition every resolved trial, and the
+            // dynamic outcomes inside each stratum must respect its
+            // static bound: a masked/addr_ctl-stratum SDC or a
+            // store-stratum DUE would falsify the lattice.
+            let pruned_total: u64 = pruned_run.strata_pruned.values().map(|c| c.total()).sum();
+            assert_eq!(pruned_total, skipped, "{injector}: pruned strata cover skipped trials");
+            for (s, c) in &pruned_run.strata_sim {
+                match s.as_str() {
+                    "masked" | "addr_ctl" => {
+                        assert_eq!(c.sdc, 0, "{injector}: SDC in simulated {s} stratum")
+                    }
+                    "store" => assert_eq!(c.due, 0, "{injector}: DUE in simulated store stratum"),
+                    _ => {}
+                }
+            }
         }
     }
 

@@ -106,6 +106,19 @@ pub fn render_status(status: &StatusSnapshot) -> String {
         out.push('\n');
     }
 
+    let pruned_masked = counter("campaign.pruned.masked");
+    let pruned_store = counter("campaign.pruned.store");
+    let pruned_addr_ctl = counter("campaign.pruned.addr_ctl");
+    let pruned_unknown = counter("campaign.pruned.unknown");
+    let pruned = pruned_masked + pruned_store + pruned_addr_ctl + pruned_unknown;
+    if pruned > 0 {
+        let _ = writeln!(
+            out,
+            "pruned     {} of trials static · masked {pruned_masked} · store {pruned_store} · addr+ctl {pruned_addr_ctl} · unknown {pruned_unknown}",
+            pct(pruned, trials),
+        );
+    }
+
     let damage = counter("campaign.store.damage");
     let locks = counter("campaign.store.lock_broken");
     if damage > 0 || locks > 0 {
@@ -138,6 +151,8 @@ mod tests {
         for _ in 0..100 {
             h.observe(2100);
         }
+        reg.counter("campaign.pruned.masked").add(120);
+        reg.counter("campaign.pruned.addr_ctl").add(80);
         reg.counter("campaign.snapshot.hit").add(750);
         reg.counter("campaign.snapshot.miss").add(250);
         reg.gauge("campaign.snapshot.cached").set(7.0);
@@ -159,6 +174,8 @@ mod tests {
         assert!(text.contains("snapshots  fast-forwarded 75.00%"));
         assert!(text.contains("cached 7 (57 KiB)"));
         assert!(text.contains("store      damage 2"));
+        assert!(text
+            .contains("pruned     20.00% of trials static · masked 120 · store 0 · addr+ctl 80"));
     }
 
     #[test]
@@ -169,5 +186,6 @@ mod tests {
         assert!(!text.contains("shards"));
         assert!(!text.contains("snapshots"));
         assert!(!text.contains("store"));
+        assert!(!text.contains("pruned"));
     }
 }

@@ -161,6 +161,13 @@ pub struct Prediction {
     /// Static ACE fraction of the profiled kernel (the statically-proven
     /// upper bound companion to the dynamic AVF the FIT terms use).
     pub static_ace: f64,
+    /// Static SDC upper bound from the value-flow verdict lattice
+    /// ([`profiler::KernelProfile::static_sdc_upper`]): the measured SDC
+    /// AVF provably cannot exceed this fraction.
+    pub static_sdc_upper: f64,
+    /// Static DUE upper bound from the value-flow verdict lattice
+    /// ([`profiler::KernelProfile::static_due_upper`]).
+    pub static_due_upper: f64,
 }
 
 /// Options for the prediction model (the ablations of DESIGN.md).
@@ -235,6 +242,8 @@ pub fn predict(
         phi: profile.phi,
         memory_sdc,
         static_ace: profile.static_ace,
+        static_sdc_upper: profile.static_sdc_upper,
+        static_due_upper: profile.static_due_upper,
     }
 }
 
@@ -294,6 +303,10 @@ pub struct ComparisonRow {
     /// Static ACE fraction of the kernel (from the prediction side),
     /// printed next to the dynamic-AVF-based FIT columns.
     pub static_ace: f64,
+    /// Static SDC upper bound (verdict lattice) beside the measured SDC.
+    pub static_sdc_upper: f64,
+    /// Static DUE upper bound (verdict lattice) beside the measured DUE.
+    pub static_due_upper: f64,
 }
 
 /// Compare a beam measurement against a prediction.
@@ -315,6 +328,8 @@ pub fn compare(
             f64::INFINITY
         },
         static_ace: predicted.static_ace,
+        static_sdc_upper: predicted.static_sdc_upper,
+        static_due_upper: predicted.static_due_upper,
     }
 }
 
@@ -383,6 +398,16 @@ mod tests {
         let row = compare(&w.name, &beam_res, &ecc_on);
         assert!(row.sdc_ratio.is_finite(), "sdc ratio NaN: {row:?}");
         assert!(row.static_ace > 0.0 && row.static_ace <= 1.0, "static_ace={}", row.static_ace);
+        assert!(
+            row.static_sdc_upper > 0.0 && row.static_sdc_upper <= 1.0,
+            "static_sdc_upper={}",
+            row.static_sdc_upper
+        );
+        assert!(
+            row.static_due_upper > 0.0 && row.static_due_upper <= 1.0,
+            "static_due_upper={}",
+            row.static_due_upper
+        );
         assert!(
             row.due_underestimation > 1.0,
             "DUEs should be underestimated, got {}",

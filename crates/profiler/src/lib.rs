@@ -50,15 +50,30 @@ pub struct KernelProfile {
     /// analogue of the dynamically-measured AVF, reported beside it in
     /// the prediction tables.
     pub static_ace: f64,
+    /// Static SDC upper bound: the fraction of GPR-writer site bits whose
+    /// value-flow verdict admits an SDC (`StoreReaching` or `Unknown` —
+    /// [`sass_analysis::VerdictSummary::sdc_upper`]). A campaign's SDC
+    /// AVF provably cannot exceed it.
+    pub static_sdc_upper: f64,
+    /// Static DUE upper bound: site-bit fraction whose verdict admits a
+    /// DUE (proven-DUE bits, `AddressReaching`/`ControlReaching`, or
+    /// `Unknown` — [`sass_analysis::VerdictSummary::due_upper`]).
+    pub static_due_upper: f64,
 }
 
 impl KernelProfile {
-    /// Extract a profile from a finished execution.
+    /// Extract a profile from a finished execution. `launch` feeds the
+    /// launch-aware static verdict pass (thread-id ranges, parameter
+    /// values, allocation bounds); the result is memoized per kernel
+    /// digest so repeated profiling is cheap.
     pub fn from_execution(
         name: impl Into<String>,
         target_kernel: &gpu_arch::Kernel,
+        launch: &gpu_arch::LaunchConfig,
         out: &Executed,
     ) -> Self {
+        let ctx = sass_analysis::AnalysisContext::for_launch(launch, out.memory.len() as u64);
+        let summary = sass_analysis::verdict_summary(target_kernel, &ctx);
         KernelProfile {
             name: name.into(),
             shared_bytes: target_kernel.shared_bytes,
@@ -72,6 +87,8 @@ impl KernelProfile {
             seconds: out.timing.seconds,
             cycles: out.timing.cycles,
             static_ace: sass_analysis::static_ace_fraction(target_kernel),
+            static_sdc_upper: summary.sdc_upper(),
+            static_due_upper: summary.due_upper(),
         }
     }
 
@@ -129,6 +146,8 @@ impl KernelProfile {
         metrics.gauge(&format!("{prefix}.cycles")).set(self.cycles);
         metrics.gauge(&format!("{prefix}.instructions")).set(self.total_instructions as f64);
         metrics.gauge(&format!("{prefix}.static_ace")).set(self.static_ace);
+        metrics.gauge(&format!("{prefix}.static_sdc_upper")).set(self.static_sdc_upper);
+        metrics.gauge(&format!("{prefix}.static_due_upper")).set(self.static_due_upper);
     }
 }
 
@@ -140,7 +159,7 @@ impl KernelProfile {
 pub fn profile<T: Target + ?Sized>(target: &T, device: &DeviceModel) -> KernelProfile {
     let out = target.execute_golden(device);
     assert!(out.status.completed(), "golden run of {} failed: {:?}", target.name(), out.status);
-    KernelProfile::from_execution(target.name(), target.kernel(), &out)
+    KernelProfile::from_execution(target.name(), target.kernel(), target.launch(), &out)
 }
 
 #[cfg(test)]
@@ -163,6 +182,18 @@ mod tests {
         // Hand-built kernels keep most produced bits live; a zero or full
         // static ACE would mean the analysis collapsed.
         assert!(p.static_ace > 0.5 && p.static_ace <= 1.0, "static_ace={}", p.static_ace);
+        // The verdict-lattice bounds are fractions of site bits; both must
+        // be nonzero (stores exist, addresses are corruptible) and valid.
+        assert!(
+            p.static_sdc_upper > 0.0 && p.static_sdc_upper <= 1.0,
+            "static_sdc_upper={}",
+            p.static_sdc_upper
+        );
+        assert!(
+            p.static_due_upper > 0.0 && p.static_due_upper <= 1.0,
+            "static_due_upper={}",
+            p.static_due_upper
+        );
     }
 
     #[test]

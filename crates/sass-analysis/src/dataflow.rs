@@ -29,7 +29,7 @@
 //! run's.
 
 use crate::cfg::Cfg;
-use gpu_arch::{DecodedKernel, Instr, InstrMeta, Kernel, Op, Reg, SpecialReg};
+use gpu_arch::{DecodedKernel, Instr, InstrMeta, Kernel, Op, Pred, Reg, SpecialReg};
 
 /// Number of real (non-`RZ`) general-purpose registers.
 pub const TRACKED_REGS: usize = 255;
@@ -547,6 +547,183 @@ pub fn uniformity(kernel: &Kernel, cfg: &Cfg) -> Uniformity {
     }
 
     Uniformity { divergent_block: divergent, guard_varying }
+}
+
+/// A predicate definition no later instruction ever observes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadPredWrite {
+    /// The writing instruction (`SETP` family).
+    pub pc: u32,
+    /// The predicate written.
+    pub pred: Pred,
+}
+
+/// Backward predicate liveness: find `SETP`s whose result no path ever
+/// observes (as an `@P` guard, a `SEL`/atomic condition source, or a
+/// branch guard).
+///
+/// Mirrors the bit-level register [`liveness`]: a guarded predicate
+/// write does not kill (the old value may survive), and an
+/// instruction's own guard reads the *old* predicate, so a
+/// `@P0 ISETP P0, ...` keeps prior definitions of `P0` live.
+pub fn dead_predicate_writes(kernel: &Kernel, cfg: &Cfg) -> Vec<DeadPredWrite> {
+    let nb = cfg.blocks.len();
+    // live-out predicate mask per block (bit per predicate, PT excluded).
+    let mut live_in = vec![0u8; nb];
+    let transfer = |block: usize, live_out: u8| -> u8 {
+        let mut live = live_out;
+        for pc in cfg.blocks[block].range().rev() {
+            let i = &kernel.instrs[pc];
+            if let Some(p) = i.pdst {
+                if !p.is_pt() && i.guard.is_none() {
+                    live &= !(1 << p.0);
+                }
+            }
+            if let Some(g) = i.guard {
+                if !g.pred.is_pt() {
+                    live |= 1 << g.pred.0;
+                }
+            }
+            if let Some((p, _)) = i.psrc {
+                if !p.is_pt() {
+                    live |= 1 << p.0;
+                }
+            }
+        }
+        live
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nb).rev() {
+            if !cfg.reachable[b] {
+                continue;
+            }
+            let mut out = 0u8;
+            for &s in &cfg.blocks[b].succs {
+                out |= live_in[s as usize];
+            }
+            let next = transfer(b, out);
+            if next != live_in[b] {
+                live_in[b] = next;
+                changed = true;
+            }
+        }
+    }
+    let mut dead = Vec::new();
+    for b in 0..nb {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        let mut live = 0u8;
+        for &s in &cfg.blocks[b].succs {
+            live |= live_in[s as usize];
+        }
+        // Walk backward recording each write's liveness at its own point.
+        for pc in cfg.blocks[b].range().rev() {
+            let i = &kernel.instrs[pc];
+            if let Some(p) = i.pdst {
+                if !p.is_pt() {
+                    if live & (1 << p.0) == 0 {
+                        dead.push(DeadPredWrite { pc: pc as u32, pred: p });
+                    }
+                    if i.guard.is_none() {
+                        live &= !(1 << p.0);
+                    }
+                }
+            }
+            if let Some(g) = i.guard {
+                if !g.pred.is_pt() {
+                    live |= 1 << g.pred.0;
+                }
+            }
+            if let Some((p, _)) = i.psrc {
+                if !p.is_pt() {
+                    live |= 1 << p.0;
+                }
+            }
+        }
+    }
+    dead.sort_by_key(|d| d.pc);
+    dead
+}
+
+/// A predicate read (guard or condition source) with no assignment on
+/// any path from kernel entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnwrittenGuard {
+    /// The reading instruction.
+    pub pc: u32,
+    /// The predicate read.
+    pub pred: Pred,
+}
+
+/// Find predicate reads that no path can have assigned (may-assign
+/// forward pass, mirroring [`uninitialized_reads`]): predicates reset to
+/// false at launch, so such a guard is a constant — `@P` never fires and
+/// `@!P` always does.
+pub fn unwritten_guards(kernel: &Kernel, cfg: &Cfg) -> Vec<UnwrittenGuard> {
+    let nb = cfg.blocks.len();
+    let mut in_sets = vec![0u8; nb];
+    let out_of = |block: usize, mut cur: u8| -> u8 {
+        for pc in cfg.blocks[block].range() {
+            if let Some(p) = kernel.instrs[pc].pdst {
+                if !p.is_pt() {
+                    cur |= 1 << p.0;
+                }
+            }
+        }
+        cur
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            if !cfg.reachable[b] {
+                continue;
+            }
+            let mut cur = 0u8;
+            for &p in &cfg.blocks[b].preds {
+                if cfg.reachable[p as usize] {
+                    cur |= out_of(p as usize, in_sets[p as usize]);
+                }
+            }
+            if cur != in_sets[b] {
+                in_sets[b] = cur;
+                changed = true;
+            }
+        }
+    }
+    let mut out: Vec<UnwrittenGuard> = Vec::new();
+    for (b, &in_set) in in_sets.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        let mut cur = in_set;
+        for pc in cfg.blocks[b].range() {
+            let i = &kernel.instrs[pc];
+            let mut check = |p: Pred| {
+                if !p.is_pt() && cur & (1 << p.0) == 0 {
+                    let hit = UnwrittenGuard { pc: pc as u32, pred: p };
+                    if !out.contains(&hit) {
+                        out.push(hit);
+                    }
+                }
+            };
+            if let Some(g) = i.guard {
+                check(g.pred);
+            }
+            if let Some((p, _)) = i.psrc {
+                check(p);
+            }
+            if let Some(p) = i.pdst {
+                if !p.is_pt() {
+                    cur |= 1 << p.0;
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,485 @@
+//! Per-kernel value-flow graph and forward fault-propagation taint.
+//!
+//! [`StaticMasks`](crate::StaticMasks) answers a binary question — is a
+//! corrupted destination *observed* anywhere — but says nothing about
+//! *where* the corruption can go. This module follows every injectable
+//! site's corruption forward through the kernel's value-flow graph and
+//! classifies the set of architectural sinks it can reach:
+//!
+//! * a **store sink** — the corrupted value can land in global memory
+//!   (the output the campaign's SDC check compares);
+//! * an **address sink** — the corruption can reach the base operand of
+//!   a memory access (out-of-bounds / misalignment → DUE);
+//! * a **control sink** — the corruption can flip a branch or barrier
+//!   guard (trip-count changes, divergence deadlock, runaway loops →
+//!   DUE);
+//! * a **warp sink** — the corruption feeds a warp-synchronous MMA/SHFL,
+//!   whose lane-exchange semantics the scalar flow graph does not model.
+//!
+//! The flow graph's edges are the def-use chains of
+//! [`crate::dataflow::def_use`] (which share the predecode layer's
+//! observed-read model with the simulator), extended with three edge
+//! kinds the plain chains do not carry:
+//!
+//! * **predicate-guard edges** — a corrupted `SETP` result reaches every
+//!   instruction guarded by (or selecting on) that predicate;
+//! * **address-operand edges** — a corrupted register used as a memory
+//!   base is distinguished from one used as a stored value;
+//! * **branch-condition edges** — a corrupted branch guard taints, by
+//!   control dependence, every definition and store in the branch's
+//!   influence region ([`crate::cfg::Cfg::influence_region`]).
+//!
+//! Memory is modeled as two summary locations (global, shared): a
+//! corrupted value stored to a space taints every load from that space.
+//! That is deliberately timing- and address-insensitive — any load that
+//! *could* read the corrupted location is tainted — which keeps the
+//! propagation a monotone fixpoint over a finite item set, and errs only
+//! toward weaker verdicts (never toward a wrong `ProvenMasked`).
+//!
+//! Soundness argument (mirrors `mask.rs`): the faulty run is identical
+//! to the golden run up to the injection instant, so the static def-use
+//! edges — which over-approximate *all* paths — cover every dynamic
+//! observation of the corrupted value after it. If the transitive
+//! closure reaches no global store (by value, address, or control
+//! dependence), no branch/barrier guard, and no warp-synchronous op,
+//! then every global-memory write and the termination behavior of the
+//! faulty run are bit-identical to the golden run: the trial is Masked.
+//! Conversely the absence of a sink *class* bounds the outcomes: a site
+//! whose closure contains no address, control, or warp sink cannot raise
+//! a DUE (all addresses and trip counts are golden), and one whose
+//! closure contains no store sink cannot alter the compared output.
+
+use crate::cfg::Cfg;
+use crate::dataflow;
+use gpu_arch::{DecodedKernel, Kernel, MemWidth, Op, Pred, Reg};
+
+/// Where a corrupted site's value can propagate — the verdict lattice.
+///
+/// Ordering is by decreasing knowledge: `ProvenMasked` pins the outcome
+/// exactly; `StoreReaching`/`AddressReaching`/`ControlReaching` exclude
+/// one outcome class each; `Unknown` excludes nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SiteVerdict {
+    /// The corruption reaches no sink at all: the trial is Masked.
+    ProvenMasked,
+    /// Reaches stored output only — SDC-prone, provably cannot DUE
+    /// (no address, control, or warp sink in the closure).
+    StoreReaching,
+    /// Reaches load addresses only — DUE-prone (OOB/misalign), provably
+    /// cannot SDC (no loaded value flows to output, no store touched).
+    AddressReaching,
+    /// Reaches branch/barrier guards but no store — DUE-prone
+    /// (deadlock, runaway loop), provably cannot SDC (no store is data-
+    /// or control-dependent on the corruption).
+    ControlReaching,
+    /// Both output and DUE mechanisms reachable, or a warp-synchronous
+    /// sink: no outcome can be excluded.
+    Unknown,
+}
+
+impl SiteVerdict {
+    /// Stable lowercase label (metrics, lint tables, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteVerdict::ProvenMasked => "masked",
+            SiteVerdict::StoreReaching => "store",
+            SiteVerdict::AddressReaching => "address",
+            SiteVerdict::ControlReaching => "control",
+            SiteVerdict::Unknown => "unknown",
+        }
+    }
+
+    /// Can a fault at a site with this verdict produce an SDC?
+    pub fn sdc_possible(self) -> bool {
+        matches!(self, SiteVerdict::StoreReaching | SiteVerdict::Unknown)
+    }
+
+    /// Can a fault at a site with this verdict produce a DUE?
+    pub fn due_possible(self) -> bool {
+        matches!(
+            self,
+            SiteVerdict::AddressReaching | SiteVerdict::ControlReaching | SiteVerdict::Unknown
+        )
+    }
+}
+
+/// Sink classes a taint run can hit.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+struct Sinks {
+    store: bool,
+    addr: bool,
+    ctl: bool,
+    warp: bool,
+}
+
+impl Sinks {
+    fn classify(self) -> SiteVerdict {
+        if self.warp || (self.store && (self.addr || self.ctl)) {
+            SiteVerdict::Unknown
+        } else if self.store {
+            SiteVerdict::StoreReaching
+        } else if self.ctl {
+            SiteVerdict::ControlReaching
+        } else if self.addr {
+            SiteVerdict::AddressReaching
+        } else {
+            SiteVerdict::ProvenMasked
+        }
+    }
+}
+
+/// One taint item in the propagation worklist.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Item {
+    /// The GPR value defined at `pc` is corrupted.
+    Def(u32),
+    /// The predicate written at `pc` is corrupted.
+    PredDef(u32),
+    /// Global-memory contents may be corrupted.
+    GlobalSpace,
+    /// Shared-memory contents may be corrupted.
+    SharedSpace,
+}
+
+/// The per-kernel value-flow graph, pre-resolved for taint queries.
+pub struct ValueFlow {
+    decoded: DecodedKernel,
+    /// Def-use chains: per def index, the pcs that may observe it.
+    du: dataflow::DefUse,
+    /// Def indices per pc (a pair write yields two defs at one pc).
+    defs_at: Vec<Vec<u32>>,
+    /// Per predicate: reachable pcs that read it (guard, `SEL` source,
+    /// or branch condition) — conservative over all paths.
+    pred_users: [Vec<u32>; 8],
+    /// Reachable load pcs per space (global, shared).
+    global_loads: Vec<u32>,
+    shared_loads: Vec<u32>,
+    /// Per pc: the blocks whose execution a corrupted branch guard at
+    /// this pc can decide (empty for non-branches).
+    influence: Vec<Vec<u32>>,
+    /// Per block: its instruction range, for control-dependence closure.
+    block_ranges: Vec<(u32, u32)>,
+    reachable_pc: Vec<bool>,
+    /// Per pc: the predicate a `SETP` writes (`InstrMeta` does not carry
+    /// `pdst`, so it is captured from the instruction stream here).
+    instr_pdst: Vec<Option<Pred>>,
+    /// Per pc: the base-address register of a memory op (`srcs[0]`;
+    /// `None` for non-mem ops or an RZ base). `src_regs` cannot recover
+    /// this — it drops RZ, so the base is not reliably first.
+    mem_base: Vec<Option<Reg>>,
+    /// Per pc: the stored-value registers of a store/atomic (`srcs[2]`,
+    /// plus its pair-high word for 64-bit stores).
+    mem_value: Vec<[Option<Reg>; 2]>,
+}
+
+impl ValueFlow {
+    /// Build the flow graph of `kernel`.
+    pub fn build(kernel: &Kernel) -> ValueFlow {
+        let cfg = Cfg::build(kernel);
+        ValueFlow::build_with_cfg(kernel, &cfg)
+    }
+
+    /// Build the flow graph re-using an already-built CFG.
+    pub fn build_with_cfg(kernel: &Kernel, cfg: &Cfg) -> ValueFlow {
+        let decoded = DecodedKernel::new(kernel);
+        let du = dataflow::def_use(kernel, cfg);
+        let n = kernel.instrs.len();
+        let mut defs_at = vec![Vec::new(); n];
+        for (d, def) in du.defs.iter().enumerate() {
+            defs_at[def.pc as usize].push(d as u32);
+        }
+        let reachable_pc: Vec<bool> =
+            (0..n).map(|pc| cfg.reachable[cfg.block_of[pc] as usize]).collect();
+        let mut pred_users: [Vec<u32>; 8] = Default::default();
+        let mut global_loads = Vec::new();
+        let mut shared_loads = Vec::new();
+        let mut influence = vec![Vec::new(); n];
+        for (pc, i) in kernel.instrs.iter().enumerate() {
+            if !reachable_pc[pc] {
+                continue;
+            }
+            if let Some(g) = i.guard {
+                if !g.pred.is_pt() {
+                    pred_users[g.pred.0 as usize].push(pc as u32);
+                }
+            }
+            if let Some((p, _)) = i.psrc {
+                if !p.is_pt() {
+                    pred_users[p.0 as usize].push(pc as u32);
+                }
+            }
+            match i.op {
+                Op::Ldg(_) | Op::AtomGAdd => global_loads.push(pc as u32),
+                Op::Lds(_) | Op::AtomSAdd => shared_loads.push(pc as u32),
+                Op::Bra => {
+                    influence[pc] = cfg.influence_region(cfg.block_of[pc]);
+                }
+                _ => {}
+            }
+        }
+        let block_ranges = cfg.blocks.iter().map(|b| (b.start, b.end)).collect();
+        let instr_pdst = kernel.instrs.iter().map(|i| i.pdst).collect();
+        let mut mem_base = vec![None; n];
+        let mut mem_value = vec![[None, None]; n];
+        for (pc, i) in kernel.instrs.iter().enumerate() {
+            let live = |r: Option<Reg>| r.filter(|r| !r.is_rz());
+            match i.op {
+                Op::Ldg(_) | Op::Lds(_) => mem_base[pc] = live(i.srcs[0].reg()),
+                Op::Stg(w) | Op::Sts(w) => {
+                    mem_base[pc] = live(i.srcs[0].reg());
+                    let v = live(i.srcs[2].reg());
+                    mem_value[pc] = [v, v.filter(|_| w == MemWidth::W64).map(Reg::pair_hi)];
+                }
+                Op::AtomGAdd | Op::AtomSAdd => {
+                    mem_base[pc] = live(i.srcs[0].reg());
+                    mem_value[pc] = [live(i.srcs[2].reg()), None];
+                }
+                _ => {}
+            }
+        }
+        ValueFlow {
+            decoded,
+            du,
+            defs_at,
+            pred_users,
+            global_loads,
+            shared_loads,
+            influence,
+            block_ranges,
+            reachable_pc,
+            instr_pdst,
+            mem_base,
+            mem_value,
+        }
+    }
+
+    /// Verdict for a corrupted GPR destination written at `pc`
+    /// (`InstructionOutput` / `InstructionOutputSet` faults).
+    pub fn output_verdict(&self, pc: u32) -> SiteVerdict {
+        if !self.reachable_pc[pc as usize] {
+            return SiteVerdict::ProvenMasked;
+        }
+        let meta = self.decoded.meta(pc);
+        if meta.is_warp_sync {
+            // Warp-level corruption machinery is out of the flow model.
+            return SiteVerdict::Unknown;
+        }
+        self.run_taint(Item::Def(pc))
+    }
+
+    /// Verdict for an inverted predicate written at `pc`
+    /// (`PredicateOutput` faults on `SETP`).
+    pub fn predicate_verdict(&self, pc: u32) -> SiteVerdict {
+        if !self.reachable_pc[pc as usize] {
+            return SiteVerdict::ProvenMasked;
+        }
+        self.run_taint(Item::PredDef(pc))
+    }
+
+    /// Verdict for a corrupted effective address at memory op `pc`
+    /// (`MemAddress` faults). Always at least [`SiteVerdict::AddressReaching`]:
+    /// the access itself is the address sink.
+    pub fn mem_address_verdict(&self, pc: u32) -> SiteVerdict {
+        if !self.reachable_pc[pc as usize] {
+            return SiteVerdict::ProvenMasked;
+        }
+        let mut sinks = Sinks { addr: true, ..Sinks::default() };
+        let mut items = Vec::new();
+        let mut seen = Vec::new();
+        match self.decoded.meta(pc).op {
+            // A misdirected store clobbers one location and leaves the
+            // intended one stale: both the space and the output are
+            // suspect.
+            Op::Stg(_) | Op::AtomGAdd => {
+                sinks.store = true;
+                push(&mut items, &mut seen, Item::GlobalSpace);
+                if self.decoded.meta(pc).op == Op::AtomGAdd {
+                    push(&mut items, &mut seen, Item::Def(pc));
+                }
+            }
+            Op::Sts(_) | Op::AtomSAdd => {
+                push(&mut items, &mut seen, Item::SharedSpace);
+                if self.decoded.meta(pc).op == Op::AtomSAdd {
+                    push(&mut items, &mut seen, Item::Def(pc));
+                }
+            }
+            // A misdirected load produces a wrong (in-bounds) value.
+            _ => push(&mut items, &mut seen, Item::Def(pc)),
+        }
+        self.propagate(items, seen, &mut sinks);
+        sinks.classify()
+    }
+
+    fn run_taint(&self, seed: Item) -> SiteVerdict {
+        let mut sinks = Sinks::default();
+        self.propagate(vec![seed], vec![seed], &mut sinks);
+        sinks.classify()
+    }
+
+    /// Monotone worklist closure over taint items, accumulating sinks.
+    fn propagate(&self, mut work: Vec<Item>, mut seen: Vec<Item>, sinks: &mut Sinks) {
+        while let Some(item) = work.pop() {
+            match item {
+                Item::Def(pc) => self.flow_def(pc, sinks, &mut work, &mut seen),
+                Item::PredDef(pc) => self.flow_pred(pc, sinks, &mut work, &mut seen),
+                Item::GlobalSpace => {
+                    for &l in &self.global_loads {
+                        push(&mut work, &mut seen, Item::Def(l));
+                    }
+                }
+                Item::SharedSpace => {
+                    for &l in &self.shared_loads {
+                        push(&mut work, &mut seen, Item::Def(l));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Propagate a corrupted GPR definition at `pc` through its uses.
+    fn flow_def(&self, pc: u32, sinks: &mut Sinks, work: &mut Vec<Item>, seen: &mut Vec<Item>) {
+        for &d in &self.defs_at[pc as usize] {
+            let reg = self.du.defs[d as usize].reg;
+            for &u in &self.du.uses[d as usize] {
+                let meta = self.decoded.meta(u);
+                if meta.is_warp_sync {
+                    sinks.warp = true;
+                    continue;
+                }
+                // Memory ops: distinguish the address operand from the
+                // value operand (both captured from the raw encoding).
+                if meta.is_mem_op {
+                    let is_base = self.mem_base[u as usize] == Some(reg);
+                    let is_value = self.mem_value[u as usize].contains(&Some(reg));
+                    if is_base {
+                        sinks.addr = true;
+                        match meta.op {
+                            Op::Stg(_) | Op::AtomGAdd => {
+                                sinks.store = true;
+                                push(work, seen, Item::GlobalSpace);
+                            }
+                            Op::Sts(_) | Op::AtomSAdd => {
+                                push(work, seen, Item::SharedSpace);
+                            }
+                            // Loads: the misread value continues to flow.
+                            _ => push(work, seen, Item::Def(u)),
+                        }
+                    }
+                    if is_value {
+                        match meta.op {
+                            Op::Stg(_) | Op::AtomGAdd => {
+                                sinks.store = true;
+                                push(work, seen, Item::GlobalSpace);
+                            }
+                            _ => push(work, seen, Item::SharedSpace),
+                        }
+                    }
+                    // Atomics also forward the (possibly perturbed)
+                    // memory contents into their destination.
+                    if matches!(meta.op, Op::AtomGAdd | Op::AtomSAdd) && (is_base || is_value) {
+                        push(work, seen, Item::Def(u));
+                    }
+                    if is_base || is_value {
+                        continue;
+                    }
+                }
+                // Plain data flow: the consumer's outputs are tainted.
+                if meta.writes_pred {
+                    push(work, seen, Item::PredDef(u));
+                }
+                if !meta.dst_regs.is_empty() {
+                    push(work, seen, Item::Def(u));
+                }
+            }
+        }
+    }
+
+    /// Propagate a corrupted predicate written at `pc`: every reachable
+    /// guard, select, or branch on that predicate may observe it (the
+    /// conservative, order-insensitive reading of the guard edges).
+    fn flow_pred(&self, pc: u32, sinks: &mut Sinks, work: &mut Vec<Item>, seen: &mut Vec<Item>) {
+        let Some(p) = self.written_pred(pc) else { return };
+        for &u in &self.pred_users[p.0 as usize] {
+            let meta = self.decoded.meta(u);
+            match meta.op {
+                // A flipped branch condition is the control sink, and by
+                // control dependence everything in the branch's influence
+                // region may execute differently.
+                Op::Bra => {
+                    sinks.ctl = true;
+                    self.taint_region(u, sinks, work, seen);
+                }
+                // A guard flip on EXIT/BAR changes which threads
+                // terminate or arrive: control.
+                Op::Exit | Op::Bar => sinks.ctl = true,
+                _ => {
+                    // A guard flip on a memory op suppresses or replays
+                    // the access: the store side alters output, and a
+                    // replayed access may be one the golden run's data
+                    // would never have issued (address not provably
+                    // valid).
+                    if meta.is_mem_op {
+                        sinks.addr = true;
+                        match meta.op {
+                            Op::Stg(_) | Op::AtomGAdd => {
+                                sinks.store = true;
+                                push(work, seen, Item::GlobalSpace);
+                            }
+                            Op::Sts(_) | Op::AtomSAdd => {
+                                push(work, seen, Item::SharedSpace);
+                            }
+                            _ => {}
+                        }
+                    }
+                    // Whether guarded-op or SEL: its outputs may differ.
+                    if meta.writes_pred {
+                        push(work, seen, Item::PredDef(u));
+                    }
+                    if !meta.dst_regs.is_empty() {
+                        push(work, seen, Item::Def(u));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Control-dependence closure of a corrupted branch at `pc`: every
+    /// definition, store, and barrier in the influence region may
+    /// execute differently.
+    fn taint_region(&self, pc: u32, sinks: &mut Sinks, work: &mut Vec<Item>, seen: &mut Vec<Item>) {
+        for &b in &self.influence[pc as usize] {
+            let (start, end) = self.block_ranges[b as usize];
+            for u in start..end {
+                let meta = self.decoded.meta(u);
+                match meta.op {
+                    Op::Stg(_) | Op::AtomGAdd => {
+                        sinks.store = true;
+                        push(work, seen, Item::GlobalSpace);
+                    }
+                    Op::Sts(_) | Op::AtomSAdd => {
+                        push(work, seen, Item::SharedSpace);
+                    }
+                    Op::Bar | Op::Exit => sinks.ctl = true,
+                    _ => {}
+                }
+                if meta.writes_pred {
+                    push(work, seen, Item::PredDef(u));
+                }
+                if !meta.dst_regs.is_empty() {
+                    push(work, seen, Item::Def(u));
+                }
+            }
+        }
+    }
+
+    fn written_pred(&self, pc: u32) -> Option<Pred> {
+        self.instr_pdst[pc as usize]
+    }
+}
+
+fn push(work: &mut Vec<Item>, seen: &mut Vec<Item>, item: Item) {
+    if !seen.contains(&item) {
+        seen.push(item);
+        work.push(item);
+    }
+}

@@ -10,6 +10,8 @@
 //! | `DivergentBarrier`  | error    | `BAR.SYNC` under thread-divergent control flow |
 //! | `SharedRace`        | warning  | shared-memory access pair with no barrier between |
 //! | `LdpOutOfRange`     | error    | `LDP` constant-bank index beyond the launch params |
+//! | `DeadPredicateWrite`| warning  | `SETP` result no path ever observes            |
+//! | `RedundantGuard`    | warning  | guard/condition predicate never written on any path |
 //!
 //! Severity policy: *errors* are conditions the simulator executes
 //! nondeterministically or nonsensically (classic CUDA undefined
@@ -60,6 +62,12 @@ pub enum LintKind {
     SharedRace,
     /// `LDP` index beyond the kernel parameter words of the launch.
     LdpOutOfRange,
+    /// A `SETP`-family predicate result no path ever observes.
+    DeadPredicateWrite,
+    /// A guard (or `SEL` condition) on a predicate with no assignment on
+    /// any path from entry: predicates reset to false at launch, so the
+    /// guard is a constant.
+    RedundantGuard,
 }
 
 impl LintKind {
@@ -72,6 +80,8 @@ impl LintKind {
             LintKind::DivergentBarrier => Severity::Error,
             LintKind::SharedRace => Severity::Warning,
             LintKind::LdpOutOfRange => Severity::Error,
+            LintKind::DeadPredicateWrite => Severity::Warning,
+            LintKind::RedundantGuard => Severity::Warning,
         }
     }
 
@@ -84,6 +94,8 @@ impl LintKind {
             LintKind::DivergentBarrier => "divergent-barrier",
             LintKind::SharedRace => "shared-race",
             LintKind::LdpOutOfRange => "ldp-out-of-range",
+            LintKind::DeadPredicateWrite => "dead-predicate-write",
+            LintKind::RedundantGuard => "redundant-guard",
         }
     }
 }
@@ -179,6 +191,34 @@ fn verify_inner(kernel: &Kernel, launch: Option<&LaunchConfig>) -> Vec<Diagnosti
                 ));
             }
         }
+    }
+
+    // Dead predicate writes (the predicate analog of DeadWrite; this is
+    // also the site class the verdict map prunes as ProvenMasked).
+    for d in dataflow::dead_predicate_writes(kernel, &cfg) {
+        out.push(diag(
+            LintKind::DeadPredicateWrite,
+            d.pc,
+            format!(
+                "`{}` writes {} but no path observes the predicate",
+                instrs[d.pc as usize], d.pred
+            ),
+        ));
+    }
+
+    // Guards on never-written predicates: constantly false (or true for
+    // `@!P`), so the guarded instruction is unconditionally dropped or
+    // unconditionally executed.
+    for g in dataflow::unwritten_guards(kernel, &cfg) {
+        out.push(diag(
+            LintKind::RedundantGuard,
+            g.pc,
+            format!(
+                "`{}` tests {} but no path writes it (predicates reset to false at launch: \
+                 the condition is constant)",
+                instrs[g.pc as usize], g.pred
+            ),
+        ));
     }
 
     // Divergent barriers.
@@ -470,6 +510,76 @@ mod tests {
         b.exit();
         let k = b.build().unwrap();
         assert!(!kinds(&verify(&k)).contains(&LintKind::SharedRace));
+    }
+
+    #[test]
+    fn dead_predicate_write_fires_and_observed_predicate_does_not() {
+        let build = |observed: bool| {
+            let mut b = KernelBuilder::new("deadpred");
+            b.ldp(Reg(2), 0);
+            b.isetp(Pred(0), CmpOp::Lt, Operand::Reg(Reg(2)), Operand::Imm(5));
+            if observed {
+                b.if_p(Pred(0));
+            }
+            b.stg(MemWidth::W32, Reg(2), 0, Reg(2));
+            b.exit();
+            b.build().unwrap()
+        };
+        let d = verify(&build(false));
+        assert!(kinds(&d).contains(&LintKind::DeadPredicateWrite));
+        assert_eq!(
+            d.iter().find(|d| d.kind == LintKind::DeadPredicateWrite).unwrap().severity,
+            Severity::Warning
+        );
+        assert!(!kinds(&verify(&build(true))).contains(&LintKind::DeadPredicateWrite));
+    }
+
+    #[test]
+    fn overwritten_predicate_is_dead_but_branch_use_keeps_it_live() {
+        // P0 is set twice; only the second write is observed by the BRA.
+        let mut b = KernelBuilder::new("redef");
+        b.ldp(Reg(2), 0);
+        b.isetp(Pred(0), CmpOp::Lt, Operand::Reg(Reg(2)), Operand::Imm(5));
+        b.isetp(Pred(0), CmpOp::Gt, Operand::Reg(Reg(2)), Operand::Imm(9));
+        b.if_p(Pred(0));
+        b.bra("skip");
+        b.stg(MemWidth::W32, Reg(2), 0, Reg(2));
+        b.label("skip");
+        b.exit();
+        let k = b.build().unwrap();
+        let d = verify(&k);
+        let dead: Vec<_> = d.iter().filter(|d| d.kind == LintKind::DeadPredicateWrite).collect();
+        assert_eq!(dead.len(), 1, "{d:?}");
+        assert_eq!(dead[0].pc, 1);
+    }
+
+    #[test]
+    fn redundant_guard_fires_on_never_written_predicate() {
+        let mut b = KernelBuilder::new("redguard");
+        b.ldp(Reg(2), 0);
+        b.if_p(Pred(3)); // P3 is never written anywhere
+        b.stg(MemWidth::W32, Reg(2), 0, Reg(2));
+        b.stg(MemWidth::W32, Reg(2), 4, Reg(2));
+        b.exit();
+        let k = b.build().unwrap();
+        let d = verify(&k);
+        let red: Vec<_> = d.iter().filter(|d| d.kind == LintKind::RedundantGuard).collect();
+        assert_eq!(red.len(), 1, "{d:?}");
+        assert_eq!(red[0].pc, 1);
+        assert_eq!(red[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn guard_after_assignment_is_not_redundant() {
+        let mut b = KernelBuilder::new("okguard");
+        b.ldp(Reg(2), 0);
+        b.isetp(Pred(0), CmpOp::Lt, Operand::Reg(Reg(2)), Operand::Imm(5));
+        b.if_p(Pred(0));
+        b.stg(MemWidth::W32, Reg(2), 0, Reg(2));
+        b.stg(MemWidth::W32, Reg(2), 4, Reg(2));
+        b.exit();
+        let k = b.build().unwrap();
+        assert!(!kinds(&verify(&k)).contains(&LintKind::RedundantGuard));
     }
 
     #[test]

@@ -26,7 +26,11 @@
 //!   a register-file bit no instruction ever observes cannot propagate,
 //!   whenever it is flipped.
 //!
-//! Address, predicate and PC faults are never pruned.
+//! This layer alone never prunes address, predicate or PC faults; the
+//! value-flow verdicts ([`crate::flow`] + [`crate::verdict`]) extend the
+//! pruned set to predicate writers (taint that reaches no sink) and
+//! resolve some single-bit output/address flips as proven DUEs. PC
+//! faults remain simulate-only.
 
 use crate::cfg::Cfg;
 use crate::dataflow;

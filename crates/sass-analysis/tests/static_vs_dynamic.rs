@@ -7,12 +7,22 @@
 //!   memory bit-identical to the golden run;
 //! * **uninitialized reads** — the dataflow verdict must equal a direct
 //!   replay of the instruction sequence (straight-line code makes the
-//!   dynamic read-before-write set exactly computable).
+//!   dynamic read-before-write set exactly computable);
+//! * **verdict-lattice soundness** — a site the value-flow taint proves
+//!   `ProvenMasked` never changes the output under flip or replacement;
+//!   every dynamic SDC originates from a site whose verdict admits SDCs
+//!   (`StoreReaching`/`Unknown`); every dynamic DUE from a site whose
+//!   verdict admits DUEs; and every statically-proven DUE bit reproduces
+//!   as a dynamic DUE of the proven kind;
+//! * **determinism** — recomputing [`KernelVerdicts`] yields identical
+//!   verdicts and proven-DUE bit masks.
 
 use gpu_arch::{DeviceModel, Kernel, KernelBuilder, LaunchConfig, MemWidth, Operand, Reg};
-use gpu_sim::{run, BitFlip, FaultPlan, GlobalMemory, RunOptions, SiteClass};
+use gpu_sim::{run, BitFlip, ExecStatus, FaultPlan, GlobalMemory, RunOptions, SiteClass};
 use proptest::prelude::*;
-use sass_analysis::{cfg::Cfg, dataflow, StaticMasks};
+use sass_analysis::{
+    cfg::Cfg, dataflow, AnalysisContext, KernelVerdicts, SiteVerdict, StaticMasks,
+};
 
 /// One generated straight-line ALU instruction.
 #[derive(Clone, Debug)]
@@ -62,6 +72,20 @@ fn build_kernel(body: &[GenInstr]) -> Kernel {
 
 fn launch() -> LaunchConfig {
     LaunchConfig::new(1, 1, vec![64])
+}
+
+/// Analysis context matching [`run_with`]'s launch and 256-byte global
+/// allocation.
+fn ctx() -> AnalysisContext {
+    AnalysisContext::for_launch(&launch(), 256)
+}
+
+/// `nth`-indexed pcs of the GPR-writer site stream (single thread, no
+/// branches: dynamic order == program order).
+fn site_pcs(kernel: &Kernel) -> Vec<u32> {
+    (0..kernel.instrs.len() as u32)
+        .filter(|&pc| SiteClass::GprWriter.matches(kernel.instrs[pc as usize].op))
+        .collect()
 }
 
 fn run_with(kernel: &Kernel, fault: FaultPlan) -> gpu_sim::Executed {
@@ -149,5 +173,148 @@ proptest! {
         got.sort_unstable();
         expect.sort_unstable();
         prop_assert_eq!(got, expect);
+    }
+
+    /// Value-flow soundness, masked side: a site whose output verdict is
+    /// `ProvenMasked` admits neither an SDC nor a DUE — flip any bit or
+    /// replace the whole value, the run completes with golden output.
+    #[test]
+    fn flow_proven_masked_sites_never_change_output(
+        body in prop::collection::vec(gen_instr(), 1..24),
+        bit in 0u32..32,
+    ) {
+        let kernel = build_kernel(&body);
+        let verdicts = KernelVerdicts::compute(&kernel, &ctx());
+        let golden = run_with(&kernel, FaultPlan::None);
+        prop_assert!(golden.status.completed());
+        for (nth, &pc) in site_pcs(&kernel).iter().enumerate() {
+            if verdicts.output_verdict(pc) != SiteVerdict::ProvenMasked {
+                continue;
+            }
+            for plan in [
+                FaultPlan::InstructionOutput {
+                    nth: nth as u64,
+                    site: SiteClass::GprWriter,
+                    flip: BitFlip::single(bit),
+                },
+                FaultPlan::InstructionOutputSet {
+                    nth: nth as u64,
+                    site: SiteClass::GprWriter,
+                    value: 0xFFFF_FFFF_FFFF_FFFF,
+                },
+            ] {
+                let faulty = run_with(&kernel, plan);
+                prop_assert!(faulty.status.completed(), "DUE from ProvenMasked site @{pc}");
+                prop_assert!(
+                    faulty.memory.raw() == golden.memory.raw(),
+                    "output changed from ProvenMasked site @{pc}"
+                );
+            }
+        }
+    }
+
+    /// Value-flow soundness, outcome side: simulate a flip at every
+    /// GPR-writer site; a dynamic SDC may only arise at a site whose
+    /// verdict admits SDCs, a dynamic DUE only where the verdict admits
+    /// DUEs.
+    #[test]
+    fn dynamic_outcomes_respect_verdict_lattice(
+        body in prop::collection::vec(gen_instr(), 1..24),
+        bit in 0u32..32,
+    ) {
+        let kernel = build_kernel(&body);
+        let verdicts = KernelVerdicts::compute(&kernel, &ctx());
+        let golden = run_with(&kernel, FaultPlan::None);
+        prop_assert!(golden.status.completed());
+        for (nth, &pc) in site_pcs(&kernel).iter().enumerate() {
+            let faulty = run_with(&kernel, FaultPlan::InstructionOutput {
+                nth: nth as u64,
+                site: SiteClass::GprWriter,
+                flip: BitFlip::single(bit),
+            });
+            let v = verdicts.output_verdict(pc);
+            match faulty.status {
+                ExecStatus::Due(kind) => prop_assert!(
+                    v.due_possible(),
+                    "dynamic DUE ({kind:?}) from {v:?} site @{pc}"
+                ),
+                ExecStatus::Completed => {
+                    if faulty.memory.raw() != golden.memory.raw() {
+                        prop_assert!(v.sdc_possible(), "dynamic SDC from {v:?} site @{pc}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Proven-DUE bits reproduce dynamically: flipping a bit the interval
+    /// proofs mark as a DUE must abort the run with exactly the proven
+    /// kind — for output flips and for effective-address flips.
+    #[test]
+    fn proven_due_bits_reproduce_dynamically(
+        body in prop::collection::vec(gen_instr(), 1..24),
+    ) {
+        let kernel = build_kernel(&body);
+        let verdicts = KernelVerdicts::compute(&kernel, &ctx());
+        for (nth, &pc) in site_pcs(&kernel).iter().enumerate() {
+            let due = verdicts.output_due_bits(pc);
+            for k in (0..32).filter(|k| due.bits & (1 << k) != 0) {
+                let faulty = run_with(&kernel, FaultPlan::InstructionOutput {
+                    nth: nth as u64,
+                    site: SiteClass::GprWriter,
+                    flip: BitFlip::single(k),
+                });
+                prop_assert_eq!(
+                    faulty.status, ExecStatus::Due(due.kind.unwrap()),
+                    "proven DUE bit {} @{} did not reproduce", k, pc
+                );
+            }
+        }
+        let mem_pcs: Vec<u32> = (0..kernel.instrs.len() as u32)
+            .filter(|&pc| {
+                matches!(kernel.instrs[pc as usize].op,
+                    gpu_arch::Op::Ldg(_) | gpu_arch::Op::Stg(_)
+                    | gpu_arch::Op::Lds(_) | gpu_arch::Op::Sts(_)
+                    | gpu_arch::Op::AtomGAdd | gpu_arch::Op::AtomSAdd)
+            })
+            .collect();
+        for (nth, &pc) in mem_pcs.iter().enumerate() {
+            for k in 0..32u32 {
+                if verdicts.mem_flip_due(pc, 1u64 << k).is_none() {
+                    continue;
+                }
+                let faulty = run_with(&kernel, FaultPlan::MemAddress {
+                    nth: nth as u64,
+                    flip: BitFlip::single(k),
+                });
+                prop_assert_eq!(
+                    faulty.status,
+                    ExecStatus::Due(verdicts.mem_flip_due(pc, 1u64 << k).unwrap()),
+                    "proven MemAddress DUE bit {} @{} did not reproduce", k, pc
+                );
+            }
+        }
+    }
+
+    /// The verdict map is a pure function of (kernel, context):
+    /// recomputation yields identical verdicts and DUE bit masks at
+    /// every pc.
+    #[test]
+    fn verdict_map_is_deterministic(body in prop::collection::vec(gen_instr(), 1..24)) {
+        let kernel = build_kernel(&body);
+        let a = KernelVerdicts::compute(&kernel, &ctx());
+        let b = KernelVerdicts::compute(&kernel, &ctx());
+        for pc in 0..kernel.instrs.len() as u32 {
+            prop_assert_eq!(a.output_verdict(pc), b.output_verdict(pc));
+            prop_assert_eq!(a.predicate_verdict(pc), b.predicate_verdict(pc));
+            prop_assert_eq!(a.mem_verdict(pc), b.mem_verdict(pc));
+            prop_assert_eq!(a.output_due_bits(pc), b.output_due_bits(pc));
+            for k in 0..32 {
+                prop_assert_eq!(
+                    a.mem_flip_due(pc, 1u64 << k),
+                    b.mem_flip_due(pc, 1u64 << k)
+                );
+            }
+        }
     }
 }
