@@ -8,6 +8,7 @@
 //! repro fig5     Figure 5  (beam FIT per code, ECC off/on)
 //! repro fig6     Figure 6  (fault simulation vs beam ratio)
 //! repro due      Section VII-B (DUE underestimation factors)
+//! repro gap      Section VII-B closure (DUE gap vs hidden coverage)
 //! repro ablate   phi / injector-capability / MBU ablations
 //! repro codegen  CUDA7-vs-CUDA10 AVF study (same injector)
 //! repro breakdown  per-instruction-class AVF decomposition
@@ -47,8 +48,8 @@ use std::io::{BufWriter, Write};
 
 use bench::{
     avf_breakdown, codegen_comparison, convergence, due_analysis, fig1, fig3_observed,
-    fig4_observed, fig5_observed, fig6, render, table1_observed, CampaignObservation,
-    HarnessConfig, ObserveCtx,
+    fig4_observed, fig5_observed, fig6, hidden_gap_closure, render, table1_observed,
+    CampaignObservation, GapClosure, HarnessConfig, ObserveCtx,
 };
 use obs::RunReport;
 
@@ -180,6 +181,7 @@ fn main() {
                 std::process::exit(1);
             }
         });
+    let mut gap_set: Option<GapClosure> = None;
     let spans = flags.spans_out.as_ref().map(|_| obs::SpanBus::new());
     let publisher = flags.status_dir.as_ref().map(|dir| {
         match obs::SnapshotPublisher::start(dir, std::time::Duration::from_secs(1)) {
@@ -227,6 +229,11 @@ fn main() {
                 let set = fig6(&cfg);
                 print!("{}", render::due(&due_analysis(&set)));
             }
+            "gap" => {
+                let set = hidden_gap_closure(&cfg);
+                print!("{}", render::gap(&set));
+                gap_set = Some(set);
+            }
             "all" => {
                 print!("{}", render::table1(&table1_observed(&cfg, &mut ctx)));
                 println!();
@@ -242,10 +249,14 @@ fn main() {
                 print!("{}", render::fig6(&set));
                 println!();
                 print!("{}", render::due(&due_analysis(&set)));
+                println!();
+                let gaps = hidden_gap_closure(&cfg);
+                print!("{}", render::gap(&gaps));
+                gap_set = Some(gaps);
             }
             _ => {
                 eprintln!(
-                    "usage: repro <table1|fig1|fig3|fig4|fig5|fig6|due|ablate|codegen|convergence|breakdown|all>\n\
+                    "usage: repro <table1|fig1|fig3|fig4|fig5|fig6|due|gap|ablate|codegen|convergence|breakdown|all>\n\
                      \x20      [--metrics-out FILE] [--trace-out FILE] [--progress]\n\
                      \x20      [--progress-interval MS] [--checkpoint-dir DIR]\n\
                      \x20      [--spans-out FILE] [--status-dir DIR]\n\
@@ -254,6 +265,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    // Gap-closure rows join the campaign observations in the metrics
+    // stream, one `{"report":"hidden_gap",...}` line per ladder rung.
+    if let Some(set) = &gap_set {
+        sink.write_all(set.to_json_lines().as_bytes()).expect("write gap metrics");
     }
     sink.flush().expect("flush metrics");
     if let Some(store) = &store {

@@ -8,11 +8,11 @@ use beam::{Beam, BeamResult};
 use campaign::{Budget, Campaign};
 use gpu_arch::{Architecture, CodeGen, DeviceModel, MixCategory, Precision};
 use gpu_sim::Target;
-use injector::{Avf, AvfResult, Injector};
+use injector::{Avf, AvfResult, HiddenClass, HiddenCoverage, Injector};
 use obs::{CampaignObserver, MetricsRegistry, MetricsSnapshot, Progress};
 use prediction::{
-    characterize_units, compare, memory_footprint, predict, CharacterizeConfig, ComparisonRow,
-    PredictOptions, UnitFits,
+    characterize_units, compare, memory_footprint, predict, predict_hidden, CharacterizeConfig,
+    ComparisonRow, PredictOptions, UnitFits,
 };
 use profiler::profile;
 use workloads::{build, kepler_suite, volta_suite, Benchmark, Scale, Workload};
@@ -848,6 +848,154 @@ pub fn due_analysis(set: &ComparisonSet) -> Vec<DueSummary> {
         });
     }
     out
+}
+
+// --------------------------------- hidden-resource DUE gap closure --
+
+/// One rung of the hidden-coverage ladder for one code: how close the
+/// DUE prediction gets to the beam measurement when the injector reaches
+/// this subset of hidden resources.
+#[derive(Clone, Debug)]
+pub struct GapRow {
+    /// "Kepler" or "Volta".
+    pub device: &'static str,
+    /// Workload name.
+    pub name: String,
+    /// Coverage label ("none", "scheduler", ..., "full").
+    pub coverage: String,
+    /// Live hidden classes the coverage reaches on this code.
+    pub covered: usize,
+    /// Fraction of the code's hidden strike rate the coverage reaches.
+    pub rate_coverage: f64,
+    /// Beam-measured DUE FIT (the ground truth, fixed per code).
+    pub measured_due: f64,
+    /// Predicted DUE FIT at this coverage.
+    pub predicted_due: f64,
+    /// The hidden-resource share of `predicted_due`.
+    pub predicted_hidden_due: f64,
+    /// Measured / predicted: the Section VII-B underestimation factor.
+    pub gap: f64,
+}
+
+/// The full gap-closure ladder: per code, the DUE prediction gap at each
+/// hidden-coverage level, from register-only ("none", today's injectors)
+/// to full hidden-resource coverage.
+#[derive(Clone, Debug)]
+pub struct GapClosure {
+    /// Rows grouped by code, coverage levels in ladder order.
+    pub rows: Vec<GapRow>,
+    /// Coverage levels per code.
+    pub levels: usize,
+}
+
+impl GapClosure {
+    /// Distinct code names, in run order.
+    pub fn codes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for r in &self.rows {
+            if !out.contains(&r.name.as_str()) {
+                out.push(&r.name);
+            }
+        }
+        out
+    }
+
+    /// One code's rows, in ladder order.
+    pub fn ladder(&self, name: &str) -> Vec<&GapRow> {
+        self.rows.iter().filter(|r| r.name == name).collect()
+    }
+
+    /// One JSON line per rung (`{"report":"hidden_gap",...}`), for the CI
+    /// gap-closure artifact.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::with_capacity(self.rows.len() * 160);
+        for r in &self.rows {
+            out.push_str("{\"report\":\"hidden_gap\",\"device\":");
+            obs::json::escape_str(&mut out, r.device);
+            out.push_str(",\"code\":");
+            obs::json::escape_str(&mut out, &r.name);
+            out.push_str(",\"coverage\":");
+            obs::json::escape_str(&mut out, &r.coverage);
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    ",\"covered\":{},\"rate_coverage\":{},\"measured_due\":{},\
+                     \"predicted_due\":{},\"predicted_hidden_due\":{},\"gap\":{}}}\n",
+                    r.covered,
+                    r.rate_coverage,
+                    r.measured_due,
+                    r.predicted_due,
+                    r.predicted_hidden_due,
+                    r.gap
+                ),
+            );
+        }
+        out
+    }
+}
+
+/// The coverage ladder the gap study climbs: register-only, one hidden
+/// class, the SM-front-end classes, everything.
+fn coverage_ladder() -> [HiddenCoverage; 4] {
+    [
+        HiddenCoverage::none(),
+        HiddenCoverage::of(&[HiddenClass::Scheduler]),
+        HiddenCoverage::of(&[HiddenClass::Scheduler, HiddenClass::Fetch, HiddenClass::Mask]),
+        HiddenCoverage::full(),
+    ]
+}
+
+/// The Section VII-B closure experiment: hold the beam DUE measurement
+/// and the architectural (register-level) prediction fixed per code, then
+/// grow the hidden-injection coverage rung by rung and watch the
+/// measured/predicted DUE gap shrink from its orders-of-magnitude
+/// register-only size toward 1.
+///
+/// Everything on the prediction side is measured blind: hidden strike
+/// rates come from [`beam::characterize_hidden`] (a simulated calibration
+/// experiment, not the ground-truth cross-sections) and the per-class
+/// P(DUE | strike) from [`injector::measure_hidden_breakdown`] campaigns.
+pub fn hidden_gap_closure(cfg: &HarnessConfig) -> GapClosure {
+    let (_, volta) = devices();
+    let char_cfg =
+        CharacterizeConfig { beam: cfg.bench_beam.clone(), injection: cfg.bench_injection.clone() };
+    let units = characterize_units(&volta, &microbench::suite(Architecture::Volta), &char_cfg);
+    let rates = beam::characterize_hidden(&volta, cfg.beam.ceiling, cfg.beam.seed);
+    let ladder = coverage_ladder();
+
+    let mut rows = Vec::new();
+    for bench in [Benchmark::Mxm, Benchmark::Hotspot] {
+        let w = build(bench, Precision::Single, CodeGen::Cuda10, cfg.scale);
+        let prof = profile(&w, &volta);
+        let feet = memory_footprint(&w, &volta, &prof);
+        let avf = Campaign::new(Avf::new(Injector::NvBitFi), &w, &volta)
+            .budget(cfg.injection.clone())
+            .run()
+            .expect("injection campaign failed");
+        let measured = Campaign::new(Beam::auto(true), &w, &volta)
+            .budget(cfg.beam.clone())
+            .run()
+            .expect("beam campaign failed");
+        let breakdown = injector::measure_hidden_breakdown(&w, &volta, &cfg.injection);
+        let base =
+            predict(&prof, &avf, &units, &feet, &PredictOptions { ecc: true, use_phi: true });
+        for coverage in ladder {
+            let term = predict_hidden(&prof, &rates, &breakdown, coverage);
+            let row = compare(&w.name, &measured, &base.with_hidden(&term));
+            rows.push(GapRow {
+                device: "Volta",
+                name: w.name.clone(),
+                coverage: coverage.label(),
+                covered: breakdown.per_class.iter().filter(|(c, _)| coverage.covers(*c)).count(),
+                rate_coverage: term.rate_coverage,
+                measured_due: row.measured_due,
+                predicted_due: row.predicted_due,
+                predicted_hidden_due: row.predicted_hidden_due,
+                gap: row.due_underestimation,
+            });
+        }
+    }
+    GapClosure { rows, levels: ladder.len() }
 }
 
 // ------------------------------------------- compiler-generation study --

@@ -11,7 +11,7 @@ pub mod render;
 pub use campaign::Budget;
 pub use experiments::{
     avf_breakdown, codegen_comparison, convergence, due_analysis, fig1, fig3, fig3_observed, fig4,
-    fig4_observed, fig5, fig5_observed, fig6, table1, table1_observed, AvfRow, BeamRow,
-    BreakdownRow, CampaignObservation, CodegenRow, ComparisonSet, ConvergenceRow, Fig3Row,
-    HarnessConfig, MixRow, ObserveCtx, ProfileRow,
+    fig4_observed, fig5, fig5_observed, fig6, hidden_gap_closure, table1, table1_observed, AvfRow,
+    BeamRow, BreakdownRow, CampaignObservation, CodegenRow, ComparisonSet, ConvergenceRow, Fig3Row,
+    GapClosure, GapRow, HarnessConfig, MixRow, ObserveCtx, ProfileRow,
 };

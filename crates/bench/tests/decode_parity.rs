@@ -15,7 +15,7 @@
 use campaign::{Budget, Campaign, SnapshotPolicy};
 use gpu_arch::{CodeGen, DeviceModel, Precision};
 use gpu_sim::{RunOptions, Target};
-use injector::{Avf, Injector};
+use injector::{Avf, HiddenAvf, Injector};
 use workloads::{build, Benchmark, Scale};
 
 /// FNV-1a over a byte stream: a stable, dependency-free digest for
@@ -123,6 +123,35 @@ fn campaign_tallies_identical_snapshots_on_or_off_any_workers() {
                 (result.counts.sdc, result.counts.due, result.counts.masked),
                 (103, 39, 18),
                 "tallies drifted with snapshots={policy:?} workers={workers}"
+            );
+        }
+    }
+}
+
+/// Hidden-resource campaigns ride the same seed-deterministic sharded
+/// RNG as the architectural injectors: pinned tallies must reproduce
+/// bit-identically at any worker count, with trial fast-forward from
+/// golden snapshots on or off. Hidden faults trigger at scheduler-round
+/// boundaries — exactly the snapshot capture points — so a resume-parity
+/// bug in any of the six hidden fault families shifts a tally here.
+#[test]
+fn hidden_campaign_tallies_pinned_any_workers_snapshots_on_or_off() {
+    let device = DeviceModel::v100_sim();
+    let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+    let policies = [SnapshotPolicy::Off, SnapshotPolicy::Auto, SnapshotPolicy::Every(1000)];
+    for policy in policies {
+        for workers in [1usize, 4] {
+            let (result, run) = Campaign::new(HiddenAvf::full(), &w, &device)
+                .budget(Budget::fixed(160).seed(12021).snapshots(policy))
+                .workers(workers)
+                .run_full()
+                .unwrap();
+            assert_eq!(run.trials, 160);
+            assert_eq!(
+                (result.counts.sdc, result.counts.due, result.counts.masked),
+                (63, 71, 26),
+                "hidden tallies drifted (v100/mxm_f32_tiny seed 12021, \
+                 snapshots={policy:?} workers={workers})"
             );
         }
     }

@@ -9,7 +9,7 @@
 
 use campaign::{Budget, Campaign, CampaignRun};
 use gpu_arch::{CodeGen, DeviceModel, Precision};
-use injector::{Avf, AvfResult, Injector};
+use injector::{Avf, AvfResult, HiddenAvf, Injector};
 use obs::{json, CampaignObserver, MetricsRegistry, SpanBus};
 use workloads::{build, Benchmark, Scale, Workload};
 
@@ -104,6 +104,42 @@ fn span_tree_is_well_formed() {
     for phase in &phases {
         assert!(trial_ids.contains(&phase.parent), "phases parent under a trial");
         assert!(phase.dur_us.is_some());
+    }
+}
+
+/// Hidden-resource campaigns stratify their outcome counters per hidden
+/// class (`campaign.hidden.{class}.{sdc,due,masked}`), the source of the
+/// campaign-top hidden-coverage line, and the strata sum back to the
+/// campaign tallies.
+#[test]
+fn hidden_campaign_emits_per_class_counters() {
+    let (w, device) = hhotspot();
+    let metrics = MetricsRegistry::new();
+    let observer = CampaignObserver::with_metrics(&metrics);
+    let (result, run) = Campaign::new(HiddenAvf::full(), &w, &device)
+        .budget(Budget::fixed(120).seed(2021))
+        .observer(observer)
+        .run_full()
+        .expect("hidden campaign failed");
+    assert_eq!(run.trials, 120);
+
+    let snap = metrics.snapshot();
+    let sum = |suffix: &str| -> u64 {
+        ["scheduler", "fetch", "mask", "barrier", "memq"]
+            .iter()
+            .filter_map(|c| snap.counters.get(&format!("campaign.hidden.{c}.{suffix}")))
+            .sum()
+    };
+    assert_eq!(sum("sdc"), result.counts.sdc, "{:?}", snap.counters);
+    assert_eq!(sum("due"), result.counts.due, "{:?}", snap.counters);
+    assert_eq!(sum("masked"), result.counts.masked, "{:?}", snap.counters);
+    // Every class the sampler cycles over appears in at least one stratum.
+    for class in ["scheduler", "fetch", "mask", "barrier", "memq"] {
+        let total: u64 = ["sdc", "due", "masked"]
+            .iter()
+            .filter_map(|s| snap.counters.get(&format!("campaign.hidden.{class}.{s}")))
+            .sum();
+        assert!(total > 0, "class {class} never tallied: {:?}", snap.counters);
     }
 }
 

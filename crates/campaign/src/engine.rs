@@ -1032,6 +1032,18 @@ fn export_shard_metrics(m: &MetricsRegistry, out: &ShardOut) {
                 m.counter(&format!("site.{site}.{suffix}")).add(n);
             }
         }
+        // Hidden-resource sites additionally roll up under the
+        // `campaign.hidden.*` namespace the coverage dashboards read
+        // (`campaign.hidden.scheduler.due`, `campaign.hidden.memq.sdc`,
+        // ...), so hidden-site campaigns are distinguishable from
+        // architectural ones at a glance.
+        if let Some(class) = site.strip_prefix("hidden-") {
+            for (suffix, n) in [("sdc", c.sdc), ("due", c.due), ("masked", c.masked)] {
+                if n > 0 {
+                    m.counter(&format!("campaign.hidden.{class}.{suffix}")).add(n);
+                }
+            }
+        }
     }
     for (kind, n) in &out.dues {
         m.counter(&format!("due.{kind}")).add(*n);

@@ -8,7 +8,9 @@
 //! uses — fully deterministic.
 
 use crate::error::SimError;
-use crate::fault::{BitFlip, DueKind, FaultPlan, SiteClass};
+use crate::fault::{
+    BitFlip, DueKind, FaultPlan, FetchEffect, MemQueueEffect, Persistence, SiteClass,
+};
 use crate::memory::{GlobalMemory, SharedMemory};
 use crate::snapshot::{ClassTallies, EngineSnapshot, SNAPSHOT_CAP};
 use crate::timing::{self, TimingReport};
@@ -421,6 +423,10 @@ struct Ctx<'a> {
     mem_ops: u64,
     setp_ops: u64,
     fault_triggered: bool,
+    /// One-shot latch for hidden-resource faults: set when the plan's
+    /// corruption first fires, so transient plans apply exactly once and
+    /// stuck-at plans emit a single trace event.
+    hidden_fired: bool,
     current_block: u32,
     trace: Vec<String>,
     record: Option<SitesRecord>,
@@ -543,6 +549,7 @@ pub fn try_run_with_sink<'a>(
         mem_ops: 0,
         setp_ops: 0,
         fault_triggered: false,
+        hidden_fired: false,
         current_block: 0,
         trace: Vec::new(),
         record: opts.record_sites.then(SitesRecord::default),
@@ -712,12 +719,33 @@ fn run_block(
                 capture_snapshot(ctx, block_linear, &threads, &shared);
             }
         }
+        // Hidden scheduler/mask faults fire at round boundaries — which
+        // snapshot capture points also are, so from-zero and resumed
+        // executions fire at the same instant.
+        let round = hidden_round_tick(ctx, &mut threads, nwarps);
         let mut progress = false;
         let mut all_done = true;
+        let mut starved = false;
 
         for w in 0..nwarps {
             let lo = w * WARP_SIZE as usize;
             let hi = (lo + WARP_SIZE as usize).min(nthreads);
+            if round.skip == Some(w) {
+                // The scheduler passes this warp over. A transient
+                // priority glitch still counts as scheduler progress (the
+                // warp runs next round); a stuck entry starves the warp —
+                // if nothing else can proceed, that is a scheduler stall,
+                // not a barrier deadlock.
+                if threads[lo..hi].iter().any(|t| t.state == TState::Running) {
+                    all_done = false;
+                    if round.stuck {
+                        starved = true;
+                    } else {
+                        progress = true;
+                    }
+                }
+                continue;
+            }
             let mut lane = lo;
             while lane < hi {
                 if threads[lane].state != TState::Running {
@@ -725,6 +753,7 @@ fn run_block(
                     continue;
                 }
                 all_done = false;
+                hidden_fetch_fault(ctx, &mut threads, lane)?;
                 let pc = threads[lane].pc;
                 if pc as usize >= kernel.instrs.len() {
                     return Err(DueKind::IllegalPc);
@@ -785,12 +814,40 @@ fn run_block(
             return Ok(());
         }
 
+        // Barrier-counter corruption: armed from the trigger instant on;
+        // a transient fault perturbs the first barrier episode it
+        // reaches, a stuck-at fault perturbs every one.
+        let barrier_fault = match ctx.opts.fault {
+            FaultPlan::BarrierCounter { at, phantom, persist } if ctx.dyn_count >= at => {
+                match persist {
+                    Persistence::Transient if ctx.hidden_fired => None,
+                    _ => Some(phantom),
+                }
+            }
+            _ => None,
+        };
+
         // Barrier release: every live thread waiting.
         let live_waiting = threads
             .iter()
             .filter(|t| t.state != TState::Exited)
             .all(|t| t.state == TState::AtBarrier);
         if live_waiting {
+            if barrier_fault == Some(false) {
+                // Lost arrival: the counter is short one and never
+                // reaches zero — the barrier hangs.
+                ctx.hidden_fired = true;
+                ctx.fault_triggered = true;
+                emit!(
+                    ctx,
+                    TraceEvent::FaultInjected {
+                        idx: ctx.dyn_count,
+                        site: ctx.opts.fault.site_label(),
+                        detail: 0,
+                    }
+                );
+                return Err(DueKind::BarrierDeadlock);
+            }
             let mut released: u32 = 0;
             for t in threads.iter_mut() {
                 if t.state == TState::AtBarrier {
@@ -809,12 +866,218 @@ fn run_block(
                 );
             }
             progress = true;
+        } else if barrier_fault == Some(true)
+            && threads.iter().any(|t| t.state == TState::AtBarrier)
+        {
+            // Phantom arrival: the counter hits zero early and releases
+            // the lanes already waiting while stragglers are still on
+            // their way (they will gather at the barrier again and the
+            // regular release picks them up — skewed, not hung).
+            ctx.hidden_fired = true;
+            ctx.fault_triggered = true;
+            emit!(
+                ctx,
+                TraceEvent::FaultInjected {
+                    idx: ctx.dyn_count,
+                    site: ctx.opts.fault.site_label(),
+                    detail: 1,
+                }
+            );
+            let mut released: u32 = 0;
+            for t in threads.iter_mut() {
+                if t.state == TState::AtBarrier {
+                    t.state = TState::Running;
+                    released += 1;
+                }
+            }
+            emit!(
+                ctx,
+                TraceEvent::BarrierRelease {
+                    idx: ctx.dyn_count,
+                    block: block_linear,
+                    lanes: released,
+                }
+            );
+            progress = true;
         }
 
         if !progress {
-            return Err(DueKind::BarrierDeadlock);
+            return Err(if starved { DueKind::SchedulerStall } else { DueKind::BarrierDeadlock });
         }
     }
+}
+
+/// Per-round effect of a hidden scheduler-priority fault, computed by
+/// [`hidden_round_tick`].
+#[derive(Clone, Copy, Default)]
+struct RoundHidden {
+    /// Warp (index within the resident block) the scheduler passes over
+    /// this round.
+    skip: Option<usize>,
+    /// The skip is permanent (stuck-at priority): a block that cannot
+    /// progress without the starved warp is a [`DueKind::SchedulerStall`].
+    stuck: bool,
+}
+
+/// Fire hidden scheduler-entry and active-mask faults at a scheduler-round
+/// boundary: the first round whose dynamic counter has reached the plan's
+/// `at`, and — for stuck-at persistence — every round after. Snapshot
+/// capture points are themselves round boundaries and resumed runs replay
+/// rounds identically past them, so from-zero and fast-forwarded trials
+/// fire at the same instant.
+fn hidden_round_tick(ctx: &mut Ctx<'_>, threads: &mut [Thread], nwarps: usize) -> RoundHidden {
+    let nthreads = threads.len();
+    let warp_span = |warp: u32| {
+        let w = warp as usize % nwarps.max(1);
+        let lo = w * WARP_SIZE as usize;
+        (w, lo, (lo + WARP_SIZE as usize).min(nthreads))
+    };
+    match ctx.opts.fault {
+        FaultPlan::SchedulerNextPc { at, warp, flip, persist } if ctx.dyn_count >= at => {
+            let first = !ctx.hidden_fired;
+            ctx.hidden_fired = true;
+            if first {
+                ctx.fault_triggered = true;
+                emit!(
+                    ctx,
+                    TraceEvent::FaultInjected {
+                        idx: ctx.dyn_count,
+                        site: ctx.opts.fault.site_label(),
+                        detail: flip.mask,
+                    }
+                );
+            }
+            let (_, lo, hi) = warp_span(warp);
+            match persist {
+                // The scheduler entry's next-pc field takes one upset.
+                Persistence::Transient if first => {
+                    for th in &mut threads[lo..hi] {
+                        if th.state == TState::Running {
+                            th.pc ^= flip.mask as u32;
+                        }
+                    }
+                }
+                // Stuck-at-one bits: re-asserted every round.
+                Persistence::StuckAt => {
+                    for th in &mut threads[lo..hi] {
+                        if th.state == TState::Running {
+                            th.pc |= flip.mask as u32;
+                        }
+                    }
+                }
+                Persistence::Transient => {}
+            }
+            RoundHidden::default()
+        }
+        FaultPlan::SchedulerPriority { at, warp, persist } if ctx.dyn_count >= at => {
+            let first = !ctx.hidden_fired;
+            ctx.hidden_fired = true;
+            if first {
+                ctx.fault_triggered = true;
+                emit!(
+                    ctx,
+                    TraceEvent::FaultInjected {
+                        idx: ctx.dyn_count,
+                        site: ctx.opts.fault.site_label(),
+                        detail: warp as u64,
+                    }
+                );
+            }
+            let (w, _, _) = warp_span(warp);
+            match persist {
+                Persistence::Transient if first => RoundHidden { skip: Some(w), stuck: false },
+                Persistence::StuckAt => RoundHidden { skip: Some(w), stuck: true },
+                Persistence::Transient => RoundHidden::default(),
+            }
+        }
+        FaultPlan::ActiveMask { at, warp, flip, persist } if ctx.dyn_count >= at => {
+            let first = !ctx.hidden_fired;
+            ctx.hidden_fired = true;
+            if first {
+                ctx.fault_triggered = true;
+                emit!(
+                    ctx,
+                    TraceEvent::FaultInjected {
+                        idx: ctx.dyn_count,
+                        site: ctx.opts.fault.site_label(),
+                        detail: flip.mask,
+                    }
+                );
+            }
+            let (_, lo, hi) = warp_span(warp);
+            let apply = match persist {
+                Persistence::Transient => first,
+                Persistence::StuckAt => true,
+            };
+            if apply {
+                for (i, th) in threads[lo..hi].iter_mut().enumerate() {
+                    if flip.mask & (1u64 << i) == 0 {
+                        continue;
+                    }
+                    th.state = match (persist, th.state) {
+                        // Stuck-at-zero mask bit: the lane is forced off.
+                        (Persistence::StuckAt, _) => TState::Exited,
+                        // Transient toggle: exited lanes revive at their
+                        // final pc, on-lanes drop off.
+                        (Persistence::Transient, TState::Exited) => TState::Running,
+                        (Persistence::Transient, _) => TState::Exited,
+                    };
+                }
+            }
+            RoundHidden::default()
+        }
+        _ => RoundHidden::default(),
+    }
+}
+
+/// Fire a hidden fetch/decode fault for the lane about to fetch: the one
+/// issuing the dynamic instruction numbered `at` (transient), or every
+/// fetch from that instant on (stuck-at). A flipped instruction index
+/// that leaves the kernel is detected at decode as a
+/// [`DueKind::FetchFault`].
+fn hidden_fetch_fault(
+    ctx: &mut Ctx<'_>,
+    threads: &mut [Thread],
+    lane: usize,
+) -> Result<(), DueKind> {
+    let FaultPlan::Fetch { at, effect, persist } = ctx.opts.fault else {
+        return Ok(());
+    };
+    let fire = match persist {
+        Persistence::Transient => ctx.dyn_count == at && !ctx.hidden_fired,
+        Persistence::StuckAt => ctx.dyn_count >= at,
+    };
+    if !fire {
+        return Ok(());
+    }
+    let first = !ctx.hidden_fired;
+    ctx.hidden_fired = true;
+    ctx.fault_triggered = true;
+    if first {
+        emit!(
+            ctx,
+            TraceEvent::FaultInjected {
+                idx: ctx.dyn_count,
+                site: ctx.opts.fault.site_label(),
+                detail: match effect {
+                    FetchEffect::StaleReplay => 0,
+                    FetchEffect::OpcodeFlip(flip) => flip.mask,
+                },
+            }
+        );
+    }
+    let pc = threads[lane].pc;
+    match effect {
+        FetchEffect::StaleReplay => threads[lane].pc = pc.saturating_sub(1),
+        FetchEffect::OpcodeFlip(flip) => {
+            let corrupted = pc ^ flip.mask as u32;
+            if corrupted as usize >= ctx.kernel.instrs.len() {
+                return Err(DueKind::FetchFault);
+            }
+            threads[lane].pc = corrupted;
+        }
+    }
+    Ok(())
 }
 
 /// Account one executed instruction and return the global dynamic index it
@@ -1022,6 +1285,39 @@ fn addr_fault(ctx: &mut Ctx<'_>) -> Option<BitFlip> {
         }
     }
     None
+}
+
+/// Should a `MemQueue` fault fire for this memory op? Counts the same
+/// dynamic memory-op enumeration [`addr_fault`] does (only one plan is
+/// active per run, so the shared counter never double-ticks). A stuck-at
+/// plan corrupts every queue entry from `nth` onward.
+fn memq_fault(ctx: &mut Ctx<'_>) -> Option<MemQueueEffect> {
+    let FaultPlan::MemQueue { nth, effect, persist } = ctx.opts.fault else {
+        return None;
+    };
+    let my = ctx.mem_ops;
+    ctx.mem_ops += 1;
+    let fire = match persist {
+        Persistence::Transient => my == nth,
+        Persistence::StuckAt => my >= nth,
+    };
+    if !fire {
+        return None;
+    }
+    let first = !ctx.hidden_fired;
+    ctx.hidden_fired = true;
+    ctx.fault_triggered = true;
+    if first {
+        emit!(
+            ctx,
+            TraceEvent::FaultInjected {
+                idx: ctx.dyn_count - 1,
+                site: ctx.opts.fault.site_label(),
+                detail: my,
+            }
+        );
+    }
+    Some(effect)
 }
 
 /// Should a `PredicateOutput` fault fire for this SETP?
@@ -1256,10 +1552,21 @@ fn step(
             let idx = src(threads, a) as usize;
             Write::W32(ctx.launch.params.get(idx).copied().unwrap_or(0))
         }
-        Op::Ldg(w) | Op::Lds(w) => {
+        Op::Ldg(w) | Op::Lds(w) => 'mem: {
             let mut addr = src(threads, a).wrapping_add(src(threads, b));
             if let Some(flip) = addr_fault(ctx) {
                 addr ^= flip.mask as u32;
+            }
+            match memq_fault(ctx) {
+                // Poisoned queue entry: detected at dispatch.
+                Some(MemQueueEffect::Flag) => return Err(DueKind::MemQueueFault),
+                // Dropped entry: the load never reaches memory and the
+                // destination register keeps its stale value.
+                Some(MemQueueEffect::Drop) => break 'mem Write::None,
+                // Un-retired entry: the same instruction issues again
+                // next round.
+                Some(MemQueueEffect::Replay) => next_pc = pc,
+                None => {}
             }
             let bytes = w.bytes();
             emit!(
@@ -1299,10 +1606,17 @@ fn step(
                 _ => Write::W32(value as u32),
             }
         }
-        Op::Stg(w) | Op::Sts(w) => {
+        Op::Stg(w) | Op::Sts(w) => 'mem: {
             let mut addr = src(threads, a).wrapping_add(src(threads, b));
             if let Some(flip) = addr_fault(ctx) {
                 addr ^= flip.mask as u32;
+            }
+            match memq_fault(ctx) {
+                Some(MemQueueEffect::Flag) => return Err(DueKind::MemQueueFault),
+                // Dropped entry: the store is lost.
+                Some(MemQueueEffect::Drop) => break 'mem Write::None,
+                Some(MemQueueEffect::Replay) => next_pc = pc,
+                None => {}
             }
             let bytes = w.bytes();
             emit!(
@@ -1339,10 +1653,18 @@ fn step(
             res?;
             Write::None
         }
-        Op::AtomGAdd | Op::AtomSAdd => {
+        Op::AtomGAdd | Op::AtomSAdd => 'mem: {
             let mut addr = src(threads, a).wrapping_add(src(threads, b));
             if let Some(flip) = addr_fault(ctx) {
                 addr ^= flip.mask as u32;
+            }
+            match memq_fault(ctx) {
+                Some(MemQueueEffect::Flag) => return Err(DueKind::MemQueueFault),
+                // Dropped entry: the read-modify-write is lost (the
+                // destination register keeps its stale value too).
+                Some(MemQueueEffect::Drop) => break 'mem Write::None,
+                Some(MemQueueEffect::Replay) => next_pc = pc,
+                None => {}
             }
             emit!(
                 ctx,

@@ -36,6 +36,53 @@ impl BitFlip {
     }
 }
 
+/// How long a hidden-resource corruption persists once triggered.
+///
+/// The beam room sees both: most strikes are transient single events, but
+/// dos Santos et al. (NSREC 2021) and the permanent-fault literature on
+/// GPU parallelism-management units motivate stuck-at variants — a
+/// scheduler slot, fetch lane or queue entry that stays corrupted for the
+/// rest of the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Persistence {
+    /// Single-event upset: the corruption is applied exactly once at the
+    /// trigger point.
+    #[default]
+    Transient,
+    /// Stuck-at: the corruption re-applies at every subsequent
+    /// opportunity (every scheduler round, fetch, or queue dispatch) from
+    /// the trigger point to the end of the run.
+    StuckAt,
+}
+
+/// What a corrupted pending-memory-queue entry does when dispatched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemQueueEffect {
+    /// The entry is dropped: the access never reaches memory (loads leave
+    /// the destination register stale, stores are lost).
+    Drop,
+    /// The entry fails to retire: the same memory instruction issues
+    /// again next round (stuck-at replay never retires — a
+    /// memory-controller hang reaped by the watchdog).
+    Replay,
+    /// The entry is flagged as poisoned and the device raises an
+    /// immediate [`DueKind::MemQueueFault`].
+    Flag,
+}
+
+/// What a corrupted fetch/decode stage does to the fetched instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchEffect {
+    /// The fetch buffer replays the previous (stale) instruction instead
+    /// of the one the program counter names.
+    StaleReplay,
+    /// The instruction-selection bits decode with `flip` XORed in: the
+    /// lane executes a different instruction, or — when the flipped index
+    /// leaves the kernel — the decoder detects garbage and raises
+    /// [`DueKind::FetchFault`].
+    OpcodeFlip(BitFlip),
+}
+
 /// A single transient fault to exercise during one run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum FaultPlan {
@@ -126,6 +173,91 @@ pub enum FaultPlan {
         /// Strike a second bit in the same word (MBU).
         mbu: bool,
     },
+    /// Corrupt a warp-scheduler entry's next-pc field: at the first
+    /// scheduler-round boundary where the global dynamic counter reaches
+    /// `at`, the running lanes of the targeted warp have their program
+    /// counters XORed with `flip` (transient) or OR-stuck with `flip`
+    /// at every subsequent round ([`Persistence::StuckAt`]).
+    SchedulerNextPc {
+        /// Global dynamic-instruction trigger threshold.
+        at: u64,
+        /// Warp slot within the resident block (taken modulo the block's
+        /// warp count).
+        warp: u32,
+        /// Corruption mask applied to the scheduler entry's next-pc.
+        flip: BitFlip,
+        /// Single event or stuck-at.
+        persist: Persistence,
+    },
+    /// Corrupt a warp-scheduler entry's priority: the targeted warp is
+    /// passed over for one scheduler round (transient glitch) or starved
+    /// forever ([`Persistence::StuckAt`] — a
+    /// [`DueKind::SchedulerStall`] once the rest of the block can make no
+    /// progress without it).
+    SchedulerPriority {
+        /// Global dynamic-instruction trigger threshold.
+        at: u64,
+        /// Warp slot within the resident block (taken modulo the block's
+        /// warp count).
+        warp: u32,
+        /// Single event or stuck-at (permanent starvation).
+        persist: Persistence,
+    },
+    /// Corrupt a warp's active mask: each set bit of `flip` (low 32,
+    /// one per lane) toggles the lane between on and off — running or
+    /// barrier-waiting lanes are forced off, exited lanes are revived at
+    /// their final pc. [`Persistence::StuckAt`] instead forces the
+    /// masked lanes off at every subsequent round (stuck-at-zero mask
+    /// bits).
+    ActiveMask {
+        /// Global dynamic-instruction trigger threshold.
+        at: u64,
+        /// Warp slot within the resident block (taken modulo the block's
+        /// warp count).
+        warp: u32,
+        /// Lane-mask corruption (low 32 bits).
+        flip: BitFlip,
+        /// Single event or stuck-at.
+        persist: Persistence,
+    },
+    /// Corrupt the resident block's barrier arrival counter. A phantom
+    /// arrival releases the waiting lanes before every live thread has
+    /// arrived; a lost arrival (`phantom: false`) means the counter never
+    /// reaches zero — the barrier hangs as a
+    /// [`DueKind::BarrierDeadlock`]. Transient corruption affects the
+    /// next barrier episode after `at`; stuck-at affects every one.
+    BarrierCounter {
+        /// Global dynamic-instruction trigger threshold.
+        at: u64,
+        /// Phantom arrival (early release) vs. lost arrival (hang).
+        phantom: bool,
+        /// Single event or stuck-at.
+        persist: Persistence,
+    },
+    /// Corrupt the `nth` pending-memory-queue entry (0-based among
+    /// dynamic memory ops, the same enumeration
+    /// [`FaultPlan::MemAddress`] samples). [`Persistence::StuckAt`]
+    /// corrupts every entry from `nth` onward (a stuck queue slot).
+    MemQueue {
+        /// 0-based index among dynamic memory ops.
+        nth: u64,
+        /// What the corrupted entry does when dispatched.
+        effect: MemQueueEffect,
+        /// Single event or stuck-at.
+        persist: Persistence,
+    },
+    /// Corrupt the fetch/decode stage of the lane issuing the dynamic
+    /// instruction numbered `at`: replay a stale instruction or decode a
+    /// flipped opcode. [`Persistence::StuckAt`] corrupts every fetch
+    /// from instant `at` onward (a stuck fetch lane).
+    Fetch {
+        /// Global dynamic-instruction instant of the corrupted fetch.
+        at: u64,
+        /// Stale replay or opcode-bit flip.
+        effect: FetchEffect,
+        /// Single event or stuck-at.
+        persist: Persistence,
+    },
 }
 
 impl FaultPlan {
@@ -147,7 +279,30 @@ impl FaultPlan {
             FaultPlan::RegisterBit { .. } => "register-file",
             FaultPlan::GlobalMemBit { .. } => "global-mem",
             FaultPlan::SharedMemBit { .. } => "shared-mem",
+            FaultPlan::SchedulerNextPc { .. } | FaultPlan::SchedulerPriority { .. } => {
+                "hidden-scheduler"
+            }
+            FaultPlan::ActiveMask { .. } => "hidden-mask",
+            FaultPlan::BarrierCounter { .. } => "hidden-barrier",
+            FaultPlan::MemQueue { .. } => "hidden-memq",
+            FaultPlan::Fetch { .. } => "hidden-fetch",
         }
+    }
+
+    /// True for the hidden-resource plans (scheduler, active mask,
+    /// barrier counter, memory queue, fetch/decode) — the
+    /// micro-architectural sites architecture-level injectors cannot
+    /// reach, modeled to close the paper's Section VII-B DUE gap.
+    pub fn is_hidden(&self) -> bool {
+        matches!(
+            self,
+            FaultPlan::SchedulerNextPc { .. }
+                | FaultPlan::SchedulerPriority { .. }
+                | FaultPlan::ActiveMask { .. }
+                | FaultPlan::BarrierCounter { .. }
+                | FaultPlan::MemQueue { .. }
+                | FaultPlan::Fetch { .. }
+        )
     }
 }
 
@@ -168,11 +323,26 @@ pub enum DueKind {
     /// ECC double-bit detection interrupt.
     EccDoubleBit,
     /// A strike in a hidden resource (scheduler, fetch, memory controller,
-    /// host interface) stuck the device. Only the beam engine produces
-    /// this kind — architecture-level injectors cannot reach those
-    /// resources, which is the paper's explanation for the orders-of-
-    /// magnitude DUE underestimation (Section VII-B).
+    /// host interface) stuck the device. The beam engine produces this
+    /// kind directly from ground-truth cross-sections; the simulated
+    /// hidden-site plans instead raise the specific kinds below
+    /// ([`DueKind::SchedulerStall`], [`DueKind::FetchFault`],
+    /// [`DueKind::MemQueueFault`]) or manifest through the architectural
+    /// detectors. Register-level injectors reach neither, which is the
+    /// paper's explanation for the orders-of-magnitude DUE
+    /// underestimation (Section VII-B).
     HiddenResource,
+    /// A starved warp-scheduler entry: a warp the scheduler permanently
+    /// passes over left the block unable to make progress
+    /// ([`FaultPlan::SchedulerPriority`] stuck-at).
+    SchedulerStall,
+    /// The fetch/decode stage decoded garbage: a flipped instruction
+    /// index left the kernel's code and the decoder detected it
+    /// ([`FaultPlan::Fetch`]).
+    FetchFault,
+    /// A pending-memory-queue entry was flagged poisoned and the memory
+    /// controller raised a detected error ([`FaultPlan::MemQueue`]).
+    MemQueueFault,
     /// The host-side wall-clock watchdog cancelled the run via
     /// [`crate::RunOptions::cancel`] — the software analogue of the beam
     /// room's host watchdog power-cycling a hung board. Unlike
@@ -184,7 +354,7 @@ pub enum DueKind {
 
 impl DueKind {
     /// Every DUE kind, in reporting order (for metric pre-registration).
-    pub const ALL: [DueKind; 8] = [
+    pub const ALL: [DueKind; 11] = [
         DueKind::MemoryViolation,
         DueKind::SharedViolation,
         DueKind::IllegalPc,
@@ -192,6 +362,9 @@ impl DueKind {
         DueKind::BarrierDeadlock,
         DueKind::EccDoubleBit,
         DueKind::HiddenResource,
+        DueKind::SchedulerStall,
+        DueKind::FetchFault,
+        DueKind::MemQueueFault,
         DueKind::HostWatchdog,
     ];
 
@@ -205,6 +378,9 @@ impl DueKind {
             DueKind::BarrierDeadlock => "barrier-deadlock",
             DueKind::EccDoubleBit => "ecc-double-bit",
             DueKind::HiddenResource => "hidden-resource",
+            DueKind::SchedulerStall => "scheduler-stall",
+            DueKind::FetchFault => "fetch-fault",
+            DueKind::MemQueueFault => "mem-queue-fault",
             DueKind::HostWatchdog => "host-watchdog",
         }
     }
@@ -220,6 +396,9 @@ impl fmt::Display for DueKind {
             DueKind::BarrierDeadlock => "barrier deadlock",
             DueKind::EccDoubleBit => "ECC double-bit detection",
             DueKind::HiddenResource => "hidden-resource device error",
+            DueKind::SchedulerStall => "warp-scheduler starvation stall",
+            DueKind::FetchFault => "fetch/decode fault",
+            DueKind::MemQueueFault => "memory-queue entry fault",
             DueKind::HostWatchdog => "host wall-clock watchdog abort",
         };
         write!(f, "{s}")

@@ -35,7 +35,7 @@ pub use engine::{
     SitesRecord, CANCEL_POLL_INTERVAL,
 };
 pub use error::SimError;
-pub use fault::{BitFlip, DueKind, FaultPlan, SiteClass};
+pub use fault::{BitFlip, DueKind, FaultPlan, FetchEffect, MemQueueEffect, Persistence, SiteClass};
 pub use memory::{GlobalMemory, MemoryError, SharedMemory};
 pub use snapshot::{nearest_snapshot, EngineSnapshot, SNAPSHOT_CAP};
 

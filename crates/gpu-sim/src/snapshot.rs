@@ -128,6 +128,15 @@ impl EngineSnapshot {
     /// Positional plans (`nth`-indexed) compare against the class match
     /// tally; timed plans (`at`-indexed) compare against the dynamic
     /// counter. [`FaultPlan::None`] has no site and never fast-forwards.
+    ///
+    /// Hidden-resource plans (scheduler, active mask, barrier, memory
+    /// queue, fetch) follow the same rule: their corruption — including
+    /// the stuck-at persistence mode, whose perturbation *begins* at the
+    /// trigger and never ends — touches no state before the trigger
+    /// point, so a snapshot at or before it is sound, and one past it
+    /// would fast-forward over state the fault should have perturbed
+    /// (the engine hard-errors that resume as a
+    /// [`crate::SimError::ResumeConflict`]).
     pub fn precedes(&self, plan: &FaultPlan) -> bool {
         match *plan {
             FaultPlan::None => false,
@@ -135,12 +144,19 @@ impl EngineSnapshot {
             | FaultPlan::InstructionOutputSet { nth, site, .. } => {
                 self.tallies.class_matches(site) <= nth
             }
-            FaultPlan::MemAddress { nth, .. } => self.counts.sites.mem_ops <= nth,
+            FaultPlan::MemAddress { nth, .. } | FaultPlan::MemQueue { nth, .. } => {
+                self.counts.sites.mem_ops <= nth
+            }
             FaultPlan::PredicateOutput { nth } => self.counts.sites.setp <= nth,
             FaultPlan::Pc { at, .. }
             | FaultPlan::RegisterBit { at, .. }
             | FaultPlan::GlobalMemBit { at, .. }
-            | FaultPlan::SharedMemBit { at, .. } => self.dyn_count <= at,
+            | FaultPlan::SharedMemBit { at, .. }
+            | FaultPlan::SchedulerNextPc { at, .. }
+            | FaultPlan::SchedulerPriority { at, .. }
+            | FaultPlan::ActiveMask { at, .. }
+            | FaultPlan::BarrierCounter { at, .. }
+            | FaultPlan::Fetch { at, .. } => self.dyn_count <= at,
         }
     }
 

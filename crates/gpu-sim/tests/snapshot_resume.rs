@@ -9,7 +9,8 @@ use gpu_arch::{
 };
 use gpu_sim::{
     nearest_snapshot, run, try_run_with_sink, BitFlip, EngineSnapshot, Executed, FaultPlan,
-    GlobalMemory, RunOptions, SimError, SiteClass, SNAPSHOT_CAP,
+    FetchEffect, GlobalMemory, MemQueueEffect, Persistence, RunOptions, SimError, SiteClass,
+    SNAPSHOT_CAP,
 };
 use std::sync::Arc;
 
@@ -77,12 +78,66 @@ fn golden_with_snapshots(stride: u64) -> (Vec<Arc<EngineSnapshot>>, Executed) {
     (out.snapshots.clone(), out)
 }
 
+/// Divergence before a barrier: each thread spins `tid & 7` loop
+/// iterations, stores its tid to shared memory, synchronizes, then thread
+/// 0 of each block sums the block's shared array into `out[block]`.
+/// Threads reach the barrier at different scheduler rounds, so
+/// barrier-counter corruption has partial-arrival states to perturb.
+fn barrier_fixture() -> (gpu_arch::Kernel, LaunchConfig, GlobalMemory) {
+    let n = 64u32;
+    let mut b = KernelBuilder::new("barfix");
+    b.s2r(r(0), SpecialReg::TidX);
+    b.and(r(6), r(0).into(), imm(7)); // per-thread loop bound
+    b.mov(r(8), imm(0));
+    b.label("spin");
+    b.isetp(Pred(0), CmpOp::Lt, r(8).into(), r(6).into());
+    b.if_p(Pred(0)).iadd(r(8), r(8).into(), imm(1));
+    b.if_p(Pred(0)).bra("spin");
+    b.shl(r(1), r(0).into(), imm(2));
+    b.sts(MemWidth::W32, r(1), 0, r(0));
+    b.bar();
+    b.isetp(Pred(0), CmpOp::Ne, r(0).into(), imm(0));
+    b.if_p(Pred(0)).bra("done");
+    b.mov(r(2), imm(0)); // acc
+    b.mov(r(3), imm(0)); // i
+    b.label("top");
+    b.shl(r(4), r(3).into(), imm(2));
+    b.lds(MemWidth::W32, r(5), r(4), 0);
+    b.iadd(r(2), r(2).into(), r(5).into());
+    b.iadd(r(3), r(3).into(), imm(1));
+    b.isetp(Pred(1), CmpOp::Lt, r(3).into(), imm(n));
+    b.if_p(Pred(1)).bra("top");
+    b.s2r(r(7), SpecialReg::CtaidX);
+    b.shl(r(7), r(7).into(), imm(2));
+    b.ldp(r(9), 0);
+    b.iadd(r(9), r(9).into(), r(7).into());
+    b.stg(MemWidth::W32, r(9), 0, r(2));
+    b.label("done");
+    b.exit();
+    b.shared(4 * n);
+    let kernel = b.build().unwrap();
+    let launch = LaunchConfig::new(2, n, vec![0]);
+    (kernel, launch, GlobalMemory::new(8))
+}
+
 /// Run `plan` from zero and resumed from its nearest snapshot; both must
 /// agree bit-for-bit.
 fn check_parity(snapshots: &[Arc<EngineSnapshot>], plan: FaultPlan) -> bool {
+    check_parity_on(fixture(), snapshots, plan)
+}
+
+/// [`check_parity`] generalized over the fixture.
+fn check_parity_on(
+    (kernel, launch, mem): (gpu_arch::Kernel, LaunchConfig, GlobalMemory),
+    snapshots: &[Arc<EngineSnapshot>],
+    plan: FaultPlan,
+) -> bool {
     let device = DeviceModel::v100();
-    let (kernel, launch, mem) = fixture();
-    let from_zero = run(&device, &kernel, &launch, mem.clone(), &RunOptions::trial(plan));
+    // Stuck-at replay faults (mem-queue / fetch) never retire and would
+    // spin forever; dyn_count advances identically in both runs, so a
+    // watchdog far above any legitimate total preserves parity.
+    let opts = RunOptions::trial(plan).watchdog(100_000);
+    let from_zero = run(&device, &kernel, &launch, mem.clone(), &opts);
     match nearest_snapshot(snapshots, &plan) {
         Some(snap) => {
             let resumed = try_run_with_sink(
@@ -90,7 +145,7 @@ fn check_parity(snapshots: &[Arc<EngineSnapshot>], plan: FaultPlan) -> bool {
                 &kernel,
                 &launch,
                 mem,
-                &RunOptions::trial(plan).resume(Some(Arc::clone(snap))),
+                &opts.clone().resume(Some(Arc::clone(snap))),
                 None,
             )
             .expect("resume accepted");
@@ -284,6 +339,148 @@ fn snapshot_serialization_round_trips() {
     let mut truncated = snapshots[0].to_bytes();
     truncated.truncate(truncated.len() / 2);
     assert!(EngineSnapshot::from_bytes(&truncated).is_err());
+}
+
+#[test]
+fn hidden_faults_resume_bit_identical() {
+    // Every hidden-resource plan family, both persistence modes, with a
+    // trigger in the run's second half so a snapshot precedes it: the
+    // fast-forwarded trial must reproduce the from-zero one exactly.
+    let (snapshots, golden) = golden_with_snapshots(150);
+    let mid = golden.counts.total / 2;
+    let memq_nth = golden.counts.sites.mem_ops * 3 / 4;
+    let flip = BitFlip::single(1);
+    let mut fast_forwarded = 0u32;
+    for persist in [Persistence::Transient, Persistence::StuckAt] {
+        let plans = [
+            FaultPlan::SchedulerNextPc { at: mid, warp: 1, flip, persist },
+            FaultPlan::SchedulerPriority { at: mid, warp: 2, persist },
+            FaultPlan::ActiveMask { at: mid, warp: 0, flip: BitFlip::double(0, 7), persist },
+            FaultPlan::MemQueue { nth: memq_nth, effect: MemQueueEffect::Drop, persist },
+            FaultPlan::MemQueue { nth: memq_nth, effect: MemQueueEffect::Replay, persist },
+            FaultPlan::MemQueue { nth: memq_nth, effect: MemQueueEffect::Flag, persist },
+            FaultPlan::Fetch { at: mid, effect: FetchEffect::StaleReplay, persist },
+            FaultPlan::Fetch {
+                at: mid,
+                effect: FetchEffect::OpcodeFlip(BitFlip::single(2)),
+                persist,
+            },
+        ];
+        for plan in plans {
+            if check_parity(&snapshots, plan) {
+                fast_forwarded += 1;
+            }
+        }
+    }
+    assert!(fast_forwarded >= 12, "only {fast_forwarded} hidden plans found a usable snapshot");
+
+    // Barrier-counter corruption needs a kernel with barriers (and
+    // divergent arrival); snapshots come from its own golden run.
+    let device = DeviceModel::v100();
+    let (kernel, launch, mem) = barrier_fixture();
+    let bar_golden = run(&device, &kernel, &launch, mem, &RunOptions::golden().snapshot_every(150));
+    assert!(bar_golden.status.completed());
+    let bar_mid = bar_golden.counts.total / 2;
+    let mut bar_forwarded = 0u32;
+    for persist in [Persistence::Transient, Persistence::StuckAt] {
+        for phantom in [false, true] {
+            let plan = FaultPlan::BarrierCounter { at: bar_mid, phantom, persist };
+            if check_parity_on(barrier_fixture(), &bar_golden.snapshots, plan) {
+                bar_forwarded += 1;
+            }
+        }
+    }
+    assert!(bar_forwarded >= 2, "only {bar_forwarded} barrier plans found a usable snapshot");
+}
+
+/// Shared scaffolding for the per-variant resume-conflict tests: a plan
+/// whose trigger precedes the snapshot's capture point must never
+/// fast-forward — `nearest_snapshot` refuses the snapshot and a forced
+/// resume hard-errors as [`SimError::ResumeConflict`]. Hidden-resource
+/// corruption (especially stuck-at) perturbs all state from its trigger
+/// on, so skipping past it would silently drop the fault.
+fn assert_conflict(plan: FaultPlan) {
+    let device = DeviceModel::v100();
+    let (kernel, launch, mem) = fixture();
+    let (snapshots, _) = golden_with_snapshots(200);
+    let snap = Arc::clone(snapshots.last().unwrap());
+    assert!(snap.dyn_count() > 0);
+    assert!(
+        nearest_snapshot(&[Arc::clone(&snap)], &plan).is_none(),
+        "nearest_snapshot accepted a snapshot past the trigger of {plan:?}"
+    );
+    assert!(
+        matches!(
+            try_run_with_sink(
+                &device,
+                &kernel,
+                &launch,
+                mem,
+                &RunOptions::trial(plan).resume(Some(snap)),
+                None,
+            ),
+            Err(SimError::ResumeConflict(_))
+        ),
+        "forced resume past the trigger of {plan:?} was not rejected"
+    );
+}
+
+#[test]
+fn scheduler_next_pc_cannot_fast_forward_past_trigger() {
+    for persist in [Persistence::Transient, Persistence::StuckAt] {
+        assert_conflict(FaultPlan::SchedulerNextPc {
+            at: 0,
+            warp: 0,
+            flip: BitFlip::single(0),
+            persist,
+        });
+    }
+}
+
+#[test]
+fn scheduler_priority_cannot_fast_forward_past_trigger() {
+    for persist in [Persistence::Transient, Persistence::StuckAt] {
+        assert_conflict(FaultPlan::SchedulerPriority { at: 0, warp: 0, persist });
+    }
+}
+
+#[test]
+fn active_mask_cannot_fast_forward_past_trigger() {
+    for persist in [Persistence::Transient, Persistence::StuckAt] {
+        assert_conflict(FaultPlan::ActiveMask {
+            at: 0,
+            warp: 0,
+            flip: BitFlip::single(3),
+            persist,
+        });
+    }
+}
+
+#[test]
+fn barrier_counter_cannot_fast_forward_past_trigger() {
+    for persist in [Persistence::Transient, Persistence::StuckAt] {
+        for phantom in [false, true] {
+            assert_conflict(FaultPlan::BarrierCounter { at: 0, phantom, persist });
+        }
+    }
+}
+
+#[test]
+fn mem_queue_cannot_fast_forward_past_trigger() {
+    for persist in [Persistence::Transient, Persistence::StuckAt] {
+        for effect in [MemQueueEffect::Drop, MemQueueEffect::Replay, MemQueueEffect::Flag] {
+            assert_conflict(FaultPlan::MemQueue { nth: 0, effect, persist });
+        }
+    }
+}
+
+#[test]
+fn fetch_cannot_fast_forward_past_trigger() {
+    for persist in [Persistence::Transient, Persistence::StuckAt] {
+        for effect in [FetchEffect::StaleReplay, FetchEffect::OpcodeFlip(BitFlip::single(1))] {
+            assert_conflict(FaultPlan::Fetch { at: 0, effect, persist });
+        }
+    }
 }
 
 #[test]

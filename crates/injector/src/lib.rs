@@ -40,8 +40,11 @@
 
 use campaign::{Budget, Campaign, CampaignRun, Kind, Sampler, TrialPlan};
 use gpu_arch::decode::{FP32_ARITH_UNITS, FP64_ARITH_UNITS, HALF_ARITH_UNITS, INT_ARITH_UNITS};
-use gpu_arch::{Architecture, DeviceModel, FunctionalUnit, LaunchConfig};
-use gpu_sim::{BitFlip, ExecStatus, Executed, FaultPlan, SiteClass, Target};
+use gpu_arch::{Architecture, DeviceModel, FunctionalUnit, LaunchConfig, Op};
+use gpu_sim::{
+    BitFlip, ExecStatus, Executed, FaultPlan, FetchEffect, MemQueueEffect, Persistence, SiteClass,
+    Target,
+};
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use stats::{binomial_ci95, Outcome, OutcomeCounts};
@@ -835,6 +838,377 @@ pub fn measure_avf_breakdown<T: Target + Sync + ?Sized>(
     AvfBreakdown { target: target.name().to_string(), per_class }
 }
 
+/// One hidden micro-architectural resource class — state neither SASSIFI
+/// nor NVBitFI can reach, and the paper's explanation for their
+/// orders-of-magnitude DUE underestimation (Section VII-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HiddenClass {
+    /// Warp-scheduler entries: next-pc fields and issue priority.
+    Scheduler,
+    /// Fetch/decode stage: stale instruction replays and opcode-bit flips.
+    Fetch,
+    /// Warp active masks: lanes forced off or exited lanes revived.
+    Mask,
+    /// Block barrier arrival counters: phantom and lost arrivals.
+    Barrier,
+    /// Pending-memory-queue entries: drops, stuck replays, poison flags.
+    MemQueue,
+}
+
+impl HiddenClass {
+    /// Every hidden class, in reporting order.
+    pub const ALL: [HiddenClass; 5] = [
+        HiddenClass::Scheduler,
+        HiddenClass::Fetch,
+        HiddenClass::Mask,
+        HiddenClass::Barrier,
+        HiddenClass::MemQueue,
+    ];
+
+    /// Short identifier used in coverage labels, metric names
+    /// (`campaign.hidden.<label>.*`) and gap reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            HiddenClass::Scheduler => "scheduler",
+            HiddenClass::Fetch => "fetch",
+            HiddenClass::Mask => "mask",
+            HiddenClass::Barrier => "barrier",
+            HiddenClass::MemQueue => "memq",
+        }
+    }
+
+    /// The site label the engine reports for this class's fault plans
+    /// (matches [`FaultPlan::site_label`]).
+    pub fn site_label(self) -> &'static str {
+        match self {
+            HiddenClass::Scheduler => "hidden-scheduler",
+            HiddenClass::Fetch => "hidden-fetch",
+            HiddenClass::Mask => "hidden-mask",
+            HiddenClass::Barrier => "hidden-barrier",
+            HiddenClass::MemQueue => "hidden-memq",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            HiddenClass::Scheduler => 1 << 0,
+            HiddenClass::Fetch => 1 << 1,
+            HiddenClass::Mask => 1 << 2,
+            HiddenClass::Barrier => 1 << 3,
+            HiddenClass::MemQueue => 1 << 4,
+        }
+    }
+}
+
+impl fmt::Display for HiddenClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Which hidden resource classes a campaign (and hence a prediction) can
+/// reach — the independent variable of the Figure 6 gap-closure ladder.
+/// An empty coverage models today's architecture-level injectors; full
+/// coverage models an injector extended with every hidden site the
+/// simulator exposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct HiddenCoverage {
+    bits: u8,
+}
+
+impl HiddenCoverage {
+    /// No hidden class covered (the register-only status quo).
+    pub fn none() -> Self {
+        HiddenCoverage { bits: 0 }
+    }
+
+    /// Every hidden class covered.
+    pub fn full() -> Self {
+        HiddenCoverage::of(&HiddenClass::ALL)
+    }
+
+    /// Coverage of exactly `classes`.
+    pub fn of(classes: &[HiddenClass]) -> Self {
+        classes.iter().fold(HiddenCoverage::none(), |c, &cl| c.with(cl))
+    }
+
+    /// This coverage extended with `class`.
+    pub fn with(self, class: HiddenClass) -> Self {
+        HiddenCoverage { bits: self.bits | class.bit() }
+    }
+
+    /// Does this coverage include `class`?
+    pub fn covers(self, class: HiddenClass) -> bool {
+        self.bits & class.bit() != 0
+    }
+
+    /// The covered classes, in [`HiddenClass::ALL`] order.
+    pub fn classes(self) -> Vec<HiddenClass> {
+        HiddenClass::ALL.into_iter().filter(|&c| self.covers(c)).collect()
+    }
+
+    /// Number of covered classes.
+    pub fn count(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// True when no class is covered.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Stable label: `none`, `full`, or a `+`-joined class list.
+    pub fn label(self) -> String {
+        if self.is_empty() {
+            return "none".to_string();
+        }
+        if self == HiddenCoverage::full() {
+            return "full".to_string();
+        }
+        self.classes().iter().map(|c| c.label()).collect::<Vec<_>>().join("+")
+    }
+}
+
+impl fmt::Display for HiddenCoverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The result of a hidden-resource injection campaign.
+#[derive(Clone, Debug)]
+pub struct HiddenResult {
+    /// Target name.
+    pub target: String,
+    /// The coverage the campaign sampled from.
+    pub coverage: HiddenCoverage,
+    /// Outcome tallies.
+    pub counts: OutcomeCounts,
+    /// SDC probability with 95% CI.
+    pub sdc: (f64, f64, f64),
+    /// DUE probability with 95% CI.
+    pub due: (f64, f64, f64),
+    /// Masked fraction.
+    pub masked: f64,
+}
+
+impl HiddenResult {
+    fn from_counts(target: String, coverage: HiddenCoverage, counts: OutcomeCounts) -> Self {
+        let total = counts.total();
+        let (slo, shi) = binomial_ci95(counts.sdc, total);
+        let (dlo, dhi) = binomial_ci95(counts.due, total);
+        HiddenResult {
+            target,
+            coverage,
+            counts,
+            sdc: (counts.sdc_fraction(), slo, shi),
+            due: (counts.due_fraction(), dlo, dhi),
+            masked: counts.masked_fraction(),
+        }
+    }
+
+    /// P(SDC | hidden strike) point estimate.
+    pub fn sdc_avf(&self) -> f64 {
+        self.sdc.0
+    }
+
+    /// P(DUE | hidden strike) point estimate.
+    pub fn due_avf(&self) -> f64 {
+        self.due.0
+    }
+
+    /// [`HiddenResult::due_avf`] with a half-event resolution floor.
+    pub fn due_avf_floored(&self) -> f64 {
+        self.due_avf().max(0.5 / self.counts.total().max(1) as f64)
+    }
+}
+
+/// The hidden classes `target`'s golden run actually exercises: scheduler,
+/// fetch and mask state exist for every kernel; barrier counters only for
+/// kernels that synchronize; the pending-memory queue only when the run
+/// performs memory operations.
+pub fn hidden_classes_available(kernel: &gpu_arch::Kernel, golden: &Executed) -> Vec<HiddenClass> {
+    let mut classes = vec![HiddenClass::Scheduler, HiddenClass::Fetch, HiddenClass::Mask];
+    if kernel.instrs.iter().any(|i| i.op == Op::Bar) {
+        classes.push(HiddenClass::Barrier);
+    }
+    if golden.counts.sites.mem_ops > 0 {
+        classes.push(HiddenClass::MemQueue);
+    }
+    classes
+}
+
+/// The hidden-resource campaign kind: faults drawn uniformly over the
+/// covered (and live) hidden classes, cycling the budget evenly across
+/// them the way [`Avf`] cycles injection modes. Each trial draws the
+/// persistence first (transient vs. stuck-at, 50/50, following the NSREC
+/// 2021 parallelism-management observations), then the class-specific
+/// site.
+///
+/// Like instrumentation-based injection, trials run with ECC off — the
+/// corrupted state (scheduler SRAM, queue entries, fetch latches) is
+/// outside the ECC-protected register/memory arrays anyway.
+#[derive(Clone, Copy, Debug)]
+pub struct HiddenAvf {
+    /// Which hidden classes faults may land on.
+    pub coverage: HiddenCoverage,
+}
+
+impl HiddenAvf {
+    /// A hidden campaign over `coverage`.
+    pub fn new(coverage: HiddenCoverage) -> Self {
+        HiddenAvf { coverage }
+    }
+
+    /// A hidden campaign over every class.
+    pub fn full() -> Self {
+        HiddenAvf::new(HiddenCoverage::full())
+    }
+
+    /// A hidden campaign over exactly one class (the per-class
+    /// P(DUE | strike) measurement predictions consume).
+    pub fn class(class: HiddenClass) -> Self {
+        HiddenAvf::new(HiddenCoverage::of(&[class]))
+    }
+}
+
+/// Sampler state for [`HiddenAvf`]: the live covered classes and the
+/// golden run's population sizes.
+pub struct HiddenSampler {
+    classes: Vec<HiddenClass>,
+    total: u64,
+    mem_ops: u64,
+    warps_per_block: u32,
+}
+
+impl Sampler for HiddenSampler {
+    fn sample(&self, trial: u64, rng: &mut ChaCha12Rng) -> TrialPlan {
+        let class = self.classes[(trial % self.classes.len() as u64) as usize];
+        let persist = if rng.gen_bool(0.5) { Persistence::StuckAt } else { Persistence::Transient };
+        let plan = match class {
+            HiddenClass::Scheduler => {
+                let at = rng.gen_range(0..self.total);
+                let warp = rng.gen_range(0..self.warps_per_block);
+                if rng.gen_bool(0.5) {
+                    FaultPlan::SchedulerNextPc {
+                        at,
+                        warp,
+                        flip: BitFlip::single(rng.gen_range(0..16)),
+                        persist,
+                    }
+                } else {
+                    FaultPlan::SchedulerPriority { at, warp, persist }
+                }
+            }
+            HiddenClass::Fetch => {
+                let at = rng.gen_range(0..self.total);
+                let effect = if rng.gen_bool(0.5) {
+                    FetchEffect::StaleReplay
+                } else {
+                    FetchEffect::OpcodeFlip(BitFlip::single(rng.gen_range(0..16)))
+                };
+                FaultPlan::Fetch { at, effect, persist }
+            }
+            HiddenClass::Mask => FaultPlan::ActiveMask {
+                at: rng.gen_range(0..self.total),
+                warp: rng.gen_range(0..self.warps_per_block),
+                flip: BitFlip::single(rng.gen_range(0..32)),
+                persist,
+            },
+            HiddenClass::Barrier => FaultPlan::BarrierCounter {
+                at: rng.gen_range(0..self.total),
+                phantom: rng.gen_bool(0.5),
+                persist,
+            },
+            HiddenClass::MemQueue => {
+                let nth = rng.gen_range(0..self.mem_ops);
+                let effect = match rng.gen_range(0..3u32) {
+                    0 => MemQueueEffect::Drop,
+                    1 => MemQueueEffect::Replay,
+                    _ => MemQueueEffect::Flag,
+                };
+                FaultPlan::MemQueue { nth, effect, persist }
+            }
+        };
+        TrialPlan::Fault(plan)
+    }
+}
+
+impl<T: Target + Sync + ?Sized> Kind<T> for HiddenAvf {
+    type Sampler = HiddenSampler;
+    type Output = HiddenResult;
+
+    fn label(&self) -> String {
+        format!("avf/hidden/{}", self.coverage.label())
+    }
+
+    fn ecc(&self) -> bool {
+        false
+    }
+
+    fn prepare(&self, target: &T, _device: &DeviceModel, golden: &Arc<Executed>) -> HiddenSampler {
+        let available = hidden_classes_available(target.kernel(), golden);
+        let classes: Vec<HiddenClass> =
+            available.into_iter().filter(|&c| self.coverage.covers(c)).collect();
+        assert!(
+            !classes.is_empty(),
+            "hidden coverage '{}' reaches no live resource in {}",
+            self.coverage,
+            target.name()
+        );
+        HiddenSampler {
+            classes,
+            total: golden.counts.total.max(1),
+            mem_ops: golden.counts.sites.mem_ops,
+            warps_per_block: target.launch().block.count().div_ceil(32).max(1) as u32,
+        }
+    }
+
+    fn finish(&self, target: &T, _sampler: &HiddenSampler, run: &CampaignRun) -> HiddenResult {
+        HiddenResult::from_counts(target.name().to_string(), self.coverage, run.counts)
+    }
+}
+
+/// P(DUE | strike) broken down per hidden class: the calibration table a
+/// hidden-aware DUE prediction multiplies against the beam room's hidden
+/// strike rates.
+#[derive(Clone, Debug)]
+pub struct HiddenBreakdown {
+    /// Target name.
+    pub target: String,
+    /// Per-class results (classes the target never exercises are
+    /// omitted).
+    pub per_class: Vec<(HiddenClass, HiddenResult)>,
+}
+
+impl HiddenBreakdown {
+    /// P(DUE | strike in `class`), if the target exercises it.
+    pub fn due_fraction(&self, class: HiddenClass) -> Option<f64> {
+        self.per_class.iter().find(|(c, _)| *c == class).map(|(_, r)| r.due_avf())
+    }
+}
+
+/// Measure P(SDC/DUE | strike) separately per live hidden class. Every
+/// per-class campaign shares the same cached golden run and `budget`.
+pub fn measure_hidden_breakdown<T: Target + Sync + ?Sized>(
+    target: &T,
+    device: &DeviceModel,
+    budget: &Budget,
+) -> HiddenBreakdown {
+    let (golden, _) =
+        campaign::golden::fetch(target, device, campaign::golden::GoldenRequest::new(false))
+            .expect("golden run failed");
+    let mut per_class = Vec::new();
+    for class in hidden_classes_available(target.kernel(), &golden) {
+        let r = Campaign::new(HiddenAvf::class(class), target, device)
+            .budget(budget.clone())
+            .run()
+            .expect("hidden-class campaign failed");
+        per_class.push((class, r));
+    }
+    HiddenBreakdown { target: target.name().to_string(), per_class }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1036,6 +1410,104 @@ mod tests {
             .run()
             .unwrap();
         assert!(r.sdc_avf() > 0.9, "IADD AVF {}", r.sdc_avf());
+    }
+
+    #[test]
+    fn coverage_labels_and_membership() {
+        assert_eq!(HiddenCoverage::none().label(), "none");
+        assert_eq!(HiddenCoverage::full().label(), "full");
+        assert_eq!(HiddenCoverage::full().count(), 5);
+        let c = HiddenCoverage::of(&[HiddenClass::Scheduler, HiddenClass::MemQueue]);
+        assert_eq!(c.label(), "scheduler+memq");
+        assert!(c.covers(HiddenClass::Scheduler));
+        assert!(!c.covers(HiddenClass::Fetch));
+        assert_eq!(c.classes(), vec![HiddenClass::Scheduler, HiddenClass::MemQueue]);
+        assert!(HiddenCoverage::none().is_empty());
+    }
+
+    #[test]
+    fn hidden_campaign_is_reproducible_and_produces_dues() {
+        let volta = DeviceModel::v100_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+        let run =
+            |n: u32| Campaign::new(HiddenAvf::full(), &w, &volta).budget(budget(n)).run().unwrap();
+        let a = run(120);
+        let b = run(120);
+        assert_eq!(a.counts, b.counts);
+        // Hidden strikes are DUE-heavy: stalls, fetch faults, queue
+        // poisons and deadlocks — the exact mechanisms register-level
+        // injection never reaches.
+        assert!(a.counts.due > 0, "no hidden DUEs: {:?}", a.counts);
+        assert!(a.due_avf() > 0.2, "hidden DUE fraction {}", a.due_avf());
+    }
+
+    #[test]
+    fn hidden_campaign_is_deterministic_across_worker_counts() {
+        let volta = DeviceModel::v100_sim();
+        let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+        let runs: Vec<OutcomeCounts> = [1usize, 2, 5]
+            .into_iter()
+            .map(|workers| {
+                Campaign::new(HiddenAvf::full(), &w, &volta)
+                    .budget(budget(96).shard_size(16))
+                    .workers(workers)
+                    .run_full()
+                    .unwrap()
+                    .1
+                    .counts
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn hidden_coverage_restricts_the_sampled_sites() {
+        let volta = DeviceModel::v100_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+        let (_, run) = Campaign::new(HiddenAvf::class(HiddenClass::MemQueue), &w, &volta)
+            .budget(budget(40))
+            .run_full()
+            .unwrap();
+        assert_eq!(run.trials, 40);
+        // Single-class coverage is honored: the result's coverage label
+        // round-trips and the campaign completes on just that class.
+        let r = Campaign::new(HiddenAvf::class(HiddenClass::MemQueue), &w, &volta)
+            .budget(budget(40))
+            .run()
+            .unwrap();
+        assert_eq!(r.coverage.label(), "memq");
+    }
+
+    #[test]
+    #[should_panic(expected = "reaches no live resource")]
+    fn empty_hidden_coverage_panics() {
+        let volta = DeviceModel::v100_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+        let _ = Campaign::new(HiddenAvf::new(HiddenCoverage::none()), &w, &volta)
+            .budget(budget(10))
+            .run();
+    }
+
+    #[test]
+    fn hidden_breakdown_covers_live_classes_only() {
+        let volta = DeviceModel::v100_sim();
+        // MXM synchronizes and touches memory: every class is live.
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+        let b = measure_hidden_breakdown(&w, &volta, &Budget::fixed(50).seed(7));
+        let classes: Vec<HiddenClass> = b.per_class.iter().map(|(c, _)| *c).collect();
+        assert!(classes.contains(&HiddenClass::Scheduler));
+        assert!(classes.contains(&HiddenClass::MemQueue));
+        for (_, r) in &b.per_class {
+            assert_eq!(r.counts.total(), 50);
+        }
+        // Scheduler strikes must be distinctly DUE-prone (stalls and
+        // illegal fetches), the core of the paper's Section VII-B gap.
+        assert!(
+            b.due_fraction(HiddenClass::Scheduler).unwrap() > 0.2,
+            "scheduler DUE fraction {:?}",
+            b.due_fraction(HiddenClass::Scheduler)
+        );
     }
 
     #[test]

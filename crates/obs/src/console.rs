@@ -119,6 +119,23 @@ pub fn render_status(status: &StatusSnapshot) -> String {
         );
     }
 
+    let mut hidden_total = 0u64;
+    let mut hidden_parts = String::new();
+    for class in ["scheduler", "fetch", "mask", "barrier", "memq"] {
+        let n: u64 = ["sdc", "due", "masked"]
+            .iter()
+            .map(|s| counter(&format!("campaign.hidden.{class}.{s}")))
+            .sum();
+        if n > 0 {
+            let due = counter(&format!("campaign.hidden.{class}.due"));
+            let _ = write!(hidden_parts, " · {class} {n} (due {})", pct(due, n));
+        }
+        hidden_total += n;
+    }
+    if hidden_total > 0 {
+        let _ = writeln!(out, "hidden     {} of trials{hidden_parts}", pct(hidden_total, trials));
+    }
+
     let damage = counter("campaign.store.damage");
     let locks = counter("campaign.store.lock_broken");
     if damage > 0 || locks > 0 {
@@ -153,6 +170,10 @@ mod tests {
         }
         reg.counter("campaign.pruned.masked").add(120);
         reg.counter("campaign.pruned.addr_ctl").add(80);
+        reg.counter("campaign.hidden.scheduler.sdc").add(3);
+        reg.counter("campaign.hidden.scheduler.due").add(9);
+        reg.counter("campaign.hidden.scheduler.masked").add(8);
+        reg.counter("campaign.hidden.memq.due").add(5);
         reg.counter("campaign.snapshot.hit").add(750);
         reg.counter("campaign.snapshot.miss").add(250);
         reg.gauge("campaign.snapshot.cached").set(7.0);
@@ -176,6 +197,12 @@ mod tests {
         assert!(text.contains("store      damage 2"));
         assert!(text
             .contains("pruned     20.00% of trials static · masked 120 · store 0 · addr+ctl 80"));
+        assert!(
+            text.contains(
+                "hidden     2.50% of trials · scheduler 20 (due 45.00%) · memq 5 (due 100.00%)"
+            ),
+            "{text}"
+        );
     }
 
     #[test]
@@ -187,5 +214,6 @@ mod tests {
         assert!(!text.contains("snapshots"));
         assert!(!text.contains("store"));
         assert!(!text.contains("pruned"));
+        assert!(!text.contains("hidden"));
     }
 }

@@ -27,14 +27,14 @@
 //! hidden inside the beam crate, so Figure 6 is a genuine blind
 //! comparison.
 
-use beam::{Beam, BeamResult};
+use beam::{Beam, BeamResult, HiddenRates};
 use campaign::{Budget, Campaign};
 use gpu_arch::{DeviceModel, FunctionalUnit, WARP_SIZE};
 use gpu_sim::Target;
-use injector::{AvfResult, ClassAvf};
+use injector::{AvfResult, ClassAvf, HiddenBreakdown, HiddenClass, HiddenCoverage};
 use microbench::MicroBench;
 use profiler::KernelProfile;
-use stats::signed_ratio;
+use stats::{signed_ratio, JEDEC_FLUX_PER_CM2_H};
 
 /// Per-unit FIT rates measured on the micro-benchmarks (the usable form
 /// of Figure 3), plus the register-file per-bit rates.
@@ -168,6 +168,81 @@ pub struct Prediction {
     /// Static DUE upper bound from the value-flow verdict lattice
     /// ([`profiler::KernelProfile::static_due_upper`]).
     pub static_due_upper: f64,
+    /// The hidden-resource DUE FIT folded into `due_fit` (zero unless a
+    /// [`HiddenTerm`] was applied via [`Prediction::with_hidden`]).
+    pub hidden_due: f64,
+}
+
+impl Prediction {
+    /// Fold a hidden-resource DUE term into this prediction: the Section
+    /// VII-B closure, turning the architectural-only Equation 1 sum into
+    /// a hidden-aware one. Replaces any previously applied term.
+    pub fn with_hidden(mut self, term: &HiddenTerm) -> Prediction {
+        self.due_fit = self.due_fit - self.hidden_due + term.due_fit;
+        self.hidden_due = term.due_fit;
+        self
+    }
+}
+
+/// The hidden-resource DUE contribution of a prediction: beam-measured
+/// strike rates ([`beam::HiddenRates`]) times injection-measured
+/// P(DUE | strike) per hidden class ([`injector::HiddenBreakdown`]),
+/// restricted to the classes the injector's [`HiddenCoverage`] reaches.
+///
+/// With `HiddenCoverage::none()` the term is zero — today's
+/// architecture-level injectors — and the Figure 6 DUE gap stays at its
+/// orders-of-magnitude size; each class added to the coverage closes a
+/// share of it.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HiddenTerm {
+    /// Predicted hidden DUE FIT.
+    pub due_fit: f64,
+    /// Fraction of the workload's total hidden strike rate the coverage
+    /// reaches (a diagnostic, monotone in the coverage).
+    pub rate_coverage: f64,
+}
+
+/// Predict the hidden-resource DUE term for one workload.
+///
+/// The chip-level strike rate is apportioned evenly across the SM-side
+/// classes the workload actually exercises (scheduler, fetch, active
+/// mask, and barrier counters when the kernel synchronizes); the
+/// memory-path rate scales with the profile's memory-operation traffic
+/// per second, mirroring how beam rooms attribute DUE channels. Each
+/// covered class contributes `rate x P(DUE | strike)` converted to FIT
+/// at the JEDEC reference flux; uncovered classes contribute nothing,
+/// which is exactly the blind spot the coverage ladder quantifies.
+pub fn predict_hidden(
+    profile: &KernelProfile,
+    rates: &HiddenRates,
+    breakdown: &HiddenBreakdown,
+    coverage: HiddenCoverage,
+) -> HiddenTerm {
+    let fit_per_rate = JEDEC_FLUX_PER_CM2_H * 1e9;
+    let mem_ops = profile.unit_counts[FunctionalUnit::Ldst.index()] as f64;
+    let seconds = profile.seconds.max(f64::MIN_POSITIVE);
+    let n_sm =
+        breakdown.per_class.iter().filter(|(c, _)| *c != HiddenClass::MemQueue).count().max(1)
+            as f64;
+    let mut due_fit = 0.0;
+    let mut covered_rate = 0.0;
+    let mut total_rate = 0.0;
+    for (class, result) in &breakdown.per_class {
+        let rate = if *class == HiddenClass::MemQueue {
+            rates.per_mem_op * mem_ops / seconds
+        } else {
+            rates.chip_per_s / n_sm
+        };
+        total_rate += rate;
+        if coverage.covers(*class) {
+            covered_rate += rate;
+            due_fit += rate * result.due_avf() * fit_per_rate;
+        }
+    }
+    HiddenTerm {
+        due_fit,
+        rate_coverage: if total_rate > 0.0 { covered_rate / total_rate } else { 0.0 },
+    }
 }
 
 /// Options for the prediction model (the ablations of DESIGN.md).
@@ -244,6 +319,7 @@ pub fn predict(
         static_ace: profile.static_ace,
         static_sdc_upper: profile.static_sdc_upper,
         static_due_upper: profile.static_due_upper,
+        hidden_due: 0.0,
     }
 }
 
@@ -307,6 +383,9 @@ pub struct ComparisonRow {
     pub static_sdc_upper: f64,
     /// Static DUE upper bound (verdict lattice) beside the measured DUE.
     pub static_due_upper: f64,
+    /// The hidden-resource share of `predicted_due` (zero for
+    /// register-only predictions).
+    pub predicted_hidden_due: f64,
 }
 
 /// Compare a beam measurement against a prediction.
@@ -330,6 +409,7 @@ pub fn compare(
         static_ace: predicted.static_ace,
         static_sdc_upper: predicted.static_sdc_upper,
         static_due_upper: predicted.static_due_upper,
+        predicted_hidden_due: predicted.hidden_due,
     }
 }
 
@@ -413,6 +493,50 @@ mod tests {
             "DUEs should be underestimated, got {}",
             row.due_underestimation
         );
+    }
+
+    #[test]
+    fn hidden_term_grows_monotonically_with_coverage() {
+        let device = DeviceModel::v100_sim();
+        let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
+        let profile = profiler::profile(&w, &device);
+        let rates = beam::characterize_hidden(&device, 800, 11);
+        let breakdown =
+            injector::measure_hidden_breakdown(&w, &device, &Budget::fixed(80).seed(11));
+        let ladder = [
+            HiddenCoverage::none(),
+            HiddenCoverage::of(&[HiddenClass::Scheduler]),
+            HiddenCoverage::of(&[HiddenClass::Scheduler, HiddenClass::Fetch, HiddenClass::Mask]),
+            HiddenCoverage::full(),
+        ];
+        let terms: Vec<HiddenTerm> =
+            ladder.iter().map(|c| predict_hidden(&profile, &rates, &breakdown, *c)).collect();
+        assert_eq!(terms[0], HiddenTerm::default());
+        for pair in terms.windows(2) {
+            assert!(pair[1].due_fit >= pair[0].due_fit, "{terms:?}");
+            assert!(pair[1].rate_coverage >= pair[0].rate_coverage, "{terms:?}");
+        }
+        assert!(terms[3].due_fit > 0.0);
+        assert!((terms[3].rate_coverage - 1.0).abs() < 1e-9, "{}", terms[3].rate_coverage);
+
+        // Folding the term raises only the DUE side, is replace-not-add,
+        // and surfaces in the comparison row.
+        let base = Prediction {
+            sdc_fit: 1.0,
+            due_fit: 2.0,
+            phi: 1.0,
+            memory_sdc: 0.0,
+            static_ace: 0.5,
+            static_sdc_upper: 0.5,
+            static_due_upper: 0.5,
+            hidden_due: 0.0,
+        };
+        let with = base.with_hidden(&terms[3]);
+        assert_eq!(with.due_fit, 2.0 + terms[3].due_fit);
+        assert_eq!(with.hidden_due, terms[3].due_fit);
+        let rewith = with.with_hidden(&terms[1]);
+        assert!((rewith.due_fit - (2.0 + terms[1].due_fit)).abs() < 1e-9);
+        assert_eq!(with.sdc_fit, base.sdc_fit);
     }
 
     #[test]
