@@ -47,7 +47,7 @@
 
 mod xsec;
 
-pub use xsec::CrossSections;
+pub use xsec::{parse_xsec, CrossSections};
 
 use campaign::{CampaignRun, Kind, Sampler, TrialPlan};
 use gpu_arch::{DeviceModel, FunctionalUnit};
@@ -544,7 +544,7 @@ mod tests {
 
     #[test]
     fn beam_campaign_is_reproducible_and_counts_all_runs() {
-        let device = DeviceModel::k40c_sim();
+        let device = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         let a = run(&w, &device, 500, true);
         let b = run(&w, &device, 500, true);
@@ -556,7 +556,7 @@ mod tests {
 
     #[test]
     fn beam_campaign_is_deterministic_across_worker_counts() {
-        let device = DeviceModel::k40c_sim();
+        let device = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         let counts: Vec<OutcomeCounts> = [1usize, 4]
             .into_iter()
@@ -575,7 +575,7 @@ mod tests {
 
     #[test]
     fn ecc_off_raises_sdc_fit() {
-        let device = DeviceModel::k40c_sim();
+        let device = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         let on = run(&w, &device, 1500, true);
         let off = run(&w, &device, 1500, false);
@@ -589,7 +589,7 @@ mod tests {
 
     #[test]
     fn fluence_scales_with_runs() {
-        let device = DeviceModel::k40c_sim();
+        let device = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         let a = run(&w, &device, 200, true);
         let b = run(&w, &device, 400, true);
@@ -598,14 +598,14 @@ mod tests {
 
     #[test]
     fn hidden_channel_produces_dues() {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let fit = hidden_due_fit(&device, 1e-3, 10_000, 3.5e6);
         assert!(fit.fit > 0.0);
     }
 
     #[test]
     fn hidden_characterization_is_deterministic_and_unbiased() {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let a = characterize_hidden(&device, 2000, 9);
         let b = characterize_hidden(&device, 2000, 9);
         assert_eq!(a.chip_per_s, b.chip_per_s);

@@ -6,7 +6,7 @@
 use beam::Beam;
 use campaign::{Budget, Campaign};
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpu_arch::{Architecture, CodeGen, DeviceModel, Precision};
+use gpu_arch::{CodeGen, DeviceModel, Precision};
 use injector::{Avf, Injector};
 use prediction::{
     characterize_units, memory_footprint, predict, CharacterizeConfig, PredictOptions,
@@ -15,13 +15,13 @@ use profiler::profile;
 use workloads::{build, Benchmark, Scale};
 
 fn table1_profiles(c: &mut Criterion) {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Gemm, Precision::Single, CodeGen::Cuda10, Scale::Small);
     c.bench_function("table1_profile_one_code", |b| b.iter(|| profile(&w, &device)));
 }
 
 fn fig1_mix(c: &mut Criterion) {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Lava, Precision::Single, CodeGen::Cuda7, Scale::Small);
     c.bench_function("fig1_mix_one_code", |b| {
         b.iter(|| {
@@ -32,7 +32,7 @@ fn fig1_mix(c: &mut Criterion) {
 }
 
 fn fig3_microbench(c: &mut Criterion) {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let mb = microbench::arith(gpu_arch::FunctionalUnit::Fadd);
     let mut group = c.benchmark_group("fig3");
     group.sample_size(10);
@@ -48,7 +48,7 @@ fn fig3_microbench(c: &mut Criterion) {
 }
 
 fn fig4_avf(c: &mut Criterion) {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
@@ -64,7 +64,7 @@ fn fig4_avf(c: &mut Criterion) {
 }
 
 fn fig5_beam(c: &mut Criterion) {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);
@@ -81,10 +81,10 @@ fn fig5_beam(c: &mut Criterion) {
 
 fn fig6_prediction(c: &mut Criterion) {
     // The prediction step itself (unit characterization amortized out).
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let units = characterize_units(
         &device,
-        &microbench::suite(Architecture::Kepler),
+        &microbench::suite(&device),
         &CharacterizeConfig {
             beam: Budget::fixed(300).seed(1),
             injection: Budget::fixed(40).seed(1),
@@ -106,10 +106,10 @@ fn ablate_phi(c: &mut Criterion) {
     // The phi ablation: predictions with and without Equation 4's factor
     // (accuracy consequences are reported by `repro ablate`; this measures
     // that toggling phi is free).
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let units = characterize_units(
         &device,
-        &microbench::suite(Architecture::Kepler),
+        &microbench::suite(&device),
         &CharacterizeConfig {
             beam: Budget::fixed(300).seed(2),
             injection: Budget::fixed(40).seed(2),

@@ -16,7 +16,7 @@ use obs::{CountingSink, TraceSink};
 use workloads::{build, Benchmark, Scale};
 
 fn overhead(c: &mut Criterion) {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small);
     let opts = RunOptions::default();
 

@@ -135,17 +135,17 @@ fn main() {
         Case {
             name: "mxm_f32_small",
             workload: build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small),
-            device: DeviceModel::k40c_sim(),
+            device: DeviceModel::named("k40c-sim"),
         },
         Case {
             name: "hotspot_f32_small",
             workload: build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10, Scale::Small),
-            device: DeviceModel::k40c_sim(),
+            device: DeviceModel::named("k40c-sim"),
         },
         Case {
             name: "gemm_mma_h16_small",
             workload: build(Benchmark::GemmMma, Precision::Half, CodeGen::Cuda10, Scale::Small),
-            device: DeviceModel::v100_sim(),
+            device: DeviceModel::named("v100-sim"),
         },
     ];
 
@@ -169,7 +169,7 @@ fn main() {
     // ratio is the speedup the snapshot layer buys.
     let campaign_trials = if smoke { 50 } else { 200 };
     let mxm_tiny = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
-    let kepler = DeviceModel::k40c_sim();
+    let kepler = DeviceModel::named("k40c-sim");
     let campaign_results = [
         measure_campaign(
             "avf_nvbitfi_mxm_f32_tiny",

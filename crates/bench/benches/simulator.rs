@@ -9,8 +9,8 @@ use gpu_sim::{BitFlip, FaultPlan, RunOptions, SiteClass, Target};
 use workloads::{build, Benchmark, Scale};
 
 fn golden_runs(c: &mut Criterion) {
-    let kepler = DeviceModel::k40c_sim();
-    let volta = DeviceModel::v100_sim();
+    let kepler = DeviceModel::named("k40c-sim");
+    let volta = DeviceModel::named("v100-sim");
     let mut group = c.benchmark_group("golden");
     group.sample_size(20);
 
@@ -32,7 +32,7 @@ fn golden_runs(c: &mut Criterion) {
 }
 
 fn fault_runs(c: &mut Criterion) {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small);
     let golden = w.execute_golden(&device);
     let watchdog = golden.counts.total * 4;

@@ -50,7 +50,7 @@ fn main() {
     // whichever ran second.
     let (budget_secs, min_pairs) = if smoke { (1.5, 6) } else { (8.0, 30) };
 
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let workload = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
 
     // Warm the golden cache through both paths before timing.

@@ -12,7 +12,7 @@
 use crate::experiments::{devices, HarnessConfig};
 use beam::{Beam, CrossSections};
 use campaign::Campaign;
-use gpu_arch::{Architecture, CodeGen, Precision};
+use gpu_arch::{CodeGen, Precision};
 use gpu_sim::SiteClass;
 use injector::{Avf, ClassAvf, Injector};
 use prediction::{
@@ -38,7 +38,7 @@ pub fn ablate_phi(cfg: &HarnessConfig) -> Vec<PhiRow> {
     let (kepler, _) = devices();
     let char_cfg =
         CharacterizeConfig { beam: cfg.bench_beam.clone(), injection: cfg.bench_injection.clone() };
-    let units = characterize_units(&kepler, &microbench::suite(Architecture::Kepler), &char_cfg);
+    let units = characterize_units(&kepler, &microbench::suite(&kepler), &char_cfg);
 
     let mut rows = Vec::new();
     for bench in [Benchmark::Mxm, Benchmark::Hotspot, Benchmark::Gaussian, Benchmark::Mergesort] {
@@ -87,7 +87,7 @@ pub fn ablate_half_capability(cfg: &HarnessConfig) -> HalfCapabilityResult {
     let (_, volta) = devices();
     let char_cfg =
         CharacterizeConfig { beam: cfg.bench_beam.clone(), injection: cfg.bench_injection.clone() };
-    let units = characterize_units(&volta, &microbench::suite(Architecture::Volta), &char_cfg);
+    let units = characterize_units(&volta, &microbench::suite(&volta), &char_cfg);
 
     let h = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, cfg.scale);
     let f = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10, cfg.scale);

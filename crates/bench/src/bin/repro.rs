@@ -13,7 +13,20 @@
 //! repro codegen  CUDA7-vs-CUDA10 AVF study (same injector)
 //! repro breakdown  per-instruction-class AVF decomposition
 //! repro convergence  AVF CI width vs campaign size
+//! repro device   full pipeline on a spec-resolved device (--device)
 //! repro all      everything above, in order
+//! ```
+//!
+//! Device selection (anywhere on the command line):
+//!
+//! ```text
+//! --list-devices       print the device registry (builtins plus any
+//!                      --device-dir specs) and exit
+//! --device NAME|PATH   resolve the target device for `repro device` by
+//!                      registry id (k40c, v100, titan-v, a100, ...) or
+//!                      by `.spec` file path; recorded in the run report
+//! --device-dir DIR     load every `*.spec` under DIR into the registry
+//!                      before resolving (bring-your-own-device)
 //! ```
 //!
 //! Observability flags (anywhere on the command line):
@@ -47,10 +60,11 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 
 use bench::{
-    avf_breakdown, codegen_comparison, convergence, due_analysis, fig1, fig3_observed,
-    fig4_observed, fig5_observed, fig6, hidden_gap_closure, render, table1_observed,
-    CampaignObservation, GapClosure, HarnessConfig, ObserveCtx,
+    avf_breakdown, codegen_comparison, convergence, device_pipeline_observed, due_analysis, fig1,
+    fig3_observed, fig4_observed, fig5_observed, fig6, hidden_gap_closure, render, table1_observed,
+    CampaignObservation, DeviceReport, GapClosure, HarnessConfig, ObserveCtx,
 };
+use gpu_arch::{DeviceRegistry, DeviceSpec};
 use obs::RunReport;
 
 struct Flags {
@@ -61,6 +75,9 @@ struct Flags {
     checkpoint_dir: Option<String>,
     spans_out: Option<String>,
     status_dir: Option<String>,
+    device: Option<String>,
+    device_dir: Option<String>,
+    list_devices: bool,
 }
 
 /// Split observability flags out of the argument list; everything else is
@@ -74,6 +91,9 @@ fn parse_flags(args: Vec<String>) -> (Flags, Vec<String>) {
         checkpoint_dir: None,
         spans_out: None,
         status_dir: None,
+        device: None,
+        device_dir: None,
+        list_devices: false,
     };
     let mut rest = Vec::new();
     let mut it = args.into_iter();
@@ -103,6 +123,9 @@ fn parse_flags(args: Vec<String>) -> (Flags, Vec<String>) {
             }
             "--spans-out" => flags.spans_out = Some(file_arg("--spans-out", &mut it)),
             "--status-dir" => flags.status_dir = Some(file_arg("--status-dir", &mut it)),
+            "--device" => flags.device = Some(file_arg("--device", &mut it)),
+            "--device-dir" => flags.device_dir = Some(file_arg("--device-dir", &mut it)),
+            "--list-devices" => flags.list_devices = true,
             _ => rest.push(a),
         }
     }
@@ -115,7 +138,7 @@ fn parse_flags(args: Vec<String>) -> (Flags, Vec<String>) {
 fn write_demo_trace(path: &str) {
     use gpu_arch::{CodeGen, Precision};
     use gpu_sim::{BitFlip, ExecStatus, FaultPlan, RunOptions, SiteClass, Target};
-    let device = gpu_arch::DeviceModel::k40c_sim();
+    let device = gpu_arch::DeviceModel::named("k40c-sim");
     let w = workloads::build(
         workloads::Benchmark::Mxm,
         Precision::Single,
@@ -156,6 +179,26 @@ fn main() {
     let what = args.first().map(String::as_str).unwrap_or("help").to_string();
     let cfg = HarnessConfig::from_env();
 
+    // Device registry: builtins plus any --device-dir overlays; shared by
+    // --list-devices and the `device` command's --device resolution.
+    let mut registry = DeviceRegistry::builtin().clone();
+    if let Some(dir) = &flags.device_dir {
+        if let Err(e) = registry.add_dir(std::path::Path::new(dir), false) {
+            eprintln!("--device-dir {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if flags.list_devices {
+        print!("{}", render::device_list(&registry.summaries()));
+        return;
+    }
+    let device_spec: Option<DeviceSpec> = flags.device.as_ref().map(|token| {
+        registry.resolve_spec(token).unwrap_or_else(|e| {
+            eprintln!("--device {token}: {e}");
+            std::process::exit(1);
+        })
+    });
+
     if let Some(path) = &flags.trace_out {
         write_demo_trace(path);
         if args.is_empty() {
@@ -182,6 +225,7 @@ fn main() {
             }
         });
     let mut gap_set: Option<GapClosure> = None;
+    let mut device_set: Option<DeviceReport> = None;
     let spans = flags.spans_out.as_ref().map(|_| obs::SpanBus::new());
     let publisher = flags.status_dir.as_ref().map(|dir| {
         match obs::SnapshotPublisher::start(dir, std::time::Duration::from_secs(1)) {
@@ -234,6 +278,18 @@ fn main() {
                 print!("{}", render::gap(&set));
                 gap_set = Some(set);
             }
+            "device" => {
+                let Some(spec) = &device_spec else {
+                    eprintln!(
+                        "repro device requires --device <name|path>; \
+                         see --list-devices for the registry"
+                    );
+                    std::process::exit(2);
+                };
+                let report = device_pipeline_observed(spec, &cfg, Some(&mut ctx));
+                print!("{}", render::device_report(&report));
+                device_set = Some(report);
+            }
             "all" => {
                 print!("{}", render::table1(&table1_observed(&cfg, &mut ctx)));
                 println!();
@@ -256,7 +312,8 @@ fn main() {
             }
             _ => {
                 eprintln!(
-                    "usage: repro <table1|fig1|fig3|fig4|fig5|fig6|due|gap|ablate|codegen|convergence|breakdown|all>\n\
+                    "usage: repro <table1|fig1|fig3|fig4|fig5|fig6|due|gap|ablate|codegen|convergence|breakdown|device|all>\n\
+                     \x20      [--device NAME|PATH] [--device-dir DIR] [--list-devices]\n\
                      \x20      [--metrics-out FILE] [--trace-out FILE] [--progress]\n\
                      \x20      [--progress-interval MS] [--checkpoint-dir DIR]\n\
                      \x20      [--spans-out FILE] [--status-dir DIR]\n\
@@ -270,6 +327,11 @@ fn main() {
     // stream, one `{"report":"hidden_gap",...}` line per ladder rung.
     if let Some(set) = &gap_set {
         sink.write_all(set.to_json_lines().as_bytes()).expect("write gap metrics");
+    }
+    // Device comparison rows likewise, one `{"report":"device_row",...}`
+    // line per (code, ECC) point.
+    if let Some(set) = &device_set {
+        sink.write_all(set.to_json_lines().as_bytes()).expect("write device metrics");
     }
     sink.flush().expect("flush metrics");
     if let Some(store) = &store {
@@ -294,6 +356,14 @@ fn main() {
             &std::env::var("REPRO_PROFILE").unwrap_or_else(|_| "quick".to_string()),
         )
         .push_uint("campaigns", campaigns);
+    // Identify the target silicon in the archived run artifact.
+    if let Some(spec) = &device_spec {
+        report
+            .push_str("device", &spec.name)
+            .push_str("device_id", &spec.id)
+            .push_str("device_arch", spec.arch.name())
+            .push_uint("device_sms", spec.sms as u64);
+    }
     if let Some(path) = &flags.metrics_out {
         report.push_str("metrics_out", path);
     }

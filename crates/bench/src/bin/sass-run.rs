@@ -43,7 +43,7 @@ fn main() {
         }
     };
 
-    let mut device = DeviceModel::v100_sim();
+    let mut device = DeviceModel::named("v100-sim");
     let mut grid = 1u32;
     let mut block = 32u32;
     let mut mem_bytes = 4096u32;
@@ -58,8 +58,8 @@ fn main() {
             "--device" => {
                 i += 1;
                 device = match args.get(i).map(String::as_str) {
-                    Some("kepler") => DeviceModel::k40c_sim(),
-                    Some("volta") | None => DeviceModel::v100_sim(),
+                    Some("kepler") => DeviceModel::named("k40c-sim"),
+                    Some("volta") | None => DeviceModel::named("v100-sim"),
                     Some(other) => {
                         eprintln!("unknown device `{other}`");
                         std::process::exit(2);

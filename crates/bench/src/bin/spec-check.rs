@@ -1,0 +1,159 @@
+//! `spec-check` — validate the device-spec corpus and emit the device
+//! matrix.
+//!
+//! ```text
+//! spec-check [DIR]... [--deny-warnings] [--matrix-out FILE]
+//! ```
+//!
+//! Loads every `*.spec` file under each DIR (default: `specs/devices`)
+//! through the full [`gpu_arch::spec`] validation pass and every sibling
+//! `*.xsec` beam-calibration file through [`beam::parse_xsec`], printing
+//! one status line per file. Validation findings are reported with their
+//! field paths (`[sm].fp32_lanes: ...`). `--deny-warnings` fails specs
+//! that validate but warn, so CI keeps the corpus lint-clean.
+//!
+//! After validation, one `{"report":"device_matrix",...}` JSON line per
+//! spec — the stable key/value dump of [`gpu_arch::spec::matrix_row`] —
+//! goes to `--matrix-out FILE` (stdout otherwise), forming the
+//! device-matrix CI artifact.
+//!
+//! Exit status: 0 clean, 1 any validation failure (or any warning under
+//! `--deny-warnings`), 2 usage error.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use gpu_arch::spec::matrix_row;
+use gpu_arch::DeviceSpec;
+
+const USAGE: &str = "usage: spec-check [DIR]... [--deny-warnings] [--matrix-out FILE]";
+
+/// One validated spec plus where it came from, for matrix emission.
+struct Checked {
+    path: PathBuf,
+    spec: DeviceSpec,
+}
+
+fn matrix_line(c: &Checked) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"report\":\"device_matrix\",\"path\":");
+    obs::json::escape_str(&mut out, &c.path.display().to_string());
+    for (key, value) in matrix_row(&c.spec) {
+        out.push(',');
+        obs::json::escape_str(&mut out, key);
+        out.push(':');
+        obs::json::escape_str(&mut out, &value);
+    }
+    out.push('}');
+    out
+}
+
+fn main() {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut deny_warnings = false;
+    let mut matrix_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--matrix-out" => match it.next() {
+                Some(path) => matrix_out = Some(path),
+                None => {
+                    eprintln!("--matrix-out requires a FILE argument\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                std::process::exit(2);
+            }
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    if dirs.is_empty() {
+        dirs.push(PathBuf::from("specs/devices"));
+    }
+
+    let mut failures = 0usize;
+    let mut checked: Vec<Checked> = Vec::new();
+    for dir in &dirs {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("{}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        };
+        let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        paths.sort();
+        for path in paths {
+            match path.extension().and_then(|x| x.to_str()) {
+                Some("spec") => match DeviceSpec::from_file(&path) {
+                    Ok(spec) => {
+                        if !spec.warnings.is_empty() {
+                            for w in &spec.warnings {
+                                println!("{}: warning: {w}", path.display());
+                            }
+                            if deny_warnings {
+                                failures += 1;
+                                println!(
+                                    "{}: FAIL ({} warning(s) denied)",
+                                    path.display(),
+                                    spec.warnings.len()
+                                );
+                                continue;
+                            }
+                        }
+                        println!("{}: ok ({} [{}])", path.display(), spec.name, spec.id);
+                        checked.push(Checked { path, spec });
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        println!("{}: FAIL\n  {e}", path.display());
+                    }
+                },
+                Some("xsec") => {
+                    let text = match std::fs::read_to_string(&path) {
+                        Ok(text) => text,
+                        Err(e) => {
+                            failures += 1;
+                            println!("{}: FAIL ({e})", path.display());
+                            continue;
+                        }
+                    };
+                    match beam::parse_xsec(&text) {
+                        Ok(_) => println!("{}: ok (beam cross-sections)", path.display()),
+                        Err(errors) => {
+                            failures += 1;
+                            println!("{}: FAIL ({} error(s))", path.display(), errors.len());
+                            for e in &errors {
+                                println!("  {e}");
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // The device matrix covers every spec that validated, failures or not
+    // elsewhere in the corpus — CI archives it either way.
+    let mut sink: Box<dyn Write> = match &matrix_out {
+        Some(path) => Box::new(BufWriter::new(File::create(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(2);
+        }))),
+        None => Box::new(std::io::stdout()),
+    };
+    for c in &checked {
+        writeln!(sink, "{}", matrix_line(c)).expect("write device matrix");
+    }
+    sink.flush().expect("flush device matrix");
+
+    if failures > 0 {
+        eprintln!("spec-check: {failures} file(s) failed");
+        std::process::exit(1);
+    }
+}

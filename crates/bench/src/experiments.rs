@@ -6,7 +6,7 @@
 
 use beam::{Beam, BeamResult};
 use campaign::{Budget, Campaign};
-use gpu_arch::{Architecture, CodeGen, DeviceModel, MixCategory, Precision};
+use gpu_arch::{CodeGen, DeviceModel, DeviceSpec, MixCategory, Precision};
 use gpu_sim::Target;
 use injector::{Avf, AvfResult, HiddenClass, HiddenCoverage, Injector};
 use obs::{CampaignObserver, MetricsRegistry, MetricsSnapshot, Progress};
@@ -15,7 +15,7 @@ use prediction::{
     ComparisonRow, PredictOptions, UnitFits,
 };
 use profiler::profile;
-use workloads::{build, kepler_suite, volta_suite, Benchmark, Scale, Workload};
+use workloads::{build, build_with, kepler_suite, volta_suite, Benchmark, Scale, Workload};
 
 /// Campaign sizing for the harness: one [`Budget`] per campaign family.
 ///
@@ -77,7 +77,7 @@ impl HarnessConfig {
 /// The campaign devices: a 1-SM Kepler and a 1-SM Volta (see DESIGN.md on
 /// SM-count scaling).
 pub fn devices() -> (DeviceModel, DeviceModel) {
-    (DeviceModel::k40c_sim(), DeviceModel::v100_sim())
+    (DeviceModel::named("k40c-sim"), DeviceModel::named("v100-sim"))
 }
 
 // -------------------------------------------------------- observability --
@@ -88,16 +88,21 @@ pub fn devices() -> (DeviceModel, DeviceModel) {
 pub struct CampaignObservation {
     /// Campaign label, e.g. `fig4/Kepler/SASSIFI/FMXM`.
     pub campaign: String,
+    /// Resolved device-model name the campaign ran on.
+    pub device: String,
     /// Final metrics: outcome tallies, trials/sec, profile gauges.
     pub snapshot: MetricsSnapshot,
 }
 
 impl CampaignObservation {
-    /// One JSON line: `{"report":"campaign","campaign":...,"metrics":{...}}`.
+    /// One JSON line:
+    /// `{"report":"campaign","campaign":...,"device":...,"metrics":{...}}`.
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(256);
         out.push_str("{\"report\":\"campaign\",\"campaign\":");
         obs::json::escape_str(&mut out, &self.campaign);
+        out.push_str(",\"device\":");
+        obs::json::escape_str(&mut out, &self.device);
         out.push_str(",\"metrics\":");
         out.push_str(&self.snapshot.to_json_line());
         out.push('}');
@@ -137,6 +142,7 @@ impl<'a> ObserveCtx<'a> {
     fn begin_campaign(
         &self,
         label: &str,
+        device: &DeviceModel,
         ceiling: u64,
     ) -> (std::sync::Arc<MetricsRegistry>, Progress) {
         let metrics = std::sync::Arc::new(MetricsRegistry::new());
@@ -145,7 +151,7 @@ impl<'a> ObserveCtx<'a> {
             meter = meter.with_interval(interval);
         }
         if let Some(publisher) = self.publisher {
-            publisher.set_campaign(label, std::sync::Arc::clone(&metrics));
+            publisher.set_campaign(label, device.name.clone(), std::sync::Arc::clone(&metrics));
         }
         (metrics, meter)
     }
@@ -167,6 +173,7 @@ impl<'a> ObserveCtx<'a> {
         }
         (self.observe)(CampaignObservation {
             campaign: label.to_string(),
+            device: device.name.clone(),
             snapshot: metrics.snapshot(),
         });
     }
@@ -189,7 +196,7 @@ fn observed_avf<T: Target + Sync + ?Sized>(
     let Some(ctx) = ctx else {
         return Ok(campaign.run().expect("injection campaign failed"));
     };
-    let (metrics, meter) = ctx.begin_campaign(label, budget.ceiling as u64);
+    let (metrics, meter) = ctx.begin_campaign(label, device, budget.ceiling as u64);
     let mut observer = CampaignObserver::with_metrics(&metrics);
     observer.progress = Some(&meter);
     observer.spans = ctx.spans;
@@ -215,7 +222,7 @@ fn observed_beam<T: Target + Sync + ?Sized>(
     let Some(ctx) = ctx else {
         return campaign.run().expect("beam campaign failed");
     };
-    let (metrics, meter) = ctx.begin_campaign(label, budget.ceiling as u64);
+    let (metrics, meter) = ctx.begin_campaign(label, device, budget.ceiling as u64);
     let mut observer = CampaignObserver::with_metrics(&metrics);
     observer.progress = Some(&meter);
     observer.spans = ctx.spans;
@@ -272,6 +279,7 @@ fn table1_impl(cfg: &HarnessConfig, mut ctx: Option<&mut ObserveCtx<'_>>) -> Vec
                 p.export_metrics(&metrics);
                 (c.observe)(CampaignObservation {
                     campaign: format!("table1/{device_label}/{}", w.name),
+                    device: dm.name.clone(),
                     snapshot: metrics.snapshot(),
                 });
             }
@@ -338,12 +346,11 @@ pub struct Fig3Row {
 
 fn fig3_device(
     device: &DeviceModel,
-    label: &'static str,
-    arch: Architecture,
     cfg: &HarnessConfig,
     mut ctx: Option<&mut ObserveCtx<'_>>,
 ) -> Vec<Fig3Row> {
-    let benches = microbench::suite(arch);
+    let label = device.arch.name();
+    let benches = microbench::suite(device);
     let mut raws: Vec<(String, BeamResult, Option<f64>)> = Vec::new();
     for mb in &benches {
         let is_rf = mb.name == "RF";
@@ -361,11 +368,9 @@ fn fig3_device(
         };
         raws.push((mb.name.clone(), res, per_mb));
     }
-    // Normalization reference: FADD DUE on Kepler, HFMA DUE on Volta.
-    let reference_name = match arch {
-        Architecture::Kepler => "FADD",
-        Architecture::Volta => "HFMA",
-    };
+    // Normalization reference from the device spec: FADD DUE on Kepler,
+    // HFMA DUE on Volta/Ampere.
+    let reference_name = device.caps.fig3_reference.as_str();
     let reference = raws
         .iter()
         .find(|(n, _, _)| n == reference_name)
@@ -400,8 +405,8 @@ pub fn fig3_observed(cfg: &HarnessConfig, ctx: &mut ObserveCtx<'_>) -> Vec<Fig3R
 
 fn fig3_impl(cfg: &HarnessConfig, mut ctx: Option<&mut ObserveCtx<'_>>) -> Vec<Fig3Row> {
     let (kepler, volta) = devices();
-    let mut rows = fig3_device(&kepler, "Kepler", Architecture::Kepler, cfg, ctx.as_deref_mut());
-    rows.extend(fig3_device(&volta, "Volta", Architecture::Volta, cfg, ctx));
+    let mut rows = fig3_device(&kepler, cfg, ctx.as_deref_mut());
+    rows.extend(fig3_device(&volta, cfg, ctx));
     rows
 }
 
@@ -737,10 +742,8 @@ pub fn fig6(cfg: &HarnessConfig) -> ComparisonSet {
 
     // 1. Characterize the functional units on both devices (Figure 3 data
     //    in usable form).
-    let kepler_units =
-        characterize_units(&kepler, &microbench::suite(Architecture::Kepler), &char_cfg);
-    let volta_units =
-        characterize_units(&volta, &microbench::suite(Architecture::Volta), &char_cfg);
+    let kepler_units = characterize_units(&kepler, &microbench::suite(&kepler), &char_cfg);
+    let volta_units = characterize_units(&volta, &microbench::suite(&volta), &char_cfg);
 
     // 2. AVF banks.
     let mut bank = AvfBank {
@@ -959,7 +962,7 @@ pub fn hidden_gap_closure(cfg: &HarnessConfig) -> GapClosure {
     let (_, volta) = devices();
     let char_cfg =
         CharacterizeConfig { beam: cfg.bench_beam.clone(), injection: cfg.bench_injection.clone() };
-    let units = characterize_units(&volta, &microbench::suite(Architecture::Volta), &char_cfg);
+    let units = characterize_units(&volta, &microbench::suite(&volta), &char_cfg);
     let rates = beam::characterize_hidden(&volta, cfg.beam.ceiling, cfg.beam.seed);
     let ladder = coverage_ladder();
 
@@ -996,6 +999,156 @@ pub fn hidden_gap_closure(cfg: &HarnessConfig) -> GapClosure {
         }
     }
     GapClosure { rows, levels: ladder.len() }
+}
+
+// -------------------------------------------- spec-driven device run --
+
+/// One workload's beam-vs-prediction comparison from a spec-resolved
+/// device run (the hidden DUE term is always included at full coverage).
+#[derive(Clone, Debug)]
+pub struct DeviceRow {
+    /// Workload name.
+    pub name: String,
+    /// ECC state of the comparison.
+    pub ecc: bool,
+    /// AVF source series.
+    pub injector: Injector,
+    /// The comparison itself.
+    pub row: ComparisonRow,
+}
+
+/// The full-pipeline report for an arbitrary device resolved from the
+/// registry or a user spec file (`repro device --device <name|path>`).
+#[derive(Clone, Debug)]
+pub struct DeviceReport {
+    /// Registry id of the spec the run resolved.
+    pub id: String,
+    /// Marketing name of the board the spec describes.
+    pub device: String,
+    /// Architecture generation name.
+    pub arch: String,
+    /// SM count of the full board (campaigns run the 1-SM variant).
+    pub sms: u32,
+    /// Measured functional-unit FITs on this device.
+    pub units: UnitFits,
+    /// Per-code comparisons, ECC states in spec-capability order.
+    pub rows: Vec<DeviceRow>,
+}
+
+impl DeviceReport {
+    /// One JSON line per comparison (`{"report":"device_row",...}`), for
+    /// the metrics stream / CI device artifact.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::with_capacity(self.rows.len() * 200);
+        for r in &self.rows {
+            out.push_str("{\"report\":\"device_row\",\"id\":");
+            obs::json::escape_str(&mut out, &self.id);
+            out.push_str(",\"device\":");
+            obs::json::escape_str(&mut out, &self.device);
+            out.push_str(",\"arch\":");
+            obs::json::escape_str(&mut out, &self.arch);
+            out.push_str(",\"code\":");
+            obs::json::escape_str(&mut out, &r.name);
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    ",\"ecc\":{},\"injector\":\"{}\",\"measured_sdc\":{},\
+                     \"predicted_sdc\":{},\"sdc_ratio\":{},\"measured_due\":{},\
+                     \"predicted_due\":{},\"predicted_hidden_due\":{}}}\n",
+                    r.ecc,
+                    r.injector,
+                    r.row.measured_sdc,
+                    r.row.predicted_sdc,
+                    r.row.sdc_ratio,
+                    r.row.measured_due,
+                    r.row.predicted_due,
+                    r.row.predicted_hidden_due
+                ),
+            );
+        }
+        out
+    }
+}
+
+/// The codes a spec-driven device run compares (one dense arithmetic
+/// kernel, one stencil, one irregular molecular-dynamics kernel).
+fn device_suite() -> [Benchmark; 3] {
+    [Benchmark::Mxm, Benchmark::Hotspot, Benchmark::Lava]
+}
+
+/// Run the paper's whole methodology — unit characterization, register
+/// AVF, hidden-resource calibration + injection, beam exposure,
+/// prediction — on one spec-resolved device and report Figure 6-style
+/// comparison rows. Everything downstream of the spec is table-driven:
+/// workloads build with the spec's codegen-quirk profile, the injector
+/// follows the spec's tooling capability (SASSIFI where supported,
+/// NVBitFI otherwise), and beam campaigns run only the ECC states the
+/// board can actually be put in.
+pub fn device_pipeline(spec: &DeviceSpec, cfg: &HarnessConfig) -> DeviceReport {
+    device_pipeline_observed(spec, cfg, None)
+}
+
+/// [`device_pipeline`] with the observation hooks of the other
+/// `*_observed` experiments.
+pub fn device_pipeline_observed(
+    spec: &DeviceSpec,
+    cfg: &HarnessConfig,
+    mut ctx: Option<&mut ObserveCtx<'_>>,
+) -> DeviceReport {
+    // Campaigns run the derived single-SM variant (see DESIGN.md on
+    // SM-count scaling); the report carries the full board's identity.
+    let device = spec.sim_model();
+    let char_cfg =
+        CharacterizeConfig { beam: cfg.bench_beam.clone(), injection: cfg.bench_injection.clone() };
+    let units = characterize_units(&device, &microbench::suite(&device), &char_cfg);
+    let rates = beam::characterize_hidden(&device, cfg.beam.ceiling, cfg.beam.seed);
+    let codegen = spec.codegen_profile();
+    let injector_kind = if spec.sassifi { Injector::Sassifi } else { Injector::NvBitFi };
+    let ecc_states: &[bool] = if spec.ecc_toggle { &[false, true] } else { &[true] };
+
+    let mut rows = Vec::new();
+    for bench in device_suite() {
+        let w = build_with(bench, Precision::Single, &codegen, cfg.scale);
+        let prof = profile(&w, &device);
+        let feet = memory_footprint(&w, &device, &prof);
+        let avf = observed_avf(
+            &format!("device/{}/{}", spec.id, w.name),
+            injector_kind,
+            &w,
+            &device,
+            &cfg.injection,
+            ctx.as_deref_mut(),
+        )
+        .expect("spec-selected injector rejected its own device");
+        let breakdown = injector::measure_hidden_breakdown(&w, &device, &cfg.injection);
+        let term = predict_hidden(&prof, &rates, &breakdown, HiddenCoverage::full());
+        for &ecc in ecc_states {
+            let measured = observed_beam(
+                &format!("device/{}/{}/ecc-{}", spec.id, w.name, if ecc { "on" } else { "off" }),
+                &w,
+                &device,
+                ecc,
+                &cfg.beam,
+                ctx.as_deref_mut(),
+            );
+            let pred = predict(&prof, &avf, &units, &feet, &PredictOptions { ecc, use_phi: true })
+                .with_hidden(&term);
+            rows.push(DeviceRow {
+                name: w.name.clone(),
+                ecc,
+                injector: injector_kind,
+                row: compare(&w.name, &measured, &pred),
+            });
+        }
+    }
+    DeviceReport {
+        id: spec.id.clone(),
+        device: spec.name.clone(),
+        arch: spec.arch.name().to_string(),
+        sms: spec.sms,
+        units,
+        rows,
+    }
 }
 
 // ------------------------------------------- compiler-generation study --

@@ -10,8 +10,9 @@ pub mod render;
 
 pub use campaign::Budget;
 pub use experiments::{
-    avf_breakdown, codegen_comparison, convergence, due_analysis, fig1, fig3, fig3_observed, fig4,
-    fig4_observed, fig5, fig5_observed, fig6, hidden_gap_closure, table1, table1_observed, AvfRow,
-    BeamRow, BreakdownRow, CampaignObservation, CodegenRow, ComparisonSet, ConvergenceRow, Fig3Row,
-    GapClosure, GapRow, HarnessConfig, MixRow, ObserveCtx, ProfileRow,
+    avf_breakdown, codegen_comparison, convergence, device_pipeline, device_pipeline_observed,
+    due_analysis, fig1, fig3, fig3_observed, fig4, fig4_observed, fig5, fig5_observed, fig6,
+    hidden_gap_closure, table1, table1_observed, AvfRow, BeamRow, BreakdownRow,
+    CampaignObservation, CodegenRow, ComparisonSet, ConvergenceRow, DeviceReport, DeviceRow,
+    Fig3Row, GapClosure, GapRow, HarnessConfig, MixRow, ObserveCtx, ProfileRow,
 };

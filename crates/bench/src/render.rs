@@ -1,8 +1,10 @@
 //! Textual rendering of the experiment results: the same rows/series the
 //! paper's tables and figures report.
 
-use crate::experiments::{AvfRow, BeamRow, ComparisonSet, DueSummary, Fig3Row, MixRow, ProfileRow};
-use gpu_arch::MixCategory;
+use crate::experiments::{
+    AvfRow, BeamRow, ComparisonSet, DeviceReport, DueSummary, Fig3Row, MixRow, ProfileRow,
+};
+use gpu_arch::{DeviceSummary, MixCategory};
 use injector::Injector;
 use std::fmt::Write;
 
@@ -239,6 +241,65 @@ pub fn gap(set: &crate::experiments::GapClosure) -> String {
          orders-of-magnitude DUE underestimation; each rung adds hidden\n\
          scheduler/fetch/memory-path coverage and closes a share of the gap.)"
     );
+    out
+}
+
+/// Render the device registry listing (`repro --list-devices`).
+pub fn device_list(rows: &[DeviceSummary]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Device registry ({} specs)", rows.len());
+    let _ = writeln!(out, "{:-<76}", "");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<20} {:<8} {:>4} {:<12} {:<14}",
+        "id", "name", "arch", "SMs", "ECC", "process"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<20} {:<8} {:>4} {:<12} {:<14}{}",
+            r.id,
+            r.name,
+            r.arch.name(),
+            r.sms,
+            if r.ecc_toggle { "toggleable" } else { "none" },
+            r.process_node,
+            if r.warnings > 0 { format!("  ({} warnings)", r.warnings) } else { String::new() }
+        );
+    }
+    out
+}
+
+/// Render a spec-driven device pipeline run (`repro device`).
+pub fn device_report(r: &DeviceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Device pipeline: {} [{}] ({}, {} SMs; campaigns on the 1-SM variant)",
+        r.device, r.id, r.arch, r.sms
+    );
+    let _ = writeln!(out, "  beam-measured vs predicted FIT; hidden DUE term at full coverage");
+    let _ = writeln!(out, "{:-<92}", "");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<4} {:<8} {:>11} {:>11} {:>7} {:>11} {:>11} {:>7}",
+        "Code", "ECC", "AVF src", "beam SDC", "pred SDC", "ratio", "beam DUE", "pred DUE", "gap"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<4} {:<8} {:>11.3e} {:>11.3e} {:>+7.1} {:>11.3e} {:>11.3e} {:>6.1}x",
+            row.name,
+            if row.ecc { "ON" } else { "OFF" },
+            row.injector.to_string(),
+            row.row.measured_sdc,
+            row.row.predicted_sdc,
+            row.row.sdc_ratio,
+            row.row.measured_due,
+            row.row.predicted_due,
+            row.row.due_underestimation
+        );
+    }
     out
 }
 

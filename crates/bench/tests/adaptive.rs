@@ -18,7 +18,7 @@ fn achieved_half_width(counts: &stats::OutcomeCounts, trials: u64) -> f64 {
 #[test]
 #[ignore = "probe: prints per-workload AVF skew, run with --nocapture"]
 fn probe_workload_skew() {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     for bench in [
         Benchmark::Mxm,
         Benchmark::Hotspot,
@@ -47,7 +47,7 @@ fn probe_workload_skew() {
 
 #[test]
 fn adaptive_budget_matches_fixed_ci_with_fewer_trials() {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Nw, Precision::Int32, CodeGen::Cuda10, Scale::Tiny);
 
     // Fixed quick-profile budget: always spends the full 400 trials,
@@ -84,7 +84,7 @@ fn adaptive_budget_matches_fixed_ci_with_fewer_trials() {
 #[test]
 #[ignore = "paper-scale variant of the efficiency claim (minutes)"]
 fn adaptive_budget_is_cheaper_at_full_scale() {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Nw, Precision::Int32, CodeGen::Cuda10, Scale::Small);
 
     let (_, fixed) = Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)

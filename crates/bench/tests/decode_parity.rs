@@ -35,7 +35,7 @@ fn digest_u64s(vals: impl IntoIterator<Item = u64>) -> u64 {
 
 #[test]
 fn campaign_tallies_pinned_mxm_sassifi_k40c() {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
     let (result, run) = Campaign::new(Avf::new(Injector::Sassifi), &w, &device)
         .budget(Budget::fixed(160).seed(12021))
@@ -53,7 +53,7 @@ fn campaign_tallies_pinned_mxm_sassifi_k40c() {
 
 #[test]
 fn campaign_tallies_pinned_hotspot_nvbitfi_v100() {
-    let device = DeviceModel::v100_sim();
+    let device = DeviceModel::named("v100-sim");
     let w = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
     let (result, run) = Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)
         .budget(Budget::fixed(160).seed(12021))
@@ -75,7 +75,7 @@ fn campaign_tallies_pinned_hotspot_nvbitfi_v100() {
 /// tally and fails this pin.
 #[test]
 fn pruned_campaign_tallies_pinned_hotspot_nvbitfi_v100_any_workers() {
-    let device = DeviceModel::v100_sim();
+    let device = DeviceModel::named("v100-sim");
     let w = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
     for workers in [1usize, 4] {
         let (result, run) = Campaign::new(Avf::new_pruned(Injector::NvBitFi), &w, &device)
@@ -103,7 +103,7 @@ fn pruned_campaign_tallies_pinned_hotspot_nvbitfi_v100_any_workers() {
 /// workers to prove the resume path doesn't break it).
 #[test]
 fn campaign_tallies_identical_snapshots_on_or_off_any_workers() {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
     let policies = [
         SnapshotPolicy::Off,
@@ -136,7 +136,7 @@ fn campaign_tallies_identical_snapshots_on_or_off_any_workers() {
 /// bug in any of the six hidden fault families shifts a tally here.
 #[test]
 fn hidden_campaign_tallies_pinned_any_workers_snapshots_on_or_off() {
-    let device = DeviceModel::v100_sim();
+    let device = DeviceModel::named("v100-sim");
     let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
     let policies = [SnapshotPolicy::Off, SnapshotPolicy::Auto, SnapshotPolicy::Every(1000)];
     for policy in policies {
@@ -162,7 +162,7 @@ fn hidden_campaign_tallies_pinned_any_workers_snapshots_on_or_off() {
 /// execution.
 #[test]
 fn golden_digests_identical_with_and_without_snapshots() {
-    let device = DeviceModel::v100_sim();
+    let device = DeviceModel::named("v100-sim");
     let w = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
     let plain = w.execute(&device, &RunOptions::golden().record_sites(true));
     for stride in [512u64, 4096] {
@@ -186,13 +186,13 @@ fn golden_counts_and_sites_record_pinned() {
         (
             "mxm_f32_tiny/k40c",
             build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny),
-            DeviceModel::k40c_sim(),
+            DeviceModel::named("k40c-sim"),
             (57344u64, 14446947560695722350u64, 48640u64, 17686690349316740165u64),
         ),
         (
             "hotspot_f16_tiny/v100",
             build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny),
-            DeviceModel::v100_sim(),
+            DeviceModel::named("v100-sim"),
             (5184u64, 2033849798692785799u64, 4544u64, 8827934939734633225u64),
         ),
     ];

@@ -104,7 +104,7 @@ fn seeded_bug_fixtures_are_detected() {
 /// no simulated DUE inside the store stratum.
 #[test]
 fn pruned_avf_campaigns_statically_resolve_thirty_percent() {
-    let device = DeviceModel::v100_sim();
+    let device = DeviceModel::named("v100-sim");
     let budget = || Budget::fixed(300).seed(7);
     let mut best = 0.0f64;
     for (bench, precision) in

@@ -1,0 +1,102 @@
+//! Registry-built campaign pins for the device-spec layer.
+//!
+//! `gpu_arch::spec` replaced the hand-written device constructors with
+//! validated spec files compiled to the same models. That refactor is
+//! only sound if a campaign built entirely from the registry — device
+//! resolved by token, workload built with the spec's codegen-quirk
+//! profile — is *bit-identical* to the pre-spec pipeline: same RNG draw
+//! order, same tallies, same golden digests. These tests pin the same
+//! concrete values as `decode_parity.rs` (captured on the seed revision)
+//! against the registry path, so a spec-file edit that silently shifts
+//! behavior fails loudly.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::Path;
+
+use campaign::{Budget, Campaign};
+use gpu_arch::{DeviceRegistry, Precision};
+use gpu_sim::{RunOptions, Target};
+use injector::{Avf, Injector};
+use workloads::{build_with, Benchmark, Scale};
+
+#[test]
+fn registry_built_campaign_reproduces_pinned_k40c_tallies() {
+    let registry = DeviceRegistry::builtin();
+    let spec = registry.resolve_spec("k40c").unwrap();
+    let device = registry.resolve("k40c-sim").unwrap();
+    // The spec's default era is CUDA 7; the quirk profile must generate
+    // the identical kernel the old `CodeGen::Cuda7` match arms did.
+    let w = build_with(Benchmark::Mxm, Precision::Single, &spec.codegen_profile(), Scale::Tiny);
+    let (result, run) = Campaign::new(Avf::new(Injector::Sassifi), &w, &device)
+        .budget(Budget::fixed(160).seed(12021))
+        .run_full()
+        .unwrap();
+    assert_eq!(run.trials, 160);
+    assert_eq!(
+        (result.counts.sdc, result.counts.due, result.counts.masked),
+        (103, 39, 18),
+        "registry-built campaign drifted from the pinned pre-spec tallies \
+         (Sassifi/k40c/mxm_f32_tiny seed 12021)"
+    );
+}
+
+#[test]
+fn registry_built_campaign_reproduces_pinned_v100_tallies() {
+    let registry = DeviceRegistry::builtin();
+    let spec = registry.resolve_spec("v100").unwrap();
+    let device = registry.resolve("v100-sim").unwrap();
+    let w = build_with(Benchmark::Hotspot, Precision::Half, &spec.codegen_profile(), Scale::Tiny);
+    let (result, run) = Campaign::new(Avf::new(Injector::NvBitFi), &w, &device)
+        .budget(Budget::fixed(160).seed(12021))
+        .run_full()
+        .unwrap();
+    assert_eq!(run.trials, 160);
+    assert_eq!(
+        (result.counts.sdc, result.counts.due, result.counts.masked),
+        (52, 66, 42),
+        "registry-built campaign drifted from the pinned pre-spec tallies \
+         (NvBitFi/v100/hotspot_f16_tiny seed 12021)"
+    );
+}
+
+/// A spec resolved *from its file on disk* (the `--device PATH` route)
+/// drives the golden engine to the same pinned digests as the registry
+/// id — file parsing, validation, and model compilation are all on the
+/// campaign-critical path here.
+#[test]
+fn file_resolved_spec_reproduces_pinned_golden_counts() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let registry = DeviceRegistry::builtin();
+    let spec =
+        registry.resolve_spec(root.join("specs/devices/k40c.spec").to_str().unwrap()).unwrap();
+    let device = spec.sim_model();
+    let w = build_with(Benchmark::Mxm, Precision::Single, &spec.codegen_profile(), Scale::Tiny);
+    let run = w.execute(&device, &RunOptions::golden().record_sites(true));
+    // Same pins as decode_parity::golden_counts_and_sites_record_pinned.
+    assert_eq!(run.counts.total, 57344, "golden dynamic-instruction count drifted");
+    assert_eq!(
+        run.sites_record.as_ref().unwrap().site_pcs.len(),
+        48640,
+        "golden injectable-site population drifted"
+    );
+}
+
+/// `-sim` tokens resolve to the single-SM campaign variant with the
+/// full board's identity preserved in the name.
+#[test]
+fn sim_tokens_resolve_to_campaign_variants() {
+    let registry = DeviceRegistry::builtin();
+    for id in ["k40c", "v100", "titan-v", "a100"] {
+        let full = registry.resolve(id).unwrap();
+        let sim = registry.resolve(&format!("{id}-sim")).unwrap();
+        assert_eq!(sim.sms, 1, "{id}-sim is not a 1-SM variant");
+        assert!(full.sms > 1, "{id} full board lost its SM count");
+        assert!(
+            sim.name.starts_with(&full.name),
+            "{id}-sim name {:?} does not carry the board name {:?}",
+            sim.name,
+            full.name
+        );
+    }
+}

@@ -16,7 +16,7 @@ use workloads::{build, Benchmark, Scale, Workload};
 fn hhotspot() -> (Workload, DeviceModel) {
     let w = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
     assert_eq!(w.name, "HHOTSPOT");
-    (w, DeviceModel::v100_sim())
+    (w, DeviceModel::named("v100-sim"))
 }
 
 fn run_campaign(

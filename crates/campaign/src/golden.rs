@@ -69,7 +69,7 @@ impl GoldenRequest {
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct GoldenKey {
     target: String,
-    device: &'static str,
+    device: String,
     ecc: bool,
     kernel_len: usize,
     grid: u64,
@@ -119,7 +119,7 @@ fn key<T: Target + ?Sized>(target: &T, device: &DeviceModel, req: GoldenRequest)
     let launch = target.launch();
     GoldenKey {
         target: target.name().to_string(),
-        device: device.name,
+        device: device.name.clone(),
         ecc: req.ecc,
         kernel_len: target.kernel().len(),
         grid: launch.grid.count(),
@@ -248,7 +248,7 @@ mod tests {
 
     #[test]
     fn second_fetch_hits_and_shares_the_run() {
-        let device = DeviceModel::k40c_sim();
+        let device = DeviceModel::named("k40c-sim");
         let target = microbench::arith(FunctionalUnit::Iadd);
         let (first, hit_a) = fetch(&target, &device, GoldenRequest::new(false)).unwrap();
         let (second, hit_b) = fetch(&target, &device, GoldenRequest::new(false)).unwrap();
@@ -262,7 +262,7 @@ mod tests {
 
     #[test]
     fn recorded_fetch_carries_provenance_and_serves_plain_fetches() {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let target = microbench::arith(FunctionalUnit::Ffma);
         let req = GoldenRequest::new(false).record_sites(true);
         let (rec, hit) = fetch(&target, &device, req).unwrap();
@@ -283,7 +283,7 @@ mod tests {
 
     #[test]
     fn snapshot_fetch_needs_exact_stride_but_serves_plain() {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let target = microbench::arith(FunctionalUnit::Fmul);
         let (snap, hit) = fetch(&target, &device, GoldenRequest::new(false).snapshots(64)).unwrap();
         assert!(!hit);

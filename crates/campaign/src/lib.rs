@@ -48,7 +48,7 @@
 //!     }
 //! }
 //!
-//! let device = DeviceModel::k40c_sim();
+//! let device = DeviceModel::named("k40c-sim");
 //! let target = microbench::arith(gpu_arch::FunctionalUnit::Iadd);
 //! let sdc = Campaign::new(CoinFlip, &target, &device)
 //!     .budget(Budget::adaptive(64, 512, 0.05).seed(7))

@@ -60,7 +60,7 @@ impl<T: Target + Sync + ?Sized> Kind<T> for Bernoulli {
 }
 
 fn run(kind: Bernoulli, budget: Budget, workers: usize) -> CampaignRun {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let target = microbench::arith(FunctionalUnit::Iadd);
     Campaign::new(kind, &target, &device)
         .budget(budget)

@@ -111,7 +111,7 @@ impl<T: Target + Sync + ?Sized> Kind<T> for ChaosKind {
 }
 
 fn chaos_run(panics: u32, workers: usize) -> CampaignRun {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let target = ChaosTarget::new(microbench::arith(gpu_arch::FunctionalUnit::Iadd), panics);
     Campaign::new(ChaosKind { chaos_trial: 37 }, &target, &device)
         .budget(Budget::fixed(96).seed(11).shard_size(16))
@@ -206,7 +206,7 @@ fn scratch_dir(tag: &str) -> PathBuf {
 
 #[test]
 fn kill_at_shard_boundary_and_resume_is_bit_identical() {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let target = microbench::arith(gpu_arch::FunctionalUnit::Iadd);
     let budget = Budget::fixed(320).seed(23).shard_size(32);
 
@@ -267,7 +267,7 @@ fn kill_at_shard_boundary_and_resume_is_bit_identical() {
 
 #[test]
 fn store_resume_is_a_noop_on_a_finished_campaign() {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let target = microbench::arith(gpu_arch::FunctionalUnit::Iadd);
     let budget = Budget::fixed(96).seed(5).shard_size(32);
     let dir = scratch_dir("noop");
@@ -373,7 +373,7 @@ impl<T: Target + Sync + ?Sized> Kind<T> for SpinKind {
 
 #[test]
 fn wall_clock_watchdog_reaps_infinite_loop_as_host_watchdog_due() {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let target = SpinTarget::new();
     let wall = Duration::from_millis(40);
     // The dynamic-instruction watchdog is pushed out of the way so only
@@ -411,7 +411,7 @@ fn wall_clock_watchdog_reaps_infinite_loop_as_host_watchdog_due() {
 fn unarmed_wall_watchdog_leaves_spin_kernel_to_dyn_watchdog() {
     // With only the (default) dyn-instruction watchdog, the same fault
     // is still caught — as a deterministic simulator watchdog DUE.
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let target = SpinTarget::new();
     let metrics = MetricsRegistry::new();
     let run = Campaign::new(SpinKind, &target, &device)

@@ -1,4 +1,13 @@
-//! Device models: Kepler (Tesla K40c) and Volta (Tesla V100 / Titan V).
+//! Device models: architecture generations, capability tables, and the
+//! compiled [`DeviceModel`] every engine layer consumes.
+//!
+//! Models are **data**: the built-in boards (Tesla K40c, Tesla V100,
+//! Titan V, NVIDIA A100) are declarative spec files under
+//! `specs/devices/` compiled through [`crate::spec::DeviceSpec`]; the
+//! deprecated hand-coded constructors remain only as the parity oracle
+//! the spec layer is tested against.
+
+use std::fmt;
 
 use crate::op::FunctionalUnit;
 use crate::WARP_SIZE;
@@ -12,6 +21,36 @@ pub enum Architecture {
     /// Volta (GV100, 16 nm FinFET). Dedicated INT32 cores, FP16 at 2x FP32
     /// rate, 8 tensor cores per SM.
     Volta,
+    /// Ampere (GA100-class, 7 nm FinFET). Volta-like lane mix with fewer
+    /// but wider third-generation tensor cores.
+    Ampere,
+}
+
+impl Architecture {
+    /// Display name ("Kepler", "Volta", "Ampere").
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::Kepler => "Kepler",
+            Architecture::Volta => "Volta",
+            Architecture::Ampere => "Ampere",
+        }
+    }
+
+    /// Parse a spec-file token (case-insensitive).
+    pub fn parse(token: &str) -> Option<Architecture> {
+        match token.to_ascii_lowercase().as_str() {
+            "kepler" => Some(Architecture::Kepler),
+            "volta" => Some(Architecture::Volta),
+            "ampere" => Some(Architecture::Ampere),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// ECC configuration for the on-chip memories (register file, shared
@@ -31,8 +70,9 @@ pub enum EccMode {
 /// (Section VI); the different back-end optimizers generate different SASS
 /// for the same source, which the paper identifies as the main driver of
 /// the ~18% average AVF difference between the two injectors. Our workload
-/// generators consult this to pick codegen variants (unrolling,
-/// dead-code elimination, loop-invariant code motion).
+/// generators consult the [`CodeGenProfile`] derived from this to pick
+/// codegen variants (unrolling, dead-code elimination, loop-invariant
+/// code motion).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CodeGen {
     /// CUDA 7-era back end: less unrolling, more redundant moves, no
@@ -43,11 +83,107 @@ pub enum CodeGen {
     Cuda10,
 }
 
+impl CodeGen {
+    /// Spec-file token ("cuda7", "cuda10").
+    pub fn token(self) -> &'static str {
+        match self {
+            CodeGen::Cuda7 => "cuda7",
+            CodeGen::Cuda10 => "cuda10",
+        }
+    }
+
+    /// Parse a spec-file token (case-insensitive).
+    pub fn parse(token: &str) -> Option<CodeGen> {
+        match token.to_ascii_lowercase().as_str() {
+            "cuda7" => Some(CodeGen::Cuda7),
+            "cuda10" => Some(CodeGen::Cuda10),
+            _ => None,
+        }
+    }
+
+    /// The quirk table this toolchain era branches the workload
+    /// generators with. Device specs may override individual knobs
+    /// through their `[quirks]` section.
+    pub fn profile(self) -> CodeGenProfile {
+        match self {
+            CodeGen::Cuda7 => CodeGenProfile {
+                era: self,
+                mxm_unroll: 1,
+                licm: false,
+                redundant_moves: true,
+                strength_reduce: false,
+                gemm_reserve_regs: Some(248),
+                lava_reserve_regs: 48,
+            },
+            CodeGen::Cuda10 => CodeGenProfile {
+                era: self,
+                mxm_unroll: 4,
+                licm: true,
+                redundant_moves: false,
+                strength_reduce: true,
+                gemm_reserve_regs: None,
+                lava_reserve_regs: 255,
+            },
+        }
+    }
+}
+
+/// The codegen-quirk knobs the workload generators branch on: what used
+/// to be scattered `match codegen { Cuda7 => ..., Cuda10 => ... }` arms
+/// is now one table, derived from [`CodeGen::profile`] and overridable
+/// per device spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodeGenProfile {
+    /// The toolchain era this profile models (recorded on built
+    /// workloads; SASSIFI can only instrument [`CodeGen::Cuda7`]
+    /// binaries).
+    pub era: CodeGen,
+    /// Inner-loop unroll factor of the MxM body (CUDA 10's back end
+    /// unrolls 4x; CUDA 7 leaves the loop rolled).
+    pub mxm_unroll: u32,
+    /// Loop-invariant code motion: hoist invariant address arithmetic
+    /// out of stencil loops.
+    pub licm: bool,
+    /// Emit the redundant register moves older back ends leave behind
+    /// (low-AVF filler instructions).
+    pub redundant_moves: bool,
+    /// Strength-reduce row/column index math into running pointers.
+    pub strength_reduce: bool,
+    /// Register reservation the era's GEMM library kernel requests;
+    /// `None` picks the per-precision tuned footprints of the newer
+    /// toolchains.
+    pub gemm_reserve_regs: Option<u16>,
+    /// Register reservation of the LavaMD kernel (CUDA 7 spills at 48;
+    /// CUDA 10 keeps the full 255-register footprint live).
+    pub lava_reserve_regs: u16,
+}
+
+/// Per-device capability table compiled from the spec: everything the
+/// tree used to decide by matching on [`Architecture`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceCaps {
+    /// Whether SASSIFI can instrument binaries for this device (CUDA 7
+    /// toolchains stopped before Volta).
+    pub sassifi: bool,
+    /// The toolchain era binaries for this device are built with by
+    /// default.
+    pub default_codegen: CodeGen,
+    /// The micro-benchmark whose beam FIT anchors the Figure 3
+    /// normalized axis for this device ("FADD" on Kepler, "HFMA" on
+    /// Volta-class parts).
+    pub fig3_reference: String,
+    /// The arithmetic/MMA micro-benchmark suite of this device, in
+    /// Figure 3 axis order (LDST and RF are always appended by the
+    /// suite builder). Kepler's list deliberately omits its FP64 pipes:
+    /// the paper characterized none of them.
+    pub bench_units: Vec<FunctionalUnit>,
+}
+
 /// A GPU device configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DeviceModel {
     /// Marketing name.
-    pub name: &'static str,
+    pub name: String,
     /// Architecture generation.
     pub arch: Architecture,
     /// Streaming multiprocessors.
@@ -67,6 +203,9 @@ pub struct DeviceModel {
     pub fp16_lanes: u32,
     /// Tensor cores per SM.
     pub tensor_cores: u32,
+    /// MMA lanes per tensor core (32 on Volta; Ampere's third-generation
+    /// cores are 4x wider).
+    pub tensor_core_width: u32,
     /// Load/store units per SM.
     pub ldst_units: u32,
     /// Register file bytes per SM (32-bit registers x 4 bytes).
@@ -86,13 +225,67 @@ pub struct DeviceModel {
     pub sram_bit_sensitivity: f64,
     /// Whether ECC can be toggled by the user.
     pub ecc_capable: bool,
+    /// Spec-driven capability table (injector support, codegen era,
+    /// micro-benchmark suite).
+    pub caps: DeviceCaps,
+}
+
+fn kepler_caps() -> DeviceCaps {
+    use FunctionalUnit::*;
+    DeviceCaps {
+        sassifi: true,
+        default_codegen: CodeGen::Cuda7,
+        fig3_reference: "FADD".to_string(),
+        bench_units: vec![Fadd, Fmul, Ffma, Iadd, Imul, Imad],
+    }
+}
+
+fn volta_caps() -> DeviceCaps {
+    use FunctionalUnit::*;
+    DeviceCaps {
+        sassifi: false,
+        default_codegen: CodeGen::Cuda10,
+        fig3_reference: "HFMA".to_string(),
+        bench_units: vec![
+            Hadd, Hmul, Hfma, Fadd, Fmul, Ffma, Dadd, Dmul, Dfma, Iadd, Imul, Imad, Hmma, Fmma,
+        ],
+    }
 }
 
 impl DeviceModel {
+    /// Look a device model up by registry id: the built-in ids are
+    /// `k40c`, `v100`, `titan-v`, `a100` plus their single-SM campaign
+    /// variants `k40c-sim`, `v100-sim`, `titan-v-sim`, `a100-sim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not in the built-in registry; use
+    /// [`crate::spec::DeviceRegistry`] for fallible lookup and for specs
+    /// loaded from disk.
+    pub fn named(id: &str) -> DeviceModel {
+        crate::spec::DeviceRegistry::builtin().model(id).unwrap_or_else(|| {
+            panic!(
+                "unknown device id {id:?}; built-in ids: {}",
+                crate::spec::DeviceRegistry::builtin().ids().join(", ")
+            )
+        })
+    }
+
+    /// The single-SM campaign variant of this model: identical per-SM
+    /// microarchitecture scaled to one SM so laptop-scale problem sizes
+    /// still reach realistic occupancies. FIT rates scale linearly with
+    /// SM count, and every figure is reported in arbitrary units, so the
+    /// scaling cancels (see DESIGN.md).
+    pub fn sim_variant(&self) -> DeviceModel {
+        DeviceModel { name: format!("{} (1-SM sim)", self.name), sms: 1, ..self.clone() }
+    }
+
     /// The Tesla K40c used in the paper: 15 SMs x 192 CUDA cores = 2 880.
+    #[deprecated(note = "device models are spec data now; use \
+                         DeviceModel::named(\"k40c\") or spec::DeviceRegistry")]
     pub fn k40c() -> DeviceModel {
         DeviceModel {
-            name: "Tesla K40c",
+            name: "Tesla K40c".to_string(),
             arch: Architecture::Kepler,
             sms: 15,
             schedulers_per_sm: 4,
@@ -102,6 +295,7 @@ impl DeviceModel {
             int32_lanes: 0, // INT executes on the FP32 pipes
             fp16_lanes: 0,
             tensor_cores: 0,
+            tensor_core_width: 32,
             ldst_units: 32,
             rf_bytes_per_sm: 256 * 1024,
             shared_bytes_per_sm: 48 * 1024,
@@ -110,14 +304,17 @@ impl DeviceModel {
             clock_hz: 745e6,
             sram_bit_sensitivity: 10.0,
             ecc_capable: true,
+            caps: kepler_caps(),
         }
     }
 
     /// The Tesla V100 used in the paper: 80 SMs, 64 FP32 + 64 INT32 +
     /// 32 FP64 cores and 8 tensor cores each.
+    #[deprecated(note = "device models are spec data now; use \
+                         DeviceModel::named(\"v100\") or spec::DeviceRegistry")]
     pub fn v100() -> DeviceModel {
         DeviceModel {
-            name: "Tesla V100",
+            name: "Tesla V100".to_string(),
             arch: Architecture::Volta,
             sms: 80,
             schedulers_per_sm: 4,
@@ -127,6 +324,7 @@ impl DeviceModel {
             int32_lanes: 64,
             fp16_lanes: 128, // FP16 runs at 2x the FP32 rate
             tensor_cores: 8,
+            tensor_core_width: 32,
             ldst_units: 32,
             rf_bytes_per_sm: 256 * 1024,
             shared_bytes_per_sm: 96 * 1024,
@@ -135,27 +333,34 @@ impl DeviceModel {
             clock_hz: 1380e6,
             sram_bit_sensitivity: 1.0,
             ecc_capable: true,
+            caps: volta_caps(),
         }
     }
 
     /// The Titan V (also Volta, GV100 with 80 SMs and no ECC on DRAM;
     /// on-chip behaviour matches the V100 for our purposes).
+    #[deprecated(note = "device models are spec data now; use \
+                         DeviceModel::named(\"titan-v\") or spec::DeviceRegistry")]
+    #[allow(deprecated)]
     pub fn titan_v() -> DeviceModel {
-        DeviceModel { name: "Titan V", ecc_capable: false, ..DeviceModel::v100() }
+        DeviceModel { name: "Titan V".to_string(), ecc_capable: false, ..DeviceModel::v100() }
     }
 
-    /// Single-SM Kepler used for simulation campaigns: identical per-SM
-    /// microarchitecture to the K40c, scaled to one SM so that laptop-
-    /// scale problem sizes still reach realistic occupancies. FIT rates
-    /// scale linearly with SM count, and every figure is reported in
-    /// arbitrary units, so the scaling cancels (see DESIGN.md).
+    /// Single-SM Kepler used for simulation campaigns (see
+    /// [`DeviceModel::sim_variant`]).
+    #[deprecated(note = "device models are spec data now; use \
+                         DeviceModel::named(\"k40c-sim\") or spec::DeviceRegistry")]
+    #[allow(deprecated)]
     pub fn k40c_sim() -> DeviceModel {
-        DeviceModel { name: "Tesla K40c (1-SM sim)", sms: 1, ..DeviceModel::k40c() }
+        DeviceModel { name: "Tesla K40c (1-SM sim)".to_string(), sms: 1, ..DeviceModel::k40c() }
     }
 
-    /// Single-SM Volta campaign device (see [`DeviceModel::k40c_sim`]).
+    /// Single-SM Volta campaign device (see [`DeviceModel::sim_variant`]).
+    #[deprecated(note = "device models are spec data now; use \
+                         DeviceModel::named(\"v100-sim\") or spec::DeviceRegistry")]
+    #[allow(deprecated)]
     pub fn v100_sim() -> DeviceModel {
-        DeviceModel { name: "Tesla V100 (1-SM sim)", sms: 1, ..DeviceModel::v100() }
+        DeviceModel { name: "Tesla V100 (1-SM sim)".to_string(), sms: 1, ..DeviceModel::v100() }
     }
 
     /// Execution lanes per SM available to a functional-unit kind.
@@ -177,7 +382,7 @@ impl DeviceModel {
                     self.fp32_lanes
                 }
             }
-            Hmma | Fmma => self.tensor_cores * WARP_SIZE, // warp-wide op
+            Hmma | Fmma => self.tensor_cores * self.tensor_core_width, // warp-wide op
             Ldst => self.ldst_units,
             Other => self.fp32_lanes, // control/convert share main pipes
         }
@@ -242,7 +447,7 @@ mod tests {
 
     #[test]
     fn k40c_matches_paper_specs() {
-        let d = DeviceModel::k40c();
+        let d = DeviceModel::named("k40c");
         assert_eq!(d.cuda_cores(), 2880);
         assert_eq!(d.sms, 15);
         assert!(d.ecc_capable);
@@ -254,7 +459,7 @@ mod tests {
 
     #[test]
     fn v100_matches_paper_specs() {
-        let d = DeviceModel::v100();
+        let d = DeviceModel::named("v100");
         assert_eq!(d.sms, 80);
         assert_eq!(d.fp32_lanes, 64);
         assert_eq!(d.int32_lanes, 64);
@@ -267,21 +472,41 @@ mod tests {
 
     #[test]
     fn titan_v_has_no_ecc_toggle() {
-        assert!(!DeviceModel::titan_v().ecc_capable);
-        assert_eq!(DeviceModel::titan_v().arch, Architecture::Volta);
+        assert!(!DeviceModel::named("titan-v").ecc_capable);
+        assert_eq!(DeviceModel::named("titan-v").arch, Architecture::Volta);
+    }
+
+    #[test]
+    fn a100_is_a_wider_tensor_machine() {
+        let d = DeviceModel::named("a100");
+        assert_eq!(d.arch, Architecture::Ampere);
+        assert_eq!(d.sms, 108);
+        assert_eq!(d.tensor_cores, 4);
+        // Fewer tensor cores than Volta, but twice the MMA lanes per SM.
+        let v = DeviceModel::named("v100");
+        assert_eq!(d.lanes_for(FunctionalUnit::Hmma), 2 * v.lanes_for(FunctionalUnit::Hmma));
+        assert_eq!(d.shared_bytes_per_sm, 192 * 1024);
     }
 
     #[test]
     fn kepler_is_more_sensitive_per_bit() {
         assert!(
-            DeviceModel::k40c().sram_bit_sensitivity
-                > 5.0 * DeviceModel::v100().sram_bit_sensitivity
+            DeviceModel::named("k40c").sram_bit_sensitivity
+                > 5.0 * DeviceModel::named("v100").sram_bit_sensitivity
         );
     }
 
     #[test]
+    fn sim_variants_scale_to_one_sm() {
+        let d = DeviceModel::named("v100-sim");
+        assert_eq!(d.sms, 1);
+        assert_eq!(d.name, "Tesla V100 (1-SM sim)");
+        assert_eq!(d.fp32_lanes, DeviceModel::named("v100").fp32_lanes);
+    }
+
+    #[test]
     fn occupancy_bound_by_registers() {
-        let d = DeviceModel::v100();
+        let d = DeviceModel::named("v100");
         // 255 regs/thread, 256 threads/block: 65536/(255*256) = 1 block,
         // 8 warps resident out of 64.
         let occ = d.occupancy_bound(255, 0, 256);
@@ -293,7 +518,7 @@ mod tests {
 
     #[test]
     fn occupancy_bound_by_shared_memory() {
-        let d = DeviceModel::v100();
+        let d = DeviceModel::named("v100");
         // 48 KB/block on a 96 KB SM: 2 blocks of 128 threads = 8 warps.
         let occ = d.occupancy_bound(16, 48 * 1024, 128);
         assert!((occ - 8.0 / 64.0).abs() < 1e-9, "occ={occ}");
@@ -301,6 +526,20 @@ mod tests {
 
     #[test]
     fn occupancy_zero_threads() {
-        assert_eq!(DeviceModel::v100().occupancy_bound(16, 0, 0), 0.0);
+        assert_eq!(DeviceModel::named("v100").occupancy_bound(16, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn codegen_profiles_pin_the_era_quirks() {
+        let p7 = CodeGen::Cuda7.profile();
+        assert_eq!(p7.mxm_unroll, 1);
+        assert!(p7.redundant_moves && !p7.licm && !p7.strength_reduce);
+        assert_eq!(p7.gemm_reserve_regs, Some(248));
+        assert_eq!(p7.lava_reserve_regs, 48);
+        let p10 = CodeGen::Cuda10.profile();
+        assert_eq!(p10.mxm_unroll, 4);
+        assert!(!p10.redundant_moves && p10.licm && p10.strength_reduce);
+        assert_eq!(p10.gemm_reserve_regs, None);
+        assert_eq!(p10.lava_reserve_regs, 255);
     }
 }

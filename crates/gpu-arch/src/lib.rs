@@ -14,11 +14,13 @@
 //! * [`Kernel`] and [`KernelBuilder`] — validated kernels with label-based
 //!   control flow, register/shared-memory footprints and launch geometry;
 //! * an assembler/disassembler ([`asm`]) for a textual form of the ISA;
-//! * [`DeviceModel`] — Kepler (Tesla K40c) and Volta (Tesla V100 / Titan V)
-//!   configurations: SM counts, per-SM lane counts for each precision,
-//!   register file and shared memory sizes, ECC capability, and whether
-//!   integer work shares the FP32 pipes (Kepler) or owns dedicated INT32
-//!   cores (Volta).
+//! * [`DeviceModel`] — device configurations compiled from declarative
+//!   spec files ([`spec`]): SM counts, per-SM lane counts for each
+//!   precision, register file and shared memory sizes, ECC capability,
+//!   and whether integer work shares the FP32 pipes (Kepler) or owns
+//!   dedicated INT32 cores (Volta/Ampere). Built-ins: Tesla K40c,
+//!   Tesla V100, Titan V, NVIDIA A100, looked up through
+//!   [`spec::DeviceRegistry`] or [`DeviceModel::named`].
 //!
 //! Register convention: 255 general-purpose 32-bit registers `R0..R254`
 //! per thread plus the always-zero `RZ` (`R255`); 64-bit values occupy
@@ -33,13 +35,15 @@ mod instr;
 mod kernel;
 mod op;
 mod operand;
+pub mod spec;
 
 pub use decode::{DecodedKernel, InstrMeta, SiteClass, SiteClassSet};
-pub use device::{Architecture, CodeGen, DeviceModel, EccMode};
+pub use device::{Architecture, CodeGen, CodeGenProfile, DeviceCaps, DeviceModel, EccMode};
 pub use instr::{Guard, Instr, RegList};
 pub use kernel::{Dim, Kernel, KernelBuilder, KernelError, LaunchConfig};
 pub use op::{CmpOp, FunctionalUnit, MemWidth, MixCategory, Op, ShflMode, SpecialReg};
 pub use operand::{Operand, Pred, Reg};
+pub use spec::{DeviceRegistry, DeviceSpec, DeviceSummary, SpecLoadError, ValidationError};
 
 /// Threads per warp on every modeled architecture.
 pub const WARP_SIZE: u32 = 32;

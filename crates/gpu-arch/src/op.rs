@@ -315,6 +315,13 @@ impl FunctionalUnit {
         }
     }
 
+    /// Inverse of [`FunctionalUnit::name`]: parse a spec-file unit token
+    /// ("FADD", "HMMA", ...; case-insensitive).
+    pub fn from_name(name: &str) -> Option<FunctionalUnit> {
+        let upper = name.to_ascii_uppercase();
+        (0..FunctionalUnit::COUNT).map(FunctionalUnit::from_index).find(|u| u.name() == upper)
+    }
+
     /// Dense index in `0..COUNT` for array-backed counters.
     pub fn index(self) -> usize {
         match self {

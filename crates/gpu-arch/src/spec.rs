@@ -1,0 +1,1102 @@
+//! Device models as data: the sectioned `key = value` spec format, its
+//! validator, and the [`DeviceRegistry`] the rest of the tree looks
+//! devices up through.
+//!
+//! A `.spec` file fully describes one device — unit counts, issue
+//! parameters, RF/shared/ECC geometry, occupancy limits, clock, process-
+//! node sensitivity, per-arch execution rules, and codegen-quirk
+//! overrides — and compiles into the [`DeviceModel`] every engine layer
+//! consumes. The built-in boards ship under `specs/devices/` via
+//! `include_str!`; user specs load from disk with `repro --device
+//! <path>` or `--device-dir`.
+//!
+//! Ground-truth cross-sections deliberately do **not** live here: they
+//! are sibling `.xsec` files included only by the beam crate, so the
+//! blind-calibration property of `CrossSections::ground_truth` survives
+//! the data-driven refactor (prediction can read every `.spec` field,
+//! never the silicon truth).
+//!
+//! Validation reports field-path errors (`units.fp32_lanes: ...`) and
+//! keeps non-fatal findings as warnings so CI can enforce
+//! `--deny-warnings` semantics over the spec corpus.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::OnceLock;
+
+use crate::device::{Architecture, CodeGen, CodeGenProfile, DeviceCaps, DeviceModel};
+use crate::op::FunctionalUnit;
+
+/// One validation finding, anchored to a `section.key` field path (or a
+/// `line N` locus for syntax-level problems).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Field path, e.g. `units.fp32_lanes`.
+    pub field: String,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ValidationError {
+    fn new(field: impl Into<String>, message: impl Into<String>) -> ValidationError {
+        ValidationError { field: field.into(), message: message.into() }
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// A parsed-but-uninterpreted spec document: ordered sections of
+/// `key = value` entries. Shared by the device-spec validator here and
+/// the beam crate's `.xsec` loader.
+#[derive(Clone, Debug, Default)]
+pub struct RawSpec {
+    sections: Vec<RawSection>,
+}
+
+/// One `[name]` section of a [`RawSpec`].
+#[derive(Clone, Debug)]
+pub struct RawSection {
+    /// Section name (the text between the brackets).
+    pub name: String,
+    /// 1-based line number of the header.
+    pub line: usize,
+    entries: Vec<RawEntry>,
+}
+
+#[derive(Clone, Debug)]
+struct RawEntry {
+    key: String,
+    value: String,
+}
+
+impl RawSpec {
+    /// Parse the sectioned `key = value` syntax. Only structural
+    /// problems error here (bad lines, duplicate sections/keys);
+    /// interpretation belongs to the caller.
+    pub fn parse(text: &str) -> Result<RawSpec, ValidationError> {
+        let mut sections: Vec<RawSection> = Vec::new();
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw_line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = trimmed.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(ValidationError::new(format!("line {line}"), "empty section name"));
+                }
+                if sections.iter().any(|s| s.name == name) {
+                    return Err(ValidationError::new(
+                        format!("line {line}"),
+                        format!("duplicate section [{name}]"),
+                    ));
+                }
+                sections.push(RawSection { name: name.to_string(), line, entries: Vec::new() });
+                continue;
+            }
+            let Some((key, value)) = trimmed.split_once('=') else {
+                return Err(ValidationError::new(
+                    format!("line {line}"),
+                    format!("expected `key = value` or `[section]`, got {trimmed:?}"),
+                ));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if key.is_empty() {
+                return Err(ValidationError::new(format!("line {line}"), "empty key"));
+            }
+            let Some(section) = sections.last_mut() else {
+                return Err(ValidationError::new(
+                    format!("line {line}"),
+                    format!("key {key:?} appears before any [section] header"),
+                ));
+            };
+            if section.entries.iter().any(|e| e.key == key) {
+                return Err(ValidationError::new(
+                    format!("{}.{}", section.name, key),
+                    format!("duplicate key (line {line})"),
+                ));
+            }
+            section.entries.push(RawEntry { key: key.to_string(), value: value.to_string() });
+        }
+        Ok(RawSpec { sections })
+    }
+
+    /// Look a section up by name.
+    pub fn section(&self, name: &str) -> Option<&RawSection> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// All sections, in file order.
+    pub fn sections(&self) -> impl Iterator<Item = &RawSection> {
+        self.sections.iter()
+    }
+}
+
+impl RawSection {
+    /// Look a value up by key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.iter().find(|e| e.key == key).map(|e| e.value.as_str())
+    }
+
+    /// All `(key, value)` entries, in file order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|e| (e.key.as_str(), e.value.as_str()))
+    }
+}
+
+/// Per-device overrides of the [`CodeGenProfile`] quirk knobs, from a
+/// spec's optional `[quirks]` section.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuirkOverrides {
+    /// Override [`CodeGenProfile::mxm_unroll`].
+    pub mxm_unroll: Option<u32>,
+    /// Override [`CodeGenProfile::licm`].
+    pub licm: Option<bool>,
+    /// Override [`CodeGenProfile::redundant_moves`].
+    pub redundant_moves: Option<bool>,
+    /// Override [`CodeGenProfile::strength_reduce`].
+    pub strength_reduce: Option<bool>,
+    /// Override [`CodeGenProfile::gemm_reserve_regs`] (a fixed count;
+    /// the per-precision default cannot be re-selected once overridden).
+    pub gemm_reserve_regs: Option<u16>,
+    /// Override [`CodeGenProfile::lava_reserve_regs`].
+    pub lava_reserve_regs: Option<u16>,
+}
+
+impl QuirkOverrides {
+    /// Apply the overrides on top of an era profile.
+    pub fn apply(&self, mut profile: CodeGenProfile) -> CodeGenProfile {
+        if let Some(v) = self.mxm_unroll {
+            profile.mxm_unroll = v;
+        }
+        if let Some(v) = self.licm {
+            profile.licm = v;
+        }
+        if let Some(v) = self.redundant_moves {
+            profile.redundant_moves = v;
+        }
+        if let Some(v) = self.strength_reduce {
+            profile.strength_reduce = v;
+        }
+        if let Some(v) = self.gemm_reserve_regs {
+            profile.gemm_reserve_regs = Some(v);
+        }
+        if let Some(v) = self.lava_reserve_regs {
+            profile.lava_reserve_regs = v;
+        }
+        profile
+    }
+}
+
+/// A validated device specification: every field a `.spec` file carries,
+/// interpreted and semantically checked, plus the warnings the check
+/// produced (for `--deny-warnings` consumers).
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    /// Registry id (kebab-case; the `-sim` suffix is reserved for the
+    /// derived single-SM variants).
+    pub id: String,
+    /// Marketing name.
+    pub name: String,
+    /// Architecture generation.
+    pub arch: Architecture,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Whether the user can toggle ECC.
+    pub ecc_toggle: bool,
+    /// Relative per-bit SRAM neutron sensitivity of the process node.
+    pub sram_bit_sensitivity: f64,
+    /// Informational process-node label ("28nm planar", "7nm FinFET").
+    pub process_node: String,
+    /// Warp schedulers per SM.
+    pub schedulers_per_sm: u32,
+    /// Instructions each scheduler may issue per cycle.
+    pub issue_per_scheduler: u32,
+    /// FP32 lanes per SM.
+    pub fp32_lanes: u32,
+    /// FP64 lanes per SM.
+    pub fp64_lanes: u32,
+    /// Dedicated INT32 lanes per SM.
+    pub int32_lanes: u32,
+    /// FP16 lanes per SM.
+    pub fp16_lanes: u32,
+    /// Tensor cores per SM.
+    pub tensor_cores: u32,
+    /// MMA lanes per tensor core.
+    pub tensor_core_width: u32,
+    /// Load/store units per SM.
+    pub ldst_units: u32,
+    /// Register file bytes per SM.
+    pub rf_bytes_per_sm: u32,
+    /// Shared memory bytes per SM.
+    pub shared_bytes_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Whether integer work shares the FP32 pipes (Kepler).
+    pub int_shares_fp32_pipes: bool,
+    /// FP16 throughput relative to FP32 (documentation/validation; the
+    /// lane counts carry the behavior).
+    pub fp16_rate_multiplier: f64,
+    /// Whether SASSIFI can instrument binaries for this device.
+    pub sassifi: bool,
+    /// Default toolchain era for this device's binaries.
+    pub default_codegen: CodeGen,
+    /// Micro-benchmark anchoring the Figure 3 normalized axis.
+    pub fig3_reference: String,
+    /// Arithmetic/MMA micro-benchmark suite, in axis order.
+    pub bench_units: Vec<FunctionalUnit>,
+    /// Codegen-quirk overrides over the era profile.
+    pub quirks: QuirkOverrides,
+    /// Non-fatal validation findings.
+    pub warnings: Vec<ValidationError>,
+}
+
+/// Accumulates findings during interpretation.
+#[derive(Default)]
+struct Ctx {
+    errors: Vec<ValidationError>,
+    warnings: Vec<ValidationError>,
+}
+
+impl Ctx {
+    fn err(&mut self, field: impl Into<String>, message: impl Into<String>) {
+        self.errors.push(ValidationError::new(field, message));
+    }
+    fn warn(&mut self, field: impl Into<String>, message: impl Into<String>) {
+        self.warnings.push(ValidationError::new(field, message));
+    }
+}
+
+/// A typed value parsed from spec text.
+trait FromSpecValue: Sized {
+    const EXPECTS: &'static str;
+    fn from_spec(s: &str) -> Option<Self>;
+}
+
+impl FromSpecValue for u32 {
+    const EXPECTS: &'static str = "an unsigned integer";
+    fn from_spec(s: &str) -> Option<Self> {
+        s.parse().ok()
+    }
+}
+
+impl FromSpecValue for u16 {
+    const EXPECTS: &'static str = "an unsigned integer (<= 65535)";
+    fn from_spec(s: &str) -> Option<Self> {
+        s.parse().ok()
+    }
+}
+
+impl FromSpecValue for f64 {
+    const EXPECTS: &'static str = "a number";
+    fn from_spec(s: &str) -> Option<Self> {
+        let v: f64 = s.parse().ok()?;
+        v.is_finite().then_some(v)
+    }
+}
+
+impl FromSpecValue for bool {
+    const EXPECTS: &'static str = "true or false";
+    fn from_spec(s: &str) -> Option<Self> {
+        match s {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => None,
+        }
+    }
+}
+
+impl FromSpecValue for String {
+    const EXPECTS: &'static str = "a non-empty string";
+    fn from_spec(s: &str) -> Option<Self> {
+        (!s.is_empty()).then(|| s.to_string())
+    }
+}
+
+fn field(section: &str, key: &str) -> String {
+    format!("{section}.{key}")
+}
+
+/// Required typed field: records an error (and returns the type default)
+/// when missing or malformed.
+fn req<T: FromSpecValue + Default>(spec: &RawSpec, section: &str, key: &str, ctx: &mut Ctx) -> T {
+    match spec.section(section).and_then(|s| s.get(key)) {
+        None => {
+            ctx.err(field(section, key), "missing required key");
+            T::default()
+        }
+        Some(raw) => T::from_spec(raw).unwrap_or_else(|| {
+            ctx.err(field(section, key), format!("expected {}, got {raw:?}", T::EXPECTS));
+            T::default()
+        }),
+    }
+}
+
+/// Optional typed field: records an error only when present but
+/// malformed.
+fn opt<T: FromSpecValue>(spec: &RawSpec, section: &str, key: &str, ctx: &mut Ctx) -> Option<T> {
+    let raw = spec.section(section).and_then(|s| s.get(key))?;
+    let parsed = T::from_spec(raw);
+    if parsed.is_none() {
+        ctx.err(field(section, key), format!("expected {}, got {raw:?}", T::EXPECTS));
+    }
+    parsed
+}
+
+/// The known schema: section name -> known keys (unknown ones warn).
+const SCHEMA: &[(&str, &[&str])] = &[
+    (
+        "device",
+        &[
+            "id",
+            "name",
+            "arch",
+            "sms",
+            "clock_mhz",
+            "ecc_toggle",
+            "sram_bit_sensitivity",
+            "process_node",
+        ],
+    ),
+    (
+        "units",
+        &[
+            "schedulers_per_sm",
+            "issue_per_scheduler",
+            "fp32_lanes",
+            "fp64_lanes",
+            "int32_lanes",
+            "fp16_lanes",
+            "tensor_cores",
+            "tensor_core_width",
+            "ldst_units",
+        ],
+    ),
+    (
+        "memory",
+        &["rf_bytes_per_sm", "shared_bytes_per_sm", "max_threads_per_sm", "max_warps_per_sm"],
+    ),
+    (
+        "exec",
+        &[
+            "int_shares_fp32_pipes",
+            "fp16_rate_multiplier",
+            "sassifi",
+            "default_codegen",
+            "fig3_reference",
+            "bench_units",
+        ],
+    ),
+    (
+        "quirks",
+        &[
+            "mxm_unroll",
+            "licm",
+            "redundant_moves",
+            "strength_reduce",
+            "gemm_reserve_regs",
+            "lava_reserve_regs",
+        ],
+    ),
+];
+
+impl DeviceSpec {
+    /// Parse and validate spec text. Returns **all** findings at once:
+    /// fatal problems as the error list, non-fatal ones as
+    /// [`DeviceSpec::warnings`] on the success value.
+    pub fn parse(text: &str) -> Result<DeviceSpec, Vec<ValidationError>> {
+        let raw = RawSpec::parse(text).map_err(|e| vec![e])?;
+        let mut ctx = Ctx::default();
+
+        // Schema sweep: required sections exist, unknown ones warn.
+        for required in ["device", "units", "memory", "exec"] {
+            if raw.section(required).is_none() {
+                ctx.err(required, "missing required section");
+            }
+        }
+        for sec in raw.sections() {
+            match SCHEMA.iter().find(|(name, _)| *name == sec.name) {
+                None => ctx.warn(&sec.name, "unknown section (ignored)"),
+                Some((_, known)) => {
+                    for (key, _) in sec.entries() {
+                        if !known.contains(&key) {
+                            ctx.warn(field(&sec.name, key), "unknown key (ignored)");
+                        }
+                    }
+                }
+            }
+        }
+
+        // [device]
+        let id: String = req(&raw, "device", "id", &mut ctx);
+        let name: String = req(&raw, "device", "name", &mut ctx);
+        let arch_token: String = req(&raw, "device", "arch", &mut ctx);
+        let sms: u32 = req(&raw, "device", "sms", &mut ctx);
+        let clock_mhz: f64 = req(&raw, "device", "clock_mhz", &mut ctx);
+        let ecc_toggle: bool = req(&raw, "device", "ecc_toggle", &mut ctx);
+        let sram_bit_sensitivity: f64 = req(&raw, "device", "sram_bit_sensitivity", &mut ctx);
+        let process_node: String =
+            opt(&raw, "device", "process_node", &mut ctx).unwrap_or_default();
+
+        // [units]
+        let schedulers_per_sm: u32 = req(&raw, "units", "schedulers_per_sm", &mut ctx);
+        let issue_per_scheduler: u32 = req(&raw, "units", "issue_per_scheduler", &mut ctx);
+        let fp32_lanes: u32 = req(&raw, "units", "fp32_lanes", &mut ctx);
+        let fp64_lanes: u32 = req(&raw, "units", "fp64_lanes", &mut ctx);
+        let int32_lanes: u32 = req(&raw, "units", "int32_lanes", &mut ctx);
+        let fp16_lanes: u32 = req(&raw, "units", "fp16_lanes", &mut ctx);
+        let tensor_cores: u32 = req(&raw, "units", "tensor_cores", &mut ctx);
+        let tensor_core_width: u32 = req(&raw, "units", "tensor_core_width", &mut ctx);
+        let ldst_units: u32 = req(&raw, "units", "ldst_units", &mut ctx);
+
+        // [memory]
+        let rf_bytes_per_sm: u32 = req(&raw, "memory", "rf_bytes_per_sm", &mut ctx);
+        let shared_bytes_per_sm: u32 = req(&raw, "memory", "shared_bytes_per_sm", &mut ctx);
+        let max_threads_per_sm: u32 = req(&raw, "memory", "max_threads_per_sm", &mut ctx);
+        let max_warps_per_sm: u32 = req(&raw, "memory", "max_warps_per_sm", &mut ctx);
+
+        // [exec]
+        let int_shares_fp32_pipes: bool = req(&raw, "exec", "int_shares_fp32_pipes", &mut ctx);
+        let fp16_rate_multiplier: f64 =
+            opt(&raw, "exec", "fp16_rate_multiplier", &mut ctx).unwrap_or(0.0);
+        let sassifi: bool = req(&raw, "exec", "sassifi", &mut ctx);
+        let codegen_token: String = req(&raw, "exec", "default_codegen", &mut ctx);
+        let fig3_reference: String = req(&raw, "exec", "fig3_reference", &mut ctx);
+        let bench_tokens: String = req(&raw, "exec", "bench_units", &mut ctx);
+
+        // [quirks] (optional)
+        let quirks = QuirkOverrides {
+            mxm_unroll: opt(&raw, "quirks", "mxm_unroll", &mut ctx),
+            licm: opt(&raw, "quirks", "licm", &mut ctx),
+            redundant_moves: opt(&raw, "quirks", "redundant_moves", &mut ctx),
+            strength_reduce: opt(&raw, "quirks", "strength_reduce", &mut ctx),
+            gemm_reserve_regs: opt(&raw, "quirks", "gemm_reserve_regs", &mut ctx),
+            lava_reserve_regs: opt(&raw, "quirks", "lava_reserve_regs", &mut ctx),
+        };
+
+        // Token interpretation.
+        let arch = Architecture::parse(&arch_token).unwrap_or_else(|| {
+            if !arch_token.is_empty() {
+                ctx.err(
+                    "device.arch",
+                    format!(
+                        "unknown architecture {arch_token:?} (expected kepler, volta, or ampere)"
+                    ),
+                );
+            }
+            Architecture::Kepler
+        });
+        let default_codegen = CodeGen::parse(&codegen_token).unwrap_or_else(|| {
+            if !codegen_token.is_empty() {
+                ctx.err(
+                    "exec.default_codegen",
+                    format!("unknown toolchain era {codegen_token:?} (expected cuda7 or cuda10)"),
+                );
+            }
+            CodeGen::Cuda7
+        });
+        let mut bench_units = Vec::new();
+        for token in bench_tokens.split_whitespace() {
+            match FunctionalUnit::from_name(token) {
+                Some(FunctionalUnit::Ldst) | Some(FunctionalUnit::Other) => {
+                    ctx.err(
+                        "exec.bench_units",
+                        format!("{token} is implicit (LDST and RF always run); list only arithmetic/MMA units"),
+                    );
+                }
+                Some(u) => bench_units.push(u),
+                None => {
+                    ctx.err("exec.bench_units", format!("unknown micro-benchmark unit {token:?}"))
+                }
+            }
+        }
+
+        if !ctx.errors.is_empty() {
+            return Err(ctx.errors);
+        }
+
+        let mut spec = DeviceSpec {
+            id,
+            name,
+            arch,
+            sms,
+            clock_hz: clock_mhz * 1e6,
+            ecc_toggle,
+            sram_bit_sensitivity,
+            process_node,
+            schedulers_per_sm,
+            issue_per_scheduler,
+            fp32_lanes,
+            fp64_lanes,
+            int32_lanes,
+            fp16_lanes,
+            tensor_cores,
+            tensor_core_width,
+            ldst_units,
+            rf_bytes_per_sm,
+            shared_bytes_per_sm,
+            max_threads_per_sm,
+            max_warps_per_sm,
+            int_shares_fp32_pipes,
+            fp16_rate_multiplier,
+            sassifi,
+            default_codegen,
+            fig3_reference,
+            bench_units,
+            quirks,
+            warnings: Vec::new(),
+        };
+        spec.validate(&mut ctx);
+        if !ctx.errors.is_empty() {
+            return Err(ctx.errors);
+        }
+        spec.warnings = ctx.warnings;
+        Ok(spec)
+    }
+
+    /// Semantic checks over interpreted fields.
+    fn validate(&self, ctx: &mut Ctx) {
+        let id_ok = !self.id.is_empty()
+            && self.id.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+        if !id_ok {
+            ctx.err("device.id", format!("{:?} must be kebab-case ([a-z0-9-])", self.id));
+        } else if self.id.ends_with("-sim") {
+            ctx.err(
+                "device.id",
+                "the -sim suffix is reserved for derived single-SM registry variants",
+            );
+        }
+        for (f, v) in [
+            ("device.sms", self.sms),
+            ("units.schedulers_per_sm", self.schedulers_per_sm),
+            ("units.issue_per_scheduler", self.issue_per_scheduler),
+            ("units.fp32_lanes", self.fp32_lanes),
+            ("units.ldst_units", self.ldst_units),
+            ("memory.rf_bytes_per_sm", self.rf_bytes_per_sm),
+            ("memory.shared_bytes_per_sm", self.shared_bytes_per_sm),
+            ("memory.max_threads_per_sm", self.max_threads_per_sm),
+            ("memory.max_warps_per_sm", self.max_warps_per_sm),
+        ] {
+            if v == 0 {
+                ctx.err(f, "must be at least 1");
+            }
+        }
+        if self.clock_hz <= 0.0 {
+            ctx.err("device.clock_mhz", "must be positive");
+        }
+        if self.sram_bit_sensitivity <= 0.0 {
+            ctx.err("device.sram_bit_sensitivity", "must be positive");
+        }
+        if self.int_shares_fp32_pipes && self.int32_lanes != 0 {
+            ctx.err(
+                "exec.int_shares_fp32_pipes",
+                format!(
+                    "device declares INT shares the FP32 pipes but carries {} dedicated INT32 lanes",
+                    self.int32_lanes
+                ),
+            );
+        }
+        if !self.int_shares_fp32_pipes && self.int32_lanes == 0 {
+            ctx.err(
+                "exec.int_shares_fp32_pipes",
+                "device has no dedicated INT32 lanes; integer work must share the FP32 pipes",
+            );
+        }
+        if self.tensor_cores > 0 && self.tensor_core_width == 0 {
+            ctx.err("units.tensor_core_width", "must be positive when tensor_cores > 0");
+        }
+        let lanes = |unit: FunctionalUnit| -> u32 {
+            use FunctionalUnit::*;
+            match unit {
+                Fadd | Fmul | Ffma => self.fp32_lanes,
+                Dadd | Dmul | Dfma => self.fp64_lanes,
+                Hadd | Hmul | Hfma => self.fp16_lanes,
+                Iadd | Imul | Imad => self.int32_lanes.max(self.fp32_lanes),
+                Hmma | Fmma => self.tensor_cores * self.tensor_core_width,
+                Ldst => self.ldst_units,
+                Other => self.fp32_lanes,
+            }
+        };
+        if self.bench_units.is_empty() {
+            ctx.err("exec.bench_units", "at least one micro-benchmark unit is required");
+        }
+        let mut seen = Vec::new();
+        for &u in &self.bench_units {
+            if seen.contains(&u) {
+                ctx.err("exec.bench_units", format!("{} listed twice", u.name()));
+            }
+            seen.push(u);
+            if lanes(u) == 0 {
+                ctx.err(
+                    "exec.bench_units",
+                    format!("{} is listed but the device has no lanes executing it", u.name()),
+                );
+            }
+        }
+        if !self.bench_units.iter().any(|u| u.name() == self.fig3_reference) {
+            ctx.err(
+                "exec.fig3_reference",
+                format!("{:?} is not in bench_units", self.fig3_reference),
+            );
+        }
+
+        // Non-fatal findings.
+        if self.process_node.is_empty() {
+            ctx.warn("device.process_node", "missing; sensitivity scaling is undocumented");
+        }
+        if self.fp16_lanes > 0 {
+            let implied = self.fp16_lanes as f64 / self.fp32_lanes as f64;
+            if self.fp16_rate_multiplier > 0.0 && (implied - self.fp16_rate_multiplier).abs() > 1e-9
+            {
+                ctx.warn(
+                    "exec.fp16_rate_multiplier",
+                    format!(
+                        "declared {} but fp16_lanes/fp32_lanes implies {implied}",
+                        self.fp16_rate_multiplier
+                    ),
+                );
+            }
+        }
+        if self.max_threads_per_sm != self.max_warps_per_sm * crate::WARP_SIZE {
+            ctx.warn(
+                "memory.max_threads_per_sm",
+                format!(
+                    "{} is not max_warps_per_sm x {} = {}",
+                    self.max_threads_per_sm,
+                    crate::WARP_SIZE,
+                    self.max_warps_per_sm * crate::WARP_SIZE
+                ),
+            );
+        }
+        if !self.rf_bytes_per_sm.is_multiple_of(4) {
+            ctx.warn("memory.rf_bytes_per_sm", "not a multiple of the 4-byte register size");
+        }
+    }
+
+    /// Compile into the [`DeviceModel`] the engine layers consume.
+    pub fn model(&self) -> DeviceModel {
+        DeviceModel {
+            name: self.name.clone(),
+            arch: self.arch,
+            sms: self.sms,
+            schedulers_per_sm: self.schedulers_per_sm,
+            issue_per_scheduler: self.issue_per_scheduler,
+            fp32_lanes: self.fp32_lanes,
+            fp64_lanes: self.fp64_lanes,
+            int32_lanes: self.int32_lanes,
+            fp16_lanes: self.fp16_lanes,
+            tensor_cores: self.tensor_cores,
+            tensor_core_width: self.tensor_core_width,
+            ldst_units: self.ldst_units,
+            rf_bytes_per_sm: self.rf_bytes_per_sm,
+            shared_bytes_per_sm: self.shared_bytes_per_sm,
+            max_threads_per_sm: self.max_threads_per_sm,
+            max_warps_per_sm: self.max_warps_per_sm,
+            clock_hz: self.clock_hz,
+            sram_bit_sensitivity: self.sram_bit_sensitivity,
+            ecc_capable: self.ecc_toggle,
+            caps: DeviceCaps {
+                sassifi: self.sassifi,
+                default_codegen: self.default_codegen,
+                fig3_reference: self.fig3_reference.clone(),
+                bench_units: self.bench_units.clone(),
+            },
+        }
+    }
+
+    /// Compile the single-SM campaign variant.
+    pub fn sim_model(&self) -> DeviceModel {
+        self.model().sim_variant()
+    }
+
+    /// The codegen-quirk table for this device: the era profile of
+    /// [`DeviceSpec::default_codegen`] with the spec's `[quirks]`
+    /// overrides applied.
+    pub fn codegen_profile(&self) -> CodeGenProfile {
+        self.quirks.apply(self.default_codegen.profile())
+    }
+
+    /// Load and validate a spec file from disk.
+    pub fn from_file(path: &Path) -> Result<DeviceSpec, SpecLoadError> {
+        let origin = path.display().to_string();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecLoadError::Io { origin: origin.clone(), message: e.to_string() })?;
+        DeviceSpec::parse(&text).map_err(|errors| SpecLoadError::Invalid { origin, errors })
+    }
+}
+
+/// Why a registry-level load or lookup failed.
+#[derive(Clone, Debug)]
+pub enum SpecLoadError {
+    /// Filesystem problem.
+    Io {
+        /// The path involved.
+        origin: String,
+        /// The underlying error text.
+        message: String,
+    },
+    /// The spec failed validation.
+    Invalid {
+        /// File path (or builtin id) of the offending spec.
+        origin: String,
+        /// Every validation finding.
+        errors: Vec<ValidationError>,
+    },
+    /// The spec validated but carries warnings and the caller demanded
+    /// none (`--deny-warnings`).
+    DeniedWarnings {
+        /// File path (or builtin id) of the offending spec.
+        origin: String,
+        /// The warnings that were denied.
+        warnings: Vec<ValidationError>,
+    },
+    /// A lookup token matched neither a registry id nor a readable file.
+    UnknownDevice {
+        /// The token that failed to resolve.
+        token: String,
+        /// The ids the registry does know.
+        known: Vec<String>,
+    },
+}
+
+impl fmt::Display for SpecLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecLoadError::Io { origin, message } => write!(f, "{origin}: {message}"),
+            SpecLoadError::Invalid { origin, errors } => {
+                write!(f, "{origin}: {} validation error(s):", errors.len())?;
+                for e in errors {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
+            SpecLoadError::DeniedWarnings { origin, warnings } => {
+                write!(f, "{origin}: {} warning(s) denied:", warnings.len())?;
+                for w in warnings {
+                    write!(f, "\n  {w}")?;
+                }
+                Ok(())
+            }
+            SpecLoadError::UnknownDevice { token, known } => {
+                write!(f, "unknown device {token:?}; known ids: {}", known.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecLoadError {}
+
+/// The built-in spec corpus, shipped in the binary.
+pub const BUILTIN_SPECS: &[(&str, &str)] = &[
+    ("k40c", include_str!("../../../specs/devices/k40c.spec")),
+    ("v100", include_str!("../../../specs/devices/v100.spec")),
+    ("titan-v", include_str!("../../../specs/devices/titan-v.spec")),
+    ("a100", include_str!("../../../specs/devices/a100.spec")),
+];
+
+/// An ordered collection of validated device specs, looked up by id.
+/// `<id>-sim` resolves to the derived single-SM campaign variant of
+/// `<id>`.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceRegistry {
+    specs: Vec<DeviceSpec>,
+}
+
+impl DeviceRegistry {
+    /// The registry of built-in boards (K40c, V100, Titan V, A100),
+    /// compiled once per process from the embedded spec corpus.
+    pub fn builtin() -> &'static DeviceRegistry {
+        static BUILTIN: OnceLock<DeviceRegistry> = OnceLock::new();
+        BUILTIN.get_or_init(|| {
+            let mut reg = DeviceRegistry::default();
+            for (id, text) in BUILTIN_SPECS {
+                let spec = DeviceSpec::parse(text).unwrap_or_else(|errors| {
+                    panic!(
+                        "built-in spec {id} failed validation: {}",
+                        errors.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
+                    )
+                });
+                assert_eq!(
+                    &spec.id, id,
+                    "built-in spec id {:?} disagrees with its registry slot {id:?}",
+                    spec.id
+                );
+                reg.add(spec);
+            }
+            reg
+        })
+    }
+
+    /// All spec ids, in registration order (sim variants not listed;
+    /// they are derived on lookup).
+    pub fn ids(&self) -> Vec<String> {
+        self.specs.iter().map(|s| s.id.clone()).collect()
+    }
+
+    /// All specs, in registration order.
+    pub fn specs(&self) -> &[DeviceSpec] {
+        &self.specs
+    }
+
+    /// Look a spec up by exact id.
+    pub fn get(&self, id: &str) -> Option<&DeviceSpec> {
+        self.specs.iter().find(|s| s.id == id)
+    }
+
+    /// Register (or replace, by id) a validated spec.
+    pub fn add(&mut self, spec: DeviceSpec) {
+        if let Some(existing) = self.specs.iter_mut().find(|s| s.id == spec.id) {
+            *existing = spec;
+        } else {
+            self.specs.push(spec);
+        }
+    }
+
+    /// Compile a model by id; `<id>-sim` derives the single-SM variant.
+    pub fn model(&self, id: &str) -> Option<DeviceModel> {
+        if let Some(spec) = self.get(id) {
+            return Some(spec.model());
+        }
+        let base = id.strip_suffix("-sim")?;
+        Some(self.get(base)?.sim_model())
+    }
+
+    /// Load every `*.spec` file under `dir` into the registry. Returns
+    /// the loaded specs' ids (sorted by file name for determinism); any
+    /// invalid file aborts the load. With `deny_warnings`, a spec that
+    /// validates but warns aborts too.
+    pub fn add_dir(
+        &mut self,
+        dir: &Path,
+        deny_warnings: bool,
+    ) -> Result<Vec<String>, SpecLoadError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| SpecLoadError::Io {
+            origin: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "spec"))
+            .collect();
+        paths.sort();
+        let mut loaded = Vec::new();
+        for path in paths {
+            let spec = DeviceSpec::from_file(&path)?;
+            if deny_warnings && !spec.warnings.is_empty() {
+                return Err(SpecLoadError::DeniedWarnings {
+                    origin: path.display().to_string(),
+                    warnings: spec.warnings,
+                });
+            }
+            loaded.push(spec.id.clone());
+            self.add(spec);
+        }
+        Ok(loaded)
+    }
+
+    /// Resolve a `--device` token: a registry id (including `-sim`
+    /// variants) first, then a spec file path.
+    pub fn resolve(&self, token: &str) -> Result<DeviceModel, SpecLoadError> {
+        if let Some(model) = self.model(token) {
+            return Ok(model);
+        }
+        let path = Path::new(token);
+        if path.is_file() {
+            return DeviceSpec::from_file(path).map(|s| s.model());
+        }
+        Err(SpecLoadError::UnknownDevice { token: token.to_string(), known: self.ids() })
+    }
+
+    /// [`DeviceRegistry::resolve`], but returning the validated spec
+    /// itself (for consumers that need the codegen-quirk profile or the
+    /// ECC capability, not just the compiled model). A `-sim` suffix
+    /// resolves to the base spec — the caller picks the campaign variant
+    /// via [`DeviceSpec::sim_model`].
+    pub fn resolve_spec(&self, token: &str) -> Result<DeviceSpec, SpecLoadError> {
+        let base = token.strip_suffix("-sim").unwrap_or(token);
+        if let Some(spec) = self.get(base) {
+            return Ok(spec.clone());
+        }
+        let path = Path::new(token);
+        if path.is_file() {
+            return DeviceSpec::from_file(path);
+        }
+        Err(SpecLoadError::UnknownDevice { token: token.to_string(), known: self.ids() })
+    }
+
+    /// Per-device one-line summaries (id, name, arch, SMs, ECC) for
+    /// `--list-devices` style output.
+    pub fn summaries(&self) -> Vec<DeviceSummary> {
+        self.specs
+            .iter()
+            .map(|s| DeviceSummary {
+                id: s.id.clone(),
+                name: s.name.clone(),
+                arch: s.arch,
+                sms: s.sms,
+                ecc_toggle: s.ecc_toggle,
+                process_node: s.process_node.clone(),
+                warnings: s.warnings.len(),
+            })
+            .collect()
+    }
+}
+
+/// One row of `repro --list-devices`.
+#[derive(Clone, Debug)]
+pub struct DeviceSummary {
+    /// Registry id.
+    pub id: String,
+    /// Marketing name.
+    pub name: String,
+    /// Architecture generation.
+    pub arch: Architecture,
+    /// SM count.
+    pub sms: u32,
+    /// Whether ECC is toggleable.
+    pub ecc_toggle: bool,
+    /// Process-node label.
+    pub process_node: String,
+    /// Validation warnings the spec carries.
+    pub warnings: usize,
+}
+
+/// A stable sectioned dump of key device facts, for device-matrix
+/// reports: `id`, name, arch, SMs, lanes, memory geometry, clock.
+pub fn matrix_row(spec: &DeviceSpec) -> BTreeMap<&'static str, String> {
+    let mut row = BTreeMap::new();
+    row.insert("id", spec.id.clone());
+    row.insert("name", spec.name.clone());
+    row.insert("arch", spec.arch.to_string());
+    row.insert("sms", spec.sms.to_string());
+    row.insert("fp32_lanes", spec.fp32_lanes.to_string());
+    row.insert("fp64_lanes", spec.fp64_lanes.to_string());
+    row.insert("int32_lanes", spec.int32_lanes.to_string());
+    row.insert("fp16_lanes", spec.fp16_lanes.to_string());
+    row.insert("tensor_cores", spec.tensor_cores.to_string());
+    row.insert("tensor_core_width", spec.tensor_core_width.to_string());
+    row.insert("rf_kib_per_sm", (spec.rf_bytes_per_sm / 1024).to_string());
+    row.insert("shared_kib_per_sm", (spec.shared_bytes_per_sm / 1024).to_string());
+    row.insert("clock_mhz", format!("{:.0}", spec.clock_hz / 1e6));
+    row.insert("ecc", if spec.ecc_toggle { "toggleable" } else { "none" }.to_string());
+    row.insert("sram_bit_sensitivity", format!("{}", spec.sram_bit_sensitivity));
+    row.insert("process_node", spec.process_node.clone());
+    row.insert("sassifi", spec.sassifi.to_string());
+    row.insert("default_codegen", spec.default_codegen.token().to_string());
+    row.insert("warnings", spec.warnings.len().to_string());
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builtin(id: &str) -> &'static DeviceSpec {
+        DeviceRegistry::builtin().get(id).expect("builtin spec")
+    }
+
+    #[test]
+    fn builtin_specs_validate_clean() {
+        for (id, _) in BUILTIN_SPECS {
+            let spec = builtin(id);
+            assert!(spec.warnings.is_empty(), "{id} warns: {:?}", spec.warnings);
+        }
+    }
+
+    #[test]
+    fn registry_resolves_sim_variants() {
+        let reg = DeviceRegistry::builtin();
+        let sim = reg.model("k40c-sim").unwrap();
+        assert_eq!(sim.sms, 1);
+        assert_eq!(sim.name, "Tesla K40c (1-SM sim)");
+        assert!(reg.model("k40c").is_some());
+        assert!(reg.model("nonexistent").is_none());
+        assert!(reg.model("nonexistent-sim").is_none());
+    }
+
+    #[test]
+    fn resolve_reports_known_ids_for_unknown_tokens() {
+        let err = DeviceRegistry::builtin().resolve("gtx-9000").unwrap_err();
+        match err {
+            SpecLoadError::UnknownDevice { token, known } => {
+                assert_eq!(token, "gtx-9000");
+                assert!(known.contains(&"a100".to_string()));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_keys_report_field_paths() {
+        let errors = DeviceSpec::parse("[device]\nid = x\n").unwrap_err();
+        let fields: Vec<&str> = errors.iter().map(|e| e.field.as_str()).collect();
+        assert!(fields.contains(&"device.name"), "{fields:?}");
+        assert!(fields.contains(&"units"), "{fields:?}");
+        assert!(fields.contains(&"exec"), "{fields:?}");
+    }
+
+    #[test]
+    fn malformed_values_report_field_paths() {
+        let text = builtin("v100");
+        let _ = text; // builtin parses clean; now break one field:
+        let broken = BUILTIN_SPECS[1].1.replace("fp32_lanes = 64", "fp32_lanes = sixty-four");
+        let errors = DeviceSpec::parse(&broken).unwrap_err();
+        assert!(errors.iter().any(|e| e.field == "units.fp32_lanes"), "{errors:?}");
+    }
+
+    #[test]
+    fn int_pipe_contradiction_is_an_error() {
+        let broken = BUILTIN_SPECS[0].1.replace("int32_lanes = 0", "int32_lanes = 64");
+        let errors = DeviceSpec::parse(&broken).unwrap_err();
+        assert!(errors.iter().any(|e| e.field == "exec.int_shares_fp32_pipes"), "{errors:?}");
+    }
+
+    #[test]
+    fn unsupported_bench_unit_is_an_error() {
+        let broken = BUILTIN_SPECS[0].1.replace("bench_units = FADD", "bench_units = HMMA FADD");
+        let errors = DeviceSpec::parse(&broken).unwrap_err();
+        assert!(errors.iter().any(|e| e.field == "exec.bench_units"), "{errors:?}");
+    }
+
+    #[test]
+    fn unknown_keys_warn_but_validate() {
+        let extended = format!("{}\nmystery_knob = 7\n", BUILTIN_SPECS[0].1);
+        let spec = DeviceSpec::parse(&extended).unwrap();
+        assert!(
+            spec.warnings.iter().any(|w| w.field == "exec.mystery_knob"),
+            "{:?}",
+            spec.warnings
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_are_syntax_errors() {
+        let errors = DeviceSpec::parse("[device]\nid = a\nid = b\n").unwrap_err();
+        assert_eq!(errors[0].field, "device.id");
+        assert!(errors[0].message.contains("duplicate"));
+    }
+
+    #[test]
+    fn quirk_overrides_shape_the_profile() {
+        let text = BUILTIN_SPECS[0].1.to_string() + "\n[quirks]\nmxm_unroll = 2\nlicm = true\n";
+        let spec = DeviceSpec::parse(&text).unwrap();
+        let p = spec.codegen_profile();
+        assert_eq!(p.mxm_unroll, 2);
+        assert!(p.licm);
+        // Untouched knobs keep the cuda7 era defaults.
+        assert!(p.redundant_moves);
+        assert_eq!(p.lava_reserve_regs, 48);
+    }
+}

@@ -1,0 +1,115 @@
+//! The spec layer's equivalence and robustness contracts.
+//!
+//! 1. **Parity:** every built-in spec compiles field-for-field equal to
+//!    the deprecated hand-coded constructor it replaced (the
+//!    constructors stay in-tree as the oracle precisely for this test).
+//! 2. **Robustness:** the parser/validator never panics on malformed
+//!    input — random mutations of valid specs and arbitrary junk either
+//!    validate or produce field-path `ValidationError`s.
+
+#![allow(deprecated)]
+
+use gpu_arch::spec::{DeviceRegistry, DeviceSpec, RawSpec, BUILTIN_SPECS};
+use gpu_arch::DeviceModel;
+use proptest::prelude::*;
+
+#[test]
+fn builtin_specs_match_hand_coded_models() {
+    let reg = DeviceRegistry::builtin();
+    let cases: &[(&str, DeviceModel)] = &[
+        ("k40c", DeviceModel::k40c()),
+        ("v100", DeviceModel::v100()),
+        ("titan-v", DeviceModel::titan_v()),
+        ("k40c-sim", DeviceModel::k40c_sim()),
+        ("v100-sim", DeviceModel::v100_sim()),
+    ];
+    for (id, oracle) in cases {
+        let compiled = reg.model(id).unwrap_or_else(|| panic!("{id} not in registry"));
+        assert_eq!(&compiled, oracle, "spec-compiled {id} differs from the hand-coded model");
+    }
+}
+
+#[test]
+fn named_lookup_agrees_with_registry() {
+    for id in ["k40c", "v100", "titan-v", "a100", "a100-sim"] {
+        assert_eq!(DeviceModel::named(id), DeviceRegistry::builtin().model(id).unwrap());
+    }
+}
+
+/// Inputs a device-spec author plausibly produces: a built-in spec with
+/// one line dropped, duplicated, or its value scrambled.
+fn mutated_builtin(spec_idx: usize, line_idx: usize, mutation: u8, junk: &str) -> String {
+    let text = BUILTIN_SPECS[spec_idx % BUILTIN_SPECS.len()].1;
+    let lines: Vec<&str> = text.lines().collect();
+    let target = line_idx % lines.len();
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if i == target {
+            match mutation % 4 {
+                0 => continue, // drop the line
+                1 => {
+                    out.push(line.to_string());
+                    out.push(line.to_string()); // duplicate it
+                }
+                2 => match line.split_once('=') {
+                    // scramble the value
+                    Some((k, _)) => out.push(format!("{k}= {junk}")),
+                    None => out.push(junk.to_string()),
+                },
+                _ => out.push(junk.to_string()), // replace wholesale
+            }
+        } else {
+            out.push(line.to_string());
+        }
+    }
+    out.join("\n")
+}
+
+/// Printable-ASCII strings (the vendored proptest has no regex-string
+/// strategies).
+fn junk_strategy(max_len: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0x20u8..0x7f, 0..max_len)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+}
+
+/// Junk with structural characters mixed in, so section headers, `=`
+/// signs, and comments appear often enough to exercise every parse arm.
+fn structured_junk_strategy() -> impl Strategy<Value = String> {
+    const CHARSET: &[u8] = b" abc=[]#\n_0.-";
+    prop::collection::vec(0usize..CHARSET.len(), 0..400)
+        .prop_map(|idx| idx.into_iter().map(|i| CHARSET[i] as char).collect())
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_mutations(
+        spec_idx in 0usize..4,
+        line_idx in 0usize..200,
+        mutation in 0u8..4,
+        junk in junk_strategy(40),
+    ) {
+        let text = mutated_builtin(spec_idx, line_idx, mutation, &junk);
+        match DeviceSpec::parse(&text) {
+            Ok(spec) => {
+                // A surviving spec must still compile to a usable model.
+                let model = spec.model();
+                prop_assert!(model.sms >= 1);
+                prop_assert!(!model.name.is_empty());
+            }
+            Err(errors) => {
+                prop_assert!(!errors.is_empty());
+                for e in &errors {
+                    prop_assert!(!e.field.is_empty(), "errors must carry a field path");
+                    prop_assert!(!e.message.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_junk(text in structured_junk_strategy()) {
+        // Raw junk: both layers must return errors, never panic.
+        let _ = RawSpec::parse(&text);
+        let _ = DeviceSpec::parse(&text);
+    }
+}

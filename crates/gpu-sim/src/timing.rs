@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn saturating_launch_reaches_high_ipc_and_occupancy() {
-        let device = DeviceModel::v100();
+        let device = DeviceModel::named("v100");
         let kernel = kernel_stub(32, 0);
         // 2 waves of full occupancy on 80 SMs.
         let launch = LaunchConfig::new(80 * 8 * 2, 256, vec![]);
@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn single_block_launch_has_low_occupancy() {
-        let device = DeviceModel::v100();
+        let device = DeviceModel::named("v100");
         let kernel = kernel_stub(32, 0);
         let launch = LaunchConfig::new(1, 64, vec![]);
         let counts = mk_counts(2, 100, Op::Fadd);
@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn register_pressure_lowers_occupancy() {
-        let device = DeviceModel::v100();
+        let device = DeviceModel::named("v100");
         let fat = kernel_stub(255, 0);
         let thin = kernel_stub(32, 0);
         let launch = LaunchConfig::new(80 * 16, 256, vec![]);
@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn fp64_issue_throttles_ipc_on_volta() {
-        let device = DeviceModel::v100();
+        let device = DeviceModel::named("v100");
         let kernel = kernel_stub(32, 0);
         let launch = LaunchConfig::new(80 * 8, 256, vec![]);
         let c32 = mk_counts(80 * 8 * 8, 500, Op::Ffma);
@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn memory_latency_dominates_sparse_kernels() {
-        let device = DeviceModel::k40c();
+        let device = DeviceModel::named("k40c");
         let kernel = kernel_stub(32, 0);
         let launch = LaunchConfig::new(15, 32, vec![]);
         let alu = mk_counts(15, 200, Op::Iadd);
@@ -219,7 +219,7 @@ mod tests {
 
     #[test]
     fn seconds_scale_with_clock() {
-        let mut fast = DeviceModel::v100();
+        let mut fast = DeviceModel::named("v100");
         let kernel = kernel_stub(32, 0);
         let launch = LaunchConfig::new(80, 256, vec![]);
         let counts = mk_counts(80 * 8, 100, Op::Fadd);

@@ -60,7 +60,7 @@ fn saxpy_setup(n: u32, a: f32) -> (gpu_arch::Kernel, LaunchConfig, GlobalMemory)
 
 #[test]
 fn saxpy_computes_correctly() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(128, 2.0);
     let out = run_golden(&device, &kernel, &launch, mem);
     assert_eq!(out.status, ExecStatus::Completed);
@@ -74,7 +74,7 @@ fn saxpy_computes_correctly() {
 
 #[test]
 fn determinism_same_counts_every_run() {
-    let device = DeviceModel::k40c();
+    let device = DeviceModel::named("k40c");
     let (kernel, launch, mem) = saxpy_setup(64, 1.5);
     let a = run_golden(&device, &kernel, &launch, mem.clone());
     let b = run_golden(&device, &kernel, &launch, mem);
@@ -100,7 +100,7 @@ fn loop_and_predication() {
     let kernel = b.build().unwrap();
     let mem = GlobalMemory::new(4);
     let launch = LaunchConfig::new(1, 1, vec![0]);
-    let out = run_golden(&DeviceModel::v100(), &kernel, &launch, mem);
+    let out = run_golden(&DeviceModel::named("v100"), &kernel, &launch, mem);
     assert_eq!(out.status, ExecStatus::Completed);
     assert_eq!(out.memory.read_u32_host(0).unwrap(), 55);
 }
@@ -123,7 +123,7 @@ fn warp_divergence_converges() {
     let kernel = b.build().unwrap();
     let mem = GlobalMemory::new(4 * 32);
     let launch = LaunchConfig::new(1, 32, vec![0]);
-    let out = run_golden(&DeviceModel::v100(), &kernel, &launch, mem);
+    let out = run_golden(&DeviceModel::named("v100"), &kernel, &launch, mem);
     assert_eq!(out.status, ExecStatus::Completed);
     for i in 0..32 {
         let expect = if i % 2 == 0 { 1 } else { 2 };
@@ -159,7 +159,7 @@ fn shared_memory_reduction_with_barrier() {
     let kernel = b.build().unwrap();
     let mem = GlobalMemory::new(4);
     let launch = LaunchConfig::new(1, n, vec![0]);
-    let out = run_golden(&DeviceModel::k40c(), &kernel, &launch, mem);
+    let out = run_golden(&DeviceModel::named("k40c"), &kernel, &launch, mem);
     assert_eq!(out.status, ExecStatus::Completed);
     assert_eq!(out.memory.read_u32_host(0).unwrap(), (0..n).sum::<u32>());
 }
@@ -178,7 +178,7 @@ fn fp64_pair_arithmetic() {
     mem.write_f64_host(0, 2.5).unwrap();
     mem.write_f64_host(8, 3.0).unwrap();
     let launch = LaunchConfig::new(1, 1, vec![0]);
-    let out = run_golden(&DeviceModel::v100(), &kernel, &launch, mem);
+    let out = run_golden(&DeviceModel::named("v100"), &kernel, &launch, mem);
     assert_eq!(out.status, ExecStatus::Completed);
     assert_eq!(out.memory.read_f64_host(16).unwrap(), 2.5f64 * 3.0 + 2.5);
 }
@@ -200,7 +200,7 @@ fn fp16_arithmetic_and_conversion() {
     let kernel = b.build().unwrap();
     let mem = GlobalMemory::new(4);
     let launch = LaunchConfig::new(1, 1, vec![0]);
-    let out = run_golden(&DeviceModel::v100(), &kernel, &launch, mem);
+    let out = run_golden(&DeviceModel::named("v100"), &kernel, &launch, mem);
     assert_eq!(out.memory.read_f32_host(0).unwrap(), 10.5);
 }
 
@@ -261,7 +261,7 @@ fn mma_matches_reference() {
     let kernel = b.build().unwrap();
     let mem = GlobalMemory::new(32 * 32);
     let launch = LaunchConfig::new(1, 32, vec![0]);
-    let out = run_golden(&DeviceModel::v100(), &kernel, &launch, mem);
+    let out = run_golden(&DeviceModel::named("v100"), &kernel, &launch, mem);
     assert_eq!(out.status, ExecStatus::Completed);
     // A is the identity, so D = B: D[idx] = (idx & 3) * 0.25.
     for lane in 0..32u32 {
@@ -278,7 +278,7 @@ fn mma_matches_reference() {
 
 #[test]
 fn instruction_output_flip_causes_sdc() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
     let golden = run_golden(&device, &kernel, &launch, mem.clone());
     let opts = RunOptions::trial(FaultPlan::InstructionOutput {
@@ -294,7 +294,7 @@ fn instruction_output_flip_causes_sdc() {
 
 #[test]
 fn fault_beyond_dynamic_count_never_triggers() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
     let opts = RunOptions::trial(FaultPlan::InstructionOutput {
         nth: 1_000_000,
@@ -308,7 +308,7 @@ fn fault_beyond_dynamic_count_never_triggers() {
 
 #[test]
 fn address_flip_low_bit_is_misalignment_due() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
     let opts = RunOptions::trial(FaultPlan::MemAddress { nth: 0, flip: BitFlip::single(0) });
     let out = run(&device, &kernel, &launch, mem, &opts);
@@ -317,7 +317,7 @@ fn address_flip_low_bit_is_misalignment_due() {
 
 #[test]
 fn address_flip_high_bit_is_oob_due() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
     let opts = RunOptions::trial(FaultPlan::MemAddress { nth: 3, flip: BitFlip::single(28) });
     let out = run(&device, &kernel, &launch, mem, &opts);
@@ -342,7 +342,7 @@ fn predicate_flip_changes_loop_count() {
     let kernel = b.build().unwrap();
     let launch = LaunchConfig::new(1, 1, vec![0]);
     let opts = RunOptions::trial(FaultPlan::PredicateOutput { nth: 2 }).watchdog(10_000);
-    let out = run(&DeviceModel::v100(), &kernel, &launch, GlobalMemory::new(4), &opts);
+    let out = run(&DeviceModel::named("v100"), &kernel, &launch, GlobalMemory::new(4), &opts);
     assert!(out.fault_triggered);
     assert_eq!(out.status, ExecStatus::Completed);
     assert_eq!(out.memory.read_u32_host(0).unwrap(), 1 + 2 + 3); // exited after i=3
@@ -350,7 +350,7 @@ fn predicate_flip_changes_loop_count() {
 
 #[test]
 fn pc_corruption_is_illegal_fetch_or_wild_jump() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
     // Bit 10 makes the fetch jump +1024 instructions.
     let opts =
@@ -371,13 +371,13 @@ fn watchdog_fires_on_runaway_loop() {
     let kernel = b.build().unwrap();
     let launch = LaunchConfig::new(1, 1, vec![]);
     let opts = RunOptions::golden().watchdog(10_000);
-    let out = run(&DeviceModel::k40c(), &kernel, &launch, GlobalMemory::new(4), &opts);
+    let out = run(&DeviceModel::named("k40c"), &kernel, &launch, GlobalMemory::new(4), &opts);
     assert_eq!(out.status, ExecStatus::Due(DueKind::Watchdog));
 }
 
 #[test]
 fn register_bit_flip_without_ecc_corrupts() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(32, 2.0);
     let golden = run_golden(&device, &kernel, &launch, mem.clone());
     // Flip thread 3's FFMA result (r9) while it is live: thread 3 runs the
@@ -399,7 +399,7 @@ fn register_bit_flip_without_ecc_corrupts() {
 
 #[test]
 fn register_bit_flip_with_ecc_is_corrected() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(32, 2.0);
     let golden = run_golden(&device, &kernel, &launch, mem.clone());
     let opts = RunOptions::trial(FaultPlan::RegisterBit {
@@ -417,7 +417,7 @@ fn register_bit_flip_with_ecc_is_corrected() {
 
 #[test]
 fn register_double_bit_with_ecc_is_due() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(32, 2.0);
     let opts = RunOptions::trial(FaultPlan::RegisterBit {
         block: 0,
@@ -433,7 +433,7 @@ fn register_double_bit_with_ecc_is_due() {
 
 #[test]
 fn global_memory_bit_flip_without_ecc_is_sdc() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(32, 2.0);
     let golden = run_golden(&device, &kernel, &launch, mem.clone());
     // Strike an input word before any thread reads it.
@@ -446,7 +446,7 @@ fn global_memory_bit_flip_without_ecc_is_sdc() {
 
 #[test]
 fn global_memory_bit_flip_with_ecc_is_masked() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(32, 2.0);
     let golden = run_golden(&device, &kernel, &launch, mem.clone());
     let opts = RunOptions::trial(FaultPlan::GlobalMemBit { byte: 16, bit: 27, at: 1, mbu: false })
@@ -458,7 +458,7 @@ fn global_memory_bit_flip_with_ecc_is_masked() {
 
 #[test]
 fn global_memory_mbu_with_ecc_is_due() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(32, 2.0);
     let opts = RunOptions::trial(FaultPlan::GlobalMemBit { byte: 16, bit: 27, at: 1, mbu: true })
         .ecc(true);
@@ -474,13 +474,13 @@ fn out_of_bounds_program_is_due_even_without_faults() {
     b.exit();
     let kernel = b.build().unwrap();
     let launch = LaunchConfig::new(1, 1, vec![]);
-    let out = run_golden(&DeviceModel::v100(), &kernel, &launch, GlobalMemory::new(64));
+    let out = run_golden(&DeviceModel::named("v100"), &kernel, &launch, GlobalMemory::new(64));
     assert_eq!(out.status, ExecStatus::Due(DueKind::MemoryViolation));
 }
 
 #[test]
 fn timing_report_is_populated() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(128, 2.0);
     let out = run_golden(&device, &kernel, &launch, mem);
     assert!(out.timing.cycles > 0.0);
@@ -491,7 +491,7 @@ fn timing_report_is_populated() {
 
 #[test]
 fn mix_counts_sum_to_total() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(64, 1.0);
     let out = run_golden(&device, &kernel, &launch, mem);
     let mix_sum: u64 = out.counts.per_mix.iter().sum();
@@ -522,7 +522,7 @@ fn preset_cancel_flag_aborts_long_run_as_host_watchdog() {
     use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
 
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let kernel = forever_kernel();
     let launch = LaunchConfig::new(1, 32, vec![]);
     let cancel = Arc::new(AtomicBool::new(true));
@@ -540,7 +540,7 @@ fn cancel_flag_set_mid_run_stops_spinning_kernel() {
     use std::sync::Arc;
     use std::time::Duration;
 
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let kernel = forever_kernel();
     let launch = LaunchConfig::new(1, 32, vec![]);
     let cancel = Arc::new(AtomicBool::new(false));
@@ -565,7 +565,7 @@ fn short_kernel_completes_even_with_cancel_set() {
     // Cancellation is cooperative with poll granularity: a kernel that
     // retires fewer than CANCEL_POLL_INTERVAL instructions finishes
     // normally even when the flag is already set.
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let (kernel, launch, mem) = saxpy_setup(32, 1.5);
     let opts = RunOptions::golden().cancel_flag(Some(Arc::new(AtomicBool::new(true))));
     let out = run(&device, &kernel, &launch, mem, &opts);

@@ -84,13 +84,13 @@ fn barrier_fixture() -> (gpu_arch::Kernel, LaunchConfig, GlobalMemory) {
 }
 
 fn golden(fx: &(gpu_arch::Kernel, LaunchConfig, GlobalMemory)) -> Executed {
-    let out = run(&DeviceModel::v100(), &fx.0, &fx.1, fx.2.clone(), &RunOptions::golden());
+    let out = run(&DeviceModel::named("v100"), &fx.0, &fx.1, fx.2.clone(), &RunOptions::golden());
     assert!(out.status.completed());
     out
 }
 
 fn trial(fx: &(gpu_arch::Kernel, LaunchConfig, GlobalMemory), opts: &RunOptions) -> Executed {
-    run(&DeviceModel::v100(), &fx.0, &fx.1, fx.2.clone(), opts)
+    run(&DeviceModel::named("v100"), &fx.0, &fx.1, fx.2.clone(), opts)
 }
 
 #[test]

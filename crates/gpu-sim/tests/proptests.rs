@@ -57,7 +57,7 @@ proptest! {
         a in -10f32..10.0,
         bb in -10f32..10.0,
     ) {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let (k, l, m) = poly_setup(&xs, a, bb);
         let out = run_golden(&device, &k, &l, m);
         prop_assert_eq!(out.status, ExecStatus::Completed);
@@ -76,7 +76,7 @@ proptest! {
         bit in 0u32..32,
         xs in prop::collection::vec(-10f32..10.0, 4..32),
     ) {
-        let device = DeviceModel::k40c_sim();
+        let device = DeviceModel::named("k40c-sim");
         let (k, l, m) = poly_setup(&xs, 1.5, -0.25);
         let opts = RunOptions::trial(FaultPlan::InstructionOutput {
                 nth,
@@ -100,7 +100,7 @@ proptest! {
         at in 0u64..400,
         xs in prop::collection::vec(-10f32..10.0, 8..32),
     ) {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let (k, l, m) = poly_setup(&xs, 2.0, 1.0);
         prop_assume!(byte < m.len());
         let golden = run_golden(&device, &k, &l, m.clone());
@@ -118,7 +118,7 @@ proptest! {
         bit in 0u32..32,
         at in 0u64..400,
     ) {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let xs: Vec<f32> = (0..16).map(|i| i as f32).collect();
         let (k, l, m) = poly_setup(&xs, 1.0, 0.0);
         prop_assume!(byte < m.len());
@@ -139,7 +139,7 @@ proptest! {
         xs in prop::collection::vec(-10f32..10.0, 8..48),
     ) {
         let timed = bit % 2 == 0; // alternate between timed and positional plans
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let (k, l, m) = poly_setup(&xs, 1.25, -0.5);
         let golden = run(
             &device, &k, &l, m.clone(),
@@ -190,7 +190,7 @@ proptest! {
             b.exit();
             b.build().unwrap()
         }
-        let device = DeviceModel::k40c_sim();
+        let device = DeviceModel::named("k40c-sim");
         let launch = LaunchConfig::new(1, 1, vec![]);
         let a = run_golden(&device, &loop_kernel(n1), &launch, GlobalMemory::new(4));
         let b = run_golden(&device, &loop_kernel(n2), &launch, GlobalMemory::new(4));

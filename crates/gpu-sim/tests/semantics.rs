@@ -27,7 +27,7 @@ fn run1(body: impl FnOnce(&mut KernelBuilder)) -> GlobalMemory {
     b.exit();
     let k = b.build().unwrap();
     let out = run_golden(
-        &DeviceModel::v100_sim(),
+        &DeviceModel::named("v100-sim"),
         &k,
         &LaunchConfig::new(1, 1, vec![0]),
         GlobalMemory::new(64),
@@ -252,7 +252,7 @@ fn special_registers_2d() {
     let k = b.build().unwrap();
     let launch =
         gpu_arch::LaunchConfig::new_2d(gpu_arch::Dim::d2(2, 2), gpu_arch::Dim::d2(4, 2), vec![0]);
-    let out = run_golden(&DeviceModel::k40c_sim(), &k, &launch, GlobalMemory::new(4 * 32));
+    let out = run_golden(&DeviceModel::named("k40c-sim"), &k, &launch, GlobalMemory::new(4 * 32));
     assert_eq!(out.status, ExecStatus::Completed);
     for i in 0..32u32 {
         assert_eq!(out.memory.read_u32_host(4 * i).unwrap(), i, "gid {i}");
@@ -274,7 +274,7 @@ fn barrier_with_exited_threads_releases() {
     b.exit();
     let k = b.build().unwrap();
     let out = run_golden(
-        &DeviceModel::v100_sim(),
+        &DeviceModel::named("v100-sim"),
         &k,
         &LaunchConfig::new(1, 64, vec![]),
         GlobalMemory::new(4),
@@ -296,7 +296,7 @@ fn warp_sync_with_exited_lane_is_deadlock_due() {
     b.exit();
     let k = b.build().unwrap();
     let out = run_golden(
-        &DeviceModel::v100_sim(),
+        &DeviceModel::named("v100-sim"),
         &k,
         &LaunchConfig::new(1, 32, vec![]),
         GlobalMemory::new(4),
@@ -314,7 +314,7 @@ fn trace_records_requested_prefix() {
     let k = b.build().unwrap();
     let opts = RunOptions::golden().trace(2);
     let out = run(
-        &DeviceModel::v100_sim(),
+        &DeviceModel::named("v100-sim"),
         &k,
         &LaunchConfig::new(1, 4, vec![]),
         GlobalMemory::new(4),
@@ -324,7 +324,7 @@ fn trace_records_requested_prefix() {
     assert!(out.trace[0].contains("MOV R0, 0x1"), "{:?}", out.trace);
     // Untraced runs carry no overhead.
     let silent = run_golden(
-        &DeviceModel::v100_sim(),
+        &DeviceModel::named("v100-sim"),
         &k,
         &LaunchConfig::new(1, 4, vec![]),
         GlobalMemory::new(4),

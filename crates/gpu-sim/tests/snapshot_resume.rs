@@ -71,7 +71,7 @@ fn assert_bit_identical(a: &Executed, b: &Executed) {
 }
 
 fn golden_with_snapshots(stride: u64) -> (Vec<Arc<EngineSnapshot>>, Executed) {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = fixture();
     let out = run(&device, &kernel, &launch, mem, &RunOptions::golden().snapshot_every(stride));
     assert!(out.status.completed());
@@ -132,7 +132,7 @@ fn check_parity_on(
     snapshots: &[Arc<EngineSnapshot>],
     plan: FaultPlan,
 ) -> bool {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     // Stuck-at replay faults (mem-queue / fetch) never retire and would
     // spin forever; dyn_count advances identically in both runs, so a
     // watchdog far above any legitimate total preserves parity.
@@ -161,7 +161,7 @@ fn check_parity_on(
 
 #[test]
 fn snapshot_capture_does_not_change_the_run() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = fixture();
     let plain = run(&device, &kernel, &launch, mem.clone(), &RunOptions::golden());
     let (snapshots, with_snaps) = golden_with_snapshots(200);
@@ -221,7 +221,7 @@ fn resume_reproduces_every_fault_family_bit_for_bit() {
 
 #[test]
 fn every_snapshot_of_every_stride_resumes_exactly() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = fixture();
     // A late fault qualifies every snapshot as a resume point.
     let plan = FaultPlan::Pc { at: u64::MAX, flip: BitFlip::single(1) };
@@ -267,7 +267,7 @@ fn nearest_snapshot_picks_the_latest_preceding() {
 
 #[test]
 fn resume_conflicts_are_rejected() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = fixture();
     let (snapshots, _) = golden_with_snapshots(200);
     let snap = Arc::clone(snapshots.last().unwrap());
@@ -311,7 +311,7 @@ fn snapshot_serialization_round_trips() {
         assert_eq!(back.dyn_count(), snap.dyn_count());
         assert!(snap.approx_bytes() > 0);
         // A deserialized snapshot resumes identically to the original.
-        let device = DeviceModel::v100();
+        let device = DeviceModel::named("v100");
         let (kernel, launch, mem) = fixture();
         let plan = FaultPlan::Pc { at: u64::MAX, flip: BitFlip::single(2) };
         let a = try_run_with_sink(
@@ -376,7 +376,7 @@ fn hidden_faults_resume_bit_identical() {
 
     // Barrier-counter corruption needs a kernel with barriers (and
     // divergent arrival); snapshots come from its own golden run.
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = barrier_fixture();
     let bar_golden = run(&device, &kernel, &launch, mem, &RunOptions::golden().snapshot_every(150));
     assert!(bar_golden.status.completed());
@@ -400,7 +400,7 @@ fn hidden_faults_resume_bit_identical() {
 /// corruption (especially stuck-at) perturbs all state from its trigger
 /// on, so skipping past it would silently drop the fault.
 fn assert_conflict(plan: FaultPlan) {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = fixture();
     let (snapshots, _) = golden_with_snapshots(200);
     let snap = Arc::clone(snapshots.last().unwrap());

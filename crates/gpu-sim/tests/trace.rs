@@ -96,7 +96,7 @@ fn record(
 
 #[test]
 fn identical_runs_emit_byte_identical_traces() {
-    let device = DeviceModel::k40c();
+    let device = DeviceModel::named("k40c");
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
     let opts = RunOptions::trial(FaultPlan::InstructionOutput {
         nth: 5,
@@ -113,7 +113,7 @@ fn identical_runs_emit_byte_identical_traces() {
 
 #[test]
 fn sink_does_not_perturb_execution() {
-    let device = DeviceModel::v100();
+    let device = DeviceModel::named("v100");
     let (kernel, launch, mem) = saxpy_setup(128, 1.5);
     let opts = RunOptions::default();
     let plain = run(&device, &kernel, &launch, mem.clone(), &opts);
@@ -130,7 +130,7 @@ fn sink_does_not_perturb_execution() {
 
 #[test]
 fn fault_event_aligns_with_plan_site() {
-    let device = DeviceModel::k40c();
+    let device = DeviceModel::named("k40c");
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
     let flip = BitFlip::single(3);
     let opts = RunOptions::trial(FaultPlan::InstructionOutput {
@@ -157,7 +157,7 @@ fn fault_event_aligns_with_plan_site() {
 
 #[test]
 fn retire_indices_strictly_increase() {
-    let device = DeviceModel::k40c();
+    let device = DeviceModel::named("k40c");
     let (kernel, launch, mem) = saxpy_setup(96, 0.5);
     let opts = RunOptions::default();
     let (_, sink) = record(&device, &kernel, &launch, mem, &opts);
@@ -176,7 +176,7 @@ fn retire_indices_strictly_increase() {
 #[test]
 fn barrier_events_cover_all_lanes() {
     let n = 64u32;
-    let device = DeviceModel::k40c();
+    let device = DeviceModel::named("k40c");
     let kernel = barrier_kernel(n);
     let launch = LaunchConfig::new(1, n, vec![0]);
     let opts = RunOptions::default();
@@ -202,7 +202,7 @@ fn barrier_events_cover_all_lanes() {
 
 #[test]
 fn due_run_ends_with_due_event() {
-    let device = DeviceModel::k40c();
+    let device = DeviceModel::named("k40c");
     let (kernel, launch, mem) = saxpy_setup(64, 2.0);
     // Corrupt a load *address* high bit: deterministic out-of-bounds DUE.
     let opts = RunOptions::trial(FaultPlan::MemAddress { nth: 0, flip: BitFlip::single(30) });

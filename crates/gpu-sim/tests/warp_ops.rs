@@ -30,7 +30,7 @@ fn shfl_idx_broadcasts_lane_zero() {
     b.exit();
     let k = b.build().unwrap();
     let out = run_golden(
-        &DeviceModel::v100_sim(),
+        &DeviceModel::named("v100-sim"),
         &k,
         &LaunchConfig::new(1, 32, vec![0]),
         GlobalMemory::new(128),
@@ -59,7 +59,7 @@ fn shfl_bfly_reduction_sums_warp() {
     b.exit();
     let k = b.build().unwrap();
     let out = run_golden(
-        &DeviceModel::v100_sim(),
+        &DeviceModel::named("v100-sim"),
         &k,
         &LaunchConfig::new(1, 32, vec![0]),
         GlobalMemory::new(128),
@@ -84,7 +84,7 @@ fn shfl_up_down_clamp_at_warp_edges() {
     b.exit();
     let k = b.build().unwrap();
     let out = run_golden(
-        &DeviceModel::v100_sim(),
+        &DeviceModel::named("v100-sim"),
         &k,
         &LaunchConfig::new(1, 32, vec![0]),
         GlobalMemory::new(256),
@@ -113,7 +113,7 @@ fn atomic_add_counts_all_threads() {
     b.exit();
     let k = b.build().unwrap();
     let out = run_golden(
-        &DeviceModel::k40c_sim(),
+        &DeviceModel::named("k40c-sim"),
         &k,
         &LaunchConfig::new(2, 32, vec![0, 4]),
         GlobalMemory::new(4 + 4 * 64),
@@ -150,7 +150,7 @@ fn shared_atomic_add_histogram() {
     b.exit();
     let k = b.build().unwrap();
     let out = run_golden(
-        &DeviceModel::v100_sim(),
+        &DeviceModel::named("v100-sim"),
         &k,
         &LaunchConfig::new(1, 64, vec![0]),
         GlobalMemory::new(16),
@@ -170,7 +170,7 @@ fn misaligned_atomic_is_due() {
     b.exit();
     let k = b.build().unwrap();
     let out = run_golden(
-        &DeviceModel::v100_sim(),
+        &DeviceModel::named("v100-sim"),
         &k,
         &LaunchConfig::new(1, 1, vec![]),
         GlobalMemory::new(64),
@@ -196,7 +196,7 @@ fn value_set_fault_zeroes_an_output() {
     })
     .ecc(false)
     .watchdog(10_000);
-    let out = run(&DeviceModel::k40c_sim(), &k, &launch, GlobalMemory::new(4), &opts);
+    let out = run(&DeviceModel::named("k40c-sim"), &k, &launch, GlobalMemory::new(4), &opts);
     assert_eq!(out.status, ExecStatus::Completed);
     assert!(out.fault_triggered);
     assert_eq!(out.memory.read_u32_host(0).unwrap(), 0);
@@ -223,7 +223,7 @@ fn shfl_output_fault_corrupts_one_lane() {
     })
     .ecc(false)
     .watchdog(100_000);
-    let out = run(&DeviceModel::v100_sim(), &k, &launch, GlobalMemory::new(128), &opts);
+    let out = run(&DeviceModel::named("v100-sim"), &k, &launch, GlobalMemory::new(128), &opts);
     assert_eq!(out.status, ExecStatus::Completed);
     assert!(out.fault_triggered);
     // Exactly one lane's stored value differs from 0.

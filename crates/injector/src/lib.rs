@@ -40,7 +40,7 @@
 
 use campaign::{Budget, Campaign, CampaignRun, Kind, Sampler, TrialPlan};
 use gpu_arch::decode::{FP32_ARITH_UNITS, FP64_ARITH_UNITS, HALF_ARITH_UNITS, INT_ARITH_UNITS};
-use gpu_arch::{Architecture, DeviceModel, FunctionalUnit, LaunchConfig, Op};
+use gpu_arch::{DeviceModel, FunctionalUnit, LaunchConfig, Op};
 use gpu_sim::{
     BitFlip, ExecStatus, Executed, FaultPlan, FetchEffect, MemQueueEffect, Persistence, SiteClass,
     Target,
@@ -72,8 +72,9 @@ impl fmt::Display for Injector {
 /// Why an injector refuses a target.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Unsupported {
-    /// The architecture is outside the injector's support matrix.
-    Architecture(Architecture),
+    /// The device is outside the injector's support matrix (its spec's
+    /// `[exec] sassifi` capability is off).
+    Device(String),
     /// SASSIFI cannot instrument proprietary-library kernels.
     ProprietaryKernel,
 }
@@ -81,7 +82,9 @@ pub enum Unsupported {
 impl fmt::Display for Unsupported {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Unsupported::Architecture(a) => write!(f, "architecture {a:?} not supported"),
+            Unsupported::Device(name) => {
+                write!(f, "device {name} not supported by this injector")
+            }
             Unsupported::ProprietaryKernel => {
                 write!(f, "cannot instrument proprietary-library kernels")
             }
@@ -98,8 +101,8 @@ impl Injector {
     ) -> Result<(), Unsupported> {
         match self {
             Injector::Sassifi => {
-                if device.arch != Architecture::Kepler {
-                    return Err(Unsupported::Architecture(device.arch));
+                if !device.caps.sassifi {
+                    return Err(Unsupported::Device(device.name.clone()));
                 }
                 if target.proprietary() {
                     return Err(Unsupported::ProprietaryKernel);
@@ -1230,13 +1233,13 @@ mod tests {
 
     #[test]
     fn sassifi_rejects_volta_and_proprietary() {
-        let volta = DeviceModel::v100_sim();
-        let kepler = DeviceModel::k40c_sim();
+        let volta = DeviceModel::named("v100-sim");
+        let kepler = DeviceModel::named("k40c-sim");
         let mxm = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         let gemm = build(Benchmark::Gemm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         assert_eq!(
             Injector::Sassifi.supports(&mxm, &volta),
-            Err(Unsupported::Architecture(Architecture::Volta))
+            Err(Unsupported::Device(volta.name.clone()))
         );
         assert_eq!(Injector::Sassifi.supports(&mxm, &kepler), Ok(()));
         assert_eq!(Injector::Sassifi.supports(&gemm, &kepler), Err(Unsupported::ProprietaryKernel));
@@ -1246,7 +1249,7 @@ mod tests {
 
     #[test]
     fn campaign_is_reproducible() {
-        let kepler = DeviceModel::k40c_sim();
+        let kepler = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         let a = avf(Injector::Sassifi, &w, &kepler, 60);
         let b = avf(Injector::Sassifi, &w, &kepler, 60);
@@ -1261,8 +1264,8 @@ mod tests {
     #[test]
     fn pruned_campaign_is_bit_identical_and_simulates_fewer_trials() {
         let cases: [(Injector, DeviceModel, Precision); 2] = [
-            (Injector::NvBitFi, DeviceModel::v100_sim(), Precision::Half),
-            (Injector::Sassifi, DeviceModel::k40c_sim(), Precision::Single),
+            (Injector::NvBitFi, DeviceModel::named("v100-sim"), Precision::Half),
+            (Injector::Sassifi, DeviceModel::named("k40c-sim"), Precision::Single),
         ];
         for (injector, device, precision) in cases {
             let w = build(Benchmark::Mxm, precision, CodeGen::Cuda7, Scale::Tiny);
@@ -1308,7 +1311,7 @@ mod tests {
 
     #[test]
     fn campaign_is_deterministic_across_worker_counts() {
-        let kepler = DeviceModel::k40c_sim();
+        let kepler = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         let runs: Vec<OutcomeCounts> = [1usize, 2, 5]
             .into_iter()
@@ -1328,7 +1331,7 @@ mod tests {
 
     #[test]
     fn resume_from_checkpoint_is_bit_identical() {
-        let kepler = DeviceModel::k40c_sim();
+        let kepler = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         let b = budget(80).shard_size(16);
         let mut checkpoints = Vec::new();
@@ -1355,7 +1358,7 @@ mod tests {
 
     #[test]
     fn resume_rejects_mismatched_partition() {
-        let kepler = DeviceModel::k40c_sim();
+        let kepler = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         let b = budget(64).shard_size(16);
         let mut checkpoints = Vec::new();
@@ -1381,7 +1384,7 @@ mod tests {
 
     #[test]
     fn avf_fractions_sum_to_one() {
-        let kepler = DeviceModel::k40c_sim();
+        let kepler = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         let r = avf(Injector::NvBitFi, &w, &kepler, 80);
         assert_eq!(r.counts.total(), 80);
@@ -1391,7 +1394,7 @@ mod tests {
 
     #[test]
     fn mxm_campaign_produces_all_outcome_kinds() {
-        let kepler = DeviceModel::k40c_sim();
+        let kepler = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
         let r = avf(Injector::Sassifi, &w, &kepler, 240);
         assert!(r.counts.sdc > 0, "no SDCs: {:?}", r.counts);
@@ -1403,7 +1406,7 @@ mod tests {
     fn unit_avf_of_integer_chain_is_high() {
         // Section V-A: micro-benchmark AVF is >= 70%, 100% for integer
         // versions (modulo the end-of-chain check masking).
-        let kepler = DeviceModel::k40c_sim();
+        let kepler = DeviceModel::named("k40c-sim");
         let mb = microbench::arith(FunctionalUnit::Iadd);
         let r = Campaign::new(ClassAvf::unit(FunctionalUnit::Iadd), &mb, &kepler)
             .budget(budget(100))
@@ -1427,7 +1430,7 @@ mod tests {
 
     #[test]
     fn hidden_campaign_is_reproducible_and_produces_dues() {
-        let volta = DeviceModel::v100_sim();
+        let volta = DeviceModel::named("v100-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
         let run =
             |n: u32| Campaign::new(HiddenAvf::full(), &w, &volta).budget(budget(n)).run().unwrap();
@@ -1443,7 +1446,7 @@ mod tests {
 
     #[test]
     fn hidden_campaign_is_deterministic_across_worker_counts() {
-        let volta = DeviceModel::v100_sim();
+        let volta = DeviceModel::named("v100-sim");
         let w = build(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
         let runs: Vec<OutcomeCounts> = [1usize, 2, 5]
             .into_iter()
@@ -1463,7 +1466,7 @@ mod tests {
 
     #[test]
     fn hidden_coverage_restricts_the_sampled_sites() {
-        let volta = DeviceModel::v100_sim();
+        let volta = DeviceModel::named("v100-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
         let (_, run) = Campaign::new(HiddenAvf::class(HiddenClass::MemQueue), &w, &volta)
             .budget(budget(40))
@@ -1482,7 +1485,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "reaches no live resource")]
     fn empty_hidden_coverage_panics() {
-        let volta = DeviceModel::v100_sim();
+        let volta = DeviceModel::named("v100-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
         let _ = Campaign::new(HiddenAvf::new(HiddenCoverage::none()), &w, &volta)
             .budget(budget(10))
@@ -1491,7 +1494,7 @@ mod tests {
 
     #[test]
     fn hidden_breakdown_covers_live_classes_only() {
-        let volta = DeviceModel::v100_sim();
+        let volta = DeviceModel::named("v100-sim");
         // MXM synchronizes and touches memory: every class is live.
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
         let b = measure_hidden_breakdown(&w, &volta, &Budget::fixed(50).seed(7));
@@ -1514,7 +1517,7 @@ mod tests {
     fn nvbitfi_never_injects_into_half_ops() {
         // On a half-precision workload NVBitFI still runs, but its site
         // population excludes the H* arithmetic.
-        let volta = DeviceModel::v100_sim();
+        let volta = DeviceModel::named("v100-sim");
         let w = build(Benchmark::Hotspot, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
         let g = w.golden(&volta);
         assert!(g.counts.sites.gpr_writers > g.counts.sites.gpr_writers_no_half);
@@ -1531,7 +1534,7 @@ mod breakdown_tests {
 
     #[test]
     fn breakdown_covers_the_code_mix() {
-        let device = DeviceModel::k40c_sim();
+        let device = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
         let b = measure_avf_breakdown(&w, &device, &Budget::fixed(60).seed(4));
         let classes: Vec<SiteClass> = b.per_class.iter().map(|(c, _)| *c).collect();
@@ -1549,7 +1552,7 @@ mod breakdown_tests {
         // Corrupting the FMA stream of a matrix multiply should produce at
         // least as many SDCs as corrupting the (partially dead) integer
         // address arithmetic.
-        let device = DeviceModel::k40c_sim();
+        let device = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
         let b = measure_avf_breakdown(&w, &device, &Budget::fixed(150).seed(4));
         let get = |c: SiteClass| {

@@ -464,24 +464,18 @@ pub fn register_file() -> MicroBench {
     }
 }
 
-/// All micro-benchmarks that exist for an architecture: the Kepler set
-/// (float + int + LDST + RF) or the Volta set (all precisions + tensor
-/// cores + LDST + RF), matching Figure 3's x axes.
-pub fn suite(arch: gpu_arch::Architecture) -> Vec<MicroBench> {
-    use FunctionalUnit::*;
+/// All micro-benchmarks that exist for a device: its spec's `bench_units`
+/// table (the Figure 3 x axis — float + int on Kepler, all precisions +
+/// tensor cores on Volta/Ampere) plus the LDST and RF exposures every
+/// target gets.
+pub fn suite(device: &gpu_arch::DeviceModel) -> Vec<MicroBench> {
     let mut out = Vec::new();
-    let units: &[FunctionalUnit] = match arch {
-        gpu_arch::Architecture::Kepler => &[Fadd, Fmul, Ffma, Iadd, Imul, Imad],
-        gpu_arch::Architecture::Volta => {
-            &[Hadd, Hmul, Hfma, Fadd, Fmul, Ffma, Dadd, Dmul, Dfma, Iadd, Imul, Imad]
-        }
-    };
-    for &u in units {
-        out.push(arith(u));
-    }
-    if arch == gpu_arch::Architecture::Volta {
-        out.push(mma(true));
-        out.push(mma(false));
+    for &u in &device.caps.bench_units {
+        out.push(match u {
+            FunctionalUnit::Hmma => mma(true),
+            FunctionalUnit::Fmma => mma(false),
+            _ => arith(u),
+        });
     }
     out.push(ldst());
     out.push(register_file());
@@ -491,13 +485,13 @@ pub fn suite(arch: gpu_arch::Architecture) -> Vec<MicroBench> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_arch::{Architecture, DeviceModel};
+    use gpu_arch::DeviceModel;
     use gpu_sim::ExecStatus;
 
     #[test]
     fn all_arith_benches_complete() {
-        let volta = DeviceModel::v100_sim();
-        for mb in suite(Architecture::Volta) {
+        let volta = DeviceModel::named("v100-sim");
+        for mb in suite(&volta) {
             let out = mb.execute_golden(&volta);
             assert_eq!(out.status, ExecStatus::Completed, "{}", mb.name);
             assert!(mb.output_matches(&out, &out));
@@ -507,7 +501,7 @@ mod tests {
     #[test]
     fn kepler_suite_has_no_half_or_mma() {
         let names: Vec<String> =
-            suite(Architecture::Kepler).iter().map(|m| m.name.clone()).collect();
+            suite(&DeviceModel::named("k40c")).iter().map(|m| m.name.clone()).collect();
         assert!(!names.iter().any(|n| n.starts_with('H')));
         assert!(!names.iter().any(|n| n.contains("MMA")));
         assert!(names.contains(&"LDST".to_string()));
@@ -517,7 +511,7 @@ mod tests {
     #[test]
     fn volta_suite_matches_figure3_axis() {
         let names: Vec<String> =
-            suite(Architecture::Volta).iter().map(|m| m.name.clone()).collect();
+            suite(&DeviceModel::named("v100")).iter().map(|m| m.name.clone()).collect();
         for expect in [
             "HADD", "HMUL", "HFMA", "FADD", "FMUL", "FFMA", "DADD", "DMUL", "DFMA", "IADD", "IMUL",
             "IMAD", "HMMA", "FMMA", "LDST", "RF",
@@ -531,7 +525,7 @@ mod tests {
         // A bit flipped in the integer accumulator propagates to the
         // output with probability 1 (paper: integer AVF is 100%).
         use gpu_sim::{BitFlip, FaultPlan, RunOptions, SiteClass};
-        let device = DeviceModel::k40c_sim();
+        let device = DeviceModel::named("k40c-sim");
         let mb = arith(FunctionalUnit::Iadd);
         let golden = mb.execute_golden(&device);
         for nth in [0u64, 100, 5000] {
@@ -555,7 +549,7 @@ mod tests {
 
     #[test]
     fn ldst_bench_roundtrip_preserves_pattern() {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let mb = ldst();
         let out = mb.execute_golden(&device);
         assert_eq!(out.status, ExecStatus::Completed);
@@ -565,7 +559,7 @@ mod tests {
 
     #[test]
     fn mma_bench_stresses_tensor_unit() {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         for half in [true, false] {
             let mb = mma(half);
             let out = mb.execute_golden(&device);

@@ -31,6 +31,9 @@ pub fn render_status(status: &StatusSnapshot) -> String {
 
     let mut out = String::with_capacity(512);
     let _ = writeln!(out, "campaign   {}", status.campaign);
+    if !status.device.is_empty() {
+        let _ = writeln!(out, "device     {}", status.device);
+    }
 
     let trials = counter("trials");
     let ceiling = gauge("campaign.trial_ceiling").unwrap_or(0.0) as u64;
@@ -182,10 +185,14 @@ mod tests {
         for _ in 0..10 {
             ff.observe(4096);
         }
-        let status =
-            StatusSnapshot { campaign: "avf/Volta/HHOTSPOT".into(), snapshot: reg.snapshot() };
+        let status = StatusSnapshot {
+            campaign: "avf/Volta/HHOTSPOT".into(),
+            device: "Tesla V100 (1-SM sim)".into(),
+            snapshot: reg.snapshot(),
+        };
         let text = render_status(&status);
         assert!(text.contains("campaign   avf/Volta/HHOTSPOT"));
+        assert!(text.contains("device     Tesla V100 (1-SM sim)"));
         assert!(text.contains("trials     1000/20000 · 433.2/s"));
         assert!(text.contains("sdc 10.10%"));
         assert!(text.contains("shards     12/32 ["));
@@ -210,6 +217,7 @@ mod tests {
         let status = StatusSnapshot::default();
         let text = render_status(&status);
         assert!(text.contains("trials     0"));
+        assert!(!text.contains("device"));
         assert!(!text.contains("shards"));
         assert!(!text.contains("snapshots"));
         assert!(!text.contains("store"));

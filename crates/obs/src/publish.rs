@@ -28,15 +28,21 @@ use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct StatusSnapshot {
     pub campaign: String,
+    /// Resolved device-model name the campaign targets (empty when the
+    /// publisher predates device attribution or none applies).
+    pub device: String,
     pub snapshot: MetricsSnapshot,
 }
 
 impl StatusSnapshot {
-    /// `{"report":"status","campaign":...,"metrics":{...}}`, no newline.
+    /// `{"report":"status","campaign":...,"device":...,"metrics":{...}}`,
+    /// no newline.
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(256);
         out.push_str("{\"report\":\"status\",\"campaign\":");
         escape_str(&mut out, &self.campaign);
+        out.push_str(",\"device\":");
+        escape_str(&mut out, &self.device);
         out.push_str(",\"metrics\":");
         out.push_str(&self.snapshot.to_json_line());
         out.push('}');
@@ -48,11 +54,13 @@ impl StatusSnapshot {
         let obj = doc.as_obj().ok_or("status is not an object")?;
         let campaign =
             obj.get("campaign").and_then(Json::as_str).ok_or("missing campaign")?.to_string();
+        // Absent in files written before device attribution existed.
+        let device = obj.get("device").and_then(Json::as_str).unwrap_or("").to_string();
         let metrics = obj.get("metrics").ok_or("missing metrics")?;
         // Re-serialize the sub-object through the snapshot parser. The
         // metrics object is small; simplicity beats zero-copy here.
         let snapshot = MetricsSnapshot::from_json_line(&reemit(metrics))?;
-        Ok(StatusSnapshot { campaign, snapshot })
+        Ok(StatusSnapshot { campaign, device, snapshot })
     }
 }
 
@@ -104,22 +112,22 @@ pub fn write_atomic(dir: &Path, name: &str, contents: &str) -> io::Result<()> {
 
 struct PublisherShared {
     dir: PathBuf,
-    current: Mutex<Option<(String, Arc<MetricsRegistry>)>>,
+    current: Mutex<Option<(String, String, Arc<MetricsRegistry>)>>,
     stop: AtomicBool,
 }
 
 impl PublisherShared {
     fn publish(&self) -> io::Result<()> {
-        let Some((campaign, registry)) = self
+        let Some((campaign, device, registry)) = self
             .current
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .as_ref()
-            .map(|(label, reg)| (label.clone(), Arc::clone(reg)))
+            .map(|(label, device, reg)| (label.clone(), device.clone(), Arc::clone(reg)))
         else {
             return Ok(());
         };
-        let status = StatusSnapshot { campaign, snapshot: registry.snapshot() };
+        let status = StatusSnapshot { campaign, device, snapshot: registry.snapshot() };
         write_atomic(&self.dir, "status.json", &(status.to_json_line() + "\n"))?;
         write_atomic(&self.dir, "status.prom", &status.snapshot.to_prometheus_text())
     }
@@ -158,10 +166,17 @@ impl SnapshotPublisher {
         Ok(SnapshotPublisher { shared, thread: Some(thread) })
     }
 
-    /// Attach (or replace) the campaign being published.
-    pub fn set_campaign(&self, label: impl Into<String>, metrics: Arc<MetricsRegistry>) {
+    /// Attach (or replace) the campaign being published. `device` is the
+    /// resolved device-model name the campaign targets (so `campaign-top`
+    /// and archived `status.json` identify the silicon).
+    pub fn set_campaign(
+        &self,
+        label: impl Into<String>,
+        device: impl Into<String>,
+        metrics: Arc<MetricsRegistry>,
+    ) {
         *self.shared.current.lock().unwrap_or_else(|e| e.into_inner()) =
-            Some((label.into(), metrics));
+            Some((label.into(), device.into(), metrics));
     }
 
     /// Synchronously publish the current snapshot now.
@@ -201,8 +216,11 @@ mod tests {
         reg.counter("trials").add(42);
         reg.gauge("campaign.ci_half_width").set(0.125);
         reg.histogram("campaign.trial_micros").observe(900);
-        let status =
-            StatusSnapshot { campaign: "avf/Volta/HHOTSPOT".into(), snapshot: reg.snapshot() };
+        let status = StatusSnapshot {
+            campaign: "avf/Volta/HHOTSPOT".into(),
+            device: "Tesla V100".into(),
+            snapshot: reg.snapshot(),
+        };
         let line = status.to_json_line();
         let back = StatusSnapshot::from_json_line(&line).unwrap();
         assert_eq!(back, status);
@@ -215,12 +233,13 @@ mod tests {
             SnapshotPublisher::start(&dir, Duration::from_secs(3600)).expect("publisher");
         let reg = Arc::new(MetricsRegistry::new());
         reg.counter("trials").add(7);
-        publisher.set_campaign("test/campaign", Arc::clone(&reg));
+        publisher.set_campaign("test/campaign", "Tesla K40c", Arc::clone(&reg));
         publisher.publish_now().expect("publish");
 
         let json = std::fs::read_to_string(dir.join("status.json")).expect("status.json");
         let status = StatusSnapshot::from_json_line(&json).expect("parse status");
         assert_eq!(status.campaign, "test/campaign");
+        assert_eq!(status.device, "Tesla K40c");
         assert_eq!(status.snapshot.counters["trials"], 7);
 
         let prom = std::fs::read_to_string(dir.join("status.prom")).expect("status.prom");
@@ -240,7 +259,7 @@ mod tests {
             SnapshotPublisher::start(&dir, Duration::from_millis(10)).expect("publisher");
         let reg = Arc::new(MetricsRegistry::new());
         reg.counter("trials").add(1);
-        publisher.set_campaign("bg", Arc::clone(&reg));
+        publisher.set_campaign("bg", "", Arc::clone(&reg));
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while !dir.join("status.json").exists() && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));

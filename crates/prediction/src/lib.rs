@@ -416,7 +416,7 @@ pub fn compare(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_arch::{Architecture, CodeGen, Precision};
+    use gpu_arch::{CodeGen, Precision};
     use injector::Injector;
     use workloads::{build, Benchmark, Scale};
 
@@ -429,8 +429,8 @@ mod tests {
 
     #[test]
     fn characterization_fills_measured_units() {
-        let device = DeviceModel::k40c_sim();
-        let benches = microbench::suite(Architecture::Kepler);
+        let device = DeviceModel::named("k40c-sim");
+        let benches = microbench::suite(&device);
         let fits = characterize_units(&device, &benches, &quick_cfg());
         // Float and integer pipes must have rates; integer above float
         // (the ground truth says 4x, but we only assert direction here —
@@ -443,8 +443,8 @@ mod tests {
 
     #[test]
     fn prediction_pipeline_end_to_end() {
-        let device = DeviceModel::k40c_sim();
-        let benches = microbench::suite(Architecture::Kepler);
+        let device = DeviceModel::named("k40c-sim");
+        let benches = microbench::suite(&device);
         let fits = characterize_units(&device, &benches, &quick_cfg());
 
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7, Scale::Tiny);
@@ -497,7 +497,7 @@ mod tests {
 
     #[test]
     fn hidden_term_grows_monotonically_with_coverage() {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
         let profile = profiler::profile(&w, &device);
         let rates = beam::characterize_hidden(&device, 800, 11);
@@ -541,7 +541,7 @@ mod tests {
 
     #[test]
     fn memory_footprint_scales_with_registers() {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let fat = build(Benchmark::Lava, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
         let thin = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
         let pf = profiler::profile(&fat, &device);

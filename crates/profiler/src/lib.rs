@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn mxm_profile_is_fma_dominated() {
-        let device = DeviceModel::k40c_sim();
+        let device = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small);
         let p = profile(&w, &device);
         assert!(p.mix(MixCategory::Fma) > 0.1, "fma={}", p.mix(MixCategory::Fma));
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn integer_codes_have_int_heavy_mix() {
-        let device = DeviceModel::k40c_sim();
+        let device = DeviceModel::named("k40c-sim");
         let w = build(Benchmark::Mergesort, Precision::Int32, CodeGen::Cuda10, Scale::Tiny);
         let p = profile(&w, &device);
         assert!(p.mix(MixCategory::Int) > 0.3, "int={}", p.mix(MixCategory::Int));
@@ -208,7 +208,7 @@ mod tests {
 
     #[test]
     fn gemm_mma_profile_contains_mma() {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let w = build(Benchmark::GemmMma, Precision::Half, CodeGen::Cuda10, Scale::Tiny);
         let p = profile(&w, &device);
         assert!(p.unit_count(FunctionalUnit::Hmma) > 0);
@@ -219,7 +219,7 @@ mod tests {
     fn gemm_has_lower_occupancy_than_mxm() {
         // The register-fat library kernel cannot keep as many warps
         // resident (Table I: GEMM occupancy 0.13-0.25 vs MxM 1.0).
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let gemm = build(Benchmark::Gemm, Precision::Single, CodeGen::Cuda10, Scale::Profile);
         let mxm = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Profile);
         let pg = profile(&gemm, &device);
@@ -229,7 +229,7 @@ mod tests {
 
     #[test]
     fn unit_utilization_bounded_and_positive() {
-        let device = DeviceModel::v100_sim();
+        let device = DeviceModel::named("v100-sim");
         let w = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small);
         let p = profile(&w, &device);
         let u = p.unit_utilization(&device, FunctionalUnit::Ffma);
@@ -237,7 +237,7 @@ mod tests {
         // A unit the kernel never touches is idle.
         assert_eq!(p.unit_utilization(&device, FunctionalUnit::Dfma), 0.0);
         // Unsupported units report zero rather than NaN.
-        let kepler = DeviceModel::k40c_sim();
+        let kepler = DeviceModel::named("k40c-sim");
         assert_eq!(p.unit_utilization(&kepler, FunctionalUnit::Hmma), 0.0);
     }
 }

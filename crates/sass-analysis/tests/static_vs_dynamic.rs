@@ -89,7 +89,7 @@ fn site_pcs(kernel: &Kernel) -> Vec<u32> {
 }
 
 fn run_with(kernel: &Kernel, fault: FaultPlan) -> gpu_sim::Executed {
-    let device = DeviceModel::v100_sim();
+    let device = DeviceModel::named("v100-sim");
     let opts = RunOptions::trial(fault).ecc(false);
     run(&device, kernel, &launch(), GlobalMemory::new(256), &opts)
 }

@@ -7,7 +7,7 @@
 
 use crate::{Benchmark, CompareSpec, Scale, Workload};
 use gpu_arch::{
-    CmpOp, CodeGen, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred, Reg,
+    CmpOp, CodeGenProfile, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred, Reg,
     SpecialReg,
 };
 use gpu_sim::GlobalMemory;
@@ -67,7 +67,7 @@ pub fn nw_reference(m: u32) -> Vec<i32> {
 /// Needleman-Wunsch: one block of `m` threads sweeps the DP matrix by
 /// anti-diagonals with a barrier per wave. Sequences are staged in shared
 /// memory (Table I's NW shared footprint).
-pub fn nw(codegen: CodeGen, scale: Scale) -> Workload {
+pub fn nw(profile: &CodeGenProfile, scale: Scale) -> Workload {
     let m = nw_len(scale);
     let w = m + 1;
     let name = Benchmark::Nw.display_name(Precision::Int32);
@@ -156,7 +156,7 @@ pub fn nw(codegen: CodeGen, scale: Scale) -> Workload {
     b.iadd(r(19), r(19).into(), imi(-(NW_GAP)));
     b.imax(r(18), r(18).into(), r(17).into());
     b.imax(r(18), r(18).into(), r(19).into());
-    if codegen == CodeGen::Cuda7 {
+    if profile.redundant_moves {
         b.mov(r(20), r(18).into());
     }
     // store dp[i][j]
@@ -187,7 +187,7 @@ pub fn nw(codegen: CodeGen, scale: Scale) -> Workload {
         name,
         benchmark: Benchmark::Nw,
         precision: Precision::Int32,
-        codegen,
+        codegen: profile.era,
         kernel,
         launch,
         memory: mem,
@@ -240,7 +240,7 @@ pub fn bfs_reference(n: u32, max_levels: u32) -> Vec<i32> {
 /// Level-synchronous BFS: one thread per node, barrier per level, fixed
 /// level count (covers the graph diameter). No shared memory (Table I:
 /// BFS 0 B).
-pub fn bfs(codegen: CodeGen, scale: Scale) -> Workload {
+pub fn bfs(profile: &CodeGenProfile, scale: Scale) -> Workload {
     let n = bfs_nodes(scale);
     let max_levels = 8u32;
     let name = Benchmark::Bfs.display_name(Precision::Int32);
@@ -276,7 +276,7 @@ pub fn bfs(codegen: CodeGen, scale: Scale) -> Workload {
         b.isetp(Pred(1), CmpOp::Eq, r(8).into(), imi(i32::MAX));
         b.iadd(r(9), r(2).into(), imm(1));
         b.sel(r(9), r(9).into(), r(8).into(), Pred(1), false);
-        if codegen == CodeGen::Cuda7 {
+        if profile.redundant_moves {
             b.mov(r(13), r(9).into());
         }
         b.stg(MemWidth::W32, r(7), 0, r(9));
@@ -311,7 +311,7 @@ pub fn bfs(codegen: CodeGen, scale: Scale) -> Workload {
         name,
         benchmark: Benchmark::Bfs,
         precision: Precision::Int32,
-        codegen,
+        codegen: profile.era,
         kernel,
         launch,
         memory: mem,
@@ -370,7 +370,7 @@ pub const CCL_ITERS: u32 = 8;
 
 /// Connected-component labeling by iterative min-propagation: one thread
 /// per pixel, snapshot semantics via double-buffering in global memory.
-pub fn ccl(codegen: CodeGen, scale: Scale) -> Workload {
+pub fn ccl(profile: &CodeGenProfile, scale: Scale) -> Workload {
     let n = ccl_dim(scale);
     let name = Benchmark::Ccl.display_name(Precision::Int32);
     let mut b = KernelBuilder::new(name.clone());
@@ -444,7 +444,7 @@ pub fn ccl(codegen: CodeGen, scale: Scale) -> Workload {
     // Background pixels keep -1.
     b.isetp(Pred(2), CmpOp::Eq, r(14).into(), imm(1));
     b.sel(r(18), r(18).into(), imi(-1), Pred(2), false);
-    if codegen == CodeGen::Cuda7 {
+    if profile.redundant_moves {
         b.mov(r(29), r(18).into());
     }
     b.bar();
@@ -487,7 +487,7 @@ pub fn ccl(codegen: CodeGen, scale: Scale) -> Workload {
         name,
         benchmark: Benchmark::Ccl,
         precision: Precision::Int32,
-        codegen,
+        codegen: profile.era,
         kernel,
         launch,
         memory: mem,

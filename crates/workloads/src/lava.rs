@@ -11,7 +11,7 @@
 use crate::prec::{host, PrecEmit};
 use crate::{write_elem, Benchmark, CompareSpec, Scale, Workload};
 use gpu_arch::{
-    CmpOp, CodeGen, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg, SpecialReg,
+    CmpOp, CodeGenProfile, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg, SpecialReg,
 };
 use gpu_sim::GlobalMemory;
 
@@ -89,7 +89,7 @@ pub fn reference(prec: Precision, boxes: u32) -> Vec<f64> {
 }
 
 /// Build the Lava workload.
-pub fn lava(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+pub fn lava(prec: Precision, profile: &CodeGenProfile, scale: Scale) -> Workload {
     let boxes = num_boxes(scale);
     let n = boxes * BOX_SIZE;
     let e = PrecEmit::new(prec);
@@ -107,10 +107,7 @@ pub fn lava(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
     b.shared(3 * shared_stride);
     // Library-style register padding: the Volta-era build is register-fat
     // (Table I lists 254-255 registers for Lava on Volta).
-    b.reserve_regs(match codegen {
-        CodeGen::Cuda7 => 48,
-        CodeGen::Cuda10 => 255,
-    });
+    b.reserve_regs(profile.lava_reserve_regs);
 
     b.s2r(r(0), SpecialReg::TidX); // particle index p
     b.s2r(r(2), SpecialReg::CtaidX); // home box
@@ -202,7 +199,7 @@ pub fn lava(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
         name,
         benchmark: Benchmark::Lava,
         precision: prec,
-        codegen,
+        codegen: profile.era,
         kernel,
         launch,
         memory: mem,

@@ -45,7 +45,7 @@ pub use prec::host as prec_host;
 pub use sort::{mergesort_reference, quicksort_reference, sort_input};
 pub use stencil::reference as hotspot_reference;
 
-use gpu_arch::{CodeGen, DeviceModel, Kernel, LaunchConfig, Precision};
+use gpu_arch::{CodeGen, CodeGenProfile, DeviceModel, Kernel, LaunchConfig, Precision};
 use gpu_sim::{run, Executed, GlobalMemory, RunOptions};
 use softfloat::F16;
 
@@ -268,7 +268,11 @@ impl gpu_sim::Target for Workload {
     }
 }
 
-/// Build a workload instance.
+/// Build a workload instance with a toolchain era's default quirks.
+///
+/// Equivalent to [`build_with`] using [`CodeGen::profile`]; device specs
+/// can override individual quirk knobs, in which case callers pass the
+/// spec's profile to [`build_with`] directly.
 ///
 /// # Panics
 /// Panics if the benchmark/precision combination is unsupported (e.g.
@@ -280,24 +284,43 @@ pub fn build(
     codegen: CodeGen,
     scale: Scale,
 ) -> Workload {
+    build_with(benchmark, precision, &codegen.profile(), scale)
+}
+
+/// Build a workload instance from an explicit codegen-quirk profile.
+///
+/// The generators branch only on the profile's knobs (unroll factors,
+/// LICM, redundant moves, register reservations) — never on the era enum
+/// — so spec-file quirk overrides reach every generated kernel.
+///
+/// # Panics
+/// Panics if the benchmark/precision combination is unsupported (e.g.
+/// integer codes only support [`Precision::Int32`]; `GemmMma` requires
+/// half or single precision).
+pub fn build_with(
+    benchmark: Benchmark,
+    precision: Precision,
+    profile: &CodeGenProfile,
+    scale: Scale,
+) -> Workload {
     if benchmark.is_integer() {
         assert_eq!(precision, Precision::Int32, "{benchmark:?} is an integer code");
     } else {
         assert_ne!(precision, Precision::Int32, "{benchmark:?} is a floating-point code");
     }
     match benchmark {
-        Benchmark::Mxm => matmul::mxm(precision, codegen, scale),
-        Benchmark::Gemm => matmul::gemm(precision, codegen, scale),
+        Benchmark::Mxm => matmul::mxm(precision, profile, scale),
+        Benchmark::Gemm => matmul::gemm(precision, profile, scale),
         Benchmark::GemmMma => matmul::gemm_mma(precision, scale),
-        Benchmark::Hotspot => stencil::hotspot(precision, codegen, scale),
-        Benchmark::Lava => lava::lava(precision, codegen, scale),
-        Benchmark::Gaussian => linalg::gaussian(precision, codegen, scale),
-        Benchmark::Lud => linalg::lud(precision, codegen, scale),
-        Benchmark::Nw => graph::nw(codegen, scale),
-        Benchmark::Bfs => graph::bfs(codegen, scale),
-        Benchmark::Ccl => graph::ccl(codegen, scale),
-        Benchmark::Mergesort => sort::mergesort(codegen, scale),
-        Benchmark::Quicksort => sort::quicksort(codegen, scale),
+        Benchmark::Hotspot => stencil::hotspot(precision, profile, scale),
+        Benchmark::Lava => lava::lava(precision, profile, scale),
+        Benchmark::Gaussian => linalg::gaussian(precision, profile, scale),
+        Benchmark::Lud => linalg::lud(precision, profile, scale),
+        Benchmark::Nw => graph::nw(profile, scale),
+        Benchmark::Bfs => graph::bfs(profile, scale),
+        Benchmark::Ccl => graph::ccl(profile, scale),
+        Benchmark::Mergesort => sort::mergesort(profile, scale),
+        Benchmark::Quicksort => sort::quicksort(profile, scale),
         Benchmark::Yolov2 => cnn::yolo(2, precision, scale),
         Benchmark::Yolov3 => cnn::yolo(3, precision, scale),
     }

@@ -9,7 +9,8 @@
 use crate::prec::{host, PrecEmit};
 use crate::{write_elem, Benchmark, CompareSpec, Scale, Workload};
 use gpu_arch::{
-    CmpOp, CodeGen, Dim, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg, SpecialReg,
+    CmpOp, CodeGenProfile, Dim, KernelBuilder, LaunchConfig, Operand, Precision, Pred, Reg,
+    SpecialReg,
 };
 use gpu_sim::GlobalMemory;
 
@@ -105,7 +106,7 @@ fn prologue(b: &mut KernelBuilder, e: &PrecEmit, n: u32) {
 
 /// Build the Gaussian elimination workload (no shared memory, matching
 /// Table I's 0 B).
-pub fn gaussian(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+pub fn gaussian(prec: Precision, profile: &CodeGenProfile, scale: Scale) -> Workload {
     let n = mat_size(scale);
     let e = PrecEmit::new(prec);
     let elem = prec.size_bytes();
@@ -138,7 +139,7 @@ pub fn gaussian(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
     e.mul(&mut b, r(26), r(20).into(), r(24).into());
     e.mul(&mut b, r(26), r(26).into(), r(40).into()); // -ratio
     e.fma(&mut b, r(28), r(26).into(), r(18).into(), r(22).into());
-    if codegen == CodeGen::Cuda7 {
+    if profile.redundant_moves {
         // The older back end keeps a redundant copy of the update that
         // CUDA 10's dead-code elimination removes.
         b.mov(r(44), r(28).into());
@@ -176,7 +177,7 @@ pub fn gaussian(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
         name,
         benchmark: Benchmark::Gaussian,
         precision: prec,
-        codegen,
+        codegen: profile.era,
         kernel,
         launch,
         memory: mem,
@@ -186,7 +187,7 @@ pub fn gaussian(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
 
 /// Build the LU decomposition workload (stages the pivot row in shared
 /// memory, giving LUD its Table-I shared footprint).
-pub fn lud(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+pub fn lud(prec: Precision, profile: &CodeGenProfile, scale: Scale) -> Workload {
     let n = mat_size(scale);
     let e = PrecEmit::new(prec);
     let elem = prec.size_bytes();
@@ -242,7 +243,7 @@ pub fn lud(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
     e.load_g(&mut b, r(22), r(4), 0); // m[i][j]
     e.mul(&mut b, r(26), r(20).into(), r(40).into()); // -L
     e.fma(&mut b, r(28), r(26).into(), r(18).into(), r(22).into());
-    if codegen == CodeGen::Cuda7 {
+    if profile.redundant_moves {
         b.mov(r(44), r(28).into());
     }
     b.isetp(Pred(0), CmpOp::Gt, r(1).into(), r(2).into());
@@ -276,7 +277,7 @@ pub fn lud(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
         name,
         benchmark: Benchmark::Lud,
         precision: prec,
-        codegen,
+        codegen: profile.era,
         kernel,
         launch,
         memory: mem,

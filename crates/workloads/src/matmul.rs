@@ -9,8 +9,8 @@
 use crate::prec::PrecEmit;
 use crate::{write_elem, Benchmark, CompareSpec, Scale, Workload};
 use gpu_arch::{
-    CmpOp, CodeGen, Dim, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred, Reg,
-    SpecialReg,
+    CmpOp, CodeGen, CodeGenProfile, Dim, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision,
+    Pred, Reg, SpecialReg,
 };
 use gpu_sim::GlobalMemory;
 
@@ -80,7 +80,7 @@ fn mxm_body(b: &mut KernelBuilder, e: &PrecEmit, n: u32) {
 }
 
 /// Naive matrix multiplication: one thread per output element, 8x8 blocks.
-pub fn mxm(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+pub fn mxm(prec: Precision, profile: &CodeGenProfile, scale: Scale) -> Workload {
     let n = mat_size(scale);
     let e = PrecEmit::new(prec);
     let name = Benchmark::Mxm.display_name(prec);
@@ -98,40 +98,40 @@ pub fn mxm(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
     e.mov_const(&mut b, r(16), 0.0); // acc
     b.mov(r(6), imm(0)); // k
 
-    match codegen {
-        CodeGen::Cuda10 => {
-            // Strength-reduced strided pointers + 4x unroll, the modern
-            // back end's shape: two loads and one FMA per element with
-            // simple pointer bumps.
-            b.imul(r(8), r(5).into(), imm(n));
-            b.shl(r(8), r(8).into(), imm(e.shift()));
-            b.iadd(r(8), r(8).into(), r(10).into()); // a_ptr = A + row*n
-            b.shl(r(9), r(7).into(), imm(e.shift()));
-            b.iadd(r(9), r(9).into(), r(11).into()); // b_ptr = B + col
-            let a_step = e.size();
-            let b_step = n * e.size();
-            b.label("kloop");
-            for _ in 0..4 {
-                e.load_g(&mut b, r(20), r(8), 0);
-                e.load_g(&mut b, r(24), r(9), 0);
-                e.fma(&mut b, r(16), r(20).into(), r(24).into(), r(16).into());
-                b.iadd(r(8), r(8).into(), imm(a_step));
-                b.iadd(r(9), r(9).into(), imm(b_step));
-                b.iadd(r(6), r(6).into(), imm(1));
-            }
-            b.isetp(Pred(0), CmpOp::Lt, r(6).into(), imm(n));
-            b.if_p(Pred(0)).bra("kloop");
-        }
-        CodeGen::Cuda7 => {
-            // No unrolling, full address recomputation each iteration, and
-            // a redundant accumulator copy (dead unless a fault hits it).
-            b.label("kloop");
-            mxm_body(&mut b, &e, n);
-            b.mov(r(28), r(16).into());
+    if profile.strength_reduce {
+        // Strength-reduced strided pointers + unrolling, the modern back
+        // end's shape: two loads and one FMA per element with simple
+        // pointer bumps.
+        b.imul(r(8), r(5).into(), imm(n));
+        b.shl(r(8), r(8).into(), imm(e.shift()));
+        b.iadd(r(8), r(8).into(), r(10).into()); // a_ptr = A + row*n
+        b.shl(r(9), r(7).into(), imm(e.shift()));
+        b.iadd(r(9), r(9).into(), r(11).into()); // b_ptr = B + col
+        let a_step = e.size();
+        let b_step = n * e.size();
+        b.label("kloop");
+        for _ in 0..profile.mxm_unroll.max(1) {
+            e.load_g(&mut b, r(20), r(8), 0);
+            e.load_g(&mut b, r(24), r(9), 0);
+            e.fma(&mut b, r(16), r(20).into(), r(24).into(), r(16).into());
+            b.iadd(r(8), r(8).into(), imm(a_step));
+            b.iadd(r(9), r(9).into(), imm(b_step));
             b.iadd(r(6), r(6).into(), imm(1));
-            b.isetp(Pred(0), CmpOp::Lt, r(6).into(), imm(n));
-            b.if_p(Pred(0)).bra("kloop");
         }
+        b.isetp(Pred(0), CmpOp::Lt, r(6).into(), imm(n));
+        b.if_p(Pred(0)).bra("kloop");
+    } else {
+        // No unrolling, full address recomputation each iteration, and —
+        // on back ends that leave them — a redundant accumulator copy
+        // (dead unless a fault hits it).
+        b.label("kloop");
+        mxm_body(&mut b, &e, n);
+        if profile.redundant_moves {
+            b.mov(r(28), r(16).into());
+        }
+        b.iadd(r(6), r(6).into(), imm(1));
+        b.isetp(Pred(0), CmpOp::Lt, r(6).into(), imm(n));
+        b.if_p(Pred(0)).bra("kloop");
     }
 
     // c_off = (row*n + col) << shift
@@ -149,7 +149,7 @@ pub fn mxm(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
         name,
         benchmark: Benchmark::Mxm,
         precision: prec,
-        codegen,
+        codegen: profile.era,
         kernel,
         launch,
         memory: mem,
@@ -161,7 +161,7 @@ pub fn mxm(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
 /// (SASSIFI cannot instrument it on Kepler) and register-fat (library
 /// kernels trade occupancy for registers; Table I shows 127-248 registers
 /// and large shared allocations).
-pub fn gemm(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+pub fn gemm(prec: Precision, profile: &CodeGenProfile, scale: Scale) -> Workload {
     let n = mat_size(scale);
     // Library kernels are tuned per precision: double uses a smaller tile.
     let t: u32 = if prec == Precision::Double { 4 } else { 8 };
@@ -175,13 +175,12 @@ pub fn gemm(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
     let tile_bytes = t * t * elem;
     let workspace = 4096u32;
     b.shared(2 * tile_bytes + workspace);
-    b.reserve_regs(match (codegen, prec) {
-        (CodeGen::Cuda7, _) => 248,
-        (_, Precision::Half) => 127,
-        (_, Precision::Single) => 134,
-        (_, Precision::Double) => 234,
-        (_, Precision::Int32) => 128,
-    });
+    b.reserve_regs(profile.gemm_reserve_regs.unwrap_or(match prec {
+        Precision::Half => 127,
+        Precision::Single => 134,
+        Precision::Double => 234,
+        Precision::Int32 => 128,
+    }));
     b.proprietary();
 
     b.s2r(r(0), SpecialReg::TidX); // tx
@@ -250,7 +249,7 @@ pub fn gemm(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
         name,
         benchmark: Benchmark::Gemm,
         precision: prec,
-        codegen,
+        codegen: profile.era,
         kernel,
         launch,
         memory: mem,

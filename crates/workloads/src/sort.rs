@@ -6,7 +6,7 @@
 
 use crate::{Benchmark, CompareSpec, Scale, Workload};
 use gpu_arch::{
-    CmpOp, CodeGen, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred, Reg,
+    CmpOp, CodeGenProfile, KernelBuilder, LaunchConfig, MemWidth, Operand, Precision, Pred, Reg,
     SpecialReg,
 };
 use gpu_sim::GlobalMemory;
@@ -52,7 +52,7 @@ fn merge_n(scale: Scale) -> u32 {
 /// the source buffer into the destination buffer; buffers ping-pong.
 /// Every thread reaches every barrier (inactive threads skip only the
 /// merge body).
-pub fn mergesort(codegen: CodeGen, scale: Scale) -> Workload {
+pub fn mergesort(profile: &CodeGenProfile, scale: Scale) -> Workload {
     let n = merge_n(scale);
     let phases = n.trailing_zeros(); // n is a power of two
     let threads = n / 2;
@@ -123,7 +123,7 @@ pub fn mergesort(codegen: CodeGen, scale: Scale) -> Workload {
     b.sel(r(7), r(12).into(), r(7).into(), Pred(5), false);
     b.iadd(r(12), r(8).into(), imm(1));
     b.sel(r(8), r(8).into(), r(12).into(), Pred(5), false);
-    if codegen == CodeGen::Cuda7 {
+    if profile.redundant_moves {
         b.mov(r(19), r(18).into());
     }
     // store dst[start + k]
@@ -161,7 +161,7 @@ pub fn mergesort(codegen: CodeGen, scale: Scale) -> Workload {
         name,
         benchmark: Benchmark::Mergesort,
         precision: Precision::Int32,
-        codegen,
+        codegen: profile.era,
         kernel,
         launch,
         memory: mem,
@@ -185,7 +185,7 @@ fn qs_threads(scale: Scale) -> u32 {
 /// Per-thread iterative quicksort (Lomuto partition, explicit stack in
 /// shared memory): each thread sorts its own `QS_CHUNK`-element slice of
 /// the global array in place. Data-dependent branching throughout.
-pub fn quicksort(codegen: CodeGen, scale: Scale) -> Workload {
+pub fn quicksort(profile: &CodeGenProfile, scale: Scale) -> Workload {
     let threads = qs_threads(scale);
     let instances = batch(scale);
     let n = threads * QS_CHUNK * instances;
@@ -263,7 +263,7 @@ pub fn quicksort(codegen: CodeGen, scale: Scale) -> Workload {
     b.ldg(MemWidth::W32, r(19), r(18), 0);
     b.stg(MemWidth::W32, r(18), 0, r(13));
     b.stg(MemWidth::W32, r(12), 0, r(19));
-    if codegen == CodeGen::Cuda7 {
+    if profile.redundant_moves {
         b.mov(r(20), r(14).into());
     }
     // push (lo, p-1) and (p+1, hi)
@@ -297,7 +297,7 @@ pub fn quicksort(codegen: CodeGen, scale: Scale) -> Workload {
         name,
         benchmark: Benchmark::Quicksort,
         precision: Precision::Int32,
-        codegen,
+        codegen: profile.era,
         kernel,
         launch,
         memory: mem,

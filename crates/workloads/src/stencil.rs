@@ -12,7 +12,9 @@
 
 use crate::prec::{host, PrecEmit};
 use crate::{write_elem, Benchmark, CompareSpec, Scale, Workload};
-use gpu_arch::{CodeGen, Dim, KernelBuilder, LaunchConfig, Operand, Precision, Reg, SpecialReg};
+use gpu_arch::{
+    CodeGenProfile, Dim, KernelBuilder, LaunchConfig, Operand, Precision, Reg, SpecialReg,
+};
 use gpu_sim::GlobalMemory;
 
 /// Relaxation steps performed inside the kernel.
@@ -101,7 +103,7 @@ pub fn reference(prec: Precision, n: u32) -> Vec<f64> {
 }
 
 /// Build the Hotspot workload.
-pub fn hotspot(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
+pub fn hotspot(prec: Precision, profile: &CodeGenProfile, scale: Scale) -> Workload {
     let n = grid_size(scale);
     let e = PrecEmit::new(prec);
     let elem = prec.size_bytes();
@@ -166,12 +168,12 @@ pub fn hotspot(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
         b.imad(r(9), r(1).into(), imm(TILE), r(9).into());
         b.shl(r(53), r(9).into(), imm(e.shift()));
     };
-    if codegen == CodeGen::Cuda10 {
+    if profile.licm {
         emit_neighbor_offsets(&mut b);
     }
 
     for _ in 0..ITERATIONS {
-        if codegen == CodeGen::Cuda7 {
+        if !profile.licm {
             emit_neighbor_offsets(&mut b);
         }
         // Load center and neighbors from shared.
@@ -222,7 +224,7 @@ pub fn hotspot(prec: Precision, codegen: CodeGen, scale: Scale) -> Workload {
         name,
         benchmark: Benchmark::Hotspot,
         precision: prec,
-        codegen,
+        codegen: profile.era,
         kernel,
         launch,
         memory: mem,

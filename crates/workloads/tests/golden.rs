@@ -51,8 +51,8 @@ fn mxm_reference(prec: Precision, n: u32) -> Vec<f64> {
 
 #[test]
 fn mxm_all_precisions_match_reference() {
-    let kepler = DeviceModel::k40c_sim();
-    let volta = DeviceModel::v100_sim();
+    let kepler = DeviceModel::named("k40c-sim");
+    let volta = DeviceModel::named("v100-sim");
     for (prec, device) in
         [(Precision::Single, &kepler), (Precision::Half, &volta), (Precision::Double, &volta)]
     {
@@ -68,7 +68,7 @@ fn mxm_all_precisions_match_reference() {
 fn gemm_matches_mxm_results() {
     // The tiled GEMM computes the same product as the naive kernel when
     // the reduction order coincides (tiles iterate k in order).
-    let device = DeviceModel::v100_sim();
+    let device = DeviceModel::named("v100-sim");
     for prec in [Precision::Single, Precision::Double, Precision::Half] {
         let w = build(Benchmark::Gemm, prec, CodeGen::Cuda10, Scale::Tiny);
         let out = run_ok(&w, &device);
@@ -79,7 +79,7 @@ fn gemm_matches_mxm_results() {
 #[test]
 fn gemm_mma_matches_tensor_reference() {
     use softfloat::F16;
-    let device = DeviceModel::v100_sim();
+    let device = DeviceModel::named("v100-sim");
     for prec in [Precision::Half, Precision::Single] {
         let w = build(Benchmark::GemmMma, prec, CodeGen::Cuda10, Scale::Tiny);
         let out = run_ok(&w, &device);
@@ -117,7 +117,7 @@ fn gemm_mma_matches_tensor_reference() {
 
 #[test]
 fn hotspot_matches_reference() {
-    let volta = DeviceModel::v100_sim();
+    let volta = DeviceModel::named("v100-sim");
     for prec in [Precision::Half, Precision::Single, Precision::Double] {
         for cg in [CodeGen::Cuda7, CodeGen::Cuda10] {
             let w = build(Benchmark::Hotspot, prec, cg, Scale::Tiny);
@@ -132,7 +132,7 @@ fn hotspot_matches_reference() {
 
 #[test]
 fn lava_matches_reference() {
-    let volta = DeviceModel::v100_sim();
+    let volta = DeviceModel::named("v100-sim");
     for prec in [Precision::Half, Precision::Single, Precision::Double] {
         let w = build(Benchmark::Lava, prec, CodeGen::Cuda10, Scale::Tiny);
         let out = run_ok(&w, &volta);
@@ -145,7 +145,7 @@ fn lava_matches_reference() {
 
 #[test]
 fn gaussian_matches_reference() {
-    let kepler = DeviceModel::k40c_sim();
+    let kepler = DeviceModel::named("k40c-sim");
     for cg in [CodeGen::Cuda7, CodeGen::Cuda10] {
         let w = build(Benchmark::Gaussian, Precision::Single, cg, Scale::Tiny);
         let out = run_ok(&w, &kepler);
@@ -156,7 +156,7 @@ fn gaussian_matches_reference() {
 
 #[test]
 fn lud_matches_reference() {
-    let kepler = DeviceModel::k40c_sim();
+    let kepler = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Lud, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
     let out = run_ok(&w, &kepler);
     let expect = workloads::lud_reference(Precision::Single, 8);
@@ -167,7 +167,7 @@ fn lud_matches_reference() {
 
 #[test]
 fn nw_matches_reference() {
-    let kepler = DeviceModel::k40c_sim();
+    let kepler = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Nw, Precision::Int32, CodeGen::Cuda10, Scale::Tiny);
     let out = run_ok(&w, &kepler);
     let expect: Vec<f64> = workloads::nw_reference(16).into_iter().map(|v| v as f64).collect();
@@ -176,7 +176,7 @@ fn nw_matches_reference() {
 
 #[test]
 fn bfs_matches_reference() {
-    let kepler = DeviceModel::k40c_sim();
+    let kepler = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Bfs, Precision::Int32, CodeGen::Cuda7, Scale::Tiny);
     let out = run_ok(&w, &kepler);
     let expect: Vec<f64> = workloads::bfs_reference(32, 8).into_iter().map(|v| v as f64).collect();
@@ -185,7 +185,7 @@ fn bfs_matches_reference() {
 
 #[test]
 fn ccl_matches_reference() {
-    let kepler = DeviceModel::k40c_sim();
+    let kepler = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Ccl, Precision::Int32, CodeGen::Cuda10, Scale::Tiny);
     let out = run_ok(&w, &kepler);
     let expect: Vec<f64> = workloads::ccl_reference(8, 8).into_iter().map(|v| v as f64).collect();
@@ -196,7 +196,7 @@ fn ccl_matches_reference() {
 
 #[test]
 fn mergesort_sorts() {
-    let kepler = DeviceModel::k40c_sim();
+    let kepler = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Mergesort, Precision::Int32, CodeGen::Cuda10, Scale::Tiny);
     let out = run_ok(&w, &kepler);
     let expect: Vec<f64> =
@@ -206,7 +206,7 @@ fn mergesort_sorts() {
 
 #[test]
 fn quicksort_sorts_chunks() {
-    let kepler = DeviceModel::k40c_sim();
+    let kepler = DeviceModel::named("k40c-sim");
     let w = build(Benchmark::Quicksort, Precision::Int32, CodeGen::Cuda7, Scale::Tiny);
     let out = run_ok(&w, &kepler);
     let expect: Vec<f64> =
@@ -218,7 +218,7 @@ fn quicksort_sorts_chunks() {
 
 #[test]
 fn yolo_scores_match_reference() {
-    let volta = DeviceModel::v100_sim();
+    let volta = DeviceModel::named("v100-sim");
     for version in [2u32, 3] {
         for prec in [Precision::Half, Precision::Single] {
             let bench = if version == 2 { Benchmark::Yolov2 } else { Benchmark::Yolov3 };
@@ -234,7 +234,7 @@ fn yolo_scores_match_reference() {
 
 #[test]
 fn kepler_suite_builds_and_completes() {
-    let kepler = DeviceModel::k40c_sim();
+    let kepler = DeviceModel::named("k40c-sim");
     for w in workloads::kepler_suite(CodeGen::Cuda7, Scale::Tiny) {
         let out = w.golden(&kepler);
         assert_eq!(out.status, ExecStatus::Completed, "{}", w.name);
@@ -246,7 +246,7 @@ fn kepler_suite_builds_and_completes() {
 
 #[test]
 fn volta_suite_builds_and_completes() {
-    let volta = DeviceModel::v100_sim();
+    let volta = DeviceModel::named("v100-sim");
     for w in workloads::volta_suite(Scale::Tiny) {
         let out = w.golden(&volta);
         assert_eq!(out.status, ExecStatus::Completed, "{}", w.name);

@@ -32,7 +32,7 @@ fn out_region(w: &Workload) -> (u32, u32, Precision) {
 
 #[test]
 fn every_fp_variant_completes_on_volta() {
-    let volta = DeviceModel::v100_sim();
+    let volta = DeviceModel::named("v100-sim");
     for bench in FP_BENCHES {
         for precision in [Precision::Half, Precision::Single, Precision::Double] {
             for codegen in [CodeGen::Cuda7, CodeGen::Cuda10] {
@@ -47,7 +47,7 @@ fn every_fp_variant_completes_on_volta() {
 
 #[test]
 fn every_int_variant_completes_on_kepler() {
-    let kepler = DeviceModel::k40c_sim();
+    let kepler = DeviceModel::named("k40c-sim");
     for bench in INT_BENCHES {
         for codegen in [CodeGen::Cuda7, CodeGen::Cuda10] {
             let w = build(bench, Precision::Int32, codegen, Scale::Tiny);
@@ -61,7 +61,7 @@ fn every_int_variant_completes_on_kepler() {
 fn codegen_variants_compute_identical_outputs() {
     // The CUDA 7 and CUDA 10 back ends emit different instruction streams
     // for the same source; semantics must not change.
-    let kepler = DeviceModel::k40c_sim();
+    let kepler = DeviceModel::named("k40c-sim");
     for bench in [
         Benchmark::Mxm,
         Benchmark::Hotspot,
@@ -95,7 +95,7 @@ fn codegen_variants_compute_identical_outputs() {
 
 #[test]
 fn scales_are_ordered_by_work() {
-    let kepler = DeviceModel::k40c_sim();
+    let kepler = DeviceModel::named("k40c-sim");
     for bench in [Benchmark::Mxm, Benchmark::Hotspot, Benchmark::Mergesort] {
         let precision = if bench.is_integer() { Precision::Int32 } else { Precision::Single };
         let tiny = build(bench, precision, CodeGen::Cuda10, Scale::Tiny).golden(&kepler);

@@ -67,7 +67,7 @@ fn main() {
         mem.write_f32_host(y_base + 4 * i, 0.5).expect("y buffer covers every element");
     }
     let launch = LaunchConfig::new(1, 32, vec![x_base, y_base, out_base, n]);
-    let device = DeviceModel::v100_sim();
+    let device = DeviceModel::named("v100-sim");
 
     let golden = run(&device, &kernel, &launch, mem.clone(), &RunOptions::default());
     assert_eq!(golden.status, ExecStatus::Completed);

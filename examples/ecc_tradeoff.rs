@@ -12,7 +12,7 @@
 use gpu_reliability::prelude::*;
 
 fn main() {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     // Beam statistics are Poisson in the fluence, so the campaigns use a
     // fixed run budget rather than the CI-targeted stop rule.
     let budget = Budget::fixed(4000).seed(3);

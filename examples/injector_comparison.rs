@@ -10,7 +10,7 @@
 use gpu_reliability::prelude::*;
 
 fn main() {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let budget = Budget::fixed(500).seed(99);
 
     println!("{:<12} {:>14} {:>14} {:>10}", "code", "SASSIFI SDC", "NVBitFI SDC", "ratio");

@@ -10,7 +10,7 @@ use gpu_reliability::prelude::*;
 fn main() {
     // A Volta-class campaign device (single SM; see DESIGN.md) and the
     // naive matrix-multiplication workload in single precision.
-    let device = DeviceModel::v100_sim();
+    let device = DeviceModel::named("v100-sim");
     let mxm = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Small);
 
     // 1. Fault-free (golden) execution.

@@ -26,7 +26,7 @@ fn main() {
     };
     let precision = if benchmark.is_integer() { Precision::Int32 } else { Precision::Single };
 
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = build(benchmark, precision, CodeGen::Cuda10, Scale::Small);
     println!("assessing {} on {}\n", w.name, device.name);
 
@@ -88,7 +88,7 @@ fn main() {
 }
 
 fn microbench_suite() -> Vec<microbench::MicroBench> {
-    gpu_reliability::microbench::suite(Architecture::Kepler)
+    gpu_reliability::microbench::suite(&DeviceModel::named("k40c"))
 }
 
 use gpu_reliability::microbench;

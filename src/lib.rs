@@ -34,7 +34,7 @@
 //! use gpu_reliability::prelude::*;
 //!
 //! // Build a workload and a campaign device.
-//! let device = DeviceModel::v100_sim();
+//! let device = DeviceModel::named("v100-sim");
 //! let mxm = build(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10, Scale::Tiny);
 //!
 //! // Profile it (Table I / Figure 1 metrics).

@@ -27,8 +27,8 @@ fn beam(w: &Workload, device: &DeviceModel, runs: u32, ecc: bool, seed: u64) -> 
 
 #[test]
 fn every_workload_runs_on_its_device() {
-    let kepler = DeviceModel::k40c_sim();
-    let volta = DeviceModel::v100_sim();
+    let kepler = DeviceModel::named("k40c-sim");
+    let volta = DeviceModel::named("v100-sim");
     for w in kepler_suite(CodeGen::Cuda7, Scale::Tiny) {
         assert_eq!(w.golden(&kepler).status, ExecStatus::Completed, "{}", w.name);
     }
@@ -39,7 +39,7 @@ fn every_workload_runs_on_its_device() {
 
 #[test]
 fn beam_and_injection_agree_on_determinism() {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = tiny(Benchmark::Hotspot, Precision::Single, CodeGen::Cuda10);
     let a = avf(Injector::NvBitFi, &w, &device, 80, 5);
     let b = avf(Injector::NvBitFi, &w, &device, 80, 5);
@@ -51,8 +51,8 @@ fn beam_and_injection_agree_on_determinism() {
 
 #[test]
 fn sassifi_capability_matrix_matches_paper() {
-    let kepler = DeviceModel::k40c_sim();
-    let volta = DeviceModel::v100_sim();
+    let kepler = DeviceModel::named("k40c-sim");
+    let volta = DeviceModel::named("v100-sim");
     let mxm = tiny(Benchmark::Mxm, Precision::Single, CodeGen::Cuda7);
     let gemm = tiny(Benchmark::Gemm, Precision::Single, CodeGen::Cuda7);
     let yolo = tiny(Benchmark::Yolov2, Precision::Single, CodeGen::Cuda7);
@@ -70,7 +70,7 @@ fn sassifi_capability_matrix_matches_paper() {
 fn cnn_avf_is_far_below_matrix_multiply() {
     // Section VI: "CNN's AVF is extremely low" thanks to classification
     // tolerance, while matrix multiplication has the highest AVF.
-    let device = DeviceModel::v100_sim();
+    let device = DeviceModel::named("v100-sim");
     let mxm = tiny(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10);
     let yolo = tiny(Benchmark::Yolov2, Precision::Single, CodeGen::Cuda10);
     let mxm_avf = avf(Injector::NvBitFi, &mxm, &device, 250, 9);
@@ -87,7 +87,7 @@ fn cnn_avf_is_far_below_matrix_multiply() {
 fn integer_codes_have_lower_sdc_avf_than_float_codes() {
     // Section VI: floating-point codes (Gaussian, LUD, MxM, Lava) have
     // the highest AVF; integer codes (CCL & friends) the smallest.
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let lava = tiny(Benchmark::Lava, Precision::Single, CodeGen::Cuda7);
     let ccl = tiny(Benchmark::Ccl, Precision::Int32, CodeGen::Cuda7);
     let lava_avf = avf(Injector::Sassifi, &lava, &device, 250, 13);
@@ -102,7 +102,7 @@ fn integer_codes_have_lower_sdc_avf_than_float_codes() {
 
 #[test]
 fn ecc_reduces_beam_sdc_rate() {
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = tiny(Benchmark::Mxm, Precision::Single, CodeGen::Cuda10);
     let off = beam(&w, &device, 2500, false, 21);
     let on = beam(&w, &device, 2500, true, 21);
@@ -118,7 +118,7 @@ fn ecc_reduces_beam_sdc_rate() {
 fn volta_fit_grows_with_precision() {
     // Section VI: "for all the codes, independent of the ECC status,
     // increasing the precision increases the code FIT rate."
-    let device = DeviceModel::v100_sim();
+    let device = DeviceModel::named("v100-sim");
     let mut fits = Vec::new();
     for p in [Precision::Half, Precision::Single, Precision::Double] {
         let w = build(Benchmark::Mxm, p, CodeGen::Cuda10, Scale::Tiny);
@@ -130,8 +130,8 @@ fn volta_fit_grows_with_precision() {
 
 #[test]
 fn prediction_pipeline_produces_finite_comparisons() {
-    let device = DeviceModel::k40c_sim();
-    let benches = gpu_reliability::microbench::suite(Architecture::Kepler);
+    let device = DeviceModel::named("k40c-sim");
+    let benches = gpu_reliability::microbench::suite(&device);
     let units = characterize_units(
         &device,
         &benches,
@@ -153,8 +153,8 @@ fn prediction_pipeline_produces_finite_comparisons() {
 
 #[test]
 fn phi_factor_changes_prediction_by_the_profiled_phi() {
-    let device = DeviceModel::k40c_sim();
-    let benches = gpu_reliability::microbench::suite(Architecture::Kepler);
+    let device = DeviceModel::named("k40c-sim");
+    let benches = gpu_reliability::microbench::suite(&device);
     let units = characterize_units(
         &device,
         &benches,
@@ -179,7 +179,7 @@ fn phi_factor_changes_prediction_by_the_profiled_phi() {
 fn hidden_resources_dominate_due_but_not_sdc() {
     // The structural claim behind Section VII-B: beam DUEs mostly come
     // from channels no injector can reach.
-    let device = DeviceModel::k40c_sim();
+    let device = DeviceModel::named("k40c-sim");
     let w = tiny(Benchmark::Gaussian, Precision::Single, CodeGen::Cuda10);
     let r = beam(&w, &device, 3000, true, 41);
     assert!(r.due_fit.fit > r.sdc_fit.fit, "DUE {} !> SDC {}", r.due_fit.fit, r.sdc_fit.fit);
